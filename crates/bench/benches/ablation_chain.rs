@@ -1,0 +1,65 @@
+//! Ablation: manufactured (non-linear) vs. ideal linear inverter chains.
+//!
+//! The paper's Sec. IV-C attributes part of the inter-core heterogeneity
+//! to chain non-linearity: a big step can force a core to leave hundreds
+//! of MHz untapped. This ablation quantifies the quantization loss.
+
+use atm_bench::criterion;
+use atm_cpm::CoreCpmSet;
+use atm_silicon::{AlphaPowerLaw, CoreSilicon, InverterChain, SiliconFactory, SiliconParams};
+use atm_units::{Celsius, CoreId, MegaHz, Picos, Volts};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn with_chain(base: &CoreSilicon, chain: InverterChain) -> CoreSilicon {
+    let mimic: Vec<f64> = (0..5).map(|i| base.mimic_ratio(i)).collect();
+    CoreSilicon::new(
+        base.id(),
+        AlphaPowerLaw::power7_plus(base.real_path().d0()),
+        [mimic[0], mimic[1], mimic[2], mimic[3], mimic[4]],
+        base.coverage_gap(0.0),
+        0.0,
+        chain,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let factory = SiliconFactory::new(SiliconParams::power7_plus(), atm_bench::BENCH_SEED);
+    let v = Volts::new(1.235);
+    let t = Celsius::new(45.0);
+    let thr = Picos::new(10.0);
+
+    eprintln!("\n===== ablation: manufactured vs linear inverter chain =====");
+    eprintln!("core   manufactured-step-quantization-loss vs linear (MHz at 5 steps)");
+    for idx in [0usize, 4, 9, 13] {
+        let silicon = factory.core(CoreId::from_flat_index(idx));
+        let scale = silicon.inverter_chain().mean_step().get();
+        let linear = with_chain(&silicon, InverterChain::linear(scale));
+
+        let freq_at = |si: &CoreSilicon| {
+            let mut cpms = CoreCpmSet::calibrate(si, v, t, MegaHz::new(4600.0), thr);
+            let r = 5.min(cpms.max_reduction());
+            cpms.set_reduction(r).unwrap();
+            cpms.equilibrium_period(si, v, t, thr).frequency().get()
+        };
+        let f_manu = freq_at(&silicon);
+        let f_lin = freq_at(&linear);
+        eprintln!(
+            "{}   manufactured {f_manu:.0} MHz vs linear {f_lin:.0} MHz (delta {:+.0})",
+            silicon.id(),
+            f_manu - f_lin
+        );
+    }
+
+    let silicon = factory.core(CoreId::new(0, 0));
+    c.bench_function("ablation_chain/equilibrium_period", |b| {
+        let cpms = CoreCpmSet::calibrate(&silicon, v, t, MegaHz::new(4600.0), thr);
+        b.iter(|| black_box(cpms.equilibrium_period(&silicon, v, t, thr)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Ablation: the di/dt fast (loop-escaping) component.
+//!
+//! With sharpness forced to zero every droop is fully tracked by the loop
+//! and realistic workloads stop forcing CPM rollback — demonstrating that
+//! the rollback requirement (Figs. 9–10) is driven by the droop leading
+//! edge, not by average voltage.
+
+use atm_bench::criterion;
+use atm_chip::{ChipConfig, MarginMode, System};
+use atm_core::charact::{find_limit, CharactConfig};
+use atm_pdn::DiDtParams;
+use atm_units::{CoreId, Nanos};
+use atm_workloads::{by_name, Workload, WorkloadKind};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn softened(w: &Workload) -> Workload {
+    let d = w.didt();
+    Workload::new(
+        format!("{}-soft", w.name()),
+        WorkloadKind::Spec,
+        w.activity(),
+        w.mem_fraction(),
+        w.path_stress(),
+        DiDtParams::new(d.events_per_us(), d.magnitude_mean().get(), 0.0, 0.0),
+        1.0,
+        None,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
+    let cfg = CharactConfig::quick();
+    let core = CoreId::new(0, 0);
+    let x264 = by_name("x264").unwrap();
+    let soft = softened(x264);
+
+    let sharp_limit = find_limit(&mut sys, core, &[x264], 4, &cfg).limit();
+    let soft_limit = find_limit(&mut sys, core, &[&soft], 4, &cfg).limit();
+    eprintln!("\n===== ablation: di/dt fast component ({core}) =====");
+    eprintln!("x264 with sharp droop edges: limit {sharp_limit} steps");
+    eprintln!("x264 with fully-tracked droops: limit {soft_limit} steps");
+    assert!(soft_limit >= sharp_limit);
+
+    sys.set_mode(core, MarginMode::Atm);
+    sys.assign(core, x264.clone());
+    c.bench_function("ablation_didt/x264_run_20us", |b| {
+        b.iter(|| black_box(sys.run(Nanos::new(20_000.0))))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

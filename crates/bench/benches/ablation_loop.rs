@@ -1,0 +1,56 @@
+//! Ablation: ATM loop threshold and up-slew rate.
+//!
+//! A larger threshold wastes margin (lower equilibrium frequency); a
+//! faster up-slew recovers from droop responses quicker but measures the
+//! same equilibrium. The printed sweep quantifies the design point the
+//! paper's platform chose (5 units, 0.2%/step).
+
+use atm_bench::criterion;
+use atm_chip::{ChipConfig, MarginMode, System};
+use atm_dpll::AtmLoopConfig;
+use atm_units::{CoreId, Nanos};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn equilibrium_at(threshold_units: u32, up_rate: f64) -> (f64, u64) {
+    let mut cfg = ChipConfig::power7_plus(atm_bench::BENCH_SEED);
+    cfg.loop_config = AtmLoopConfig {
+        threshold_units,
+        up_rate,
+        ..AtmLoopConfig::power7_plus()
+    };
+    let mut sys = System::new(cfg);
+    let core = CoreId::new(0, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    sys.assign(core, atm_workloads::by_name("x264").unwrap().clone());
+    let report = sys.run(Nanos::new(50_000.0));
+    (
+        report.core(core).mean_freq.get(),
+        report.core(core).violations,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n===== ablation: loop threshold (units) -> x264 mean MHz =====");
+    for thr in [2u32, 5, 8, 12] {
+        let (f, v) = equilibrium_at(thr, 0.002);
+        eprintln!("threshold {thr:>2}: {f:.0} MHz, {v} loop violations");
+    }
+    eprintln!("===== ablation: up-slew rate -> x264 mean MHz =====");
+    for rate in [0.0005, 0.002, 0.008] {
+        let (f, v) = equilibrium_at(5, rate);
+        eprintln!("up-rate {rate:>7.4}: {f:.0} MHz, {v} loop violations");
+    }
+
+    let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
+    sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
+    c.bench_function("ablation_loop/run_50us", |b| {
+        b.iter(|| black_box(sys.run(Nanos::new(50_000.0))))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Ablation: the manufacturer's uniform calibration target.
+//!
+//! The paper's machines calibrate default ATM to 4.6 GHz idle. A lower
+//! target leaves more preset inserted delay (more protection, more
+//! fine-tuning headroom in steps); a higher target ships faster defaults
+//! but leaves less to reclaim. The sweep shows the trade-off on the
+//! minted silicon.
+
+use atm_bench::criterion;
+use atm_chip::{ChipConfig, MarginMode, System};
+use atm_cpm::CpmUnit;
+use atm_units::{CoreId, MegaHz, Nanos};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n===== ablation: default-ATM calibration target =====");
+    eprintln!("target MHz   preset range (steps)   idle freq range (MHz)");
+    for target in [4400.0, 4600.0, 4800.0] {
+        let mut cfg = ChipConfig::power7_plus(atm_bench::BENCH_SEED);
+        cfg.calibration_target = MegaHz::new(target);
+        let mut sys = System::new(cfg);
+        let presets: Vec<usize> = CoreId::all()
+            .map(|id| {
+                CpmUnit::ALL
+                    .iter()
+                    .filter(|u| **u != CpmUnit::Cache)
+                    .map(|u| sys.core(id).cpms().preset(*u))
+                    .min()
+                    .unwrap()
+            })
+            .collect();
+        sys.set_mode_all(MarginMode::Atm);
+        let report = sys.run(Nanos::new(10_000.0));
+        let freqs: Vec<f64> = report.cores.iter().map(|c| c.mean_freq.get()).collect();
+        eprintln!(
+            "{target:>10.0}   {:>3}..{:<3}                {:>5.0}..{:<5.0}",
+            presets.iter().min().unwrap(),
+            presets.iter().max().unwrap(),
+            freqs.iter().copied().fold(f64::MAX, f64::min),
+            freqs.iter().copied().fold(f64::MIN, f64::max),
+        );
+    }
+
+    let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
+    c.bench_function("ablation_target/system_mint", |b| {
+        b.iter(|| black_box(System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED))))
+    });
+    let _ = &mut sys;
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,25 @@
+//! Fig. 1 bench: regenerates the margin-scheme frequency ranges and times
+//! the fine-tuned system's settle kernel.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_chip::MarginMode;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig01::run(&mut ctx);
+    print_exhibit("Fig. 1 — margin schemes", &fig.to_string());
+
+    let mut sys = ctx.deployed_system();
+    sys.set_mode_all(MarginMode::Atm);
+    c.bench_function("fig01/settle_finetuned_system", |b| {
+        b.iter(|| black_box(sys.settle()))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,28 @@
+//! Fig. 2 bench: regenerates the SqueezeNet latency scenarios and times a
+//! measured scheduling run.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_chip::MarginMode;
+use atm_units::{CoreId, Nanos};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig02::run(&mut ctx);
+    print_exhibit("Fig. 2 — SqueezeNet latency", &fig.to_string());
+
+    let mut sys = ctx.deployed_system();
+    let core = CoreId::new(0, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    sys.assign(core, atm_workloads::by_name("squeezenet").unwrap().clone());
+    c.bench_function("fig02/measured_run_20us", |b| {
+        b.iter(|| black_box(sys.run(Nanos::new(20_000.0))))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,35 @@
+//! Fig. 4b bench: regenerates the preset inserted delays and times the
+//! test-time CPM calibration.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_cpm::CoreCpmSet;
+use atm_silicon::{SiliconFactory, SiliconParams};
+use atm_units::{Celsius, CoreId, MegaHz, Picos, Volts};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig04::run(&mut ctx);
+    print_exhibit("Fig. 4b — preset CPM inserted delays", &fig.to_string());
+
+    let factory = SiliconFactory::new(SiliconParams::power7_plus(), atm_bench::BENCH_SEED);
+    let silicon = factory.core(CoreId::new(0, 0));
+    c.bench_function("fig04/cpm_calibration", |b| {
+        b.iter(|| {
+            black_box(CoreCpmSet::calibrate(
+                &silicon,
+                Volts::new(1.235),
+                Celsius::new(45.0),
+                MegaHz::new(4600.0),
+                Picos::new(10.0),
+            ))
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,25 @@
+//! Fig. 5 bench: regenerates the frequency-vs-reduction sweeps and times
+//! one sweep.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_core::FineTuner;
+use atm_units::CoreId;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig05::run(&mut ctx);
+    print_exhibit("Fig. 5 — frequency vs. CPM delay reduction", &fig.to_string());
+
+    let mut sys = ctx.fresh_system();
+    c.bench_function("fig05/frequency_sweep_6_steps", |b| {
+        b.iter(|| black_box(FineTuner::new(&mut sys).frequency_sweep(CoreId::new(0, 1), 6)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

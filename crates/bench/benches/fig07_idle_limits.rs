@@ -1,0 +1,28 @@
+//! Fig. 7 bench: regenerates the idle-limit distributions and times the
+//! per-core limit search.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_core::charact::{find_limit, CharactConfig};
+use atm_units::CoreId;
+use atm_workloads::Workload;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig07::run(&mut ctx);
+    print_exhibit("Fig. 7 — idle limits", &fig.to_string());
+
+    let mut sys = ctx.fresh_system();
+    let idle = Workload::idle();
+    let cfg = CharactConfig::quick();
+    c.bench_function("fig07/idle_limit_search_one_core", |b| {
+        b.iter(|| black_box(find_limit(&mut sys, CoreId::new(0, 0), &[&idle], 4, &cfg)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

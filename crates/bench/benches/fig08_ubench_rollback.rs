@@ -1,0 +1,34 @@
+//! Fig. 8 bench: regenerates the uBench rollback distributions and times
+//! a three-program uBench validation at a candidate configuration.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_chip::MarginMode;
+use atm_core::charact::passes;
+use atm_units::{CoreId, Nanos};
+use atm_workloads::ubench_set;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig08::run(&mut ctx);
+    print_exhibit("Fig. 8 — uBench rollback", &fig.to_string());
+
+    let mut sys = ctx.fresh_system();
+    let core = CoreId::new(0, 3);
+    sys.set_mode(core, MarginMode::Atm);
+    let set = ubench_set();
+    c.bench_function("fig08/ubench_validation_three_programs", |b| {
+        b.iter(|| {
+            for w in &set {
+                black_box(passes(&mut sys, core, w, 2, Nanos::new(10_000.0)));
+            }
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

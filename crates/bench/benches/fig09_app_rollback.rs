@@ -1,0 +1,29 @@
+//! Fig. 9 bench: regenerates the x264-vs-gcc rollback contrast and times
+//! a realistic-workload trial at a fine-tuned configuration.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_chip::MarginMode;
+use atm_core::charact::passes;
+use atm_units::{CoreId, Nanos};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig09::run(&mut ctx);
+    print_exhibit("Fig. 9 — x264 vs gcc rollback", &fig.to_string());
+
+    let mut sys = ctx.fresh_system();
+    let core = CoreId::new(0, 5);
+    sys.set_mode(core, MarginMode::Atm);
+    let gcc = atm_workloads::by_name("gcc").unwrap();
+    c.bench_function("fig09/gcc_trial_20us", |b| {
+        b.iter(|| black_box(passes(&mut sys, core, gcc, 3, Nanos::new(20_000.0))))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,34 @@
+//! Fig. 10 bench: regenerates the app × core rollback heat map and times
+//! the characterization of one ⟨app, core⟩ cell.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_core::charact::{realistic_characterization, CharactConfig};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let ubench = ctx.ubench_limits();
+    let fig = atm_experiments::fig10::run(&mut ctx);
+    print_exhibit("Fig. 10 — rollback heat map", &fig.to_string());
+
+    let mut sys = ctx.fresh_system();
+    let leela = atm_workloads::by_name("leela").unwrap();
+    let cfg = CharactConfig::quick();
+    c.bench_function("fig10/one_app_sixteen_cores", |b| {
+        b.iter(|| {
+            black_box(realistic_characterization(
+                &mut sys,
+                &ubench,
+                &[leela],
+                &cfg,
+            ))
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

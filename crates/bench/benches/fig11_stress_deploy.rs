@@ -1,0 +1,28 @@
+//! Fig. 11 bench: regenerates the stress-test deployment frequencies and
+//! times one stressmark trial in the worst-case environment.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_chip::MarginMode;
+use atm_units::{CoreId, Nanos};
+use atm_workloads::voltage_virus;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig11::run(&mut ctx);
+    print_exhibit("Fig. 11 — stress-test deployment", &fig.to_string());
+
+    let mut sys = ctx.deployed_system();
+    sys.assign_all(&voltage_virus());
+    sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
+    c.bench_function("fig11/virus_trial_20us", |b| {
+        b.iter(|| black_box(sys.run(Nanos::new(20_000.0))))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

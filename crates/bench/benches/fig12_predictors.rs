@@ -1,0 +1,29 @@
+//! Fig. 12 bench: regenerates both predictor fits and times frequency-
+//! predictor training (an eight-point settle sweep).
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_core::predictor::{FreqPredictor, PerfPredictor};
+use atm_units::{CoreId, MegaHz};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig12::run(&mut ctx);
+    print_exhibit("Fig. 12 — predictors", &fig.to_string());
+
+    let mut sys = ctx.deployed_system();
+    c.bench_function("fig12/freq_predictor_train", |b| {
+        b.iter(|| black_box(FreqPredictor::train(&mut sys, CoreId::new(0, 0))))
+    });
+    let mcf = atm_workloads::by_name("mcf").unwrap();
+    c.bench_function("fig12/perf_predictor_train", |b| {
+        b.iter(|| black_box(PerfPredictor::train(mcf, MegaHz::new(4200.0))))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,28 @@
+//! Fig. 14 bench: regenerates the managed-performance comparison and
+//! times one managed-pair evaluation.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_core::charact::CharactConfig;
+use atm_core::manager::Strategy;
+use atm_core::{AtmManager, Governor};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let fig = atm_experiments::fig14::run(&mut ctx);
+    print_exhibit("Fig. 14 — managed critical performance", &fig.to_string());
+
+    let mut mgr = AtmManager::deploy(ctx.fresh_system(), Governor::Default, &CharactConfig::quick());
+    let critical = atm_workloads::by_name("squeezenet").unwrap();
+    let background = atm_workloads::by_name("x264").unwrap();
+    c.bench_function("fig14/evaluate_managed_max_pair", |b| {
+        b.iter(|| black_box(mgr.evaluate_pair(critical, background, Strategy::ManagedMax)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

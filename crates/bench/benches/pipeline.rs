@@ -1,0 +1,32 @@
+//! End-to-end pipeline bench: how long the paper's full methodology takes
+//! on the simulator — idle characterization of a socket and a complete
+//! stress-test deployment.
+
+use atm_bench::criterion;
+use atm_chip::{ChipConfig, System};
+use atm_core::charact::{idle_characterization, CharactConfig};
+use atm_core::stress::stress_test_deploy;
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = CharactConfig::quick();
+    c.bench_function("pipeline/idle_characterization_16_cores", |b| {
+        b.iter(|| {
+            let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
+            black_box(idle_characterization(&mut sys, &cfg))
+        })
+    });
+    c.bench_function("pipeline/stress_test_deploy_16_cores", |b| {
+        b.iter(|| {
+            let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
+            black_box(stress_test_deploy(&mut sys, 0, &cfg))
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

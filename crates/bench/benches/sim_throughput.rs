@@ -1,0 +1,35 @@
+//! Substrate bench: simulator throughput as a function of how many cores
+//! run in ATM mode (the tick cost is dominated by the alpha-power-law
+//! evaluations of active control loops).
+
+use atm_bench::criterion;
+use atm_chip::{ChipConfig, MarginMode, System};
+use atm_units::{CoreId, Nanos};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    for atm_cores in [1usize, 8, 16] {
+        let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
+        for (i, core) in CoreId::all().enumerate() {
+            if i < atm_cores {
+                sys.set_mode(core, MarginMode::Atm);
+            }
+        }
+        let duration = Nanos::new(10_000.0); // 200 ticks
+        group.throughput(Throughput::Elements(200));
+        group.bench_with_input(
+            BenchmarkId::new("ticks", atm_cores),
+            &atm_cores,
+            |b, _| b.iter(|| black_box(sys.run(duration))),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

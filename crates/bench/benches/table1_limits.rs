@@ -1,0 +1,29 @@
+//! Table I bench: regenerates the four-row limit table and times a single
+//! pass/fail characterization trial.
+
+use atm_bench::{criterion, print_exhibit, quick_context};
+use atm_chip::MarginMode;
+use atm_core::charact::passes;
+use atm_units::{CoreId, Nanos};
+use criterion::Criterion;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = quick_context();
+    let t = atm_experiments::table1::run(&mut ctx);
+    print_exhibit("Table I — ATM limits", &t.to_string());
+
+    let mut sys = ctx.fresh_system();
+    let core = CoreId::new(0, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    let x264 = atm_workloads::by_name("x264").unwrap();
+    c.bench_function("table1/single_trial_20us", |b| {
+        b.iter(|| black_box(passes(&mut sys, core, x264, 2, Nanos::new(20_000.0))))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every paper exhibit has a bench target that (1) regenerates and prints
+//! the exhibit's rows — so `cargo bench` output contains the full
+//! reproduction — and (2) times the experiment's computational kernel
+//! with Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use atm_experiments::{Context, ExpConfig};
+use criterion::Criterion;
+
+/// The seed every bench uses (the calibration seed of the repo).
+pub const BENCH_SEED: u64 = 42;
+
+/// A reduced-effort context suitable for bench setup.
+#[must_use]
+pub fn quick_context() -> Context {
+    Context::new(ExpConfig::quick(BENCH_SEED))
+}
+
+/// Criterion tuned for heavy setups: few samples, short measurement.
+#[must_use]
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .configure_from_args()
+}
+
+/// Prints an exhibit banner followed by its rendered rows.
+pub fn print_exhibit(name: &str, rendered: &str) {
+    eprintln!("\n================ {name} ================");
+    eprintln!("{rendered}");
+}

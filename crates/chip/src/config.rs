@@ -1,0 +1,113 @@
+//! System configuration.
+
+use atm_dpll::AtmLoopConfig;
+use atm_pdn::{PdnModel, PowerModel, ThermalModel};
+use atm_silicon::SiliconParams;
+use atm_units::{MegaHz, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::pstate::PStateTable;
+
+/// Full configuration of a simulated two-socket server.
+///
+/// The default is the POWER7+ calibration used throughout the paper
+/// reproduction; experiments vary the `seed` to mint different silicon and
+/// the loop/PDN parameters for ablations.
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::ChipConfig;
+///
+/// let cfg = ChipConfig { seed: 7, ..ChipConfig::default() };
+/// assert_eq!(cfg.calibration_target.get(), 4600.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Root seed for silicon minting and all stochastic processes.
+    pub seed: u64,
+    /// Silicon model parameters.
+    pub silicon: SiliconParams,
+    /// Per-core ATM loop configuration.
+    pub loop_config: AtmLoopConfig,
+    /// DC power-delivery model (per processor).
+    pub pdn: PdnModel,
+    /// Power model (per processor).
+    pub power: PowerModel,
+    /// Thermal model template (per processor).
+    pub thermal: ThermalModel,
+    /// DVFS p-state table.
+    pub pstates: PStateTable,
+    /// Simulation tick length.
+    pub tick: Nanos,
+    /// The uniform idle frequency the manufacturer calibrates default ATM
+    /// to (4.6 GHz on the paper's machines).
+    pub calibration_target: MegaHz,
+    /// Whether timing-violation failures are modeled (disable for pure
+    /// performance runs of already-validated configurations).
+    pub failure_checking: bool,
+}
+
+impl ChipConfig {
+    /// The paper's platform with the given seed.
+    #[must_use]
+    pub fn power7_plus(seed: u64) -> Self {
+        ChipConfig {
+            seed,
+            silicon: SiliconParams::power7_plus(),
+            loop_config: AtmLoopConfig::power7_plus(),
+            pdn: PdnModel::power7_plus(),
+            power: PowerModel::power7_plus(),
+            thermal: ThermalModel::power7_plus(),
+            pstates: PStateTable::power7_plus(),
+            tick: Nanos::new(50.0),
+            calibration_target: MegaHz::new(4600.0),
+            failure_checking: true,
+        }
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tick is not positive or the calibration target is not
+    /// above the nominal p-state.
+    pub fn validate(&self) {
+        assert!(self.tick.get() > 0.0, "tick must be positive");
+        assert!(
+            self.calibration_target >= self.pstates.nominal().frequency,
+            "ATM calibration target below the static-margin p-state"
+        );
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig::power7_plus(42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        ChipConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration target")]
+    fn bad_target_rejected() {
+        let cfg = ChipConfig {
+            calibration_target: MegaHz::new(3000.0),
+            ..ChipConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(ChipConfig::power7_plus(1), ChipConfig::power7_plus(2));
+    }
+}

@@ -1,0 +1,566 @@
+//! One simulated core: silicon + CPMs + ATM loop + workload.
+
+use atm_cpm::{CoreCpmSet, CpmConfigError};
+use atm_dpll::{AtmLoop, AtmLoopConfig};
+use atm_pdn::DroopProcess;
+use atm_silicon::CoreSilicon;
+use atm_units::{Celsius, CoreId, MegaHz, Nanos, Volts};
+use atm_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::failure::FailureKind;
+use crate::mode::MarginMode;
+use crate::report::CoreReport;
+
+/// Floor below which the model never lets an effective voltage fall
+/// (droops are bounded far above the 0.55 V threshold in reality).
+const V_FLOOR: Volts = Volts::new_const(0.80);
+
+/// Residual switching activity of a core whose instruction issue is
+/// throttled to one out of every ~128 cycles (clocks and caches still
+/// toggle).
+const STARVED_ACTIVITY: f64 = 0.08;
+
+/// One core of the simulated system.
+///
+/// A core owns its manufactured silicon, its five-CPM set (with the
+/// current fine-tuning reduction), its ATM control loop, the droop process
+/// of its assigned workload, and its telemetry accumulators.
+///
+/// Cores are driven by their [`Processor`](crate::Processor); the public
+/// surface is what the management layer uses: program a CPM reduction,
+/// assign a workload, choose a margin mode, read telemetry.
+#[derive(Debug, Clone)]
+pub struct Core {
+    id: CoreId,
+    silicon: CoreSilicon,
+    cpms: CoreCpmSet,
+    atm: AtmLoop,
+    mode: MarginMode,
+    static_freq: MegaHz,
+    workload: Workload,
+    smt_threads: usize,
+    issue_throttle: Option<u16>,
+    droop: DroopProcess,
+    rng: StdRng,
+    last_voltage: Volts,
+    // Telemetry accumulators.
+    busy_time: Nanos,
+    freq_integral_mhz_ns: f64,
+    energy_w_ns: f64,
+    min_freq: MegaHz,
+    max_freq: MegaHz,
+    violations_at_reset: u64,
+}
+
+impl Core {
+    /// Assembles a core. `droop_seed` and `rng_seed` give the core its own
+    /// deterministic random streams.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: CoreId,
+        silicon: CoreSilicon,
+        cpms: CoreCpmSet,
+        loop_config: AtmLoopConfig,
+        static_freq: MegaHz,
+        droop_seed: u64,
+        rng_seed: u64,
+    ) -> Self {
+        let workload = Workload::idle();
+        let droop = DroopProcess::new(*workload.didt(), droop_seed);
+        let atm = AtmLoop::new(loop_config, static_freq);
+        Core {
+            id,
+            silicon,
+            cpms,
+            atm,
+            mode: MarginMode::Static,
+            static_freq,
+            workload,
+            smt_threads: 1,
+            issue_throttle: None,
+            droop,
+            rng: StdRng::seed_from_u64(rng_seed),
+            last_voltage: Volts::new(1.25),
+            busy_time: Nanos::ZERO,
+            freq_integral_mhz_ns: 0.0,
+            energy_w_ns: 0.0,
+            min_freq: MegaHz::new(f64::MAX / 1e6),
+            max_freq: MegaHz::ZERO,
+            violations_at_reset: 0,
+        }
+    }
+
+    /// This core's identity.
+    #[must_use]
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The core's manufactured silicon description.
+    #[must_use]
+    pub fn silicon(&self) -> &CoreSilicon {
+        &self.silicon
+    }
+
+    /// The core's CPM set (presets and current reduction).
+    #[must_use]
+    pub fn cpms(&self) -> &CoreCpmSet {
+        &self.cpms
+    }
+
+    /// The core's margin mode.
+    #[must_use]
+    pub fn mode(&self) -> MarginMode {
+        self.mode
+    }
+
+    /// Sets the margin mode. Switching into ATM re-locks the DPLL at the
+    /// static frequency and lets the loop float from there.
+    pub fn set_mode(&mut self, mode: MarginMode) {
+        self.mode = mode;
+        if mode == MarginMode::Atm {
+            self.atm.relock(self.static_freq);
+        }
+    }
+
+    /// The frequency the core runs at in [`MarginMode::Static`].
+    #[must_use]
+    pub fn static_freq(&self) -> MegaHz {
+        self.static_freq
+    }
+
+    /// Changes the static-margin frequency (a chip-level p-state change).
+    /// An active ATM loop is re-locked from the new point.
+    pub fn set_static_freq(&mut self, f: MegaHz) {
+        self.static_freq = f;
+        if self.mode == MarginMode::Atm {
+            self.atm.relock(f);
+        }
+    }
+
+    /// The workload currently scheduled on this core.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Schedules one thread of `workload` on this core (replacing any
+    /// previous assignment).
+    pub fn assign(&mut self, workload: Workload) {
+        self.assign_smt(workload, 1);
+    }
+
+    /// Schedules `threads` SMT copies of `workload` on this core (POWER7+
+    /// supports 4-way SMT). More threads raise switching activity
+    /// (sublinearly, per the workload's SMT gain) and amplify its droop
+    /// transients slightly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is not in `1..=4`.
+    pub fn assign_smt(&mut self, workload: Workload, threads: usize) {
+        assert!((1..=4).contains(&threads), "SMT is 4-way, got {threads}");
+        let didt = workload
+            .didt()
+            .amplified(1.0 + 0.05 * (threads - 1) as f64);
+        self.droop.set_params(didt);
+        self.smt_threads = threads;
+        self.workload = workload;
+    }
+
+    /// The number of SMT threads currently scheduled.
+    #[must_use]
+    pub fn smt_threads(&self) -> usize {
+        self.smt_threads
+    }
+
+    /// Enables periodic instruction-issue throttling with the given period
+    /// in ticks (`None` disables it).
+    ///
+    /// The paper's voltage virus "repeatedly and synchronously throttles
+    /// all cores' instruction issue rate" while daxpy threads run: the
+    /// core alternates half-periods of full issue and starved issue, so
+    /// its average activity drops while every phase edge produces a large
+    /// synchronized current swing. When several cores throttle in phase,
+    /// the processor injects the resulting chip-wide di/dt surge (see
+    /// [`Processor`](crate::Processor)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a period of 0 or 1 ticks is requested (no room for two
+    /// phases).
+    pub fn set_issue_throttle(&mut self, period_ticks: Option<u16>) {
+        if let Some(p) = period_ticks {
+            assert!(p >= 2, "throttle period must span at least two ticks");
+        }
+        self.issue_throttle = period_ticks;
+    }
+
+    /// The issue-throttle period, if throttling is enabled.
+    #[must_use]
+    pub fn issue_throttle(&self) -> Option<u16> {
+        self.issue_throttle
+    }
+
+    /// The activity swing released at each throttle phase edge (zero when
+    /// not throttling): full SMT-scaled activity minus the starved floor.
+    #[must_use]
+    pub(crate) fn throttle_swing(&self) -> f64 {
+        if self.issue_throttle.is_some() && !self.is_gated() {
+            (self.unthrottled_activity() - STARVED_ACTIVITY).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    fn unthrottled_activity(&self) -> f64 {
+        (self.workload.activity() * self.workload.smt_throughput_gain(self.smt_threads)).min(1.5)
+    }
+
+    /// Programs the fine-tuning CPM delay reduction (the paper's service
+    /// processor command).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpmConfigError::ReductionTooLarge`] if `steps` exceeds
+    /// the core's smallest CPM preset.
+    pub fn set_reduction(&mut self, steps: usize) -> Result<(), CpmConfigError> {
+        self.cpms.set_reduction(steps)
+    }
+
+    /// The current CPM delay reduction in steps.
+    #[must_use]
+    pub fn reduction(&self) -> usize {
+        self.cpms.reduction()
+    }
+
+    /// The current clock frequency.
+    #[must_use]
+    pub fn frequency(&self) -> MegaHz {
+        match self.mode {
+            MarginMode::Static => self.static_freq,
+            MarginMode::Fixed(f) => f,
+            MarginMode::Atm => self.atm.frequency(),
+            MarginMode::Gated => MegaHz::ZERO,
+        }
+    }
+
+    /// Switching activity presented to the power model (SMT-scaled,
+    /// saturating at the power model's 1.5 ceiling; averaged over the
+    /// throttle duty cycle when issue throttling is active).
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        if self.mode == MarginMode::Gated {
+            return 0.0;
+        }
+        let full = self.unthrottled_activity();
+        if self.issue_throttle.is_some() {
+            // Half the period at full issue, half starved.
+            (full + STARVED_ACTIVITY) / 2.0
+        } else {
+            full
+        }
+    }
+
+    /// Whether the core is power-gated.
+    #[must_use]
+    pub fn is_gated(&self) -> bool {
+        self.mode == MarginMode::Gated
+    }
+
+    /// The voltage delivered to the core on the previous tick.
+    #[must_use]
+    pub fn last_voltage(&self) -> Volts {
+        self.last_voltage
+    }
+
+    /// Warm-starts the ATM loop at its equilibrium for conditions `(v, t)`
+    /// so short trials measure steady-state behaviour instead of the
+    /// initial lock transient.
+    pub fn warm_start(&mut self, v: Volts, t: Celsius) {
+        self.last_voltage = v;
+        if self.mode == MarginMode::Atm {
+            let period =
+                self.cpms
+                    .equilibrium_period(&self.silicon, v, t, self.atm.config().threshold_time());
+            self.atm.relock(period.frequency());
+        }
+    }
+
+    /// Clears telemetry accumulators.
+    pub fn reset_stats(&mut self) {
+        self.busy_time = Nanos::ZERO;
+        self.freq_integral_mhz_ns = 0.0;
+        self.energy_w_ns = 0.0;
+        self.min_freq = MegaHz::new(f64::MAX / 1e6);
+        self.max_freq = MegaHz::ZERO;
+        self.violations_at_reset = self.atm.violations();
+    }
+
+    /// Accumulates this core's energy over one tick (called by the
+    /// processor, which owns the power model).
+    pub(crate) fn record_power(&mut self, power: atm_units::Watts, dt: Nanos) {
+        self.energy_w_ns += power.get() * dt.get();
+    }
+
+    /// Advances the core one tick at delivered DC voltage `v_dc`, die
+    /// temperature `t`, with droop magnitudes scaled by `droop_amplify`
+    /// (> 1 only for synchronized stressmarks). Returns the failure kind if
+    /// an uncaught timing violation occurred, when `check_failures` is on.
+    /// `injected` is an optional externally-generated droop (the chip-wide
+    /// surge of synchronized issue throttling) as `(seen mV, unseen mV)`;
+    /// it merges with any droop the core's own workload produced this tick
+    /// (coincident droops overlap rather than stack).
+    pub(crate) fn tick(
+        &mut self,
+        v_dc: Volts,
+        t: Celsius,
+        dt: Nanos,
+        droop_amplify: f64,
+        injected: Option<(f64, f64)>,
+        check_failures: bool,
+    ) -> Option<FailureKind> {
+        self.last_voltage = v_dc;
+        let freq = self.frequency();
+        // Telemetry.
+        self.busy_time += dt;
+        self.freq_integral_mhz_ns += freq.get() * dt.get();
+        if freq.get() > 0.0 {
+            self.min_freq = self.min_freq.min(freq);
+            self.max_freq = self.max_freq.max(freq);
+        }
+
+        if self.mode != MarginMode::Atm {
+            // Static-margin and gated cores are guaranteed correct by the
+            // built-in guardband; nothing else to simulate.
+            return None;
+        }
+
+        let event = self.droop.sample_tick(dt);
+        let (mut seen_mv, mut unseen_mv) = match event {
+            Some(e) => {
+                let m = e.magnitude.get() * droop_amplify;
+                let u = e.unseen.get() * droop_amplify;
+                (m - u, u)
+            }
+            None => (0.0, 0.0),
+        };
+        if let Some((inj_seen, inj_unseen)) = injected {
+            seen_mv = seen_mv.max(inj_seen);
+            unseen_mv = unseen_mv.max(inj_unseen);
+        }
+
+        let period = freq.period();
+
+        // Failure check first: the violating cycle happens at the clock
+        // the droop interrupted, before the loop can respond.
+        let mut failure = None;
+        if check_failures {
+            // Only the *unseen* droop portion threatens correctness: the
+            // seen part is compensated by the loop within its response
+            // window (modeled in the measurement below).
+            let v_check = floor_voltage(v_dc, unseen_mv);
+            let gap = self.silicon.coverage_gap(self.workload.path_stress());
+            let d_real = self.silicon.real_path_delay(v_check, t) * (1.0 + gap);
+            if period < d_real {
+                failure = Some(FailureKind::sample(self.rng.gen_range(0.0..1.0)));
+            }
+        }
+
+        // The loop measures with the *seen* droop portion applied.
+        let v_meas = floor_voltage(v_dc, seen_mv);
+        let base_delay = self.silicon.real_path_delay(v_meas, t);
+        let reading = self.cpms.measure_from_base(&self.silicon, period, base_delay);
+        self.atm.step(reading);
+
+        failure
+    }
+
+    /// Telemetry snapshot since the last [`Core::reset_stats`].
+    #[must_use]
+    pub fn report(&self) -> CoreReport {
+        let mean = if self.busy_time.get() > 0.0 {
+            MegaHz::new(self.freq_integral_mhz_ns / self.busy_time.get())
+        } else {
+            self.frequency()
+        };
+        let min = if self.max_freq == MegaHz::ZERO {
+            self.frequency()
+        } else {
+            self.min_freq
+        };
+        let max = if self.max_freq == MegaHz::ZERO {
+            self.frequency()
+        } else {
+            self.max_freq
+        };
+        CoreReport {
+            core: self.id,
+            mode: self.mode,
+            workload: self.workload.name().to_owned(),
+            reduction: self.cpms.reduction(),
+            mean_freq: mean,
+            min_freq: min,
+            max_freq: max,
+            violations: self.atm.violations() - self.violations_at_reset,
+            last_voltage: self.last_voltage,
+            energy_uj: self.energy_w_ns * 1e-3,
+        }
+    }
+}
+
+fn floor_voltage(v: Volts, drop_mv: f64) -> Volts {
+    let dropped = v.get() - drop_mv / 1000.0;
+    Volts::new(dropped.max(V_FLOOR.get()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_cpm::CoreCpmSet;
+    use atm_silicon::{SiliconFactory, SiliconParams};
+
+    fn core() -> Core {
+        let silicon = SiliconFactory::new(SiliconParams::power7_plus(), 42).core(CoreId::new(0, 0));
+        let cfg = AtmLoopConfig::power7_plus();
+        let cpms = CoreCpmSet::calibrate(
+            &silicon,
+            Volts::new(1.235),
+            Celsius::new(45.0),
+            MegaHz::new(4600.0),
+            cfg.threshold_time(),
+        );
+        Core::new(CoreId::new(0, 0), silicon, cpms, cfg, MegaHz::new(4200.0), 1, 2)
+    }
+
+    #[test]
+    fn static_mode_pins_frequency() {
+        let mut c = core();
+        assert_eq!(c.frequency(), MegaHz::new(4200.0));
+        c.set_mode(MarginMode::Fixed(MegaHz::new(3000.0)));
+        assert_eq!(c.frequency(), MegaHz::new(3000.0));
+        c.set_mode(MarginMode::Gated);
+        assert_eq!(c.frequency(), MegaHz::ZERO);
+        assert_eq!(c.activity(), 0.0);
+    }
+
+    #[test]
+    fn warm_started_atm_runs_near_calibration_target() {
+        let mut c = core();
+        c.set_mode(MarginMode::Atm);
+        c.warm_start(Volts::new(1.235), Celsius::new(45.0));
+        let f = c.frequency();
+        assert!(f.get() > 4500.0 && f.get() < 4950.0, "warm-start at {f}");
+    }
+
+    #[test]
+    fn atm_tick_is_stable_at_equilibrium() {
+        let mut c = core();
+        c.set_mode(MarginMode::Atm);
+        let v = Volts::new(1.235);
+        let t = Celsius::new(45.0);
+        c.warm_start(v, t);
+        let f0 = c.frequency();
+        for _ in 0..500 {
+            let failure = c.tick(v, t, Nanos::new(50.0), 1.0, None, true);
+            assert!(failure.is_none(), "default config must not fail idle");
+        }
+        let drift = (c.frequency().get() - f0.get()).abs();
+        assert!(drift < 60.0, "loop drifted {drift} MHz at equilibrium");
+    }
+
+    #[test]
+    fn reduction_raises_equilibrium_frequency() {
+        let mut c = core();
+        c.set_mode(MarginMode::Atm);
+        let v = Volts::new(1.235);
+        let t = Celsius::new(45.0);
+        c.warm_start(v, t);
+        let before = c.frequency();
+        c.set_reduction(2).unwrap();
+        c.warm_start(v, t);
+        assert!(c.frequency() > before);
+    }
+
+    #[test]
+    fn lower_voltage_lowers_equilibrium() {
+        let mut c = core();
+        c.set_mode(MarginMode::Atm);
+        let t = Celsius::new(45.0);
+        c.warm_start(Volts::new(1.235), t);
+        let high = c.frequency();
+        c.warm_start(Volts::new(1.20), t);
+        assert!(c.frequency() < high);
+    }
+
+    #[test]
+    fn excessive_reduction_eventually_fails() {
+        let mut c = core();
+        c.set_mode(MarginMode::Atm);
+        let v = Volts::new(1.235);
+        let t = Celsius::new(45.0);
+        let max = c.cpms().max_reduction();
+        c.set_reduction(max).unwrap();
+        c.warm_start(v, t);
+        let mut failed = false;
+        for _ in 0..5000 {
+            if c.tick(v, t, Nanos::new(50.0), 1.0, None, true).is_some() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(
+            failed,
+            "removing the entire preset ({max} steps) must violate timing"
+        );
+    }
+
+    #[test]
+    fn telemetry_accumulates() {
+        let mut c = core();
+        c.set_mode(MarginMode::Atm);
+        let v = Volts::new(1.235);
+        let t = Celsius::new(45.0);
+        c.warm_start(v, t);
+        c.reset_stats();
+        for _ in 0..100 {
+            let _ = c.tick(v, t, Nanos::new(50.0), 1.0, None, false);
+        }
+        let r = c.report();
+        assert!(r.mean_freq.get() > 4000.0);
+        assert!(r.min_freq.get() <= r.mean_freq.get() + 1e-9);
+        assert!(r.mean_freq.get() <= r.max_freq.get() + 1e-9);
+        assert_eq!(r.core, CoreId::new(0, 0));
+    }
+
+    #[test]
+    fn assign_swaps_workload_and_droop() {
+        let mut c = core();
+        let x264 = atm_workloads::by_name("x264").unwrap().clone();
+        c.assign(x264);
+        assert_eq!(c.workload().name(), "x264");
+        assert!((c.activity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_voltage_clamps() {
+        assert_eq!(floor_voltage(Volts::new(1.0), 5000.0), V_FLOOR);
+        assert!((floor_voltage(Volts::new(1.0), 50.0).get() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_mode_never_fails() {
+        let mut c = core();
+        c.set_mode(MarginMode::Fixed(MegaHz::new(4200.0)));
+        let max = c.cpms().max_reduction();
+        c.set_reduction(max).unwrap();
+        for _ in 0..2000 {
+            assert!(c
+                .tick(Volts::new(1.20), Celsius::new(60.0), Nanos::new(50.0), 1.0, None, true)
+                .is_none());
+        }
+    }
+}

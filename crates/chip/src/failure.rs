@@ -1,0 +1,98 @@
+//! Timing-violation failure modes.
+
+use std::fmt;
+
+use atm_units::{CoreId, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// How an escaped timing violation manifests (paper Sec. III-B: "abnormal
+/// application termination (e.g., segmentation fault), silent data
+/// corruption (SDC), or a system crash").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The whole system crashes.
+    SystemCrash,
+    /// The application terminates abnormally (e.g. segmentation fault).
+    AbnormalExit,
+    /// Silent data corruption, caught by result-checking tools.
+    SilentDataCorruption,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureKind::SystemCrash => "system crash",
+            FailureKind::AbnormalExit => "abnormal application exit",
+            FailureKind::SilentDataCorruption => "silent data corruption",
+        })
+    }
+}
+
+impl FailureKind {
+    /// Samples a failure manifestation from a uniform draw in `[0, 1)`.
+    ///
+    /// Roughly 40% crashes, 40% abnormal exits, 20% SDC — SDC is the
+    /// rarest manifestation because most timing violations hit control
+    /// logic rather than silent datapaths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1)`.
+    #[must_use]
+    pub fn sample(u: f64) -> Self {
+        assert!((0.0..1.0).contains(&u), "u out of [0,1): {u}");
+        if u < 0.4 {
+            FailureKind::SystemCrash
+        } else if u < 0.8 {
+            FailureKind::AbnormalExit
+        } else {
+            FailureKind::SilentDataCorruption
+        }
+    }
+}
+
+/// A failure observed during a simulation trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// The core whose timing violated.
+    pub core: CoreId,
+    /// How the violation manifested.
+    pub kind: FailureKind,
+    /// Simulation time of the event, from trial start.
+    pub at: Nanos,
+}
+
+impl fmt::Display for FailureEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} at {}", self.kind, self.core, self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_covers_all_kinds() {
+        assert_eq!(FailureKind::sample(0.0), FailureKind::SystemCrash);
+        assert_eq!(FailureKind::sample(0.5), FailureKind::AbnormalExit);
+        assert_eq!(FailureKind::sample(0.9), FailureKind::SilentDataCorruption);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn sample_rejects_out_of_range() {
+        let _ = FailureKind::sample(1.0);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = FailureEvent {
+            core: CoreId::new(1, 2),
+            kind: FailureKind::SilentDataCorruption,
+            at: Nanos::new(1234.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("P1C2") && s.contains("corruption"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Two-socket POWER7+-style chip simulator.
+//!
+//! This crate assembles the substrates — silicon ([`atm_silicon`]), power
+//! delivery ([`atm_pdn`]), CPMs ([`atm_cpm`]), the control loop
+//! ([`atm_dpll`]) and workload profiles ([`atm_workloads`]) — into a
+//! discrete-time simulation of the paper's experimental platform: two
+//! eight-core processors, each core with five CPMs feeding a per-core
+//! DPLL-based ATM loop, sharing a VRM rail whose IR drop couples every
+//! core's frequency to total chip power.
+//!
+//! The simulator plays the role the physical server plays in the paper:
+//! the fine-tuning, characterization and management layers (crate
+//! `atm-core`) drive it exclusively through its public API — programming
+//! CPM delay reductions, scheduling workloads, running trials, reading
+//! telemetry — exactly the operations the authors performed through the
+//! service processor and OS.
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_chip::{ChipConfig, MarginMode, System};
+//! use atm_units::{CoreId, Nanos};
+//! use atm_workloads::Workload;
+//!
+//! let mut sys = System::new(ChipConfig::default());
+//! sys.set_mode_all(MarginMode::Atm);
+//! let report = sys.run(Nanos::new(20_000.0)); // 20 µs
+//! assert!(report.failure.is_none());
+//! // Default (preset) ATM clocks every core near 4.6 GHz when idle.
+//! for core in &report.cores {
+//!     assert!(core.mean_freq.get() > 4_400.0 && core.mean_freq.get() < 4_900.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod core;
+mod failure;
+mod mode;
+mod processor;
+mod pstate;
+mod report;
+mod system;
+mod trace;
+
+pub use config::ChipConfig;
+pub use core::Core;
+pub use failure::{FailureEvent, FailureKind};
+pub use mode::MarginMode;
+pub use processor::Processor;
+pub use pstate::{PState, PStateTable};
+pub use report::{CoreReport, ProcReport, SystemReport};
+pub use system::System;
+pub use trace::{Trace, TraceSample};

@@ -1,0 +1,57 @@
+//! Per-core margin operating mode.
+
+use std::fmt;
+
+use atm_units::MegaHz;
+use serde::{Deserialize, Serialize};
+
+/// How a core's clock is managed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum MarginMode {
+    /// Static timing margin: the clock is pinned at a fixed frequency (a
+    /// DVFS p-state or a throttled setting) and correctness is guaranteed
+    /// by the built-in static guardband. ATM is off. This is the paper's
+    /// baseline and also how managed background cores are throttled.
+    #[default]
+    Static,
+    /// Static margin at an explicit fixed frequency (per-core DVFS
+    /// throttling; Vdd stays at the chip p-state as POWER7+ shares the
+    /// rail across cores).
+    Fixed(MegaHz),
+    /// Active Timing Margin: the per-core control loop floats the clock
+    /// against the CPM readings.
+    Atm,
+    /// Power-gated: the core is off (management may gate idle cores to
+    /// free chip power).
+    Gated,
+}
+
+impl fmt::Display for MarginMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarginMode::Static => f.write_str("static"),
+            MarginMode::Fixed(freq) => write!(f, "fixed@{freq}"),
+            MarginMode::Atm => f.write_str("atm"),
+            MarginMode::Gated => f.write_str("gated"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_static() {
+        assert_eq!(MarginMode::default(), MarginMode::Static);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MarginMode::Atm.to_string(), "atm");
+        assert_eq!(
+            MarginMode::Fixed(MegaHz::new(3000.0)).to_string(),
+            "fixed@3000 MHz"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! DVFS p-states of the POWER7+ (2.1–4.2 GHz).
+
+use atm_units::{MegaHz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// The p-state's nominal frequency.
+    pub frequency: MegaHz,
+    /// The rail voltage the VRM supplies in this p-state.
+    pub voltage: Volts,
+}
+
+/// The chip's p-state table, from the 2.1 GHz power-save state to the
+/// 4.2 GHz nominal state (the paper's static-margin baseline, where ATM
+/// boosts from).
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::PStateTable;
+/// use atm_units::MegaHz;
+///
+/// let table = PStateTable::power7_plus();
+/// assert_eq!(table.nominal().frequency, MegaHz::new(4200.0));
+/// assert_eq!(table.lowest().frequency, MegaHz::new(2100.0));
+/// let ps = table.at_or_below(MegaHz::new(3500.0));
+/// assert!(ps.frequency <= MegaHz::new(3500.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PStateTable {
+    states: Vec<PState>,
+}
+
+impl PStateTable {
+    /// The POWER7+ table: eight states from 2100 to 4200 MHz with a linear
+    /// voltage ramp from 0.95 V to 1.25 V.
+    #[must_use]
+    pub fn power7_plus() -> Self {
+        let states = (0..8)
+            .map(|i| {
+                let frac = f64::from(i) / 7.0;
+                PState {
+                    frequency: MegaHz::new(2100.0 + frac * 2100.0),
+                    voltage: Volts::new(0.95 + frac * 0.30),
+                }
+            })
+            .collect();
+        PStateTable { states }
+    }
+
+    /// Builds a table from explicit states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or not sorted by ascending frequency.
+    #[must_use]
+    pub fn from_states(states: Vec<PState>) -> Self {
+        assert!(!states.is_empty(), "p-state table cannot be empty");
+        assert!(
+            states.windows(2).all(|w| w[0].frequency < w[1].frequency),
+            "p-states must ascend in frequency"
+        );
+        PStateTable { states }
+    }
+
+    /// All states, ascending in frequency.
+    #[must_use]
+    pub fn states(&self) -> &[PState] {
+        &self.states
+    }
+
+    /// The highest (nominal) p-state — 4.2 GHz / 1.25 V on POWER7+.
+    #[must_use]
+    pub fn nominal(&self) -> PState {
+        *self.states.last().expect("non-empty")
+    }
+
+    /// The lowest (power-save) p-state.
+    #[must_use]
+    pub fn lowest(&self) -> PState {
+        self.states[0]
+    }
+
+    /// The fastest p-state whose frequency does not exceed `f`; the lowest
+    /// state if every state exceeds `f`.
+    #[must_use]
+    pub fn at_or_below(&self, f: MegaHz) -> PState {
+        self.states
+            .iter()
+            .rev()
+            .find(|s| s.frequency <= f)
+            .copied()
+            .unwrap_or(self.lowest())
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the table is empty (never true for constructed tables).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+impl Default for PStateTable {
+    fn default() -> Self {
+        PStateTable::power7_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_spans_paper_range() {
+        let t = PStateTable::power7_plus();
+        assert_eq!(t.lowest().frequency, MegaHz::new(2100.0));
+        assert_eq!(t.nominal().frequency, MegaHz::new(4200.0));
+        assert_eq!(t.nominal().voltage, Volts::new(1.25));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn voltage_monotone_with_frequency() {
+        let t = PStateTable::power7_plus();
+        for w in t.states().windows(2) {
+            assert!(w[0].voltage < w[1].voltage);
+        }
+    }
+
+    #[test]
+    fn at_or_below_picks_floor_state() {
+        let t = PStateTable::power7_plus();
+        let ps = t.at_or_below(MegaHz::new(3000.0));
+        assert!(ps.frequency <= MegaHz::new(3000.0));
+        // The next state up must exceed the request.
+        let idx = t.states().iter().position(|s| s == &ps).unwrap();
+        assert!(t.states()[idx + 1].frequency > MegaHz::new(3000.0));
+    }
+
+    #[test]
+    fn at_or_below_clamps_to_lowest() {
+        let t = PStateTable::power7_plus();
+        assert_eq!(t.at_or_below(MegaHz::new(100.0)), t.lowest());
+    }
+
+    #[test]
+    fn at_or_below_exact_match() {
+        let t = PStateTable::power7_plus();
+        assert_eq!(t.at_or_below(MegaHz::new(4200.0)), t.nominal());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_states_rejected() {
+        let _ = PStateTable::from_states(vec![
+            PState {
+                frequency: MegaHz::new(4200.0),
+                voltage: Volts::new(1.25),
+            },
+            PState {
+                frequency: MegaHz::new(2100.0),
+                voltage: Volts::new(0.95),
+            },
+        ]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Telemetry reports from simulation runs.
+
+use atm_units::{Celsius, CoreId, MegaHz, Nanos, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::failure::FailureEvent;
+use crate::mode::MarginMode;
+
+/// Per-core telemetry over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreReport {
+    /// Which core.
+    pub core: CoreId,
+    /// The margin mode the core ran in.
+    pub mode: MarginMode,
+    /// Name of the workload that was scheduled.
+    pub workload: String,
+    /// The CPM delay reduction in effect.
+    pub reduction: usize,
+    /// Time-weighted mean clock frequency.
+    pub mean_freq: MegaHz,
+    /// Minimum instantaneous frequency observed.
+    pub min_freq: MegaHz,
+    /// Maximum instantaneous frequency observed.
+    pub max_freq: MegaHz,
+    /// Margin violations the loop absorbed (gate events).
+    pub violations: u64,
+    /// Voltage delivered on the final tick.
+    pub last_voltage: Volts,
+    /// Energy the core drew over the run, in microjoules.
+    pub energy_uj: f64,
+}
+
+/// Per-processor telemetry over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcReport {
+    /// Mean total chip power.
+    pub mean_power: Watts,
+    /// Peak die temperature.
+    pub max_temp: Celsius,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Simulated duration (shorter than requested if a failure aborted the
+    /// run).
+    pub duration: Nanos,
+    /// Per-core telemetry, in `(proc, core)` order.
+    pub cores: Vec<CoreReport>,
+    /// Per-processor telemetry.
+    pub procs: Vec<ProcReport>,
+    /// The first failure, if any occurred.
+    pub failure: Option<FailureEvent>,
+}
+
+impl SystemReport {
+    /// The report for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report does not cover `core` (never happens for
+    /// reports produced by [`System::run`](crate::System::run)).
+    #[must_use]
+    pub fn core(&self, core: CoreId) -> &CoreReport {
+        &self.cores[core.flat_index()]
+    }
+
+    /// Whether the run completed without a timing failure.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+impl SystemReport {
+    /// Renders the per-core telemetry as CSV (header plus one row per
+    /// core), for consumption by external plotting tools.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "core,mode,workload,reduction,mean_mhz,min_mhz,max_mhz,violations,last_voltage_v,energy_uj\n",
+        );
+        for c in &self.cores {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.1},{:.1},{:.1},{},{:.4},{:.3}",
+                c.core,
+                c.mode,
+                c.workload,
+                c.reduction,
+                c.mean_freq.get(),
+                c.min_freq.get(),
+                c.max_freq.get(),
+                c.violations,
+                c.last_voltage.get(),
+                c.energy_uj
+            );
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "run over {:.1} µs{}",
+            self.duration.get() / 1000.0,
+            match &self.failure {
+                Some(e) => format!(", ABORTED: {e}"),
+                None => String::new(),
+            }
+        )?;
+        for (i, p) in self.procs.iter().enumerate() {
+            writeln!(f, "P{i}: mean power {}, peak {}", p.mean_power, p.max_temp)?;
+        }
+        writeln!(
+            f,
+            "{:<6} {:<8} {:<14} {:>5} {:>10} {:>10} {:>6} {:>10}",
+            "core", "mode", "workload", "steps", "mean MHz", "min MHz", "gates", "energy µJ"
+        )?;
+        for c in &self.cores {
+            writeln!(
+                f,
+                "{:<6} {:<8} {:<14} {:>5} {:>10.0} {:>10.0} {:>6} {:>10.1}",
+                c.core.to_string(),
+                c.mode.to_string(),
+                c.workload,
+                c.reduction,
+                c.mean_freq.get(),
+                c.min_freq.get(),
+                c.violations,
+                c.energy_uj
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_lookup_by_flat_index() {
+        let cores: Vec<CoreReport> = CoreId::all()
+            .map(|core| CoreReport {
+                core,
+                mode: MarginMode::Static,
+                workload: "idle".to_owned(),
+                reduction: 0,
+                mean_freq: MegaHz::new(4200.0),
+                min_freq: MegaHz::new(4200.0),
+                max_freq: MegaHz::new(4200.0),
+                violations: 0,
+                last_voltage: Volts::new(1.25),
+                energy_uj: 0.0,
+            })
+            .collect();
+        let report = SystemReport {
+            duration: Nanos::new(1000.0),
+            cores,
+            procs: vec![],
+            failure: None,
+        };
+        assert!(report.is_ok());
+        assert_eq!(report.core(CoreId::new(1, 3)).core, CoreId::new(1, 3));
+    }
+
+    #[test]
+    fn display_renders_all_cores_and_sockets() {
+        let cores: Vec<CoreReport> = CoreId::all()
+            .map(|core| CoreReport {
+                core,
+                mode: MarginMode::Atm,
+                workload: "gcc".to_owned(),
+                reduction: 3,
+                mean_freq: MegaHz::new(4700.0),
+                min_freq: MegaHz::new(4650.0),
+                max_freq: MegaHz::new(4720.0),
+                violations: 1,
+                last_voltage: Volts::new(1.22),
+                energy_uj: 123.4,
+            })
+            .collect();
+        let report = SystemReport {
+            duration: Nanos::new(50_000.0),
+            cores,
+            procs: vec![
+                ProcReport {
+                    mean_power: Watts::new(88.0),
+                    max_temp: Celsius::new(55.0),
+                },
+                ProcReport {
+                    mean_power: Watts::new(54.0),
+                    max_temp: Celsius::new(48.0),
+                },
+            ],
+            failure: None,
+        };
+        let s = report.to_string();
+        assert!(s.contains("P0C0") && s.contains("P1C7"));
+        assert!(s.contains("88.0 W") && s.contains("50.0 µs"));
+        assert!(s.contains("123.4"));
+
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 17); // header + 16 cores
+        assert!(lines[0].starts_with("core,mode,workload"));
+        assert!(lines[1].starts_with("P0C0,atm,gcc,3,4700.0"));
+        // Every row has the same number of fields as the header.
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged CSV row: {l}");
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The two-socket server.
+
+use atm_cpm::CpmConfigError;
+use atm_silicon::SiliconFactory;
+use atm_units::{CoreId, Nanos, ProcId};
+use atm_workloads::Workload;
+
+use crate::config::ChipConfig;
+use crate::core::Core;
+use crate::mode::MarginMode;
+use crate::processor::Processor;
+use crate::report::SystemReport;
+
+/// The simulated two-socket POWER7+ server.
+///
+/// This is the management layer's whole world: it programs CPM reductions,
+/// schedules workloads, switches margin modes, and runs timed trials —
+/// the same operations the paper performs through the service processor
+/// and the operating system.
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::{ChipConfig, MarginMode, System};
+/// use atm_units::{CoreId, Nanos};
+/// use atm_workloads::by_name;
+///
+/// let mut sys = System::new(ChipConfig::default());
+/// let core = CoreId::new(0, 0);
+/// sys.set_mode(core, MarginMode::Atm);
+/// sys.assign(core, by_name("gcc").unwrap().clone());
+/// let report = sys.run(Nanos::new(10_000.0));
+/// assert!(report.is_ok());
+/// assert!(report.core(core).mean_freq.get() > 4_200.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct System {
+    config: ChipConfig,
+    procs: Vec<Processor>,
+}
+
+impl System {
+    /// Builds the server from `config`: mints silicon, calibrates every
+    /// core's CPM presets to the uniform default-ATM target, and leaves
+    /// every core in static-margin mode running idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`ChipConfig::validate`]).
+    #[must_use]
+    pub fn new(config: ChipConfig) -> Self {
+        config.validate();
+        let factory = SiliconFactory::new(config.silicon.clone(), config.seed);
+        let procs = ProcId::all()
+            .map(|p| Processor::new(p, &config, &factory))
+            .collect();
+        System { config, procs }
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// The processor sockets.
+    #[must_use]
+    pub fn procs(&self) -> &[Processor] {
+        &self.procs
+    }
+
+    /// The core `id`.
+    #[must_use]
+    pub fn core(&self, id: CoreId) -> &Core {
+        &self.procs[id.proc_id().index()].cores()[id.core_index()]
+    }
+
+    /// Mutable access to core `id`.
+    pub fn core_mut(&mut self, id: CoreId) -> &mut Core {
+        &mut self.procs[id.proc_id().index()].cores_mut()[id.core_index()]
+    }
+
+    /// Programs core `id`'s CPM delay reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpmConfigError::ReductionTooLarge`] if the reduction
+    /// exceeds the core's preset.
+    pub fn set_reduction(&mut self, id: CoreId, steps: usize) -> Result<(), CpmConfigError> {
+        self.core_mut(id).set_reduction(steps)
+    }
+
+    /// Schedules `workload` on core `id`.
+    pub fn assign(&mut self, id: CoreId, workload: Workload) {
+        self.core_mut(id).assign(workload);
+    }
+
+    /// Schedules `threads` SMT copies of `workload` on core `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is not in `1..=4`.
+    pub fn assign_smt(&mut self, id: CoreId, workload: Workload, threads: usize) {
+        self.core_mut(id).assign_smt(workload, threads);
+    }
+
+    /// Enables or disables periodic instruction-issue throttling on core
+    /// `id` (the mechanism behind the paper's constructed voltage virus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a period below two ticks is requested.
+    pub fn set_issue_throttle(&mut self, id: CoreId, period_ticks: Option<u16>) {
+        self.core_mut(id).set_issue_throttle(period_ticks);
+    }
+
+    /// Schedules `workload` on every core of the system.
+    pub fn assign_all(&mut self, workload: &Workload) {
+        for id in CoreId::all() {
+            self.core_mut(id).assign(workload.clone());
+        }
+    }
+
+    /// Returns every core to the idle workload.
+    pub fn idle_all(&mut self) {
+        self.assign_all(&Workload::idle());
+    }
+
+    /// Sets core `id`'s margin mode.
+    pub fn set_mode(&mut self, id: CoreId, mode: MarginMode) {
+        self.core_mut(id).set_mode(mode);
+    }
+
+    /// Sets every core's margin mode.
+    pub fn set_mode_all(&mut self, mode: MarginMode) {
+        for id in CoreId::all() {
+            self.core_mut(id).set_mode(mode);
+        }
+    }
+
+    /// Commands a new VRM rail voltage for one socket — the undervolting
+    /// knob of the off-chip voltage controller ([`atm_dpll::AtmPolicy`]).
+    pub fn set_rail_voltage(&mut self, proc: ProcId, setpoint: atm_units::Volts) {
+        self.procs[proc.index()].set_rail_voltage(setpoint);
+    }
+
+    /// Performs a coarse-grained chip DVFS p-state change on one socket:
+    /// re-points the VRM rail and the static-margin frequency of all its
+    /// cores (POWER7+ adjusts p-states from 2.1 to 4.2 GHz by controlling
+    /// Vdd with a static timing margin).
+    pub fn set_chip_pstate(&mut self, proc: ProcId, pstate: crate::PState) {
+        self.procs[proc.index()].set_rail_voltage(pstate.voltage);
+        for core in proc.cores() {
+            self.core_mut(core).set_static_freq(pstate.frequency);
+        }
+    }
+
+    /// Runs the system for `duration`, returning telemetry. The run aborts
+    /// at the first timing failure (as a crash would on real hardware).
+    ///
+    /// Loops are warm-started at their current schedule's equilibrium and
+    /// telemetry is reset, so the report reflects steady-state behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn run(&mut self, duration: Nanos) -> SystemReport {
+        assert!(duration.get() > 0.0, "duration must be positive");
+        for p in &mut self.procs {
+            p.warm_start();
+            p.reset_stats();
+        }
+        let dt = self.config.tick;
+        let check = self.config.failure_checking;
+        let mut now = Nanos::ZERO;
+        let mut failure = None;
+        while now.get() < duration.get() {
+            for p in &mut self.procs {
+                if let Some(f) = p.tick(dt, check, now) {
+                    failure.get_or_insert(f);
+                }
+            }
+            now += dt;
+            if failure.is_some() {
+                break;
+            }
+        }
+        SystemReport {
+            duration: now,
+            cores: CoreId::all().map(|id| self.core(id).report()).collect(),
+            procs: self.procs.iter().map(Processor::report).collect(),
+            failure,
+        }
+    }
+
+    /// Like [`System::run`], additionally recording a decimated per-tick
+    /// trace of `observed` (one sample every `decimation` ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive or `decimation` is zero.
+    pub fn run_traced(
+        &mut self,
+        duration: Nanos,
+        observed: CoreId,
+        decimation: usize,
+    ) -> (SystemReport, crate::Trace) {
+        assert!(duration.get() > 0.0, "duration must be positive");
+        assert!(decimation > 0, "decimation must be positive");
+        for p in &mut self.procs {
+            p.warm_start();
+            p.reset_stats();
+        }
+        let dt = self.config.tick;
+        let check = self.config.failure_checking;
+        let mut now = Nanos::ZERO;
+        let mut failure = None;
+        let mut samples = Vec::new();
+        let mut tick_index = 0usize;
+        while now.get() < duration.get() {
+            for p in &mut self.procs {
+                if let Some(f) = p.tick(dt, check, now) {
+                    failure.get_or_insert(f);
+                }
+            }
+            if tick_index.is_multiple_of(decimation) {
+                let core = self.core(observed);
+                samples.push(crate::TraceSample {
+                    t: now,
+                    freq: core.frequency(),
+                    voltage: core.last_voltage(),
+                    chip_power: self.procs[observed.proc_id().index()].last_power(),
+                });
+            }
+            now += dt;
+            tick_index += 1;
+            if failure.is_some() {
+                break;
+            }
+        }
+        let report = SystemReport {
+            duration: now,
+            cores: CoreId::all().map(|id| self.core(id).report()).collect(),
+            procs: self.procs.iter().map(Processor::report).collect(),
+            failure,
+        };
+        (report, crate::Trace::new(samples, decimation))
+    }
+
+    /// Computes the schedule's steady-state equilibrium (loops warm-started,
+    /// thermal settled) and reports it *without* advancing time or checking
+    /// failures. Much faster than [`System::run`]; used by predictors and
+    /// frequency-only experiments on already-validated configurations.
+    pub fn settle(&mut self) -> SystemReport {
+        for p in &mut self.procs {
+            p.warm_start();
+            p.reset_stats();
+        }
+        SystemReport {
+            duration: Nanos::ZERO,
+            cores: CoreId::all().map(|id| self.core(id).report()).collect(),
+            procs: self.procs.iter().map(Processor::report).collect(),
+            failure: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_units::MegaHz;
+    use atm_workloads::by_name;
+
+    fn system() -> System {
+        System::new(ChipConfig::default())
+    }
+
+    #[test]
+    fn sixteen_cores_two_procs() {
+        let sys = system();
+        assert_eq!(sys.procs().len(), 2);
+        assert_eq!(CoreId::all().count(), 16);
+    }
+
+    #[test]
+    fn static_margin_all_cores_4200() {
+        let mut sys = system();
+        let report = sys.run(Nanos::new(5_000.0));
+        for c in &report.cores {
+            assert_eq!(c.mean_freq, MegaHz::new(4200.0));
+        }
+    }
+
+    #[test]
+    fn default_atm_idle_near_4600_uniform() {
+        let mut sys = system();
+        sys.set_mode_all(MarginMode::Atm);
+        let report = sys.run(Nanos::new(20_000.0));
+        assert!(report.is_ok());
+        let freqs: Vec<f64> = report.cores.iter().map(|c| c.mean_freq.get()).collect();
+        let min = freqs.iter().copied().fold(f64::MAX, f64::min);
+        let max = freqs.iter().copied().fold(f64::MIN, f64::max);
+        assert!(min > 4450.0, "slowest default-ATM core {min}");
+        assert!(max < 4950.0, "fastest default-ATM core {max}");
+        // Uniform performance: spread well under the fine-tuned spread.
+        assert!(max - min < 320.0, "default ATM spread {}", max - min);
+    }
+
+    #[test]
+    fn settle_matches_run_frequencies() {
+        let mut sys = system();
+        sys.set_mode_all(MarginMode::Atm);
+        let settled = sys.settle();
+        let ran = sys.run(Nanos::new(20_000.0));
+        for (s, r) in settled.cores.iter().zip(&ran.cores) {
+            let diff = (s.mean_freq.get() - r.mean_freq.get()).abs();
+            assert!(diff < 80.0, "{}: settle {} vs run {}", s.core, s.mean_freq, r.mean_freq);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sys = System::new(ChipConfig::power7_plus(seed));
+            sys.set_mode_all(MarginMode::Atm);
+            sys.assign_all(&by_name("x264").unwrap().clone());
+            let r = sys.run(Nanos::new(10_000.0));
+            r.cores.iter().map(|c| c.mean_freq.get()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn loaded_chip_slows_atm_cores() {
+        let mut sys = system();
+        sys.set_mode_all(MarginMode::Atm);
+        let idle = sys.settle();
+        sys.assign_all(&by_name("daxpy").unwrap().clone());
+        let loaded = sys.settle();
+        for (i, l) in idle.cores.iter().zip(&loaded.cores) {
+            assert!(
+                l.mean_freq < i.mean_freq,
+                "{}: loaded {} !< idle {}",
+                i.core,
+                l.mean_freq,
+                i.mean_freq
+            );
+        }
+    }
+
+    #[test]
+    fn gated_cores_free_power_for_others() {
+        let mut sys = system();
+        sys.set_mode_all(MarginMode::Atm);
+        sys.assign_all(&by_name("daxpy").unwrap().clone());
+        let busy = sys.settle();
+        // Gate everything on P0 except core 0.
+        for c in 1..8 {
+            sys.set_mode(CoreId::new(0, c), MarginMode::Gated);
+        }
+        let gated = sys.settle();
+        let target = CoreId::new(0, 0);
+        assert!(gated.core(target).mean_freq > busy.core(target).mean_freq);
+    }
+
+    #[test]
+    fn traced_run_captures_droop_dips() {
+        let mut sys = system();
+        let core = CoreId::new(0, 0);
+        sys.set_mode(core, MarginMode::Atm);
+        sys.assign(core, by_name("x264").unwrap().clone());
+        let (report, trace) = sys.run_traced(Nanos::new(100_000.0), core, 4);
+        assert!(report.is_ok());
+        assert_eq!(trace.samples().len(), 500); // 2000 ticks / 4
+        // x264's droops force visible frequency dips around equilibrium.
+        let (lo, hi) = trace.freq_range();
+        assert!(hi.get() - lo.get() > 30.0, "no dips visible: {lo}..{hi}");
+        assert!(trace.dip_count(MegaHz::new(25.0)) > 0);
+        // Samples are time-ordered and within the run.
+        for w in trace.samples().windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+
+    #[test]
+    fn smt_threads_raise_power_and_lower_atm_frequency() {
+        let mut sys = system();
+        sys.set_mode_all(MarginMode::Atm);
+        let daxpy = by_name("daxpy").unwrap().clone();
+        for id in CoreId::all() {
+            sys.assign_smt(id, daxpy.clone(), 1);
+        }
+        let single = sys.settle();
+        for id in CoreId::all() {
+            sys.assign_smt(id, daxpy.clone(), 4);
+        }
+        let smt4 = sys.settle();
+        // The paper's 32-thread daxpy: more power than 8 single threads...
+        assert!(smt4.procs[0].mean_power > single.procs[0].mean_power);
+        assert!(
+            smt4.procs[0].mean_power.get() < 220.0,
+            "SMT4 daxpy power {} implausible",
+            smt4.procs[0].mean_power
+        );
+        // ...which drops every core's ATM frequency via the IR drop.
+        for id in CoreId::all() {
+            assert!(smt4.core(id).mean_freq < single.core(id).mean_freq);
+        }
+    }
+
+    #[test]
+    fn chip_pstate_change_moves_rail_and_static_freq() {
+        use atm_units::ProcId;
+        let mut sys = system();
+        let low = sys.config().pstates.lowest();
+        sys.set_chip_pstate(ProcId::new(0), low);
+        let report = sys.run(Nanos::new(5_000.0));
+        for c in ProcId::new(0).cores() {
+            assert_eq!(report.core(c).mean_freq, low.frequency);
+        }
+        // Socket 1 is unaffected.
+        for c in ProcId::new(1).cores() {
+            assert_eq!(report.core(c).mean_freq, MegaHz::new(4200.0));
+        }
+        assert_eq!(sys.procs()[0].pdn().setpoint(), low.voltage);
+    }
+
+    #[test]
+    fn undervolting_the_rail_lowers_atm_frequency() {
+        use atm_units::{ProcId, Volts};
+        let mut sys = system();
+        sys.set_mode_all(MarginMode::Atm);
+        let before = sys.settle();
+        sys.set_rail_voltage(ProcId::new(0), Volts::new(1.20));
+        let after = sys.settle();
+        for c in ProcId::new(0).cores() {
+            assert!(
+                after.core(c).mean_freq < before.core(c).mean_freq,
+                "{c}: undervolt did not lower frequency"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reports_requested_duration() {
+        let mut sys = system();
+        let r = sys.run(Nanos::new(5_000.0));
+        assert!((r.duration.get() - 5_000.0).abs() <= sys.config().tick.get());
+    }
+}

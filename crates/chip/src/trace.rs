@@ -1,0 +1,110 @@
+//! Per-tick telemetry traces for one observed core.
+
+use atm_units::{MegaHz, Nanos, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One decimated sample of an observed core's state during a traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulation time from run start.
+    pub t: Nanos,
+    /// The core's clock frequency.
+    pub freq: MegaHz,
+    /// Voltage delivered to the core.
+    pub voltage: Volts,
+    /// Total chip power of the core's socket.
+    pub chip_power: Watts,
+}
+
+/// A recorded trace: decimated samples plus capture metadata.
+///
+/// Produced by [`System::run_traced`](crate::System::run_traced). Useful
+/// for inspecting the control loop's droop responses and the IR-drop
+/// coupling that the summary telemetry averages away.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    samples: Vec<TraceSample>,
+    decimation: usize,
+}
+
+impl Trace {
+    pub(crate) fn new(samples: Vec<TraceSample>, decimation: usize) -> Self {
+        Trace {
+            samples,
+            decimation,
+        }
+    }
+
+    /// The captured samples in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// One sample was kept per this many ticks.
+    #[must_use]
+    pub fn decimation(&self) -> usize {
+        self.decimation
+    }
+
+    /// Minimum and maximum frequency over the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn freq_range(&self) -> (MegaHz, MegaHz) {
+        assert!(!self.samples.is_empty(), "empty trace");
+        let mut lo = MegaHz::new(f64::MAX / 1e6);
+        let mut hi = MegaHz::ZERO;
+        for s in &self.samples {
+            lo = lo.min(s.freq);
+            hi = hi.max(s.freq);
+        }
+        (lo, hi)
+    }
+
+    /// Number of frequency dips: samples where frequency sits more than
+    /// `threshold` below the trace maximum (droop responses in flight).
+    #[must_use]
+    pub fn dip_count(&self, threshold: MegaHz) -> usize {
+        let (_, hi) = self.freq_range();
+        self.samples
+            .iter()
+            .filter(|s| s.freq.get() < hi.get() - threshold.get())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, f: f64) -> TraceSample {
+        TraceSample {
+            t: Nanos::new(t),
+            freq: MegaHz::new(f),
+            voltage: Volts::new(1.2),
+            chip_power: Watts::new(60.0),
+        }
+    }
+
+    #[test]
+    fn range_and_dips() {
+        let trace = Trace::new(
+            vec![sample(0.0, 4800.0), sample(50.0, 4600.0), sample(100.0, 4790.0)],
+            1,
+        );
+        let (lo, hi) = trace.freq_range();
+        assert_eq!(lo, MegaHz::new(4600.0));
+        assert_eq!(hi, MegaHz::new(4800.0));
+        assert_eq!(trace.dip_count(MegaHz::new(100.0)), 1);
+        assert_eq!(trace.dip_count(MegaHz::new(5.0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_has_no_range() {
+        let _ = Trace::new(vec![], 1).freq_range();
+    }
+}

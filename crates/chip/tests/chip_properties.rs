@@ -1,0 +1,220 @@
+//! Cross-module property and behavioural tests for the chip simulator.
+
+use atm_chip::{ChipConfig, MarginMode, System, SystemReport};
+use atm_units::{CoreId, Nanos, ProcId};
+use atm_workloads::by_name;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cloning a system forks an independent, identical simulation: both
+    /// copies produce the same report from the same point.
+    #[test]
+    fn clone_is_an_independent_fork(seed in 0u64..500) {
+        let mut a = System::new(ChipConfig::power7_plus(seed));
+        a.set_mode_all(MarginMode::Atm);
+        a.assign_all(&by_name("gcc").unwrap().clone());
+        let mut b = a.clone();
+        let ra = a.run(Nanos::new(10_000.0));
+        let rb = b.run(Nanos::new(10_000.0));
+        prop_assert_eq!(describe(&ra), describe(&rb));
+        // Running the original again must NOT replay the same droops
+        // (its RNG streams advanced).
+        let ra2 = a.run(Nanos::new(10_000.0));
+        // Mean frequencies stay close but the trajectories may differ;
+        // just check both completed.
+        prop_assert!(ra2.is_ok() || ra2.failure.is_some());
+    }
+
+    /// Report invariants hold for arbitrary mixed schedules.
+    #[test]
+    fn report_invariants(seed in 0u64..500, busy in 0usize..16) {
+        let mut sys = System::new(ChipConfig::power7_plus(seed));
+        let daxpy = by_name("daxpy").unwrap().clone();
+        for (i, id) in CoreId::all().enumerate() {
+            if i < busy {
+                sys.assign(id, daxpy.clone());
+                sys.set_mode(id, MarginMode::Atm);
+            }
+        }
+        let report = sys.run(Nanos::new(10_000.0));
+        prop_assert_eq!(report.cores.len(), 16);
+        prop_assert_eq!(report.procs.len(), 2);
+        for c in &report.cores {
+            prop_assert!(c.min_freq.get() <= c.mean_freq.get() + 1e-6);
+            prop_assert!(c.mean_freq.get() <= c.max_freq.get() + 1e-6);
+        }
+        for p in &report.procs {
+            prop_assert!(p.mean_power.get() > 0.0);
+            prop_assert!(p.max_temp.get() >= 39.9);
+            // The paper keeps die temperature under ~70 °C; a mixed
+            // schedule must not melt the model either.
+            prop_assert!(p.max_temp.get() < 90.0);
+        }
+    }
+}
+
+fn describe(r: &SystemReport) -> Vec<(u64, u64)> {
+    r.cores
+        .iter()
+        .map(|c| (c.mean_freq.get().to_bits(), c.violations))
+        .collect()
+}
+
+#[test]
+fn reports_are_serde_data_structures() {
+    fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+    assert_serde::<SystemReport>();
+    assert_serde::<atm_chip::CoreReport>();
+    assert_serde::<atm_chip::ProcReport>();
+    assert_serde::<atm_chip::FailureEvent>();
+    assert_serde::<atm_chip::Trace>();
+    assert_serde::<atm_chip::ChipConfig>();
+}
+
+#[test]
+fn temperature_reaches_seventy_at_paper_load() {
+    // 8 SMT4 daxpy-class threads push the socket toward the paper's
+    // 160 W / 70 °C corner.
+    let mut sys = System::new(ChipConfig::default());
+    let daxpy = by_name("daxpy").unwrap().clone();
+    for id in ProcId::new(0).cores() {
+        sys.assign_smt(id, daxpy.clone(), 4);
+        sys.set_mode(id, MarginMode::Atm);
+    }
+    let report = sys.run(Nanos::new(20_000.0));
+    let t = report.procs[0].max_temp;
+    assert!(
+        t.get() > 60.0 && t.get() < 80.0,
+        "SMT4 daxpy temperature {t} outside the paper's band"
+    );
+}
+
+#[test]
+fn sockets_are_thermally_and_electrically_independent() {
+    let mut sys = System::new(ChipConfig::default());
+    let daxpy = by_name("daxpy").unwrap().clone();
+    // Load socket 0 only.
+    for id in ProcId::new(0).cores() {
+        sys.assign(id, daxpy.clone());
+    }
+    sys.set_mode_all(MarginMode::Atm);
+    let report = sys.run(Nanos::new(10_000.0));
+    // Socket 1 stays near idle power; its ATM cores keep idle frequency.
+    assert!(report.procs[0].mean_power.get() > report.procs[1].mean_power.get() + 50.0);
+    let f0: f64 = ProcId::new(0)
+        .cores()
+        .map(|c| report.core(c).mean_freq.get())
+        .sum::<f64>()
+        / 8.0;
+    let f1: f64 = ProcId::new(1)
+        .cores()
+        .map(|c| report.core(c).mean_freq.get())
+        .sum::<f64>()
+        / 8.0;
+    assert!(
+        f1 > f0 + 80.0,
+        "unloaded socket must run faster: P0 {f0:.0} vs P1 {f1:.0}"
+    );
+}
+
+#[test]
+fn system_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<System>();
+}
+
+#[test]
+fn constructed_virus_matches_the_profile_virus() {
+    // The paper's voltage virus is daxpy threads plus synchronized issue
+    // throttling. Build it from those parts and check it stresses a
+    // fine-tuned core at least as hard as any single realistic workload:
+    // a configuration one step above the x264 limit must fail under it.
+    let daxpy = by_name("daxpy").unwrap().clone();
+
+    // Find x264's safe limit on the probe core first.
+    let probe = CoreId::new(0, 1);
+    let mut sys = System::new(ChipConfig::default());
+    sys.set_mode(probe, MarginMode::Atm);
+    let x264_limit = {
+        let mut r = sys.core(probe).cpms().max_reduction();
+        loop {
+            sys.set_reduction(probe, r).unwrap();
+            sys.assign(probe, by_name("x264").unwrap().clone());
+            if (0..2).all(|_| sys.run(Nanos::new(50_000.0)).is_ok()) {
+                break r;
+            }
+            assert!(r > 0, "x264 fails even at the preset");
+            r -= 1;
+        }
+    };
+
+    // Constructed virus: SMT4 daxpy + synchronized throttling everywhere.
+    for id in ProcId::new(0).cores() {
+        sys.assign_smt(id, daxpy.clone(), 4);
+        sys.set_issue_throttle(id, Some(16));
+    }
+    sys.set_reduction(probe, (x264_limit + 1).min(sys.core(probe).cpms().max_reduction()))
+        .unwrap();
+    let mut failed = false;
+    for _ in 0..6 {
+        if sys.run(Nanos::new(50_000.0)).failure.is_some() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(
+        failed,
+        "constructed virus did not out-stress x264 (limit {x264_limit})"
+    );
+}
+
+#[test]
+fn traced_run_aborts_with_the_failure() {
+    // A failing configuration must truncate the trace at the failure.
+    let mut sys = System::new(ChipConfig::default());
+    let core = CoreId::new(0, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    let max = sys.core(core).cpms().max_reduction();
+    sys.set_reduction(core, max).unwrap();
+    let (report, trace) = sys.run_traced(Nanos::new(500_000.0), core, 1);
+    assert!(report.failure.is_some());
+    let ticks = (report.duration.get() / sys.config().tick.get()).round() as usize;
+    assert!(trace.samples().len() <= ticks + 1);
+    assert!(
+        trace.samples().len() < 10_000,
+        "trace ran past the failure: {} samples",
+        trace.samples().len()
+    );
+}
+
+#[test]
+fn trace_decimation_thins_samples() {
+    let mut sys = System::new(ChipConfig::default());
+    let core = CoreId::new(1, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    let (_, dense) = sys.run_traced(Nanos::new(20_000.0), core, 1);
+    let (_, sparse) = sys.run_traced(Nanos::new(20_000.0), core, 8);
+    assert_eq!(dense.samples().len(), 400);
+    assert_eq!(sparse.samples().len(), 50);
+    assert_eq!(sparse.decimation(), 8);
+}
+
+#[test]
+fn issue_throttling_halves_activity_power() {
+    let mut sys = System::new(ChipConfig::default());
+    let daxpy = by_name("daxpy").unwrap().clone();
+    for id in ProcId::new(0).cores() {
+        sys.assign(id, daxpy.clone());
+    }
+    let full = sys.settle().procs[0].mean_power;
+    for id in ProcId::new(0).cores() {
+        sys.set_issue_throttle(id, Some(16));
+    }
+    let throttled = sys.settle().procs[0].mean_power;
+    assert!(
+        throttled.get() < full.get() * 0.75,
+        "throttle barely moved power: {full} -> {throttled}"
+    );
+}

@@ -1,0 +1,224 @@
+//! Margin accounting: where every picosecond of the clock period goes.
+//!
+//! The paper's entire argument is an accounting identity: a cycle is
+//! spent on real path delay, a coverage gap the CPMs cannot see, the
+//! loop's threshold, and whatever margin is left untapped. Fine-tuning
+//! shrinks the untapped term to (almost) zero. [`MarginBreakdown`]
+//! computes the identity for one core at given conditions, and is the
+//! quickest way to understand *why* a core's limit is what it is.
+
+use std::fmt;
+
+use atm_chip::System;
+use atm_units::{Celsius, CoreId, MegaHz, Picos, Volts};
+use serde::{Deserialize, Serialize};
+
+/// The decomposition of one core's clock period at its current CPM
+/// configuration and the given operating conditions.
+///
+/// Invariant: `period = real_path + coverage_gap + unseen_margin`, and
+/// separately `period = inserted_delay + synthetic_path + threshold`
+/// (the loop's view through its binding CPM).
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::{ChipConfig, System};
+/// use atm_core::analysis::MarginBreakdown;
+/// use atm_units::{Celsius, CoreId, Volts};
+///
+/// let sys = System::new(ChipConfig::default());
+/// let b = MarginBreakdown::compute(
+///     &sys,
+///     CoreId::new(0, 0),
+///     Volts::new(1.235),
+///     Celsius::new(45.0),
+///     0.0,
+/// );
+/// // At the default (preset) configuration plenty of margin is untapped.
+/// assert!(b.unseen_margin.get() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarginBreakdown {
+    /// The core under analysis.
+    pub core: CoreId,
+    /// The ATM equilibrium clock period at these conditions.
+    pub period: Picos,
+    /// The equivalent frequency.
+    pub frequency: MegaHz,
+    /// Real critical-path delay (typical paths).
+    pub real_path: Picos,
+    /// Extra real delay the CPMs do not mimic at this workload's
+    /// path-coverage stress.
+    pub coverage_gap: Picos,
+    /// Margin beyond the covered delay that the loop is *not* holding as
+    /// threshold — the still-reclaimable waste (negative means the
+    /// configuration has already eaten into the gap's protection).
+    pub unseen_margin: Picos,
+    /// The binding CPM's programmed inserted delay.
+    pub inserted_delay: Picos,
+    /// The binding CPM's synthetic-path delay.
+    pub synthetic_path: Picos,
+    /// The loop's threshold time.
+    pub threshold: Picos,
+}
+
+impl MarginBreakdown {
+    /// Computes the breakdown for `core` at supply voltage `v`, die
+    /// temperature `t`, and workload path-coverage stress `path_stress`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_stress` is outside `[0, 1]`.
+    #[must_use]
+    pub fn compute(
+        system: &System,
+        core: CoreId,
+        v: Volts,
+        t: Celsius,
+        path_stress: f64,
+    ) -> MarginBreakdown {
+        let c = system.core(core);
+        let silicon = c.silicon();
+        let cpms = c.cpms();
+        let threshold = system.config().loop_config.threshold_time();
+
+        let period = cpms.equilibrium_period(silicon, v, t, threshold);
+        let real_path = silicon.real_path_delay(v, t);
+        let gap_frac = silicon.coverage_gap(path_stress);
+        let coverage_gap = real_path * gap_frac;
+        let unseen_margin = period - real_path - coverage_gap;
+
+        // The binding CPM: the one whose occupied time sets the period.
+        let binding = atm_cpm::CpmUnit::ALL
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let occ = |u: atm_cpm::CpmUnit| {
+                    (cpms.inserted_delay(silicon, u)
+                        + silicon.cpm_synthetic_delay(u.index(), v, t))
+                    .get()
+                };
+                occ(a).partial_cmp(&occ(b)).expect("finite")
+            })
+            .expect("five CPMs");
+
+        MarginBreakdown {
+            core,
+            period,
+            frequency: period.frequency(),
+            real_path,
+            coverage_gap,
+            unseen_margin,
+            inserted_delay: cpms.inserted_delay(silicon, binding),
+            synthetic_path: silicon.cpm_synthetic_delay(binding.index(), v, t),
+            threshold,
+        }
+    }
+
+    /// Checks the accounting identity (both decompositions sum to the
+    /// period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either identity is violated beyond floating-point noise.
+    pub fn assert_identity(&self) {
+        let physical =
+            self.real_path.get() + self.coverage_gap.get() + self.unseen_margin.get();
+        assert!(
+            (physical - self.period.get()).abs() < 1e-9,
+            "physical identity broken: {physical} vs {}",
+            self.period
+        );
+        let loop_view =
+            self.inserted_delay.get() + self.synthetic_path.get() + self.threshold.get();
+        assert!(
+            (loop_view - self.period.get()).abs() < 1e-9,
+            "loop-view identity broken: {loop_view} vs {}",
+            self.period
+        );
+    }
+
+    /// The fraction of the period still reclaimable (the paper's target
+    /// of fine-tuning).
+    #[must_use]
+    pub fn untapped_fraction(&self) -> f64 {
+        self.unseen_margin.get() / self.period.get()
+    }
+}
+
+impl fmt::Display for MarginBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} @ {} ({}):", self.core, self.frequency, self.period)?;
+        writeln!(f, "  real path      {}", self.real_path)?;
+        writeln!(f, "  coverage gap   {}", self.coverage_gap)?;
+        writeln!(f, "  unseen margin  {}", self.unseen_margin)?;
+        writeln!(
+            f,
+            "  loop view: inserted {} + synthetic {} + threshold {}",
+            self.inserted_delay, self.synthetic_path, self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+
+    fn conditions() -> (Volts, Celsius) {
+        (Volts::new(1.235), Celsius::new(45.0))
+    }
+
+    #[test]
+    fn identities_hold_for_every_core() {
+        let sys = System::new(ChipConfig::default());
+        let (v, t) = conditions();
+        for core in CoreId::all() {
+            let b = MarginBreakdown::compute(&sys, core, v, t, 0.0);
+            b.assert_identity();
+            assert!(b.unseen_margin.get() > 0.0, "{core}: no untapped margin at preset");
+        }
+    }
+
+    #[test]
+    fn fine_tuning_shrinks_the_untapped_margin() {
+        let mut sys = System::new(ChipConfig::default());
+        let (v, t) = conditions();
+        let core = CoreId::new(0, 1);
+        let before = MarginBreakdown::compute(&sys, core, v, t, 0.0);
+        sys.set_reduction(core, 4).unwrap();
+        let after = MarginBreakdown::compute(&sys, core, v, t, 0.0);
+        assert!(after.unseen_margin < before.unseen_margin);
+        assert!(after.frequency > before.frequency);
+        // The physical terms do not move — only the split does.
+        assert_eq!(after.real_path, before.real_path);
+        after.assert_identity();
+    }
+
+    #[test]
+    fn path_stress_moves_protection_from_margin_to_gap() {
+        let sys = System::new(ChipConfig::default());
+        let (v, t) = conditions();
+        let core = CoreId::new(1, 0);
+        let idle = MarginBreakdown::compute(&sys, core, v, t, 0.0);
+        let stressed = MarginBreakdown::compute(&sys, core, v, t, 1.0);
+        assert!(stressed.coverage_gap > idle.coverage_gap);
+        assert!(stressed.unseen_margin < idle.unseen_margin);
+        assert_eq!(stressed.period, idle.period);
+    }
+
+    #[test]
+    fn untapped_fraction_reasonable_at_preset() {
+        let sys = System::new(ChipConfig::default());
+        let (v, t) = conditions();
+        for core in CoreId::all() {
+            let b = MarginBreakdown::compute(&sys, core, v, t, 0.0);
+            let frac = b.untapped_fraction();
+            assert!(
+                (0.005..0.15).contains(&frac),
+                "{core}: untapped fraction {frac:.3} implausible"
+            );
+        }
+    }
+}

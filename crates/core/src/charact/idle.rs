@@ -1,0 +1,102 @@
+//! Idle-system characterization (Sec. IV, Fig. 7).
+
+use atm_chip::{MarginMode, System};
+use atm_units::{CoreId, MegaHz};
+use atm_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use super::search::{find_limit, CharactConfig, LimitDistribution};
+
+/// Result of the idle characterization of one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleResult {
+    /// Which core.
+    pub core: CoreId,
+    /// The distribution of safe CPM delay reductions across repeats.
+    pub distribution: LimitDistribution,
+    /// ATM equilibrium frequency at the idle limit (system otherwise
+    /// idle) — the blue marks of Fig. 7.
+    pub limit_frequency: MegaHz,
+}
+
+impl IdleResult {
+    /// The core's idle limit (the distribution's lower bound).
+    #[must_use]
+    pub fn idle_limit(&self) -> usize {
+        self.distribution.limit()
+    }
+}
+
+/// Runs the idle characterization over every core of the system: with
+/// nothing but OS background noise running, finds the most aggressive yet
+/// safe CPM delay reduction of each core — the silicon's inherent maximum
+/// speed (paper Sec. IV).
+///
+/// Cores are left programmed at their idle limits.
+#[must_use]
+pub fn idle_characterization(system: &mut System, cfg: &CharactConfig) -> Vec<IdleResult> {
+    let idle = Workload::idle();
+    let mut results = Vec::with_capacity(16);
+    for core in CoreId::all() {
+        let distribution = find_limit(system, core, &[&idle], 0, cfg);
+        // Frequency at the limit, measured with the whole system idle and
+        // only this core in ATM mode (find_limit leaves it that way).
+        system.set_mode(core, MarginMode::Atm);
+        let report = system.settle();
+        let limit_frequency = report.core(core).mean_freq;
+        system.set_mode(core, MarginMode::Static);
+        results.push(IdleResult {
+            core,
+            distribution,
+            limit_frequency,
+        });
+    }
+    // Restore: all cores ATM at their limits is NOT the idle-charact
+    // posture; leave everything static. Reductions stay programmed.
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+
+    #[test]
+    fn idle_limits_match_paper_shape() {
+        let mut sys = System::new(ChipConfig::default());
+        let results = idle_characterization(&mut sys, &CharactConfig::quick());
+        assert_eq!(results.len(), 16);
+
+        let limits: Vec<usize> = results.iter().map(IdleResult::idle_limit).collect();
+        let min = *limits.iter().min().unwrap();
+        let max = *limits.iter().max().unwrap();
+        // Paper Table I row 1: limits spread over roughly 2–11 steps.
+        assert!(min >= 1, "weakest idle limit {min}");
+        assert!(max <= 16, "strongest idle limit {max}");
+        assert!(max - min >= 3, "inter-core limit spread too small");
+
+        // Fig. 7: limit frequencies mostly above 4.8 GHz, none absurd.
+        for r in &results {
+            let f = r.limit_frequency.get();
+            assert!(f > 4600.0, "{} limit frequency {f} too low", r.core);
+            assert!(f < 5450.0, "{} limit frequency {f} too high", r.core);
+        }
+        let over_5ghz = results
+            .iter()
+            .filter(|r| r.limit_frequency.get() > 5000.0)
+            .count();
+        assert!(
+            over_5ghz >= 6,
+            "only {over_5ghz}/16 cores exceed 5 GHz at the idle limit"
+        );
+    }
+
+    #[test]
+    fn cores_left_at_their_limits() {
+        let mut sys = System::new(ChipConfig::default());
+        let results = idle_characterization(&mut sys, &CharactConfig::quick());
+        for r in &results {
+            assert_eq!(sys.core(r.core).reduction(), r.idle_limit());
+        }
+    }
+}

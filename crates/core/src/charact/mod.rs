@@ -1,0 +1,16 @@
+//! The characterization methodology of Secs. IV–VI (Fig. 6): analyze each
+//! core's ATM operating limit under scenarios of increasing complexity —
+//! system idle, micro-benchmarks, then realistic workloads.
+
+mod idle;
+mod realistic;
+mod search;
+mod ubench;
+
+pub use idle::{idle_characterization, IdleResult};
+pub use realistic::{
+    realistic_characterization, realistic_characterization_parallel, AppCoreProfile,
+    RealisticResult,
+};
+pub use search::{find_limit, passes, CharactConfig, LimitDistribution};
+pub use ubench::{ubench_characterization, UbenchResult};

@@ -1,0 +1,294 @@
+//! Realistic-workload characterization (Sec. VI, Figs. 9–10).
+
+use atm_chip::System;
+use atm_units::CoreId;
+use atm_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use super::search::{find_limit, CharactConfig, LimitDistribution};
+
+/// The profile of one ⟨application, core⟩ pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppCoreProfile {
+    /// Application name.
+    pub app: String,
+    /// Which core.
+    pub core: CoreId,
+    /// The core's uBench limit the search started from.
+    pub ubench_limit: usize,
+    /// Distribution of safe reductions for this app on this core.
+    pub distribution: LimitDistribution,
+}
+
+impl AppCoreProfile {
+    /// The safe limit for this app on this core (never above the uBench
+    /// limit: the methodology only rolls back from it).
+    #[must_use]
+    pub fn app_limit(&self) -> usize {
+        self.distribution.limit().min(self.ubench_limit)
+    }
+
+    /// Steps rolled back from the uBench limit (a cell of Fig. 10).
+    #[must_use]
+    pub fn rollback(&self) -> usize {
+        self.ubench_limit - self.app_limit()
+    }
+
+    /// Mean rollback across repeats (the paper's *weighted average CPM
+    /// rollback*, which distinguishes apps with equal lower bounds but
+    /// different distributions).
+    #[must_use]
+    pub fn mean_rollback(&self) -> f64 {
+        let mean_limit = self
+            .distribution
+            .samples()
+            .iter()
+            .map(|&s| s.min(self.ubench_limit))
+            .sum::<usize>() as f64
+            / self.distribution.samples().len() as f64;
+        self.ubench_limit as f64 - mean_limit
+    }
+}
+
+/// Result of the realistic-workload characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealisticResult {
+    /// One profile per ⟨app, core⟩ pair, app-major.
+    pub profiles: Vec<AppCoreProfile>,
+    /// Per-core *thread-worst* limit: the most conservative limit over all
+    /// profiled applications (Table I row 4).
+    pub thread_worst: [usize; 16],
+    /// Per-core *thread-normal* limit: supports most medium and light
+    /// applications (the median application limit; Table I row 3).
+    pub thread_normal: [usize; 16],
+}
+
+impl RealisticResult {
+    /// Assembles a result from raw profiles, deriving the thread-worst
+    /// (minimum app limit per core) and thread-normal (median app limit
+    /// per core) rows. Used to merge partial characterizations computed in
+    /// parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or does not cover all sixteen cores.
+    #[must_use]
+    pub fn from_profiles(profiles: Vec<AppCoreProfile>) -> Self {
+        assert!(!profiles.is_empty(), "no profiles given");
+        let mut thread_worst = [usize::MAX; 16];
+        let mut per_core_limits: Vec<Vec<usize>> = vec![Vec::new(); 16];
+        for p in &profiles {
+            let i = p.core.flat_index();
+            thread_worst[i] = thread_worst[i].min(p.app_limit());
+            per_core_limits[i].push(p.app_limit());
+        }
+        let mut thread_normal = [0usize; 16];
+        for (i, limits) in per_core_limits.iter_mut().enumerate() {
+            assert!(!limits.is_empty(), "core {i} not covered by any profile");
+            limits.sort_unstable();
+            thread_normal[i] = limits[limits.len() / 2];
+        }
+        RealisticResult {
+            profiles,
+            thread_worst,
+            thread_normal,
+        }
+    }
+
+    /// The profile for `(app, core)`, if that pair was characterized.
+    #[must_use]
+    pub fn profile(&self, app: &str, core: CoreId) -> Option<&AppCoreProfile> {
+        self.profiles
+            .iter()
+            .find(|p| p.app == app && p.core == core)
+    }
+
+    /// Mean rollback of `app` across all cores (a row-mean of Fig. 10,
+    /// used to rank application stress).
+    #[must_use]
+    pub fn app_stress(&self, app: &str) -> f64 {
+        let rows: Vec<&AppCoreProfile> =
+            self.profiles.iter().filter(|p| p.app == app).collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|p| p.mean_rollback()).sum::<f64>() / rows.len() as f64
+    }
+
+    /// Mean rollback of `core` across all apps — the inverse of the
+    /// paper's *robustness*: robust cores need the least rollback.
+    #[must_use]
+    pub fn core_mean_rollback(&self, core: CoreId) -> f64 {
+        let rows: Vec<&AppCoreProfile> =
+            self.profiles.iter().filter(|p| p.core == core).collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().map(|p| p.mean_rollback()).sum::<f64>() / rows.len() as f64
+    }
+}
+
+/// Profiles every ⟨app, core⟩ pair: starting from each core's uBench
+/// limit, finds the CPM rollback each application requires (paper
+/// Fig. 10), and derives the *thread-worst* and *thread-normal* limits of
+/// Table I.
+///
+/// Cores are left programmed at their thread-worst limits.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty.
+#[must_use]
+pub fn realistic_characterization(
+    system: &mut System,
+    ubench_limits: &[usize; 16],
+    apps: &[&Workload],
+    cfg: &CharactConfig,
+) -> RealisticResult {
+    assert!(!apps.is_empty(), "need at least one application");
+    let mut profiles = Vec::with_capacity(apps.len() * 16);
+    for app in apps {
+        for core in CoreId::all() {
+            let ubench_limit = ubench_limits[core.flat_index()];
+            let distribution = find_limit(system, core, &[app], ubench_limit, cfg);
+            profiles.push(AppCoreProfile {
+                app: app.name().to_owned(),
+                core,
+                ubench_limit,
+                distribution,
+            });
+        }
+    }
+
+    let result = RealisticResult::from_profiles(profiles);
+
+    for core in CoreId::all() {
+        system
+            .set_reduction(core, result.thread_worst[core.flat_index()])
+            .expect("thread-worst within preset");
+    }
+
+    result
+}
+
+/// Like [`realistic_characterization`], but fanning the applications out
+/// over `threads` worker systems (each minted from `config`), merging the
+/// partial profiles deterministically. The passed `system` is programmed
+/// to the merged thread-worst limits at the end, exactly like the
+/// sequential variant.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty or `threads` is zero.
+#[must_use]
+pub fn realistic_characterization_parallel(
+    system: &mut System,
+    config: &atm_chip::ChipConfig,
+    ubench_limits: &[usize; 16],
+    apps: &[&Workload],
+    cfg: &CharactConfig,
+    threads: usize,
+) -> RealisticResult {
+    assert!(!apps.is_empty(), "need at least one application");
+    assert!(threads > 0, "need at least one worker");
+    let threads = threads.min(apps.len());
+    let chunk = apps.len().div_ceil(threads);
+    let mut profiles: Vec<AppCoreProfile> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for group in apps.chunks(chunk) {
+            handles.push(scope.spawn(move || {
+                let mut worker = System::new(config.clone());
+                realistic_characterization(&mut worker, ubench_limits, group, cfg).profiles
+            }));
+        }
+        for h in handles {
+            profiles.extend(h.join().expect("characterization worker panicked"));
+        }
+    });
+    // Deterministic order regardless of thread interleaving.
+    profiles.sort_by_key(|p| (p.app.clone(), p.core));
+    let result = RealisticResult::from_profiles(profiles);
+    for core in CoreId::all() {
+        system
+            .set_reduction(core, result.thread_worst[core.flat_index()])
+            .expect("thread-worst within preset");
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charact::{idle_characterization, ubench_characterization};
+    use atm_chip::ChipConfig;
+    use atm_workloads::by_name;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let config = ChipConfig::default();
+        let cfg = CharactConfig::quick();
+        let apps = [by_name("leela").unwrap(), by_name("gcc").unwrap()];
+        let ubench_limits = [4usize; 16];
+
+        let mut seq_sys = System::new(config.clone());
+        let seq = realistic_characterization(&mut seq_sys, &ubench_limits, &apps, &cfg);
+        let mut par_sys = System::new(config.clone());
+        let par = realistic_characterization_parallel(
+            &mut par_sys,
+            &config,
+            &ubench_limits,
+            &apps,
+            &cfg,
+            2,
+        );
+        // Workers mint identical silicon; only droop-stream phase differs
+        // (sequential trials advance one system's streams across apps), so
+        // the tight distributions agree within one step per core.
+        for core in CoreId::all() {
+            let i = core.flat_index();
+            assert!(
+                seq.thread_worst[i].abs_diff(par.thread_worst[i]) <= 1,
+                "{core}: sequential {} vs parallel {}",
+                seq.thread_worst[i],
+                par.thread_worst[i]
+            );
+            assert_eq!(par_sys.core(core).reduction(), par.thread_worst[i]);
+        }
+    }
+
+    #[test]
+    fn x264_needs_more_rollback_than_gcc() {
+        let mut sys = System::new(ChipConfig::default());
+        let cfg = CharactConfig::quick();
+        let idle = idle_characterization(&mut sys, &cfg);
+        let mut idle_limits = [0usize; 16];
+        for r in &idle {
+            idle_limits[r.core.flat_index()] = r.idle_limit();
+        }
+        let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+        let mut ubench_limits = [0usize; 16];
+        for r in &ub {
+            ubench_limits[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
+        }
+
+        let apps = [by_name("x264").unwrap(), by_name("gcc").unwrap()];
+        let result = realistic_characterization(&mut sys, &ubench_limits, &apps, &cfg);
+
+        // Paper Fig. 9: x264 requires significant rollback, gcc little.
+        let x264 = result.app_stress("x264");
+        let gcc = result.app_stress("gcc");
+        assert!(
+            x264 > gcc + 0.4,
+            "x264 stress {x264:.2} not clearly above gcc {gcc:.2}"
+        );
+
+        // Table I invariant: thread-worst <= thread-normal <= ubench.
+        for core in CoreId::all() {
+            let i = core.flat_index();
+            assert!(result.thread_worst[i] <= result.thread_normal[i]);
+            assert!(result.thread_normal[i] <= ubench_limits[i]);
+            assert_eq!(sys.core(core).reduction(), result.thread_worst[i]);
+        }
+    }
+}

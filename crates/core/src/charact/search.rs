@@ -1,0 +1,305 @@
+//! The ATM limit search: the shared engine of all characterization phases.
+
+use atm_chip::{MarginMode, System};
+use atm_units::{CoreId, Nanos};
+use atm_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a characterization campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CharactConfig {
+    /// Duration of each trial run.
+    pub trial: Nanos,
+    /// Independent repeats per core (each yields one limit sample; the
+    /// samples form the distributions of Figs. 7–9).
+    pub repeats: usize,
+}
+
+impl CharactConfig {
+    /// The default campaign: 100 µs trials, three repeats.
+    #[must_use]
+    pub fn standard() -> Self {
+        CharactConfig {
+            trial: Nanos::new(100_000.0),
+            repeats: 3,
+        }
+    }
+
+    /// A fast campaign for unit tests: 20 µs trials, two repeats.
+    #[must_use]
+    pub fn quick() -> Self {
+        CharactConfig {
+            trial: Nanos::new(20_000.0),
+            repeats: 2,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.trial.get() > 0.0, "trial duration must be positive");
+        assert!(self.repeats >= 1, "at least one repeat required");
+    }
+}
+
+impl Default for CharactConfig {
+    fn default() -> Self {
+        CharactConfig::standard()
+    }
+}
+
+/// The distribution of safe-limit samples for one core under one scenario.
+///
+/// The paper observes these distributions are tight (no more than two
+/// configurations); the core's usable *limit* is the distribution's lower
+/// bound — the most conservative sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LimitDistribution {
+    samples: Vec<usize>,
+}
+
+impl LimitDistribution {
+    /// Wraps raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn new(samples: Vec<usize>) -> Self {
+        assert!(!samples.is_empty(), "a distribution needs samples");
+        LimitDistribution { samples }
+    }
+
+    /// All samples, in collection order.
+    #[must_use]
+    pub fn samples(&self) -> &[usize] {
+        &self.samples
+    }
+
+    /// The usable limit: the most conservative (smallest) sample.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        *self.samples.iter().min().expect("non-empty")
+    }
+
+    /// The most aggressive sample observed.
+    #[must_use]
+    pub fn max(&self) -> usize {
+        *self.samples.iter().max().expect("non-empty")
+    }
+
+    /// The spread (max − limit); the paper finds this ≤ 2.
+    #[must_use]
+    pub fn spread(&self) -> usize {
+        self.max() - self.limit()
+    }
+
+    /// Mean of the samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<usize>() as f64 / self.samples.len() as f64
+    }
+}
+
+/// Runs one trial of `workload` on `core` at the given CPM `reduction`
+/// with the rest of the system idle at static margin; returns whether the
+/// run completed without a timing failure.
+///
+/// Returns `false` without running if `reduction` exceeds the core's
+/// preset.
+pub fn passes(
+    system: &mut System,
+    core: CoreId,
+    workload: &Workload,
+    reduction: usize,
+    trial: Nanos,
+) -> bool {
+    if system.set_reduction(core, reduction).is_err() {
+        return false;
+    }
+    system.assign(core, workload.clone());
+    let report = system.run(trial);
+    report.is_ok()
+}
+
+/// Finds one core's safe-limit distribution for a workload set.
+///
+/// For each repeat, the search walks the CPM delay reduction from
+/// `start_hint`: down while any workload in `set` fails a trial, then up
+/// while every workload still passes — yielding the most aggressive
+/// reduction at which all of `set` ran correctly in that repeat.
+///
+/// The searched core runs in ATM mode; every other core sits idle at
+/// static margin (the paper's single-core characterization setup). The
+/// core is left at the distribution's limit with idle assigned.
+///
+/// # Panics
+///
+/// Panics if `set` is empty or `cfg` is invalid.
+pub fn find_limit(
+    system: &mut System,
+    core: CoreId,
+    set: &[&Workload],
+    start_hint: usize,
+    cfg: &CharactConfig,
+) -> LimitDistribution {
+    assert!(!set.is_empty(), "workload set cannot be empty");
+    cfg.validate();
+
+    // Quiesce the system: everything static and idle except the core under
+    // test.
+    system.idle_all();
+    system.set_mode_all(MarginMode::Static);
+    system.set_mode(core, MarginMode::Atm);
+
+    let max = system.core(core).cpms().max_reduction();
+    let mut samples = Vec::with_capacity(cfg.repeats);
+    for _ in 0..cfg.repeats {
+        let all_pass = |system: &mut System, r: usize| {
+            set.iter()
+                .all(|w| passes(system, core, w, r, cfg.trial))
+        };
+        let mut r = start_hint.min(max);
+        if all_pass(system, r) {
+            while r < max && all_pass(system, r + 1) {
+                r += 1;
+            }
+        } else {
+            while r > 0 {
+                r -= 1;
+                if all_pass(system, r) {
+                    break;
+                }
+            }
+        }
+        samples.push(r);
+    }
+
+    let dist = LimitDistribution::new(samples);
+    system
+        .set_reduction(core, dist.limit())
+        .expect("limit within preset");
+    system.assign(core, Workload::idle());
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+    use atm_workloads::by_name;
+
+    fn system() -> System {
+        System::new(ChipConfig::default())
+    }
+
+    #[test]
+    fn distribution_statistics() {
+        let d = LimitDistribution::new(vec![9, 10, 9, 10]);
+        assert_eq!(d.limit(), 9);
+        assert_eq!(d.max(), 10);
+        assert_eq!(d.spread(), 1);
+        assert!((d.mean() - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs samples")]
+    fn empty_distribution_rejected() {
+        let _ = LimitDistribution::new(vec![]);
+    }
+
+    #[test]
+    fn default_reduction_always_passes_idle() {
+        let mut sys = system();
+        let core = CoreId::new(0, 0);
+        sys.set_mode(core, MarginMode::Atm);
+        assert!(passes(
+            &mut sys,
+            core,
+            &Workload::idle(),
+            0,
+            Nanos::new(20_000.0)
+        ));
+    }
+
+    #[test]
+    fn whole_preset_removal_fails() {
+        let mut sys = system();
+        let core = CoreId::new(0, 0);
+        sys.set_mode(core, MarginMode::Atm);
+        let max = sys.core(core).cpms().max_reduction();
+        assert!(!passes(
+            &mut sys,
+            core,
+            &Workload::idle(),
+            max,
+            Nanos::new(50_000.0)
+        ));
+    }
+
+    #[test]
+    fn find_limit_is_interior_and_tight() {
+        let mut sys = system();
+        let core = CoreId::new(0, 2);
+        let idle = Workload::idle();
+        let dist = find_limit(&mut sys, core, &[&idle], 0, &CharactConfig::quick());
+        let max = sys.core(core).cpms().max_reduction();
+        assert!(dist.limit() > 0, "idle limit should allow some reduction");
+        assert!(dist.limit() < max, "idle limit cannot be the whole preset");
+        assert!(dist.spread() <= 2, "distribution too loose: {dist:?}");
+    }
+
+    #[test]
+    fn find_limit_leaves_core_at_limit() {
+        let mut sys = system();
+        let core = CoreId::new(1, 1);
+        let idle = Workload::idle();
+        let dist = find_limit(&mut sys, core, &[&idle], 0, &CharactConfig::quick());
+        assert_eq!(sys.core(core).reduction(), dist.limit());
+        assert_eq!(sys.core(core).workload().name(), "idle");
+    }
+
+    #[test]
+    fn start_hint_beyond_preset_is_clamped() {
+        let mut sys = system();
+        let core = CoreId::new(0, 4);
+        let idle = Workload::idle();
+        let dist = find_limit(&mut sys, core, &[&idle], 999, &CharactConfig::quick());
+        let max = sys.core(core).cpms().max_reduction();
+        assert!(dist.limit() <= max);
+        assert!(dist.max() <= max);
+    }
+
+    #[test]
+    fn multi_workload_set_takes_the_worst() {
+        // A set's limit can never exceed the limit of its harshest member.
+        let mut sys = system();
+        let core = CoreId::new(0, 5);
+        let cfg = CharactConfig::quick();
+        let gcc = by_name("gcc").unwrap();
+        let x264 = by_name("x264").unwrap();
+        let solo_x264 = find_limit(&mut sys, core, &[x264], 4, &cfg);
+        let pair = find_limit(&mut sys, core, &[gcc, x264], 4, &cfg);
+        assert!(
+            pair.limit() <= solo_x264.limit() + 1,
+            "pair {} vs x264 {}",
+            pair.limit(),
+            solo_x264.limit()
+        );
+    }
+
+    #[test]
+    fn noisy_workload_limit_not_above_idle_limit() {
+        let mut sys = system();
+        let core = CoreId::new(0, 3);
+        let idle = Workload::idle();
+        let cfg = CharactConfig::quick();
+        let idle_dist = find_limit(&mut sys, core, &[&idle], 0, &cfg);
+        let x264 = by_name("x264").unwrap();
+        let x264_dist = find_limit(&mut sys, core, &[x264], idle_dist.limit(), &cfg);
+        assert!(
+            x264_dist.limit() <= idle_dist.limit(),
+            "x264 {} must not exceed idle {}",
+            x264_dist.limit(),
+            idle_dist.limit()
+        );
+    }
+}

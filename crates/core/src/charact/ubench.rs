@@ -1,0 +1,107 @@
+//! Micro-benchmark characterization (Sec. V, Fig. 8).
+
+use atm_chip::System;
+use atm_units::CoreId;
+use atm_workloads::ubench_set;
+use serde::{Deserialize, Serialize};
+
+use super::search::{find_limit, CharactConfig, LimitDistribution};
+
+/// Result of the uBench characterization of one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UbenchResult {
+    /// Which core.
+    pub core: CoreId,
+    /// The idle limit the search started from.
+    pub idle_limit: usize,
+    /// Distribution of safe reductions under coremark + daxpy + stream.
+    pub distribution: LimitDistribution,
+}
+
+impl UbenchResult {
+    /// The core's uBench limit.
+    #[must_use]
+    pub fn ubench_limit(&self) -> usize {
+        self.distribution.limit()
+    }
+
+    /// Steps rolled back from the idle limit (Fig. 8's y-axis); zero for
+    /// cores whose idle limit already sustains the micro-benchmarks.
+    #[must_use]
+    pub fn rollback(&self) -> usize {
+        self.idle_limit.saturating_sub(self.ubench_limit())
+    }
+}
+
+/// Runs the uBench characterization: starting from each core's idle limit,
+/// rolls the CPM delay back until coremark, daxpy and stream all execute
+/// correctly (paper Sec. V-B). `idle_limits` come from
+/// [`idle_characterization`](super::idle_characterization).
+///
+/// Cores are left programmed at their uBench limits.
+#[must_use]
+pub fn ubench_characterization(
+    system: &mut System,
+    idle_limits: &[usize; 16],
+    cfg: &CharactConfig,
+) -> Vec<UbenchResult> {
+    let set = ubench_set();
+    let mut results = Vec::with_capacity(16);
+    for core in CoreId::all() {
+        let idle_limit = idle_limits[core.flat_index()];
+        let distribution = find_limit(system, core, &set, idle_limit, cfg);
+        // The uBench limit can never exceed the idle limit: clamp the
+        // distribution's use accordingly (a lucky repeat may sample past
+        // it, but the paper's methodology only rolls back).
+        results.push(UbenchResult {
+            core,
+            idle_limit,
+            distribution,
+        });
+        let clamped = results.last().unwrap().ubench_limit().min(idle_limit);
+        system
+            .set_reduction(core, clamped)
+            .expect("clamped limit within preset");
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charact::idle_characterization;
+    use atm_chip::ChipConfig;
+
+    #[test]
+    fn ubench_limits_at_or_below_idle_limits() {
+        let mut sys = System::new(ChipConfig::default());
+        let cfg = CharactConfig::quick();
+        let idle = idle_characterization(&mut sys, &cfg);
+        let mut idle_limits = [0usize; 16];
+        for r in &idle {
+            idle_limits[r.core.flat_index()] = r.idle_limit();
+        }
+        let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+        assert_eq!(ub.len(), 16);
+
+        let mut rollbacks = 0;
+        for r in &ub {
+            assert!(
+                r.ubench_limit() <= r.idle_limit + 1,
+                "{}: uBench {} far above idle {}",
+                r.core,
+                r.ubench_limit(),
+                r.idle_limit
+            );
+            assert!(r.rollback() <= 4, "{}: rollback {} too deep", r.core, r.rollback());
+            if r.rollback() > 0 {
+                rollbacks += 1;
+            }
+        }
+        // Paper Fig. 8: a handful of cores (6 of 16) need rollback.
+        assert!(
+            (1..=10).contains(&rollbacks),
+            "{rollbacks}/16 cores rolled back — paper saw 6"
+        );
+    }
+}

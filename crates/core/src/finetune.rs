@@ -1,0 +1,153 @@
+//! Programming CPM delay reductions (Sec. III-A).
+
+use atm_chip::{MarginMode, System};
+use atm_cpm::CpmConfigError;
+use atm_units::{CoreId, MegaHz};
+
+/// The fine-tuning interface: the software equivalent of the paper's
+/// "specialized commands to the service processor" that reprogram a core's
+/// CPM inserted delays.
+///
+/// A `FineTuner` borrows the [`System`] mutably for the duration of a
+/// tuning session.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct FineTuner<'a> {
+    system: &'a mut System,
+}
+
+impl<'a> FineTuner<'a> {
+    /// Opens a tuning session on `system`.
+    #[must_use]
+    pub fn new(system: &'a mut System) -> Self {
+        FineTuner { system }
+    }
+
+    /// The underlying system.
+    #[must_use]
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    /// Programs `core`'s CPM delay reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpmConfigError::ReductionTooLarge`] if `steps` exceeds
+    /// the core's smallest preset.
+    pub fn set_reduction(&mut self, core: CoreId, steps: usize) -> Result<(), CpmConfigError> {
+        self.system.set_reduction(core, steps)
+    }
+
+    /// The current reduction of `core`.
+    #[must_use]
+    pub fn reduction(&self, core: CoreId) -> usize {
+        self.system.core(core).reduction()
+    }
+
+    /// The largest reduction `core` supports.
+    #[must_use]
+    pub fn max_reduction(&self, core: CoreId) -> usize {
+        self.system.core(core).cpms().max_reduction()
+    }
+
+    /// Applies a full per-core reduction map (a deployed configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first configuration error; earlier cores stay
+    /// programmed (callers deploy validated maps).
+    pub fn apply_map(&mut self, reductions: &[usize; 16]) -> Result<(), CpmConfigError> {
+        for id in CoreId::all() {
+            self.system.set_reduction(id, reductions[id.flat_index()])?;
+        }
+        Ok(())
+    }
+
+    /// Sweeps `core`'s CPM delay reduction from 0 to `max_steps`
+    /// (clamped to the core's preset) on an otherwise idle system and
+    /// reports the ATM equilibrium frequency at each step — the paper's
+    /// Fig. 5 experiment.
+    ///
+    /// The core's previous reduction and mode are restored afterwards.
+    #[must_use]
+    pub fn frequency_sweep(&mut self, core: CoreId, max_steps: usize) -> Vec<(usize, MegaHz)> {
+        let saved_reduction = self.reduction(core);
+        let saved_mode = self.system.core(core).mode();
+        self.system.set_mode(core, MarginMode::Atm);
+
+        let top = max_steps.min(self.max_reduction(core));
+        let mut points = Vec::with_capacity(top + 1);
+        for r in 0..=top {
+            self.system
+                .set_reduction(core, r)
+                .expect("reduction clamped to preset");
+            let report = self.system.settle();
+            points.push((r, report.core(core).mean_freq));
+        }
+
+        self.system
+            .set_reduction(core, saved_reduction)
+            .expect("restoring a previously-valid reduction");
+        self.system.set_mode(core, saved_mode);
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+
+    fn system() -> System {
+        System::new(ChipConfig::default())
+    }
+
+    #[test]
+    fn sweep_is_monotone_nondecreasing() {
+        let mut sys = system();
+        let core = CoreId::new(0, 1);
+        sys.set_mode(core, MarginMode::Atm);
+        let sweep = FineTuner::new(&mut sys).frequency_sweep(core, 6);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1, "sweep not monotone: {sweep:?}");
+        }
+        assert!(sweep.len() >= 2);
+    }
+
+    #[test]
+    fn sweep_restores_state() {
+        let mut sys = system();
+        let core = CoreId::new(1, 4);
+        sys.set_reduction(core, 1).unwrap();
+        let mode_before = sys.core(core).mode();
+        let _ = FineTuner::new(&mut sys).frequency_sweep(core, 5);
+        assert_eq!(sys.core(core).reduction(), 1);
+        assert_eq!(sys.core(core).mode(), mode_before);
+    }
+
+    #[test]
+    fn apply_map_programs_every_core() {
+        let mut sys = system();
+        let mut map = [0usize; 16];
+        for (i, slot) in map.iter_mut().enumerate() {
+            *slot = (i % 3).min(FineTuner::new(&mut System::new(ChipConfig::default())).max_reduction(CoreId::from_flat_index(i)));
+        }
+        FineTuner::new(&mut sys).apply_map(&map).unwrap();
+        for id in CoreId::all() {
+            assert_eq!(sys.core(id).reduction(), map[id.flat_index()]);
+        }
+    }
+
+    #[test]
+    fn over_reduction_propagates_error() {
+        let mut sys = system();
+        let core = CoreId::new(0, 0);
+        let max = sys.core(core).cpms().max_reduction();
+        let mut tuner = FineTuner::new(&mut sys);
+        assert!(tuner.set_reduction(core, max + 1).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! CPM-configuration governors (Sec. VII-C, Fig. 13).
+
+use std::fmt;
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::charact::RealisticResult;
+use crate::stress::StressTestResult;
+
+/// How the operator sets the cores' CPM configurations (the first step of
+/// the paper's Fig. 13 management scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Governor {
+    /// Use the per-core stress-test (*thread-worst*) limits: good
+    /// reliability through worst-case testing, high performance. The
+    /// paper's evaluation setting.
+    #[default]
+    Default,
+    /// Use each application's own most aggressive safe configuration on
+    /// each core, from profiling (higher performance, requires per-app
+    /// profiles; the paper sketches this and defers exploration).
+    Aggressive,
+    /// Schedule critical work only onto *robust* cores (those needing the
+    /// least rollback across all profiled applications) and keep an extra
+    /// safety step everywhere: best for unknown applications or when
+    /// correctness is paramount.
+    Conservative,
+}
+
+impl Governor {
+    /// Extra CPM rollback this governor applies on top of the stress-test
+    /// limits.
+    #[must_use]
+    pub fn extra_rollback(&self) -> usize {
+        match self {
+            Governor::Default | Governor::Aggressive => 0,
+            Governor::Conservative => 1,
+        }
+    }
+
+    /// The reduction map this governor deploys for running `app` as the
+    /// critical workload.
+    ///
+    /// * `Default` — the stress-test map.
+    /// * `Aggressive` — the stress-test map, except the app's own profiled
+    ///   limit wherever a profile exists and is more aggressive.
+    /// * `Conservative` — the stress-test map rolled back one extra step.
+    #[must_use]
+    pub fn reduction_map(
+        &self,
+        stress: &StressTestResult,
+        realistic: Option<&RealisticResult>,
+        app: Option<&str>,
+    ) -> [usize; 16] {
+        let mut map = stress.deployed_map();
+        match self {
+            Governor::Default => {}
+            Governor::Conservative => {
+                for v in &mut map {
+                    *v = v.saturating_sub(1);
+                }
+            }
+            Governor::Aggressive => {
+                if let (Some(realistic), Some(app)) = (realistic, app) {
+                    for core in CoreId::all() {
+                        if let Some(profile) = realistic.profile(app, core) {
+                            let i = core.flat_index();
+                            map[i] = map[i].max(profile.app_limit());
+                        }
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Whether this governor restricts critical placement to robust cores.
+    #[must_use]
+    pub fn robust_cores_only(&self) -> bool {
+        matches!(self, Governor::Conservative)
+    }
+}
+
+impl fmt::Display for Governor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Governor::Default => "default",
+            Governor::Aggressive => "aggressive",
+            Governor::Conservative => "conservative",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_units::MegaHz;
+
+    fn stress() -> StressTestResult {
+        StressTestResult {
+            limits: [6, 6, 3, 6, 6, 5, 5, 2, 3, 3, 5, 3, 3, 2, 6, 2],
+            rollback: 0,
+            idle_frequencies: [MegaHz::new(4900.0); 16],
+        }
+    }
+
+    #[test]
+    fn default_uses_stress_map() {
+        let s = stress();
+        assert_eq!(
+            Governor::Default.reduction_map(&s, None, None),
+            s.deployed_map()
+        );
+    }
+
+    #[test]
+    fn conservative_rolls_back_one() {
+        let s = stress();
+        let map = Governor::Conservative.reduction_map(&s, None, None);
+        for (i, v) in map.iter().enumerate() {
+            assert_eq!(*v, s.limits[i].saturating_sub(1));
+        }
+        assert!(Governor::Conservative.robust_cores_only());
+        assert_eq!(Governor::Conservative.extra_rollback(), 1);
+    }
+
+    #[test]
+    fn aggressive_without_profiles_equals_default() {
+        let s = stress();
+        assert_eq!(
+            Governor::Aggressive.reduction_map(&s, None, Some("gcc")),
+            s.deployed_map()
+        );
+    }
+
+    #[test]
+    fn aggressive_uses_app_profiles_where_more_aggressive() {
+        use crate::charact::{AppCoreProfile, LimitDistribution, RealisticResult};
+        use atm_units::CoreId;
+
+        let s = stress();
+        // Synthetic profiles: "benign" has limit 9 everywhere (above the
+        // stress map), "noisy" has limit 1 everywhere (below it).
+        let mk = |app: &str, limit: usize| -> Vec<AppCoreProfile> {
+            CoreId::all()
+                .map(|core| AppCoreProfile {
+                    app: app.to_owned(),
+                    core,
+                    ubench_limit: 10,
+                    distribution: LimitDistribution::new(vec![limit]),
+                })
+                .collect()
+        };
+        let mut profiles = mk("benign", 9);
+        profiles.extend(mk("noisy", 1));
+        let realistic = RealisticResult::from_profiles(profiles);
+
+        let benign_map =
+            Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("benign"));
+        for v in benign_map {
+            assert_eq!(v, 9, "benign app should get its own limit");
+        }
+        // A noisy app's profile is *below* the stress map: the governor
+        // keeps the (already validated) stress map instead.
+        let noisy_map = Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("noisy"));
+        assert_eq!(noisy_map, s.deployed_map());
+        // Unprofiled app: falls back to the stress map.
+        let unknown_map =
+            Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("mystery"));
+        assert_eq!(unknown_map, s.deployed_map());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Governor::Default.to_string(), "default");
+        assert_eq!(Governor::Aggressive.to_string(), "aggressive");
+        assert_eq!(Governor::Conservative.to_string(), "conservative");
+    }
+}

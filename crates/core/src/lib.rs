@@ -1,0 +1,63 @@
+//! Fine-tuning the Active Timing Margin control loop — the paper's
+//! contribution, implemented against the [`atm_chip`] substrate exactly as
+//! it would be against real hardware.
+//!
+//! The crate provides, in the order the paper develops them:
+//!
+//! * [`FineTuner`] — programming per-core CPM delay reductions and sweeping
+//!   frequency against reduction (Sec. III-A, Fig. 5);
+//! * [`charact`] — the idle → uBench → realistic characterization
+//!   methodology (Secs. IV–VI, Fig. 6) producing [`LimitTable`] (Table I)
+//!   and the per-⟨app, core⟩ rollback profile (Fig. 10);
+//! * [`stress`] — the test-time stress-test deployment procedure
+//!   (Sec. VII-A, Fig. 11);
+//! * [`predictor`] — the per-core frequency predictor (Eq. 1, Fig. 12a)
+//!   and per-app performance predictor (Fig. 12b);
+//! * [`Governor`], [`Scheduler`], [`AtmManager`] — deploying and managing
+//!   a fine-tuned system for predictable performance (Sec. VII, Fig. 13),
+//!   including critical-to-fastest-core placement and background
+//!   throttling to a chip power budget (Fig. 14).
+//!
+//! # Examples
+//!
+//! Fine-tune one core and watch its frequency climb:
+//!
+//! ```
+//! use atm_chip::{ChipConfig, MarginMode, System};
+//! use atm_core::FineTuner;
+//! use atm_units::CoreId;
+//!
+//! let mut sys = System::new(ChipConfig::default());
+//! let core = CoreId::new(0, 0);
+//! sys.set_mode(core, MarginMode::Atm);
+//! let sweep = FineTuner::new(&mut sys).frequency_sweep(core, 4);
+//! assert!(sweep.last().unwrap().1 > sweep.first().unwrap().1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod charact;
+mod finetune;
+mod governor;
+mod limits;
+pub mod manager;
+pub mod predictor;
+mod qos;
+mod schedule;
+mod scheduler;
+pub mod stress;
+mod throttle;
+
+pub use charact::{CharactConfig, LimitDistribution};
+pub use finetune::FineTuner;
+pub use governor::Governor;
+pub use limits::LimitTable;
+pub use manager::{AtmManager, ManagedOutcome, Strategy};
+pub use predictor::{FreqPredictor, LinearFit, PerfPredictor};
+pub use qos::QosTarget;
+pub use schedule::{Schedule, ScheduleEntry};
+pub use scheduler::{Placement, Scheduler};
+pub use stress::{stress_test_deploy, StressTestResult};
+pub use throttle::{throttle_to_budget, ThrottlePlan, ThrottleSetting};

@@ -1,0 +1,198 @@
+//! Table I: per-core ATM reconfiguration limits under every scenario.
+
+use std::fmt;
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::charact::{
+    realistic_characterization, ubench_characterization, CharactConfig, RealisticResult,
+};
+use crate::charact::{idle_characterization, IdleResult, UbenchResult};
+use atm_chip::System;
+use atm_workloads::Workload;
+
+/// The paper's Table I: for each of the sixteen cores, the ATM limit (in
+/// CPM delay-reduction steps from the preset) under system idle, uBench,
+/// normal threads and worst-case threads.
+///
+/// Invariant: `thread_worst ≤ thread_normal ≤ ubench ≤ idle` per core.
+///
+/// # Examples
+///
+/// ```no_run
+/// use atm_chip::{ChipConfig, System};
+/// use atm_core::{CharactConfig, LimitTable};
+/// use atm_workloads::realistic_set;
+///
+/// let mut sys = System::new(ChipConfig::default());
+/// let table = LimitTable::characterize(
+///     &mut sys,
+///     &realistic_set(),
+///     &CharactConfig::standard(),
+/// );
+/// println!("{table}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LimitTable {
+    /// Idle limits (Table I row 1).
+    pub idle: [usize; 16],
+    /// uBench limits (row 2).
+    pub ubench: [usize; 16],
+    /// Thread-normal limits (row 3).
+    pub thread_normal: [usize; 16],
+    /// Thread-worst limits (row 4).
+    pub thread_worst: [usize; 16],
+}
+
+impl LimitTable {
+    /// Runs the full three-phase characterization (idle → uBench →
+    /// realistic apps) and assembles the table. Cores are left programmed
+    /// at their thread-worst limits.
+    ///
+    /// Also returns detailed results through
+    /// [`LimitTable::characterize_detailed`] when the distributions are
+    /// needed.
+    #[must_use]
+    pub fn characterize(
+        system: &mut System,
+        apps: &[&Workload],
+        cfg: &CharactConfig,
+    ) -> LimitTable {
+        LimitTable::characterize_detailed(system, apps, cfg).0
+    }
+
+    /// Like [`LimitTable::characterize`], also returning the per-phase
+    /// detail (idle results, uBench results, realistic profiles).
+    #[must_use]
+    pub fn characterize_detailed(
+        system: &mut System,
+        apps: &[&Workload],
+        cfg: &CharactConfig,
+    ) -> (LimitTable, Vec<IdleResult>, Vec<UbenchResult>, RealisticResult) {
+        let idle_results = idle_characterization(system, cfg);
+        let mut idle = [0usize; 16];
+        for r in &idle_results {
+            idle[r.core.flat_index()] = r.idle_limit();
+        }
+
+        let ubench_results = ubench_characterization(system, &idle, cfg);
+        let mut ubench = [0usize; 16];
+        for r in &ubench_results {
+            ubench[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
+        }
+
+        let realistic = realistic_characterization(system, &ubench, apps, cfg);
+
+        let table = LimitTable {
+            idle,
+            ubench,
+            thread_normal: realistic.thread_normal,
+            thread_worst: realistic.thread_worst,
+        };
+        table.assert_invariants();
+        (table, idle_results, ubench_results, realistic)
+    }
+
+    /// Checks the monotonicity invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core violates
+    /// `thread_worst ≤ thread_normal ≤ ubench ≤ idle`.
+    pub fn assert_invariants(&self) {
+        for core in CoreId::all() {
+            let i = core.flat_index();
+            assert!(
+                self.thread_worst[i] <= self.thread_normal[i]
+                    && self.thread_normal[i] <= self.ubench[i]
+                    && self.ubench[i] <= self.idle[i],
+                "{core}: limits not monotone: worst {} normal {} ubench {} idle {}",
+                self.thread_worst[i],
+                self.thread_normal[i],
+                self.ubench[i],
+                self.idle[i]
+            );
+        }
+    }
+
+    /// The limit row for the given scenario name (`"idle"`, `"ubench"`,
+    /// `"thread-normal"`, `"thread-worst"`).
+    #[must_use]
+    pub fn row(&self, scenario: &str) -> Option<&[usize; 16]> {
+        match scenario {
+            "idle" => Some(&self.idle),
+            "ubench" => Some(&self.ubench),
+            "thread-normal" => Some(&self.thread_normal),
+            "thread-worst" => Some(&self.thread_worst),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LimitTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<14}", "")?;
+        for core in CoreId::all() {
+            write!(f, "{:>5}", core.to_string())?;
+        }
+        writeln!(f)?;
+        for (label, row) in [
+            ("idle limit", &self.idle),
+            ("uBench limit", &self.ubench),
+            ("thread normal", &self.thread_normal),
+            ("thread worst", &self.thread_worst),
+        ] {
+            write!(f, "{label:<14}")?;
+            for v in row {
+                write!(f, "{v:>5}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LimitTable {
+        LimitTable {
+            idle: [9, 8, 4, 11, 10, 7, 8, 2, 4, 8, 5, 8, 7, 5, 10, 3],
+            ubench: [9, 8, 4, 10, 9, 7, 8, 2, 4, 8, 5, 5, 6, 4, 10, 2],
+            thread_normal: [8, 7, 4, 9, 8, 6, 7, 2, 3, 7, 5, 4, 5, 3, 8, 2],
+            thread_worst: [6, 6, 3, 6, 6, 5, 5, 2, 3, 3, 5, 3, 3, 2, 6, 2],
+        }
+    }
+
+    #[test]
+    fn paper_table1_satisfies_invariants() {
+        table().assert_invariants();
+    }
+
+    #[test]
+    fn display_renders_all_rows_and_cores() {
+        let s = table().to_string();
+        assert!(s.contains("P0C0") && s.contains("P1C7"));
+        for label in ["idle limit", "uBench limit", "thread normal", "thread worst"] {
+            assert!(s.contains(label));
+        }
+    }
+
+    #[test]
+    fn row_lookup() {
+        let t = table();
+        assert_eq!(t.row("idle"), Some(&t.idle));
+        assert_eq!(t.row("thread-worst"), Some(&t.thread_worst));
+        assert!(t.row("nonsense").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotone")]
+    fn invariant_violation_detected() {
+        let mut t = table();
+        t.thread_worst[0] = 12;
+        t.assert_invariants();
+    }
+}

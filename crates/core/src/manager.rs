@@ -1,0 +1,412 @@
+//! The fine-tuned ATM manager (Sec. VII, Figs. 13–14).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use atm_chip::{MarginMode, System};
+use atm_units::{CoreId, MegaHz, Nanos, ProcId, Watts};
+use atm_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::charact::{CharactConfig, RealisticResult};
+use crate::finetune::FineTuner;
+use crate::governor::Governor;
+use crate::predictor::{FreqPredictor, PerfPredictor};
+use crate::qos::QosTarget;
+use crate::scheduler::Scheduler;
+use crate::stress::{stress_test_deploy, StressTestResult};
+use crate::throttle::{throttle_to_budget, ThrottleSetting};
+
+/// Frequency headroom added to the QoS-required frequency when computing
+/// the balanced power budget, covering droop-transient losses.
+const QOS_HEADROOM: MegaHz = MegaHz::new_const(60.0);
+
+/// The margin strategies compared in the paper's Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Chip-wide static margin at 4.2 GHz (the customer-predictability
+    /// baseline).
+    StaticMargin,
+    /// Default (preset) ATM, unmanaged: ATM indiscriminately on for every
+    /// core, uniform ~4.6 GHz calibration.
+    DefaultAtm,
+    /// Fine-tuned ATM, unmanaged: thread-worst limits deployed, but the
+    /// critical job may land on the slowest core and background jobs run
+    /// at full tilt.
+    FineTunedUnmanaged,
+    /// Managed for maximum critical performance: critical on the fastest
+    /// core, background cores dropped to the lowest p-state.
+    ManagedMax,
+    /// Managed for balance: critical just meets its QoS target; background
+    /// throttled the minimal amount that keeps chip power within the
+    /// predicted budget.
+    ManagedBalanced(QosTarget),
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::StaticMargin => f.write_str("static margin"),
+            Strategy::DefaultAtm => f.write_str("default ATM"),
+            Strategy::FineTunedUnmanaged => f.write_str("fine-tuned unmanaged"),
+            Strategy::ManagedMax => f.write_str("managed (max critical)"),
+            Strategy::ManagedBalanced(q) => write!(f, "managed (balanced, {q})"),
+        }
+    }
+}
+
+/// The measured outcome of running a ⟨critical : background⟩ pair under a
+/// strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManagedOutcome {
+    /// The strategy evaluated.
+    pub strategy: Strategy,
+    /// Critical application name.
+    pub critical: String,
+    /// Background application name.
+    pub background: String,
+    /// Core the critical application ran on.
+    pub critical_core: CoreId,
+    /// Mean frequency of the critical core over the measured run.
+    pub critical_freq: MegaHz,
+    /// Critical-application speedup over the 4.2 GHz static baseline.
+    pub speedup: f64,
+    /// Background throttle setting in effect (None for the baselines where
+    /// backgrounds are not explicitly managed).
+    pub background_setting: Option<ThrottleSetting>,
+    /// Mean chip power of the evaluation socket.
+    pub chip_power: Watts,
+    /// Whether the measured run completed without failure (always true at
+    /// validated configurations).
+    pub ok: bool,
+}
+
+/// The ATM manager: deploys a fine-tuned configuration via the test-time
+/// stress-test, trains the predictors, and schedules
+/// ⟨critical : background⟩ pairs under the paper's strategies.
+///
+/// Evaluation follows the paper: all work is co-located on processor 0,
+/// one core runs the critical application, the remaining seven run copies
+/// of the background application, and socket 1 idles.
+///
+/// # Examples
+///
+/// ```no_run
+/// use atm_chip::{ChipConfig, System};
+/// use atm_core::{AtmManager, Governor, QosTarget};
+/// use atm_core::charact::CharactConfig;
+/// use atm_workloads::by_name;
+///
+/// let sys = System::new(ChipConfig::default());
+/// let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::standard());
+/// let outcome = mgr.evaluate_pair(
+///     by_name("squeezenet").unwrap(),
+///     by_name("x264").unwrap(),
+///     atm_core::manager::Strategy::ManagedBalanced(QosTarget::improvement_pct(10.0)),
+/// );
+/// assert!(outcome.speedup >= 1.0);
+/// ```
+#[derive(Debug)]
+pub struct AtmManager {
+    system: System,
+    governor: Governor,
+    deployed: StressTestResult,
+    realistic: Option<RealisticResult>,
+    freq_predictors: HashMap<CoreId, FreqPredictor>,
+    measure_duration: Nanos,
+}
+
+impl AtmManager {
+    /// Deploys a fine-tuned configuration on `system`: runs the test-time
+    /// stress-test per core, applies the governor's reduction map, and
+    /// takes ownership of the system.
+    #[must_use]
+    pub fn deploy(mut system: System, governor: Governor, cfg: &CharactConfig) -> Self {
+        let deployed = stress_test_deploy(&mut system, governor.extra_rollback(), cfg);
+        AtmManager {
+            system,
+            governor,
+            deployed,
+            realistic: None,
+            freq_predictors: HashMap::new(),
+            measure_duration: Nanos::new(100_000.0),
+        }
+    }
+
+    /// Attaches per-⟨app, core⟩ profiles so the aggressive governor can
+    /// use application-specific limits.
+    pub fn set_realistic_profiles(&mut self, realistic: RealisticResult) {
+        self.realistic = Some(realistic);
+    }
+
+    /// The deployed stress-test result.
+    #[must_use]
+    pub fn deployed(&self) -> &StressTestResult {
+        &self.deployed
+    }
+
+    /// The governor in effect.
+    #[must_use]
+    pub fn governor(&self) -> Governor {
+        self.governor
+    }
+
+    /// The managed system.
+    #[must_use]
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access to the managed system (for experiments that need to
+    /// reconfigure between evaluations).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Sets the measured-run duration (default 100 µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn set_measure_duration(&mut self, duration: Nanos) {
+        assert!(duration.get() > 0.0, "duration must be positive");
+        self.measure_duration = duration;
+    }
+
+    /// The per-core frequency predictor, trained on demand and cached.
+    pub fn freq_predictor(&mut self, core: CoreId) -> FreqPredictor {
+        if let Some(p) = self.freq_predictors.get(&core) {
+            return *p;
+        }
+        let p = FreqPredictor::train(&mut self.system, core);
+        self.freq_predictors.insert(core, p);
+        p
+    }
+
+    /// Runs one ⟨critical : background⟩ pair under `strategy` and measures
+    /// the critical application's speedup over the static-margin baseline
+    /// (one bar group of Fig. 14).
+    pub fn evaluate_pair(
+        &mut self,
+        critical: &Workload,
+        background: &Workload,
+        strategy: Strategy,
+    ) -> ManagedOutcome {
+        let proc = ProcId::new(0);
+        let baseline = self.system.config().pstates.nominal().frequency;
+
+        // Reset posture: socket 1 idles static; socket 0 gets the pair.
+        self.system.idle_all();
+        self.system.set_mode_all(MarginMode::Static);
+
+        let (critical_core, background_setting) = match strategy {
+            Strategy::StaticMargin => {
+                let core = CoreId::new(0, 0);
+                self.place(core, critical, background, MarginMode::Static);
+                (core, None)
+            }
+            Strategy::DefaultAtm => {
+                // Preset configuration: reduction 0 everywhere, ATM on for
+                // every core, arbitrary placement (cores are uniform).
+                let saved = self.deployed.deployed_map();
+                FineTuner::new(&mut self.system)
+                    .apply_map(&[0; 16])
+                    .expect("zero map always valid");
+                let core = CoreId::new(0, 0);
+                self.place(core, critical, background, MarginMode::Atm);
+                let outcome = self.measure(strategy, critical, background, core, None, baseline);
+                FineTuner::new(&mut self.system)
+                    .apply_map(&saved)
+                    .expect("restoring deployed map");
+                return outcome;
+            }
+            Strategy::FineTunedUnmanaged => {
+                self.apply_governor_map(critical);
+                // Careless placement: the slowest fine-tuned core.
+                let core = Scheduler::new(&mut self.system).slowest_core(proc);
+                self.place(core, critical, background, MarginMode::Atm);
+                (core, Some(ThrottleSetting::AtmMax))
+            }
+            Strategy::ManagedMax => {
+                self.apply_governor_map(critical);
+                let robust = self.governor.robust_cores_only();
+                let core = Scheduler::new(&mut self.system).fastest_core(proc, robust);
+                let lowest = self.system.config().pstates.lowest().frequency;
+                self.place(core, critical, background, MarginMode::Fixed(lowest));
+                self.system.set_mode(core, MarginMode::Atm);
+                (core, Some(ThrottleSetting::Fixed(lowest)))
+            }
+            Strategy::ManagedBalanced(qos) => {
+                self.apply_governor_map(critical);
+                let robust = self.governor.robust_cores_only();
+                let core = Scheduler::new(&mut self.system).fastest_core(proc, robust);
+
+                // Predict the frequency the QoS needs and the chip power
+                // budget that sustains it (Fig. 13's predictor chain). The
+                // headroom covers the average frequency lost to transient
+                // droop responses, which the settled predictor cannot see.
+                let perf = PerfPredictor::train(critical, baseline);
+                let f_req = perf.freq_for(qos.speedup()) + QOS_HEADROOM;
+                let freq_pred = self.freq_predictor(core);
+                let budget = freq_pred.power_for(f_req);
+
+                self.place(core, critical, background, MarginMode::Atm);
+                self.system.set_mode(core, MarginMode::Atm);
+                let bg_cores: Vec<CoreId> = proc.cores().filter(|c| *c != core).collect();
+                let plan = throttle_to_budget(&mut self.system, &bg_cores, budget, proc.index());
+                (core, Some(plan.setting))
+            }
+        };
+
+        self.measure(
+            strategy,
+            critical,
+            background,
+            critical_core,
+            background_setting,
+            baseline,
+        )
+    }
+
+    /// Applies the governor's reduction map for `critical`.
+    fn apply_governor_map(&mut self, critical: &Workload) {
+        let map =
+            self.governor
+                .reduction_map(&self.deployed, self.realistic.as_ref(), Some(critical.name()));
+        FineTuner::new(&mut self.system)
+            .apply_map(&map)
+            .expect("governor maps derive from validated limits");
+    }
+
+    /// Places the pair on socket 0: `critical` on `core` (in ATM mode
+    /// unless the whole evaluation is static), `background` replicated on
+    /// the seven siblings at `bg_mode`.
+    fn place(
+        &mut self,
+        core: CoreId,
+        critical: &Workload,
+        background: &Workload,
+        bg_mode: MarginMode,
+    ) {
+        self.system.assign(core, critical.clone());
+        let critical_mode = if bg_mode == MarginMode::Static {
+            MarginMode::Static
+        } else {
+            MarginMode::Atm
+        };
+        self.system.set_mode(core, critical_mode);
+        for sib in ProcId::new(0).cores().filter(|c| *c != core) {
+            self.system.assign(sib, background.clone());
+            self.system.set_mode(sib, bg_mode);
+        }
+    }
+
+    fn measure(
+        &mut self,
+        strategy: Strategy,
+        critical: &Workload,
+        background: &Workload,
+        critical_core: CoreId,
+        background_setting: Option<ThrottleSetting>,
+        baseline: MegaHz,
+    ) -> ManagedOutcome {
+        let report = self.system.run(self.measure_duration);
+        let critical_freq = report.core(critical_core).mean_freq;
+        ManagedOutcome {
+            strategy,
+            critical: critical.name().to_owned(),
+            background: background.name().to_owned(),
+            critical_core,
+            critical_freq,
+            speedup: critical.speedup(critical_freq, baseline),
+            background_setting,
+            chip_power: report.procs[0].mean_power,
+            ok: report.is_ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+    use atm_workloads::by_name;
+
+    fn manager() -> AtmManager {
+        let sys = System::new(ChipConfig::default());
+        AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick())
+    }
+
+    #[test]
+    fn fig14_ordering_holds_for_squeezenet_x264() {
+        let mut mgr = manager();
+        let critical = by_name("squeezenet").unwrap();
+        let background = by_name("x264").unwrap();
+
+        let s_static = mgr.evaluate_pair(critical, background, Strategy::StaticMargin);
+        let s_default = mgr.evaluate_pair(critical, background, Strategy::DefaultAtm);
+        let s_unmanaged =
+            mgr.evaluate_pair(critical, background, Strategy::FineTunedUnmanaged);
+        let s_max = mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
+
+        assert!((s_static.speedup - 1.0).abs() < 1e-9);
+        assert!(s_default.speedup > 1.02, "default ATM {:.3}", s_default.speedup);
+        assert!(
+            s_unmanaged.speedup > s_default.speedup,
+            "fine-tuned unmanaged {:.3} vs default {:.3}",
+            s_unmanaged.speedup,
+            s_default.speedup
+        );
+        assert!(
+            s_max.speedup > s_unmanaged.speedup,
+            "managed max {:.3} vs unmanaged {:.3}",
+            s_max.speedup,
+            s_unmanaged.speedup
+        );
+        for s in [&s_static, &s_default, &s_unmanaged, &s_max] {
+            assert!(s.ok, "{} run failed", s.strategy);
+        }
+    }
+
+    #[test]
+    fn balanced_meets_ten_percent_qos() {
+        let mut mgr = manager();
+        let critical = by_name("squeezenet").unwrap();
+        let background = by_name("lu_cb").unwrap();
+        let qos = QosTarget::improvement_pct(10.0);
+        let outcome = mgr.evaluate_pair(critical, background, Strategy::ManagedBalanced(qos));
+        assert!(
+            qos.met_by(outcome.speedup),
+            "balanced speedup {:.3} misses {qos}",
+            outcome.speedup
+        );
+        assert!(outcome.ok);
+    }
+
+    #[test]
+    fn managed_max_uses_fastest_core_and_lowest_pstate() {
+        let mut mgr = manager();
+        let critical = by_name("seq2seq").unwrap();
+        let background = by_name("swaptions").unwrap();
+        let outcome = mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
+        assert_eq!(
+            outcome.background_setting,
+            Some(ThrottleSetting::Fixed(MegaHz::new(2100.0)))
+        );
+        let expected = Scheduler::new(mgr.system_mut()).fastest_core(ProcId::new(0), false);
+        assert_eq!(outcome.critical_core, expected);
+    }
+
+    #[test]
+    fn default_atm_restores_deployed_map() {
+        let mut mgr = manager();
+        let before: Vec<usize> = CoreId::all().map(|c| mgr.system().core(c).reduction()).collect();
+        let _ = mgr.evaluate_pair(
+            by_name("babi").unwrap(),
+            by_name("raytrace").unwrap(),
+            Strategy::DefaultAtm,
+        );
+        let after: Vec<usize> = CoreId::all().map(|c| mgr.system().core(c).reduction()).collect();
+        assert_eq!(before, after);
+    }
+}

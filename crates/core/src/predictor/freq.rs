@@ -1,0 +1,150 @@
+//! Per-core frequency predictor: `f̄ = −k′·P̄ + b` (Eq. 1, Fig. 12a).
+
+use atm_chip::{MarginMode, System};
+use atm_units::{CoreId, MegaHz, Watts};
+use atm_workloads::by_name;
+use serde::{Deserialize, Serialize};
+
+use super::linear::LinearFit;
+
+/// A core's fitted frequency-vs-chip-power model at its current (deployed)
+/// CPM configuration.
+///
+/// `b` (the intercept) captures the core's static CPM setting; the slope
+/// captures the dynamic IR-drop sensitivity — about two MHz lost per watt
+/// of chip power on the paper's machines.
+///
+/// # Examples
+///
+/// ```no_run
+/// use atm_chip::{ChipConfig, System};
+/// use atm_core::predictor::FreqPredictor;
+/// use atm_units::{CoreId, Watts};
+///
+/// let mut sys = System::new(ChipConfig::default());
+/// let p = FreqPredictor::train(&mut sys, CoreId::new(0, 0));
+/// let f = p.predict(Watts::new(120.0));
+/// assert!(f.get() > 4000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqPredictor {
+    core: CoreId,
+    fit: LinearFit,
+}
+
+impl FreqPredictor {
+    /// Trains the predictor by sweeping total chip power: 0–7 co-located
+    /// high-power (daxpy-class) threads are pinned to the other cores of
+    /// the socket while `core` runs ATM, and the settled `(chip power,
+    /// frequency)` pairs are fitted by least squares.
+    ///
+    /// The system's schedule and modes are modified; callers re-schedule
+    /// afterwards (training happens at deployment time, before jobs run).
+    #[must_use]
+    pub fn train(system: &mut System, core: CoreId) -> Self {
+        let daxpy = by_name("daxpy").expect("daxpy in catalog").clone();
+        system.idle_all();
+        system.set_mode_all(MarginMode::Static);
+        system.set_mode(core, MarginMode::Atm);
+
+        let proc = core.proc_id();
+        let siblings: Vec<CoreId> = proc.cores().filter(|c| *c != core).collect();
+        let mut points = Vec::with_capacity(siblings.len() + 1);
+        for n_busy in 0..=siblings.len() {
+            for (i, sib) in siblings.iter().enumerate() {
+                if i < n_busy {
+                    system.assign(*sib, daxpy.clone());
+                } else {
+                    system.assign(*sib, atm_workloads::Workload::idle());
+                }
+            }
+            let report = system.settle();
+            let p = report.procs[proc.index()].mean_power;
+            let f = report.core(core).mean_freq;
+            points.push((p.get(), f.get()));
+        }
+
+        system.idle_all();
+        FreqPredictor {
+            core,
+            fit: LinearFit::fit(&points),
+        }
+    }
+
+    /// The core this predictor models.
+    #[must_use]
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The underlying fit (exposes slope, intercept, r²).
+    #[must_use]
+    pub fn fit(&self) -> &LinearFit {
+        &self.fit
+    }
+
+    /// MHz lost per additional watt of chip power (a positive number).
+    #[must_use]
+    pub fn mhz_per_watt(&self) -> f64 {
+        -self.fit.slope
+    }
+
+    /// Predicted ATM frequency at total chip power `p`.
+    #[must_use]
+    pub fn predict(&self, p: Watts) -> MegaHz {
+        MegaHz::new(self.fit.predict(p.get()).max(0.0))
+    }
+
+    /// The chip power budget below which the core sustains frequency `f`.
+    #[must_use]
+    pub fn power_for(&self, f: MegaHz) -> Watts {
+        Watts::new(self.fit.invert(f.get()).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+
+    #[test]
+    fn slope_near_two_mhz_per_watt() {
+        let mut sys = System::new(ChipConfig::default());
+        let p = FreqPredictor::train(&mut sys, CoreId::new(0, 0));
+        let k = p.mhz_per_watt();
+        assert!(
+            (1.0..3.5).contains(&k),
+            "Eq. 1 slope {k:.2} MHz/W outside the paper's ~2 MHz/W band"
+        );
+        assert!(p.fit().r2 > 0.98, "fit r2 {}", p.fit().r2);
+    }
+
+    #[test]
+    fn prediction_matches_measurement() {
+        let mut sys = System::new(ChipConfig::default());
+        let core = CoreId::new(0, 3);
+        sys.set_reduction(core, 2).unwrap();
+        let p = FreqPredictor::train(&mut sys, core);
+
+        // Measure an operating point the training didn't sweep exactly:
+        // four busy siblings running stream instead of daxpy.
+        let stream = by_name("stream").unwrap().clone();
+        sys.set_mode(core, MarginMode::Atm);
+        for sib in core.proc_id().cores().filter(|c| *c != core).take(4) {
+            sys.assign(sib, stream.clone());
+        }
+        let report = sys.settle();
+        let measured = report.core(core).mean_freq;
+        let predicted = p.predict(report.procs[core.proc_id().index()].mean_power);
+        let err = (measured.get() - predicted.get()).abs();
+        assert!(err < 40.0, "prediction error {err:.1} MHz");
+    }
+
+    #[test]
+    fn power_for_inverts_predict() {
+        let mut sys = System::new(ChipConfig::default());
+        let p = FreqPredictor::train(&mut sys, CoreId::new(1, 5));
+        let budget = p.power_for(p.predict(Watts::new(100.0)));
+        assert!((budget.get() - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,117 @@
+//! Ordinary least-squares line fitting.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = slope·x + intercept` with its coefficient of
+/// determination.
+///
+/// # Examples
+///
+/// ```
+/// use atm_core::predictor::LinearFit;
+///
+/// let fit = LinearFit::fit(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r2 > 0.999);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit).
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Fits a line to `(x, y)` points by ordinary least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given or all `x` are equal.
+    #[must_use]
+    pub fn fit(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two points");
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        assert!(sxx > 0.0, "all x values identical; cannot fit a line");
+        let sxy: f64 = points
+            .iter()
+            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+            .sum();
+        let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        LinearFit {
+            slope,
+            intercept,
+            r2,
+        }
+    }
+
+    /// Evaluates the line at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Solves `y = slope·x + intercept` for `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slope is zero.
+    #[must_use]
+    pub fn invert(&self, y: f64) -> f64 {
+        assert!(self.slope != 0.0, "cannot invert a flat line");
+        (y - self.intercept) / self.slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), 3.0 * f64::from(i) - 7.0)).collect();
+        let fit = LinearFit::fit(&points);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 7.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let points = [(0.0, 0.1), (1.0, 0.9), (2.0, 2.2), (3.0, 2.8)];
+        let fit = LinearFit::fit(&points);
+        assert!(fit.r2 < 1.0 && fit.r2 > 0.95);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let fit = LinearFit::fit(&[(0.0, 5.0), (10.0, 25.0)]);
+        let x = fit.invert(fit.predict(3.7));
+        assert!((x - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn single_point_rejected() {
+        let _ = LinearFit::fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn vertical_line_rejected() {
+        let _ = LinearFit::fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

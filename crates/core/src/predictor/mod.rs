@@ -1,0 +1,22 @@
+//! Frequency and performance predictors (Sec. VII-B/C, Fig. 12).
+//!
+//! Managing a fine-tuned system needs two models per the paper's Fig. 13:
+//!
+//! * a per-core **frequency predictor** — ATM frequency as a linear
+//!   function of total chip power (Eq. 1: `f̄ = −k′·P̄ + b`, ≈ −2 MHz/W),
+//!   because the IR drop on the shared delivery path couples every core's
+//!   margin to everyone's power;
+//! * a per-application **performance predictor** — performance as a linear
+//!   function of core frequency, with a memory-boundedness-dependent slope
+//!   (Fig. 12b).
+//!
+//! Chained, they let the manager infer thread performance from a candidate
+//! schedule's chip power.
+
+mod freq;
+mod linear;
+mod perf;
+
+pub use freq::FreqPredictor;
+pub use linear::LinearFit;
+pub use perf::PerfPredictor;

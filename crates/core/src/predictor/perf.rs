@@ -1,0 +1,132 @@
+//! Per-application performance predictor (Fig. 12b).
+
+use atm_units::MegaHz;
+use atm_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use super::linear::LinearFit;
+
+/// An application's fitted performance-vs-frequency model, normalized to
+/// the 4200 MHz static-margin baseline.
+///
+/// The paper fits each application a linear model whose coefficient
+/// depends on memory behaviour: compute-bound x264 gains almost 1:1 with
+/// frequency, memory-bound mcf much less.
+///
+/// # Examples
+///
+/// ```
+/// use atm_core::predictor::PerfPredictor;
+/// use atm_units::MegaHz;
+/// use atm_workloads::by_name;
+///
+/// let p = PerfPredictor::train(by_name("x264").unwrap(), MegaHz::new(4200.0));
+/// let speedup = p.predict(MegaHz::new(4620.0));
+/// assert!(speedup > 1.05 && speedup < 1.12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfPredictor {
+    app: String,
+    baseline: MegaHz,
+    fit: LinearFit,
+}
+
+impl PerfPredictor {
+    /// Trains the predictor by profiling the application at several fixed
+    /// frequencies around the ATM range (4.2–5.2 GHz) and fitting the
+    /// observed speedups — the paper's repetitive profiling on a test
+    /// tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is zero.
+    #[must_use]
+    pub fn train(app: &Workload, baseline: MegaHz) -> Self {
+        assert!(baseline.get() > 0.0, "baseline frequency must be positive");
+        let points: Vec<(f64, f64)> = (0..=10)
+            .map(|i| {
+                let f = MegaHz::new(baseline.get() + f64::from(i) * 100.0);
+                (f.get(), app.speedup(f, baseline))
+            })
+            .collect();
+        PerfPredictor {
+            app: app.name().to_owned(),
+            baseline,
+            fit: LinearFit::fit(&points),
+        }
+    }
+
+    /// The application this predictor models.
+    #[must_use]
+    pub fn app(&self) -> &str {
+        &self.app
+    }
+
+    /// The baseline frequency speedups are normalized to.
+    #[must_use]
+    pub fn baseline(&self) -> MegaHz {
+        self.baseline
+    }
+
+    /// The underlying fit.
+    #[must_use]
+    pub fn fit(&self) -> &LinearFit {
+        &self.fit
+    }
+
+    /// Predicted speedup over the baseline at core frequency `f`.
+    #[must_use]
+    pub fn predict(&self, f: MegaHz) -> f64 {
+        self.fit.predict(f.get())
+    }
+
+    /// The core frequency needed to reach `speedup` over the baseline.
+    #[must_use]
+    pub fn freq_for(&self, speedup: f64) -> MegaHz {
+        MegaHz::new(self.fit.invert(speedup).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_workloads::by_name;
+
+    fn base() -> MegaHz {
+        MegaHz::new(4200.0)
+    }
+
+    #[test]
+    fn compute_bound_steeper_than_memory_bound() {
+        let x264 = PerfPredictor::train(by_name("x264").unwrap(), base());
+        let mcf = PerfPredictor::train(by_name("mcf").unwrap(), base());
+        assert!(
+            x264.fit().slope > 2.0 * mcf.fit().slope,
+            "x264 slope {} not clearly above mcf {}",
+            x264.fit().slope,
+            mcf.fit().slope
+        );
+    }
+
+    #[test]
+    fn fit_quality_is_high_over_atm_range() {
+        for name in ["x264", "mcf", "squeezenet", "gcc"] {
+            let p = PerfPredictor::train(by_name(name).unwrap(), base());
+            assert!(p.fit().r2 > 0.99, "{name} fit r2 {}", p.fit().r2);
+        }
+    }
+
+    #[test]
+    fn baseline_speedup_is_one() {
+        let p = PerfPredictor::train(by_name("squeezenet").unwrap(), base());
+        assert!((p.predict(base()) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn freq_for_inverts_predict() {
+        let p = PerfPredictor::train(by_name("seq2seq").unwrap(), base());
+        let f = p.freq_for(1.10);
+        assert!((p.predict(f) - 1.10).abs() < 1e-9);
+        assert!(f > base(), "10% speedup needs more than baseline clock");
+    }
+}

@@ -1,0 +1,90 @@
+//! QoS targets for critical applications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A user-specified quality-of-service target for a critical application,
+/// expressed as a speedup over the 4.2 GHz static-margin baseline.
+///
+/// # Examples
+///
+/// ```
+/// use atm_core::QosTarget;
+///
+/// let qos = QosTarget::improvement_pct(10.0);
+/// assert!((qos.speedup() - 1.10).abs() < 1e-12);
+/// assert!(qos.met_by(1.12));
+/// assert!(!qos.met_by(1.08));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosTarget {
+    speedup: f64,
+}
+
+impl QosTarget {
+    /// A target of `pct` percent improvement over the static baseline
+    /// (the paper evaluates a 10% target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is negative.
+    #[must_use]
+    pub fn improvement_pct(pct: f64) -> Self {
+        assert!(pct >= 0.0, "improvement must be non-negative");
+        QosTarget {
+            speedup: 1.0 + pct / 100.0,
+        }
+    }
+
+    /// The required speedup factor (≥ 1).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// Whether an achieved speedup meets the target (with a 0.1% tolerance
+    /// for measurement noise).
+    #[must_use]
+    pub fn met_by(&self, achieved: f64) -> bool {
+        achieved >= self.speedup - 1e-3
+    }
+}
+
+impl fmt::Display for QosTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{:.1}% over static margin", (self.speedup - 1.0) * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_percent_target() {
+        let q = QosTarget::improvement_pct(10.0);
+        assert!(q.met_by(1.10));
+        assert!(q.met_by(1.0999)); // tolerance
+        assert!(!q.met_by(1.05));
+    }
+
+    #[test]
+    fn zero_target_always_met() {
+        assert!(QosTarget::improvement_pct(0.0).met_by(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_target_rejected() {
+        let _ = QosTarget::improvement_pct(-5.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            QosTarget::improvement_pct(10.0).to_string(),
+            "+10.0% over static margin"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Declarative workload schedules.
+//!
+//! The manager composes placements imperatively; downstream users usually
+//! want to *describe* a schedule — which workload runs where, with how
+//! many SMT threads, under which margin mode — and apply it atomically.
+//! [`Schedule`] is that description.
+
+use atm_chip::{MarginMode, System};
+use atm_units::CoreId;
+use atm_workloads::Workload;
+
+/// One core's assignment within a schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleEntry {
+    /// The target core.
+    pub core: CoreId,
+    /// The workload to run.
+    pub workload: Workload,
+    /// SMT threads (1–4).
+    pub threads: usize,
+    /// The margin mode for the core.
+    pub mode: MarginMode,
+}
+
+/// A declarative schedule: a set of per-core assignments plus a default
+/// posture for unmentioned cores.
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::{ChipConfig, MarginMode, System};
+/// use atm_core::Schedule;
+/// use atm_units::{CoreId, Nanos};
+/// use atm_workloads::by_name;
+///
+/// let mut sys = System::new(ChipConfig::default());
+/// Schedule::new()
+///     .run(CoreId::new(0, 0), by_name("squeezenet").unwrap().clone(), MarginMode::Atm)
+///     .run_smt(CoreId::new(0, 1), by_name("daxpy").unwrap().clone(), 4, MarginMode::Static)
+///     .apply(&mut sys);
+/// let report = sys.run(Nanos::new(10_000.0));
+/// assert!(report.is_ok());
+/// assert_eq!(report.core(CoreId::new(0, 0)).workload, "squeezenet");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    entries: Vec<ScheduleEntry>,
+    idle_mode: MarginMode,
+}
+
+impl Schedule {
+    /// An empty schedule: every core idles at static margin.
+    #[must_use]
+    pub fn new() -> Self {
+        Schedule {
+            entries: Vec::new(),
+            idle_mode: MarginMode::Static,
+        }
+    }
+
+    /// The entries added so far.
+    #[must_use]
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Adds a single-threaded assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` already has an assignment in this schedule.
+    #[must_use]
+    pub fn run(self, core: CoreId, workload: Workload, mode: MarginMode) -> Self {
+        self.run_smt(core, workload, 1, mode)
+    }
+
+    /// Adds an SMT assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` already has an assignment, or `threads` is not in
+    /// `1..=4`.
+    #[must_use]
+    pub fn run_smt(
+        mut self,
+        core: CoreId,
+        workload: Workload,
+        threads: usize,
+        mode: MarginMode,
+    ) -> Self {
+        assert!((1..=4).contains(&threads), "SMT is 4-way, got {threads}");
+        assert!(
+            !self.entries.iter().any(|e| e.core == core),
+            "{core} scheduled twice"
+        );
+        self.entries.push(ScheduleEntry {
+            core,
+            workload,
+            threads,
+            mode,
+        });
+        self
+    }
+
+    /// Sets the posture of cores the schedule does not mention (default:
+    /// idle at static margin; [`MarginMode::Gated`] implements the
+    /// paper's power-gate-the-idle-cores option).
+    #[must_use]
+    pub fn idle_cores(mut self, mode: MarginMode) -> Self {
+        self.idle_mode = mode;
+        self
+    }
+
+    /// Applies the schedule to `system`: mentioned cores get their
+    /// workload, SMT count and mode; every other core is set to idle in
+    /// the schedule's idle posture with issue throttling cleared.
+    pub fn apply(&self, system: &mut System) {
+        for core in CoreId::all() {
+            system.set_issue_throttle(core, None);
+            match self.entries.iter().find(|e| e.core == core) {
+                Some(e) => {
+                    system.assign_smt(core, e.workload.clone(), e.threads);
+                    system.set_mode(core, e.mode);
+                }
+                None => {
+                    system.assign(core, Workload::idle());
+                    system.set_mode(core, self.idle_mode);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+    use atm_units::Nanos;
+    use atm_workloads::by_name;
+
+    #[test]
+    fn apply_sets_everything() {
+        let mut sys = System::new(ChipConfig::default());
+        Schedule::new()
+            .run(CoreId::new(0, 2), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+            .run_smt(
+                CoreId::new(1, 1),
+                by_name("daxpy").unwrap().clone(),
+                4,
+                MarginMode::Static,
+            )
+            .idle_cores(MarginMode::Gated)
+            .apply(&mut sys);
+
+        assert_eq!(sys.core(CoreId::new(0, 2)).workload().name(), "gcc");
+        assert_eq!(sys.core(CoreId::new(0, 2)).mode(), MarginMode::Atm);
+        assert_eq!(sys.core(CoreId::new(1, 1)).smt_threads(), 4);
+        assert_eq!(sys.core(CoreId::new(0, 0)).mode(), MarginMode::Gated);
+        let report = sys.run(Nanos::new(5_000.0));
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn reapplying_resets_previous_assignments() {
+        let mut sys = System::new(ChipConfig::default());
+        Schedule::new()
+            .run(CoreId::new(0, 0), by_name("x264").unwrap().clone(), MarginMode::Atm)
+            .apply(&mut sys);
+        Schedule::new().apply(&mut sys);
+        assert_eq!(sys.core(CoreId::new(0, 0)).workload().name(), "idle");
+        assert_eq!(sys.core(CoreId::new(0, 0)).mode(), MarginMode::Static);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled twice")]
+    fn duplicate_core_rejected() {
+        let _ = Schedule::new()
+            .run(CoreId::new(0, 0), Workload::idle(), MarginMode::Atm)
+            .run(CoreId::new(0, 0), Workload::idle(), MarginMode::Static);
+    }
+}

@@ -1,0 +1,191 @@
+//! Critical-application placement (Sec. VII-C).
+
+use atm_chip::{MarginMode, System};
+use atm_units::{CoreId, MegaHz, ProcId};
+use serde::{Deserialize, Serialize};
+
+use crate::throttle::ThrottlePlan;
+
+/// Where a schedule put things.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The core chosen for the critical application.
+    pub critical_core: CoreId,
+    /// The sibling cores carrying background work.
+    pub background_cores: Vec<CoreId>,
+    /// The throttle plan applied to the background cores.
+    pub plan: Option<ThrottlePlan>,
+}
+
+/// Ranks cores and produces placements over a deployed (fine-tuned)
+/// system.
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::{ChipConfig, System};
+/// use atm_core::Scheduler;
+/// use atm_units::ProcId;
+///
+/// let mut sys = System::new(ChipConfig::default());
+/// let ranked = Scheduler::new(&mut sys).rank_cores(ProcId::new(0), false);
+/// assert_eq!(ranked.len(), 8);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<'a> {
+    system: &'a mut System,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Opens a scheduling session.
+    #[must_use]
+    pub fn new(system: &'a mut System) -> Self {
+        Scheduler { system }
+    }
+
+    /// Ranks the socket's cores by their deployed-configuration ATM idle
+    /// frequency, fastest first. With `robust_only`, cores in the bottom
+    /// half of CPM-placement robustness are excluded (the conservative
+    /// governor's rule), unless that would exclude everything.
+    ///
+    /// Modes and workloads are restored to static idle afterwards.
+    #[must_use]
+    pub fn rank_cores(&mut self, proc: ProcId, robust_only: bool) -> Vec<(CoreId, MegaHz)> {
+        self.system.idle_all();
+        self.system.set_mode_all(MarginMode::Static);
+        for core in proc.cores() {
+            self.system.set_mode(core, MarginMode::Atm);
+        }
+        let report = self.system.settle();
+        self.system.set_mode_all(MarginMode::Static);
+
+        let mut ranked: Vec<(CoreId, MegaHz)> = proc
+            .cores()
+            .map(|c| (c, report.core(c).mean_freq))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("frequencies are finite"));
+
+        if robust_only {
+            let mut robustness: Vec<(CoreId, f64)> = proc
+                .cores()
+                .map(|c| (c, self.system.core(c).silicon().robustness()))
+                .collect();
+            robustness.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let keep: Vec<CoreId> = robustness
+                .iter()
+                .take(robustness.len() / 2)
+                .map(|(c, _)| *c)
+                .collect();
+            let filtered: Vec<(CoreId, MegaHz)> = ranked
+                .iter()
+                .copied()
+                .filter(|(c, _)| keep.contains(c))
+                .collect();
+            if !filtered.is_empty() {
+                return filtered;
+            }
+        }
+        ranked
+    }
+
+    /// The fastest core of `proc` at the deployed configuration.
+    #[must_use]
+    pub fn fastest_core(&mut self, proc: ProcId, robust_only: bool) -> CoreId {
+        self.rank_cores(proc, robust_only)[0].0
+    }
+
+    /// The slowest core of `proc` at the deployed configuration (what an
+    /// unmanaged scheduler might carelessly hand a critical job).
+    #[must_use]
+    pub fn slowest_core(&mut self, proc: ProcId) -> CoreId {
+        self.rank_cores(proc, false)
+            .last()
+            .expect("socket has cores")
+            .0
+    }
+
+    /// Produces a placement on `proc`: the critical application on the
+    /// fastest (optionally robust-only) core, the remaining cores listed
+    /// as background slots. The throttle plan is left for the manager to
+    /// fill once a power budget is known.
+    #[must_use]
+    pub fn place_critical(&mut self, proc: ProcId, robust_only: bool) -> Placement {
+        let critical_core = self.fastest_core(proc, robust_only);
+        Placement {
+            critical_core,
+            background_cores: proc.cores().filter(|c| *c != critical_core).collect(),
+            plan: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+    use atm_core_test_util::deploy_quick;
+
+    // A tiny internal helper namespace so tests can deploy a fine-tuned
+    // configuration without repeating the stress-test boilerplate.
+    mod atm_core_test_util {
+        use super::*;
+        use crate::charact::CharactConfig;
+        use crate::stress::stress_test_deploy;
+
+        pub fn deploy_quick(sys: &mut System) {
+            let _ = stress_test_deploy(sys, 0, &CharactConfig::quick());
+        }
+    }
+
+    #[test]
+    fn ranking_is_descending_and_complete() {
+        let mut sys = System::new(ChipConfig::default());
+        deploy_quick(&mut sys);
+        let ranked = Scheduler::new(&mut sys).rank_cores(ProcId::new(0), false);
+        assert_eq!(ranked.len(), 8);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn fastest_not_slowest_on_finetuned_chip() {
+        let mut sys = System::new(ChipConfig::default());
+        deploy_quick(&mut sys);
+        let mut sched = Scheduler::new(&mut sys);
+        let fast = sched.fastest_core(ProcId::new(0), false);
+        let slow = sched.slowest_core(ProcId::new(0));
+        assert_ne!(fast, slow);
+    }
+
+    #[test]
+    fn robust_only_filters_to_robust_half() {
+        let mut sys = System::new(ChipConfig::default());
+        deploy_quick(&mut sys);
+        let robust = Scheduler::new(&mut sys).rank_cores(ProcId::new(0), true);
+        assert!(robust.len() <= 4);
+        assert!(!robust.is_empty());
+    }
+
+    #[test]
+    fn placement_covers_the_socket() {
+        let mut sys = System::new(ChipConfig::default());
+        deploy_quick(&mut sys);
+        let placement = Scheduler::new(&mut sys).place_critical(ProcId::new(0), false);
+        assert_eq!(placement.background_cores.len(), 7);
+        assert!(!placement.background_cores.contains(&placement.critical_core));
+        assert!(placement.plan.is_none());
+        let fastest = Scheduler::new(&mut sys).fastest_core(ProcId::new(0), false);
+        assert_eq!(placement.critical_core, fastest);
+    }
+
+    #[test]
+    fn ranking_restores_static_idle() {
+        let mut sys = System::new(ChipConfig::default());
+        let _ = Scheduler::new(&mut sys).rank_cores(ProcId::new(1), false);
+        for core in ProcId::new(1).cores() {
+            assert_eq!(sys.core(core).mode(), MarginMode::Static);
+            assert_eq!(sys.core(core).workload().name(), "idle");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Background-workload throttling to a chip power budget (Sec. VII-C).
+
+use std::fmt;
+
+use atm_chip::{MarginMode, PStateTable, System};
+use atm_units::{CoreId, MegaHz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// How a background core is run (in decreasing performance order): full
+/// fine-tuned ATM, a fixed DVFS frequency, or power-gated. On POWER7+ the
+/// rail is shared, so per-core DVFS changes frequency only — exactly the
+/// paper's three knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThrottleSetting {
+    /// Aggressive ATM at the deployed CPM configuration.
+    AtmMax,
+    /// Fixed frequency from the DVFS table.
+    Fixed(MegaHz),
+    /// Core power-gated.
+    Gated,
+}
+
+impl ThrottleSetting {
+    /// The margin mode implementing this setting.
+    #[must_use]
+    pub fn margin_mode(&self) -> MarginMode {
+        match self {
+            ThrottleSetting::AtmMax => MarginMode::Atm,
+            ThrottleSetting::Fixed(f) => MarginMode::Fixed(*f),
+            ThrottleSetting::Gated => MarginMode::Gated,
+        }
+    }
+
+    /// The candidate ladder, from fastest to slowest, over the given
+    /// p-state table.
+    #[must_use]
+    pub fn ladder(pstates: &PStateTable) -> Vec<ThrottleSetting> {
+        let mut ladder = vec![ThrottleSetting::AtmMax];
+        ladder.extend(
+            pstates
+                .states()
+                .iter()
+                .rev()
+                .map(|s| ThrottleSetting::Fixed(s.frequency)),
+        );
+        ladder.push(ThrottleSetting::Gated);
+        ladder
+    }
+}
+
+impl fmt::Display for ThrottleSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThrottleSetting::AtmMax => f.write_str("ATM-max"),
+            ThrottleSetting::Fixed(freq) => write!(f, "DVFS {freq}"),
+            ThrottleSetting::Gated => f.write_str("gated"),
+        }
+    }
+}
+
+/// A uniform throttle plan for a set of background cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThrottlePlan {
+    /// The cores being throttled.
+    pub cores: Vec<CoreId>,
+    /// The setting applied to each of them.
+    pub setting: ThrottleSetting,
+}
+
+impl ThrottlePlan {
+    /// Applies the plan to the system.
+    pub fn apply(&self, system: &mut System) {
+        for &core in &self.cores {
+            system.set_mode(core, self.setting.margin_mode());
+        }
+    }
+}
+
+/// Finds the least-throttled uniform background setting that keeps the
+/// socket's measured steady-state chip power at or below `budget`, in the
+/// spirit of the paper's manager ("throttles background core frequencies
+/// by the minimal amount to control total chip power").
+///
+/// Each candidate is applied and evaluated at the schedule's settled
+/// equilibrium; the first (fastest) candidate within budget wins. If even
+/// gating exceeds the budget (e.g. the critical core alone is too hungry),
+/// the gated plan is returned — there is nothing more to throttle.
+///
+/// The chosen plan is left applied to the system.
+#[must_use]
+pub fn throttle_to_budget(
+    system: &mut System,
+    background_cores: &[CoreId],
+    budget: Watts,
+    proc_index: usize,
+) -> ThrottlePlan {
+    let ladder = ThrottleSetting::ladder(&system.config().pstates.clone());
+    let mut chosen = ThrottleSetting::Gated;
+    for setting in ladder {
+        let plan = ThrottlePlan {
+            cores: background_cores.to_vec(),
+            setting,
+        };
+        plan.apply(system);
+        let report = system.settle();
+        if report.procs[proc_index].mean_power <= budget {
+            chosen = setting;
+            break;
+        }
+    }
+    let plan = ThrottlePlan {
+        cores: background_cores.to_vec(),
+        setting: chosen,
+    };
+    plan.apply(system);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::ChipConfig;
+    use atm_workloads::by_name;
+
+    #[test]
+    fn ladder_descends_from_atm_to_gate() {
+        let ladder = ThrottleSetting::ladder(&PStateTable::power7_plus());
+        assert_eq!(ladder.first(), Some(&ThrottleSetting::AtmMax));
+        assert_eq!(ladder.last(), Some(&ThrottleSetting::Gated));
+        assert_eq!(ladder.len(), 10); // ATM + 8 p-states + gate
+        // Fixed frequencies descend.
+        let fixed: Vec<f64> = ladder
+            .iter()
+            .filter_map(|s| match s {
+                ThrottleSetting::Fixed(f) => Some(f.get()),
+                _ => None,
+            })
+            .collect();
+        assert!(fixed.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn generous_budget_keeps_atm_max() {
+        let mut sys = System::new(ChipConfig::default());
+        let bg: Vec<CoreId> = (1..8).map(|c| CoreId::new(0, c)).collect();
+        let lu = by_name("lu_cb").unwrap().clone();
+        for &c in &bg {
+            sys.assign(c, lu.clone());
+        }
+        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(500.0), 0);
+        assert_eq!(plan.setting, ThrottleSetting::AtmMax);
+    }
+
+    #[test]
+    fn tight_budget_forces_throttling() {
+        let mut sys = System::new(ChipConfig::default());
+        let bg: Vec<CoreId> = (1..8).map(|c| CoreId::new(0, c)).collect();
+        let lu = by_name("lu_cb").unwrap().clone();
+        for &c in &bg {
+            sys.assign(c, lu.clone());
+        }
+        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(100.0), 0);
+        assert_ne!(plan.setting, ThrottleSetting::AtmMax);
+        let report = sys.settle();
+        assert!(report.procs[0].mean_power <= Watts::new(100.0));
+    }
+
+    #[test]
+    fn impossible_budget_gates() {
+        let mut sys = System::new(ChipConfig::default());
+        let bg: Vec<CoreId> = (1..8).map(|c| CoreId::new(0, c)).collect();
+        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(1.0), 0);
+        assert_eq!(plan.setting, ThrottleSetting::Gated);
+    }
+
+    #[test]
+    fn setting_to_mode_mapping() {
+        assert_eq!(ThrottleSetting::AtmMax.margin_mode(), MarginMode::Atm);
+        assert_eq!(ThrottleSetting::Gated.margin_mode(), MarginMode::Gated);
+        assert_eq!(
+            ThrottleSetting::Fixed(MegaHz::new(2100.0)).margin_mode(),
+            MarginMode::Fixed(MegaHz::new(2100.0))
+        );
+    }
+}

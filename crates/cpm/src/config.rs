@@ -1,0 +1,138 @@
+//! CPM configuration types, units and errors.
+
+use std::fmt;
+
+use atm_units::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Number of CPMs in each core.
+pub const CPMS_PER_CORE: usize = 5;
+
+/// Time encoded by one unit of the CPM readout inverter chain.
+///
+/// The paper reports that one inserted-delay step corresponds to one to
+/// three readout units (20–60 mV of supply variation); with a 2 ps readout
+/// quantum and 2.4–8.5 ps inserted-delay steps, the model lands in the same
+/// ratio.
+pub const READOUT_QUANTUM: Picos = Picos::new_const(2.0);
+
+/// The functional unit a CPM is embedded in (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CpmUnit {
+    /// Instruction fetch unit.
+    InstructionFetch,
+    /// Instruction scheduling unit.
+    InstructionSched,
+    /// Fixed-point unit.
+    FixedPoint,
+    /// Floating-point unit.
+    FloatingPoint,
+    /// Last-level cache (separate clock domain on POWER7+, excluded from
+    /// fine-tuning sweeps like the paper's Fig. 4b does).
+    Cache,
+}
+
+impl CpmUnit {
+    /// All five units in index order.
+    pub const ALL: [CpmUnit; CPMS_PER_CORE] = [
+        CpmUnit::InstructionFetch,
+        CpmUnit::InstructionSched,
+        CpmUnit::FixedPoint,
+        CpmUnit::FloatingPoint,
+        CpmUnit::Cache,
+    ];
+
+    /// The unit's index within a core's CPM set.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            CpmUnit::InstructionFetch => 0,
+            CpmUnit::InstructionSched => 1,
+            CpmUnit::FixedPoint => 2,
+            CpmUnit::FloatingPoint => 3,
+            CpmUnit::Cache => 4,
+        }
+    }
+
+    /// The inverse of [`CpmUnit::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 5`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        CpmUnit::ALL[index]
+    }
+}
+
+impl fmt::Display for CpmUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CpmUnit::InstructionFetch => "IFU",
+            CpmUnit::InstructionSched => "ISU",
+            CpmUnit::FixedPoint => "FXU",
+            CpmUnit::FloatingPoint => "FPU",
+            CpmUnit::Cache => "LLC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error raised by invalid CPM reconfiguration requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpmConfigError {
+    /// The requested delay reduction exceeds a CPM's preset inserted delay
+    /// — there are no more inverters to remove.
+    ReductionTooLarge {
+        /// The requested reduction in steps.
+        requested: usize,
+        /// The largest reduction this core supports.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CpmConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpmConfigError::ReductionTooLarge { requested, max } => write!(
+                f,
+                "requested CPM delay reduction of {requested} steps exceeds the core's preset (max {max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CpmConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_index_roundtrip() {
+        for u in CpmUnit::ALL {
+            assert_eq!(CpmUnit::from_index(u.index()), u);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CpmUnit::InstructionFetch.to_string(), "IFU");
+        assert_eq!(CpmUnit::Cache.to_string(), "LLC");
+    }
+
+    #[test]
+    fn error_display_mentions_limits() {
+        let e = CpmConfigError::ReductionTooLarge {
+            requested: 12,
+            max: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("12") && msg.contains("9"));
+    }
+
+    #[test]
+    fn readout_quantum_positive() {
+        assert!(READOUT_QUANTUM.get() > 0.0);
+    }
+}

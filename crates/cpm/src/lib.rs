@@ -1,0 +1,52 @@
+//! Critical Path Monitor (CPM) model: the programmable canary circuit at
+//! the heart of the POWER7+ Active Timing Margin design.
+//!
+//! A CPM has three cascaded parts (paper Fig. 4a):
+//!
+//! 1. a **programmable inserted delay** — a selectable number of inverters
+//!    whose (non-linear) per-step delays come from the core's manufactured
+//!    [`InverterChain`](atm_silicon::InverterChain);
+//! 2. **synthetic paths** mimicking real pipeline circuit delay, tracking
+//!    supply voltage and temperature;
+//! 3. an **inverter-chain readout** that quantizes the remaining slack in a
+//!    cycle into integer units.
+//!
+//! Five CPMs sit in each core (instruction fetch, instruction scheduling,
+//! fixed point, floating point, last-level cache); the worst of the five is
+//! reported to the DPLL every cycle.
+//!
+//! *Fine-tuning* — the paper's central knob — is reprogramming the inserted
+//! delay to a smaller value ([`CoreCpmSet::set_reduction`]), which makes the
+//! control loop perceive more margin and raise frequency.
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_cpm::CoreCpmSet;
+//! use atm_silicon::{SiliconFactory, SiliconParams};
+//! use atm_units::{Celsius, CoreId, MegaHz, Picos, Volts};
+//!
+//! let silicon = SiliconFactory::new(SiliconParams::power7_plus(), 42).core(CoreId::new(0, 0));
+//! let v = Volts::new(1.235);
+//! let t = Celsius::new(45.0);
+//! let mut cpms = CoreCpmSet::calibrate(&silicon, v, t, MegaHz::new(4600.0), Picos::new(10.0));
+//!
+//! // Reducing the inserted delay shrinks the equilibrium period, i.e.
+//! // raises the frequency the ATM loop will settle at.
+//! let before = cpms.equilibrium_period(&silicon, v, t, Picos::new(10.0));
+//! cpms.set_reduction(2)?;
+//! let after = cpms.equilibrium_period(&silicon, v, t, Picos::new(10.0));
+//! assert!(after < before);
+//! # Ok::<(), atm_cpm::CpmConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod monitor;
+mod set;
+
+pub use config::{CpmConfigError, CpmUnit, CPMS_PER_CORE, READOUT_QUANTUM};
+pub use monitor::CpmReading;
+pub use set::CoreCpmSet;

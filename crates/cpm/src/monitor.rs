@@ -1,0 +1,132 @@
+//! CPM measurement output.
+
+use atm_units::Picos;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CpmUnit, READOUT_QUANTUM};
+
+/// One cycle's margin measurement from a CPM (or the worst-of-five from a
+/// core's CPM set).
+///
+/// The readout inverter chain counts how many inverters the signal passes
+/// *after* clearing the inserted delay and synthetic path — an integer
+/// number of [`READOUT_QUANTUM`] units. A margin at or below zero means the
+/// synthetic path did not complete within the cycle: a timing-margin
+/// violation the DPLL must react to immediately.
+///
+/// # Examples
+///
+/// ```
+/// use atm_cpm::{CpmReading, CpmUnit};
+/// use atm_units::Picos;
+///
+/// let r = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(9.0));
+/// assert_eq!(r.units(), 4); // 9 ps / 2 ps quantum
+/// assert!(!r.is_violation());
+///
+/// let v = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(-1.0));
+/// assert!(v.is_violation());
+/// assert_eq!(v.units(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpmReading {
+    unit: CpmUnit,
+    margin: Picos,
+    units: u32,
+    violation: bool,
+}
+
+impl CpmReading {
+    /// Quantizes a raw margin into a reading attributed to `unit`.
+    #[must_use]
+    pub fn quantize(unit: CpmUnit, margin: Picos) -> Self {
+        let violation = margin.get() <= 0.0;
+        let units = if violation {
+            0
+        } else {
+            (margin.get() / READOUT_QUANTUM.get()).floor() as u32
+        };
+        CpmReading {
+            unit,
+            margin,
+            units,
+            violation,
+        }
+    }
+
+    /// Which functional unit's CPM produced this reading.
+    #[must_use]
+    pub fn unit(&self) -> CpmUnit {
+        self.unit
+    }
+
+    /// The quantized margin in readout units (what the hardware reports).
+    #[must_use]
+    pub fn units(&self) -> u32 {
+        self.units
+    }
+
+    /// The underlying continuous margin (model-internal; real hardware only
+    /// sees [`CpmReading::units`]).
+    #[must_use]
+    pub fn margin(&self) -> Picos {
+        self.margin
+    }
+
+    /// Whether the synthetic path failed to complete within the cycle.
+    #[must_use]
+    pub fn is_violation(&self) -> bool {
+        self.violation
+    }
+
+    /// The worse (smaller-margin) of two readings.
+    #[must_use]
+    pub fn worst(self, other: CpmReading) -> CpmReading {
+        if other.margin < self.margin {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_floors() {
+        let r = CpmReading::quantize(CpmUnit::InstructionFetch, Picos::new(7.9));
+        assert_eq!(r.units(), 3);
+        let r = CpmReading::quantize(CpmUnit::InstructionFetch, Picos::new(8.0));
+        assert_eq!(r.units(), 4);
+    }
+
+    #[test]
+    fn zero_margin_is_violation() {
+        assert!(CpmReading::quantize(CpmUnit::Cache, Picos::ZERO).is_violation());
+    }
+
+    #[test]
+    fn positive_margin_not_violation() {
+        assert!(!CpmReading::quantize(CpmUnit::Cache, Picos::new(0.1)).is_violation());
+    }
+
+    #[test]
+    fn worst_picks_smaller_margin() {
+        let a = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(10.0));
+        let b = CpmReading::quantize(CpmUnit::FloatingPoint, Picos::new(4.0));
+        assert_eq!(a.worst(b).unit(), CpmUnit::FloatingPoint);
+        assert_eq!(b.worst(a).unit(), CpmUnit::FloatingPoint);
+    }
+
+    #[test]
+    fn units_monotone_in_margin() {
+        let mut prev = 0;
+        for tenths in 0..200 {
+            let r = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(f64::from(tenths) / 10.0));
+            assert!(r.units() >= prev);
+            prev = r.units();
+        }
+    }
+}

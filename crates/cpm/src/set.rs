@@ -1,0 +1,455 @@
+//! A core's set of five CPMs and its fine-tuning state.
+
+use atm_silicon::CoreSilicon;
+use atm_units::{Celsius, MegaHz, Picos, Volts};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CpmConfigError, CpmUnit, CPMS_PER_CORE};
+use crate::monitor::CpmReading;
+
+/// The five CPMs of one core: their test-time preset inserted delays plus
+/// the current fine-tuning *reduction* applied uniformly to all of them
+/// (the paper reduces all CPMs in a core by the same step count to keep the
+/// search space tractable, Sec. III-A).
+///
+/// The set is pure configuration: measurements take the core's
+/// [`CoreSilicon`] so that one silicon description can be shared by the
+/// chip simulator without aliasing.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreCpmSet {
+    presets: [usize; CPMS_PER_CORE],
+    reductions: [usize; CPMS_PER_CORE],
+}
+
+impl CoreCpmSet {
+    /// Builds a set from explicit per-CPM presets with no reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any preset exceeds the inverter-chain length
+    /// ([`atm_silicon::MAX_INSERTED_STEPS`]).
+    #[must_use]
+    pub fn from_presets(presets: [usize; CPMS_PER_CORE]) -> Self {
+        for (i, &p) in presets.iter().enumerate() {
+            assert!(
+                p <= atm_silicon::MAX_INSERTED_STEPS,
+                "CPM {i} preset {p} exceeds chain length"
+            );
+        }
+        CoreCpmSet {
+            presets,
+            reductions: [0; CPMS_PER_CORE],
+        }
+    }
+
+    /// Test-time calibration: chooses each CPM's preset inserted delay so
+    /// that, at typical idle conditions `(v, t)`, the ATM loop settles at
+    /// `target` — the manufacturer's uniform-performance contract (all
+    /// cores ≈ 4.6 GHz under the default configuration).
+    ///
+    /// Fast silicon gets *more* inserted delay (filling the empty time
+    /// after its short paths), slow silicon gets less — reproducing the
+    /// 7–20 preset spread of the paper's Fig. 4b.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero or `threshold` is negative.
+    #[must_use]
+    pub fn calibrate(
+        silicon: &CoreSilicon,
+        v: Volts,
+        t: Celsius,
+        target: MegaHz,
+        threshold: Picos,
+    ) -> Self {
+        assert!(threshold.get() >= 0.0, "threshold must be non-negative");
+        let period = target.period();
+        let chain = silicon.inverter_chain();
+        let mut presets = [0usize; CPMS_PER_CORE];
+        for (i, preset) in presets.iter_mut().enumerate() {
+            let budget = period - silicon.cpm_synthetic_delay(i, v, t) - threshold;
+            *preset = if budget.get() <= 0.0 {
+                0
+            } else {
+                chain.steps_within(budget)
+            };
+        }
+        CoreCpmSet {
+            presets,
+            reductions: [0; CPMS_PER_CORE],
+        }
+    }
+
+    /// The preset inserted delay (in steps) of CPM `unit`.
+    #[must_use]
+    pub fn preset(&self, unit: CpmUnit) -> usize {
+        self.presets[unit.index()]
+    }
+
+    /// Mean preset across the four core-domain CPMs (the LLC lies in a
+    /// different clock domain and is excluded, as in the paper's Fig. 4b).
+    #[must_use]
+    pub fn mean_core_preset(&self) -> f64 {
+        let sum: usize = CpmUnit::ALL
+            .iter()
+            .filter(|u| **u != CpmUnit::Cache)
+            .map(|u| self.presets[u.index()])
+            .sum();
+        sum as f64 / (CPMS_PER_CORE - 1) as f64
+    }
+
+    /// The current nominal fine-tuning reduction: the largest reduction
+    /// across the five CPMs. With the paper's uniform programming (the
+    /// only mode [`CoreCpmSet::set_reduction`] offers) every CPM carries
+    /// this value.
+    #[must_use]
+    pub fn reduction(&self) -> usize {
+        *self.reductions.iter().max().expect("five CPMs")
+    }
+
+    /// The per-unit reduction of CPM `unit`.
+    #[must_use]
+    pub fn unit_reduction(&self, unit: CpmUnit) -> usize {
+        self.reductions[unit.index()]
+    }
+
+    /// The largest *uniform* reduction this core supports (bounded by its
+    /// smallest preset — a CPM cannot have negative inserted delay).
+    #[must_use]
+    pub fn max_reduction(&self) -> usize {
+        *self.presets.iter().min().expect("five presets")
+    }
+
+    /// Programs a new uniform delay reduction on all five CPMs (the
+    /// "specialized commands to the service processor" of Sec. III-A; the
+    /// paper reduces all CPMs in a core by the same step count to keep the
+    /// search space tractable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpmConfigError::ReductionTooLarge`] if `steps` exceeds
+    /// [`CoreCpmSet::max_reduction`]. On error the previous configuration
+    /// is left untouched.
+    pub fn set_reduction(&mut self, steps: usize) -> Result<(), CpmConfigError> {
+        if steps > self.max_reduction() {
+            return Err(CpmConfigError::ReductionTooLarge {
+                requested: steps,
+                max: self.max_reduction(),
+            });
+        }
+        self.reductions = [steps; CPMS_PER_CORE];
+        Ok(())
+    }
+
+    /// Programs one CPM's delay reduction independently (the non-uniform
+    /// tuning the paper leaves unexplored; see the `ext-percpm` exhibit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpmConfigError::ReductionTooLarge`] if `steps` exceeds
+    /// this unit's own preset.
+    pub fn set_unit_reduction(
+        &mut self,
+        unit: CpmUnit,
+        steps: usize,
+    ) -> Result<(), CpmConfigError> {
+        let preset = self.presets[unit.index()];
+        if steps > preset {
+            return Err(CpmConfigError::ReductionTooLarge {
+                requested: steps,
+                max: preset,
+            });
+        }
+        self.reductions[unit.index()] = steps;
+        Ok(())
+    }
+
+    /// The effective inserted-delay step count of CPM `unit` after the
+    /// current reduction.
+    #[must_use]
+    pub fn effective_steps(&self, unit: CpmUnit) -> usize {
+        self.presets[unit.index()] - self.reductions[unit.index()]
+    }
+
+    /// The inserted delay time of CPM `unit` on this core's chain.
+    #[must_use]
+    pub fn inserted_delay(&self, silicon: &CoreSilicon, unit: CpmUnit) -> Picos {
+        silicon
+            .inverter_chain()
+            .cumulative(self.effective_steps(unit))
+    }
+
+    /// Measures one cycle: returns the worst of the five CPM readings for
+    /// clock period `period` at conditions `(v, t)`.
+    #[must_use]
+    pub fn measure(
+        &self,
+        silicon: &CoreSilicon,
+        period: Picos,
+        v: Volts,
+        t: Celsius,
+    ) -> CpmReading {
+        let mut worst: Option<CpmReading> = None;
+        for unit in CpmUnit::ALL {
+            let occupied =
+                self.inserted_delay(silicon, unit) + silicon.cpm_synthetic_delay(unit.index(), v, t);
+            let reading = CpmReading::quantize(unit, period - occupied);
+            worst = Some(match worst {
+                Some(w) => w.worst(reading),
+                None => reading,
+            });
+        }
+        worst.expect("at least one CPM")
+    }
+
+    /// Like [`CoreCpmSet::measure`], but reusing a precomputed real-path
+    /// base delay (the simulator computes it once per tick and shares it
+    /// between the failure check and all five CPMs).
+    #[must_use]
+    pub fn measure_from_base(
+        &self,
+        silicon: &CoreSilicon,
+        period: Picos,
+        base_delay: Picos,
+    ) -> CpmReading {
+        let mut worst: Option<CpmReading> = None;
+        for unit in CpmUnit::ALL {
+            let occupied =
+                self.inserted_delay(silicon, unit) + base_delay * silicon.mimic_ratio(unit.index());
+            let reading = CpmReading::quantize(unit, period - occupied);
+            worst = Some(match worst {
+                Some(w) => w.worst(reading),
+                None => reading,
+            });
+        }
+        worst.expect("at least one CPM")
+    }
+
+    /// Like [`CoreCpmSet::equilibrium_period`], but reusing a precomputed
+    /// real-path base delay.
+    #[must_use]
+    pub fn equilibrium_period_from_base(
+        &self,
+        silicon: &CoreSilicon,
+        base_delay: Picos,
+        threshold: Picos,
+    ) -> Picos {
+        CpmUnit::ALL
+            .iter()
+            .map(|&unit| {
+                self.inserted_delay(silicon, unit)
+                    + base_delay * silicon.mimic_ratio(unit.index())
+                    + threshold
+            })
+            .fold(Picos::ZERO, Picos::max)
+    }
+
+    /// The clock period at which the worst CPM reports exactly `threshold`
+    /// of margin — the period the ATM loop will converge to at conditions
+    /// `(v, t)`.
+    #[must_use]
+    pub fn equilibrium_period(
+        &self,
+        silicon: &CoreSilicon,
+        v: Volts,
+        t: Celsius,
+        threshold: Picos,
+    ) -> Picos {
+        CpmUnit::ALL
+            .iter()
+            .map(|&unit| {
+                self.inserted_delay(silicon, unit)
+                    + silicon.cpm_synthetic_delay(unit.index(), v, t)
+                    + threshold
+            })
+            .fold(Picos::ZERO, Picos::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_silicon::{SiliconFactory, SiliconParams};
+    use atm_units::CoreId;
+
+    const THRESHOLD: Picos = Picos::new_const(10.0);
+
+    fn silicon(core: usize) -> CoreSilicon {
+        SiliconFactory::new(SiliconParams::power7_plus(), 42).core(CoreId::new(0, core))
+    }
+
+    fn typical() -> (Volts, Celsius) {
+        (Volts::new(1.235), Celsius::new(45.0))
+    }
+
+    #[test]
+    fn calibration_hits_target_within_one_step() {
+        let (v, t) = typical();
+        for c in 0..8 {
+            let si = silicon(c);
+            let set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), THRESHOLD);
+            let period = set.equilibrium_period(&si, v, t, THRESHOLD);
+            let f = period.frequency();
+            // Quantization means we land at or above 4600, within one
+            // chain step (≤ ~13 ps ≈ 280 MHz at 4.6 GHz).
+            assert!(
+                f.get() >= 4599.0 && f.get() < 4950.0,
+                "core {c} calibrated to {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_monotonically_raises_frequency() {
+        let (v, t) = typical();
+        let si = silicon(3);
+        let mut set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), THRESHOLD);
+        let mut prev = set.equilibrium_period(&si, v, t, THRESHOLD);
+        for r in 1..=set.max_reduction().min(8) {
+            set.set_reduction(r).unwrap();
+            let p = set.equilibrium_period(&si, v, t, THRESHOLD);
+            assert!(p <= prev, "period must shrink as delay is removed");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn over_reduction_is_an_error() {
+        let (v, t) = typical();
+        let si = silicon(0);
+        let mut set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), THRESHOLD);
+        let max = set.max_reduction();
+        assert!(set.set_reduction(max).is_ok());
+        let err = set.set_reduction(max + 1).unwrap_err();
+        assert_eq!(
+            err,
+            CpmConfigError::ReductionTooLarge {
+                requested: max + 1,
+                max
+            }
+        );
+        // A failed set leaves the previous value intact.
+        assert_eq!(set.reduction(), max);
+    }
+
+    #[test]
+    fn lower_voltage_reports_less_margin() {
+        let (_, t) = typical();
+        let si = silicon(1);
+        let set = CoreCpmSet::calibrate(&si, Volts::new(1.235), t, MegaHz::new(4600.0), THRESHOLD);
+        let period = MegaHz::new(4600.0).period();
+        let high = set.measure(&si, period, Volts::new(1.235), t);
+        let low = set.measure(&si, period, Volts::new(1.20), t);
+        assert!(low.margin() < high.margin());
+    }
+
+    #[test]
+    fn violation_reported_when_period_too_short() {
+        let (v, t) = typical();
+        let si = silicon(2);
+        let set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), THRESHOLD);
+        let tight = set.equilibrium_period(&si, v, t, Picos::ZERO) - Picos::new(1.0);
+        assert!(set.measure(&si, tight, v, t).is_violation());
+    }
+
+    #[test]
+    fn presets_cover_paper_range_across_cores() {
+        // Fig. 4b: presets roughly 7–20 steps across the two chips.
+        let (v, t) = typical();
+        let factory = SiliconFactory::new(SiliconParams::power7_plus(), 42);
+        let mut means = Vec::new();
+        for id in CoreId::all() {
+            let si = factory.core(id);
+            let set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), THRESHOLD);
+            means.push(set.mean_core_preset());
+        }
+        let min = means.iter().copied().fold(f64::MAX, f64::min);
+        let max = means.iter().copied().fold(f64::MIN, f64::max);
+        assert!(min >= 3.0, "fastest-chain preset too small: {min}");
+        assert!(max <= 28.0, "slowest-chain preset too large: {max}");
+        assert!(max / min >= 1.8, "preset spread too narrow: {min}..{max}");
+    }
+
+    #[test]
+    fn equilibrium_consistent_with_measure() {
+        let (v, t) = typical();
+        let si = silicon(5);
+        let set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), THRESHOLD);
+        let period = set.equilibrium_period(&si, v, t, THRESHOLD);
+        let reading = set.measure(&si, period, v, t);
+        assert!(!reading.is_violation());
+        assert!((reading.margin().get() - THRESHOLD.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds chain length")]
+    fn absurd_preset_rejected() {
+        let _ = CoreCpmSet::from_presets([40, 10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn per_unit_reduction_bounded_by_own_preset() {
+        let mut set = CoreCpmSet::from_presets([10, 12, 8, 9, 11]);
+        assert!(set.set_unit_reduction(CpmUnit::InstructionSched, 12).is_ok());
+        assert_eq!(set.unit_reduction(CpmUnit::InstructionSched), 12);
+        assert_eq!(set.reduction(), 12);
+        // A unit cannot be reduced past its own preset even when others
+        // could.
+        let err = set.set_unit_reduction(CpmUnit::FixedPoint, 9).unwrap_err();
+        assert_eq!(
+            err,
+            CpmConfigError::ReductionTooLarge {
+                requested: 9,
+                max: 8
+            }
+        );
+    }
+
+    #[test]
+    fn uniform_set_overwrites_per_unit_tuning() {
+        let mut set = CoreCpmSet::from_presets([10, 12, 8, 9, 11]);
+        set.set_unit_reduction(CpmUnit::FloatingPoint, 5).unwrap();
+        set.set_reduction(2).unwrap();
+        for unit in CpmUnit::ALL {
+            assert_eq!(set.unit_reduction(unit), 2);
+        }
+    }
+
+    #[test]
+    fn only_the_binding_cpm_moves_the_equilibrium() {
+        // Reducing a non-binding CPM's delay does not change the loop's
+        // equilibrium; reducing the binding one does. This is why the
+        // paper's uniform programming loses nothing when presets are not
+        // exhausted: the binding unit gets the same trim either way.
+        let (v, t) = typical();
+        let si = silicon(4);
+        let mut set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), THRESHOLD);
+        let base = set.equilibrium_period(&si, v, t, THRESHOLD);
+        // Identify the binding unit at the default configuration.
+        let binding = CpmUnit::ALL
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let occ = |u: CpmUnit| {
+                    (set.inserted_delay(&si, u) + si.cpm_synthetic_delay(u.index(), v, t)).get()
+                };
+                occ(a).partial_cmp(&occ(b)).unwrap()
+            })
+            .unwrap();
+        // Trim a different unit: no change.
+        let other = CpmUnit::ALL
+            .iter()
+            .copied()
+            .find(|u| *u != binding)
+            .unwrap();
+        set.set_unit_reduction(other, 1).unwrap();
+        assert_eq!(set.equilibrium_period(&si, v, t, THRESHOLD), base);
+        // Trim the binding unit: equilibrium moves.
+        set.set_unit_reduction(binding, 1).unwrap();
+        assert!(set.equilibrium_period(&si, v, t, THRESHOLD) < base);
+    }
+}

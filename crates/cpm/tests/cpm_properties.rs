@@ -1,0 +1,118 @@
+//! Property tests for the Critical Path Monitor model.
+
+use atm_cpm::{CoreCpmSet, CpmReading, CpmUnit, READOUT_QUANTUM};
+use atm_silicon::{SiliconFactory, SiliconParams};
+use atm_units::{Celsius, CoreId, MegaHz, Picos, Volts};
+use proptest::prelude::*;
+
+fn silicon(seed: u64, flat: usize) -> atm_silicon::CoreSilicon {
+    SiliconFactory::new(SiliconParams::power7_plus(), seed).core(CoreId::from_flat_index(flat))
+}
+
+proptest! {
+    #[test]
+    fn reading_quantization_consistent(margin in -50.0f64..100.0) {
+        let r = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(margin));
+        if margin <= 0.0 {
+            prop_assert!(r.is_violation());
+            prop_assert_eq!(r.units(), 0);
+        } else {
+            prop_assert!(!r.is_violation());
+            let expect = (margin / READOUT_QUANTUM.get()).floor() as u32;
+            prop_assert_eq!(r.units(), expect);
+        }
+    }
+
+    #[test]
+    fn worst_is_commutative_and_idempotent(a in -20.0f64..60.0, b in -20.0f64..60.0) {
+        let ra = CpmReading::quantize(CpmUnit::InstructionFetch, Picos::new(a));
+        let rb = CpmReading::quantize(CpmUnit::FloatingPoint, Picos::new(b));
+        prop_assert_eq!(ra.worst(rb).margin(), rb.worst(ra).margin());
+        prop_assert_eq!(ra.worst(ra).margin(), ra.margin());
+    }
+
+    #[test]
+    fn calibration_within_preset_bounds(seed in 0u64..1000, flat in 0usize..16) {
+        let si = silicon(seed, flat);
+        let set = CoreCpmSet::calibrate(
+            &si,
+            Volts::new(1.235),
+            Celsius::new(45.0),
+            MegaHz::new(4600.0),
+            Picos::new(10.0),
+        );
+        for unit in CpmUnit::ALL {
+            prop_assert!(set.preset(unit) <= atm_silicon::MAX_INSERTED_STEPS);
+        }
+        prop_assert!(set.max_reduction() <= atm_silicon::MAX_INSERTED_STEPS);
+    }
+
+    #[test]
+    fn equilibrium_monotone_in_voltage(seed in 0u64..300, flat in 0usize..16) {
+        let si = silicon(seed, flat);
+        let t = Celsius::new(45.0);
+        let thr = Picos::new(10.0);
+        let set = CoreCpmSet::calibrate(&si, Volts::new(1.235), t, MegaHz::new(4600.0), thr);
+        let mut prev = set.equilibrium_period(&si, Volts::new(1.15), t, thr);
+        for mv in (1160..=1260).step_by(20) {
+            let p = set.equilibrium_period(&si, Volts::new(f64::from(mv) / 1000.0), t, thr);
+            prop_assert!(p <= prev, "period must shrink as voltage rises");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn measure_from_base_matches_measure(seed in 0u64..300, flat in 0usize..16) {
+        let si = silicon(seed, flat);
+        let v = Volts::new(1.22);
+        let t = Celsius::new(55.0);
+        let thr = Picos::new(10.0);
+        let set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), thr);
+        let period = MegaHz::new(4600.0).period();
+        let direct = set.measure(&si, period, v, t);
+        let base = si.real_path_delay(v, t);
+        let fast = set.measure_from_base(&si, period, base);
+        prop_assert_eq!(direct.units(), fast.units());
+        prop_assert!((direct.margin().get() - fast.margin().get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_roundtrip_preserves_state(seed in 0u64..300, flat in 0usize..16) {
+        let si = silicon(seed, flat);
+        let mut set = CoreCpmSet::calibrate(
+            &si,
+            Volts::new(1.235),
+            Celsius::new(45.0),
+            MegaHz::new(4600.0),
+            Picos::new(10.0),
+        );
+        let original = set.clone();
+        let max = set.max_reduction();
+        if max > 0 {
+            set.set_reduction(max).unwrap();
+            set.set_reduction(0).unwrap();
+        }
+        prop_assert_eq!(set, original);
+    }
+}
+
+#[test]
+fn five_cpms_report_worst_unit() {
+    let si = silicon(42, 0);
+    let v = Volts::new(1.235);
+    let t = Celsius::new(45.0);
+    let set = CoreCpmSet::calibrate(&si, v, t, MegaHz::new(4600.0), Picos::new(10.0));
+    let reading = set.measure(&si, MegaHz::new(4600.0).period(), v, t);
+    // The reported unit must be the one with the largest occupied time.
+    let worst_unit = CpmUnit::ALL
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            let occ = |u: CpmUnit| {
+                set.inserted_delay(&si, u) + si.cpm_synthetic_delay(u.index(), v, t)
+            };
+            occ(a).get().partial_cmp(&occ(b).get()).unwrap()
+        })
+        .unwrap();
+    assert_eq!(reading.unit(), worst_unit);
+}

@@ -1,0 +1,157 @@
+//! The digital phase-locked loop frequency actuator.
+
+use atm_units::MegaHz;
+use serde::{Deserialize, Serialize};
+
+/// A per-core DPLL: holds the core's clock frequency and enforces the
+/// physical slew limits of the clock generator.
+///
+/// The DPLL can *reduce* frequency very quickly (that is the point of the
+/// design — riding out a droop without gating), while *raising* frequency
+/// is deliberately slow so the loop does not overshoot into a violation.
+///
+/// # Examples
+///
+/// ```
+/// use atm_dpll::Dpll;
+/// use atm_units::MegaHz;
+///
+/// let mut dpll = Dpll::new(MegaHz::new(4200.0), MegaHz::new(2000.0), MegaHz::new(5400.0));
+/// dpll.slew_up(0.002);
+/// assert!(dpll.frequency() > MegaHz::new(4200.0));
+/// dpll.slew_down(0.05);
+/// assert!(dpll.frequency() < MegaHz::new(4200.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dpll {
+    frequency: MegaHz,
+    fmin: MegaHz,
+    fmax: MegaHz,
+    gated_cycles: u64,
+}
+
+impl Dpll {
+    /// Creates a DPLL at `initial`, clamped into `[fmin, fmax]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fmin > fmax` or `fmin` is zero.
+    #[must_use]
+    pub fn new(initial: MegaHz, fmin: MegaHz, fmax: MegaHz) -> Self {
+        assert!(fmin.get() > 0.0, "fmin must be positive");
+        assert!(fmin <= fmax, "fmin {fmin} exceeds fmax {fmax}");
+        Dpll {
+            frequency: initial.clamp(fmin, fmax),
+            fmin,
+            fmax,
+            gated_cycles: 0,
+        }
+    }
+
+    /// The current clock frequency.
+    #[must_use]
+    pub fn frequency(&self) -> MegaHz {
+        self.frequency
+    }
+
+    /// The lower frequency bound.
+    #[must_use]
+    pub fn fmin(&self) -> MegaHz {
+        self.fmin
+    }
+
+    /// The upper frequency bound (the DPLL's lock range).
+    #[must_use]
+    pub fn fmax(&self) -> MegaHz {
+        self.fmax
+    }
+
+    /// Cumulative count of emergency-gated cycles.
+    #[must_use]
+    pub fn gated_cycles(&self) -> u64 {
+        self.gated_cycles
+    }
+
+    /// Raises frequency by the fractional `rate` (e.g. `0.002` = +0.2%),
+    /// clamped at `fmax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative.
+    pub fn slew_up(&mut self, rate: f64) {
+        assert!(rate >= 0.0, "slew rate must be non-negative");
+        self.frequency = (self.frequency * (1.0 + rate)).min(self.fmax);
+    }
+
+    /// Lowers frequency by the fractional `rate`, clamped at `fmin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1)`.
+    pub fn slew_down(&mut self, rate: f64) {
+        assert!((0.0..1.0).contains(&rate), "slew rate out of [0,1): {rate}");
+        self.frequency = (self.frequency * (1.0 - rate)).max(self.fmin);
+    }
+
+    /// Jumps directly to `f` (used when a DVFS p-state change re-locks the
+    /// DPLL), clamped into range.
+    pub fn set_frequency(&mut self, f: MegaHz) {
+        self.frequency = f.clamp(self.fmin, self.fmax);
+    }
+
+    /// Records an emergency clock-gate response: the clock is held for
+    /// `cycles` cycles (a throughput penalty, not a frequency change).
+    pub fn gate(&mut self, cycles: u64) {
+        self.gated_cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dpll() -> Dpll {
+        Dpll::new(MegaHz::new(4200.0), MegaHz::new(2000.0), MegaHz::new(5400.0))
+    }
+
+    #[test]
+    fn slews_respect_bounds() {
+        let mut d = dpll();
+        for _ in 0..10_000 {
+            d.slew_up(0.01);
+        }
+        assert_eq!(d.frequency(), MegaHz::new(5400.0));
+        for _ in 0..10_000 {
+            d.slew_down(0.01);
+        }
+        assert_eq!(d.frequency(), MegaHz::new(2000.0));
+    }
+
+    #[test]
+    fn initial_clamped() {
+        let d = Dpll::new(MegaHz::new(9000.0), MegaHz::new(2000.0), MegaHz::new(5400.0));
+        assert_eq!(d.frequency(), MegaHz::new(5400.0));
+    }
+
+    #[test]
+    fn gate_accumulates() {
+        let mut d = dpll();
+        d.gate(1);
+        d.gate(3);
+        assert_eq!(d.gated_cycles(), 4);
+        assert_eq!(d.frequency(), MegaHz::new(4200.0));
+    }
+
+    #[test]
+    fn set_frequency_clamps() {
+        let mut d = dpll();
+        d.set_frequency(MegaHz::new(100.0));
+        assert_eq!(d.frequency(), MegaHz::new(2000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fmin")]
+    fn inverted_bounds_rejected() {
+        let _ = Dpll::new(MegaHz::new(4200.0), MegaHz::new(5000.0), MegaHz::new(4000.0));
+    }
+}

@@ -1,0 +1,237 @@
+//! The ATM comparator loop between CPM readings and the DPLL.
+
+use atm_cpm::{CpmReading, READOUT_QUANTUM};
+use atm_units::{MegaHz, Picos};
+use serde::{Deserialize, Serialize};
+
+use crate::actuator::Dpll;
+
+/// Configuration of one core's ATM control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtmLoopConfig {
+    /// Margin threshold in readout units: the loop holds the worst CPM at
+    /// this reading.
+    pub threshold_units: u32,
+    /// Fractional frequency increase per step when margin is in excess.
+    pub up_rate: f64,
+    /// Fractional frequency decrease per step per unit of margin deficit.
+    pub down_rate_per_unit: f64,
+    /// Cycles gated when a reading shows an outright violation.
+    pub gate_cycles: u64,
+    /// Lower DPLL bound.
+    pub fmin: MegaHz,
+    /// Upper DPLL bound.
+    pub fmax: MegaHz,
+}
+
+impl AtmLoopConfig {
+    /// POWER7+-style loop: 5-unit (≈10 ps) threshold, +0.2% up-slew per
+    /// step, −1% per missing margin unit, 4-cycle emergency gate, DPLL
+    /// range 2.0–5.4 GHz.
+    #[must_use]
+    pub fn power7_plus() -> Self {
+        AtmLoopConfig {
+            threshold_units: 5,
+            up_rate: 0.002,
+            down_rate_per_unit: 0.01,
+            gate_cycles: 4,
+            fmin: MegaHz::new(2000.0),
+            fmax: MegaHz::new(5400.0),
+        }
+    }
+
+    /// The threshold expressed as time.
+    #[must_use]
+    pub fn threshold_time(&self) -> Picos {
+        READOUT_QUANTUM * f64::from(self.threshold_units)
+    }
+
+    fn validate(&self) {
+        assert!(self.up_rate >= 0.0, "up_rate must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&self.down_rate_per_unit),
+            "down_rate_per_unit out of [0,1)"
+        );
+        assert!(self.fmin.get() > 0.0 && self.fmin <= self.fmax, "bad DPLL range");
+    }
+}
+
+impl Default for AtmLoopConfig {
+    fn default() -> Self {
+        AtmLoopConfig::power7_plus()
+    }
+}
+
+/// What the loop did in a step, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopAction {
+    /// Excess margin: frequency was slewed up.
+    SlewUp,
+    /// Margin at the threshold: no change.
+    Hold,
+    /// Margin deficit: frequency was slewed down.
+    SlewDown,
+    /// Violation: the clock was gated and frequency dropped hard.
+    Gate,
+}
+
+/// One core's ATM control loop: compares each CPM reading against the
+/// threshold and drives the [`Dpll`].
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtmLoop {
+    config: AtmLoopConfig,
+    dpll: Dpll,
+    violations: u64,
+}
+
+impl AtmLoop {
+    /// Creates a loop with its DPLL initially at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see field docs).
+    #[must_use]
+    pub fn new(config: AtmLoopConfig, initial: MegaHz) -> Self {
+        config.validate();
+        AtmLoop {
+            config,
+            dpll: Dpll::new(initial, config.fmin, config.fmax),
+            violations: 0,
+        }
+    }
+
+    /// The loop configuration.
+    #[must_use]
+    pub fn config(&self) -> &AtmLoopConfig {
+        &self.config
+    }
+
+    /// The current clock frequency.
+    #[must_use]
+    pub fn frequency(&self) -> MegaHz {
+        self.dpll.frequency()
+    }
+
+    /// The underlying DPLL (for telemetry such as gated-cycle counts).
+    #[must_use]
+    pub fn dpll(&self) -> &Dpll {
+        &self.dpll
+    }
+
+    /// Number of violation events the loop has absorbed.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Re-locks the DPLL at `f` (a p-state change).
+    pub fn relock(&mut self, f: MegaHz) {
+        self.dpll.set_frequency(f);
+    }
+
+    /// Advances the loop one step with the worst CPM reading of the
+    /// interval, returning the action taken.
+    pub fn step(&mut self, reading: CpmReading) -> LoopAction {
+        if reading.is_violation() {
+            self.violations += 1;
+            self.dpll.gate(self.config.gate_cycles);
+            // Hard back-off: treat as a max-deficit slew.
+            let deficit = f64::from(self.config.threshold_units.max(1));
+            self.dpll
+                .slew_down((self.config.down_rate_per_unit * deficit).min(0.99));
+            return LoopAction::Gate;
+        }
+        let units = reading.units();
+        if units > self.config.threshold_units {
+            self.dpll.slew_up(self.config.up_rate);
+            LoopAction::SlewUp
+        } else if units == self.config.threshold_units {
+            LoopAction::Hold
+        } else {
+            let deficit = f64::from(self.config.threshold_units - units);
+            self.dpll
+                .slew_down((self.config.down_rate_per_unit * deficit).min(0.99));
+            LoopAction::SlewDown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_cpm::CpmUnit;
+
+    fn reading(margin_ps: f64) -> CpmReading {
+        CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(margin_ps))
+    }
+
+    #[test]
+    fn excess_margin_slews_up() {
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
+        assert_eq!(lp.step(reading(30.0)), LoopAction::SlewUp);
+        assert!(lp.frequency() > MegaHz::new(4200.0));
+    }
+
+    #[test]
+    fn threshold_margin_holds() {
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
+        // 5 units × 2 ps = 10..12 ps reads as exactly the threshold.
+        assert_eq!(lp.step(reading(10.5)), LoopAction::Hold);
+        assert_eq!(lp.frequency(), MegaHz::new(4200.0));
+    }
+
+    #[test]
+    fn deficit_slews_down_proportionally() {
+        let cfg = AtmLoopConfig::power7_plus();
+        let mut small = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        let mut large = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        assert_eq!(small.step(reading(8.0)), LoopAction::SlewDown);
+        assert_eq!(large.step(reading(2.0)), LoopAction::SlewDown);
+        assert!(large.frequency() < small.frequency());
+    }
+
+    #[test]
+    fn violation_gates_and_backs_off() {
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
+        assert_eq!(lp.step(reading(-5.0)), LoopAction::Gate);
+        assert_eq!(lp.violations(), 1);
+        assert_eq!(lp.dpll().gated_cycles(), 4);
+        assert!(lp.frequency() < MegaHz::new(4200.0));
+    }
+
+    #[test]
+    fn loop_converges_to_threshold_margin() {
+        // Feed the loop a synthetic plant: margin = period - occupied.
+        let cfg = AtmLoopConfig::power7_plus();
+        let mut lp = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        let occupied = Picos::new(200.0);
+        for _ in 0..20_000 {
+            let margin = lp.frequency().period() - occupied;
+            lp.step(CpmReading::quantize(CpmUnit::FixedPoint, margin));
+        }
+        let margin = lp.frequency().period() - occupied;
+        let units = (margin.get() / READOUT_QUANTUM.get()).floor();
+        assert!(
+            (units - f64::from(cfg.threshold_units)).abs() <= 1.0,
+            "converged to {units} units, expected ~{}",
+            cfg.threshold_units
+        );
+    }
+
+    #[test]
+    fn relock_moves_frequency() {
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
+        lp.relock(MegaHz::new(3000.0));
+        assert_eq!(lp.frequency(), MegaHz::new(3000.0));
+    }
+
+    #[test]
+    fn threshold_time_matches_quantum() {
+        let cfg = AtmLoopConfig::power7_plus();
+        assert_eq!(cfg.threshold_time(), Picos::new(10.0));
+    }
+}

@@ -1,0 +1,45 @@
+//! The per-core clock generation and Active Timing Margin control loop.
+//!
+//! POWER7+ gives every core a digital phase-locked loop (DPLL) that can
+//! slew frequency at fine granularity, plus a feedback loop from the
+//! core's CPMs: each cycle the worst CPM reading is compared against a
+//! threshold and the clock is adjusted — down fast (or gated outright) on
+//! a margin deficit, up slowly when excess margin is available.
+//!
+//! This crate models that loop at simulation-tick granularity:
+//!
+//! * [`Dpll`] — the frequency actuator with asymmetric slew rates and
+//!   emergency clock gating;
+//! * [`AtmLoop`] — the comparator connecting CPM readings to the DPLL;
+//! * [`FreqWindow`] — the 32 ms sliding-window average frequency the
+//!   off-chip voltage controller consumes;
+//! * [`AtmPolicy`] / [`UndervoltController`] — the off-chip policy that
+//!   turns reclaimed margin into either frequency (overclocking, what the
+//!   paper uses) or power savings (undervolting, what it bypasses).
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_dpll::{AtmLoop, AtmLoopConfig};
+//! use atm_cpm::{CpmReading, CpmUnit};
+//! use atm_units::{MegaHz, Picos};
+//!
+//! let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
+//! // Plenty of margin: the loop slews the clock upward.
+//! let before = lp.frequency();
+//! lp.step(CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(30.0)));
+//! assert!(lp.frequency() > before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actuator;
+mod control;
+mod policy;
+mod window;
+
+pub use actuator::Dpll;
+pub use control::{AtmLoop, AtmLoopConfig, LoopAction};
+pub use policy::{AtmPolicy, UndervoltController};
+pub use window::FreqWindow;

@@ -1,0 +1,174 @@
+//! Off-chip voltage-control policy: overclock or undervolt.
+
+use atm_units::{MegaHz, Volts};
+use serde::{Deserialize, Serialize};
+
+/// How the off-chip controller spends ATM's reclaimed timing margin.
+///
+/// The paper *bypasses* undervolting ("we convert all of ATM's reclaimed
+/// timing margin into frequency and keep Vdd unchanged") because the
+/// chip-wide shared rail would let the worst core cap everyone's savings;
+/// overclocking lets each core's loop float independently. Both policies
+/// are implemented for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AtmPolicy {
+    /// Keep Vdd fixed; every core's DPLL floats to its own maximum
+    /// frequency. The paper's configuration.
+    #[default]
+    Overclock,
+    /// Hold a chip-wide frequency target and convert the excess margin of
+    /// the *slowest* core into a lower Vdd for the whole chip.
+    Undervolt {
+        /// The user-specified frequency target the chip must sustain.
+        target: MegaHz,
+    },
+}
+
+/// The off-chip undervolting controller.
+///
+/// Every control interval (32 ms on POWER7+) it reads the sliding-window
+/// average frequency of the chip's slowest core and steps Vdd down while
+/// the target is exceeded, or back up when the target is missed.
+///
+/// # Examples
+///
+/// ```
+/// use atm_dpll::UndervoltController;
+/// use atm_units::{MegaHz, Volts};
+///
+/// let mut uv = UndervoltController::new(
+///     MegaHz::new(4400.0),
+///     Volts::new(1.25),
+///     Volts::new(1.05),
+///     Volts::new(0.005),
+/// );
+/// // Slowest core comfortably above target: shave voltage.
+/// let v1 = uv.update(MegaHz::new(4650.0));
+/// assert!(v1 < Volts::new(1.25));
+/// // Target missed: restore voltage.
+/// let v2 = uv.update(MegaHz::new(4300.0));
+/// assert!(v2 > v1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UndervoltController {
+    target: MegaHz,
+    vmax: Volts,
+    vmin: Volts,
+    step: Volts,
+    current: Volts,
+}
+
+impl UndervoltController {
+    /// Creates a controller starting at `vmax`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vmin > vmax` or `step` is not positive.
+    #[must_use]
+    pub fn new(target: MegaHz, vmax: Volts, vmin: Volts, step: Volts) -> Self {
+        assert!(vmin <= vmax, "vmin {vmin} exceeds vmax {vmax}");
+        assert!(step.get() > 0.0, "voltage step must be positive");
+        UndervoltController {
+            target,
+            vmax,
+            vmin,
+            step,
+            current: vmax,
+        }
+    }
+
+    /// The frequency target.
+    #[must_use]
+    pub fn target(&self) -> MegaHz {
+        self.target
+    }
+
+    /// The current Vdd command.
+    #[must_use]
+    pub fn voltage(&self) -> Volts {
+        self.current
+    }
+
+    /// One control interval: adjusts Vdd given the slowest core's
+    /// windowed average frequency, returning the new command.
+    pub fn update(&mut self, slowest_avg: MegaHz) -> Volts {
+        if slowest_avg > self.target {
+            self.current = self.current.saturating_sub(self.step).max(self.vmin);
+        } else if slowest_avg < self.target {
+            self.current = (self.current + self.step).min(self.vmax);
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> UndervoltController {
+        UndervoltController::new(
+            MegaHz::new(4400.0),
+            Volts::new(1.25),
+            Volts::new(1.05),
+            Volts::new(0.005),
+        )
+    }
+
+    #[test]
+    fn default_policy_is_overclock() {
+        assert_eq!(AtmPolicy::default(), AtmPolicy::Overclock);
+    }
+
+    #[test]
+    fn undervolts_while_above_target() {
+        let mut uv = controller();
+        let mut prev = uv.voltage();
+        for _ in 0..5 {
+            let v = uv.update(MegaHz::new(4700.0));
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn never_below_vmin() {
+        let mut uv = controller();
+        for _ in 0..1000 {
+            uv.update(MegaHz::new(5200.0));
+        }
+        assert_eq!(uv.voltage(), Volts::new(1.05));
+    }
+
+    #[test]
+    fn recovers_when_target_missed() {
+        let mut uv = controller();
+        for _ in 0..10 {
+            uv.update(MegaHz::new(4700.0));
+        }
+        let low = uv.voltage();
+        for _ in 0..1000 {
+            uv.update(MegaHz::new(4200.0));
+        }
+        assert!(uv.voltage() > low);
+        assert_eq!(uv.voltage(), Volts::new(1.25));
+    }
+
+    #[test]
+    fn holds_at_target() {
+        let mut uv = controller();
+        let v0 = uv.voltage();
+        uv.update(MegaHz::new(4400.0));
+        assert_eq!(uv.voltage(), v0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds vmax")]
+    fn inverted_range_rejected() {
+        let _ = UndervoltController::new(
+            MegaHz::new(4400.0),
+            Volts::new(1.0),
+            Volts::new(1.2),
+            Volts::new(0.005),
+        );
+    }
+}

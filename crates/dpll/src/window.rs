@@ -1,0 +1,162 @@
+//! Sliding-window average frequency, consumed by the off-chip controller.
+
+use std::collections::VecDeque;
+
+use atm_units::{MegaHz, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// A time-weighted sliding-window average of a core's frequency.
+///
+/// The POWER7+ off-chip voltage controller reads a **32 ms** sliding-window
+/// average of the slowest core's frequency to decide how much the chip can
+/// be undervolted without missing the frequency target.
+///
+/// # Examples
+///
+/// ```
+/// use atm_dpll::FreqWindow;
+/// use atm_units::{MegaHz, Nanos};
+///
+/// let mut w = FreqWindow::new(Nanos::new(32.0e6)); // 32 ms
+/// w.push(MegaHz::new(4600.0), Nanos::new(1.0e6));
+/// w.push(MegaHz::new(4400.0), Nanos::new(1.0e6));
+/// let avg = w.average().unwrap();
+/// assert!((avg.get() - 4500.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqWindow {
+    duration: Nanos,
+    samples: VecDeque<(MegaHz, Nanos)>,
+    held: Nanos,
+}
+
+impl FreqWindow {
+    /// Creates a window of the given duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    #[must_use]
+    pub fn new(duration: Nanos) -> Self {
+        assert!(duration.get() > 0.0, "window duration must be positive");
+        FreqWindow {
+            duration,
+            samples: VecDeque::new(),
+            held: Nanos::ZERO,
+        }
+    }
+
+    /// The POWER7+ 32 ms window.
+    #[must_use]
+    pub fn power7_plus() -> Self {
+        FreqWindow::new(Nanos::new(32.0e6))
+    }
+
+    /// The window duration.
+    #[must_use]
+    pub fn duration(&self) -> Nanos {
+        self.duration
+    }
+
+    /// Records that the core ran at `f` for `dt`; evicts samples older
+    /// than the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn push(&mut self, f: MegaHz, dt: Nanos) {
+        assert!(dt.get() > 0.0, "sample duration must be positive");
+        self.samples.push_back((f, dt));
+        self.held += dt;
+        while self.held.get() > self.duration.get() {
+            let (_, front_dt) = *self.samples.front().expect("held > 0 implies samples");
+            let excess = self.held - self.duration;
+            if front_dt.get() <= excess.get() + 1e-12 {
+                self.samples.pop_front();
+                self.held = self.held - front_dt;
+            } else {
+                // Trim the oldest sample partially.
+                let (f0, _) = self.samples[0];
+                self.samples[0] = (f0, front_dt - excess);
+                self.held = self.duration;
+            }
+        }
+    }
+
+    /// The time-weighted average frequency over the window, or `None` if
+    /// no samples have been recorded yet.
+    #[must_use]
+    pub fn average(&self) -> Option<MegaHz> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: f64 = self.samples.iter().map(|(_, dt)| dt.get()).sum();
+        let weighted: f64 = self
+            .samples
+            .iter()
+            .map(|(f, dt)| f.get() * dt.get())
+            .sum();
+        Some(MegaHz::new(weighted / total))
+    }
+
+    /// Clears all samples (e.g. after a p-state change).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.held = Nanos::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_has_no_average() {
+        assert!(FreqWindow::power7_plus().average().is_none());
+    }
+
+    #[test]
+    fn average_is_time_weighted() {
+        let mut w = FreqWindow::new(Nanos::new(10.0));
+        w.push(MegaHz::new(4000.0), Nanos::new(1.0));
+        w.push(MegaHz::new(5000.0), Nanos::new(3.0));
+        let avg = w.average().unwrap();
+        assert!((avg.get() - 4750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_samples_evicted() {
+        let mut w = FreqWindow::new(Nanos::new(10.0));
+        w.push(MegaHz::new(1000.0), Nanos::new(10.0));
+        w.push(MegaHz::new(5000.0), Nanos::new(10.0));
+        // The first sample is fully outside the window now.
+        assert!((w.average().unwrap().get() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_eviction_trims() {
+        let mut w = FreqWindow::new(Nanos::new(10.0));
+        w.push(MegaHz::new(1000.0), Nanos::new(8.0));
+        w.push(MegaHz::new(5000.0), Nanos::new(8.0));
+        // Window holds 2 ns of the old sample and 8 ns of the new.
+        let expected = (1000.0 * 2.0 + 5000.0 * 8.0) / 10.0;
+        assert!((w.average().unwrap().get() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut w = FreqWindow::new(Nanos::new(10.0));
+        w.push(MegaHz::new(4000.0), Nanos::new(1.0));
+        w.reset();
+        assert!(w.average().is_none());
+    }
+
+    #[test]
+    fn long_stream_bounded_memory() {
+        let mut w = FreqWindow::new(Nanos::new(100.0));
+        for i in 0..100_000 {
+            w.push(MegaHz::new(4000.0 + f64::from(i % 100)), Nanos::new(1.0));
+        }
+        assert!(w.samples.len() <= 101);
+    }
+}

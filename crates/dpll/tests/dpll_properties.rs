@@ -1,0 +1,111 @@
+//! Property tests for the DPLL and ATM control loop.
+
+use atm_cpm::{CpmReading, CpmUnit};
+use atm_dpll::{AtmLoop, AtmLoopConfig, Dpll, FreqWindow, UndervoltController};
+use atm_units::{MegaHz, Nanos, Picos, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dpll_stays_within_bounds(
+        initial in 1000.0f64..6000.0,
+        ops in prop::collection::vec((0u8..2, 0.0f64..0.05), 0..200),
+    ) {
+        let fmin = MegaHz::new(2000.0);
+        let fmax = MegaHz::new(5400.0);
+        let mut d = Dpll::new(MegaHz::new(initial), fmin, fmax);
+        for (op, rate) in ops {
+            if op == 0 {
+                d.slew_up(rate);
+            } else {
+                d.slew_down(rate.min(0.99));
+            }
+            prop_assert!(d.frequency() >= fmin && d.frequency() <= fmax);
+        }
+    }
+
+    #[test]
+    fn loop_converges_from_any_start(start in 2100.0f64..5300.0, occupied in 180.0f64..230.0) {
+        // Synthetic plant: margin = period − occupied.
+        let cfg = AtmLoopConfig::power7_plus();
+        let mut lp = AtmLoop::new(cfg, MegaHz::new(start));
+        for _ in 0..60_000 {
+            let margin = lp.frequency().period() - Picos::new(occupied);
+            lp.step(CpmReading::quantize(CpmUnit::FixedPoint, margin));
+        }
+        let margin = lp.frequency().period() - Picos::new(occupied);
+        let units = (margin.get() / atm_cpm::READOUT_QUANTUM.get()).floor();
+        prop_assert!(
+            (units - f64::from(cfg.threshold_units)).abs() <= 1.0,
+            "settled at {units} units from start {start}"
+        );
+    }
+
+    #[test]
+    fn violation_always_backs_off(start in 2500.0f64..5300.0) {
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(start));
+        let f0 = lp.frequency();
+        lp.step(CpmReading::quantize(CpmUnit::Cache, Picos::new(-1.0)));
+        prop_assert!(lp.frequency() < f0);
+        prop_assert_eq!(lp.violations(), 1);
+    }
+
+    #[test]
+    fn window_average_within_sample_range(
+        samples in prop::collection::vec(2000.0f64..5400.0, 1..100),
+    ) {
+        let mut w = FreqWindow::new(Nanos::new(1000.0));
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for s in &samples {
+            w.push(MegaHz::new(*s), Nanos::new(10.0));
+        }
+        // Only samples still inside the window bound the average.
+        let window_samples: Vec<f64> = samples
+            .iter()
+            .rev()
+            .take(100)
+            .copied()
+            .collect();
+        for s in &window_samples {
+            lo = lo.min(*s);
+            hi = hi.max(*s);
+        }
+        let avg = w.average().unwrap().get();
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+    }
+
+    #[test]
+    fn undervolt_controller_stays_in_range(
+        freqs in prop::collection::vec(4000.0f64..5000.0, 1..200),
+    ) {
+        let vmax = Volts::new(1.25);
+        let vmin = Volts::new(1.05);
+        let mut uv = UndervoltController::new(MegaHz::new(4400.0), vmax, vmin, Volts::new(0.005));
+        for f in freqs {
+            let v = uv.update(MegaHz::new(f));
+            prop_assert!(v >= vmin && v <= vmax);
+        }
+    }
+}
+
+#[test]
+fn loop_equilibrium_is_independent_of_history() {
+    // Converging from below and from above must land on the same
+    // frequency (within one quantization step) — no hysteresis.
+    let occupied = Picos::new(200.0);
+    let settle = |start: f64| {
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(start));
+        for _ in 0..60_000 {
+            let margin = lp.frequency().period() - occupied;
+            lp.step(CpmReading::quantize(CpmUnit::FixedPoint, margin));
+        }
+        lp.frequency().get()
+    };
+    let from_below = settle(3000.0);
+    let from_above = settle(5300.0);
+    assert!(
+        (from_below - from_above).abs() < 60.0,
+        "hysteresis: {from_below} vs {from_above}"
+    );
+}

@@ -1,0 +1,117 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all                    # every exhibit, full fidelity
+//! repro fig7 table1            # selected exhibits
+//! repro fig14 --quick          # reduced-effort smoke run
+//! repro all --seed 7           # different minted silicon
+//! ```
+
+use std::process::ExitCode;
+
+use atm_experiments::{run_by_name, Context, ExpConfig, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut names: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut seed: u64 = 42;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--seed needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("invalid seed `{v}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                for name in ALL_EXPERIMENTS {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--out" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            other => names.push(other.to_owned()),
+        }
+    }
+
+    if names.is_empty() {
+        print_help();
+        return ExitCode::FAILURE;
+    }
+    if names.iter().any(|n| n == "all") {
+        names = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    let cfg = if quick {
+        ExpConfig::quick(seed)
+    } else {
+        ExpConfig::full(seed)
+    };
+    eprintln!(
+        "repro: seed {seed}, {} fidelity, {} exhibit(s)",
+        if quick { "quick" } else { "full" },
+        names.len()
+    );
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut ctx = Context::new(cfg);
+    for name in &names {
+        match run_by_name(&mut ctx, name) {
+            Ok(report) => {
+                println!("{report}");
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{name}.txt"));
+                    if let Err(e) = std::fs::write(&path, &report) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(unknown) => {
+                eprintln!(
+                    "unknown exhibit `{unknown}`; available: {}",
+                    ALL_EXPERIMENTS.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: repro <exhibit|all> [more exhibits] [--quick] [--seed N] [--out DIR] [--list]"
+    );
+    eprintln!("exhibits: {}", ALL_EXPERIMENTS.join(", "));
+}

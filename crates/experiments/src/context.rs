@@ -1,0 +1,216 @@
+//! Shared experiment context: configuration plus cached characterization.
+
+use atm_chip::{ChipConfig, System};
+use atm_core::charact::{
+    idle_characterization, realistic_characterization_parallel, ubench_characterization,
+    CharactConfig, IdleResult, RealisticResult, UbenchResult,
+};
+use atm_core::stress::{stress_test_deploy, StressTestResult};
+use atm_units::Nanos;
+use atm_workloads::{realistic_set, Workload};
+
+/// Experiment configuration: the seed (which silicon gets minted) and the
+/// characterization effort.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Root seed.
+    pub seed: u64,
+    /// Trial duration / repeat counts for characterization searches.
+    pub charact: CharactConfig,
+    /// Duration of measured performance runs (Fig. 2/14).
+    pub measure: Nanos,
+    /// Worker threads for the app × core sweep of Fig. 10.
+    pub threads: usize,
+}
+
+impl ExpConfig {
+    /// Full-fidelity configuration (what EXPERIMENTS.md records).
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        ExpConfig {
+            seed,
+            charact: CharactConfig::standard(),
+            measure: Nanos::new(200_000.0),
+            threads: num_threads(),
+        }
+    }
+
+    /// Reduced-effort configuration for tests and smoke runs.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        ExpConfig {
+            seed,
+            charact: CharactConfig::quick(),
+            measure: Nanos::new(50_000.0),
+            threads: num_threads(),
+        }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Caches the expensive characterization phases so exhibits can share
+/// them: the full idle → uBench → realistic chain and the stress-test
+/// deployment are each computed once per context.
+#[derive(Debug)]
+pub struct Context {
+    cfg: ExpConfig,
+    charact: Option<CharactCache>,
+    stress: Option<StressTestResult>,
+}
+
+#[derive(Debug)]
+struct CharactCache {
+    idle: Vec<IdleResult>,
+    ubench: Vec<UbenchResult>,
+    realistic: RealisticResult,
+}
+
+impl Context {
+    /// Creates a context.
+    #[must_use]
+    pub fn new(cfg: ExpConfig) -> Self {
+        Context {
+            cfg,
+            charact: None,
+            stress: None,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn cfg(&self) -> &ExpConfig {
+        &self.cfg
+    }
+
+    /// A fresh system minted from the context's seed (static idle posture,
+    /// no reductions programmed).
+    #[must_use]
+    pub fn fresh_system(&self) -> System {
+        System::new(ChipConfig::power7_plus(self.cfg.seed))
+    }
+
+    /// A fresh system with the stress-test map deployed.
+    #[must_use]
+    pub fn deployed_system(&mut self) -> System {
+        let map = self.stress().deployed_map();
+        let mut sys = self.fresh_system();
+        for core in atm_units::CoreId::all() {
+            sys.set_reduction(core, map[core.flat_index()])
+                .expect("validated map");
+        }
+        sys
+    }
+
+    /// Idle characterization results (cached).
+    pub fn idle(&mut self) -> &[IdleResult] {
+        self.ensure_charact();
+        &self.charact.as_ref().expect("ensured").idle
+    }
+
+    /// uBench characterization results (cached).
+    pub fn ubench(&mut self) -> &[UbenchResult] {
+        self.ensure_charact();
+        &self.charact.as_ref().expect("ensured").ubench
+    }
+
+    /// Realistic-workload characterization over the full SPEC+PARSEC set
+    /// (cached).
+    pub fn realistic(&mut self) -> &RealisticResult {
+        self.ensure_charact();
+        &self.charact.as_ref().expect("ensured").realistic
+    }
+
+    /// Stress-test deployment result (cached).
+    pub fn stress(&mut self) -> &StressTestResult {
+        if self.stress.is_none() {
+            let mut sys = self.fresh_system();
+            self.stress = Some(stress_test_deploy(&mut sys, 0, &self.cfg.charact));
+        }
+        self.stress.as_ref().expect("just computed")
+    }
+
+    /// Per-core idle limits as a flat array.
+    pub fn idle_limits(&mut self) -> [usize; 16] {
+        let mut limits = [0usize; 16];
+        for r in self.idle() {
+            limits[r.core.flat_index()] = r.idle_limit();
+        }
+        limits
+    }
+
+    /// Per-core uBench limits as a flat array.
+    pub fn ubench_limits(&mut self) -> [usize; 16] {
+        let mut limits = [0usize; 16];
+        for r in self.ubench() {
+            limits[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
+        }
+        limits
+    }
+
+    fn ensure_charact(&mut self) {
+        if self.charact.is_some() {
+            return;
+        }
+        let mut sys = self.fresh_system();
+        let idle = idle_characterization(&mut sys, &self.cfg.charact);
+        let mut idle_limits = [0usize; 16];
+        for r in &idle {
+            idle_limits[r.core.flat_index()] = r.idle_limit();
+        }
+        let ubench = ubench_characterization(&mut sys, &idle_limits, &self.cfg.charact);
+        let mut ubench_limits = [0usize; 16];
+        for r in &ubench {
+            ubench_limits[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
+        }
+
+        // The Fig. 10 app × core sweep, fanned out across worker systems.
+        let apps: Vec<&'static Workload> = realistic_set();
+        let realistic = realistic_characterization_parallel(
+            &mut sys,
+            &ChipConfig::power7_plus(self.cfg.seed),
+            &ubench_limits,
+            &apps,
+            &self.cfg.charact,
+            self.cfg.threads,
+        );
+        self.charact = Some(CharactCache {
+            idle,
+            ubench,
+            realistic,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_caches_characterization() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let a = ctx.idle_limits();
+        let b = ctx.idle_limits();
+        assert_eq!(a, b);
+        // uBench never above idle.
+        let ub = ctx.ubench_limits();
+        for i in 0..16 {
+            assert!(ub[i] <= a[i]);
+        }
+    }
+
+    #[test]
+    fn deployed_system_has_stress_map() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let map = ctx.stress().deployed_map();
+        let sys = ctx.deployed_system();
+        for core in atm_units::CoreId::all() {
+            assert_eq!(sys.core(core).reduction(), map[core.flat_index()]);
+        }
+    }
+}

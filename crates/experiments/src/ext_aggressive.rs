@@ -1,0 +1,141 @@
+//! Extension: the "aggressive" governor the paper sketches and defers
+//! (Sec. VII-C).
+//!
+//! Instead of the stress-test (*thread-worst*) limits, the aggressive
+//! governor programs each core with the *critical application's own* most
+//! aggressive profiled limit — the repetitive-profiling deployment the
+//! paper describes for a tier of testing servers. It buys extra frequency
+//! for benign applications at the price of correctness risk on untested
+//! ones.
+
+use std::fmt;
+
+use atm_core::manager::Strategy;
+use atm_core::{AtmManager, Governor};
+use atm_units::MegaHz;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One critical application's outcome under both governors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernorRow {
+    /// Critical application.
+    pub critical: String,
+    /// Managed-max critical frequency under the default governor.
+    pub default_freq: MegaHz,
+    /// Managed-max speedup under the default governor.
+    pub default_speedup: f64,
+    /// Managed-max critical frequency under the aggressive governor.
+    pub aggressive_freq: MegaHz,
+    /// Managed-max speedup under the aggressive governor.
+    pub aggressive_speedup: f64,
+    /// Whether the aggressive run completed without a timing failure.
+    pub aggressive_ok: bool,
+}
+
+/// The extension exhibit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtAggressive {
+    /// One row per evaluated critical application.
+    pub rows: Vec<GovernorRow>,
+}
+
+/// Evaluates benign critical applications under both governors.
+pub fn run(ctx: &mut Context) -> ExtAggressive {
+    let realistic = ctx.realistic().clone();
+    let charact = ctx.cfg().charact;
+    let measure = ctx.cfg().measure;
+
+    let mut default_mgr = AtmManager::deploy(ctx.fresh_system(), Governor::Default, &charact);
+    default_mgr.set_measure_duration(measure);
+    let mut aggressive_mgr =
+        AtmManager::deploy(ctx.fresh_system(), Governor::Aggressive, &charact);
+    aggressive_mgr.set_realistic_profiles(realistic);
+    aggressive_mgr.set_measure_duration(measure);
+
+    // Benign profiled apps (low di/dt stress) gain the most from
+    // app-specific limits; the background co-runner is fixed.
+    let background = atm_workloads::by_name("blackscholes").expect("catalog");
+    let rows = ["gcc", "leela", "mcf", "exchange2"]
+        .iter()
+        .map(|name| {
+            let critical = atm_workloads::by_name(name).expect("catalog");
+            let d = default_mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
+            let a = aggressive_mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
+            GovernorRow {
+                critical: (*name).to_owned(),
+                default_freq: d.critical_freq,
+                default_speedup: d.speedup,
+                aggressive_freq: a.critical_freq,
+                aggressive_speedup: a.speedup,
+                aggressive_ok: a.ok,
+            }
+        })
+        .collect();
+    ExtAggressive { rows }
+}
+
+impl fmt::Display for ExtAggressive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — aggressive (per-app best-fit) governor vs. default (thread-worst)"
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.critical.clone(),
+                    render::mhz(r.default_freq),
+                    render::pct(r.default_speedup - 1.0),
+                    render::mhz(r.aggressive_freq),
+                    render::pct(r.aggressive_speedup - 1.0),
+                    if r.aggressive_ok { "ok".into() } else { "FAILED".into() },
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(
+            &[
+                "critical",
+                "default MHz",
+                "default",
+                "aggressive MHz",
+                "aggressive",
+                "correctness",
+            ],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn aggressive_never_slower_than_default_for_benign_apps() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let ext = run(&mut ctx);
+        assert_eq!(ext.rows.len(), 4);
+        let mut strictly_faster = 0;
+        for r in &ext.rows {
+            assert!(
+                r.aggressive_freq.get() >= r.default_freq.get() - 15.0,
+                "{}: aggressive {} below default {}",
+                r.critical,
+                r.aggressive_freq,
+                r.default_freq
+            );
+            if r.aggressive_freq.get() > r.default_freq.get() + 15.0 {
+                strictly_faster += 1;
+            }
+        }
+        // App-specific limits must buy something for at least one benign
+        // app on this silicon.
+        assert!(strictly_faster >= 1, "aggressive governor bought nothing");
+    }
+}

@@ -1,0 +1,185 @@
+//! Extension: calibration provenance.
+//!
+//! Every physical constant in the substrate is calibrated against a
+//! number the paper reports. This exhibit measures each one on the live
+//! simulator and prints it next to the paper's target, so drift is
+//! immediately visible when parameters change.
+
+use std::fmt;
+
+use atm_chip::MarginMode;
+use atm_core::predictor::FreqPredictor;
+use atm_units::{CoreId, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One calibration check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalRow {
+    /// What is being checked.
+    pub quantity: String,
+    /// The paper's reported value / band.
+    pub paper: String,
+    /// The simulator's measured value.
+    pub measured: String,
+    /// Whether the measurement falls in the accepted band.
+    pub ok: bool,
+}
+
+/// The extension exhibit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtCalibration {
+    /// All calibration checks.
+    pub rows: Vec<CalRow>,
+}
+
+/// Measures every headline constant.
+pub fn run(ctx: &mut Context) -> ExtCalibration {
+    let mut rows = Vec::new();
+    let daxpy = atm_workloads::by_name("daxpy").expect("catalog").clone();
+
+    // Default ATM idle frequency band.
+    let mut sys = ctx.fresh_system();
+    sys.set_mode_all(MarginMode::Atm);
+    let idle = sys.settle();
+    let freqs: Vec<f64> = idle.cores.iter().map(|c| c.mean_freq.get()).collect();
+    let (lo, hi) = minmax(&freqs);
+    rows.push(CalRow {
+        quantity: "default ATM idle frequency".into(),
+        paper: "~4600 MHz, uniform".into(),
+        measured: format!("{lo:.0}–{hi:.0} MHz"),
+        ok: lo > 4450.0 && hi < 4950.0,
+    });
+
+    // Idle chip power.
+    let p_idle = idle.procs[0].mean_power.get();
+    rows.push(CalRow {
+        quantity: "idle chip power".into(),
+        paper: "(implied) 50–70 W".into(),
+        measured: format!("{p_idle:.0} W"),
+        ok: (45.0..75.0).contains(&p_idle),
+    });
+
+    // 8-thread daxpy power and temperature.
+    sys.assign_all(&daxpy);
+    let loaded = sys.run(Nanos::new(20_000.0));
+    let p_daxpy = loaded.procs[0].mean_power.get();
+    let t_daxpy = loaded.procs[0].max_temp.get();
+    rows.push(CalRow {
+        quantity: "daxpy chip power".into(),
+        paper: "~160 W".into(),
+        measured: format!("{p_daxpy:.0} W"),
+        ok: (135.0..185.0).contains(&p_daxpy),
+    });
+    rows.push(CalRow {
+        quantity: "daxpy die temperature".into(),
+        paper: "~70 °C (kept under 70)".into(),
+        measured: format!("{t_daxpy:.0} °C"),
+        ok: (58.0..78.0).contains(&t_daxpy),
+    });
+
+    // Idle→loaded frequency swing of a default-ATM core.
+    let swing = idle.core(CoreId::new(0, 0)).mean_freq.get()
+        - loaded.core(CoreId::new(0, 0)).mean_freq.get();
+    rows.push(CalRow {
+        quantity: "default ATM idle→daxpy swing".into(),
+        paper: "~200 MHz (4.6→4.4 GHz)".into(),
+        measured: format!("{swing:.0} MHz"),
+        ok: (100.0..320.0).contains(&swing),
+    });
+
+    // Eq. 1 slope.
+    let mut sys = ctx.deployed_system();
+    let pred = FreqPredictor::train(&mut sys, CoreId::new(0, 0));
+    rows.push(CalRow {
+        quantity: "Eq. 1 frequency-vs-power slope".into(),
+        paper: "~2 MHz per watt".into(),
+        measured: format!("{:.2} MHz/W", pred.mhz_per_watt()),
+        ok: (1.0..3.5).contains(&pred.mhz_per_watt()),
+    });
+
+    // Fine-tuned idle limits and frequencies.
+    let idle_results = ctx.idle();
+    let limits: Vec<f64> = idle_results.iter().map(|r| r.idle_limit() as f64).collect();
+    let (llo, lhi) = minmax(&limits);
+    let lfreqs: Vec<f64> = idle_results
+        .iter()
+        .map(|r| r.limit_frequency.get())
+        .collect();
+    let (flo, fhi) = minmax(&lfreqs);
+    rows.push(CalRow {
+        quantity: "idle limits (steps)".into(),
+        paper: "2–11 steps".into(),
+        measured: format!("{llo:.0}–{lhi:.0}"),
+        ok: llo >= 1.0 && lhi <= 14.0 && lhi - llo >= 3.0,
+    });
+    rows.push(CalRow {
+        quantity: "idle-limit frequencies".into(),
+        paper: "4850–5200 MHz".into(),
+        measured: format!("{flo:.0}–{fhi:.0} MHz"),
+        ok: flo > 4700.0 && fhi < 5450.0,
+    });
+
+    // Stress-deployed differential.
+    let stress = ctx.stress();
+    rows.push(CalRow {
+        quantity: "deployed inter-core differential".into(),
+        paper: ">200 MHz".into(),
+        measured: format!("{:.0} MHz", stress.speed_differential().get()),
+        ok: stress.speed_differential().get() > 150.0,
+    });
+
+    // Preset spread.
+    let fig4 = crate::fig04::run(ctx);
+    rows.push(CalRow {
+        quantity: "CPM preset spread".into(),
+        paper: "7–20 steps (~3x)".into(),
+        measured: format!("{:.1}x", fig4.spread_ratio()),
+        ok: fig4.spread_ratio() > 1.8,
+    });
+
+    ExtCalibration { rows }
+}
+
+fn minmax(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().copied().fold(f64::MAX, f64::min);
+    let hi = v.iter().copied().fold(f64::MIN, f64::max);
+    (lo, hi)
+}
+
+impl fmt::Display for ExtCalibration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Extension — calibration provenance (simulator vs. paper)")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.quantity.clone(),
+                    r.paper.clone(),
+                    r.measured.clone(),
+                    if r.ok { "ok".into() } else { "DRIFT".into() },
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(&["quantity", "paper", "measured", ""], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn all_calibration_checks_pass() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let cal = run(&mut ctx);
+        assert!(cal.rows.len() >= 9);
+        for r in &cal.rows {
+            assert!(r.ok, "calibration drift: {} measured {}", r.quantity, r.measured);
+        }
+    }
+}

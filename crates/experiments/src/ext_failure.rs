@@ -1,0 +1,114 @@
+//! Extension: the failure-probability knee behind the tight limit
+//! distributions.
+//!
+//! Sec. III-B expects the distributions of safe configurations to be
+//! tight "because timing violations are not entirely random". This
+//! exhibit measures P(failure) per trial as a function of CPM delay
+//! reduction for one core under x264: below the limit the probability is
+//! ~0, one step above it it jumps toward 1 — a knee, not a gentle slope,
+//! which is exactly why repeated searches land on the same limit.
+
+use std::fmt;
+
+use atm_chip::MarginMode;
+use atm_units::{CoreId, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// Failure probability at one reduction level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KneeRow {
+    /// CPM delay reduction in steps.
+    pub reduction: usize,
+    /// Fraction of trials that hit a timing failure.
+    pub p_fail: f64,
+}
+
+/// The extension exhibit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtFailure {
+    /// The probed core.
+    pub core: CoreId,
+    /// P(failure) per reduction step.
+    pub rows: Vec<KneeRow>,
+    /// Trials per point.
+    pub trials: usize,
+}
+
+/// Sweeps the reduction across the knee for one mid-pack core.
+pub fn run(ctx: &mut Context) -> ExtFailure {
+    let core = CoreId::new(0, 3);
+    let trials = 10;
+    let mut sys = ctx.fresh_system();
+    sys.set_mode(core, MarginMode::Atm);
+    let x264 = atm_workloads::by_name("x264").expect("catalog").clone();
+    sys.assign(core, x264);
+
+    let max = sys.core(core).cpms().max_reduction();
+    let rows = (0..=max.min(12))
+        .map(|reduction| {
+            sys.set_reduction(core, reduction).expect("within preset");
+            let failures = (0..trials)
+                .filter(|_| sys.run(Nanos::new(50_000.0)).failure.is_some())
+                .count();
+            KneeRow {
+                reduction,
+                p_fail: failures as f64 / trials as f64,
+            }
+        })
+        .collect();
+    sys.set_reduction(core, 0).expect("always valid");
+    ExtFailure { core, rows, trials }
+}
+
+impl ExtFailure {
+    /// Width of the knee: number of reduction steps with a mixed outcome
+    /// (0 < P(fail) < 1).
+    #[must_use]
+    pub fn knee_width(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.p_fail > 0.0 && r.p_fail < 1.0)
+            .count()
+    }
+}
+
+impl fmt::Display for ExtFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — failure-probability knee ({}; x264; {} trials/point)",
+            self.core, self.trials
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let bar = "#".repeat((r.p_fail * 20.0).round() as usize);
+                vec![r.reduction.to_string(), format!("{:.2}", r.p_fail), bar]
+            })
+            .collect();
+        f.write_str(&render::table(&["steps", "P(fail)", ""], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn knee_is_sharp_and_monotone_ish() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let ext = run(&mut ctx);
+        assert!(ext.rows.len() >= 4);
+        // Safe at the preset.
+        assert_eq!(ext.rows[0].p_fail, 0.0);
+        // Certain failure at the deepest probed reduction.
+        assert!(ext.rows.last().unwrap().p_fail > 0.9);
+        // The knee spans only a couple of steps (tight distributions).
+        assert!(ext.knee_width() <= 3, "knee width {}", ext.knee_width());
+    }
+}

@@ -1,0 +1,117 @@
+//! Extension: power-gating idle cores to boost the critical core.
+//!
+//! Sec. VII-D notes that "power gating idle cores when not enough
+//! workloads are available can further free up chip power and boost the
+//! performance of target workload". This exhibit quantifies the effect on
+//! the simulated chip: gating the seven idle siblings removes their
+//! leakage from the shared rail's IR drop and nudges the critical core's
+//! ATM frequency up.
+
+use std::fmt;
+
+use atm_chip::{MarginMode, System};
+use atm_units::{CoreId, MegaHz, ProcId, Watts};
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One sibling-state scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatingRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Critical core's ATM frequency.
+    pub freq: MegaHz,
+    /// Socket chip power.
+    pub power: Watts,
+}
+
+/// The extension exhibit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtGating {
+    /// Scenario rows: siblings busy → idle → gated.
+    pub rows: Vec<GatingRow>,
+}
+
+/// Runs SqueezeNet on the fastest deployed core with siblings in three
+/// states.
+pub fn run(ctx: &mut Context) -> ExtGating {
+    let mut sys = ctx.deployed_system();
+    let core = CoreId::new(0, 0);
+    let squeezenet = atm_workloads::by_name("squeezenet").expect("catalog").clone();
+    let daxpy = atm_workloads::by_name("daxpy").expect("catalog").clone();
+
+    sys.set_mode(core, MarginMode::Atm);
+    sys.assign(core, squeezenet);
+
+    let mut rows = Vec::new();
+    let scenario = |sys: &mut System, name: &str| {
+        let report = sys.settle();
+        GatingRow {
+            scenario: name.to_owned(),
+            freq: report.core(core).mean_freq,
+            power: report.procs[0].mean_power,
+        }
+    };
+
+    // Siblings busy at static margin.
+    for sib in ProcId::new(0).cores().filter(|c| *c != core) {
+        sys.assign(sib, daxpy.clone());
+        sys.set_mode(sib, MarginMode::Static);
+    }
+    rows.push(scenario(&mut sys, "siblings busy (daxpy @ 4.2 GHz)"));
+
+    // Siblings idle at static margin.
+    for sib in ProcId::new(0).cores().filter(|c| *c != core) {
+        sys.assign(sib, atm_workloads::Workload::idle());
+    }
+    rows.push(scenario(&mut sys, "siblings idle"));
+
+    // Siblings power-gated.
+    for sib in ProcId::new(0).cores().filter(|c| *c != core) {
+        sys.set_mode(sib, MarginMode::Gated);
+    }
+    rows.push(scenario(&mut sys, "siblings power-gated"));
+
+    ExtGating { rows }
+}
+
+impl fmt::Display for ExtGating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — power-gating idle siblings (critical: squeezenet on P0C0)"
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    render::mhz(r.freq),
+                    format!("{}", r.power),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(&["siblings", "critical MHz", "chip power"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn gating_monotonically_helps() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let ext = run(&mut ctx);
+        assert_eq!(ext.rows.len(), 3);
+        // busy < idle < gated in frequency; reverse in power.
+        assert!(ext.rows[1].freq > ext.rows[0].freq);
+        assert!(ext.rows[2].freq >= ext.rows[1].freq);
+        assert!(ext.rows[1].power < ext.rows[0].power);
+        assert!(ext.rows[2].power < ext.rows[1].power);
+    }
+}

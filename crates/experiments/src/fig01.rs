@@ -1,0 +1,159 @@
+//! Fig. 1: frequency ranges of the four margin schemes.
+//!
+//! Paper reference (8-core POWER7+ socket): chip-wide static margin pins
+//! every core at 4200 MHz; per-core static setpoints lift the fastest
+//! cores to ≈ 4500 MHz; default ATM runs ≈ 4600 MHz idle but sags to
+//! ≈ 4400 MHz under high-power load; fine-tuned ATM spans ≈ 4500 MHz
+//! (slowest core, loaded) to ≈ 5000 MHz (fastest core, idle).
+
+use std::fmt;
+
+use atm_chip::MarginMode;
+use atm_units::{Celsius, MegaHz, ProcId, Volts};
+use atm_workloads::by_name;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One margin scheme's frequency range across the socket's cores and the
+/// idle↔loaded envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeRange {
+    /// Scheme name.
+    pub scheme: String,
+    /// Worst case: slowest core under the heaviest load.
+    pub worst: MegaHz,
+    /// Best case: fastest core under idle conditions.
+    pub best: MegaHz,
+}
+
+/// The Fig. 1 reproduction: four schemes, worst/best frequency each.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig01 {
+    /// One row per margin scheme, in the paper's bar order.
+    pub rows: Vec<SchemeRange>,
+}
+
+/// Runs the Fig. 1 experiment on socket 0.
+pub fn run(ctx: &mut Context) -> Fig01 {
+    let nominal = MegaHz::new(4200.0);
+    let daxpy = by_name("daxpy").expect("catalog").clone();
+    let proc = ProcId::new(0);
+
+    // Scheme 1: chip-wide static margin.
+    let chip_wide = SchemeRange {
+        scheme: "chip-wide static margin".into(),
+        worst: nominal,
+        best: nominal,
+    };
+
+    // Scheme 2: per-core static setpoints. The slowest core defines the
+    // 4200 MHz contract; a faster core can be clocked up in inverse
+    // proportion to its critical-path delay (same worst-case guardband).
+    let sys = ctx.fresh_system();
+    let v = Volts::new(1.25);
+    let t = Celsius::new(45.0);
+    // Binning is against the slowest core of the whole product bin (the
+    // 4200 MHz contract must hold for every shipped die), so the fastest
+    // core's static headroom reflects the full distribution.
+    let delays: Vec<f64> = atm_units::CoreId::all()
+        .map(|c| sys.core(c).silicon().real_path_delay(v, t).get())
+        .collect();
+    let slowest = delays.iter().copied().fold(f64::MIN, f64::max);
+    let fastest: f64 = proc
+        .cores()
+        .map(|c| sys.core(c).silicon().real_path_delay(v, t).get())
+        .fold(f64::MAX, f64::min);
+    let per_core_static = SchemeRange {
+        scheme: "per-core static margin".into(),
+        worst: nominal,
+        best: nominal * (slowest / fastest),
+    };
+
+    // Scheme 3: default ATM (preset CPMs), idle vs. 8-thread daxpy.
+    let mut sys = ctx.fresh_system();
+    for c in proc.cores() {
+        sys.set_mode(c, MarginMode::Atm);
+    }
+    let idle = sys.settle();
+    sys.assign_all(&daxpy);
+    let loaded = sys.settle();
+    let default_atm = SchemeRange {
+        scheme: "default ATM".into(),
+        worst: range(proc, &loaded).0,
+        best: range(proc, &idle).1,
+    };
+
+    // Scheme 4: fine-tuned ATM at the stress-test deployment.
+    let mut sys = ctx.deployed_system();
+    for c in proc.cores() {
+        sys.set_mode(c, MarginMode::Atm);
+    }
+    let idle = sys.settle();
+    sys.assign_all(&daxpy);
+    let loaded = sys.settle();
+    let fine_tuned = SchemeRange {
+        scheme: "fine-tuned ATM".into(),
+        worst: range(proc, &loaded).0,
+        best: range(proc, &idle).1,
+    };
+
+    Fig01 {
+        rows: vec![chip_wide, per_core_static, default_atm, fine_tuned],
+    }
+}
+
+fn range(proc: ProcId, report: &atm_chip::SystemReport) -> (MegaHz, MegaHz) {
+    let freqs: Vec<MegaHz> = proc.cores().map(|c| report.core(c).mean_freq).collect();
+    (
+        freqs.iter().copied().fold(MegaHz::new(1e6), MegaHz::min),
+        freqs.iter().copied().fold(MegaHz::ZERO, MegaHz::max),
+    )
+}
+
+impl fmt::Display for Fig01 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 1 — frequency range per margin scheme (socket P0)")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scheme.clone(),
+                    render::mhz(r.worst),
+                    render::mhz(r.best),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(&["scheme", "worst MHz", "best MHz"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn scheme_ordering_matches_paper() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        assert_eq!(fig.rows.len(), 4);
+        let [chip, per_core, default_atm, fine] = &fig.rows[..] else {
+            panic!("wrong row count")
+        };
+        // Chip-wide static: flat 4200.
+        assert_eq!(chip.worst, chip.best);
+        // Per-core static beats chip-wide at the top (≈4.4–4.5 GHz).
+        assert!(per_core.best > chip.best);
+        assert!(per_core.best.get() < 4700.0);
+        // Default ATM: best idle above per-core static's best.
+        assert!(default_atm.best > per_core.best);
+        // Fine-tuned: best approaches 5 GHz, clearly above default ATM.
+        assert!(fine.best > default_atm.best);
+        assert!(fine.best.get() > 4800.0);
+        // Fine-tuned worst (loaded) stays at or above default ATM worst.
+        assert!(fine.worst >= default_atm.worst);
+    }
+}

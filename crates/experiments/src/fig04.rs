@@ -1,0 +1,107 @@
+//! Fig. 4b: pre-set CPM inserted delays across the two chips.
+//!
+//! Paper reference: presets range from 7 to 20 steps — nearly a 3× spread,
+//! evidence of significant process variation. (The LLC CPM is excluded:
+//! it sits in a different clock domain.)
+
+use std::fmt;
+
+use atm_cpm::CpmUnit;
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// Preset inserted delays of one core's four core-domain CPMs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresetRow {
+    /// Which core.
+    pub core: CoreId,
+    /// Presets for IFU, ISU, FXU, FPU (steps).
+    pub presets: [usize; 4],
+}
+
+impl PresetRow {
+    /// Mean preset of the four CPMs.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.presets.iter().sum::<usize>() as f64 / 4.0
+    }
+}
+
+/// The Fig. 4b reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig04 {
+    /// One row per core, `(proc, core)` order.
+    pub rows: Vec<PresetRow>,
+}
+
+impl Fig04 {
+    /// The spread ratio max/min over core means.
+    #[must_use]
+    pub fn spread_ratio(&self) -> f64 {
+        let means: Vec<f64> = self.rows.iter().map(PresetRow::mean).collect();
+        let max = means.iter().copied().fold(f64::MIN, f64::max);
+        let min = means.iter().copied().fold(f64::MAX, f64::min);
+        max / min
+    }
+}
+
+/// Reads the test-time preset inserted delays of every core.
+pub fn run(ctx: &mut Context) -> Fig04 {
+    let sys = ctx.fresh_system();
+    let rows = CoreId::all()
+        .map(|core| {
+            let cpms = sys.core(core).cpms();
+            let mut presets = [0usize; 4];
+            for (i, unit) in CpmUnit::ALL.iter().filter(|u| **u != CpmUnit::Cache).enumerate() {
+                presets[i] = cpms.preset(*unit);
+            }
+            PresetRow { core, presets }
+        })
+        .collect();
+    Fig04 { rows }
+}
+
+impl fmt::Display for Fig04 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 4b — pre-set CPM inserted delays (steps, LLC excluded)")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.core.to_string(),
+                    r.presets[0].to_string(),
+                    r.presets[1].to_string(),
+                    r.presets[2].to_string(),
+                    r.presets[3].to_string(),
+                    format!("{:.1}", r.mean()),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(
+            &["core", "IFU", "ISU", "FXU", "FPU", "mean"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn presets_spread_like_paper() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        assert_eq!(fig.rows.len(), 16);
+        // Paper: ~3x spread; accept anything clearly non-uniform.
+        assert!(fig.spread_ratio() > 1.8, "spread {:.2}", fig.spread_ratio());
+        for r in &fig.rows {
+            assert!(r.mean() >= 3.0 && r.mean() <= 31.0, "{}: {:?}", r.core, r.presets);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 5: frequency vs. CPM delay reduction for four example cores.
+//!
+//! Paper reference: the default delay clocks all cores near 4600 MHz;
+//! reducing the inserted delay raises frequency — non-uniformly, because
+//! the inverter chain's steps encode different amounts of timing (e.g.
+//! P1C6 jumps >200 MHz on its first step, then barely moves on its
+//! second). Some cores safely exceed 5 GHz.
+
+use std::fmt;
+
+use atm_core::FineTuner;
+use atm_units::{CoreId, MegaHz};
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One core's frequency-vs-reduction sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Which core.
+    pub core: CoreId,
+    /// `(reduction steps, equilibrium frequency)` pairs from 0 to the
+    /// core's idle limit.
+    pub points: Vec<(usize, MegaHz)>,
+}
+
+/// The Fig. 5 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig05 {
+    /// Sweeps for four representative cores.
+    pub rows: Vec<SweepRow>,
+}
+
+/// Sweeps four cores chosen to span the chain-scale range (like the
+/// paper's four example cores).
+pub fn run(ctx: &mut Context) -> Fig05 {
+    let idle_limits = ctx.idle_limits();
+
+    // Pick four diverse cores: widest and narrowest idle limits plus two
+    // in between, giving visibly different step granularities.
+    let mut by_limit: Vec<CoreId> = CoreId::all().collect();
+    by_limit.sort_by_key(|c| idle_limits[c.flat_index()]);
+    let picks = [
+        by_limit[0],
+        by_limit[5],
+        by_limit[10],
+        by_limit[15],
+    ];
+
+    let mut sys = ctx.fresh_system();
+    let rows = picks
+        .iter()
+        .map(|&core| {
+            let limit = idle_limits[core.flat_index()];
+            let points = FineTuner::new(&mut sys).frequency_sweep(core, limit);
+            SweepRow { core, points }
+        })
+        .collect();
+    Fig05 { rows }
+}
+
+impl fmt::Display for Fig05 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 5 — ATM frequency vs. CPM delay reduction (idle)")?;
+        for row in &self.rows {
+            let cells: Vec<Vec<String>> = row
+                .points
+                .iter()
+                .map(|(r, freq)| vec![r.to_string(), render::mhz(*freq)])
+                .collect();
+            writeln!(f, "core {}:", row.core)?;
+            f.write_str(&render::table(&["steps", "MHz"], &cells))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn sweeps_start_near_4600_and_rise_nonuniformly() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        assert_eq!(fig.rows.len(), 4);
+        let mut saw_5ghz = false;
+        let mut step_gains: Vec<f64> = Vec::new();
+        for row in &fig.rows {
+            let (r0, f0) = row.points[0];
+            assert_eq!(r0, 0);
+            assert!(
+                f0.get() > 4450.0 && f0.get() < 4950.0,
+                "{} default at {f0}",
+                row.core
+            );
+            for w in row.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{}: sweep not monotone", row.core);
+                step_gains.push(w[1].1.get() - w[0].1.get());
+            }
+            if row.points.last().expect("points").1.get() > 5000.0 {
+                saw_5ghz = true;
+            }
+        }
+        assert!(saw_5ghz, "no swept core exceeded 5 GHz");
+        // Non-linearity: per-step gains differ widely (paper Sec. IV-C).
+        let max = step_gains.iter().copied().fold(f64::MIN, f64::max);
+        let min = step_gains.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max - min > 50.0, "steps suspiciously uniform: {min}..{max}");
+    }
+}

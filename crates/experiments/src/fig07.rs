@@ -1,0 +1,92 @@
+//! Fig. 7: idle-limit distributions and frequencies per core.
+//!
+//! Paper reference: the most aggressive safe CPM delay reduction under
+//! system idle distributes over a narrow range (≤ 2 configurations); the
+//! lower bound is the core's *idle limit*, usually entailing > 5000 MHz.
+//! Limits span 2–11 steps across the sixteen cores (Table I row 1).
+
+use std::fmt;
+
+use atm_units::{CoreId, MegaHz};
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One core's idle characterization row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleRow {
+    /// Which core.
+    pub core: CoreId,
+    /// All limit samples across repeats.
+    pub samples: Vec<usize>,
+    /// The idle limit (distribution lower bound).
+    pub limit: usize,
+    /// ATM frequency at the idle limit.
+    pub freq: MegaHz,
+}
+
+/// The Fig. 7 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig07 {
+    /// One row per core.
+    pub rows: Vec<IdleRow>,
+}
+
+/// Collects the cached idle characterization into Fig. 7 rows.
+pub fn run(ctx: &mut Context) -> Fig07 {
+    let rows = ctx
+        .idle()
+        .iter()
+        .map(|r| IdleRow {
+            core: r.core,
+            samples: r.distribution.samples().to_vec(),
+            limit: r.idle_limit(),
+            freq: r.limit_frequency,
+        })
+        .collect();
+    Fig07 { rows }
+}
+
+impl fmt::Display for Fig07 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7 — idle-limit distributions and limit frequencies")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.core.to_string(),
+                    format!("{:?}", r.samples),
+                    r.limit.to_string(),
+                    render::mhz(r.freq),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(
+            &["core", "samples", "idle limit", "MHz @ limit"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn distributions_tight_and_frequencies_high() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        assert_eq!(fig.rows.len(), 16);
+        for r in &fig.rows {
+            let spread = r.samples.iter().max().unwrap() - r.samples.iter().min().unwrap();
+            assert!(spread <= 2, "{}: spread {spread}", r.core);
+        }
+        let over_5ghz = fig.rows.iter().filter(|r| r.freq.get() > 5000.0).count();
+        assert!(over_5ghz >= 8, "only {over_5ghz}/16 over 5 GHz");
+        let limits: Vec<usize> = fig.rows.iter().map(|r| r.limit).collect();
+        assert!(limits.iter().max().unwrap() - limits.iter().min().unwrap() >= 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 8: uBench rollback distributions for the fragile cores.
+//!
+//! Paper reference: six of the sixteen cores need their CPM delay rolled
+//! back from the idle limit (by one to three steps) before coremark,
+//! daxpy and stream all run correctly — the idle limit failed to capture
+//! some long paths those cores' CPMs do not mimic.
+
+use std::fmt;
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One fragile core's rollback distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollbackRow {
+    /// Which core.
+    pub core: CoreId,
+    /// Its idle limit.
+    pub idle_limit: usize,
+    /// Its uBench limit.
+    pub ubench_limit: usize,
+    /// Rollback steps (idle − uBench).
+    pub rollback: usize,
+}
+
+/// The Fig. 8 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig08 {
+    /// Rows for every core that required rollback.
+    pub rows: Vec<RollbackRow>,
+    /// Number of cores that needed no rollback.
+    pub stable_cores: usize,
+}
+
+/// Collects the cached uBench characterization into Fig. 8 rows.
+pub fn run(ctx: &mut Context) -> Fig08 {
+    let mut rows = Vec::new();
+    let mut stable = 0;
+    for r in ctx.ubench() {
+        let rollback = r.rollback();
+        if rollback > 0 {
+            rows.push(RollbackRow {
+                core: r.core,
+                idle_limit: r.idle_limit,
+                ubench_limit: r.ubench_limit().min(r.idle_limit),
+                rollback,
+            });
+        } else {
+            stable += 1;
+        }
+    }
+    Fig08 {
+        rows,
+        stable_cores: stable,
+    }
+}
+
+impl fmt::Display for Fig08 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 8 — uBench rollback from the idle limit ({} cores stable, {} fragile)",
+            self.stable_cores,
+            self.rows.len()
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.core.to_string(),
+                    r.idle_limit.to_string(),
+                    r.ubench_limit.to_string(),
+                    r.rollback.to_string(),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(
+            &["core", "idle limit", "uBench limit", "rollback"],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn a_minority_of_cores_roll_back_modestly() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        assert_eq!(fig.rows.len() + fig.stable_cores, 16);
+        // Paper: 6 fragile cores; accept a minority band.
+        assert!(
+            (1..=9).contains(&fig.rows.len()),
+            "{} fragile cores",
+            fig.rows.len()
+        );
+        for r in &fig.rows {
+            assert!((1..=4).contains(&r.rollback), "{}: rollback {}", r.core, r.rollback);
+            assert_eq!(r.idle_limit - r.ubench_limit, r.rollback);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Fig. 9: x264 vs. gcc CPM rollback.
+//!
+//! Paper reference: x264 often requires significant rollback from the
+//! uBench limit, whereas gcc needs relatively little — despite gcc's much
+//! richer instruction mix. An application's rollback reflects its system
+//! noise (di/dt) behaviour, not its instruction coverage.
+
+use std::fmt;
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// Rollback of the two contrast applications on one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContrastRow {
+    /// Which core.
+    pub core: CoreId,
+    /// x264's mean rollback from the uBench limit.
+    pub x264_rollback: f64,
+    /// gcc's mean rollback from the uBench limit.
+    pub gcc_rollback: f64,
+}
+
+/// The Fig. 9 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig09 {
+    /// One row per core.
+    pub rows: Vec<ContrastRow>,
+}
+
+impl Fig09 {
+    /// Mean rollback across cores for each app: `(x264, gcc)`.
+    #[must_use]
+    pub fn means(&self) -> (f64, f64) {
+        let n = self.rows.len() as f64;
+        (
+            self.rows.iter().map(|r| r.x264_rollback).sum::<f64>() / n,
+            self.rows.iter().map(|r| r.gcc_rollback).sum::<f64>() / n,
+        )
+    }
+}
+
+/// Extracts the x264/gcc contrast from the cached realistic profiles.
+pub fn run(ctx: &mut Context) -> Fig09 {
+    let realistic = ctx.realistic();
+    let rows = CoreId::all()
+        .map(|core| ContrastRow {
+            core,
+            x264_rollback: realistic
+                .profile("x264", core)
+                .map_or(0.0, |p| p.mean_rollback()),
+            gcc_rollback: realistic
+                .profile("gcc", core)
+                .map_or(0.0, |p| p.mean_rollback()),
+        })
+        .collect();
+    Fig09 { rows }
+}
+
+impl fmt::Display for Fig09 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 9 — per-core CPM rollback: x264 vs. gcc (steps)")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.core.to_string(),
+                    format!("{:.2}", r.x264_rollback),
+                    format!("{:.2}", r.gcc_rollback),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(&["core", "x264", "gcc"], &rows))?;
+        let (x, g) = self.means();
+        writeln!(f, "mean rollback: x264 {x:.2}, gcc {g:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn x264_needs_clearly_more_rollback_than_gcc() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        let (x264, gcc) = fig.means();
+        assert!(
+            x264 > gcc + 0.4,
+            "x264 mean rollback {x264:.2} not above gcc {gcc:.2}"
+        );
+        assert!(gcc < 1.0, "gcc rollback {gcc:.2} too large");
+    }
+}

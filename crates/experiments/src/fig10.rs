@@ -1,0 +1,136 @@
+//! Fig. 10: mean CPM rollback heat map, application × core.
+//!
+//! Paper reference: rows (applications) impose consistent stress across
+//! cores — x264 and ferret at the top need the most rollback, gcc and
+//! leela the least; columns (cores) differ in *robustness*, the cores on
+//! the right needing the least rollback for any application.
+
+use std::fmt;
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One application's rollback row across the sixteen cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatRow {
+    /// Application name.
+    pub app: String,
+    /// Mean rollback per core, flat-indexed.
+    pub rollback: [f64; 16],
+}
+
+impl HeatRow {
+    /// Mean across cores (the app's overall stress level).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.rollback.iter().sum::<f64>() / 16.0
+    }
+}
+
+/// The Fig. 10 reproduction: rows sorted by stress, most stressful first
+/// (the paper's top-to-bottom ordering).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// Application rows.
+    pub rows: Vec<HeatRow>,
+}
+
+impl Fig10 {
+    /// Per-core mean rollback across apps (column means — core
+    /// robustness, lower = more robust).
+    #[must_use]
+    pub fn core_means(&self) -> [f64; 16] {
+        let mut means = [0.0f64; 16];
+        for row in &self.rows {
+            for (m, r) in means.iter_mut().zip(row.rollback.iter()) {
+                *m += r;
+            }
+        }
+        for m in &mut means {
+            *m /= self.rows.len() as f64;
+        }
+        means
+    }
+}
+
+/// Builds the heat map from the cached realistic characterization.
+pub fn run(ctx: &mut Context) -> Fig10 {
+    let realistic = ctx.realistic();
+    let mut apps: Vec<String> = realistic
+        .profiles
+        .iter()
+        .map(|p| p.app.clone())
+        .collect();
+    apps.sort();
+    apps.dedup();
+
+    let mut rows: Vec<HeatRow> = apps
+        .into_iter()
+        .map(|app| {
+            let mut rollback = [0.0f64; 16];
+            for core in CoreId::all() {
+                rollback[core.flat_index()] = realistic
+                    .profile(&app, core)
+                    .map_or(0.0, |p| p.mean_rollback());
+            }
+            HeatRow { app, rollback }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.mean().partial_cmp(&a.mean()).expect("finite"));
+    Fig10 { rows }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 10 — mean CPM rollback from the uBench limit (steps), app × core"
+        )?;
+        let mut header: Vec<String> = vec!["app".into()];
+        header.extend(CoreId::all().map(|c| c.to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.app.clone()];
+                cells.extend(r.rollback.iter().map(|v| format!("{v:.1}")));
+                cells
+            })
+            .collect();
+        f.write_str(&render::table(&header_refs, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn stress_ranking_and_robust_cores() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        assert!(fig.rows.len() >= 15, "only {} apps", fig.rows.len());
+
+        // Rows sorted by stress: top row should be x264 or ferret.
+        let top = &fig.rows[0].app;
+        assert!(
+            top == "x264" || top == "ferret",
+            "top stressor is {top}"
+        );
+        // gcc and leela in the gentle half.
+        let pos = |name: &str| fig.rows.iter().position(|r| r.app == name).unwrap();
+        assert!(pos("gcc") > fig.rows.len() / 2, "gcc too stressful");
+        assert!(pos("leela") >= fig.rows.len() / 3);
+
+        // Some cores are clearly more robust than others.
+        let means = fig.core_means();
+        let max = means.iter().copied().fold(f64::MIN, f64::max);
+        let min = means.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max > min, "no robustness variation");
+    }
+}

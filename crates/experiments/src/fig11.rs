@@ -1,0 +1,119 @@
+//! Fig. 11: core frequencies after the test-time stress-test, with
+//! optional vendor rollback.
+//!
+//! Paper reference: at their stress-test limits the cores span a > 200 MHz
+//! differential (e.g. P0C1 vs. P0C7); rolling every core back by one or
+//! two steps keeps the same inter-core variation trend while adding a
+//! safety cushion.
+
+use std::fmt;
+
+use atm_chip::System;
+use atm_core::charact::CharactConfig;
+use atm_core::stress::stress_test_deploy;
+use atm_units::{CoreId, MegaHz};
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One rollback level's per-core frequencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployRow {
+    /// Vendor rollback applied on top of the stress-test limits.
+    pub rollback: usize,
+    /// Idle ATM frequency per core at the deployed configuration.
+    pub freqs: [MegaHz; 16],
+}
+
+impl DeployRow {
+    /// Max − min frequency across cores.
+    #[must_use]
+    pub fn differential(&self) -> MegaHz {
+        let max = self.freqs.iter().copied().fold(MegaHz::ZERO, MegaHz::max);
+        let min = self.freqs.iter().copied().fold(MegaHz::new(1e6), MegaHz::min);
+        max - min
+    }
+}
+
+/// The Fig. 11 reproduction: stress-test limits and one/two-step
+/// rollbacks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Rows for rollback 0, 1, 2.
+    pub rows: Vec<DeployRow>,
+}
+
+/// Runs the deployment procedure at three rollback levels.
+pub fn run(ctx: &mut Context) -> Fig11 {
+    let stress = ctx.stress().clone();
+    let cfg: CharactConfig = ctx.cfg().charact;
+    let mut rows = vec![DeployRow {
+        rollback: 0,
+        freqs: stress.idle_frequencies,
+    }];
+    for rollback in [1usize, 2] {
+        // Re-deploy on a fresh system at the rolled-back configuration and
+        // read the idle frequencies (the stress limits themselves are the
+        // cached ones; only the deployment differs).
+        let mut sys: System = ctx.fresh_system();
+        let result = stress_test_deploy(&mut sys, rollback, &cfg);
+        rows.push(DeployRow {
+            rollback,
+            freqs: result.idle_frequencies,
+        });
+    }
+    Fig11 { rows }
+}
+
+impl fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 11 — deployed core frequencies after the test-time stress-test"
+        )?;
+        let mut header: Vec<String> = vec!["rollback".into()];
+        header.extend(CoreId::all().map(|c| c.to_string()));
+        header.push("diff".into());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.rollback.to_string()];
+                cells.extend(r.freqs.iter().map(|f| render::mhz(*f)));
+                cells.push(render::mhz(r.differential()));
+                cells
+            })
+            .collect();
+        f.write_str(&render::table(&header_refs, &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn differential_survives_rollback() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        assert_eq!(fig.rows.len(), 3);
+        // Paper: >200 MHz differential at the limit.
+        assert!(
+            fig.rows[0].differential().get() > 150.0,
+            "limit differential {}",
+            fig.rows[0].differential()
+        );
+        // Rollback keeps variation exposed but lowers frequencies.
+        for w in fig.rows.windows(2) {
+            assert!(w[1].differential().get() > 80.0);
+            let mean_a: f64 =
+                w[0].freqs.iter().map(|f| f.get()).sum::<f64>() / 16.0;
+            let mean_b: f64 =
+                w[1].freqs.iter().map(|f| f.get()).sum::<f64>() / 16.0;
+            assert!(mean_b < mean_a, "rollback did not lower mean frequency");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Fig. 12: the two predictors.
+//!
+//! Paper reference: (a) each core's ATM frequency falls linearly with
+//! total chip power — about 2 MHz per watt (Eq. 1); (b) application
+//! performance scales linearly with frequency, with a memory-behaviour-
+//! dependent coefficient (x264 steep, mcf shallow).
+
+use std::fmt;
+
+use atm_core::predictor::{FreqPredictor, PerfPredictor};
+use atm_units::{CoreId, MegaHz};
+use atm_workloads::by_name;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// One core's frequency-predictor fit (Fig. 12a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqFitRow {
+    /// Which core.
+    pub core: CoreId,
+    /// MHz lost per watt of chip power.
+    pub mhz_per_watt: f64,
+    /// Intercept `b` of Eq. 1.
+    pub intercept: MegaHz,
+    /// Fit quality.
+    pub r2: f64,
+}
+
+/// One application's performance-predictor fit (Fig. 12b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfFitRow {
+    /// Application name.
+    pub app: String,
+    /// Speedup slope per GHz of core frequency.
+    pub slope_per_ghz: f64,
+    /// Fit quality.
+    pub r2: f64,
+}
+
+/// The Fig. 12 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12 {
+    /// Fig. 12a rows: frequency predictors for four example cores.
+    pub freq_fits: Vec<FreqFitRow>,
+    /// Fig. 12b rows: performance predictors for contrast applications.
+    pub perf_fits: Vec<PerfFitRow>,
+}
+
+/// Trains the predictors on a deployed system.
+pub fn run(ctx: &mut Context) -> Fig12 {
+    let mut sys = ctx.deployed_system();
+    let cores = [
+        CoreId::new(0, 0),
+        CoreId::new(0, 3),
+        CoreId::new(1, 2),
+        CoreId::new(1, 6),
+    ];
+    let freq_fits = cores
+        .iter()
+        .map(|&core| {
+            let p = FreqPredictor::train(&mut sys, core);
+            FreqFitRow {
+                core,
+                mhz_per_watt: p.mhz_per_watt(),
+                intercept: MegaHz::new(p.fit().intercept),
+                r2: p.fit().r2,
+            }
+        })
+        .collect();
+
+    let baseline = MegaHz::new(4200.0);
+    let perf_fits = ["x264", "squeezenet", "gcc", "mcf"]
+        .iter()
+        .map(|name| {
+            let p = PerfPredictor::train(by_name(name).expect("catalog"), baseline);
+            PerfFitRow {
+                app: (*name).to_owned(),
+                slope_per_ghz: p.fit().slope * 1000.0,
+                r2: p.fit().r2,
+            }
+        })
+        .collect();
+
+    Fig12 {
+        freq_fits,
+        perf_fits,
+    }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 12a — core frequency vs. chip power (Eq. 1 fits)")?;
+        let rows: Vec<Vec<String>> = self
+            .freq_fits
+            .iter()
+            .map(|r| {
+                vec![
+                    r.core.to_string(),
+                    format!("{:.2}", r.mhz_per_watt),
+                    render::mhz(r.intercept),
+                    format!("{:.4}", r.r2),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(
+            &["core", "MHz/W", "intercept", "r²"],
+            &rows,
+        ))?;
+        writeln!(f, "Fig. 12b — app speedup vs. frequency fits")?;
+        let rows: Vec<Vec<String>> = self
+            .perf_fits
+            .iter()
+            .map(|r| {
+                vec![
+                    r.app.clone(),
+                    format!("{:.3}", r.slope_per_ghz),
+                    format!("{:.4}", r.r2),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(&["app", "speedup/GHz", "r²"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn eq1_slope_and_perf_contrast() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let fig = run(&mut ctx);
+        for r in &fig.freq_fits {
+            assert!(
+                (1.0..3.5).contains(&r.mhz_per_watt),
+                "{}: {:.2} MHz/W",
+                r.core,
+                r.mhz_per_watt
+            );
+            assert!(r.r2 > 0.97, "{}: r2 {}", r.core, r.r2);
+        }
+        let slope = |name: &str| {
+            fig.perf_fits
+                .iter()
+                .find(|r| r.app == name)
+                .expect("present")
+                .slope_per_ghz
+        };
+        assert!(slope("x264") > 2.0 * slope("mcf"));
+        assert!(slope("squeezenet") > slope("gcc"));
+    }
+}

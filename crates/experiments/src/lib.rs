@@ -1,0 +1,98 @@
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation.
+//!
+//! Each module regenerates one exhibit: it runs the same experiment the
+//! paper ran (against the simulated two-socket server instead of the
+//! physical one), returns the data as a typed row structure, and renders
+//! the same series the paper plots. The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run -p atm-experiments --bin repro -- all
+//! cargo run -p atm-experiments --bin repro -- fig7 table1 --quick
+//! ```
+//!
+//! Absolute numbers come from the calibrated simulation substrate, not the
+//! authors' testbed; the claims under reproduction are the *shapes*: who
+//! wins, by roughly what factor, and where the crossovers fall. Paper
+//! reference values are embedded in each module's documentation and
+//! checked loosely in its tests.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use atm_experiments::{Context, ExpConfig};
+//!
+//! let mut ctx = Context::new(ExpConfig::quick(42));
+//! let fig7 = atm_experiments::fig07::run(&mut ctx);
+//! println!("{fig7}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ext_aggressive;
+pub mod ext_calibration;
+pub mod ext_failure;
+pub mod ext_gating;
+pub mod ext_predict;
+pub mod ext_seeds;
+pub mod ext_trace;
+pub mod fig01;
+pub mod fig02;
+pub mod fig04;
+pub mod fig05;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod render;
+pub mod table1;
+pub mod table2;
+
+mod context;
+
+pub use context::{Context, ExpConfig};
+
+/// Identifiers of every reproducible exhibit, in paper order, plus the
+/// `ext-*` extensions (features the paper sketches but defers).
+pub const ALL_EXPERIMENTS: [&str; 20] = [
+    "fig1", "fig2", "fig4b", "fig5", "fig7", "table1", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "table2", "fig14", "ext-aggressive", "ext-gating", "ext-trace",
+    "ext-failure", "ext-calibration", "ext-seeds", "ext-predict",
+];
+
+/// Runs one exhibit by name and returns its rendered report.
+///
+/// # Errors
+///
+/// Returns the unknown name if `name` is not one of
+/// [`ALL_EXPERIMENTS`].
+pub fn run_by_name(ctx: &mut Context, name: &str) -> Result<String, String> {
+    let report = match name {
+        "fig1" => fig01::run(ctx).to_string(),
+        "fig2" => fig02::run(ctx).to_string(),
+        "fig4b" => fig04::run(ctx).to_string(),
+        "fig5" => fig05::run(ctx).to_string(),
+        "fig7" => fig07::run(ctx).to_string(),
+        "table1" => table1::run(ctx).to_string(),
+        "fig8" => fig08::run(ctx).to_string(),
+        "fig9" => fig09::run(ctx).to_string(),
+        "fig10" => fig10::run(ctx).to_string(),
+        "fig11" => fig11::run(ctx).to_string(),
+        "fig12" => fig12::run(ctx).to_string(),
+        "table2" => table2::run().to_string(),
+        "fig14" => fig14::run(ctx).to_string(),
+        "ext-aggressive" => ext_aggressive::run(ctx).to_string(),
+        "ext-calibration" => ext_calibration::run(ctx).to_string(),
+        "ext-failure" => ext_failure::run(ctx).to_string(),
+        "ext-gating" => ext_gating::run(ctx).to_string(),
+        "ext-predict" => ext_predict::run(ctx).to_string(),
+        "ext-seeds" => ext_seeds::run(ctx).to_string(),
+        "ext-trace" => ext_trace::run(ctx).to_string(),
+        other => return Err(other.to_owned()),
+    };
+    Ok(report)
+}

@@ -1,0 +1,86 @@
+//! Small plain-text table rendering helpers shared by the exhibits.
+
+use std::fmt::Write as _;
+
+/// Renders a table: a header row and data rows, columns padded to fit.
+///
+/// # Examples
+///
+/// ```
+/// use atm_experiments::render::table;
+///
+/// let s = table(
+///     &["core", "MHz"],
+///     &[vec!["P0C0".into(), "4600".into()], vec!["P0C1".into(), "5120".into()]],
+/// );
+/// assert!(s.contains("P0C1"));
+/// ```
+#[must_use]
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in header.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a frequency in MHz with no decimals.
+#[must_use]
+pub fn mhz(f: atm_units::MegaHz) -> String {
+    format!("{:.0}", f.get())
+}
+
+/// Formats a ratio as a percentage with one decimal.
+#[must_use]
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_units::MegaHz;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["a", "bbbb"],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let _ = table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(mhz(MegaHz::new(4649.7)), "4650");
+        assert_eq!(pct(0.102), "+10.2%");
+        assert_eq!(pct(-0.05), "-5.0%");
+    }
+}

@@ -1,0 +1,68 @@
+//! Table I: ATM reconfiguration limits per core under every scenario.
+//!
+//! Paper reference (its two chips): idle limits 2–11 steps, uBench limits
+//! equal or one-to-three steps lower on six cores, thread-normal slightly
+//! lower still, thread-worst the most conservative (2–6 steps), all
+//! monotone per core.
+
+use std::fmt;
+
+use atm_core::LimitTable;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+
+/// The Table I reproduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// The four limit rows.
+    pub table: LimitTable,
+}
+
+/// Assembles Table I from the cached characterization phases.
+pub fn run(ctx: &mut Context) -> Table1 {
+    let idle = ctx.idle_limits();
+    let ubench = ctx.ubench_limits();
+    let realistic = ctx.realistic();
+    let table = LimitTable {
+        idle,
+        ubench,
+        thread_normal: realistic.thread_normal,
+        thread_worst: realistic.thread_worst,
+    };
+    table.assert_invariants();
+    Table1 { table }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I — ATM reconfiguration limits (CPM delay-reduction steps)")?;
+        self.table.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let t = run(&mut ctx);
+        t.table.assert_invariants();
+
+        // Idle limits show wide inter-core spread.
+        let idle_spread =
+            t.table.idle.iter().max().unwrap() - t.table.idle.iter().min().unwrap();
+        assert!(idle_spread >= 3, "idle spread {idle_spread}");
+
+        // Thread-worst strictly below idle for most cores (realistic
+        // workloads cost margin), but never all the way to zero everywhere.
+        let reduced = (0..16)
+            .filter(|&i| t.table.thread_worst[i] < t.table.idle[i])
+            .count();
+        assert!(reduced >= 10, "only {reduced} cores pay for realistic load");
+        assert!(t.table.thread_worst.iter().any(|&w| w > 0));
+    }
+}

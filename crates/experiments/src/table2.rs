@@ -1,0 +1,71 @@
+//! Table II: critical/background × memory-intensity classification.
+
+use std::fmt;
+
+use atm_workloads::{classification_table, AppClass, Role};
+use serde::{Deserialize, Serialize};
+
+use crate::render;
+
+/// The Table II reproduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// `(name, class)` rows straight from the catalog.
+    pub rows: Vec<(String, AppClass)>,
+}
+
+/// Renders the classification table.
+#[must_use]
+pub fn run() -> Table2 {
+    Table2 {
+        rows: classification_table()
+            .into_iter()
+            .map(|(n, c)| (n.to_owned(), c))
+            .collect(),
+    }
+}
+
+impl Table2 {
+    /// The apps in a given quadrant.
+    #[must_use]
+    pub fn quadrant(&self, role: Role, mem_intensive: bool) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|(_, c)| c.role == role && c.mem_intensive == mem_intensive)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II — application classification")?;
+        let rows = vec![
+            vec![
+                "intensive".to_owned(),
+                self.quadrant(Role::Critical, true).join(", "),
+                self.quadrant(Role::Background, true).join(", "),
+            ],
+            vec![
+                "non-intensive".to_owned(),
+                self.quadrant(Role::Critical, false).join(", "),
+                self.quadrant(Role::Background, false).join(", "),
+            ],
+        ];
+        f.write_str(&render::table(&["mem behavior", "critical", "background"], &rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrants_populated_like_paper() {
+        let t = run();
+        assert_eq!(t.quadrant(Role::Critical, true).len(), 4);
+        assert_eq!(t.quadrant(Role::Critical, false).len(), 5);
+        assert!(t.quadrant(Role::Background, true).contains(&"streamcluster"));
+        assert!(t.quadrant(Role::Background, false).contains(&"x264"));
+    }
+}

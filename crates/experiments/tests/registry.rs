@@ -1,0 +1,31 @@
+//! Every registered exhibit must run and render through the registry.
+
+use atm_experiments::{run_by_name, Context, ExpConfig, ALL_EXPERIMENTS};
+
+#[test]
+fn every_exhibit_runs_and_renders() {
+    let mut ctx = Context::new(ExpConfig::quick(42));
+    for name in ALL_EXPERIMENTS {
+        let report = run_by_name(&mut ctx, name)
+            .unwrap_or_else(|e| panic!("exhibit {name} failed: {e}"));
+        assert!(!report.trim().is_empty(), "{name} rendered nothing");
+        assert!(
+            report.lines().count() >= 3,
+            "{name} rendered suspiciously little:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn unknown_exhibit_is_an_error() {
+    let mut ctx = Context::new(ExpConfig::quick(42));
+    assert_eq!(run_by_name(&mut ctx, "fig99"), Err("fig99".to_owned()));
+}
+
+#[test]
+fn registry_names_unique() {
+    let mut names = ALL_EXPERIMENTS.to_vec();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), ALL_EXPERIMENTS.len());
+}

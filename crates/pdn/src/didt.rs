@@ -1,0 +1,329 @@
+//! Stochastic di/dt droop events.
+
+use atm_units::{Millivolts, Nanos};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Workload-dependent parameters of the di/dt droop process.
+///
+/// Complex microarchitectural activity — pipeline flushes, bursty issue,
+/// synchronized multi-core surges — produces current transients that droop
+/// the supply. The droop's *slow* tail is tracked by the ATM loop (which
+/// responds within a few cycles); the *sharp leading edge* can outrun the
+/// loop. `sharpness` is the fraction of the droop magnitude arriving inside
+/// the loop's blind window.
+///
+/// # Examples
+///
+/// ```
+/// use atm_pdn::DiDtParams;
+///
+/// let smooth = DiDtParams::new(0.2, 8.0, 2.0, 0.3);
+/// let flushy = DiDtParams::new(2.0, 30.0, 6.0, 0.7);
+/// assert!(flushy.worst_case_unseen_mv(0.75) > smooth.worst_case_unseen_mv(0.75));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiDtParams {
+    /// Mean droop events per microsecond of execution.
+    events_per_us: f64,
+    /// Mean droop magnitude in millivolts.
+    magnitude_mean_mv: f64,
+    /// Magnitude standard deviation in millivolts.
+    magnitude_sigma_mv: f64,
+    /// Fraction of the magnitude arriving faster than the loop can react.
+    sharpness: f64,
+}
+
+impl DiDtParams {
+    /// Creates droop-process parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative, or `sharpness` exceeds 1.
+    #[must_use]
+    pub fn new(
+        events_per_us: f64,
+        magnitude_mean_mv: f64,
+        magnitude_sigma_mv: f64,
+        sharpness: f64,
+    ) -> Self {
+        assert!(events_per_us >= 0.0, "event rate must be non-negative");
+        assert!(magnitude_mean_mv >= 0.0, "magnitude must be non-negative");
+        assert!(magnitude_sigma_mv >= 0.0, "sigma must be non-negative");
+        assert!((0.0..=1.0).contains(&sharpness), "sharpness out of [0,1]");
+        DiDtParams {
+            events_per_us,
+            magnitude_mean_mv,
+            magnitude_sigma_mv,
+            sharpness,
+        }
+    }
+
+    /// A quiet process: no droop events at all (idle cores).
+    #[must_use]
+    pub fn quiet() -> Self {
+        DiDtParams::new(0.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Mean droop events per microsecond.
+    #[must_use]
+    pub fn events_per_us(&self) -> f64 {
+        self.events_per_us
+    }
+
+    /// Mean droop magnitude.
+    #[must_use]
+    pub fn magnitude_mean(&self) -> Millivolts {
+        Millivolts::new(self.magnitude_mean_mv)
+    }
+
+    /// The leading-edge fraction that escapes the control loop.
+    #[must_use]
+    pub fn sharpness(&self) -> f64 {
+        self.sharpness
+    }
+
+    /// Scales the droop magnitude (used when multiple SMT threads or
+    /// synchronized co-runners amplify the transient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn amplified(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "amplification must be non-negative");
+        DiDtParams {
+            magnitude_mean_mv: self.magnitude_mean_mv * factor,
+            magnitude_sigma_mv: self.magnitude_sigma_mv * factor,
+            ..*self
+        }
+    }
+
+    /// Analytic `quantile` worst-case *unseen* droop (the part escaping the
+    /// loop), in millivolts. Used by fast analytical screens; the simulator
+    /// samples the process instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is outside `(0, 1)`.
+    #[must_use]
+    pub fn worst_case_unseen_mv(&self, quantile: f64) -> f64 {
+        assert!((0.0..1.0).contains(&quantile) && quantile > 0.0);
+        // Normal quantile approximation: mean + z(q)·sigma.
+        let z = inverse_normal_cdf(quantile);
+        ((self.magnitude_mean_mv + z * self.magnitude_sigma_mv) * self.sharpness).max(0.0)
+    }
+}
+
+/// One droop event produced by the process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroopEvent {
+    /// Full droop magnitude below the DC operating voltage.
+    pub magnitude: Millivolts,
+    /// The portion arriving inside the loop's blind window: this much is
+    /// *not* compensated before the failure-relevant cycles execute.
+    pub unseen: Millivolts,
+}
+
+/// A seeded sampler of di/dt droop events over simulation ticks.
+///
+/// # Examples
+///
+/// ```
+/// use atm_pdn::{DiDtParams, DroopProcess};
+/// use atm_units::Nanos;
+///
+/// let mut p = DroopProcess::new(DiDtParams::new(5.0, 25.0, 5.0, 0.6), 7);
+/// let events: usize = (0..10_000)
+///     .filter_map(|_| p.sample_tick(Nanos::new(50.0)))
+///     .count();
+/// assert!(events > 0, "a noisy workload must produce droops");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DroopProcess {
+    params: DiDtParams,
+    rng: StdRng,
+}
+
+impl DroopProcess {
+    /// Creates a droop process with its own RNG stream.
+    #[must_use]
+    pub fn new(params: DiDtParams, seed: u64) -> Self {
+        DroopProcess {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The process parameters.
+    #[must_use]
+    pub fn params(&self) -> &DiDtParams {
+        &self.params
+    }
+
+    /// Replaces the parameters (when the workload on a core changes).
+    pub fn set_params(&mut self, params: DiDtParams) {
+        self.params = params;
+    }
+
+    /// Samples one simulation tick of length `dt`; returns a droop event
+    /// if one fired within the tick.
+    ///
+    /// At most one event per tick is reported (ticks are shorter than the
+    /// droop recovery time, so coincident events merge in reality too).
+    pub fn sample_tick(&mut self, dt: Nanos) -> Option<DroopEvent> {
+        let rate = self.params.events_per_us * dt.get() / 1000.0;
+        if rate <= 0.0 {
+            return None;
+        }
+        let p_event = 1.0 - (-rate).exp();
+        if !self.rng.gen_bool(p_event.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let gauss = {
+            let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let magnitude = (self.params.magnitude_mean_mv + gauss * self.params.magnitude_sigma_mv)
+            .max(0.0);
+        Some(DroopEvent {
+            magnitude: Millivolts::new(magnitude),
+            unseen: Millivolts::new(magnitude * self.params.sharpness),
+        })
+    }
+}
+
+/// Acklam-style rational approximation of the standard normal quantile,
+/// accurate to ~1e-4 over (0.001, 0.999) — ample for stress quantiles.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p) && p > 0.0);
+    // Beasley-Springer-Moro.
+    let a = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    let b = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    let c = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    let d = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_process_never_fires() {
+        let mut p = DroopProcess::new(DiDtParams::quiet(), 1);
+        for _ in 0..10_000 {
+            assert!(p.sample_tick(Nanos::new(50.0)).is_none());
+        }
+    }
+
+    #[test]
+    fn event_rate_approximately_matches() {
+        let mut p = DroopProcess::new(DiDtParams::new(1.0, 20.0, 4.0, 0.5), 2);
+        let ticks = 200_000;
+        let dt = Nanos::new(50.0);
+        let events = (0..ticks).filter_map(|_| p.sample_tick(dt)).count();
+        // Expected: 1 per us = 0.05 per tick -> ~10_000 events.
+        let expected = 0.05 * f64::from(ticks) * (1.0 - 0.05 / 2.0); // Poisson merge correction
+        let ratio = events as f64 / expected;
+        assert!((0.85..1.15).contains(&ratio), "rate off: {events} vs ~{expected}");
+    }
+
+    #[test]
+    fn unseen_fraction_is_sharpness() {
+        let mut p = DroopProcess::new(DiDtParams::new(10.0, 25.0, 5.0, 0.6), 3);
+        let e = loop {
+            if let Some(e) = p.sample_tick(Nanos::new(100.0)) {
+                break e;
+            }
+        };
+        assert!((e.unseen.get() - e.magnitude.get() * 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitudes_never_negative() {
+        let mut p = DroopProcess::new(DiDtParams::new(20.0, 5.0, 10.0, 1.0), 4);
+        for _ in 0..50_000 {
+            if let Some(e) = p.sample_tick(Nanos::new(50.0)) {
+                assert!(e.magnitude.get() >= 0.0);
+                assert!(e.unseen.get() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let collect = |seed| {
+            let mut p = DroopProcess::new(DiDtParams::new(5.0, 25.0, 5.0, 0.5), seed);
+            (0..1000)
+                .filter_map(|_| p.sample_tick(Nanos::new(50.0)))
+                .map(|e| e.magnitude.get())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn worst_case_quantile_ordering() {
+        let p = DiDtParams::new(2.0, 30.0, 6.0, 0.7);
+        assert!(p.worst_case_unseen_mv(0.99) > p.worst_case_unseen_mv(0.5));
+        // Median unseen = mean · sharpness.
+        assert!((p.worst_case_unseen_mv(0.5) - 21.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn amplified_scales_magnitude() {
+        let p = DiDtParams::new(2.0, 30.0, 6.0, 0.7).amplified(1.5);
+        assert!((p.magnitude_mean().get() - 45.0).abs() < 1e-12);
+        assert!((p.sharpness() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_sanity() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-6);
+        assert!((inverse_normal_cdf(0.975) - 1.96).abs() < 1e-3);
+        assert!((inverse_normal_cdf(0.025) + 1.96).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,39 @@
+//! Power-delivery and thermal models for the `power-atm` stack.
+//!
+//! The paper's dynamic effects all flow through the power-delivery network:
+//!
+//! * **DC IR drop** — current drawn by the whole chip drops voltage across
+//!   the shared delivery path ([`PdnModel`]); this is the `−k′·P̄` term of
+//!   the paper's Eq. 1 frequency predictor (≈ −2 MHz per watt).
+//! * **di/dt droops** — fast transient events caused by workload activity
+//!   swings ([`DroopProcess`]); the ATM loop absorbs the slow part, but a
+//!   sharp leading edge can escape the loop's response window and threaten
+//!   an aggressively fine-tuned configuration.
+//! * **Power and temperature** — [`PowerModel`] computes dynamic + leakage
+//!   power from voltage, frequency and activity; [`ThermalModel`] tracks
+//!   die temperature (kept below 70 °C in all the paper's runs).
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_pdn::PdnModel;
+//! use atm_units::Watts;
+//!
+//! let pdn = PdnModel::power7_plus();
+//! let idle = pdn.core_voltage(Watts::new(55.0), Watts::new(2.0));
+//! let loaded = pdn.core_voltage(Watts::new(160.0), Watts::new(15.0));
+//! assert!(loaded < idle, "higher power must drop the delivered voltage");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod didt;
+mod power;
+mod thermal;
+mod vrm;
+
+pub use didt::{DiDtParams, DroopEvent, DroopProcess};
+pub use power::{PowerBreakdown, PowerModel};
+pub use thermal::ThermalModel;
+pub use vrm::PdnModel;

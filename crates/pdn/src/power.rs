@@ -1,0 +1,234 @@
+//! Dynamic and leakage power of cores and chip.
+
+use atm_units::{Celsius, MegaHz, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Power model for one processor chip: per-core dynamic power
+/// `Ceff·a·V²·f`, per-core leakage `L0·V·e^(kL·(T−Tnom))`, and a constant
+/// uncore/nest term.
+///
+/// Calibrated so eight daxpy threads at the ATM operating point draw about
+/// 160 W chip power, matching the paper's stress-test observation.
+///
+/// # Examples
+///
+/// ```
+/// use atm_pdn::PowerModel;
+/// use atm_units::{Celsius, MegaHz, Volts, Watts};
+///
+/// let pm = PowerModel::power7_plus();
+/// let idle = pm.core_power(MegaHz::new(4600.0), Volts::new(1.24), Celsius::new(45.0), 0.05);
+/// let daxpy = pm.core_power(MegaHz::new(4600.0), Volts::new(1.21), Celsius::new(65.0), 0.95);
+/// assert!(daxpy.get() > 5.0 * idle.get());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Effective switched capacitance term, in W / (MHz · V²) at unit
+    /// activity.
+    ceff_w_per_mhz_v2: f64,
+    /// Per-core leakage at nominal voltage and temperature.
+    leak_nominal: Watts,
+    /// Leakage exponential temperature coefficient per °C.
+    leak_temp_coeff: f64,
+    /// Nominal temperature for the leakage model.
+    tnom: Celsius,
+    /// Constant uncore (nest, caches, IO) power per chip.
+    uncore: Watts,
+}
+
+/// Itemized chip power, exposed so telemetry and tests can check each
+/// component (C-INTERMEDIATE).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Sum of per-core dynamic power.
+    pub dynamic: Watts,
+    /// Sum of per-core leakage power.
+    pub leakage: Watts,
+    /// Constant uncore power.
+    pub uncore: Watts,
+}
+
+impl PowerBreakdown {
+    /// Total chip power.
+    #[must_use]
+    pub fn total(&self) -> Watts {
+        self.dynamic + self.leakage + self.uncore
+    }
+}
+
+impl PowerModel {
+    /// POWER7+-calibrated constants: a daxpy core at 4.6 GHz / ~1.21 V
+    /// draws ≈ 14 W dynamic + 1.5 W leakage; uncore is 35 W.
+    #[must_use]
+    pub fn power7_plus() -> Self {
+        PowerModel {
+            ceff_w_per_mhz_v2: 2.15e-3,
+            leak_nominal: Watts::new(1.5),
+            leak_temp_coeff: 0.014,
+            tnom: Celsius::new(45.0),
+            uncore: Watts::new(35.0),
+        }
+    }
+
+    /// Creates a power model from raw constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ceff` is negative.
+    #[must_use]
+    pub fn new(
+        ceff_w_per_mhz_v2: f64,
+        leak_nominal: Watts,
+        leak_temp_coeff: f64,
+        tnom: Celsius,
+        uncore: Watts,
+    ) -> Self {
+        assert!(ceff_w_per_mhz_v2 >= 0.0, "Ceff must be non-negative");
+        PowerModel {
+            ceff_w_per_mhz_v2,
+            leak_nominal,
+            leak_temp_coeff,
+            tnom,
+            uncore,
+        }
+    }
+
+    /// Power drawn by one core clocked at `f`, supplied `v`, die
+    /// temperature `t`, running code with switching activity `activity`
+    /// (0 = clock-gated idle, 1 = power-virus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1.5]` (SMT-stacked stressmarks
+    /// may exceed 1.0 slightly, but nothing should exceed 1.5).
+    #[must_use]
+    pub fn core_power(&self, f: MegaHz, v: Volts, t: Celsius, activity: f64) -> Watts {
+        assert!(
+            (0.0..=1.5).contains(&activity),
+            "activity out of [0, 1.5]: {activity}"
+        );
+        let dynamic = self.ceff_w_per_mhz_v2 * activity * v.get() * v.get() * f.get();
+        Watts::new(dynamic) + self.core_leakage(v, t)
+    }
+
+    /// Leakage power of one core at `(v, t)`.
+    #[must_use]
+    pub fn core_leakage(&self, v: Volts, t: Celsius) -> Watts {
+        let temp_term = (self.leak_temp_coeff * (t.get() - self.tnom.get())).exp();
+        let v_term = v.get() / 1.25;
+        Watts::new(self.leak_nominal.get() * v_term * temp_term)
+    }
+
+    /// The constant uncore power.
+    #[must_use]
+    pub fn uncore(&self) -> Watts {
+        self.uncore
+    }
+
+    /// Total chip power from per-core `(f, v, activity)` triples at die
+    /// temperature `t`, itemized.
+    pub fn chip_power<I>(&self, cores: I, t: Celsius) -> PowerBreakdown
+    where
+        I: IntoIterator<Item = (MegaHz, Volts, f64)>,
+    {
+        let mut dynamic = Watts::ZERO;
+        let mut leakage = Watts::ZERO;
+        for (f, v, a) in cores {
+            let total = self.core_power(f, v, t, a);
+            let leak = self.core_leakage(v, t);
+            leakage += leak;
+            dynamic += total.saturating_sub(leak);
+        }
+        PowerBreakdown {
+            dynamic,
+            leakage,
+            uncore: self.uncore,
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::power7_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm() -> PowerModel {
+        PowerModel::power7_plus()
+    }
+
+    #[test]
+    fn eight_daxpy_cores_near_160_watts() {
+        let pm = pm();
+        let t = Celsius::new(65.0);
+        let cores = (0..8).map(|_| (MegaHz::new(4600.0), Volts::new(1.21), 0.95));
+        let total = pm.chip_power(cores, t).total();
+        assert!(
+            total.get() > 140.0 && total.get() < 180.0,
+            "daxpy chip power {total} outside the paper's ~160 W"
+        );
+    }
+
+    #[test]
+    fn idle_chip_power_plausible() {
+        let pm = pm();
+        let t = Celsius::new(42.0);
+        let cores = (0..8).map(|_| (MegaHz::new(4600.0), Volts::new(1.24), 0.05));
+        let total = pm.chip_power(cores, t).total();
+        assert!(
+            total.get() > 45.0 && total.get() < 75.0,
+            "idle chip power {total} implausible"
+        );
+    }
+
+    #[test]
+    fn power_monotone_in_activity_frequency_voltage() {
+        let pm = pm();
+        let t = Celsius::new(50.0);
+        let base = pm.core_power(MegaHz::new(4000.0), Volts::new(1.2), t, 0.5);
+        assert!(pm.core_power(MegaHz::new(4400.0), Volts::new(1.2), t, 0.5) > base);
+        assert!(pm.core_power(MegaHz::new(4000.0), Volts::new(1.25), t, 0.5) > base);
+        assert!(pm.core_power(MegaHz::new(4000.0), Volts::new(1.2), t, 0.8) > base);
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let pm = pm();
+        assert!(
+            pm.core_leakage(Volts::new(1.25), Celsius::new(70.0))
+                > pm.core_leakage(Volts::new(1.25), Celsius::new(45.0))
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let pm = pm();
+        let t = Celsius::new(55.0);
+        let cores: Vec<_> = (0..8).map(|_| (MegaHz::new(4500.0), Volts::new(1.22), 0.6)).collect();
+        let b = pm.chip_power(cores.iter().copied(), t);
+        let manual: Watts = cores
+            .iter()
+            .map(|&(f, v, a)| pm.core_power(f, v, t, a))
+            .sum::<Watts>()
+            + pm.uncore();
+        assert!((b.total().get() - manual.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_activity_leaves_only_leakage() {
+        let pm = pm();
+        let t = Celsius::new(45.0);
+        let p = pm.core_power(MegaHz::new(4600.0), Volts::new(1.25), t, 0.0);
+        assert_eq!(p, pm.core_leakage(Volts::new(1.25), t));
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn absurd_activity_rejected() {
+        let _ = pm().core_power(MegaHz::new(4600.0), Volts::new(1.25), Celsius::new(45.0), 2.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! First-order die thermal model.
+
+use atm_units::{Celsius, Nanos, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A first-order RC thermal model of the die.
+///
+/// Die temperature relaxes toward `T_ambient + R_th · P` with time constant
+/// `tau`. The paper keeps the die below 70 °C in all experiments (reached at
+/// ≈ 160 W) and observes that temperature only modestly affects speed; the
+/// model exists mainly so leakage and the small delay sensitivity see a
+/// realistic temperature trajectory.
+///
+/// # Examples
+///
+/// ```
+/// use atm_pdn::ThermalModel;
+/// use atm_units::{Nanos, Watts};
+///
+/// let mut th = ThermalModel::power7_plus();
+/// th.settle(Watts::new(160.0));
+/// assert!((th.temperature().get() - 70.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    ambient: Celsius,
+    r_th_deg_per_watt: f64,
+    tau_ms: f64,
+    temperature: Celsius,
+}
+
+impl ThermalModel {
+    /// POWER7+-calibrated constants: 40 °C ambient (case), 0.19 °C/W to the
+    /// heat sink, 20 ms time constant. 160 W → ≈ 70 °C steady state.
+    #[must_use]
+    pub fn power7_plus() -> Self {
+        ThermalModel::new(Celsius::new(40.0), 0.19, 20.0)
+    }
+
+    /// Creates a thermal model initially at ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_th_deg_per_watt` is negative or `tau_ms` is not
+    /// positive.
+    #[must_use]
+    pub fn new(ambient: Celsius, r_th_deg_per_watt: f64, tau_ms: f64) -> Self {
+        assert!(r_th_deg_per_watt >= 0.0, "thermal resistance must be non-negative");
+        assert!(tau_ms > 0.0, "thermal time constant must be positive");
+        ThermalModel {
+            ambient,
+            r_th_deg_per_watt,
+            tau_ms,
+            temperature: ambient,
+        }
+    }
+
+    /// The current die temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// The steady-state temperature at chip power `p`.
+    #[must_use]
+    pub fn steady_state(&self, p: Watts) -> Celsius {
+        self.ambient + Celsius::delta(self.r_th_deg_per_watt * p.get())
+    }
+
+    /// Advances the model by `dt` at chip power `p`.
+    pub fn step(&mut self, p: Watts, dt: Nanos) {
+        let target = self.steady_state(p);
+        let alpha = 1.0 - (-dt.to_millis() / self.tau_ms).exp();
+        let next = self.temperature.get() + alpha * (target.get() - self.temperature.get());
+        self.temperature = Celsius::new(next);
+    }
+
+    /// Jumps directly to the steady state for `p` (used at the start of a
+    /// trial so short simulations see representative temperatures).
+    pub fn settle(&mut self, p: Watts) {
+        self.temperature = self.steady_state(p);
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::power7_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_at_160w_near_70c() {
+        let th = ThermalModel::power7_plus();
+        let t = th.steady_state(Watts::new(160.0));
+        assert!((t.get() - 70.4).abs() < 1.0, "steady state {t}");
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        assert_eq!(ThermalModel::power7_plus().temperature(), Celsius::new(40.0));
+    }
+
+    #[test]
+    fn step_approaches_steady_state_monotonically() {
+        let mut th = ThermalModel::power7_plus();
+        let p = Watts::new(120.0);
+        let target = th.steady_state(p);
+        let mut prev = th.temperature();
+        // 20 steps of 5 ms = 100 ms = 5 tau.
+        for _ in 0..20 {
+            th.step(p, Nanos::new(5.0e6));
+            assert!(th.temperature() >= prev);
+            prev = th.temperature();
+        }
+        assert!((th.temperature().get() - target.get()).abs() < 0.5);
+    }
+
+    #[test]
+    fn cooling_works_too() {
+        let mut th = ThermalModel::power7_plus();
+        th.settle(Watts::new(160.0));
+        th.step(Watts::new(50.0), Nanos::new(100.0e6));
+        assert!(th.temperature() < Celsius::new(70.0));
+    }
+
+    #[test]
+    fn settle_matches_steady_state() {
+        let mut th = ThermalModel::power7_plus();
+        th.settle(Watts::new(100.0));
+        assert_eq!(th.temperature(), th.steady_state(Watts::new(100.0)));
+    }
+
+    #[test]
+    fn tiny_step_barely_moves() {
+        let mut th = ThermalModel::power7_plus();
+        th.step(Watts::new(160.0), Nanos::new(50.0));
+        assert!(th.temperature().get() - 40.0 < 0.01);
+    }
+}

@@ -1,0 +1,173 @@
+//! The voltage regulator and DC delivery-path model.
+
+use atm_units::{Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// DC model of a processor's power-delivery network: an off-chip VRM with a
+/// configurable setpoint, a shared delivery-path resistance across which
+/// the *whole chip's* current drops voltage, and a smaller per-core local
+/// resistance.
+///
+/// The shared term makes every core's frequency depend on *total* chip
+/// power — the coupling the paper's management scheme exploits: throttling
+/// background cores lowers chip power, which raises the delivered voltage
+/// and thus the critical core's ATM frequency.
+///
+/// # Examples
+///
+/// ```
+/// use atm_pdn::PdnModel;
+/// use atm_units::Watts;
+///
+/// let pdn = PdnModel::power7_plus();
+/// // At ~160 W the DC drop is ≈ 3–4% of the 1.25 V rail (the paper's
+/// // "DC voltage drop can consume 3% of Vdd").
+/// let v = pdn.core_voltage(Watts::new(160.0), Watts::new(15.0));
+/// let drop_frac = 1.0 - v.get() / 1.25;
+/// assert!(drop_frac > 0.025 && drop_frac < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PdnModel {
+    setpoint: Volts,
+    r_shared_ohm: f64,
+    r_local_ohm: f64,
+}
+
+impl PdnModel {
+    /// The POWER7+-calibrated network: 1.25 V setpoint (the 4.2 GHz
+    /// p-state), 0.34 mΩ shared path (≈ −2 MHz/W via the loop), 0.05 mΩ
+    /// local per-core path.
+    #[must_use]
+    pub fn power7_plus() -> Self {
+        PdnModel::new(Volts::new(1.25), 3.4e-4, 0.5e-4)
+    }
+
+    /// Creates a network model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setpoint is zero or either resistance is negative.
+    #[must_use]
+    pub fn new(setpoint: Volts, r_shared_ohm: f64, r_local_ohm: f64) -> Self {
+        assert!(setpoint.get() > 0.0, "VRM setpoint must be positive");
+        assert!(r_shared_ohm >= 0.0, "shared resistance must be non-negative");
+        assert!(r_local_ohm >= 0.0, "local resistance must be non-negative");
+        PdnModel {
+            setpoint,
+            r_shared_ohm,
+            r_local_ohm,
+        }
+    }
+
+    /// The VRM output setpoint.
+    #[must_use]
+    pub fn setpoint(&self) -> Volts {
+        self.setpoint
+    }
+
+    /// Returns a copy with a different VRM setpoint (used by DVFS p-state
+    /// changes and by the undervolting policy).
+    #[must_use]
+    pub fn with_setpoint(&self, setpoint: Volts) -> Self {
+        PdnModel::new(setpoint, self.r_shared_ohm, self.r_local_ohm)
+    }
+
+    /// The shared delivery-path resistance in ohms.
+    #[must_use]
+    pub fn r_shared_ohm(&self) -> f64 {
+        self.r_shared_ohm
+    }
+
+    /// Steady-state voltage delivered to a core, given the chip's total
+    /// power and this core's own power.
+    ///
+    /// Current is approximated as `P/Vset` (the error from using the
+    /// setpoint instead of the delivered voltage is second-order in the
+    /// drop, well under 0.2%).
+    #[must_use]
+    pub fn core_voltage(&self, chip_power: Watts, core_power: Watts) -> Volts {
+        let i_chip = chip_power.get() / self.setpoint.get();
+        let i_core = core_power.get() / self.setpoint.get();
+        let drop = self.r_shared_ohm * i_chip + self.r_local_ohm * i_core;
+        self.setpoint.saturating_sub(Volts::new(drop))
+    }
+
+    /// The DC drop component shared by all cores, for telemetry.
+    #[must_use]
+    pub fn shared_drop(&self, chip_power: Watts) -> Volts {
+        Volts::new(self.r_shared_ohm * chip_power.get() / self.setpoint.get())
+    }
+
+    /// Sensitivity of the delivered voltage to chip power, in volts per
+    /// watt (a negative quantity reported as its magnitude). Used by the
+    /// analytical frequency predictor.
+    #[must_use]
+    pub fn volts_per_watt(&self) -> f64 {
+        self.r_shared_ohm / self.setpoint.get()
+    }
+}
+
+impl Default for PdnModel {
+    fn default() -> Self {
+        PdnModel::power7_plus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_decreases_with_chip_power() {
+        let pdn = PdnModel::power7_plus();
+        let mut prev = pdn.core_voltage(Watts::ZERO, Watts::ZERO);
+        for p in (20..=200).step_by(20) {
+            let v = pdn.core_voltage(Watts::new(f64::from(p)), Watts::new(2.0));
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_power_delivers_setpoint() {
+        let pdn = PdnModel::power7_plus();
+        assert_eq!(pdn.core_voltage(Watts::ZERO, Watts::ZERO), pdn.setpoint());
+    }
+
+    #[test]
+    fn local_term_penalizes_hot_core() {
+        let pdn = PdnModel::power7_plus();
+        let cool = pdn.core_voltage(Watts::new(100.0), Watts::new(2.0));
+        let hot = pdn.core_voltage(Watts::new(100.0), Watts::new(18.0));
+        assert!(hot < cool);
+    }
+
+    #[test]
+    fn drop_magnitude_matches_paper() {
+        // ~160 W should drop 40–50 mV on the shared path (≈ 3% of Vdd).
+        let pdn = PdnModel::power7_plus();
+        let drop = pdn.shared_drop(Watts::new(160.0));
+        assert!(drop.get() > 0.035 && drop.get() < 0.055, "drop {drop}");
+    }
+
+    #[test]
+    fn setpoint_change_scales_voltage() {
+        let pdn = PdnModel::power7_plus().with_setpoint(Volts::new(1.0));
+        assert_eq!(pdn.core_voltage(Watts::ZERO, Watts::ZERO), Volts::new(1.0));
+    }
+
+    #[test]
+    fn volts_per_watt_matches_finite_difference() {
+        let pdn = PdnModel::power7_plus();
+        let v1 = pdn.core_voltage(Watts::new(100.0), Watts::ZERO);
+        let v2 = pdn.core_voltage(Watts::new(101.0), Watts::ZERO);
+        let fd = v1.get() - v2.get();
+        assert!((fd - pdn.volts_per_watt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_setpoint_rejected() {
+        let _ = PdnModel::new(Volts::ZERO, 1e-4, 1e-5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the power-delivery, power and thermal models.
+
+use atm_pdn::{DiDtParams, DroopProcess, PdnModel, PowerModel, ThermalModel};
+use atm_units::{Celsius, MegaHz, Nanos, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ir_drop_linear_in_power(p in 0.0f64..250.0, scale in 0.1f64..3.0) {
+        let pdn = PdnModel::power7_plus();
+        let d1 = pdn.shared_drop(Watts::new(p));
+        let d2 = pdn.shared_drop(Watts::new(p * scale));
+        prop_assert!((d2.get() - d1.get() * scale).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivered_voltage_never_exceeds_setpoint(
+        chip in 0.0f64..400.0,
+        core in 0.0f64..30.0,
+    ) {
+        let pdn = PdnModel::power7_plus();
+        let v = pdn.core_voltage(Watts::new(chip), Watts::new(core));
+        prop_assert!(v <= pdn.setpoint());
+        prop_assert!(v.get() >= 0.0);
+    }
+
+    #[test]
+    fn core_power_scales_with_each_factor(
+        f in 2000.0f64..5400.0,
+        v_mv in 950u32..1300,
+        act in 0.05f64..1.0,
+    ) {
+        let pm = PowerModel::power7_plus();
+        let t = Celsius::new(50.0);
+        let v = Volts::new(f64::from(v_mv) / 1000.0);
+        let base = pm.core_power(MegaHz::new(f), v, t, act);
+        prop_assert!(base.get() > 0.0);
+        prop_assert!(pm.core_power(MegaHz::new(f * 1.1), v, t, act) > base);
+        prop_assert!(pm.core_power(MegaHz::new(f), v, t, (act * 1.2).min(1.5)) >= base);
+    }
+
+    #[test]
+    fn leakage_positive_and_monotone_in_temp(t in 20.0f64..95.0) {
+        let pm = PowerModel::power7_plus();
+        let v = Volts::new(1.2);
+        let leak = pm.core_leakage(v, Celsius::new(t));
+        prop_assert!(leak.get() > 0.0);
+        prop_assert!(pm.core_leakage(v, Celsius::new(t + 5.0)) > leak);
+    }
+
+    #[test]
+    fn thermal_step_never_overshoots(
+        p in 0.0f64..250.0,
+        dt_ms in 0.1f64..200.0,
+    ) {
+        let mut th = ThermalModel::power7_plus();
+        let target = th.steady_state(Watts::new(p));
+        th.step(Watts::new(p), Nanos::new(dt_ms * 1e6));
+        if target.get() >= 40.0 {
+            prop_assert!(th.temperature() <= target);
+            prop_assert!(th.temperature().get() >= 40.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn droop_unseen_never_exceeds_magnitude(
+        rate in 0.1f64..6.0,
+        mean in 1.0f64..50.0,
+        sigma in 0.0f64..15.0,
+        sharp in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut p = DroopProcess::new(DiDtParams::new(rate, mean, sigma, sharp), seed);
+        for _ in 0..2000 {
+            if let Some(e) = p.sample_tick(Nanos::new(50.0)) {
+                prop_assert!(e.unseen.get() <= e.magnitude.get() + 1e-12);
+                prop_assert!(e.magnitude.get() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_quantile_monotone(
+        mean in 1.0f64..50.0,
+        sigma in 0.1f64..15.0,
+        sharp in 0.05f64..1.0,
+    ) {
+        let p = DiDtParams::new(1.0, mean, sigma, sharp);
+        let mut prev = 0.0;
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let w = p.worst_case_unseen_mv(q);
+            prop_assert!(w >= prev - 1e-9, "quantile {q} not monotone");
+            prev = w;
+        }
+    }
+}
+
+#[test]
+fn empirical_unseen_tail_matches_analytic_quantile() {
+    // The sampled 99th percentile of unseen droops should sit near the
+    // analytic prediction used by fast screens.
+    let params = DiDtParams::new(4.0, 30.0, 6.0, 0.6);
+    let mut p = DroopProcess::new(params, 123);
+    let mut unseen: Vec<f64> = Vec::new();
+    for _ in 0..400_000 {
+        if let Some(e) = p.sample_tick(Nanos::new(50.0)) {
+            unseen.push(e.unseen.get());
+        }
+    }
+    assert!(unseen.len() > 10_000);
+    unseen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let empirical_q99 = unseen[(unseen.len() as f64 * 0.99) as usize];
+    let analytic = params.worst_case_unseen_mv(0.99);
+    let rel = (empirical_q99 - analytic).abs() / analytic;
+    assert!(rel < 0.06, "q99 empirical {empirical_q99:.2} vs analytic {analytic:.2}");
+}

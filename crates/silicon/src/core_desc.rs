@@ -1,0 +1,229 @@
+//! Per-core silicon description consumed by the CPM and chip layers.
+
+use atm_units::{Celsius, CoreId, Picos, Volts};
+use serde::{Deserialize, Serialize};
+
+use crate::inverter::InverterChain;
+use crate::path::AlphaPowerLaw;
+
+/// Number of Critical Path Monitors per core (instruction fetch,
+/// instruction scheduling, fixed point, floating point, last-level cache).
+pub(crate) const CPMS_PER_CORE: usize = 5;
+
+/// Everything manufacturing fixed about one core's timing behaviour.
+///
+/// A [`CoreSilicon`] bundles:
+///
+/// * the core's **real critical path** delay model (process-variation
+///   scaled alpha-power law);
+/// * the **mimic ratios** of its five CPMs' synthetic paths — a CPM path
+///   is designed shorter than the real worst path so that the programmable
+///   inserted delay can pad it;
+/// * the **coverage gap** parameters: how much real-path delay the CPMs
+///   *fail to see*, as a function of how exotic the running workload's
+///   timing paths are (this is what forces uBench and realistic-workload
+///   rollbacks in Secs. V–VI);
+/// * the manufactured **inverter chain** used by this core's CPM inserted
+///   delay (shared by the core's CPMs, which are placed close together).
+///
+/// # Examples
+///
+/// ```
+/// use atm_silicon::{SiliconFactory, SiliconParams};
+/// use atm_units::{Celsius, CoreId, Volts};
+///
+/// let core = SiliconFactory::new(SiliconParams::power7_plus(), 1).core(CoreId::new(1, 2));
+/// let v = Volts::new(1.23);
+/// let t = Celsius::new(50.0);
+/// // The real path is always longer than any CPM synthetic path:
+/// for cpm in 0..5 {
+///     assert!(core.cpm_synthetic_delay(cpm, v, t) < core.real_path_delay(v, t));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreSilicon {
+    id: CoreId,
+    real_path: AlphaPowerLaw,
+    cpm_mimic_ratios: [f64; CPMS_PER_CORE],
+    gap_base: f64,
+    gap_sensitivity: f64,
+    chain: InverterChain,
+}
+
+impl CoreSilicon {
+    /// Assembles a core description. Intended for
+    /// [`SiliconFactory`](crate::SiliconFactory); exposed for tests and
+    /// custom substrates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mimic ratio is outside `(0, 1)` or any gap parameter
+    /// is negative.
+    #[must_use]
+    pub fn new(
+        id: CoreId,
+        real_path: AlphaPowerLaw,
+        cpm_mimic_ratios: [f64; CPMS_PER_CORE],
+        gap_base: f64,
+        gap_sensitivity: f64,
+        chain: InverterChain,
+    ) -> Self {
+        for (i, r) in cpm_mimic_ratios.iter().enumerate() {
+            assert!(
+                (0.0..1.0).contains(r) && *r > 0.0,
+                "CPM {i} mimic ratio out of (0,1): {r}"
+            );
+        }
+        assert!(gap_base >= 0.0, "gap_base must be non-negative");
+        assert!(gap_sensitivity >= 0.0, "gap_sensitivity must be non-negative");
+        CoreSilicon {
+            id,
+            real_path,
+            cpm_mimic_ratios,
+            gap_base,
+            gap_sensitivity,
+            chain,
+        }
+    }
+
+    /// The core this description belongs to.
+    #[must_use]
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The core's real-critical-path delay model.
+    #[must_use]
+    pub fn real_path(&self) -> &AlphaPowerLaw {
+        &self.real_path
+    }
+
+    /// Delay of the core's real worst-case path at `(v, t)` under *typical*
+    /// path activation. Workload-dependent exotic paths are accounted for
+    /// separately via [`CoreSilicon::coverage_gap`].
+    #[must_use]
+    pub fn real_path_delay(&self, v: Volts, t: Celsius) -> Picos {
+        self.real_path.delay(v, t)
+    }
+
+    /// Delay of CPM `cpm_index`'s synthetic path at `(v, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpm_index >= 5`.
+    #[must_use]
+    pub fn cpm_synthetic_delay(&self, cpm_index: usize, v: Volts, t: Celsius) -> Picos {
+        self.real_path.delay(v, t) * self.cpm_mimic_ratios[cpm_index]
+    }
+
+    /// The design ratio of CPM `cpm_index`'s synthetic path delay to the
+    /// real critical-path delay (always in `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpm_index >= 5`.
+    #[must_use]
+    pub fn mimic_ratio(&self, cpm_index: usize) -> f64 {
+        self.cpm_mimic_ratios[cpm_index]
+    }
+
+    /// The fractional amount of real-path delay invisible to the CPMs when
+    /// a workload with path-coverage stress `path_stress ∈ [0, 1]` runs.
+    ///
+    /// Zero stress (idle) still leaves the base gap: even background OS
+    /// activity occasionally exercises paths the synthetic paths do not
+    /// mimic exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_stress` is outside `[0, 1]`.
+    #[must_use]
+    pub fn coverage_gap(&self, path_stress: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&path_stress),
+            "path stress out of [0,1]: {path_stress}"
+        );
+        self.gap_base + self.gap_sensitivity * path_stress
+    }
+
+    /// The core's manufactured inverter chain.
+    #[must_use]
+    pub fn inverter_chain(&self) -> &InverterChain {
+        &self.chain
+    }
+
+    /// Robustness of the core's CPM placement: the inverse of its gap
+    /// sensitivity, normalized so that 1.0 means "no workload can widen the
+    /// gap". Used by the conservative governor to pick robust cores.
+    #[must_use]
+    pub fn robustness(&self) -> f64 {
+        1.0 / (1.0 + 40.0 * self.gap_sensitivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_units::Picos;
+
+    fn desc() -> CoreSilicon {
+        CoreSilicon::new(
+            CoreId::new(0, 0),
+            AlphaPowerLaw::power7_plus(Picos::new(190.0)),
+            [0.80, 0.79, 0.81, 0.80, 0.78],
+            0.01,
+            0.02,
+            InverterChain::linear(3.0),
+        )
+    }
+
+    #[test]
+    fn synthetic_path_shorter_than_real() {
+        let d = desc();
+        let v = Volts::new(1.25);
+        let t = Celsius::new(45.0);
+        for i in 0..CPMS_PER_CORE {
+            assert!(d.cpm_synthetic_delay(i, v, t) < d.real_path_delay(v, t));
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_stress() {
+        let d = desc();
+        assert!(d.coverage_gap(1.0) > d.coverage_gap(0.0));
+        assert!((d.coverage_gap(0.0) - 0.01).abs() < 1e-12);
+        assert!((d.coverage_gap(0.5) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "path stress")]
+    fn gap_rejects_out_of_range_stress() {
+        let _ = desc().coverage_gap(1.5);
+    }
+
+    #[test]
+    fn robustness_orders_by_sensitivity() {
+        let robust = CoreSilicon::new(
+            CoreId::new(0, 1),
+            AlphaPowerLaw::power7_plus(Picos::new(190.0)),
+            [0.8; 5],
+            0.01,
+            0.001,
+            InverterChain::linear(3.0),
+        );
+        assert!(robust.robustness() > desc().robustness());
+    }
+
+    #[test]
+    #[should_panic(expected = "mimic ratio")]
+    fn invalid_mimic_ratio_rejected() {
+        let _ = CoreSilicon::new(
+            CoreId::new(0, 0),
+            AlphaPowerLaw::power7_plus(Picos::new(190.0)),
+            [1.2, 0.8, 0.8, 0.8, 0.8],
+            0.01,
+            0.0,
+            InverterChain::linear(3.0),
+        );
+    }
+}

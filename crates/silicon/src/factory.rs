@@ -1,0 +1,260 @@
+//! Seeded factory minting the silicon description of a whole system.
+
+use atm_units::{CoreId, Picos};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::core_desc::{CoreSilicon, CPMS_PER_CORE};
+use crate::inverter::InverterChain;
+use crate::path::AlphaPowerLaw;
+use crate::seed::SeedSplitter;
+use crate::variation::ProcessVariation;
+
+/// Tunable parameters of the silicon model, calibrated to the paper's
+/// POWER7+ measurements by [`SiliconParams::power7_plus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiliconParams {
+    /// Nominal (process-mean) real-critical-path delay at 1.25 V / 45 °C.
+    pub d0_nominal: Picos,
+    /// Die-to-die process sigma.
+    pub die_sigma: f64,
+    /// Within-die systematic (spatial) sigma.
+    pub spatial_sigma: f64,
+    /// Within-die random sigma.
+    pub random_sigma: f64,
+    /// Mean CPM synthetic-path mimic ratio (fraction of real path delay).
+    pub mimic_ratio_mean: f64,
+    /// Half-width of per-CPM mimic-ratio variation.
+    pub mimic_ratio_jitter: f64,
+    /// Range of per-core base coverage gap `[lo, hi]`.
+    pub gap_base_range: (f64, f64),
+    /// Gap sensitivity of ordinary (robust) cores `[lo, hi]`.
+    pub gap_sens_robust_range: (f64, f64),
+    /// Gap sensitivity of vulnerable cores `[lo, hi]`.
+    pub gap_sens_vulnerable_range: (f64, f64),
+    /// Fraction of cores manufactured with vulnerable CPM placement.
+    pub vulnerable_fraction: f64,
+    /// Log-uniform range of per-core inverter-chain step scale, in ps.
+    pub step_scale_range_ps: (f64, f64),
+    /// Inverter-chain per-step non-linearity (0 = linear).
+    pub chain_nonlinearity: f64,
+}
+
+impl SiliconParams {
+    /// Parameters calibrated so a seeded two-socket system reproduces the
+    /// paper's ranges: idle limits of 2–11 steps at 4850–5200 MHz, preset
+    /// inserted delays of roughly 7–20, and six-ish uBench-fragile cores.
+    #[must_use]
+    pub fn power7_plus() -> Self {
+        SiliconParams {
+            d0_nominal: Picos::new(183.0),
+            die_sigma: 0.010,
+            spatial_sigma: 0.010,
+            random_sigma: 0.009,
+            mimic_ratio_mean: 0.80,
+            mimic_ratio_jitter: 0.012,
+            gap_base_range: (0.004, 0.016),
+            gap_sens_robust_range: (0.000, 0.006),
+            gap_sens_vulnerable_range: (0.010, 0.030),
+            vulnerable_fraction: 0.375,
+            step_scale_range_ps: (2.4, 8.5),
+            chain_nonlinearity: 0.55,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.d0_nominal.get() > 0.0, "d0_nominal must be positive");
+        assert!(
+            self.mimic_ratio_mean + self.mimic_ratio_jitter < 1.0
+                && self.mimic_ratio_mean - self.mimic_ratio_jitter > 0.0,
+            "mimic ratio range must stay within (0,1)"
+        );
+        assert!(self.gap_base_range.0 <= self.gap_base_range.1);
+        assert!(self.gap_sens_robust_range.0 <= self.gap_sens_robust_range.1);
+        assert!(self.gap_sens_vulnerable_range.0 <= self.gap_sens_vulnerable_range.1);
+        assert!((0.0..=1.0).contains(&self.vulnerable_fraction));
+        assert!(
+            self.step_scale_range_ps.0 > 0.0
+                && self.step_scale_range_ps.0 <= self.step_scale_range_ps.1,
+            "step scale range invalid"
+        );
+    }
+}
+
+impl Default for SiliconParams {
+    fn default() -> Self {
+        SiliconParams::power7_plus()
+    }
+}
+
+/// Deterministic factory for per-core [`CoreSilicon`] descriptions.
+///
+/// Two factories with the same parameters and seed mint identical silicon —
+/// the foundation of reproducible experiments.
+///
+/// # Examples
+///
+/// ```
+/// use atm_silicon::{SiliconFactory, SiliconParams};
+/// use atm_units::CoreId;
+///
+/// let f1 = SiliconFactory::new(SiliconParams::power7_plus(), 9);
+/// let f2 = SiliconFactory::new(SiliconParams::power7_plus(), 9);
+/// assert_eq!(f1.core(CoreId::new(0, 5)), f2.core(CoreId::new(0, 5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SiliconFactory {
+    params: SiliconParams,
+    seed: SeedSplitter,
+    variation: ProcessVariation,
+}
+
+impl SiliconFactory {
+    /// Creates a factory for the given parameters and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are internally inconsistent (see the field
+    /// documentation on [`SiliconParams`]).
+    #[must_use]
+    pub fn new(params: SiliconParams, seed: u64) -> Self {
+        params.validate();
+        let split = SeedSplitter::new(seed);
+        let variation = ProcessVariation::generate(
+            split.derive("process-variation", 0),
+            params.die_sigma,
+            params.spatial_sigma,
+            params.random_sigma,
+        );
+        SiliconFactory {
+            params,
+            seed: split,
+            variation,
+        }
+    }
+
+    /// The process-variation map this factory drew.
+    #[must_use]
+    pub fn variation(&self) -> &ProcessVariation {
+        &self.variation
+    }
+
+    /// The factory's parameters.
+    #[must_use]
+    pub fn params(&self) -> &SiliconParams {
+        &self.params
+    }
+
+    /// Mints the silicon description of `core`.
+    #[must_use]
+    pub fn core(&self, core: CoreId) -> CoreSilicon {
+        let p = &self.params;
+        let flat = core.flat_index() as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed.derive("core-silicon", flat));
+
+        let d0 = p.d0_nominal * self.variation.delay_factor(core);
+        let real_path = AlphaPowerLaw::power7_plus(d0);
+
+        let mut mimic = [0.0; CPMS_PER_CORE];
+        for m in &mut mimic {
+            *m = p.mimic_ratio_mean
+                + rng.gen_range(-p.mimic_ratio_jitter..=p.mimic_ratio_jitter);
+        }
+
+        let gap_base = rng.gen_range(p.gap_base_range.0..=p.gap_base_range.1);
+        let vulnerable = rng.gen_bool(p.vulnerable_fraction);
+        let gap_sensitivity = if vulnerable {
+            rng.gen_range(p.gap_sens_vulnerable_range.0..=p.gap_sens_vulnerable_range.1)
+        } else {
+            rng.gen_range(p.gap_sens_robust_range.0..=p.gap_sens_robust_range.1)
+        };
+
+        // Log-uniform step scale: wide multiplicative spread core-to-core.
+        let (lo, hi) = p.step_scale_range_ps;
+        let scale = lo * (hi / lo).powf(rng.gen_range(0.0..=1.0));
+        let chain = InverterChain::manufacture(
+            self.seed.derive("inverter-chain", flat),
+            scale,
+            p.chain_nonlinearity,
+        );
+
+        CoreSilicon::new(core, real_path, mimic, gap_base, gap_sensitivity, chain)
+    }
+
+    /// Mints every core of the two-socket system, in `(proc, core)` order.
+    #[must_use]
+    pub fn all_cores(&self) -> Vec<CoreSilicon> {
+        CoreId::all().map(|id| self.core(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_units::{Celsius, Volts};
+
+    fn factory(seed: u64) -> SiliconFactory {
+        SiliconFactory::new(SiliconParams::power7_plus(), seed)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = factory(3).all_cores();
+        let b = factory(3).all_cores();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_silicon() {
+        assert_ne!(factory(3).all_cores(), factory(4).all_cores());
+    }
+
+    #[test]
+    fn sixteen_cores() {
+        assert_eq!(factory(1).all_cores().len(), 16);
+    }
+
+    #[test]
+    fn cores_exhibit_speed_spread() {
+        let cores = factory(42).all_cores();
+        let v = Volts::new(1.25);
+        let t = Celsius::new(45.0);
+        let delays: Vec<f64> = cores.iter().map(|c| c.real_path_delay(v, t).get()).collect();
+        let min = delays.iter().copied().fold(f64::MAX, f64::min);
+        let max = delays.iter().copied().fold(f64::MIN, f64::max);
+        assert!(max / min > 1.015, "spread too small: {min}..{max}");
+        assert!(max / min < 1.12, "spread implausibly large: {min}..{max}");
+    }
+
+    #[test]
+    fn some_cores_vulnerable_some_robust() {
+        // Across the default parameters roughly 3/8 of cores are minted
+        // vulnerable; check a seed gives a mixed population.
+        let cores = factory(42).all_cores();
+        let vulnerable = cores.iter().filter(|c| c.coverage_gap(1.0) - c.coverage_gap(0.0) > 0.009).count();
+        assert!(vulnerable >= 2, "no vulnerable cores minted");
+        assert!(vulnerable <= 12, "nearly all cores vulnerable");
+    }
+
+    #[test]
+    fn step_scales_span_a_wide_range() {
+        let cores = factory(42).all_cores();
+        let scales: Vec<f64> = cores
+            .iter()
+            .map(|c| c.inverter_chain().mean_step().get())
+            .collect();
+        let min = scales.iter().copied().fold(f64::MAX, f64::min);
+        let max = scales.iter().copied().fold(f64::MIN, f64::max);
+        assert!(max / min > 1.5, "chain scales too uniform: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mimic ratio")]
+    fn invalid_params_rejected() {
+        let mut p = SiliconParams::power7_plus();
+        p.mimic_ratio_mean = 0.999;
+        p.mimic_ratio_jitter = 0.1;
+        let _ = SiliconFactory::new(p, 0);
+    }
+}

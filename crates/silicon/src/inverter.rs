@@ -1,0 +1,219 @@
+//! The programmable inverter chain that encodes CPM inserted delay.
+
+use atm_units::Picos;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of inserted-delay steps a CPM supports (a 5-bit select).
+pub const MAX_INSERTED_STEPS: usize = 31;
+
+/// A manufactured inverter chain with per-step delays.
+///
+/// The CPM inserted delay selects how many inverters of this chain a signal
+/// traverses. By design the chain has linear graduation, but manufacturing
+/// makes the per-step delays *non-linear* (Sec. IV-C): one step may encode
+/// 1–3 margin units. The chain's overall *scale* also varies core-to-core,
+/// which is why P0C4 needs ten steps for the same 500 MHz that P1C7 reaches
+/// in two.
+///
+/// Step delays are strictly positive and the cumulative delay is therefore
+/// strictly increasing — an invariant the ATM limit-search relies on.
+///
+/// # Examples
+///
+/// ```
+/// use atm_silicon::InverterChain;
+///
+/// let chain = InverterChain::manufacture(7, 3.5, 0.5);
+/// assert!(chain.cumulative(10) > chain.cumulative(9));
+/// assert_eq!(chain.cumulative(0).get(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InverterChain {
+    step_delays: Vec<Picos>,
+}
+
+impl InverterChain {
+    /// Manufactures a chain from a seed.
+    ///
+    /// `scale_ps` is the intended per-step delay in picoseconds;
+    /// `nonlinearity` in `[0, 1)` controls how far individual steps may
+    /// deviate from the scale (0 = perfectly linear chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale_ps` is not positive or `nonlinearity` is outside
+    /// `[0, 1)`.
+    #[must_use]
+    pub fn manufacture(seed: u64, scale_ps: f64, nonlinearity: f64) -> Self {
+        assert!(scale_ps > 0.0, "step scale must be positive, got {scale_ps}");
+        assert!(
+            (0.0..1.0).contains(&nonlinearity),
+            "nonlinearity must be in [0, 1), got {nonlinearity}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let step_delays = (0..MAX_INSERTED_STEPS)
+            .map(|_| {
+                // Multiplicative jitter in [1-n, 1+1.5n]: skewed upward so a
+                // few steps encode much more timing than average (the paper's
+                // "one to three units" per step), with a floor keeping every
+                // step strictly positive.
+                let jitter = rng.gen_range(-nonlinearity..=1.5 * nonlinearity);
+                Picos::new((scale_ps * (1.0 + jitter)).max(scale_ps * 0.05))
+            })
+            .collect();
+        InverterChain { step_delays }
+    }
+
+    /// Builds a perfectly linear chain (used by ablation benches comparing
+    /// linear vs. manufactured chains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale_ps` is not positive.
+    #[must_use]
+    pub fn linear(scale_ps: f64) -> Self {
+        assert!(scale_ps > 0.0, "step scale must be positive, got {scale_ps}");
+        InverterChain {
+            step_delays: vec![Picos::new(scale_ps); MAX_INSERTED_STEPS],
+        }
+    }
+
+    /// Number of selectable steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.step_delays.len()
+    }
+
+    /// Whether the chain has no steps (never true for manufactured chains).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.step_delays.is_empty()
+    }
+
+    /// The delay of step `index` (the time added by selecting one more
+    /// inverter past `index` inverters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn step_delay(&self, index: usize) -> Picos {
+        self.step_delays[index]
+    }
+
+    /// Total inserted delay when `steps` inverters are selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps > len()`.
+    #[must_use]
+    pub fn cumulative(&self, steps: usize) -> Picos {
+        assert!(
+            steps <= self.step_delays.len(),
+            "requested {steps} steps from a {}-step chain",
+            self.step_delays.len()
+        );
+        self.step_delays[..steps].iter().copied().sum()
+    }
+
+    /// The largest step count whose cumulative delay does not exceed
+    /// `budget`, i.e. the chain-quantized version of a target delay.
+    #[must_use]
+    pub fn steps_within(&self, budget: Picos) -> usize {
+        let mut acc = Picos::ZERO;
+        for (i, &d) in self.step_delays.iter().enumerate() {
+            acc += d;
+            if acc > budget {
+                return i;
+            }
+        }
+        self.step_delays.len()
+    }
+
+    /// Mean per-step delay, the chain's effective scale.
+    #[must_use]
+    pub fn mean_step(&self) -> Picos {
+        self.cumulative(self.len()) / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            InverterChain::manufacture(3, 4.0, 0.5),
+            InverterChain::manufacture(3, 4.0, 0.5)
+        );
+    }
+
+    #[test]
+    fn cumulative_strictly_increasing() {
+        let chain = InverterChain::manufacture(11, 3.0, 0.8);
+        for i in 0..chain.len() {
+            assert!(chain.cumulative(i + 1) > chain.cumulative(i));
+        }
+    }
+
+    #[test]
+    fn all_steps_positive() {
+        for seed in 0..20 {
+            let chain = InverterChain::manufacture(seed, 2.5, 0.9);
+            for i in 0..chain.len() {
+                assert!(chain.step_delay(i).get() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_chain_is_uniform() {
+        let chain = InverterChain::linear(3.0);
+        assert_eq!(chain.len(), MAX_INSERTED_STEPS);
+        assert!((chain.cumulative(10).get() - 30.0).abs() < 1e-12);
+        assert_eq!(chain.mean_step(), Picos::new(3.0));
+    }
+
+    #[test]
+    fn steps_within_budget() {
+        let chain = InverterChain::linear(3.0);
+        assert_eq!(chain.steps_within(Picos::new(9.5)), 3);
+        assert_eq!(chain.steps_within(Picos::new(9.0)), 3);
+        assert_eq!(chain.steps_within(Picos::ZERO), 0);
+        assert_eq!(chain.steps_within(Picos::new(1e6)), MAX_INSERTED_STEPS);
+    }
+
+    #[test]
+    fn steps_within_consistent_with_cumulative() {
+        let chain = InverterChain::manufacture(5, 3.5, 0.7);
+        for i in 0..=chain.len() {
+            let budget = chain.cumulative(i);
+            let n = chain.steps_within(budget);
+            assert!(chain.cumulative(n) <= budget);
+            if n < chain.len() {
+                assert!(chain.cumulative(n + 1) > budget);
+            }
+        }
+    }
+
+    #[test]
+    fn nonlinear_chain_varies() {
+        let chain = InverterChain::manufacture(9, 3.0, 0.8);
+        let min = (0..chain.len())
+            .map(|i| chain.step_delay(i))
+            .fold(Picos::new(1e9), Picos::min);
+        let max = (0..chain.len())
+            .map(|i| chain.step_delay(i))
+            .fold(Picos::ZERO, Picos::max);
+        assert!(max / min > 1.5, "chain unexpectedly uniform: {min} .. {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "steps")]
+    fn cumulative_past_end_panics() {
+        let _ = InverterChain::linear(3.0).cumulative(MAX_INSERTED_STEPS + 1);
+    }
+}

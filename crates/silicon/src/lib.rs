@@ -1,0 +1,48 @@
+//! Silicon-level models for the `power-atm` stack: manufacturing process
+//! variation, voltage/temperature-dependent critical-path delay, and the
+//! non-linear inverter chains that the POWER7+ Critical Path Monitors use
+//! to encode timing.
+//!
+//! The paper's phenomena all originate here:
+//!
+//! * **Inter-core speed variation** (Sec. IV-B) — lithographic imperfection
+//!   makes some cores' circuits faster; modeled by [`ProcessVariation`].
+//! * **Voltage sensitivity of delay** — the alpha-power law
+//!   [`AlphaPowerLaw`] maps supply voltage (after IR drop and droops) to
+//!   path delay, which the ATM loop converts to frequency.
+//! * **CPM non-linearity** (Sec. IV-C) — the programmable inserted delay is
+//!   built from an inverter chain whose per-step delays vary with
+//!   manufacturing; modeled by [`InverterChain`].
+//!
+//! [`SiliconFactory`] ties these together: given a seed it mints a
+//! [`CoreSilicon`] description for every core of the two-socket system,
+//! deterministic and reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_silicon::{SiliconFactory, SiliconParams};
+//! use atm_units::{Celsius, CoreId, Volts};
+//!
+//! let factory = SiliconFactory::new(SiliconParams::power7_plus(), 42);
+//! let core = factory.core(CoreId::new(0, 3));
+//! let d = core.real_path_delay(Volts::new(1.25), Celsius::new(45.0));
+//! assert!(d.get() > 150.0 && d.get() < 250.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_desc;
+mod factory;
+mod inverter;
+mod path;
+mod seed;
+mod variation;
+
+pub use core_desc::CoreSilicon;
+pub use factory::{SiliconFactory, SiliconParams};
+pub use inverter::{InverterChain, MAX_INSERTED_STEPS};
+pub use path::AlphaPowerLaw;
+pub use seed::SeedSplitter;
+pub use variation::ProcessVariation;

@@ -1,0 +1,227 @@
+//! Voltage- and temperature-dependent path delay: the alpha-power law.
+
+use atm_units::{Celsius, Picos, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Alpha-power-law delay model for a timing path.
+///
+/// Gate delay grows as supply voltage approaches the threshold voltage:
+///
+/// ```text
+/// d(V, T) = d0 · ((Vnom − Vt) / (V − Vt))^α · (1 + kT·(T − Tnom))
+/// ```
+///
+/// `d0` is the path delay at nominal voltage `Vnom` and temperature `Tnom`.
+/// `α ≈ 1.3` for the deep-submicron node modeled here; `kT` is the small
+/// linear temperature sensitivity (the paper notes speed is only modestly
+/// affected by temperature).
+///
+/// # Examples
+///
+/// ```
+/// use atm_silicon::AlphaPowerLaw;
+/// use atm_units::{Celsius, Picos, Volts};
+///
+/// let path = AlphaPowerLaw::power7_plus(Picos::new(190.0));
+/// let nominal = path.delay(Volts::new(1.25), Celsius::new(45.0));
+/// let drooped = path.delay(Volts::new(1.20), Celsius::new(45.0));
+/// assert!(drooped > nominal, "lower voltage must slow the path");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaPowerLaw {
+    d0: Picos,
+    vnom: Volts,
+    vth: Volts,
+    alpha: f64,
+    tnom: Celsius,
+    temp_coeff_per_deg: f64,
+}
+
+impl AlphaPowerLaw {
+    /// Creates a delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d0` is not positive, if `vnom <= vth`, or if `alpha` is
+    /// not positive.
+    #[must_use]
+    pub fn new(
+        d0: Picos,
+        vnom: Volts,
+        vth: Volts,
+        alpha: f64,
+        tnom: Celsius,
+        temp_coeff_per_deg: f64,
+    ) -> Self {
+        assert!(d0.get() > 0.0, "nominal delay must be positive, got {d0}");
+        assert!(
+            vnom > vth,
+            "nominal voltage {vnom} must exceed threshold voltage {vth}"
+        );
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        AlphaPowerLaw {
+            d0,
+            vnom,
+            vth,
+            alpha,
+            tnom,
+            temp_coeff_per_deg,
+        }
+    }
+
+    /// The POWER7+-calibrated model: 1.25 V nominal, 0.55 V threshold,
+    /// α = 1.3, 45 °C nominal, +0.005 %/°C temperature sensitivity.
+    #[must_use]
+    pub fn power7_plus(d0: Picos) -> Self {
+        AlphaPowerLaw::new(
+            d0,
+            Volts::new(1.25),
+            Volts::new(0.55),
+            1.3,
+            Celsius::new(45.0),
+            5.0e-5,
+        )
+    }
+
+    /// The path delay at nominal voltage and temperature.
+    #[must_use]
+    pub fn d0(&self) -> Picos {
+        self.d0
+    }
+
+    /// The nominal supply voltage.
+    #[must_use]
+    pub fn vnom(&self) -> Volts {
+        self.vnom
+    }
+
+    /// The transistor threshold voltage.
+    #[must_use]
+    pub fn vth(&self) -> Volts {
+        self.vth
+    }
+
+    /// The velocity-saturation exponent α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Path delay at supply voltage `v` and die temperature `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is at or below the threshold voltage — the circuit
+    /// would not switch at all, which the surrounding simulation never
+    /// requests (droops are bounded well above threshold).
+    #[must_use]
+    pub fn delay(&self, v: Volts, t: Celsius) -> Picos {
+        assert!(
+            v > self.vth,
+            "supply voltage {v} at or below threshold {}",
+            self.vth
+        );
+        let v_term = ((self.vnom.get() - self.vth.get()) / (v.get() - self.vth.get())).powf(self.alpha);
+        let t_term = 1.0 + self.temp_coeff_per_deg * (t.get() - self.tnom.get());
+        self.d0 * (v_term * t_term)
+    }
+
+    /// Returns a copy with a different nominal delay, keeping all other
+    /// parameters. Used to apply per-core process-variation factors.
+    #[must_use]
+    pub fn with_d0(&self, d0: Picos) -> Self {
+        let mut m = *self;
+        assert!(d0.get() > 0.0, "nominal delay must be positive, got {d0}");
+        m.d0 = d0;
+        m
+    }
+
+    /// The derivative of delay with respect to voltage at `(v, t)`, in
+    /// picoseconds per volt (negative: more voltage, less delay).
+    ///
+    /// Exposed for the analytical frequency predictor, which linearizes the
+    /// loop equilibrium around an operating point.
+    #[must_use]
+    pub fn delay_slope_per_volt(&self, v: Volts, t: Celsius) -> f64 {
+        let d = self.delay(v, t);
+        -self.alpha * d.get() / (v.get() - self.vth.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AlphaPowerLaw {
+        AlphaPowerLaw::power7_plus(Picos::new(190.0))
+    }
+
+    #[test]
+    fn nominal_conditions_return_d0() {
+        let m = model();
+        let d = m.delay(Volts::new(1.25), Celsius::new(45.0));
+        assert!((d.get() - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_monotone_decreasing_in_voltage() {
+        let m = model();
+        let t = Celsius::new(45.0);
+        let mut prev = m.delay(Volts::new(0.9), t);
+        for mv in (925..=1400).step_by(25) {
+            let d = m.delay(Volts::new(f64::from(mv) / 1000.0), t);
+            assert!(d < prev, "delay must decrease with voltage");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn delay_increases_slightly_with_temperature() {
+        let m = model();
+        let v = Volts::new(1.25);
+        let cold = m.delay(v, Celsius::new(45.0));
+        let hot = m.delay(v, Celsius::new(70.0));
+        assert!(hot > cold);
+        // "Modest" effect: under 1% for a 25 degree swing.
+        assert!(hot / cold < 1.01);
+    }
+
+    #[test]
+    fn slope_matches_finite_difference() {
+        let m = model();
+        let t = Celsius::new(45.0);
+        let v = Volts::new(1.22);
+        let h = 1e-6;
+        let fd = (m.delay(Volts::new(v.get() + h), t).get() - m.delay(v, t).get()) / h;
+        let analytic = m.delay_slope_per_volt(v, t);
+        assert!((fd - analytic).abs() / analytic.abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below threshold")]
+    fn subthreshold_voltage_panics() {
+        let _ = model().delay(Volts::new(0.5), Celsius::new(45.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed threshold")]
+    fn invalid_construction_rejected() {
+        let _ = AlphaPowerLaw::new(
+            Picos::new(100.0),
+            Volts::new(0.5),
+            Volts::new(0.55),
+            1.3,
+            Celsius::new(45.0),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn with_d0_scales_delay_proportionally() {
+        let m = model();
+        let m2 = m.with_d0(Picos::new(380.0));
+        let v = Volts::new(1.2);
+        let t = Celsius::new(50.0);
+        assert!((m2.delay(v, t).get() / m.delay(v, t).get() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Manufacturing process variation across dies and within a die.
+
+use atm_units::{CoreId, CORES_PER_PROC, NUM_PROCS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::seed::SeedSplitter;
+
+/// Per-core silicon speed factors produced by the lithography model.
+///
+/// Each core receives a *delay multiplier* around 1.0: a factor below 1.0
+/// is a fast core (shorter critical paths), above 1.0 a slow core. The
+/// factor combines three classical components:
+///
+/// * **die-to-die**: each processor die has a systematic offset;
+/// * **within-die systematic**: a smooth spatial gradient across the die
+///   (cores at one edge are faster than the other);
+/// * **within-die random**: per-core random residue.
+///
+/// # Examples
+///
+/// ```
+/// use atm_silicon::ProcessVariation;
+/// use atm_units::CoreId;
+///
+/// let pv = ProcessVariation::generate(42, 0.012, 0.010, 0.008);
+/// let f = pv.delay_factor(CoreId::new(0, 0));
+/// assert!(f > 0.9 && f < 1.1);
+/// // Deterministic in the seed:
+/// let pv2 = ProcessVariation::generate(42, 0.012, 0.010, 0.008);
+/// assert_eq!(f, pv2.delay_factor(CoreId::new(0, 0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessVariation {
+    factors: Vec<f64>,
+}
+
+impl ProcessVariation {
+    /// Generates per-core delay factors from a seed.
+    ///
+    /// `die_sigma`, `spatial_sigma` and `random_sigma` are the relative
+    /// (1-sigma) magnitudes of the three components; typical deep-submicron
+    /// values are around 1%.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sigma is negative or ≥ 0.2 (a fifth of nominal speed —
+    /// far outside any plausible manufacturing corner).
+    #[must_use]
+    pub fn generate(seed: u64, die_sigma: f64, spatial_sigma: f64, random_sigma: f64) -> Self {
+        for (name, s) in [
+            ("die_sigma", die_sigma),
+            ("spatial_sigma", spatial_sigma),
+            ("random_sigma", random_sigma),
+        ] {
+            assert!((0.0..0.2).contains(&s), "{name} out of range: {s}");
+        }
+        let split = SeedSplitter::new(seed);
+        let mut factors = Vec::with_capacity(NUM_PROCS * CORES_PER_PROC);
+        for p in 0..NUM_PROCS {
+            let mut die_rng = StdRng::seed_from_u64(split.derive("die", p as u64));
+            let die_offset = gauss(&mut die_rng) * die_sigma;
+            // A random linear gradient across the 8 cores of the die.
+            let gradient = gauss(&mut die_rng) * spatial_sigma;
+            for c in 0..CORES_PER_PROC {
+                let mut core_rng =
+                    StdRng::seed_from_u64(split.derive("core", (p * CORES_PER_PROC + c) as u64));
+                let pos = (c as f64 / (CORES_PER_PROC - 1) as f64) - 0.5;
+                let systematic = gradient * pos * 2.0;
+                let random = gauss(&mut core_rng) * random_sigma;
+                let factor = (1.0 + die_offset + systematic + random).clamp(0.9, 1.1);
+                factors.push(factor);
+            }
+        }
+        ProcessVariation { factors }
+    }
+
+    /// The delay multiplier for `core` (below 1.0 = fast silicon).
+    #[must_use]
+    pub fn delay_factor(&self, core: CoreId) -> f64 {
+        self.factors[core.flat_index()]
+    }
+
+    /// Iterates over `(core, factor)` pairs in `(proc, core)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreId, f64)> + '_ {
+        CoreId::all().map(move |id| (id, self.delay_factor(id)))
+    }
+
+    /// The spread between the slowest and fastest core, as a fraction
+    /// (e.g. `0.05` means 5% delay difference).
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        let max = self.factors.iter().copied().fold(f64::MIN, f64::max);
+        let min = self.factors.iter().copied().fold(f64::MAX, f64::min);
+        max - min
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv(seed: u64) -> ProcessVariation {
+        ProcessVariation::generate(seed, 0.012, 0.010, 0.008)
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(pv(7), pv(7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(pv(7), pv(8));
+    }
+
+    #[test]
+    fn factors_bounded() {
+        for seed in 0..50 {
+            for (_, f) in pv(seed).iter() {
+                assert!((0.9..=1.1).contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_spread_is_typical() {
+        // Across many seeds the chip should almost always show measurable
+        // inter-core variation; require it for a large majority.
+        let spreads: Vec<f64> = (0..50).map(|s| pv(s).spread()).collect();
+        let with_spread = spreads.iter().filter(|&&s| s > 0.01).count();
+        assert!(with_spread > 40, "only {with_spread}/50 seeds show >1% spread");
+    }
+
+    #[test]
+    fn covers_all_sixteen_cores() {
+        assert_eq!(pv(1).iter().count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn absurd_sigma_rejected() {
+        let _ = ProcessVariation::generate(1, 0.5, 0.01, 0.01);
+    }
+
+    #[test]
+    fn dies_have_distinct_offsets() {
+        // With a die-level component, the per-die means should differ for
+        // most seeds.
+        let mut distinct = 0;
+        for seed in 0..20 {
+            let v = pv(seed);
+            let mean_p0: f64 = (0..8).map(|c| v.delay_factor(CoreId::new(0, c))).sum::<f64>() / 8.0;
+            let mean_p1: f64 = (0..8).map(|c| v.delay_factor(CoreId::new(1, c))).sum::<f64>() / 8.0;
+            if (mean_p0 - mean_p1).abs() > 0.002 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 12, "die offsets indistinguishable: {distinct}/20");
+    }
+}

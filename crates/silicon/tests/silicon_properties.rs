@@ -1,0 +1,98 @@
+//! Property tests for the silicon models.
+
+use atm_silicon::{
+    AlphaPowerLaw, InverterChain, ProcessVariation, SeedSplitter, SiliconFactory, SiliconParams,
+};
+use atm_units::{Celsius, CoreId, Picos, Volts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn alpha_power_law_monotone_and_positive(
+        d0 in 100.0f64..300.0,
+        v_mv in 900u32..1400,
+        t_deg in 20.0f64..90.0,
+    ) {
+        let m = AlphaPowerLaw::power7_plus(Picos::new(d0));
+        let v = Volts::new(f64::from(v_mv) / 1000.0);
+        let t = Celsius::new(t_deg);
+        let d = m.delay(v, t);
+        prop_assert!(d.get() > 0.0);
+        let d_lower = m.delay(Volts::new(f64::from(v_mv) / 1000.0 - 0.01), t);
+        prop_assert!(d_lower > d);
+    }
+
+    #[test]
+    fn alpha_power_law_slope_is_negative(
+        d0 in 100.0f64..300.0,
+        v_mv in 900u32..1400,
+    ) {
+        let m = AlphaPowerLaw::power7_plus(Picos::new(d0));
+        let slope = m.delay_slope_per_volt(Volts::new(f64::from(v_mv) / 1000.0), Celsius::new(45.0));
+        prop_assert!(slope < 0.0);
+    }
+
+    #[test]
+    fn process_variation_bounded_for_any_seed(seed in 0u64..10_000) {
+        let pv = ProcessVariation::generate(seed, 0.012, 0.010, 0.008);
+        for (_, f) in pv.iter() {
+            prop_assert!((0.9..=1.1).contains(&f));
+        }
+        prop_assert!(pv.spread() >= 0.0 && pv.spread() <= 0.2);
+    }
+
+    #[test]
+    fn inverter_chain_invariants(seed in 0u64..10_000, scale in 1.0f64..12.0, nl in 0.0f64..0.95) {
+        let chain = InverterChain::manufacture(seed, scale, nl);
+        prop_assert!(!chain.is_empty());
+        // Strictly increasing cumulative, all steps positive.
+        for i in 0..chain.len() {
+            prop_assert!(chain.step_delay(i).get() > 0.0);
+            prop_assert!(chain.cumulative(i + 1) > chain.cumulative(i));
+        }
+        // steps_within is the inverse of cumulative.
+        for i in 0..=chain.len() {
+            prop_assert!(chain.steps_within(chain.cumulative(i)) >= i.min(chain.len()));
+        }
+    }
+
+    #[test]
+    fn factory_output_physically_sane(seed in 0u64..2_000, flat in 0usize..16) {
+        let factory = SiliconFactory::new(SiliconParams::power7_plus(), seed);
+        let core = factory.core(CoreId::from_flat_index(flat));
+        let v = Volts::new(1.25);
+        let t = Celsius::new(45.0);
+        let real = core.real_path_delay(v, t);
+        // Real path between 160 and 210 ps at nominal (a ~4.8–6.2 GHz
+        // silicon fmax band before margins).
+        prop_assert!(real.get() > 160.0 && real.get() < 210.0, "real {real}");
+        for i in 0..5 {
+            let syn = core.cpm_synthetic_delay(i, v, t);
+            prop_assert!(syn < real);
+            prop_assert!(syn.get() > 0.5 * real.get());
+        }
+        prop_assert!(core.coverage_gap(0.0) >= 0.0);
+        prop_assert!(core.coverage_gap(1.0) < 0.08, "gap too large");
+        prop_assert!(core.robustness() > 0.0 && core.robustness() <= 1.0);
+    }
+
+    #[test]
+    fn seed_splitter_distinct_domains(seed in 0u64..100_000, idx in 0u64..1000) {
+        let s = SeedSplitter::new(seed);
+        prop_assert_ne!(s.derive("a", idx), s.derive("b", idx));
+        prop_assert_ne!(s.derive("a", idx), s.derive("a", idx + 1));
+    }
+}
+
+#[test]
+fn gap_monotone_in_stress_for_every_core() {
+    let factory = SiliconFactory::new(SiliconParams::power7_plus(), 42);
+    for silicon in factory.all_cores() {
+        let mut prev = -1.0;
+        for s in 0..=10 {
+            let g = silicon.coverage_gap(f64::from(s) / 10.0);
+            assert!(g >= prev, "{}: gap not monotone", silicon.id());
+            prev = g;
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Clock frequency in megahertz.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Picos;
+
+/// A clock frequency in megahertz.
+///
+/// The paper reports all frequencies in MHz (e.g. the 4200 MHz static-margin
+/// p-state, or the ~5000 MHz fine-tuned idle limits), so MHz is the canonical
+/// unit across the stack.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::MegaHz;
+///
+/// let base = MegaHz::new(4200.0);
+/// let boosted = MegaHz::new(5040.0);
+/// assert!((boosted.gain_over(base) - 0.20).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct MegaHz(f64);
+
+impl MegaHz {
+    /// The zero frequency (a fully gated clock).
+    pub const ZERO: MegaHz = MegaHz(0.0);
+
+    /// Creates a frequency in const context (no validity checks).
+    #[must_use]
+    pub const fn new_const(mhz: f64) -> Self {
+        MegaHz(mhz)
+    }
+
+    /// Creates a frequency from a megahertz count.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `mhz` is not finite; panics always if
+    /// `mhz` is negative — a clock cannot run backwards.
+    #[must_use]
+    pub fn new(mhz: f64) -> Self {
+        crate::debug_check_finite(mhz, "MegaHz");
+        assert!(mhz >= 0.0, "frequency must be non-negative, got {mhz}");
+        MegaHz(mhz)
+    }
+
+    /// Returns the raw megahertz count.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Picos {
+        assert!(self.0 > 0.0, "cannot take period of zero frequency");
+        Picos::new(1.0e6 / self.0)
+    }
+
+    /// Fractional gain of `self` over a `baseline` frequency.
+    ///
+    /// `MegaHz::new(4620.0).gain_over(MegaHz::new(4200.0))` is `0.10`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is zero.
+    #[must_use]
+    pub fn gain_over(self, baseline: MegaHz) -> f64 {
+        assert!(baseline.0 > 0.0, "baseline frequency must be positive");
+        self.0 / baseline.0 - 1.0
+    }
+
+    /// Returns the larger of two frequencies.
+    #[must_use]
+    pub fn max(self, other: MegaHz) -> MegaHz {
+        MegaHz(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two frequencies.
+    #[must_use]
+    pub fn min(self, other: MegaHz) -> MegaHz {
+        MegaHz(self.0.min(other.0))
+    }
+
+    /// Clamps the frequency into `[lo, hi]`.
+    #[must_use]
+    pub fn clamp(self, lo: MegaHz, hi: MegaHz) -> MegaHz {
+        MegaHz(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl fmt::Display for MegaHz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} MHz", self.0)
+    }
+}
+
+impl Add for MegaHz {
+    type Output = MegaHz;
+    fn add(self, rhs: MegaHz) -> MegaHz {
+        MegaHz(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MegaHz {
+    fn add_assign(&mut self, rhs: MegaHz) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MegaHz {
+    /// Difference of two frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative (use [`MegaHz::gain_over`] or
+    /// compare first when the sign is unknown).
+    type Output = MegaHz;
+    fn sub(self, rhs: MegaHz) -> MegaHz {
+        MegaHz::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for MegaHz {
+    type Output = MegaHz;
+    fn mul(self, rhs: f64) -> MegaHz {
+        MegaHz::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for MegaHz {
+    type Output = MegaHz;
+    fn div(self, rhs: f64) -> MegaHz {
+        MegaHz::new(self.0 / rhs)
+    }
+}
+
+impl Div<MegaHz> for MegaHz {
+    /// Ratio of two frequencies (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: MegaHz) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for MegaHz {
+    fn sum<I: Iterator<Item = MegaHz>>(iter: I) -> MegaHz {
+        MegaHz(iter.map(|f| f.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_roundtrip() {
+        let f = MegaHz::new(5000.0);
+        assert!((f.period().frequency().get() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain() {
+        assert!((MegaHz::new(4620.0).gain_over(MegaHz::new(4200.0)) - 0.10).abs() < 1e-12);
+        assert!(MegaHz::new(4000.0).gain_over(MegaHz::new(4200.0)) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_frequency_rejected() {
+        let _ = MegaHz::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subtraction_underflow_panics() {
+        let _ = MegaHz::new(100.0) - MegaHz::new(200.0);
+    }
+
+    #[test]
+    fn ordering_and_clamp() {
+        let lo = MegaHz::new(2100.0);
+        let hi = MegaHz::new(4200.0);
+        assert_eq!(MegaHz::new(5000.0).clamp(lo, hi), hi);
+        assert_eq!(MegaHz::new(1000.0).clamp(lo, hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    fn averaging_with_sum() {
+        let fs = [4200.0, 4600.0, 5000.0].map(MegaHz::new);
+        let avg = fs.iter().copied().sum::<MegaHz>() / fs.len() as f64;
+        assert!((avg.get() - 4600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MegaHz::new(4650.4).to_string(), "4650 MHz");
+    }
+}

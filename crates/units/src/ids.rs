@@ -1,0 +1,274 @@
+//! Chip topology identifiers: processors and cores.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of processor sockets in the modeled server (two-socket POWER7+).
+pub const NUM_PROCS: usize = 2;
+
+/// Number of cores per processor (eight out-of-order cores).
+pub const CORES_PER_PROC: usize = 8;
+
+/// Identifies one of the two processor sockets.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::ProcId;
+///
+/// let p = ProcId::new(1);
+/// assert_eq!(p.to_string(), "P1");
+/// assert_eq!(ProcId::all().count(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcId(u8);
+
+impl ProcId {
+    /// Creates a processor identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_PROCS`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index < NUM_PROCS, "processor index {index} out of range");
+        ProcId(index as u8)
+    }
+
+    /// Returns the socket index (0-based).
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Iterates over all processor sockets in index order.
+    pub fn all() -> impl Iterator<Item = ProcId> {
+        (0..NUM_PROCS).map(ProcId::new)
+    }
+
+    /// Iterates over the cores of this processor in index order.
+    pub fn cores(self) -> impl Iterator<Item = CoreId> {
+        (0..CORES_PER_PROC).map(move |c| CoreId::new(self.index(), c))
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a physical core as a ⟨processor, core⟩ pair, printed in the
+/// paper's `P0C0` notation.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::CoreId;
+///
+/// let c: CoreId = "P1C3".parse()?;
+/// assert_eq!(c.proc_id().index(), 1);
+/// assert_eq!(c.core_index(), 3);
+/// assert_eq!(c.to_string(), "P1C3");
+/// # Ok::<(), atm_units::ParseCoreIdError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CoreId {
+    proc: u8,
+    core: u8,
+}
+
+impl CoreId {
+    /// Creates a core identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range for the two-socket,
+    /// eight-core-per-socket topology.
+    #[must_use]
+    pub fn new(proc: usize, core: usize) -> Self {
+        assert!(proc < NUM_PROCS, "processor index {proc} out of range");
+        assert!(core < CORES_PER_PROC, "core index {core} out of range");
+        CoreId {
+            proc: proc as u8,
+            core: core as u8,
+        }
+    }
+
+    /// The socket this core belongs to.
+    #[must_use]
+    pub fn proc_id(self) -> ProcId {
+        ProcId(self.proc)
+    }
+
+    /// The core index within its socket (0-based).
+    #[must_use]
+    pub fn core_index(self) -> usize {
+        usize::from(self.core)
+    }
+
+    /// A dense index over the whole system in `(proc, core)` order,
+    /// `0..NUM_PROCS*CORES_PER_PROC`. Useful for flat per-core arrays.
+    #[must_use]
+    pub fn flat_index(self) -> usize {
+        usize::from(self.proc) * CORES_PER_PROC + usize::from(self.core)
+    }
+
+    /// The inverse of [`CoreId::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= NUM_PROCS * CORES_PER_PROC`.
+    #[must_use]
+    pub fn from_flat_index(flat: usize) -> Self {
+        CoreId::new(flat / CORES_PER_PROC, flat % CORES_PER_PROC)
+    }
+
+    /// Iterates over every core in the system in `(proc, core)` order.
+    #[must_use]
+    pub fn all() -> SocketIter {
+        SocketIter { next: 0 }
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}C{}", self.proc, self.core)
+    }
+}
+
+/// Iterator over every [`CoreId`] in the system, produced by
+/// [`CoreId::all`].
+#[derive(Debug, Clone)]
+pub struct SocketIter {
+    next: usize,
+}
+
+impl Iterator for SocketIter {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        if self.next >= NUM_PROCS * CORES_PER_PROC {
+            return None;
+        }
+        let id = CoreId::from_flat_index(self.next);
+        self.next += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = NUM_PROCS * CORES_PER_PROC - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SocketIter {}
+
+/// Error returned when parsing a [`CoreId`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCoreIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseCoreIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid core id `{}`: expected `P<proc>C<core>` with proc < {NUM_PROCS} and core < {CORES_PER_PROC}",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseCoreIdError {}
+
+impl FromStr for CoreId {
+    type Err = ParseCoreIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCoreIdError {
+            input: s.to_owned(),
+        };
+        let rest = s.strip_prefix('P').ok_or_else(err)?;
+        let (proc_str, core_str) = rest.split_once('C').ok_or_else(err)?;
+        let proc: usize = proc_str.parse().map_err(|_| err())?;
+        let core: usize = core_str.parse().map_err(|_| err())?;
+        if proc >= NUM_PROCS || core >= CORES_PER_PROC {
+            return Err(err());
+        }
+        Ok(CoreId::new(proc, core))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_roundtrip() {
+        for id in CoreId::all() {
+            assert_eq!(CoreId::from_flat_index(id.flat_index()), id);
+        }
+    }
+
+    #[test]
+    fn all_yields_sixteen_cores_in_order() {
+        let ids: Vec<CoreId> = CoreId::all().collect();
+        assert_eq!(ids.len(), 16);
+        assert_eq!(ids[0].to_string(), "P0C0");
+        assert_eq!(ids[7].to_string(), "P0C7");
+        assert_eq!(ids[8].to_string(), "P1C0");
+        assert_eq!(ids[15].to_string(), "P1C7");
+        assert_eq!(CoreId::all().len(), 16);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for id in CoreId::all() {
+            let parsed: CoreId = id.to_string().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<CoreId>().is_err());
+        assert!("P0".parse::<CoreId>().is_err());
+        assert!("C0".parse::<CoreId>().is_err());
+        assert!("P2C0".parse::<CoreId>().is_err());
+        assert!("P0C8".parse::<CoreId>().is_err());
+        assert!("P-1C0".parse::<CoreId>().is_err());
+        assert!("PXCY".parse::<CoreId>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range_core() {
+        let _ = CoreId::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range_proc() {
+        let _ = CoreId::new(2, 0);
+    }
+
+    #[test]
+    fn proc_cores_iterates_socket() {
+        let cores: Vec<CoreId> = ProcId::new(1).cores().collect();
+        assert_eq!(cores.len(), CORES_PER_PROC);
+        assert!(cores.iter().all(|c| c.proc_id() == ProcId::new(1)));
+    }
+
+    #[test]
+    fn ordering_is_proc_major() {
+        assert!(CoreId::new(0, 7) < CoreId::new(1, 0));
+        assert!(CoreId::new(0, 1) < CoreId::new(0, 2));
+    }
+}

@@ -1,0 +1,68 @@
+//! Strongly-typed physical units and identifiers shared by the `power-atm`
+//! simulation stack.
+//!
+//! The crate provides thin `f64`-backed newtypes ([`Picos`], [`MegaHz`],
+//! [`Volts`], [`Watts`], [`Celsius`]) with the arithmetic that is physically
+//! meaningful for each quantity, plus the chip topology identifiers
+//! ([`CoreId`], [`ProcId`]) used throughout the stack.
+//!
+//! Newtypes keep quantities from being confused at compile time
+//! (C-NEWTYPE): a function that expects a clock period in picoseconds cannot
+//! accidentally be handed a voltage.
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_units::{MegaHz, Picos};
+//!
+//! let f = MegaHz::new(4200.0);
+//! let period = f.period();
+//! assert!((period.get() - 238.095).abs() < 1e-3);
+//! assert!((period.frequency().get() - 4200.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod freq;
+mod ids;
+mod power;
+mod temp;
+mod time;
+mod volt;
+
+pub use freq::MegaHz;
+pub use ids::{CoreId, ParseCoreIdError, ProcId, SocketIter, CORES_PER_PROC, NUM_PROCS};
+pub use power::Watts;
+pub use temp::Celsius;
+pub use time::{Nanos, Picos};
+pub use volt::{Millivolts, Volts};
+
+/// Asserts (in debug builds) that a floating-point quantity is finite.
+///
+/// All unit constructors funnel through this check so that NaNs and
+/// infinities are caught at the point of creation rather than deep inside
+/// the simulation.
+#[inline]
+pub(crate) fn debug_check_finite(value: f64, what: &str) {
+    debug_assert!(value.is_finite(), "{what} must be finite, got {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Picos>();
+        assert_send_sync::<Nanos>();
+        assert_send_sync::<MegaHz>();
+        assert_send_sync::<Volts>();
+        assert_send_sync::<Millivolts>();
+        assert_send_sync::<Watts>();
+        assert_send_sync::<Celsius>();
+        assert_send_sync::<CoreId>();
+        assert_send_sync::<ProcId>();
+    }
+}

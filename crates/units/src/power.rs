@@ -1,0 +1,160 @@
+//! Electrical power in watts.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical power in watts.
+///
+/// Chip-level power drives the DC IR drop across the shared power-delivery
+/// path, which is the dominant dynamic term in the paper's per-core
+/// frequency predictor (Eq. 1: each additional watt costs ≈ 2 MHz).
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::Watts;
+///
+/// let cores: Vec<Watts> = (0..8).map(|_| Watts::new(15.0)).collect();
+/// let chip: Watts = cores.iter().copied().sum::<Watts>() + Watts::new(40.0);
+/// assert_eq!(chip, Watts::new(160.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is negative.
+    #[must_use]
+    pub fn new(w: f64) -> Self {
+        crate::debug_check_finite(w, "Watts");
+        assert!(w >= 0.0, "power must be non-negative, got {w}");
+        Watts(w)
+    }
+
+    /// Returns the raw watt count.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction, clamping at zero. Used when computing the
+    /// power envelope left for background jobs, which can be exhausted.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Watts) -> Watts {
+        Watts((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Returns the larger of two powers.
+    #[must_use]
+    pub fn max(self, other: Watts) -> Watts {
+        Watts(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two powers.
+    #[must_use]
+    pub fn min(self, other: Watts) -> Watts {
+        Watts(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} W", self.0)
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use
+    /// [`Watts::saturating_sub`] for budget arithmetic.
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Watts {
+    type Output = Watts;
+    fn div(self, rhs: f64) -> Watts {
+        Watts::new(self.0 / rhs)
+    }
+}
+
+impl Div<Watts> for Watts {
+    /// Ratio of two powers (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: Watts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let p = Watts::new(100.0) + Watts::new(60.0);
+        assert_eq!(p, Watts::new(160.0));
+        assert_eq!(p - Watts::new(60.0), Watts::new(100.0));
+        assert_eq!(p * 0.5, Watts::new(80.0));
+        assert_eq!(p / 2.0, Watts::new(80.0));
+        assert_eq!(p / Watts::new(40.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        let _ = Watts::new(-1.0);
+    }
+
+    #[test]
+    fn budget_saturation() {
+        let budget = Watts::new(50.0);
+        assert_eq!(budget.saturating_sub(Watts::new(80.0)), Watts::ZERO);
+        assert_eq!(budget.saturating_sub(Watts::new(20.0)), Watts::new(30.0));
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: Watts = (0..4).map(|_| Watts::new(2.5)).sum();
+        assert_eq!(total, Watts::new(10.0));
+        assert_eq!(total.to_string(), "10.0 W");
+    }
+}

@@ -1,0 +1,113 @@
+//! Die temperature in degrees Celsius.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A die temperature in degrees Celsius.
+///
+/// The paper keeps the die under 70 °C in all experiments and notes that
+/// speed is only modestly affected by temperature; the stack models a small
+/// delay sensitivity plus leakage dependence.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::Celsius;
+///
+/// let ambient = Celsius::new(40.0);
+/// let loaded = ambient + Celsius::delta(30.0);
+/// assert_eq!(loaded, Celsius::new(70.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates an absolute temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if below absolute zero (−273.15 °C).
+    #[must_use]
+    pub fn new(deg: f64) -> Self {
+        crate::debug_check_finite(deg, "Celsius");
+        assert!(deg >= -273.15, "temperature below absolute zero: {deg}");
+        Celsius(deg)
+    }
+
+    /// Creates a temperature *difference* of `deg` degrees.
+    ///
+    /// Semantically distinct from an absolute temperature, but represented
+    /// with the same unit; differences may be negative.
+    #[must_use]
+    pub fn delta(deg: f64) -> Self {
+        crate::debug_check_finite(deg, "Celsius delta");
+        Celsius(deg)
+    }
+
+    /// Returns the raw degree count.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the larger of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Celsius) -> Celsius {
+        Celsius(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} °C", self.0)
+    }
+}
+
+impl Add for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: Celsius) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: Celsius) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_delta() {
+        assert_eq!(Celsius::new(40.0) + Celsius::delta(30.0), Celsius::new(70.0));
+        assert_eq!(Celsius::new(70.0) - Celsius::new(40.0), Celsius::delta(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute zero")]
+    fn below_absolute_zero_rejected() {
+        let _ = Celsius::new(-300.0);
+    }
+
+    #[test]
+    fn negative_delta_allowed() {
+        assert_eq!(Celsius::delta(-5.0).get(), -5.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Celsius::new(69.95).to_string(), "70.0 °C");
+    }
+}

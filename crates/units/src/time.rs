@@ -1,0 +1,324 @@
+//! Time quantities: [`Picos`] and [`Nanos`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::freq::MegaHz;
+
+/// A time interval in picoseconds.
+///
+/// Picoseconds are the natural resolution for pipeline timing: a 4.2 GHz
+/// clock period is ~238 ps, and CPM inverter steps are a handful of
+/// picoseconds each.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::Picos;
+///
+/// let a = Picos::new(100.0);
+/// let b = Picos::new(38.0);
+/// assert_eq!((a + b).get(), 138.0);
+/// assert!(a > b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Picos(f64);
+
+impl Picos {
+    /// The zero interval.
+    pub const ZERO: Picos = Picos(0.0);
+
+    /// Creates a time interval in const context (no finiteness check).
+    #[must_use]
+    pub const fn new_const(ps: f64) -> Self {
+        Picos(ps)
+    }
+
+    /// Creates a time interval from a picosecond count.
+    ///
+    /// Negative values are allowed: timing *margins* (slack) can be negative
+    /// when a path misses its cycle.
+    #[must_use]
+    pub fn new(ps: f64) -> Self {
+        crate::debug_check_finite(ps, "Picos");
+        Picos(ps)
+    }
+
+    /// Returns the raw picosecond count.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts this interval, interpreted as a clock period, to a frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not strictly positive.
+    #[must_use]
+    pub fn frequency(self) -> MegaHz {
+        assert!(self.0 > 0.0, "cannot take frequency of non-positive period {self}");
+        MegaHz::new(1.0e6 / self.0)
+    }
+
+    /// Returns the larger of two intervals.
+    #[must_use]
+    pub fn max(self, other: Picos) -> Picos {
+        Picos(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two intervals.
+    #[must_use]
+    pub fn min(self, other: Picos) -> Picos {
+        Picos(self.0.min(other.0))
+    }
+
+    /// Clamps the interval into `[lo, hi]`.
+    #[must_use]
+    pub fn clamp(self, lo: Picos, hi: Picos) -> Picos {
+        Picos(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// True if the interval is negative (a violated margin).
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ps", self.0)
+    }
+}
+
+impl Add for Picos {
+    type Output = Picos;
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picos {
+    fn add_assign(&mut self, rhs: Picos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Picos {
+    type Output = Picos;
+    fn sub(self, rhs: Picos) -> Picos {
+        Picos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Picos {
+    fn sub_assign(&mut self, rhs: Picos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Picos {
+    type Output = Picos;
+    fn neg(self) -> Picos {
+        Picos(-self.0)
+    }
+}
+
+impl Mul<f64> for Picos {
+    type Output = Picos;
+    fn mul(self, rhs: f64) -> Picos {
+        Picos(self.0 * rhs)
+    }
+}
+
+impl Mul<Picos> for f64 {
+    type Output = Picos;
+    fn mul(self, rhs: Picos) -> Picos {
+        Picos(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Picos {
+    type Output = Picos;
+    fn div(self, rhs: f64) -> Picos {
+        Picos(self.0 / rhs)
+    }
+}
+
+impl Div<Picos> for Picos {
+    /// Ratio of two intervals (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: Picos) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Picos {
+    fn sum<I: Iterator<Item = Picos>>(iter: I) -> Picos {
+        Picos(iter.map(|p| p.0).sum())
+    }
+}
+
+/// A time interval in nanoseconds, used for control-loop response times and
+/// simulation tick lengths.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::{Nanos, Picos};
+///
+/// let tick = Nanos::new(2.0);
+/// assert_eq!(tick.to_picos(), Picos::new(2000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Nanos(f64);
+
+impl Nanos {
+    /// The zero interval.
+    pub const ZERO: Nanos = Nanos(0.0);
+
+    /// Creates a time interval from a nanosecond count.
+    #[must_use]
+    pub fn new(ns: f64) -> Self {
+        crate::debug_check_finite(ns, "Nanos");
+        Nanos(ns)
+    }
+
+    /// Returns the raw nanosecond count.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to picoseconds.
+    #[must_use]
+    pub fn to_picos(self) -> Picos {
+        Picos::new(self.0 * 1000.0)
+    }
+
+    /// Converts to milliseconds.
+    #[must_use]
+    pub fn to_millis(self) -> f64 {
+        self.0 * 1e-6
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ns", self.0)
+    }
+}
+
+impl From<Picos> for Nanos {
+    fn from(p: Picos) -> Nanos {
+        Nanos::new(p.get() / 1000.0)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: f64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<Nanos> for Nanos {
+    type Output = f64;
+    fn div(self, rhs: Nanos) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_frequency_roundtrip() {
+        let f = Picos::new(238.095_238).frequency();
+        assert!((f.get() - 4200.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive period")]
+    fn frequency_of_zero_panics() {
+        let _ = Picos::ZERO.frequency();
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Picos::new(10.0);
+        let b = Picos::new(4.0);
+        assert_eq!((a - b).get(), 6.0);
+        assert_eq!((a * 2.0).get(), 20.0);
+        assert_eq!((2.0 * a).get(), 20.0);
+        assert_eq!((a / 2.0).get(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-a).get(), -10.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.get(), 14.0);
+        c -= b;
+        assert_eq!(c.get(), 10.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Picos::new(10.0);
+        let b = Picos::new(4.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(Picos::new(20.0).clamp(b, a), a);
+        assert_eq!(Picos::new(1.0).clamp(b, a), b);
+    }
+
+    #[test]
+    fn negative_margin() {
+        assert!(Picos::new(-1.0).is_negative());
+        assert!(!Picos::ZERO.is_negative());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Picos = (1..=4).map(|i| Picos::new(f64::from(i))).sum();
+        assert_eq!(total.get(), 10.0);
+    }
+
+    #[test]
+    fn nanos_conversions() {
+        let n = Nanos::new(1.5);
+        assert_eq!(n.to_picos().get(), 1500.0);
+        assert_eq!(Nanos::from(Picos::new(2500.0)).get(), 2.5);
+        assert!((Nanos::new(32_000_000.0).to_millis() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Picos::new(1.234).to_string(), "1.23 ps");
+        assert_eq!(Nanos::new(2.0).to_string(), "2.00 ns");
+    }
+}

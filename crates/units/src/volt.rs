@@ -1,0 +1,267 @@
+//! Supply-voltage quantities: [`Volts`] and [`Millivolts`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A supply voltage in volts.
+///
+/// The POWER7+ 4.2 GHz p-state runs at 1.25 V; IR drop and di/dt droops
+/// subtract tens of millivolts from what the VRM supplies.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::{Millivolts, Volts};
+///
+/// let vrm = Volts::new(1.25);
+/// let delivered = vrm - Millivolts::new(37.5).to_volts();
+/// assert!((delivered.get() - 1.2125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Volts(f64);
+
+impl Volts {
+    /// The zero voltage.
+    pub const ZERO: Volts = Volts(0.0);
+
+    /// Creates a voltage in const context (no validity checks).
+    #[must_use]
+    pub const fn new_const(v: f64) -> Self {
+        Volts(v)
+    }
+
+    /// Creates a voltage.
+    ///
+    /// Negative voltages are rejected: the stack models a single positive
+    /// supply rail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative.
+    #[must_use]
+    pub fn new(v: f64) -> Self {
+        crate::debug_check_finite(v, "Volts");
+        assert!(v >= 0.0, "voltage must be non-negative, got {v}");
+        Volts(v)
+    }
+
+    /// Returns the raw volt count.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to millivolts.
+    #[must_use]
+    pub fn to_millivolts(self) -> Millivolts {
+        Millivolts::new(self.0 * 1000.0)
+    }
+
+    /// Saturating subtraction: clamps at zero instead of panicking, for
+    /// droop arithmetic where an extreme transient could notionally exceed
+    /// the rail.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Volts) -> Volts {
+        Volts((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Returns the larger of two voltages.
+    #[must_use]
+    pub fn max(self, other: Volts) -> Volts {
+        Volts(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two voltages.
+    #[must_use]
+    pub fn min(self, other: Volts) -> Volts {
+        Volts(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} V", self.0)
+    }
+}
+
+impl Add for Volts {
+    type Output = Volts;
+    fn add(self, rhs: Volts) -> Volts {
+        Volts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Volts {
+    fn add_assign(&mut self, rhs: Volts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Volts {
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use
+    /// [`Volts::saturating_sub`] when transients may exceed the rail.
+    type Output = Volts;
+    fn sub(self, rhs: Volts) -> Volts {
+        Volts::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Volts {
+    fn sub_assign(&mut self, rhs: Volts) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Volts {
+    type Output = Volts;
+    fn mul(self, rhs: f64) -> Volts {
+        Volts::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Volts {
+    type Output = Volts;
+    fn div(self, rhs: f64) -> Volts {
+        Volts::new(self.0 / rhs)
+    }
+}
+
+impl Div<Volts> for Volts {
+    /// Ratio of two voltages (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: Volts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// A voltage difference in millivolts, used for droop magnitudes and CPM
+/// step equivalents (one CPM step ≈ 20–60 mV of supply variation).
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::Millivolts;
+///
+/// let droop = Millivolts::new(37.5);
+/// assert!((droop.to_volts().get() - 0.0375).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Millivolts(f64);
+
+impl Millivolts {
+    /// The zero difference.
+    pub const ZERO: Millivolts = Millivolts(0.0);
+
+    /// Creates a voltage difference (may be negative for overshoot).
+    #[must_use]
+    pub fn new(mv: f64) -> Self {
+        crate::debug_check_finite(mv, "Millivolts");
+        Millivolts(mv)
+    }
+
+    /// Returns the raw millivolt count.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the difference is negative (a negative difference has no
+    /// meaning as an absolute rail voltage).
+    #[must_use]
+    pub fn to_volts(self) -> Volts {
+        Volts::new(self.0 / 1000.0)
+    }
+}
+
+impl fmt::Display for Millivolts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} mV", self.0)
+    }
+}
+
+impl From<Volts> for Millivolts {
+    fn from(v: Volts) -> Millivolts {
+        Millivolts(v.get() * 1000.0)
+    }
+}
+
+impl Add for Millivolts {
+    type Output = Millivolts;
+    fn add(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Millivolts {
+    type Output = Millivolts;
+    fn sub(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Millivolts {
+    type Output = Millivolts;
+    fn mul(self, rhs: f64) -> Millivolts {
+        Millivolts(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Volts::new(1.25).to_millivolts().get(), 1250.0);
+        assert_eq!(Millivolts::from(Volts::new(0.05)).get(), 50.0);
+        assert!((Millivolts::new(40.0).to_volts().get() - 0.04).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_volts_rejected() {
+        let _ = Volts::new(-0.1);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Volts::new(0.1).saturating_sub(Volts::new(0.5)), Volts::ZERO);
+        assert_eq!(
+            Volts::new(0.5).saturating_sub(Volts::new(0.1)),
+            Volts::new(0.4)
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let v = Volts::new(1.0) + Volts::new(0.25);
+        assert_eq!(v, Volts::new(1.25));
+        assert_eq!(v * 2.0, Volts::new(2.5));
+        assert_eq!(v / 1.25, Volts::new(1.0));
+        assert_eq!(v / Volts::new(0.625), 2.0);
+        let mut w = v;
+        w -= Volts::new(0.25);
+        assert_eq!(w, Volts::new(1.0));
+    }
+
+    #[test]
+    fn millivolts_can_be_negative() {
+        let overshoot = Millivolts::new(-5.0);
+        assert_eq!(overshoot.get(), -5.0);
+        assert_eq!((overshoot + Millivolts::new(10.0)).get(), 5.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Volts::new(1.25).to_string(), "1.2500 V");
+        assert_eq!(Millivolts::new(37.54).to_string(), "37.5 mV");
+    }
+}

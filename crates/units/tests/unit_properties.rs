@@ -1,0 +1,99 @@
+//! Property tests for the unit newtypes.
+
+use atm_units::{Celsius, CoreId, MegaHz, Millivolts, Nanos, Picos, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn period_frequency_roundtrip(mhz in 1.0f64..10_000.0) {
+        let f = MegaHz::new(mhz);
+        let back = f.period().frequency();
+        prop_assert!((back.get() - mhz).abs() / mhz < 1e-12);
+    }
+
+    #[test]
+    fn picos_addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Picos::new(a) + Picos::new(b);
+        let y = Picos::new(b) + Picos::new(a);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn picos_sum_matches_fold(values in prop::collection::vec(-1e3f64..1e3, 0..32)) {
+        let sum: Picos = values.iter().map(|&v| Picos::new(v)).sum();
+        let fold = values.iter().fold(Picos::ZERO, |acc, &v| acc + Picos::new(v));
+        prop_assert!((sum.get() - fold.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_over_is_inverse_of_scaling(base in 100.0f64..9000.0, gain in -0.5f64..2.0) {
+        let b = MegaHz::new(base);
+        let f = b * (1.0 + gain);
+        prop_assert!((f.gain_over(b) - gain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volts_saturating_sub_never_negative(a in 0.0f64..2.0, b in 0.0f64..3.0) {
+        let v = Volts::new(a).saturating_sub(Volts::new(b));
+        prop_assert!(v.get() >= 0.0);
+        if a >= b {
+            prop_assert!((v.get() - (a - b)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn millivolt_volt_roundtrip(mv in 0.0f64..2000.0) {
+        let v = Millivolts::new(mv).to_volts();
+        prop_assert!((Millivolts::from(v).get() - mv).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watts_budget_arithmetic(budget in 0.0f64..300.0, used in 0.0f64..300.0) {
+        let left = Watts::new(budget).saturating_sub(Watts::new(used));
+        prop_assert!(left.get() >= 0.0);
+        prop_assert!(left.get() <= budget + 1e-12);
+    }
+
+    #[test]
+    fn nanos_picos_conversion(ns in 0.0f64..1e9) {
+        let n = Nanos::new(ns);
+        prop_assert!((Nanos::from(n.to_picos()).get() - ns).abs() < 1e-6 * ns.max(1.0));
+    }
+
+    #[test]
+    fn core_id_flat_roundtrip(flat in 0usize..16) {
+        let id = CoreId::from_flat_index(flat);
+        prop_assert_eq!(id.flat_index(), flat);
+        let parsed: CoreId = id.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, id);
+    }
+
+    #[test]
+    fn celsius_delta_addition(base in -50.0f64..150.0, delta in -100.0f64..100.0) {
+        prop_assume!(base + delta >= -273.15);
+        let t = Celsius::new(base.max(-273.15)) + Celsius::delta(delta);
+        prop_assert!((t.get() - (base.max(-273.15) + delta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_is_idempotent(f in 0.0f64..10_000.0, lo in 0.0f64..5000.0, hi in 5000.0f64..10_000.0) {
+        let clamped = MegaHz::new(f).clamp(MegaHz::new(lo), MegaHz::new(hi));
+        prop_assert_eq!(clamped.clamp(MegaHz::new(lo), MegaHz::new(hi)), clamped);
+        prop_assert!(clamped.get() >= lo && clamped.get() <= hi);
+    }
+}
+
+/// Compile-time check that every unit type is a serde data structure
+/// (C-SERDE): serializable and deserializable.
+#[test]
+fn units_implement_serde() {
+    fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+    assert_serde::<Picos>();
+    assert_serde::<Nanos>();
+    assert_serde::<MegaHz>();
+    assert_serde::<Volts>();
+    assert_serde::<Millivolts>();
+    assert_serde::<Watts>();
+    assert_serde::<Celsius>();
+    assert_serde::<CoreId>();
+}

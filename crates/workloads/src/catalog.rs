@@ -1,0 +1,222 @@
+//! The calibrated workload catalog.
+//!
+//! Every profile the paper's evaluation names, with attributes calibrated
+//! to the paper's observations: x264 and ferret stress the ATM loop
+//! hardest (Fig. 9/10); gcc covers many instructions yet stresses ATM
+//! little; mcf is memory-bound and gains least from frequency (Fig. 12b);
+//! streamcluster consumes little power even at high frequency (Sec. VII-D);
+//! lu_cb is power-hungry.
+
+use std::sync::OnceLock;
+
+use atm_pdn::DiDtParams;
+
+use crate::classify::{classification_table, AppClass};
+use crate::profile::{Workload, WorkloadKind};
+
+fn build_catalog() -> Vec<Workload> {
+    use WorkloadKind::{MicroBench, MlInference, Parsec, Spec};
+
+    let class = |name: &str| -> Option<AppClass> {
+        classification_table()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| c)
+    };
+
+    // (name, kind, activity, mem_fraction, path_stress,
+    //  (events/us, mean mV, sigma mV, sharpness))
+    #[allow(clippy::type_complexity)]
+    let rows: Vec<(&str, WorkloadKind, f64, f64, f64, (f64, f64, f64, f64))> = vec![
+        // Micro-benchmarks: smooth behaviour, little system noise, but they
+        // touch more paths than idle (paper Sec. V-A).
+        ("coremark", MicroBench, 0.55, 0.05, 0.45, (0.10, 8.0, 3.0, 0.35)),
+        ("daxpy", MicroBench, 0.95, 0.10, 0.35, (0.10, 10.0, 3.0, 0.35)),
+        ("stream", MicroBench, 0.50, 0.70, 0.40, (0.20, 9.0, 3.0, 0.35)),
+        // SPEC CPU 2017.
+        ("gcc", Spec, 0.50, 0.35, 0.75, (0.50, 9.0, 3.0, 0.40)),
+        ("mcf", Spec, 0.38, 0.80, 0.45, (0.30, 8.0, 3.0, 0.40)),
+        ("x264", Spec, 0.75, 0.25, 0.60, (2.00, 30.0, 7.0, 0.55)),
+        ("leela", Spec, 0.45, 0.15, 0.55, (0.50, 10.0, 3.0, 0.45)),
+        ("exchange2", Spec, 0.50, 0.02, 0.30, (0.40, 12.0, 3.0, 0.50)),
+        ("deepsjeng", Spec, 0.50, 0.10, 0.50, (0.50, 14.0, 4.0, 0.50)),
+        ("xz", Spec, 0.45, 0.45, 0.50, (0.60, 13.0, 4.0, 0.50)),
+        // PARSEC 3.0.
+        ("ferret", Parsec, 0.70, 0.30, 0.65, (1.80, 28.0, 7.0, 0.55)),
+        ("fluidanimate", Parsec, 0.60, 0.30, 0.55, (1.00, 20.0, 4.0, 0.50)),
+        ("facesim", Parsec, 0.55, 0.60, 0.50, (0.80, 16.0, 4.0, 0.55)),
+        ("lu_cb", Parsec, 0.80, 0.55, 0.50, (0.80, 15.0, 4.0, 0.50)),
+        ("streamcluster", Parsec, 0.30, 0.60, 0.40, (0.40, 10.0, 3.0, 0.45)),
+        ("blackscholes", Parsec, 0.60, 0.05, 0.35, (0.30, 10.0, 3.0, 0.40)),
+        ("swaptions", Parsec, 0.65, 0.05, 0.40, (0.40, 12.0, 3.0, 0.45)),
+        ("raytrace", Parsec, 0.55, 0.30, 0.50, (0.50, 13.0, 3.0, 0.50)),
+        ("bodytrack", Parsec, 0.60, 0.15, 0.50, (0.60, 14.0, 4.0, 0.50)),
+        ("vips", Parsec, 0.65, 0.20, 0.55, (0.70, 15.0, 4.0, 0.50)),
+        ("canneal", Parsec, 0.45, 0.75, 0.45, (0.40, 11.0, 3.0, 0.45)),
+        // ML inference / training.
+        ("squeezenet", MlInference, 0.65, 0.12, 0.45, (0.50, 12.0, 3.0, 0.45)),
+        ("resnet", MlInference, 0.70, 0.30, 0.50, (0.60, 14.0, 4.0, 0.50)),
+        ("vgg19", MlInference, 0.75, 0.32, 0.50, (0.70, 15.0, 4.0, 0.50)),
+        ("seq2seq", MlInference, 0.55, 0.22, 0.50, (0.50, 12.0, 3.0, 0.45)),
+        ("babi", MlInference, 0.50, 0.20, 0.45, (0.40, 11.0, 3.0, 0.45)),
+        ("mlp", MlInference, 0.60, 0.55, 0.45, (0.50, 12.0, 3.0, 0.50)),
+    ];
+
+    rows.into_iter()
+        .map(|(name, kind, act, mem, path, (rate, mean, sigma, sharp))| {
+            Workload::new(
+                name,
+                kind,
+                act,
+                mem,
+                path,
+                DiDtParams::new(rate, mean, sigma, sharp),
+                1.0,
+                class(name),
+            )
+        })
+        .collect()
+}
+
+fn cached() -> &'static Vec<Workload> {
+    static CATALOG: OnceLock<Vec<Workload>> = OnceLock::new();
+    CATALOG.get_or_init(build_catalog)
+}
+
+/// Every calibrated workload profile (micro-benchmarks, SPEC, PARSEC, ML).
+#[must_use]
+pub fn catalog() -> &'static [Workload] {
+    cached()
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static Workload> {
+    cached().iter().find(|w| w.name() == name)
+}
+
+/// The three micro-benchmarks of the paper's uBench characterization.
+#[must_use]
+pub fn ubench_set() -> Vec<&'static Workload> {
+    cached()
+        .iter()
+        .filter(|w| w.kind() == WorkloadKind::MicroBench)
+        .collect()
+}
+
+/// The SPEC + PARSEC single-threaded profiling set of the realistic
+/// characterization (paper Fig. 10).
+#[must_use]
+pub fn realistic_set() -> Vec<&'static Workload> {
+    cached()
+        .iter()
+        .filter(|w| matches!(w.kind(), WorkloadKind::Spec | WorkloadKind::Parsec))
+        .collect()
+}
+
+/// The ML inference workloads used as critical applications.
+#[must_use]
+pub fn ml_inference_set() -> Vec<&'static Workload> {
+    cached()
+        .iter()
+        .filter(|w| w.kind() == WorkloadKind::MlInference)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Role;
+
+    #[test]
+    fn catalog_nonempty_and_unique() {
+        let cat = catalog();
+        assert!(cat.len() >= 25);
+        let mut names: Vec<_> = cat.iter().map(Workload::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len());
+    }
+
+    #[test]
+    fn by_name_finds_everything() {
+        for w in catalog() {
+            assert_eq!(by_name(w.name()).unwrap().name(), w.name());
+        }
+        assert!(by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn every_table2_app_has_a_profile() {
+        for (name, class) in classification_table() {
+            let w = by_name(name).unwrap_or_else(|| panic!("missing profile for {name}"));
+            assert_eq!(w.class(), Some(&class), "class mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn x264_and_ferret_are_top_stressors() {
+        let worst_two: f64 = ["x264", "ferret"]
+            .iter()
+            .map(|n| by_name(n).unwrap().didt().worst_case_unseen_mv(0.9))
+            .fold(f64::MAX, f64::min);
+        for w in realistic_set() {
+            if w.name() == "x264" || w.name() == "ferret" {
+                continue;
+            }
+            assert!(
+                w.didt().worst_case_unseen_mv(0.9) < worst_two,
+                "{} out-stresses x264/ferret",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_is_most_memory_bound_spec() {
+        let mcf = by_name("mcf").unwrap();
+        for w in catalog().iter().filter(|w| w.kind() == WorkloadKind::Spec) {
+            if w.name() != "mcf" {
+                assert!(w.mem_fraction() <= mcf.mem_fraction());
+            }
+        }
+    }
+
+    #[test]
+    fn streamcluster_draws_least_power_among_backgrounds() {
+        let sc = by_name("streamcluster").unwrap();
+        for w in catalog() {
+            if let Some(c) = w.class() {
+                if c.role == Role::Background && w.name() != "streamcluster" {
+                    assert!(w.activity() > sc.activity(), "{} not above streamcluster", w.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ubench_set_is_the_three_microbenchmarks() {
+        let names: Vec<_> = ubench_set().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 3);
+        for n in ["coremark", "daxpy", "stream"] {
+            assert!(names.contains(&n));
+        }
+    }
+
+    #[test]
+    fn ubench_didt_is_mild() {
+        // uBench must create little di/dt (paper: smooth behaviour, no
+        // pipeline flushes) so that its limit reflects path coverage.
+        for w in ubench_set() {
+            assert!(w.didt().worst_case_unseen_mv(0.99) < 6.0, "{} too noisy", w.name());
+        }
+    }
+
+    #[test]
+    fn realistic_set_covers_spec_and_parsec() {
+        let set = realistic_set();
+        assert!(set.iter().any(|w| w.kind() == WorkloadKind::Spec));
+        assert!(set.iter().any(|w| w.kind() == WorkloadKind::Parsec));
+        assert!(set.len() >= 15);
+    }
+}

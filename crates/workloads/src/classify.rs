@@ -1,0 +1,139 @@
+//! Table II: critical/background × memory-intensity classification.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether an application is user-facing latency-critical or a
+/// throughput-tolerant background job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// User-facing, requires high performance for low latency (inference,
+    /// object detection, real-time image processing, similarity search).
+    Critical,
+    /// Tolerates lower performance (training, rendering, compression,
+    /// compilation, pricing).
+    Background,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Critical => "critical",
+            Role::Background => "background",
+        })
+    }
+}
+
+/// An application's Table II cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AppClass {
+    /// Critical or background.
+    pub role: Role,
+    /// Whether the app interferes heavily with the memory subsystem (the
+    /// paper avoids co-locating two memory-intensive workloads).
+    pub mem_intensive: bool,
+}
+
+impl AppClass {
+    /// Critical, memory-intensive.
+    pub const CRITICAL_MEM: AppClass = AppClass {
+        role: Role::Critical,
+        mem_intensive: true,
+    };
+    /// Critical, not memory-intensive.
+    pub const CRITICAL: AppClass = AppClass {
+        role: Role::Critical,
+        mem_intensive: false,
+    };
+    /// Background, memory-intensive.
+    pub const BACKGROUND_MEM: AppClass = AppClass {
+        role: Role::Background,
+        mem_intensive: true,
+    };
+    /// Background, not memory-intensive.
+    pub const BACKGROUND: AppClass = AppClass {
+        role: Role::Background,
+        mem_intensive: false,
+    };
+
+    /// Whether two apps may be co-located under the paper's rule: never
+    /// two memory-intensive workloads on the same chip.
+    #[must_use]
+    pub fn may_colocate_with(&self, other: &AppClass) -> bool {
+        !(self.mem_intensive && other.mem_intensive)
+    }
+}
+
+/// The paper's Table II, as `(workload name, class)` rows.
+#[must_use]
+pub fn classification_table() -> Vec<(&'static str, AppClass)> {
+    vec![
+        // Critical, memory-intensive.
+        ("resnet", AppClass::CRITICAL_MEM),
+        ("vgg19", AppClass::CRITICAL_MEM),
+        ("ferret", AppClass::CRITICAL_MEM),
+        ("fluidanimate", AppClass::CRITICAL_MEM),
+        // Critical, non-intensive.
+        ("squeezenet", AppClass::CRITICAL),
+        ("seq2seq", AppClass::CRITICAL),
+        ("babi", AppClass::CRITICAL),
+        ("bodytrack", AppClass::CRITICAL),
+        ("vips", AppClass::CRITICAL),
+        // Background, memory-intensive.
+        ("mlp", AppClass::BACKGROUND_MEM),
+        ("gcc", AppClass::BACKGROUND_MEM),
+        ("facesim", AppClass::BACKGROUND_MEM),
+        ("lu_cb", AppClass::BACKGROUND_MEM),
+        ("streamcluster", AppClass::BACKGROUND_MEM),
+        // Background, non-intensive.
+        ("blackscholes", AppClass::BACKGROUND),
+        ("x264", AppClass::BACKGROUND),
+        ("swaptions", AppClass::BACKGROUND),
+        ("raytrace", AppClass::BACKGROUND),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_four_quadrants() {
+        let table = classification_table();
+        for class in [
+            AppClass::CRITICAL_MEM,
+            AppClass::CRITICAL,
+            AppClass::BACKGROUND_MEM,
+            AppClass::BACKGROUND,
+        ] {
+            assert!(
+                table.iter().filter(|(_, c)| *c == class).count() >= 4,
+                "quadrant {class:?} underpopulated"
+            );
+        }
+    }
+
+    #[test]
+    fn colocate_rule_blocks_double_mem() {
+        assert!(!AppClass::CRITICAL_MEM.may_colocate_with(&AppClass::BACKGROUND_MEM));
+        assert!(AppClass::CRITICAL_MEM.may_colocate_with(&AppClass::BACKGROUND));
+        assert!(AppClass::CRITICAL.may_colocate_with(&AppClass::BACKGROUND_MEM));
+        assert!(AppClass::CRITICAL.may_colocate_with(&AppClass::BACKGROUND));
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let table = classification_table();
+        let mut names: Vec<_> = table.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), table.len());
+    }
+
+    #[test]
+    fn roles_display() {
+        assert_eq!(Role::Critical.to_string(), "critical");
+        assert_eq!(Role::Background.to_string(), "background");
+    }
+}

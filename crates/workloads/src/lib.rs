@@ -1,0 +1,48 @@
+//! Workload models for the `power-atm` stack.
+//!
+//! The paper characterizes fine-tuned ATM under a progression of workloads
+//! (its Fig. 6 methodology): **system idle**, **micro-benchmarks**
+//! (coremark, daxpy, stream), **realistic workloads** (SPEC CPU 2017,
+//! PARSEC 3.0, ML inference), and **stressmarks** (a voltage virus plus
+//! power virus for the test-time deployment procedure).
+//!
+//! Only four attributes of a workload matter to the ATM phenomena the paper
+//! studies, and a [`Workload`] profile carries exactly those:
+//!
+//! * **switching activity** → power draw → DC IR drop (seen by the loop,
+//!   lowers frequency);
+//! * **di/dt behaviour** → droop events whose sharp edges can escape the
+//!   loop (unseen, threatens correctness);
+//! * **path-coverage stress** → how many exotic timing paths the code
+//!   exercises that the CPM synthetic paths do not mimic (unseen margin
+//!   loss, forces CPM rollback);
+//! * **memory-boundedness** → how performance scales with frequency
+//!   (paper Fig. 12b).
+//!
+//! [`catalog`] returns every profile used by the paper's evaluation, and
+//! [`AppClass`] encodes its Table II critical/background classification.
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_workloads::{by_name, Role};
+//!
+//! let x264 = by_name("x264").unwrap();
+//! let gcc = by_name("gcc").unwrap();
+//! // x264 stresses the ATM loop much harder than gcc (paper Fig. 9).
+//! assert!(x264.didt().magnitude_mean() > gcc.didt().magnitude_mean());
+//! assert_eq!(x264.class().unwrap().role, Role::Background);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod classify;
+mod profile;
+mod stressmark;
+
+pub use catalog::{by_name, catalog, ml_inference_set, realistic_set, ubench_set};
+pub use classify::{classification_table, AppClass, Role};
+pub use profile::{Workload, WorkloadKind};
+pub use stressmark::{isa_suite, power_virus, voltage_virus};

@@ -1,0 +1,318 @@
+//! The workload profile type.
+
+use atm_pdn::DiDtParams;
+use atm_units::MegaHz;
+use serde::{Deserialize, Serialize};
+
+use crate::classify::AppClass;
+
+/// Which suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Nothing scheduled: background operating-system noise only.
+    Idle,
+    /// A micro-benchmark exercising one part of the core.
+    MicroBench,
+    /// A SPEC CPU 2017 benchmark.
+    Spec,
+    /// A PARSEC 3.0 benchmark.
+    Parsec,
+    /// A deep-learning inference task.
+    MlInference,
+    /// A test-time stressmark (voltage virus, power virus, ISA suite).
+    Stressmark,
+}
+
+/// A workload profile: the four ATM-relevant attributes plus metadata.
+///
+/// Construct profiles with [`Workload::new`] or fetch calibrated ones from
+/// [`catalog`](crate::catalog).
+///
+/// # Examples
+///
+/// ```
+/// use atm_workloads::by_name;
+/// use atm_units::MegaHz;
+///
+/// let mcf = by_name("mcf").unwrap();
+/// let x264 = by_name("x264").unwrap();
+/// let base = MegaHz::new(4200.0);
+/// let fast = MegaHz::new(4830.0); // +15% clock
+/// // A memory-bound app gains less from frequency (paper Fig. 12b).
+/// assert!(mcf.speedup(fast, base) < x264.speedup(fast, base));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    kind: WorkloadKind,
+    activity: f64,
+    mem_fraction: f64,
+    path_stress: f64,
+    didt: DiDtParams,
+    sync_amplification: f64,
+    class: Option<AppClass>,
+}
+
+impl Workload {
+    /// Creates a workload profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1.5]`, `mem_fraction` or
+    /// `path_stress` outside `[0, 1]`, or `sync_amplification < 1`.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        kind: WorkloadKind,
+        activity: f64,
+        mem_fraction: f64,
+        path_stress: f64,
+        didt: DiDtParams,
+        sync_amplification: f64,
+        class: Option<AppClass>,
+    ) -> Self {
+        assert!((0.0..=1.5).contains(&activity), "activity out of range");
+        assert!((0.0..=1.0).contains(&mem_fraction), "mem_fraction out of range");
+        assert!((0.0..=1.0).contains(&path_stress), "path_stress out of range");
+        assert!(sync_amplification >= 1.0, "sync_amplification must be >= 1");
+        Workload {
+            name: name.into(),
+            kind,
+            activity,
+            mem_fraction,
+            path_stress,
+            didt,
+            sync_amplification,
+            class,
+        }
+    }
+
+    /// The idle "workload": OS background noise only.
+    #[must_use]
+    pub fn idle() -> Self {
+        Workload::new(
+            "idle",
+            WorkloadKind::Idle,
+            0.05,
+            0.0,
+            0.0,
+            DiDtParams::new(0.05, 8.0, 4.0, 0.4),
+            1.0,
+            None,
+        )
+    }
+
+    /// The workload's name (e.g. `"x264"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite this workload belongs to.
+    #[must_use]
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Switching activity in `[0, 1.5]` (drives dynamic power).
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Fraction of execution time stalled on memory at the baseline clock.
+    #[must_use]
+    pub fn mem_fraction(&self) -> f64 {
+        self.mem_fraction
+    }
+
+    /// How hard the workload exercises timing paths the CPM synthetic
+    /// paths do not cover, in `[0, 1]`.
+    #[must_use]
+    pub fn path_stress(&self) -> f64 {
+        self.path_stress
+    }
+
+    /// The workload's di/dt droop process parameters.
+    #[must_use]
+    pub fn didt(&self) -> &DiDtParams {
+        &self.didt
+    }
+
+    /// Droop amplification when the workload runs synchronized across many
+    /// cores (≥ 1; only stressmarks exceed 1).
+    #[must_use]
+    pub fn sync_amplification(&self) -> f64 {
+        self.sync_amplification
+    }
+
+    /// Table II classification, if the paper classifies this workload.
+    #[must_use]
+    pub fn class(&self) -> Option<&AppClass> {
+        self.class.as_ref()
+    }
+
+    /// Performance (throughput or 1/latency) at clock `f` relative to the
+    /// same workload at `baseline`: the paper's Fig. 12b linear-in-f
+    /// behaviour with a memory-bound saturation term.
+    ///
+    /// `speedup = 1 / (c·(f₀/f) + (1 − c))` where `c = 1 − mem_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency is zero.
+    #[must_use]
+    pub fn speedup(&self, f: MegaHz, baseline: MegaHz) -> f64 {
+        assert!(f.get() > 0.0 && baseline.get() > 0.0, "frequencies must be positive");
+        let c = 1.0 - self.mem_fraction;
+        1.0 / (c * (baseline / f).max(f64::MIN_POSITIVE) + (1.0 - c))
+    }
+
+    /// The slope of `speedup` with respect to `f/f₀` at the baseline — the
+    /// per-app coefficient the paper's performance predictor fits.
+    #[must_use]
+    pub fn frequency_sensitivity(&self) -> f64 {
+        1.0 - self.mem_fraction
+    }
+
+    /// Core-throughput gain from running `threads` SMT copies of this
+    /// workload on one core (POWER7+ is 4-way SMT).
+    ///
+    /// Compute-bound code saturates its functional units with one thread
+    /// and gains little; memory-bound code hides stalls behind sibling
+    /// threads and gains more. The gain is sublinear and the per-thread
+    /// throughput is `smt_throughput_gain(n) / n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is not in `1..=4`.
+    #[must_use]
+    pub fn smt_throughput_gain(&self, threads: usize) -> f64 {
+        assert!((1..=4).contains(&threads), "SMT is 4-way, got {threads}");
+        let per_thread = 0.05 * (1.0 + 2.0 * self.mem_fraction);
+        1.0 + (threads - 1) as f64 * per_thread
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_bound() -> Workload {
+        Workload::new(
+            "cpu",
+            WorkloadKind::Spec,
+            0.7,
+            0.05,
+            0.5,
+            DiDtParams::quiet(),
+            1.0,
+            None,
+        )
+    }
+
+    fn memory_bound() -> Workload {
+        Workload::new(
+            "mem",
+            WorkloadKind::Spec,
+            0.4,
+            0.6,
+            0.5,
+            DiDtParams::quiet(),
+            1.0,
+            None,
+        )
+    }
+
+    #[test]
+    fn speedup_is_one_at_baseline() {
+        let w = compute_bound();
+        let f = MegaHz::new(4200.0);
+        assert!((w.speedup(f, f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_monotone_in_frequency() {
+        let w = compute_bound();
+        let base = MegaHz::new(4200.0);
+        let mut prev = 0.0;
+        for f in (4200..5200).step_by(100) {
+            let s = w.speedup(MegaHz::new(f64::from(f)), base);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn memory_bound_gains_less() {
+        let base = MegaHz::new(4200.0);
+        let fast = MegaHz::new(4830.0);
+        assert!(memory_bound().speedup(fast, base) < compute_bound().speedup(fast, base));
+    }
+
+    #[test]
+    fn fully_compute_bound_is_linear() {
+        let w = Workload::new(
+            "linear",
+            WorkloadKind::MicroBench,
+            1.0,
+            0.0,
+            0.0,
+            DiDtParams::quiet(),
+            1.0,
+            None,
+        );
+        let base = MegaHz::new(4000.0);
+        assert!((w.speedup(MegaHz::new(4400.0), base) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_profile_is_quiet_and_cold() {
+        let idle = Workload::idle();
+        assert!(idle.activity() < 0.1);
+        assert_eq!(idle.path_stress(), 0.0);
+        assert_eq!(idle.kind(), WorkloadKind::Idle);
+    }
+
+    #[test]
+    fn frequency_sensitivity_complements_mem_fraction() {
+        assert!((memory_bound().frequency_sensitivity() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smt_gain_sublinear_and_mem_sensitive() {
+        let cpu = compute_bound();
+        let mem = memory_bound();
+        for w in [&cpu, &mem] {
+            assert!((w.smt_throughput_gain(1) - 1.0).abs() < 1e-12);
+            for n in 2..=4 {
+                assert!(w.smt_throughput_gain(n) > w.smt_throughput_gain(n - 1));
+                // Sublinear: total gain below n times one thread.
+                assert!(w.smt_throughput_gain(n) < n as f64);
+            }
+        }
+        assert!(mem.smt_throughput_gain(4) > cpu.smt_throughput_gain(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "SMT is 4-way")]
+    fn smt_beyond_four_threads_rejected() {
+        let _ = compute_bound().smt_throughput_gain(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_fraction")]
+    fn invalid_mem_fraction_rejected() {
+        let _ = Workload::new(
+            "bad",
+            WorkloadKind::Spec,
+            0.5,
+            1.5,
+            0.5,
+            DiDtParams::quiet(),
+            1.0,
+            None,
+        );
+    }
+}

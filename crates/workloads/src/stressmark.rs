@@ -1,0 +1,121 @@
+//! Test-time stressmarks for the deployment procedure (paper Sec. VII-A).
+
+use atm_pdn::DiDtParams;
+
+use crate::profile::{Workload, WorkloadKind};
+
+/// The paper's voltage virus: all cores synchronously throttle instruction
+/// issue to one out of every 128 cycles while 32 daxpy threads run,
+/// creating a chip-wide synchronized power surge and worst-case di/dt.
+///
+/// Run on every core simultaneously (its `sync_amplification` of 1.35
+/// models the adjacent-core alignment), it produces unseen droops beyond
+/// any realistic workload.
+///
+/// # Examples
+///
+/// ```
+/// use atm_workloads::{by_name, voltage_virus};
+///
+/// let virus = voltage_virus();
+/// let x264 = by_name("x264").unwrap();
+/// assert!(
+///     virus.didt().worst_case_unseen_mv(0.99) * virus.sync_amplification()
+///         > x264.didt().worst_case_unseen_mv(0.99)
+/// );
+/// ```
+#[must_use]
+pub fn voltage_virus() -> Workload {
+    Workload::new(
+        "voltage-virus",
+        WorkloadKind::Stressmark,
+        1.05,
+        0.05,
+        0.85,
+        DiDtParams::new(4.0, 30.0, 6.0, 0.60),
+        1.15,
+        None,
+    )
+}
+
+/// A power virus: maximum sustained switching activity (raises chip power
+/// and temperature; the paper raises the chip to 160 W / 70 °C).
+#[must_use]
+pub fn power_virus() -> Workload {
+    Workload::new(
+        "power-virus",
+        WorkloadKind::Stressmark,
+        1.30,
+        0.10,
+        0.70,
+        DiDtParams::new(1.0, 18.0, 4.0, 0.50),
+        1.0,
+        None,
+    )
+}
+
+/// An ISA verification suite: maximal timing-path coverage with modest
+/// power (vendors use tailored suites that "provide wider coverage and
+/// execute in less time").
+#[must_use]
+pub fn isa_suite() -> Workload {
+    Workload::new(
+        "isa-suite",
+        WorkloadKind::Stressmark,
+        0.60,
+        0.15,
+        1.0,
+        DiDtParams::new(0.8, 14.0, 4.0, 0.50),
+        1.0,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::realistic_set;
+
+    #[test]
+    fn stressmarks_are_marked_as_such() {
+        for w in [voltage_virus(), power_virus(), isa_suite()] {
+            assert_eq!(w.kind(), WorkloadKind::Stressmark);
+        }
+    }
+
+    #[test]
+    fn virus_out_stresses_every_realistic_workload() {
+        let virus = voltage_virus();
+        let virus_unseen = virus.didt().worst_case_unseen_mv(0.99) * virus.sync_amplification();
+        for w in realistic_set() {
+            assert!(
+                w.didt().worst_case_unseen_mv(0.99) < virus_unseen,
+                "{} exceeds the voltage virus",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn isa_suite_has_full_path_coverage() {
+        let isa = isa_suite();
+        assert!((isa.path_stress() - 1.0).abs() < 1e-12);
+        for w in realistic_set() {
+            assert!(w.path_stress() <= isa.path_stress());
+        }
+    }
+
+    #[test]
+    fn power_virus_has_highest_activity() {
+        let pv = power_virus();
+        for w in realistic_set() {
+            assert!(w.activity() < pv.activity());
+        }
+    }
+
+    #[test]
+    fn only_virus_synchronizes() {
+        assert!(voltage_virus().sync_amplification() > 1.0);
+        assert!((power_virus().sync_amplification() - 1.0).abs() < 1e-12);
+    }
+}

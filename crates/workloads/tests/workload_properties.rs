@@ -1,0 +1,105 @@
+//! Property tests for the workload catalog.
+
+use atm_units::MegaHz;
+use atm_workloads::{catalog, isa_suite, power_virus, voltage_virus, Role};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn speedup_monotone_for_every_app(app_idx in 0usize..30, df in 1.0f64..1000.0) {
+        let cat = catalog();
+        let app = &cat[app_idx % cat.len()];
+        let base = MegaHz::new(4200.0);
+        let s1 = app.speedup(MegaHz::new(4200.0 + df), base);
+        let s2 = app.speedup(MegaHz::new(4200.0 + df + 50.0), base);
+        prop_assert!(s2 > s1);
+        prop_assert!(s1 >= 1.0);
+    }
+
+    #[test]
+    fn slowdown_below_baseline(app_idx in 0usize..30, df in 1.0f64..2000.0) {
+        let cat = catalog();
+        let app = &cat[app_idx % cat.len()];
+        let base = MegaHz::new(4200.0);
+        let s = app.speedup(MegaHz::new((4200.0 - df).max(100.0)), base);
+        prop_assert!(s <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn smt_gain_bounds(app_idx in 0usize..30, threads in 1usize..=4) {
+        let cat = catalog();
+        let app = &cat[app_idx % cat.len()];
+        let g = app.smt_throughput_gain(threads);
+        prop_assert!(g >= 1.0);
+        prop_assert!(g <= 1.5, "{}: SMT4 gain {g}", app.name());
+        // Per-thread throughput decreases with more threads.
+        if threads > 1 {
+            let prev = app.smt_throughput_gain(threads - 1) / (threads - 1) as f64;
+            prop_assert!(g / threads as f64 <= prev + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn catalog_attributes_all_in_range() {
+    for w in catalog() {
+        assert!((0.0..=1.5).contains(&w.activity()), "{}", w.name());
+        assert!((0.0..=1.0).contains(&w.mem_fraction()), "{}", w.name());
+        assert!((0.0..=1.0).contains(&w.path_stress()), "{}", w.name());
+        assert!(w.didt().sharpness() <= 1.0, "{}", w.name());
+        assert!(w.sync_amplification() >= 1.0, "{}", w.name());
+    }
+}
+
+#[test]
+fn critical_apps_are_frequency_sensitive() {
+    // The paper's critical (latency-sensitive) apps must benefit from the
+    // frequency the manager buys them: sensitivity well above mcf's.
+    for w in catalog() {
+        if let Some(class) = w.class() {
+            if class.role == Role::Critical {
+                assert!(
+                    w.frequency_sensitivity() >= 0.6,
+                    "{} too memory-bound to be a useful critical app",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stressmarks_dominate_catalog_stress() {
+    let virus = voltage_virus();
+    let virus_unseen = virus.didt().worst_case_unseen_mv(0.99) * virus.sync_amplification();
+    let isa = isa_suite();
+    let pv = power_virus();
+    for w in catalog() {
+        assert!(
+            w.didt().worst_case_unseen_mv(0.99) < virus_unseen,
+            "{} out-noises the voltage virus",
+            w.name()
+        );
+        assert!(w.path_stress() <= isa.path_stress());
+        assert!(w.activity() < pv.activity());
+    }
+}
+
+#[test]
+fn table2_pairs_respect_colocate_rule() {
+    // Every pair used in the Fig. 14 evaluation must be legal under the
+    // paper's no-two-memory-intensive rule.
+    use atm_workloads::by_name;
+    let pairs = [
+        ("squeezenet", "lu_cb"),
+        ("ferret", "raytrace"),
+        ("vgg19", "swaptions"),
+        ("fluidanimate", "x264"),
+        ("seq2seq", "streamcluster"),
+    ];
+    for (c, b) in pairs {
+        let cc = by_name(c).unwrap().class().unwrap();
+        let bc = by_name(b).unwrap().class().unwrap();
+        assert!(cc.may_colocate_with(bc), "{c}:{b} violates the rule");
+    }
+}

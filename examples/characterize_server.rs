@@ -1,0 +1,62 @@
+//! Full characterization of a server, following the paper's Fig. 6
+//! methodology: system idle → micro-benchmarks → realistic workloads.
+//! Prints the equivalent of Table I plus the per-phase detail.
+//!
+//! ```text
+//! cargo run --release --example characterize_server [seed]
+//! ```
+
+use power_atm::chip::{ChipConfig, System};
+use power_atm::core::charact::CharactConfig;
+use power_atm::core::LimitTable;
+use power_atm::workloads::realistic_set;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!("characterizing server minted from seed {seed}...\n");
+
+    let mut sys = System::new(ChipConfig::power7_plus(seed));
+    let apps = realistic_set();
+    let cfg = CharactConfig::quick();
+    let (table, idle, ubench, realistic) =
+        LimitTable::characterize_detailed(&mut sys, &apps, &cfg);
+
+    println!("== Idle characterization (Sec. IV) ==");
+    for r in &idle {
+        println!(
+            "  {}: limit {} (samples {:?}), {} at limit",
+            r.core,
+            r.idle_limit(),
+            r.distribution.samples(),
+            r.limit_frequency
+        );
+    }
+
+    println!("\n== uBench characterization (Sec. V) ==");
+    let fragile: Vec<_> = ubench.iter().filter(|r| r.rollback() > 0).collect();
+    println!("  {} of 16 cores needed rollback:", fragile.len());
+    for r in &fragile {
+        println!("  {}: rolled back {} step(s)", r.core, r.rollback());
+    }
+
+    println!("\n== Realistic workloads (Sec. VI) ==");
+    let mut stress: Vec<(String, f64)> = apps
+        .iter()
+        .map(|a| (a.name().to_owned(), realistic.app_stress(a.name())))
+        .collect();
+    stress.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("  application stress ranking (mean CPM rollback):");
+    for (app, s) in stress.iter().take(5) {
+        println!("    {app:<14} {s:.2}");
+    }
+    println!("    ...");
+    for (app, s) in stress.iter().rev().take(3).rev() {
+        println!("    {app:<14} {s:.2}");
+    }
+
+    println!("\n== Table I ==");
+    println!("{table}");
+}

@@ -1,0 +1,55 @@
+//! Managing a latency-critical inference service on a fine-tuned ATM
+//! server (the paper's Sec. VII scenario): deploy via the test-time
+//! stress-test, place SqueezeNet on the fastest core, and throttle the
+//! background co-runners just enough to guarantee a 10% speedup.
+//!
+//! ```text
+//! cargo run --release --example managed_inference
+//! ```
+
+use power_atm::chip::{ChipConfig, System};
+use power_atm::core::charact::CharactConfig;
+use power_atm::core::manager::Strategy;
+use power_atm::core::{AtmManager, Governor, QosTarget};
+use power_atm::workloads::by_name;
+
+fn main() {
+    println!("deploying fine-tuned ATM via the test-time stress-test...");
+    let sys = System::new(ChipConfig::power7_plus(42));
+    let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    println!(
+        "deployed; inter-core speed differential: {}\n",
+        mgr.deployed().speed_differential()
+    );
+
+    let squeezenet = by_name("squeezenet").expect("catalog");
+    let qos = QosTarget::improvement_pct(10.0);
+
+    for background in ["streamcluster", "x264", "lu_cb"] {
+        let bg = by_name(background).expect("catalog");
+        println!("co-runner: {background}");
+        for strategy in [
+            Strategy::StaticMargin,
+            Strategy::DefaultAtm,
+            Strategy::FineTunedUnmanaged,
+            Strategy::ManagedMax,
+            Strategy::ManagedBalanced(qos),
+        ] {
+            let o = mgr.evaluate_pair(squeezenet, bg, strategy);
+            let latency_ms = 80.0 / o.speedup; // paper's 80 ms baseline
+            println!(
+                "  {:<34} core {} at {}, {:>6.1}% speedup, {latency_ms:.1} ms, {} chip power{}",
+                o.strategy.to_string(),
+                o.critical_core,
+                o.critical_freq,
+                (o.speedup - 1.0) * 100.0,
+                o.chip_power,
+                match o.background_setting {
+                    Some(s) => format!(", bg {s}"),
+                    None => String::new(),
+                }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: mint a two-socket POWER7+-style server, switch a core into
+//! Active Timing Margin mode, fine-tune its CPM inserted delay, and watch
+//! the control loop convert the exposed margin into frequency.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use power_atm::chip::{ChipConfig, MarginMode, System};
+use power_atm::core::FineTuner;
+use power_atm::units::{CoreId, Nanos};
+use power_atm::workloads::by_name;
+
+fn main() {
+    // A deterministic server: same seed, same silicon.
+    let mut sys = System::new(ChipConfig::power7_plus(42));
+    let core = CoreId::new(0, 0);
+
+    // 1. Static margin baseline: the 4.2 GHz p-state.
+    let report = sys.run(Nanos::new(10_000.0));
+    println!("static margin      : {}", report.core(core).mean_freq);
+
+    // 2. Default ATM: the preset CPM configuration targets a uniform
+    //    ~4.6 GHz on every core.
+    sys.set_mode(core, MarginMode::Atm);
+    let report = sys.run(Nanos::new(10_000.0));
+    println!("default ATM        : {}", report.core(core).mean_freq);
+
+    // 3. Fine-tune: reduce the CPM inserted delay step by step. The loop
+    //    perceives more margin and raises frequency automatically.
+    let sweep = FineTuner::new(&mut sys).frequency_sweep(core, 6);
+    for (steps, freq) in &sweep {
+        println!("  {steps} step(s) removed -> {freq}");
+    }
+    let (best_steps, best) = sweep.last().expect("non-empty sweep");
+    sys.set_reduction(core, *best_steps).expect("swept value");
+    println!("fine-tuned ATM     : {best} ({best_steps} steps)");
+
+    // 4. Run a real workload on the fine-tuned core and measure.
+    sys.assign(core, by_name("gcc").expect("catalog").clone());
+    let report = sys.run(Nanos::new(50_000.0));
+    let measured = report.core(core).mean_freq;
+    println!(
+        "gcc on tuned core  : {measured} ({}), correct: {}",
+        power_atm::units::MegaHz::new(4200.0),
+        report.is_ok()
+    );
+    let gain = measured.gain_over(power_atm::units::MegaHz::new(4200.0));
+    println!("gain over static   : {:+.1}%", gain * 100.0);
+
+    // Full telemetry for the last run.
+    println!("\n{report}");
+}

@@ -1,0 +1,47 @@
+//! Per-tick trace of the ATM control loop riding out di/dt droops: an
+//! ASCII strip chart of a fine-tuned core's frequency while x264 runs.
+//!
+//! Each printed row is one 100 ns slice; the bar shows where the clock
+//! sits between the minimum and maximum of the capture. Dips are the
+//! loop's droop responses; the slow climbs afterwards are the up-slew.
+//!
+//! ```text
+//! cargo run --release --example trace_droops
+//! ```
+
+use power_atm::chip::{ChipConfig, MarginMode, System};
+use power_atm::units::{CoreId, Nanos};
+use power_atm::workloads::by_name;
+
+fn main() {
+    let mut sys = System::new(ChipConfig::power7_plus(42));
+    let core = CoreId::new(0, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    sys.set_reduction(core, 3).expect("within preset");
+    sys.assign(core, by_name("x264").expect("catalog").clone());
+
+    let (report, trace) = sys.run_traced(Nanos::new(10_000.0), core, 2);
+    let (lo, hi) = trace.freq_range();
+    println!(
+        "x264 on fine-tuned {core}: mean {}, range {lo}..{hi}, ok: {}\n",
+        report.core(core).mean_freq,
+        report.is_ok()
+    );
+
+    let span = (hi.get() - lo.get()).max(1.0);
+    for s in trace.samples() {
+        let fill = (((s.freq.get() - lo.get()) / span) * 50.0).round() as usize;
+        println!(
+            "{:>7.1} ns  {:>8}  |{}{}|",
+            s.t.get(),
+            format!("{:.0} MHz", s.freq.get()),
+            "#".repeat(fill),
+            " ".repeat(50 - fill.min(50))
+        );
+    }
+    println!(
+        "\ndip samples (>25 MHz below peak): {}/{}",
+        trace.dip_count(power_atm::units::MegaHz::new(25.0)),
+        trace.samples().len()
+    );
+}

@@ -1,0 +1,70 @@
+//! `power-atm` — fine-tuning the Active Timing Margin control loop.
+//!
+//! A reproduction of the HPCA 2019 paper *"Fine-Tuning the Active Timing
+//! Margin (ATM) Control Loop for Maximizing Multi-Core Efficiency on an
+//! IBM POWER Server"*: the per-core CPM fine-tuning technique, the
+//! idle → uBench → realistic characterization methodology, and the
+//! predictor-driven management scheme — all running against a calibrated
+//! simulation of the paper's two-socket POWER7+ platform.
+//!
+//! This facade re-exports every crate of the stack so applications can
+//! depend on one name:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`units`] | typed `Picos`/`MegaHz`/`Volts`/`Watts`/`CoreId` quantities |
+//! | [`silicon`] | process variation, path delay, inverter chains |
+//! | [`pdn`] | IR drop, di/dt droops, power and thermal models |
+//! | [`cpm`] | programmable Critical Path Monitors |
+//! | [`dpll`] | the per-core ATM control loop and clocking |
+//! | [`workloads`] | calibrated SPEC/PARSEC/ML/stressmark profiles |
+//! | [`chip`] | the two-socket simulator |
+//! | [`core`] | fine-tuning, characterization, prediction, management |
+//! | [`experiments`] | regeneration of every paper table and figure |
+//!
+//! # The whole pipeline in one example
+//!
+//! ```no_run
+//! use power_atm::chip::{ChipConfig, System};
+//! use power_atm::core::charact::CharactConfig;
+//! use power_atm::core::manager::Strategy;
+//! use power_atm::core::{AtmManager, Governor, QosTarget};
+//! use power_atm::workloads::by_name;
+//!
+//! // 1. A server with freshly minted silicon.
+//! let sys = System::new(ChipConfig::power7_plus(42));
+//!
+//! // 2. Vendor test-time deployment: stress-test every core's limit.
+//! let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::standard());
+//!
+//! // 3. Field management: critical app to the fastest core, background
+//! //    throttled until a 10% speedup over static margin is guaranteed.
+//! let outcome = mgr.evaluate_pair(
+//!     by_name("squeezenet").unwrap(),
+//!     by_name("x264").unwrap(),
+//!     Strategy::ManagedBalanced(QosTarget::improvement_pct(10.0)),
+//! );
+//! assert!(outcome.ok && outcome.speedup >= 1.10);
+//! ```
+//!
+//! A quicker taste:
+//!
+//! ```
+//! use power_atm::units::MegaHz;
+//!
+//! assert_eq!(MegaHz::new(4200.0).to_string(), "4200 MHz");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atm_units as units;
+
+pub use atm_chip as chip;
+pub use atm_core as core;
+pub use atm_cpm as cpm;
+pub use atm_dpll as dpll;
+pub use atm_experiments as experiments;
+pub use atm_pdn as pdn;
+pub use atm_silicon as silicon;
+pub use atm_workloads as workloads;

@@ -1,0 +1,95 @@
+//! Energy-efficiency tests: ATM's reclaimed margin can be spent as
+//! frequency (the paper's setting) or as power savings (undervolting),
+//! and the telemetry must account for both.
+
+use power_atm::chip::{ChipConfig, MarginMode, System};
+use power_atm::core::Schedule;
+use power_atm::units::{CoreId, Nanos, ProcId, Volts};
+use power_atm::workloads::by_name;
+
+#[test]
+fn per_core_energy_sums_are_consistent_with_socket_power() {
+    let mut sys = System::new(ChipConfig::default());
+    Schedule::new()
+        .run(CoreId::new(0, 0), by_name("daxpy").unwrap().clone(), MarginMode::Atm)
+        .run(CoreId::new(0, 1), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+        .apply(&mut sys);
+    let duration = Nanos::new(50_000.0);
+    let report = sys.run(duration);
+
+    // Core energies plus uncore must approximate socket mean power.
+    let core_energy_uj: f64 = ProcId::new(0)
+        .cores()
+        .map(|c| report.core(c).energy_uj)
+        .sum();
+    let core_mean_w = core_energy_uj / (duration.get() * 1e-3);
+    let socket_w = report.procs[0].mean_power.get();
+    let uncore_w = socket_w - core_mean_w;
+    assert!(
+        (30.0..45.0).contains(&uncore_w),
+        "implied uncore {uncore_w:.1} W (socket {socket_w:.1}, cores {core_mean_w:.1})"
+    );
+}
+
+#[test]
+fn busy_cores_draw_more_energy_than_idle_ones() {
+    let mut sys = System::new(ChipConfig::default());
+    Schedule::new()
+        .run(CoreId::new(0, 0), by_name("daxpy").unwrap().clone(), MarginMode::Atm)
+        .apply(&mut sys);
+    let report = sys.run(Nanos::new(20_000.0));
+    let busy = report.core(CoreId::new(0, 0)).energy_uj;
+    let idle = report.core(CoreId::new(0, 5)).energy_uj;
+    assert!(busy > 3.0 * idle, "busy {busy:.1} µJ vs idle {idle:.1} µJ");
+}
+
+#[test]
+fn undervolting_trades_frequency_for_energy() {
+    // Same work posture at 1.25 V vs an undervolted rail: lower energy,
+    // lower frequency — the conversion the off-chip controller implements.
+    let run_at = |setpoint: f64| {
+        let mut sys = System::new(ChipConfig::default());
+        Schedule::new()
+            .run(CoreId::new(0, 0), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+            .apply(&mut sys);
+        sys.set_rail_voltage(ProcId::new(0), Volts::new(setpoint));
+        let report = sys.run(Nanos::new(20_000.0));
+        (
+            report.core(CoreId::new(0, 0)).mean_freq,
+            report.procs[0].mean_power,
+            report.core(CoreId::new(0, 0)).energy_uj,
+        )
+    };
+    let (f_full, p_full, e_full) = run_at(1.25);
+    let (f_uv, p_uv, e_uv) = run_at(1.20);
+    assert!(f_uv < f_full);
+    assert!(p_uv < p_full);
+    // The busy *core's* energy per cycle improves (dynamic energy/cycle
+    // scales with V²); the socket's fixed uncore power is excluded.
+    let cycles = |f: power_atm::units::MegaHz| f.get() * 20_000.0; // MHz · ns
+    let epc_full = e_full / cycles(f_full);
+    let epc_uv = e_uv / cycles(f_uv);
+    assert!(
+        epc_uv < epc_full,
+        "undervolt did not improve core energy/cycle: {epc_uv:.6} vs {epc_full:.6}"
+    );
+}
+
+#[test]
+fn gated_cores_draw_an_order_of_magnitude_less() {
+    let mut sys = System::new(ChipConfig::default());
+    Schedule::new()
+        .idle_cores(MarginMode::Gated)
+        .run(CoreId::new(0, 0), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+        .apply(&mut sys);
+    let report = sys.run(Nanos::new(20_000.0));
+    let gated = report.core(CoreId::new(0, 4)).energy_uj;
+
+    let mut sys = System::new(ChipConfig::default());
+    Schedule::new()
+        .run(CoreId::new(0, 0), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+        .apply(&mut sys);
+    let report = sys.run(Nanos::new(20_000.0));
+    let idle = report.core(CoreId::new(0, 4)).energy_uj;
+    assert!(gated < idle / 5.0, "gated {gated:.2} µJ vs idle {idle:.2} µJ");
+}

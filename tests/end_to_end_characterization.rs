@@ -1,0 +1,123 @@
+//! End-to-end characterization pipeline on freshly minted silicon:
+//! the full idle → uBench → realistic chain of paper Secs. IV–VI.
+
+use power_atm::chip::{ChipConfig, System};
+use power_atm::core::charact::{
+    idle_characterization, realistic_characterization, ubench_characterization, CharactConfig,
+};
+use power_atm::core::LimitTable;
+use power_atm::units::CoreId;
+use power_atm::workloads::by_name;
+
+fn quick() -> CharactConfig {
+    CharactConfig::quick()
+}
+
+#[test]
+fn full_pipeline_produces_monotone_limit_table() {
+    // Use a non-default seed: the invariants must hold for any minted
+    // silicon, not just the calibration seed.
+    let mut sys = System::new(ChipConfig::power7_plus(7));
+    let apps = [
+        by_name("x264").unwrap(),
+        by_name("gcc").unwrap(),
+        by_name("ferret").unwrap(),
+        by_name("leela").unwrap(),
+        by_name("mcf").unwrap(),
+    ];
+    let (table, idle, ubench, realistic) =
+        LimitTable::characterize_detailed(&mut sys, &apps, &quick());
+    table.assert_invariants();
+
+    assert_eq!(idle.len(), 16);
+    assert_eq!(ubench.len(), 16);
+    assert_eq!(realistic.profiles.len(), apps.len() * 16);
+
+    // The system is left deployed at thread-worst.
+    for core in CoreId::all() {
+        assert_eq!(
+            sys.core(core).reduction(),
+            table.thread_worst[core.flat_index()]
+        );
+    }
+}
+
+#[test]
+fn idle_limits_tight_across_seeds() {
+    for seed in [3u64, 11] {
+        let mut sys = System::new(ChipConfig::power7_plus(seed));
+        let results = idle_characterization(&mut sys, &quick());
+        for r in &results {
+            assert!(
+                r.distribution.spread() <= 2,
+                "seed {seed} {}: spread {}",
+                r.core,
+                r.distribution.spread()
+            );
+        }
+    }
+}
+
+#[test]
+fn ubench_fragile_cores_are_a_minority() {
+    let mut sys = System::new(ChipConfig::power7_plus(5));
+    let cfg = quick();
+    let idle = idle_characterization(&mut sys, &cfg);
+    let mut idle_limits = [0usize; 16];
+    for r in &idle {
+        idle_limits[r.core.flat_index()] = r.idle_limit();
+    }
+    let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+    let fragile = ub.iter().filter(|r| r.rollback() > 0).count();
+    assert!(fragile <= 10, "{fragile}/16 cores fragile under uBench");
+}
+
+#[test]
+fn thread_worst_sustains_every_profiled_app() {
+    // The defining property of thread-worst: every profiled application
+    // runs correctly at it.
+    let mut sys = System::new(ChipConfig::power7_plus(42));
+    let cfg = quick();
+    let apps = [by_name("x264").unwrap(), by_name("gcc").unwrap()];
+    let idle = idle_characterization(&mut sys, &cfg);
+    let mut idle_limits = [0usize; 16];
+    for r in &idle {
+        idle_limits[r.core.flat_index()] = r.idle_limit();
+    }
+    let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+    let mut ubench_limits = [0usize; 16];
+    for r in &ub {
+        ubench_limits[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
+    }
+    let realistic = realistic_characterization(&mut sys, &ubench_limits, &apps, &cfg);
+
+    // Re-validate on a couple of cores with fresh trials.
+    for core in [CoreId::new(0, 0), CoreId::new(1, 3)] {
+        sys.set_mode(core, power_atm::chip::MarginMode::Atm);
+        sys.set_reduction(core, realistic.thread_worst[core.flat_index()])
+            .unwrap();
+        for app in &apps {
+            sys.assign(core, (*app).clone());
+            let report = sys.run(power_atm::units::Nanos::new(20_000.0));
+            assert!(
+                report.is_ok(),
+                "{core} failed {} at thread-worst",
+                app.name()
+            );
+        }
+        sys.set_mode(core, power_atm::chip::MarginMode::Static);
+    }
+}
+
+#[test]
+fn characterization_is_deterministic() {
+    let run = || {
+        let mut sys = System::new(ChipConfig::power7_plus(13));
+        let results = idle_characterization(&mut sys, &quick());
+        results
+            .iter()
+            .map(|r| (r.idle_limit(), r.limit_frequency.get()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

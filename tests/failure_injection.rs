@@ -1,0 +1,137 @@
+//! Failure-model tests: aggressive configurations must fail, validated
+//! ones must not, and failures must look like the paper's (crashes,
+//! abnormal exits, silent data corruption).
+
+use power_atm::chip::{ChipConfig, FailureKind, MarginMode, System};
+use power_atm::units::{CoreId, MegaHz, Nanos};
+use power_atm::workloads::{by_name, voltage_virus};
+
+#[test]
+fn removing_entire_preset_always_fails() {
+    let mut sys = System::new(ChipConfig::default());
+    for core in [CoreId::new(0, 0), CoreId::new(1, 7)] {
+        sys.set_mode(core, MarginMode::Atm);
+        let max = sys.core(core).cpms().max_reduction();
+        sys.set_reduction(core, max).unwrap();
+        let report = sys.run(Nanos::new(100_000.0));
+        assert!(
+            report.failure.is_some(),
+            "{core}: whole-preset removal survived"
+        );
+        assert_eq!(report.failure.unwrap().core, core);
+        sys.set_reduction(core, 0).unwrap();
+        sys.set_mode(core, MarginMode::Static);
+    }
+}
+
+#[test]
+fn failure_aborts_the_run_early() {
+    let mut sys = System::new(ChipConfig::default());
+    let core = CoreId::new(0, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    let max = sys.core(core).cpms().max_reduction();
+    sys.set_reduction(core, max).unwrap();
+    let report = sys.run(Nanos::new(1_000_000.0));
+    assert!(report.failure.is_some());
+    assert!(
+        report.duration.get() < 1_000_000.0,
+        "run continued past the failure"
+    );
+}
+
+#[test]
+fn failure_kinds_cover_all_three_manifestations() {
+    // Over many failing trials the model must produce crashes, abnormal
+    // exits and SDC (paper Sec. III-B).
+    let mut sys = System::new(ChipConfig::default());
+    let core = CoreId::new(0, 2);
+    sys.set_mode(core, MarginMode::Atm);
+    let max = sys.core(core).cpms().max_reduction();
+    sys.set_reduction(core, max).unwrap();
+    sys.assign(core, voltage_virus());
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..60 {
+        let report = sys.run(Nanos::new(20_000.0));
+        if let Some(f) = report.failure {
+            seen.insert(f.kind);
+        }
+        if seen.len() == 3 {
+            break;
+        }
+    }
+    for kind in [
+        FailureKind::SystemCrash,
+        FailureKind::AbnormalExit,
+        FailureKind::SilentDataCorruption,
+    ] {
+        assert!(seen.contains(&kind), "never saw {kind}");
+    }
+}
+
+#[test]
+fn static_margin_never_fails_even_with_aggressive_reductions_programmed() {
+    let mut sys = System::new(ChipConfig::default());
+    for core in CoreId::all() {
+        let max = sys.core(core).cpms().max_reduction();
+        sys.set_reduction(core, max).unwrap();
+    }
+    sys.assign_all(&voltage_virus());
+    // Static mode ignores the CPM configuration entirely.
+    let report = sys.run(Nanos::new(100_000.0));
+    assert!(report.is_ok());
+    for c in &report.cores {
+        assert_eq!(c.mean_freq, MegaHz::new(4200.0));
+    }
+}
+
+#[test]
+fn disabling_failure_checking_suppresses_failures() {
+    let cfg = ChipConfig {
+        failure_checking: false,
+        ..ChipConfig::default()
+    };
+    let mut sys = System::new(cfg);
+    let core = CoreId::new(0, 0);
+    sys.set_mode(core, MarginMode::Atm);
+    let max = sys.core(core).cpms().max_reduction();
+    sys.set_reduction(core, max).unwrap();
+    let report = sys.run(Nanos::new(50_000.0));
+    assert!(report.is_ok());
+}
+
+#[test]
+fn noisier_workloads_fail_at_less_aggressive_settings() {
+    // At a fixed reduction between the x264 limit and the idle limit,
+    // x264 should fail while idle survives — the essence of Fig. 9/10.
+    let mut sys = System::new(ChipConfig::default());
+    let core = CoreId::new(0, 1);
+    sys.set_mode(core, MarginMode::Atm);
+
+    // Find the idle limit quickly.
+    let idle = power_atm::workloads::Workload::idle();
+    let dist = power_atm::core::charact::find_limit(
+        &mut sys,
+        core,
+        &[&idle],
+        0,
+        &power_atm::core::CharactConfig::quick(),
+    );
+    let limit = dist.limit();
+    assert!(limit >= 2, "core unexpectedly weak");
+
+    sys.set_mode(core, MarginMode::Atm);
+    sys.set_reduction(core, limit).unwrap();
+    sys.assign(core, by_name("x264").unwrap().clone());
+    let mut x264_failed = false;
+    for _ in 0..8 {
+        if sys.run(Nanos::new(50_000.0)).failure.is_some() {
+            x264_failed = true;
+            break;
+        }
+    }
+    assert!(
+        x264_failed,
+        "x264 survived the idle limit on {core}; no rollback would be needed"
+    );
+}

@@ -1,0 +1,112 @@
+//! Cross-crate tests of the Fig. 13/14 management scheme.
+
+use power_atm::chip::{ChipConfig, System};
+use power_atm::core::charact::CharactConfig;
+use power_atm::core::manager::Strategy;
+use power_atm::core::{AtmManager, Governor, QosTarget, Scheduler};
+use power_atm::units::ProcId;
+use power_atm::workloads::by_name;
+
+fn manager(governor: Governor) -> AtmManager {
+    let sys = System::new(ChipConfig::default());
+    AtmManager::deploy(sys, governor, &CharactConfig::quick())
+}
+
+#[test]
+fn strategies_order_for_multiple_pairs() {
+    let mut mgr = manager(Governor::Default);
+    for (critical, background) in [("squeezenet", "x264"), ("seq2seq", "streamcluster")] {
+        let c = by_name(critical).unwrap();
+        let b = by_name(background).unwrap();
+        let stat = mgr.evaluate_pair(c, b, Strategy::StaticMargin);
+        let def = mgr.evaluate_pair(c, b, Strategy::DefaultAtm);
+        let unm = mgr.evaluate_pair(c, b, Strategy::FineTunedUnmanaged);
+        let max = mgr.evaluate_pair(c, b, Strategy::ManagedMax);
+        assert!((stat.speedup - 1.0).abs() < 1e-9, "{critical}: static {:.3}", stat.speedup);
+        assert!(def.speedup > 1.0, "{critical}: default {:.3}", def.speedup);
+        assert!(unm.speedup > def.speedup, "{critical}");
+        assert!(max.speedup > unm.speedup, "{critical}");
+        for o in [&stat, &def, &unm, &max] {
+            assert!(o.ok, "{critical} under {} failed", o.strategy);
+        }
+    }
+}
+
+#[test]
+fn balanced_throttles_hungry_backgrounds_but_not_streamcluster() {
+    let mut mgr = manager(Governor::Default);
+    let qos = QosTarget::improvement_pct(10.0);
+    let seq2seq = by_name("seq2seq").unwrap();
+
+    // streamcluster draws so little power the budget allows full ATM.
+    let sc = by_name("streamcluster").unwrap();
+    let easy = mgr.evaluate_pair(seq2seq, sc, Strategy::ManagedBalanced(qos));
+    assert!(qos.met_by(easy.speedup), "streamcluster pair {:.3}", easy.speedup);
+
+    // lu_cb is power-hungry: some throttling is expected relative to
+    // streamcluster's setting, and QoS must still be met.
+    let lu = by_name("lu_cb").unwrap();
+    let hard = mgr.evaluate_pair(seq2seq, lu, Strategy::ManagedBalanced(qos));
+    assert!(qos.met_by(hard.speedup), "lu_cb pair {:.3}", hard.speedup);
+    assert!(
+        hard.chip_power.get() < 170.0,
+        "power not controlled: {}",
+        hard.chip_power
+    );
+}
+
+#[test]
+fn conservative_governor_places_critical_on_robust_core() {
+    let mut mgr = manager(Governor::Conservative);
+    let c = by_name("babi").unwrap();
+    let b = by_name("blackscholes").unwrap();
+    let outcome = mgr.evaluate_pair(c, b, Strategy::ManagedMax);
+    assert!(outcome.ok);
+
+    // The chosen core must be in the robust half of socket 0.
+    let robust = Scheduler::new(mgr.system_mut()).rank_cores(ProcId::new(0), true);
+    assert!(
+        robust.iter().any(|(core, _)| *core == outcome.critical_core),
+        "critical on non-robust core {}",
+        outcome.critical_core
+    );
+}
+
+#[test]
+fn conservative_deploys_less_aggressively_than_default() {
+    let default = manager(Governor::Default);
+    let conservative = manager(Governor::Conservative);
+    let d_map = default
+        .governor()
+        .reduction_map(default.deployed(), None, None);
+    let c_map = conservative
+        .governor()
+        .reduction_map(conservative.deployed(), None, None);
+    for i in 0..16 {
+        assert!(c_map[i] <= d_map[i], "core {i}: {} > {}", c_map[i], d_map[i]);
+    }
+}
+
+#[test]
+fn managed_runs_never_fail_at_deployed_limits() {
+    // The whole point of the stress-test deployment: anything the manager
+    // schedules afterwards executes correctly.
+    let mut mgr = manager(Governor::Default);
+    let qos = QosTarget::improvement_pct(10.0);
+    for (c, b) in [
+        ("squeezenet", "x264"),
+        ("vgg19", "swaptions"),
+        ("bodytrack", "x264"),
+    ] {
+        let critical = by_name(c).unwrap();
+        let background = by_name(b).unwrap();
+        for strategy in [
+            Strategy::FineTunedUnmanaged,
+            Strategy::ManagedMax,
+            Strategy::ManagedBalanced(qos),
+        ] {
+            let o = mgr.evaluate_pair(critical, background, strategy);
+            assert!(o.ok, "{c}:{b} failed under {}", o.strategy);
+        }
+    }
+}

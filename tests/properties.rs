@@ -1,0 +1,135 @@
+//! Cross-crate property-based tests on the stack's physical invariants.
+
+use power_atm::chip::{ChipConfig, MarginMode, System};
+use power_atm::cpm::CoreCpmSet;
+use power_atm::pdn::PdnModel;
+use power_atm::silicon::{SiliconFactory, SiliconParams};
+use power_atm::units::{Celsius, CoreId, MegaHz, Picos, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ATM equilibrium frequency is monotone non-decreasing in the CPM
+    /// delay reduction, for any seed, core and plausible voltage.
+    #[test]
+    fn equilibrium_monotone_in_reduction(
+        seed in 0u64..500,
+        core_idx in 0usize..16,
+        v_mv in 1150u32..1250,
+    ) {
+        let factory = SiliconFactory::new(SiliconParams::power7_plus(), seed);
+        let silicon = factory.core(CoreId::from_flat_index(core_idx));
+        let v = Volts::new(f64::from(v_mv) / 1000.0);
+        let t = Celsius::new(50.0);
+        let thr = Picos::new(10.0);
+        let mut cpms = CoreCpmSet::calibrate(&silicon, v, t, MegaHz::new(4600.0), thr);
+        let mut prev = Picos::new(f64::MAX / 2.0);
+        for r in 0..=cpms.max_reduction() {
+            cpms.set_reduction(r).unwrap();
+            let period = cpms.equilibrium_period(&silicon, v, t, thr);
+            prop_assert!(period <= prev, "period grew at reduction {r}");
+            prev = period;
+        }
+    }
+
+    /// Delivered core voltage is monotone decreasing in chip power and in
+    /// the core's own power.
+    #[test]
+    fn delivered_voltage_monotone(
+        p_chip in 20.0f64..250.0,
+        p_core in 0.0f64..25.0,
+        dp in 1.0f64..50.0,
+    ) {
+        let pdn = PdnModel::power7_plus();
+        let base = pdn.core_voltage(Watts::new(p_chip), Watts::new(p_core));
+        let more_chip = pdn.core_voltage(Watts::new(p_chip + dp), Watts::new(p_core));
+        let more_core = pdn.core_voltage(Watts::new(p_chip), Watts::new(p_core + dp.min(20.0)));
+        prop_assert!(more_chip < base);
+        prop_assert!(more_core < base);
+    }
+
+    /// Path delay is monotone decreasing in voltage for every minted core.
+    #[test]
+    fn path_delay_monotone_in_voltage(
+        seed in 0u64..200,
+        core_idx in 0usize..16,
+    ) {
+        let factory = SiliconFactory::new(SiliconParams::power7_plus(), seed);
+        let silicon = factory.core(CoreId::from_flat_index(core_idx));
+        let t = Celsius::new(55.0);
+        let mut prev = silicon.real_path_delay(Volts::new(1.00), t);
+        for step in 1..=25 {
+            let v = Volts::new(1.00 + f64::from(step) * 0.01);
+            let d = silicon.real_path_delay(v, t);
+            prop_assert!(d < prev);
+            prev = d;
+        }
+    }
+
+    /// Inverter chains are strictly increasing in cumulative delay for any
+    /// seed.
+    #[test]
+    fn chain_cumulative_strictly_increasing(seed in 0u64..500) {
+        let chain = power_atm::silicon::InverterChain::manufacture(seed, 4.0, 0.7);
+        for i in 0..chain.len() {
+            prop_assert!(chain.cumulative(i + 1) > chain.cumulative(i));
+        }
+    }
+
+    /// Workload speedup is 1 at the baseline, monotone in frequency, and
+    /// never exceeds the pure-frequency ratio.
+    #[test]
+    fn speedup_bounded_by_frequency_ratio(
+        app_idx in 0usize..20,
+        f_mhz in 4200.0f64..5400.0,
+    ) {
+        let catalog = power_atm::workloads::catalog();
+        let app = &catalog[app_idx % catalog.len()];
+        let base = MegaHz::new(4200.0);
+        let f = MegaHz::new(f_mhz);
+        let s = app.speedup(f, base);
+        prop_assert!(s >= 1.0 - 1e-12);
+        prop_assert!(s <= f_mhz / 4200.0 + 1e-12);
+    }
+}
+
+proptest! {
+    // System-level properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any seed, the default (preset) ATM configuration never fails
+    /// while idle: manufacturers ship working chips.
+    #[test]
+    fn default_atm_idle_is_always_safe(seed in 0u64..1000) {
+        let mut sys = System::new(ChipConfig::power7_plus(seed));
+        sys.set_mode_all(MarginMode::Atm);
+        let report = sys.run(power_atm::units::Nanos::new(20_000.0));
+        prop_assert!(report.is_ok(), "seed {seed} failed at preset config");
+        for c in &report.cores {
+            prop_assert!(
+                c.mean_freq.get() > 4350.0 && c.mean_freq.get() < 5000.0,
+                "seed {seed} {}: default ATM at {}", c.core, c.mean_freq
+            );
+        }
+    }
+
+    /// Gating background cores never lowers (and normally raises) an ATM
+    /// core's frequency: the shared-rail coupling has one sign.
+    #[test]
+    fn gating_siblings_never_hurts(seed in 0u64..1000) {
+        let mut sys = System::new(ChipConfig::power7_plus(seed));
+        let daxpy = power_atm::workloads::by_name("daxpy").unwrap().clone();
+        sys.set_mode_all(MarginMode::Atm);
+        sys.assign_all(&daxpy);
+        let busy = sys.settle();
+        for c in 1..8 {
+            sys.set_mode(CoreId::new(0, c), MarginMode::Gated);
+        }
+        let gated = sys.settle();
+        let target = CoreId::new(0, 0);
+        prop_assert!(
+            gated.core(target).mean_freq.get() >= busy.core(target).mean_freq.get() - 1.0
+        );
+    }
+}
