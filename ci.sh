@@ -1,0 +1,7 @@
+#!/bin/sh
+# The repo's CI gate: release build, tests, and warning-free clippy.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings

@@ -1,0 +1,111 @@
+//! Parallel characterization engine bench: full-chip characterization at
+//! 1/2/4/8 workers plus the memoized rerun, with the measured speedups
+//! emitted into the bench JSON trajectory.
+//!
+//! Worker-count speedup is a property of the host: on a single-CPU
+//! machine the threads serialize and the speedup is honestly ≈1×. The
+//! memoized-rerun speedup is machine-independent — a rerun replays the
+//! sweep cache and simulates nothing.
+
+use atm_bench::{criterion, print_exhibit, record_metric, BENCH_SEED};
+use atm_chip::ChipConfig;
+use atm_core::charact::CharactConfig;
+use atm_core::CharactEngine;
+use atm_workloads::Workload;
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn apps() -> Vec<&'static Workload> {
+    vec![atm_workloads::by_name("x264").expect("known app")]
+}
+
+fn fresh_engine() -> CharactEngine {
+    CharactEngine::new(ChipConfig::power7_plus(BENCH_SEED), CharactConfig::quick())
+}
+
+/// Best-of-3 wall-clock of a cold (fresh-cache) full-chip run.
+fn cold_wall_ns(workers: usize) -> u128 {
+    let apps = apps();
+    (0..3)
+        .map(|_| {
+            let engine = fresh_engine();
+            let start = Instant::now();
+            black_box(engine.run_parallel(&apps, workers));
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("three samples")
+}
+
+fn bench(c: &mut Criterion) {
+    let apps = apps();
+
+    // Criterion timings: cold characterization per worker count.
+    let mut group = c.benchmark_group("parallel_charact");
+    for workers in WORKER_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("cold", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| black_box(fresh_engine().run_parallel(&apps, workers)));
+            },
+        );
+    }
+    // Warm rerun: every trial and settle point answered from the cache.
+    let warm = fresh_engine();
+    let first = warm.run_parallel(&apps, 8);
+    group.bench_function("memoized_rerun", |b| {
+        b.iter(|| black_box(warm.run_parallel(&apps, 8)));
+    });
+    group.finish();
+
+    // Speedup metrics into the trajectory, measured directly so the
+    // derived numbers land next to the raw timings.
+    let t: Vec<u128> = WORKER_COUNTS.iter().map(|&k| cold_wall_ns(k)).collect();
+    for (i, &k) in WORKER_COUNTS.iter().enumerate().skip(1) {
+        record_metric(
+            &format!("parallel_charact/speedup_{k}w"),
+            t[0] as f64 / t[i] as f64,
+        );
+    }
+    let warm_start = Instant::now();
+    let rerun = warm.run_parallel(&apps, 8);
+    let warm_ns = warm_start.elapsed().as_nanos().max(1);
+    record_metric(
+        "parallel_charact/memoized_rerun_speedup",
+        t[3] as f64 / warm_ns as f64,
+    );
+
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut rows = String::new();
+    rows.push_str(&format!("host parallelism: {cpus} CPU(s)\n"));
+    for (i, &k) in WORKER_COUNTS.iter().enumerate() {
+        rows.push_str(&format!(
+            "{k} worker(s): {:8.2} ms cold  (speedup {:.2}x)\n",
+            t[i] as f64 / 1e6,
+            t[0] as f64 / t[i] as f64,
+        ));
+    }
+    rows.push_str(&format!(
+        "memoized rerun: {:8.3} ms ({:.0}x vs cold 8w), {} points simulated, {} cache hits\n",
+        warm_ns as f64 / 1e6,
+        t[3] as f64 / warm_ns as f64,
+        rerun.stats.points_simulated,
+        rerun.stats.cache_hits,
+    ));
+    rows.push_str(&format!(
+        "cold run work: {} points simulated, hit rate {:.1}%\n",
+        first.stats.points_simulated,
+        first.stats.hit_rate() * 100.0,
+    ));
+    print_exhibit("Parallel characterization engine", &rows);
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

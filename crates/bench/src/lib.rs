@@ -35,3 +35,37 @@ pub fn print_exhibit(name: &str, rendered: &str) {
     eprintln!("\n================ {name} ================");
     eprintln!("{rendered}");
 }
+
+/// Appends a named scalar metric to the bench JSON trajectory
+/// (`target/bench-trajectory.json`, one JSON object per line — the same
+/// file Criterion's estimates land in), so derived quantities like
+/// speedups ride alongside the raw timings.
+pub fn record_metric(name: &str, value: f64) {
+    use std::io::Write as _;
+    let path = trajectory_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(f, "{{\"metric\":\"{name}\",\"value\":{value:.4}}}");
+    }
+    eprintln!("metric {name} = {value:.4}");
+}
+
+/// The trajectory file Criterion's estimates land in. `CARGO_TARGET_DIR`
+/// if set, else the enclosing `target/` of the running bench executable
+/// (cargo runs benches with cwd = the *package* root, so a relative
+/// `target` would miss the shared workspace directory).
+fn trajectory_path() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::Path::new(&dir).join("bench-trajectory.json");
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name() == Some(std::ffi::OsStr::new("target")) {
+                return dir.join("bench-trajectory.json");
+            }
+        }
+    }
+    std::path::Path::new("target").join("bench-trajectory.json")
+}

@@ -22,6 +22,10 @@ const V_FLOOR: Volts = Volts::new_const(0.80);
 /// toggle).
 const STARVED_ACTIVITY: f64 = 0.08;
 
+/// The delivered voltage a freshly built (or baseline-reset) core assumes
+/// before its first tick.
+const V_INIT: Volts = Volts::new_const(1.25);
+
 /// One core of the simulated system.
 ///
 /// A core owns its manufactured silicon, its five-CPM set (with the
@@ -83,7 +87,7 @@ impl Core {
             issue_throttle: None,
             droop,
             rng: StdRng::seed_from_u64(rng_seed),
-            last_voltage: Volts::new(1.25),
+            last_voltage: V_INIT,
             busy_time: Nanos::ZERO,
             freq_integral_mhz_ns: 0.0,
             energy_w_ns: 0.0,
@@ -288,6 +292,26 @@ impl Core {
                     .equilibrium_period(&self.silicon, v, t, self.atm.config().threshold_time());
             self.atm.relock(period.frequency());
         }
+    }
+
+    /// Restarts both of the core's random streams (droop events and
+    /// failure sampling) from the given seeds, as if the core had just
+    /// been constructed with them. Deterministic replay primitive for the
+    /// characterization engine: a trial preceded by a stream reseed is
+    /// independent of whatever ran on the core before.
+    pub fn reseed_streams(&mut self, droop_seed: u64, rng_seed: u64) {
+        self.droop.reseed(droop_seed);
+        self.rng = StdRng::seed_from_u64(rng_seed);
+    }
+
+    /// Resets the core's *dynamic* state — delivered voltage and telemetry
+    /// accumulators — to the just-constructed baseline. Programmed
+    /// configuration (margin mode, workload, SMT, CPM reduction, static
+    /// frequency, throttle) is left untouched; random streams are reseeded
+    /// separately via [`Core::reseed_streams`].
+    pub fn reset_baseline(&mut self) {
+        self.last_voltage = V_INIT;
+        self.reset_stats();
     }
 
     /// Clears telemetry accumulators.

@@ -42,6 +42,7 @@ mod mode;
 mod processor;
 mod pstate;
 mod report;
+mod shard;
 mod system;
 mod trace;
 
@@ -51,6 +52,7 @@ pub use failure::{FailureEvent, FailureKind};
 pub use mode::MarginMode;
 pub use processor::Processor;
 pub use pstate::{PState, PStateTable};
-pub use report::{CoreReport, ProcReport, SystemReport};
+pub use report::{CharactStats, CoreReport, ProcReport, SystemReport};
+pub use shard::SystemShard;
 pub use system::System;
 pub use trace::{Trace, TraceSample};

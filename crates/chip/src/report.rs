@@ -40,6 +40,72 @@ pub struct ProcReport {
     pub max_temp: Celsius,
 }
 
+/// Execution statistics of a characterization-engine run: how many trial
+/// points were actually simulated, how the sweep memoization cache fared,
+/// and where the wall-clock went.
+///
+/// Produced by the characterization engine (crate `atm-core`); lives here
+/// beside the other telemetry types so every layer reports through one
+/// vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CharactStats {
+    /// Worker threads the engine ran with.
+    pub workers: usize,
+    /// Simulation points actually executed (cache misses).
+    pub points_simulated: u64,
+    /// Sweep-cache lookups answered without simulating.
+    pub cache_hits: u64,
+    /// Sweep-cache lookups that had to simulate.
+    pub cache_misses: u64,
+    /// Summed worker wall-clock spent in the idle phase, nanoseconds.
+    pub idle_wall_ns: u64,
+    /// Summed worker wall-clock spent in the uBench phase, nanoseconds.
+    pub ubench_wall_ns: u64,
+    /// Summed worker wall-clock spent in the realistic phase, nanoseconds.
+    pub realistic_wall_ns: u64,
+}
+
+impl CharactStats {
+    /// Fraction of cache lookups answered from the cache (0 when no
+    /// lookups were made).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total summed worker wall-clock across all phases, nanoseconds.
+    #[must_use]
+    pub fn total_wall_ns(&self) -> u64 {
+        self.idle_wall_ns + self.ubench_wall_ns + self.realistic_wall_ns
+    }
+}
+
+impl std::fmt::Display for CharactStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} workers, {} points simulated, cache {}/{} hit ({:.0}%)",
+            self.workers,
+            self.points_simulated,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.hit_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "wall (summed over workers): idle {:.1} ms, ubench {:.1} ms, realistic {:.1} ms",
+            self.idle_wall_ns as f64 / 1e6,
+            self.ubench_wall_ns as f64 / 1e6,
+            self.realistic_wall_ns as f64 / 1e6
+        )
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemReport {

@@ -1,0 +1,204 @@
+//! Single-focus system shards for parallel characterization.
+//!
+//! The paper characterizes one core at a time on otherwise-quiesced
+//! hardware: the focus core runs in ATM mode while every other core sits
+//! idle at static margin. In the simulator this posture makes per-core
+//! characterization *exactly* independent — non-ATM cores never advance
+//! their random streams ([`Core::tick`](crate::Core) returns early for
+//! them), and an idle static core's programmed reduction has no effect on
+//! any other core's physics. A worker can therefore characterize its core
+//! on a private replica of the system and obtain bit-identical results to
+//! a serial walk, provided each trial starts from the same baseline state
+//! and random-stream seeds.
+//!
+//! [`SystemShard`] packages that recipe: a fully-owned [`System`] replica
+//! plus the focus core's identity, with [`SystemShard::run_focus_trial`]
+//! and [`SystemShard::settle_focus`] implementing the reset → quiesce →
+//! reseed → simulate sequence that makes every trial a pure function of
+//! its arguments.
+
+use atm_units::{CoreId, MegaHz, Nanos};
+use atm_workloads::Workload;
+
+use crate::mode::MarginMode;
+use crate::system::System;
+
+/// A fully-owned replica of a [`System`] dedicated to characterizing one
+/// focus core. Created by [`System::shard`].
+#[derive(Debug, Clone)]
+pub struct SystemShard {
+    system: System,
+    focus: CoreId,
+}
+
+impl SystemShard {
+    /// Wraps an owned system with a focus core.
+    #[must_use]
+    pub(crate) fn new(system: System, focus: CoreId) -> Self {
+        SystemShard { system, focus }
+    }
+
+    /// The core this shard characterizes.
+    #[must_use]
+    pub fn focus(&self) -> CoreId {
+        self.focus
+    }
+
+    /// The underlying system.
+    #[must_use]
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access to the underlying system (for callers composing
+    /// postures the canned trial helpers don't cover).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Unwraps the shard back into its system.
+    #[must_use]
+    pub fn into_system(self) -> System {
+        self.system
+    }
+
+    /// Resets dynamic state and establishes the characterization posture:
+    /// every core idle at static margin, the focus core in ATM mode.
+    fn quiesce(&mut self) {
+        self.system.reset_baseline();
+        self.system.idle_all();
+        self.system.set_mode_all(MarginMode::Static);
+        self.system.set_mode(self.focus, MarginMode::Atm);
+    }
+
+    /// Runs one characterization trial: `workload` on the focus core at
+    /// the given CPM delay `reduction`, with the rest of the system idle
+    /// at static margin, for `trial` simulated time. Returns whether the
+    /// run completed without a timing failure; returns `false` without
+    /// simulating if `reduction` exceeds the focus core's preset.
+    ///
+    /// The trial is a *pure function* of its arguments: the system's
+    /// dynamic state is baseline-reset and the focus core's random streams
+    /// are restarted from `droop_seed`/`rng_seed` before simulating, so
+    /// the same call always yields the same result — the property the
+    /// engine's sweep memoization and worker-count independence rest on.
+    pub fn run_focus_trial(
+        &mut self,
+        workload: &Workload,
+        reduction: usize,
+        trial: Nanos,
+        droop_seed: u64,
+        rng_seed: u64,
+    ) -> bool {
+        self.quiesce();
+        if self.system.set_reduction(self.focus, reduction).is_err() {
+            return false;
+        }
+        // Assign first (it swaps droop parameters), then pin the streams.
+        self.system.assign(self.focus, workload.clone());
+        self.system.reseed_core(self.focus, droop_seed, rng_seed);
+        self.system.run(trial).is_ok()
+    }
+
+    /// The focus core's ATM equilibrium frequency at `reduction` with the
+    /// system otherwise idle at static margin — the droop-free settle
+    /// measurement behind Fig. 5 sweeps and Fig. 7's limit frequencies.
+    /// Pure function of `reduction` (settling consumes no randomness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduction` exceeds the focus core's preset.
+    pub fn settle_focus(&mut self, reduction: usize) -> MegaHz {
+        self.quiesce();
+        self.system
+            .set_reduction(self.focus, reduction)
+            .expect("settle_focus reduction within the focus core's preset");
+        self.system.settle().core(self.focus).mean_freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipConfig;
+    use atm_workloads::by_name;
+
+    fn shard(core: CoreId) -> SystemShard {
+        System::new(ChipConfig::default()).shard(core)
+    }
+
+    #[test]
+    fn shard_ignores_parent_dynamic_state() {
+        let core = CoreId::new(0, 3);
+        let mut parent = System::new(ChipConfig::default());
+        let fresh = parent.shard(core);
+        // Dirty the parent thoroughly.
+        parent.set_mode_all(MarginMode::Atm);
+        parent.assign_all(&by_name("daxpy").unwrap().clone());
+        let _ = parent.run(Nanos::new(20_000.0));
+        let dirty = parent.shard(core);
+        assert_eq!(
+            fresh.system().core(core).frequency(),
+            dirty.system().core(core).frequency()
+        );
+        assert_eq!(fresh.focus(), dirty.focus());
+    }
+
+    #[test]
+    fn focus_trial_is_replayable() {
+        let core = CoreId::new(1, 2);
+        let mut s = shard(core);
+        let w = by_name("x264").unwrap().clone();
+        let first: Vec<bool> = (0..6)
+            .map(|r| s.run_focus_trial(&w, r, Nanos::new(20_000.0), 11, 22))
+            .collect();
+        // Interleave unrelated work, then replay: bit-identical outcomes.
+        let _ = s.run_focus_trial(&w, 9, Nanos::new(20_000.0), 5, 6);
+        let replay: Vec<bool> = (0..6)
+            .map(|r| s.run_focus_trial(&w, r, Nanos::new(20_000.0), 11, 22))
+            .collect();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn trial_outcome_independent_of_shard_instance() {
+        let core = CoreId::new(0, 7);
+        let w = by_name("gcc").unwrap().clone();
+        let mut a = shard(core);
+        let mut b = shard(core);
+        // Skew shard b's history before the comparison trial.
+        let _ = b.run_focus_trial(&w, 3, Nanos::new(20_000.0), 77, 88);
+        for r in 0..5 {
+            assert_eq!(
+                a.run_focus_trial(&w, r, Nanos::new(20_000.0), 1, 2),
+                b.run_focus_trial(&w, r, Nanos::new(20_000.0), 1, 2),
+                "reduction {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn over_preset_reduction_fails_without_simulating() {
+        let core = CoreId::new(0, 0);
+        let mut s = shard(core);
+        let max = s.system().core(core).cpms().max_reduction();
+        assert!(!s.run_focus_trial(
+            &Workload::idle(),
+            max + 1,
+            Nanos::new(1_000.0),
+            0,
+            0
+        ));
+    }
+
+    #[test]
+    fn settle_focus_monotone_in_reduction() {
+        let core = CoreId::new(1, 5);
+        let mut s = shard(core);
+        let f0 = s.settle_focus(0);
+        let f3 = s.settle_focus(3);
+        assert!(f3 > f0, "reduction must raise equilibrium: {f0} !< {f3}");
+        // Pure: asking again returns the identical bits.
+        assert_eq!(s.settle_focus(3).get().to_bits(), f3.get().to_bits());
+    }
+}

@@ -155,6 +155,47 @@ impl System {
         }
     }
 
+    /// Resets the whole system's *dynamic* state — thermal trajectories,
+    /// delivered voltages, telemetry, tick counters — to the
+    /// just-constructed baseline, leaving all programmed configuration
+    /// (modes, workloads, reductions, rail setpoints) in place.
+    ///
+    /// Because [`System::run`] and [`System::settle`] warm-start from the
+    /// current dynamic state, two identically-programmed systems can
+    /// diverge by tiny float residues if their histories differ. Calling
+    /// `reset_baseline` first removes the history: the subsequent run is a
+    /// pure function of the programmed configuration (plus the cores'
+    /// random streams, which [`System::reseed_core`] pins separately).
+    pub fn reset_baseline(&mut self) {
+        let config = &self.config;
+        for p in &mut self.procs {
+            p.reset_baseline(config);
+        }
+    }
+
+    /// Restarts core `id`'s random streams (droop events and failure
+    /// sampling) from explicit seeds. Together with
+    /// [`System::reset_baseline`] this makes a trial on `id` replayable
+    /// bit-for-bit regardless of what the system simulated before.
+    pub fn reseed_core(&mut self, id: CoreId, droop_seed: u64, rng_seed: u64) {
+        self.core_mut(id).reseed_streams(droop_seed, rng_seed);
+    }
+
+    /// Mints a fresh single-focus shard of this system for characterizing
+    /// `focus`: a complete, independently-owned replica built from this
+    /// system's configuration (same seed, same silicon), packaged with the
+    /// focus core's identity. Shards are what the parallel
+    /// characterization engine hands to its workers — each worker owns its
+    /// shard outright, so no synchronization touches the simulation.
+    ///
+    /// The shard is built from the *configuration*, not from this system's
+    /// current dynamic state: two shards of the same system are always
+    /// identical, no matter what the parent has simulated.
+    #[must_use]
+    pub fn shard(&self, focus: CoreId) -> crate::SystemShard {
+        crate::SystemShard::new(System::new(self.config.clone()), focus)
+    }
+
     /// Runs the system for `duration`, returning telemetry. The run aborts
     /// at the first timing failure (as a crash would on real hardware).
     ///

@@ -12,5 +12,5 @@ pub use realistic::{
     realistic_characterization, realistic_characterization_parallel, AppCoreProfile,
     RealisticResult,
 };
-pub use search::{find_limit, passes, CharactConfig, LimitDistribution};
+pub use search::{find_limit, find_limit_driven, passes, CharactConfig, LimitDistribution};
 pub use ubench::{ubench_characterization, UbenchResult};

@@ -120,12 +120,65 @@ pub fn passes(
     report.is_ok()
 }
 
+/// The limit-walk skeleton shared by every characterization driver.
+///
+/// For each of `repeats` repeats, walks the CPM delay reduction from
+/// `start_hint` (clamped to `max_reduction`): up while every workload in
+/// the set still passes, or down until all pass — yielding the most
+/// aggressive reduction at which the whole set ran correctly in that
+/// repeat. The walk itself never revisits a `(repeat, workload,
+/// reduction)` point, so a memoizing `trial` sees exactly one lookup per
+/// point it is asked about.
+///
+/// `trial(repeat, workload_index, reduction)` runs (or replays) one trial
+/// and reports whether it passed; `workload_index` ranges over
+/// `0..set_len`. [`find_limit`] drives it with live simulator trials; the
+/// characterization engine drives it through its sweep-memoization cache.
+///
+/// # Panics
+///
+/// Panics if `set_len` or `repeats` is zero.
+pub fn find_limit_driven<F>(
+    max_reduction: usize,
+    start_hint: usize,
+    repeats: usize,
+    set_len: usize,
+    mut trial: F,
+) -> LimitDistribution
+where
+    F: FnMut(usize, usize, usize) -> bool,
+{
+    assert!(set_len > 0, "workload set cannot be empty");
+    assert!(repeats >= 1, "at least one repeat required");
+
+    let mut samples = Vec::with_capacity(repeats);
+    for repeat in 0..repeats {
+        let mut all_pass = |r: usize| (0..set_len).all(|w| trial(repeat, w, r));
+        let mut r = start_hint.min(max_reduction);
+        if all_pass(r) {
+            while r < max_reduction && all_pass(r + 1) {
+                r += 1;
+            }
+        } else {
+            while r > 0 {
+                r -= 1;
+                if all_pass(r) {
+                    break;
+                }
+            }
+        }
+        samples.push(r);
+    }
+    LimitDistribution::new(samples)
+}
+
 /// Finds one core's safe-limit distribution for a workload set.
 ///
 /// For each repeat, the search walks the CPM delay reduction from
 /// `start_hint`: down while any workload in `set` fails a trial, then up
 /// while every workload still passes — yielding the most aggressive
-/// reduction at which all of `set` ran correctly in that repeat.
+/// reduction at which all of `set` ran correctly in that repeat (the walk
+/// skeleton of [`find_limit_driven`]).
 ///
 /// The searched core runs in ATM mode; every other core sits idle at
 /// static margin (the paper's single-core characterization setup). The
@@ -151,29 +204,9 @@ pub fn find_limit(
     system.set_mode(core, MarginMode::Atm);
 
     let max = system.core(core).cpms().max_reduction();
-    let mut samples = Vec::with_capacity(cfg.repeats);
-    for _ in 0..cfg.repeats {
-        let all_pass = |system: &mut System, r: usize| {
-            set.iter()
-                .all(|w| passes(system, core, w, r, cfg.trial))
-        };
-        let mut r = start_hint.min(max);
-        if all_pass(system, r) {
-            while r < max && all_pass(system, r + 1) {
-                r += 1;
-            }
-        } else {
-            while r > 0 {
-                r -= 1;
-                if all_pass(system, r) {
-                    break;
-                }
-            }
-        }
-        samples.push(r);
-    }
-
-    let dist = LimitDistribution::new(samples);
+    let dist = find_limit_driven(max, start_hint, cfg.repeats, set.len(), |_, w, r| {
+        passes(system, core, set[w], r, cfg.trial)
+    });
     system
         .set_reduction(core, dist.limit())
         .expect("limit within preset");
@@ -204,6 +237,44 @@ mod tests {
     #[should_panic(expected = "needs samples")]
     fn empty_distribution_rejected() {
         let _ = LimitDistribution::new(vec![]);
+    }
+
+    #[test]
+    fn driven_walk_finds_threshold_from_below_and_above() {
+        let oracle = |_rep: usize, _w: usize, r: usize| r <= 5;
+        let up = find_limit_driven(12, 0, 2, 1, oracle);
+        assert_eq!(up.samples(), &[5, 5]);
+        let down = find_limit_driven(12, 11, 2, 1, oracle);
+        assert_eq!(down.samples(), &[5, 5]);
+        let clamped = find_limit_driven(4, 99, 1, 1, oracle);
+        assert_eq!(clamped.samples(), &[4]);
+    }
+
+    #[test]
+    fn driven_walk_never_revisits_a_point() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let dist = find_limit_driven(12, 3, 3, 2, |rep, w, r| {
+            assert!(
+                seen.insert((rep, w, r)),
+                "point (repeat {rep}, workload {w}, reduction {r}) revisited"
+            );
+            r <= 7
+        });
+        assert_eq!(dist.limit(), 7);
+    }
+
+    #[test]
+    fn driven_walk_multi_workload_short_circuits() {
+        // Workload 1 caps the set at 4; workload 0 would allow 9.
+        let dist = find_limit_driven(12, 0, 1, 2, |_, w, r| {
+            if w == 0 {
+                r <= 9
+            } else {
+                r <= 4
+            }
+        });
+        assert_eq!(dist.limit(), 4);
     }
 
     #[test]

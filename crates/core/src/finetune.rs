@@ -4,6 +4,8 @@ use atm_chip::{MarginMode, System};
 use atm_cpm::CpmConfigError;
 use atm_units::{CoreId, MegaHz};
 
+use crate::engine::SweepCache;
+
 /// The fine-tuning interface: the software equivalent of the paper's
 /// "specialized commands to the service processor" that reprogram a core's
 /// CPM inserted delays.
@@ -95,6 +97,30 @@ impl<'a> FineTuner<'a> {
         self.system.set_mode(core, saved_mode);
         points
     }
+
+    /// Like [`FineTuner::frequency_sweep`], but measured in the canonical
+    /// quiesced posture (every core idle at static margin, the swept core
+    /// in ATM mode) on a private shard, with each `(core, reduction)`
+    /// point memoized in `cache` — points the characterization engine (or
+    /// a previous sweep) already settled are never re-simulated.
+    ///
+    /// Unlike the plain sweep, the tuned system itself is left completely
+    /// untouched: the sweep is a pure query against the system's
+    /// configuration.
+    #[must_use]
+    pub fn frequency_sweep_memoized(
+        &mut self,
+        core: CoreId,
+        max_steps: usize,
+        cache: &SweepCache,
+    ) -> Vec<(usize, MegaHz)> {
+        let mut shard = self.system.shard(core);
+        let top = max_steps.min(self.max_reduction(core));
+        let flat = core.flat_index();
+        (0..=top)
+            .map(|r| (r, cache.settle(flat, r, || shard.settle_focus(r))))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +153,30 @@ mod tests {
         let _ = FineTuner::new(&mut sys).frequency_sweep(core, 5);
         assert_eq!(sys.core(core).reduction(), 1);
         assert_eq!(sys.core(core).mode(), mode_before);
+    }
+
+    #[test]
+    fn memoized_sweep_matches_shape_and_caches() {
+        let mut sys = system();
+        let core = CoreId::new(0, 1);
+        let cache = SweepCache::new();
+        let mode_before = sys.core(core).mode();
+        let first = FineTuner::new(&mut sys).frequency_sweep_memoized(core, 6, &cache);
+        assert_eq!(first.len(), 7);
+        for w in first.windows(2) {
+            assert!(w[1].1 >= w[0].1, "memoized sweep not monotone: {first:?}");
+        }
+        // The system is untouched — no mode or reduction churn.
+        assert_eq!(sys.core(core).mode(), mode_before);
+        assert_eq!(sys.core(core).reduction(), 0);
+        // A second sweep is answered entirely from the cache, bit-exactly.
+        let misses = cache.misses();
+        let second = FineTuner::new(&mut sys).frequency_sweep_memoized(core, 6, &cache);
+        assert_eq!(cache.misses(), misses);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.get().to_bits(), b.1.get().to_bits());
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod analysis;
 pub mod charact;
+pub mod engine;
 mod finetune;
 mod governor;
 mod limits;
@@ -51,6 +52,7 @@ pub mod stress;
 mod throttle;
 
 pub use charact::{CharactConfig, LimitDistribution};
+pub use engine::{CharactEngine, EngineResult, SweepCache, TrialKey};
 pub use finetune::FineTuner;
 pub use governor::Governor;
 pub use limits::LimitTable;

@@ -1,0 +1,19 @@
+# Common development tasks. `just ci` is the gate PRs must pass.
+
+# Release build + tests + warning-free clippy (mirrors ci.sh).
+ci:
+    cargo build --release
+    cargo test -q
+    cargo clippy -- -D warnings
+
+# Full-workspace test run (every crate, not just the facade).
+test-all:
+    cargo test --workspace
+
+# Determinism suite for the parallel characterization engine.
+determinism:
+    cargo test --test determinism
+
+# Serial vs parallel characterization + memoized-rerun speedups.
+bench-parallel:
+    cargo bench -p atm-bench --bench parallel_charact

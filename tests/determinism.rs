@@ -1,0 +1,78 @@
+//! Determinism suite for the parallel characterization engine: for any
+//! seed and campaign, `run_parallel(k)` must produce a byte-identical
+//! `LimitTable` and per-⟨app, core⟩ rollback profile for every worker
+//! count — the serial walk (k = 1) is the reference.
+
+use power_atm::chip::ChipConfig;
+use power_atm::core::charact::CharactConfig;
+use power_atm::core::{CharactEngine, EngineResult};
+use power_atm::units::{CoreId, Nanos};
+use power_atm::workloads::by_name;
+use proptest::prelude::*;
+
+/// One engine run with a fresh engine (fresh cache) for worker count `k`.
+fn run(seed: u64, cfg: &CharactConfig, apps: &[&str], k: usize) -> EngineResult {
+    let apps: Vec<_> = apps.iter().map(|n| by_name(n).expect("known app")).collect();
+    let engine = CharactEngine::new(ChipConfig::power7_plus(seed), *cfg);
+    engine.run_parallel(&apps, k)
+}
+
+proptest! {
+    // Full-chip characterizations are expensive; a few random
+    // configurations exercise the property across seeds and campaign
+    // shapes.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// `run_parallel(k)` for k ∈ {1, 2, 8} yields byte-identical limit
+    /// tables and rollback profiles across random chip seeds and trial
+    /// lengths.
+    #[test]
+    fn parallel_equals_serial(
+        seed in 0u64..10_000,
+        trial_us in 10u64..=25,
+    ) {
+        let cfg = CharactConfig {
+            trial: Nanos::new(trial_us as f64 * 1000.0),
+            repeats: 2,
+        };
+        let apps = ["x264", "gcc"];
+        let serial = run(seed, &cfg, &apps, 1);
+        for k in [2usize, 8] {
+            let parallel = run(seed, &cfg, &apps, k);
+            // Table I, byte for byte.
+            prop_assert_eq!(&serial.table, &parallel.table, "k = {}", k);
+            // Per-core idle detail including bit-exact limit frequencies.
+            prop_assert_eq!(&serial.idle, &parallel.idle, "k = {}", k);
+            prop_assert_eq!(&serial.ubench, &parallel.ubench, "k = {}", k);
+            // The full per-⟨app, core⟩ rollback profile (Fig. 10).
+            prop_assert_eq!(&serial.realistic, &parallel.realistic, "k = {}", k);
+            for app in apps {
+                for core in CoreId::all() {
+                    let s = serial.realistic.profile(app, core).expect("profiled");
+                    let p = parallel.realistic.profile(app, core).expect("profiled");
+                    prop_assert_eq!(s.rollback(), p.rollback());
+                }
+            }
+            // Even the work accounting is scheduling-independent.
+            prop_assert_eq!(
+                serial.stats.points_simulated,
+                parallel.stats.points_simulated
+            );
+        }
+    }
+}
+
+/// The acceptance posture of the issue, pinned as a plain test: on the
+/// default 16-core chip, 1, 2 and 8 workers agree exactly.
+#[test]
+fn default_chip_worker_counts_agree() {
+    let cfg = CharactConfig::quick();
+    let apps = ["x264"];
+    let serial = run(42, &cfg, &apps, 1);
+    serial.table.assert_invariants();
+    for k in [2usize, 8] {
+        let parallel = run(42, &cfg, &apps, k);
+        assert_eq!(serial.table, parallel.table, "k = {k}");
+        assert_eq!(serial.realistic, parallel.realistic, "k = {k}");
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline vendored criterion-compatible micro-benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace uses
+//! (`Criterion`, `Bencher::iter`, benchmark groups with throughput and
+//! parameterized inputs) with real wall-clock timing via
+//! [`std::time::Instant`]. Every finished benchmark appends one JSON line
+//! to `target/bench-trajectory.json` so successive runs accumulate a
+//! result trajectory, and prints a human-readable summary line.
+//!
+//! Not implemented (not needed here): statistical outlier analysis,
+//! HTML reports, comparison against saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One timed sample: `iters` iterations took `total` wall-clock time.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+impl Sample {
+    fn ns_per_iter(&self) -> f64 {
+        self.total.as_secs_f64() * 1e9 / self.iters.max(1) as f64
+    }
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    samples: Vec<Sample>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting `sample_size` samples after a warm-up
+    /// period. Return values are passed through [`black_box`] so the
+    /// optimizer cannot discard the computation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (>= 1 call) and
+        // estimate the per-iteration cost from it.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.cfg.warm_up_time {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so the whole measurement fits the budget.
+        let samples = self.cfg.sample_size.max(1) as u64;
+        let per_sample = self.cfg.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((per_sample / est_per_iter.max(1e-12)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(Sample {
+                iters: iters_per_sample,
+                total: start.elapsed(),
+            });
+        }
+    }
+}
+
+/// Summary statistics for one finished benchmark.
+#[derive(Debug, Clone)]
+struct Estimate {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_total: u64,
+    throughput: Option<Throughput>,
+}
+
+impl Estimate {
+    fn from_samples(name: String, samples: &[Sample], throughput: Option<Throughput>) -> Self {
+        let per: Vec<f64> = samples.iter().map(Sample::ns_per_iter).collect();
+        let n = per.len().max(1) as f64;
+        Self {
+            name,
+            mean_ns: per.iter().sum::<f64>() / n,
+            min_ns: per.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: per.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            samples: per.len(),
+            iters_total: samples.iter().map(|s| s.iters).sum(),
+            throughput,
+        }
+    }
+
+    fn json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters\":{}",
+            escape_json(&self.name),
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples,
+            self.iters_total
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (self.mean_ns / 1e9);
+                let _ = write!(s, ",\"elements\":{n},\"elements_per_sec\":{per_sec:.1}");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (self.mean_ns / 1e9);
+                let _ = write!(s, ",\"bytes\":{n},\"bytes_per_sec\":{per_sec:.1}");
+            }
+            None => {}
+        }
+        s.push('}');
+        s
+    }
+
+    fn print_human(&self) {
+        eprintln!(
+            "{:<48} time: [{} {} {}]",
+            self.name,
+            fmt_ns(self.min_ns),
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.max_ns)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Measured quantity a benchmark processes per iteration; reported as a
+/// rate in the JSON trajectory.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements (e.g. simulated ticks) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The benchmark manager: collects estimates, writes the trajectory file.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+    results: Vec<Estimate>,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Accepts and ignores harness CLI arguments (`cargo bench` passes
+    /// `--bench`); kept for API compatibility.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let est = Estimate::from_samples(name.to_string(), &b.samples, None);
+        est.print_human();
+        self.results.push(est);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<'a>(&'a mut self, name: &str) -> BenchmarkGroup<'a> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Flushes all collected estimates to `target/bench-trajectory.json`
+    /// (one JSON object per line, appended across runs).
+    pub fn final_summary(&mut self) {
+        let path = trajectory_path();
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(&path) {
+            for est in &self.results {
+                let _ = writeln!(f, "{}", est.json_line());
+            }
+        }
+        eprintln!(
+            "wrote {} benchmark result(s) to {}",
+            self.results.len(),
+            path.display()
+        );
+        self.results.clear();
+    }
+}
+
+fn trajectory_path() -> PathBuf {
+    // CARGO_TARGET_DIR if set, else the enclosing `target/` of the bench
+    // executable (cargo runs benches with cwd = the *package* root, so a
+    // relative `target` would land in the wrong directory for workspace
+    // members); fall back to ./target.
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("bench-trajectory.json");
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name() == Some(std::ffi::OsStr::new("target")) {
+                return dir.join("bench-trajectory.json");
+            }
+        }
+    }
+    PathBuf::from("target").join("bench-trajectory.json")
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput reported for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            cfg: &self.parent.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let est = Estimate::from_samples(full, &b.samples, self.throughput);
+        est.print_human();
+        self.parent.results.push(est);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, D: std::fmt::Display, F>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            cfg: &self.parent.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        let est = Estimate::from_samples(full, &b.samples, self.throughput);
+        est.print_human();
+        self.parent.results.push(est);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = fast();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].samples, 3);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert!(c.results[0].min_ns <= c.results[0].mean_ns);
+        assert!(c.results[0].mean_ns <= c.results[0].max_ns);
+    }
+
+    #[test]
+    fn group_names_and_throughput() {
+        let mut c = fast();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(100));
+            g.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results[0].name, "grp/f/4");
+        let line = c.results[0].json_line();
+        assert!(line.contains("\"elements\":100"), "{line}");
+        assert!(line.ends_with('}') && line.starts_with('{'));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

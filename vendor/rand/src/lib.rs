@@ -1,0 +1,385 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses:
+//!
+//! * [`rngs::StdRng`] — the ChaCha12 generator `rand` 0.8 documents as its
+//!   standard RNG, with the same PCG32-based [`SeedableRng::seed_from_u64`]
+//!   seed expansion as `rand_core` 0.6, so seeded streams are reproducible
+//!   and well distributed;
+//! * [`Rng::gen_range`] over half-open and inclusive `f64`/integer ranges,
+//!   following the `rand` 0.8 uniform-float construction (52 random
+//!   mantissa bits mapped through `[1, 2)`);
+//! * [`Rng::gen_bool`] via the fixed-point Bernoulli comparison.
+//!
+//! Only determinism and statistical quality are guaranteed — this is a
+//! simulator dependency, not a cryptographic one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 stream `rand_core`
+    /// 0.6 uses, then delegates to [`SeedableRng::from_seed`].
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // Fixed-point comparison against p·2⁶⁴ (rand's Bernoulli).
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Samples a value from the standard distribution of `T` (uniform over
+    /// the value range for integers, `[0, 1)` at 53-bit precision for
+    /// floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a standard (`rng.gen()`) distribution.
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53-bit precision multiply, as rand's Standard for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Maps 52 random bits into `[1, 2)` (the rand 0.8 uniform-float core).
+fn value1_2<R: RngCore>(rng: &mut R) -> f64 {
+    let fraction = rng.next_u64() >> 12;
+    f64::from_bits(fraction | (1023u64 << 52))
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let scale = self.end - self.start;
+        loop {
+            let value0_1 = value1_2(rng) - 1.0;
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "empty inclusive f64 range");
+        // Largest value0_1 the generator can produce.
+        let max_rand = f64::from_bits((u64::MAX >> 12) | (1023u64 << 52)) - 1.0;
+        let scale = (high - low) / max_rand;
+        loop {
+            let value0_1 = value1_2(rng) - 1.0;
+            let res = value0_1 * scale + low;
+            if res <= high {
+                return res;
+            }
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty inclusive integer range");
+                let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The provided generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: ChaCha with 12 rounds, matching the
+    /// algorithm `rand` 0.8 documents for its `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// ChaCha input block: constants, key, 64-bit counter, 64-bit
+        /// stream id.
+        state: [u32; 16],
+        /// Current output block.
+        block: [u32; 16],
+        /// Next word to serve from `block`; 16 forces a refill.
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            let mut w = self.state;
+            for _ in 0..6 {
+                // Column round.
+                quarter(&mut w, 0, 4, 8, 12);
+                quarter(&mut w, 1, 5, 9, 13);
+                quarter(&mut w, 2, 6, 10, 14);
+                quarter(&mut w, 3, 7, 11, 15);
+                // Diagonal round.
+                quarter(&mut w, 0, 5, 10, 15);
+                quarter(&mut w, 1, 6, 11, 12);
+                quarter(&mut w, 2, 7, 8, 13);
+                quarter(&mut w, 3, 4, 9, 14);
+            }
+            for (o, s) in w.iter_mut().zip(self.state.iter()) {
+                *o = o.wrapping_add(*s);
+            }
+            self.block = w;
+            self.index = 0;
+            // 64-bit block counter in words 12–13.
+            let (lo, carry) = self.state[12].overflowing_add(1);
+            self.state[12] = lo;
+            if carry {
+                self.state[13] = self.state[13].wrapping_add(1);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn test_quarter(w: &mut [u32; 16]) {
+        quarter(w, 0, 1, 2, 3);
+    }
+
+    fn quarter(w: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        w[a] = w[a].wrapping_add(w[b]);
+        w[d] = (w[d] ^ w[a]).rotate_left(16);
+        w[c] = w[c].wrapping_add(w[d]);
+        w[b] = (w[b] ^ w[c]).rotate_left(12);
+        w[a] = w[a].wrapping_add(w[b]);
+        w[d] = (w[d] ^ w[a]).rotate_left(8);
+        w[c] = w[c].wrapping_add(w[d]);
+        w[b] = (w[b] ^ w[c]).rotate_left(7);
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = [0u32; 16];
+            // "expand 32-byte k"
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            // Words 12..16 (counter and stream) start at zero.
+            StdRng {
+                state,
+                block: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let word = self.block[self.index];
+            self.index += 1;
+            word
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = u64::from(self.next_u32());
+            let hi = u64::from(self.next_u32());
+            (hi << 32) | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<f64>>()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&x));
+            let y = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&y));
+            let n = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&n));
+            let m = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&m));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &p in &[0.1, 0.5, 0.9] {
+            let n = 50_000;
+            let hits = (0..n).filter(|_| rng.gen_bool(p)).count();
+            let rate = hits as f64 / f64::from(n);
+            assert!((rate - p).abs() < 0.02, "p={p} rate={rate}");
+        }
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn chacha_quarter_round_vector() {
+        // RFC 7539 §2.1.1 test vector for one quarter round.
+        let mut w = [0u32; 16];
+        w[0] = 0x1111_1111;
+        w[1] = 0x0102_0304;
+        w[2] = 0x9b8d_6f43;
+        w[3] = 0x0123_4567;
+        super::rngs::test_quarter(&mut w);
+        assert_eq!(w[0], 0xea2a_92f4);
+        assert_eq!(w[1], 0xcb1c_f8ce);
+        assert_eq!(w[2], 0x4581_472e);
+        assert_eq!(w[3], 0x5881_c4bb);
+    }
+}

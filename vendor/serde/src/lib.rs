@@ -1,0 +1,49 @@
+//! Offline vendored `serde` shim.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! markers and trait bounds — nothing is actually serialized in-tree (the
+//! CSV/Display renderers are hand-written). With no crates.io access, this
+//! shim supplies the two trait names as blanket-implemented markers and
+//! re-exports no-op derive macros, so every `derive` site and
+//! `T: Serialize + for<'de> Deserialize<'de>` bound compiles unchanged.
+//!
+//! If real serialization is ever needed, drop in the real `serde` and the
+//! code keeps working — the shim is API-compatible at every use site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable data structures (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable data structures (blanket-implemented).
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker for owned-deserializable data (blanket-implemented).
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Sample<T> {
+        x: T,
+    }
+
+    fn assert_bounds<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_and_bounds_compile() {
+        assert_bounds::<Sample<f64>>();
+        assert_bounds::<Vec<String>>();
+        let s = Sample { x: 1.0 };
+        assert_eq!(s, Sample { x: 1.0 });
+    }
+}

@@ -1,0 +1,23 @@
+//! No-op derive macros for the vendored serde shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are blanket-implemented, so
+//! the derives have nothing to emit; they exist so `#[derive(Serialize,
+//! Deserialize)]` sites compile unchanged. The `serde` helper attribute is
+//! accepted (and ignored) for forward compatibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; emits nothing (blanket impl exists).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; emits nothing (blanket impl exists).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
