@@ -10,7 +10,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut ctx = quick_context();
     let fig = atm_experiments::fig05::run(&mut ctx);
-    print_exhibit("Fig. 5 — frequency vs. CPM delay reduction", &fig.to_string());
+    print_exhibit(
+        "Fig. 5 — frequency vs. CPM delay reduction",
+        &fig.to_string(),
+    );
 
     let mut sys = ctx.fresh_system();
     c.bench_function("fig05/frequency_sweep_6_steps", |b| {

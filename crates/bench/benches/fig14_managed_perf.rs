@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
     let fig = atm_experiments::fig14::run(&mut ctx);
     print_exhibit("Fig. 14 — managed critical performance", &fig.to_string());
 
-    let mut mgr = AtmManager::deploy(ctx.fresh_system(), Governor::Default, &CharactConfig::quick());
+    let mut mgr = AtmManager::deploy(
+        ctx.fresh_system(),
+        Governor::Default,
+        &CharactConfig::quick(),
+    );
     let critical = atm_workloads::by_name("squeezenet").unwrap();
     let background = atm_workloads::by_name("x264").unwrap();
     c.bench_function("fig14/evaluate_managed_max_pair", |b| {

@@ -19,11 +19,9 @@ fn bench(c: &mut Criterion) {
         }
         let duration = Nanos::new(10_000.0); // 200 ticks
         group.throughput(Throughput::Elements(200));
-        group.bench_with_input(
-            BenchmarkId::new("ticks", atm_cores),
-            &atm_cores,
-            |b, _| b.iter(|| black_box(sys.run(duration))),
-        );
+        group.bench_with_input(BenchmarkId::new("ticks", atm_cores), &atm_cores, |b, _| {
+            b.iter(|| black_box(sys.run(duration)))
+        });
     }
     group.finish();
 }

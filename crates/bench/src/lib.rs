@@ -46,7 +46,11 @@ pub fn record_metric(name: &str, value: f64) {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = writeln!(f, "{{\"metric\":\"{name}\",\"value\":{value:.4}}}");
     }
     eprintln!("metric {name} = {value:.4}");

@@ -167,9 +167,7 @@ impl Core {
     /// Panics if `threads` is not in `1..=4`.
     pub fn assign_smt(&mut self, workload: Workload, threads: usize) {
         assert!((1..=4).contains(&threads), "SMT is 4-way, got {threads}");
-        let didt = workload
-            .didt()
-            .amplified(1.0 + 0.05 * (threads - 1) as f64);
+        let didt = workload.didt().amplified(1.0 + 0.05 * (threads - 1) as f64);
         self.droop.set_params(didt);
         self.smt_threads = threads;
         self.workload = workload;
@@ -287,9 +285,12 @@ impl Core {
     pub fn warm_start(&mut self, v: Volts, t: Celsius) {
         self.last_voltage = v;
         if self.mode == MarginMode::Atm {
-            let period =
-                self.cpms
-                    .equilibrium_period(&self.silicon, v, t, self.atm.config().threshold_time());
+            let period = self.cpms.equilibrium_period(
+                &self.silicon,
+                v,
+                t,
+                self.atm.config().threshold_time(),
+            );
             self.atm.relock(period.frequency());
         }
     }
@@ -397,7 +398,9 @@ impl Core {
         // The loop measures with the *seen* droop portion applied.
         let v_meas = floor_voltage(v_dc, seen_mv);
         let base_delay = self.silicon.real_path_delay(v_meas, t);
-        let reading = self.cpms.measure_from_base(&self.silicon, period, base_delay);
+        let reading = self
+            .cpms
+            .measure_from_base(&self.silicon, period, base_delay);
         self.atm.step(reading);
 
         failure
@@ -457,7 +460,15 @@ mod tests {
             MegaHz::new(4600.0),
             cfg.threshold_time(),
         );
-        Core::new(CoreId::new(0, 0), silicon, cpms, cfg, MegaHz::new(4200.0), 1, 2)
+        Core::new(
+            CoreId::new(0, 0),
+            silicon,
+            cpms,
+            cfg,
+            MegaHz::new(4200.0),
+            1,
+            2,
+        )
     }
 
     #[test]
@@ -583,7 +594,14 @@ mod tests {
         c.set_reduction(max).unwrap();
         for _ in 0..2000 {
             assert!(c
-                .tick(Volts::new(1.20), Celsius::new(60.0), Nanos::new(50.0), 1.0, None, true)
+                .tick(
+                    Volts::new(1.20),
+                    Celsius::new(60.0),
+                    Nanos::new(50.0),
+                    1.0,
+                    None,
+                    true
+                )
                 .is_none());
         }
     }

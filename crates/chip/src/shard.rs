@@ -182,13 +182,7 @@ mod tests {
         let core = CoreId::new(0, 0);
         let mut s = shard(core);
         let max = s.system().core(core).cpms().max_reduction();
-        assert!(!s.run_focus_trial(
-            &Workload::idle(),
-            max + 1,
-            Nanos::new(1_000.0),
-            0,
-            0
-        ));
+        assert!(!s.run_focus_trial(&Workload::idle(), max + 1, Nanos::new(1_000.0), 0, 0));
     }
 
     #[test]

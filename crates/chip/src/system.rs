@@ -355,7 +355,13 @@ mod tests {
         let ran = sys.run(Nanos::new(20_000.0));
         for (s, r) in settled.cores.iter().zip(&ran.cores) {
             let diff = (s.mean_freq.get() - r.mean_freq.get()).abs();
-            assert!(diff < 80.0, "{}: settle {} vs run {}", s.core, s.mean_freq, r.mean_freq);
+            assert!(
+                diff < 80.0,
+                "{}: settle {} vs run {}",
+                s.core,
+                s.mean_freq,
+                r.mean_freq
+            );
         }
     }
 
@@ -366,7 +372,10 @@ mod tests {
             sys.set_mode_all(MarginMode::Atm);
             sys.assign_all(&by_name("x264").unwrap().clone());
             let r = sys.run(Nanos::new(10_000.0));
-            r.cores.iter().map(|c| c.mean_freq.get()).collect::<Vec<_>>()
+            r.cores
+                .iter()
+                .map(|c| c.mean_freq.get())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
@@ -414,7 +423,7 @@ mod tests {
         let (report, trace) = sys.run_traced(Nanos::new(100_000.0), core, 4);
         assert!(report.is_ok());
         assert_eq!(trace.samples().len(), 500); // 2000 ticks / 4
-        // x264's droops force visible frequency dips around equilibrium.
+                                                // x264's droops force visible frequency dips around equilibrium.
         let (lo, hi) = trace.freq_range();
         assert!(hi.get() - lo.get() > 30.0, "no dips visible: {lo}..{hi}");
         assert!(trace.dip_count(MegaHz::new(25.0)) > 0);

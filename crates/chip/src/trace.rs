@@ -92,7 +92,11 @@ mod tests {
     #[test]
     fn range_and_dips() {
         let trace = Trace::new(
-            vec![sample(0.0, 4800.0), sample(50.0, 4600.0), sample(100.0, 4790.0)],
+            vec![
+                sample(0.0, 4800.0),
+                sample(50.0, 4600.0),
+                sample(100.0, 4790.0),
+            ],
             1,
         );
         let (lo, hi) = trace.freq_range();

@@ -155,8 +155,11 @@ fn constructed_virus_matches_the_profile_virus() {
         sys.assign_smt(id, daxpy.clone(), 4);
         sys.set_issue_throttle(id, Some(16));
     }
-    sys.set_reduction(probe, (x264_limit + 1).min(sys.core(probe).cpms().max_reduction()))
-        .unwrap();
+    sys.set_reduction(
+        probe,
+        (x264_limit + 1).min(sys.core(probe).cpms().max_reduction()),
+    )
+    .unwrap();
     let mut failed = false;
     for _ in 0..6 {
         if sys.run(Nanos::new(50_000.0)).failure.is_some() {

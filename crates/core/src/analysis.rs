@@ -95,9 +95,8 @@ impl MarginBreakdown {
             .copied()
             .max_by(|&a, &b| {
                 let occ = |u: atm_cpm::CpmUnit| {
-                    (cpms.inserted_delay(silicon, u)
-                        + silicon.cpm_synthetic_delay(u.index(), v, t))
-                    .get()
+                    (cpms.inserted_delay(silicon, u) + silicon.cpm_synthetic_delay(u.index(), v, t))
+                        .get()
                 };
                 occ(a).partial_cmp(&occ(b)).expect("finite")
             })
@@ -123,8 +122,7 @@ impl MarginBreakdown {
     ///
     /// Panics if either identity is violated beyond floating-point noise.
     pub fn assert_identity(&self) {
-        let physical =
-            self.real_path.get() + self.coverage_gap.get() + self.unseen_margin.get();
+        let physical = self.real_path.get() + self.coverage_gap.get() + self.unseen_margin.get();
         assert!(
             (physical - self.period.get()).abs() < 1e-9,
             "physical identity broken: {physical} vs {}",
@@ -177,7 +175,10 @@ mod tests {
         for core in CoreId::all() {
             let b = MarginBreakdown::compute(&sys, core, v, t, 0.0);
             b.assert_identity();
-            assert!(b.unseen_margin.get() > 0.0, "{core}: no untapped margin at preset");
+            assert!(
+                b.unseen_margin.get() > 0.0,
+                "{core}: no untapped margin at preset"
+            );
         }
     }
 

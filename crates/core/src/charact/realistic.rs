@@ -107,8 +107,7 @@ impl RealisticResult {
     /// used to rank application stress).
     #[must_use]
     pub fn app_stress(&self, app: &str) -> f64 {
-        let rows: Vec<&AppCoreProfile> =
-            self.profiles.iter().filter(|p| p.app == app).collect();
+        let rows: Vec<&AppCoreProfile> = self.profiles.iter().filter(|p| p.app == app).collect();
         if rows.is_empty() {
             return 0.0;
         }
@@ -119,8 +118,7 @@ impl RealisticResult {
     /// paper's *robustness*: robust cores need the least rollback.
     #[must_use]
     pub fn core_mean_rollback(&self, core: CoreId) -> f64 {
-        let rows: Vec<&AppCoreProfile> =
-            self.profiles.iter().filter(|p| p.core == core).collect();
+        let rows: Vec<&AppCoreProfile> = self.profiles.iter().filter(|p| p.core == core).collect();
         if rows.is_empty() {
             return 0.0;
         }

@@ -267,13 +267,7 @@ mod tests {
     #[test]
     fn driven_walk_multi_workload_short_circuits() {
         // Workload 1 caps the set at 4; workload 0 would allow 9.
-        let dist = find_limit_driven(12, 0, 1, 2, |_, w, r| {
-            if w == 0 {
-                r <= 9
-            } else {
-                r <= 4
-            }
-        });
+        let dist = find_limit_driven(12, 0, 1, 2, |_, w, r| if w == 0 { r <= 9 } else { r <= 4 });
         assert_eq!(dist.limit(), 4);
     }
 

@@ -93,7 +93,12 @@ mod tests {
                 r.ubench_limit(),
                 r.idle_limit
             );
-            assert!(r.rollback() <= 4, "{}: rollback {} too deep", r.core, r.rollback());
+            assert!(
+                r.rollback() <= 4,
+                "{}: rollback {} too deep",
+                r.core,
+                r.rollback()
+            );
             if r.rollback() > 0 {
                 rollbacks += 1;
             }

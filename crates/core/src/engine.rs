@@ -169,12 +169,7 @@ impl SweepCache {
         compute: F,
     ) -> MegaHz {
         let k = (core, reduction);
-        if let Some(&bits) = self
-            .settles
-            .lock()
-            .expect("settle cache poisoned")
-            .get(&k)
-        {
+        if let Some(&bits) = self.settles.lock().expect("settle cache poisoned").get(&k) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return MegaHz::new(f64::from_bits(bits));
         }
@@ -336,8 +331,7 @@ impl CharactEngine {
         let template = System::new(self.config.clone());
         let n_cores = CoreId::all().count();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<PerCore>>> =
-            (0..n_cores).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<PerCore>>> = (0..n_cores).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..workers.min(n_cores) {

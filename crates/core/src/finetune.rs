@@ -184,7 +184,10 @@ mod tests {
         let mut sys = system();
         let mut map = [0usize; 16];
         for (i, slot) in map.iter_mut().enumerate() {
-            *slot = (i % 3).min(FineTuner::new(&mut System::new(ChipConfig::default())).max_reduction(CoreId::from_flat_index(i)));
+            *slot = (i % 3).min(
+                FineTuner::new(&mut System::new(ChipConfig::default()))
+                    .max_reduction(CoreId::from_flat_index(i)),
+            );
         }
         FineTuner::new(&mut sys).apply_map(&map).unwrap();
         for id in CoreId::all() {

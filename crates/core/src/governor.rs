@@ -156,8 +156,7 @@ mod tests {
         profiles.extend(mk("noisy", 1));
         let realistic = RealisticResult::from_profiles(profiles);
 
-        let benign_map =
-            Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("benign"));
+        let benign_map = Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("benign"));
         for v in benign_map {
             assert_eq!(v, 9, "benign app should get its own limit");
         }
@@ -166,8 +165,7 @@ mod tests {
         let noisy_map = Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("noisy"));
         assert_eq!(noisy_map, s.deployed_map());
         // Unprofiled app: falls back to the stress map.
-        let unknown_map =
-            Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("mystery"));
+        let unknown_map = Governor::Aggressive.reduction_map(&s, Some(&realistic), Some("mystery"));
         assert_eq!(unknown_map, s.deployed_map());
     }
 

@@ -5,10 +5,10 @@ use std::fmt;
 use atm_units::CoreId;
 use serde::{Deserialize, Serialize};
 
+use crate::charact::{idle_characterization, IdleResult, UbenchResult};
 use crate::charact::{
     realistic_characterization, ubench_characterization, CharactConfig, RealisticResult,
 };
-use crate::charact::{idle_characterization, IdleResult, UbenchResult};
 use atm_chip::System;
 use atm_workloads::Workload;
 
@@ -69,7 +69,12 @@ impl LimitTable {
         system: &mut System,
         apps: &[&Workload],
         cfg: &CharactConfig,
-    ) -> (LimitTable, Vec<IdleResult>, Vec<UbenchResult>, RealisticResult) {
+    ) -> (
+        LimitTable,
+        Vec<IdleResult>,
+        Vec<UbenchResult>,
+        RealisticResult,
+    ) {
         let idle_results = idle_characterization(system, cfg);
         let mut idle = [0usize; 16];
         for r in &idle_results {
@@ -175,7 +180,12 @@ mod tests {
     fn display_renders_all_rows_and_cores() {
         let s = table().to_string();
         assert!(s.contains("P0C0") && s.contains("P1C7"));
-        for label in ["idle limit", "uBench limit", "thread normal", "thread worst"] {
+        for label in [
+            "idle limit",
+            "uBench limit",
+            "thread normal",
+            "thread worst",
+        ] {
             assert!(s.contains(label));
         }
     }

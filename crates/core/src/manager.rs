@@ -270,9 +270,11 @@ impl AtmManager {
 
     /// Applies the governor's reduction map for `critical`.
     fn apply_governor_map(&mut self, critical: &Workload) {
-        let map =
-            self.governor
-                .reduction_map(&self.deployed, self.realistic.as_ref(), Some(critical.name()));
+        let map = self.governor.reduction_map(
+            &self.deployed,
+            self.realistic.as_ref(),
+            Some(critical.name()),
+        );
         FineTuner::new(&mut self.system)
             .apply_map(&map)
             .expect("governor maps derive from validated limits");
@@ -345,12 +347,15 @@ mod tests {
 
         let s_static = mgr.evaluate_pair(critical, background, Strategy::StaticMargin);
         let s_default = mgr.evaluate_pair(critical, background, Strategy::DefaultAtm);
-        let s_unmanaged =
-            mgr.evaluate_pair(critical, background, Strategy::FineTunedUnmanaged);
+        let s_unmanaged = mgr.evaluate_pair(critical, background, Strategy::FineTunedUnmanaged);
         let s_max = mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
 
         assert!((s_static.speedup - 1.0).abs() < 1e-9);
-        assert!(s_default.speedup > 1.02, "default ATM {:.3}", s_default.speedup);
+        assert!(
+            s_default.speedup > 1.02,
+            "default ATM {:.3}",
+            s_default.speedup
+        );
         assert!(
             s_unmanaged.speedup > s_default.speedup,
             "fine-tuned unmanaged {:.3} vs default {:.3}",
@@ -400,13 +405,17 @@ mod tests {
     #[test]
     fn default_atm_restores_deployed_map() {
         let mut mgr = manager();
-        let before: Vec<usize> = CoreId::all().map(|c| mgr.system().core(c).reduction()).collect();
+        let before: Vec<usize> = CoreId::all()
+            .map(|c| mgr.system().core(c).reduction())
+            .collect();
         let _ = mgr.evaluate_pair(
             by_name("babi").unwrap(),
             by_name("raytrace").unwrap(),
             Strategy::DefaultAtm,
         );
-        let after: Vec<usize> = CoreId::all().map(|c| mgr.system().core(c).reduction()).collect();
+        let after: Vec<usize> = CoreId::all()
+            .map(|c| mgr.system().core(c).reduction())
+            .collect();
         assert_eq!(before, after);
     }
 }

@@ -39,10 +39,7 @@ impl LinearFit {
         let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
         let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
         assert!(sxx > 0.0, "all x values identical; cannot fit a line");
-        let sxy: f64 = points
-            .iter()
-            .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-            .sum();
+        let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
         let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
@@ -50,7 +47,11 @@ impl LinearFit {
             .iter()
             .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
             .sum();
-        let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let r2 = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
         LinearFit {
             slope,
             intercept,
@@ -82,7 +83,9 @@ mod tests {
 
     #[test]
     fn exact_line_recovered() {
-        let points: Vec<(f64, f64)> = (0..10).map(|i| (f64::from(i), 3.0 * f64::from(i) - 7.0)).collect();
+        let points: Vec<(f64, f64)> = (0..10)
+            .map(|i| (f64::from(i), 3.0 * f64::from(i) - 7.0))
+            .collect();
         let fit = LinearFit::fit(&points);
         assert!((fit.slope - 3.0).abs() < 1e-12);
         assert!((fit.intercept + 7.0).abs() < 1e-12);

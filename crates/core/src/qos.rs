@@ -53,7 +53,11 @@ impl QosTarget {
 
 impl fmt::Display for QosTarget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "+{:.1}% over static margin", (self.speedup - 1.0) * 100.0)
+        write!(
+            f,
+            "+{:.1}% over static margin",
+            (self.speedup - 1.0) * 100.0
+        )
     }
 }
 

@@ -142,7 +142,11 @@ mod tests {
     fn apply_sets_everything() {
         let mut sys = System::new(ChipConfig::default());
         Schedule::new()
-            .run(CoreId::new(0, 2), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+            .run(
+                CoreId::new(0, 2),
+                by_name("gcc").unwrap().clone(),
+                MarginMode::Atm,
+            )
             .run_smt(
                 CoreId::new(1, 1),
                 by_name("daxpy").unwrap().clone(),
@@ -164,7 +168,11 @@ mod tests {
     fn reapplying_resets_previous_assignments() {
         let mut sys = System::new(ChipConfig::default());
         Schedule::new()
-            .run(CoreId::new(0, 0), by_name("x264").unwrap().clone(), MarginMode::Atm)
+            .run(
+                CoreId::new(0, 0),
+                by_name("x264").unwrap().clone(),
+                MarginMode::Atm,
+            )
             .apply(&mut sys);
         Schedule::new().apply(&mut sys);
         assert_eq!(sys.core(CoreId::new(0, 0)).workload().name(), "idle");

@@ -173,7 +173,9 @@ mod tests {
         deploy_quick(&mut sys);
         let placement = Scheduler::new(&mut sys).place_critical(ProcId::new(0), false);
         assert_eq!(placement.background_cores.len(), 7);
-        assert!(!placement.background_cores.contains(&placement.critical_core));
+        assert!(!placement
+            .background_cores
+            .contains(&placement.critical_core));
         assert!(placement.plan.is_none());
         let fastest = Scheduler::new(&mut sys).fastest_core(ProcId::new(0), false);
         assert_eq!(placement.critical_core, fastest);

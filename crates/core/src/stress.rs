@@ -49,7 +49,11 @@ impl StressTestResult {
     /// The inter-core speed differential at the deployed configuration.
     #[must_use]
     pub fn speed_differential(&self) -> MegaHz {
-        let max = self.idle_frequencies.iter().copied().fold(MegaHz::ZERO, MegaHz::max);
+        let max = self
+            .idle_frequencies
+            .iter()
+            .copied()
+            .fold(MegaHz::ZERO, MegaHz::max);
         let min = self
             .idle_frequencies
             .iter()

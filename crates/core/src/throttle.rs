@@ -128,7 +128,7 @@ mod tests {
         assert_eq!(ladder.first(), Some(&ThrottleSetting::AtmMax));
         assert_eq!(ladder.last(), Some(&ThrottleSetting::Gated));
         assert_eq!(ladder.len(), 10); // ATM + 8 p-states + gate
-        // Fixed frequencies descend.
+                                      // Fixed frequencies descend.
         let fixed: Vec<f64> = ladder
             .iter()
             .filter_map(|s| match s {

@@ -195,8 +195,8 @@ impl CoreCpmSet {
     ) -> CpmReading {
         let mut worst: Option<CpmReading> = None;
         for unit in CpmUnit::ALL {
-            let occupied =
-                self.inserted_delay(silicon, unit) + silicon.cpm_synthetic_delay(unit.index(), v, t);
+            let occupied = self.inserted_delay(silicon, unit)
+                + silicon.cpm_synthetic_delay(unit.index(), v, t);
             let reading = CpmReading::quantize(unit, period - occupied);
             worst = Some(match worst {
                 Some(w) => w.worst(reading),
@@ -394,7 +394,9 @@ mod tests {
     #[test]
     fn per_unit_reduction_bounded_by_own_preset() {
         let mut set = CoreCpmSet::from_presets([10, 12, 8, 9, 11]);
-        assert!(set.set_unit_reduction(CpmUnit::InstructionSched, 12).is_ok());
+        assert!(set
+            .set_unit_reduction(CpmUnit::InstructionSched, 12)
+            .is_ok());
         assert_eq!(set.unit_reduction(CpmUnit::InstructionSched), 12);
         assert_eq!(set.reduction(), 12);
         // A unit cannot be reduced past its own preset even when others

@@ -108,9 +108,8 @@ fn five_cpms_report_worst_unit() {
         .iter()
         .copied()
         .max_by(|&a, &b| {
-            let occ = |u: CpmUnit| {
-                set.inserted_delay(&si, u) + si.cpm_synthetic_delay(u.index(), v, t)
-            };
+            let occ =
+                |u: CpmUnit| set.inserted_delay(&si, u) + si.cpm_synthetic_delay(u.index(), v, t);
             occ(a).get().partial_cmp(&occ(b).get()).unwrap()
         })
         .unwrap();

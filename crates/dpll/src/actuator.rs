@@ -111,7 +111,11 @@ mod tests {
     use super::*;
 
     fn dpll() -> Dpll {
-        Dpll::new(MegaHz::new(4200.0), MegaHz::new(2000.0), MegaHz::new(5400.0))
+        Dpll::new(
+            MegaHz::new(4200.0),
+            MegaHz::new(2000.0),
+            MegaHz::new(5400.0),
+        )
     }
 
     #[test]
@@ -129,7 +133,11 @@ mod tests {
 
     #[test]
     fn initial_clamped() {
-        let d = Dpll::new(MegaHz::new(9000.0), MegaHz::new(2000.0), MegaHz::new(5400.0));
+        let d = Dpll::new(
+            MegaHz::new(9000.0),
+            MegaHz::new(2000.0),
+            MegaHz::new(5400.0),
+        );
         assert_eq!(d.frequency(), MegaHz::new(5400.0));
     }
 
@@ -152,6 +160,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "fmin")]
     fn inverted_bounds_rejected() {
-        let _ = Dpll::new(MegaHz::new(4200.0), MegaHz::new(5000.0), MegaHz::new(4000.0));
+        let _ = Dpll::new(
+            MegaHz::new(4200.0),
+            MegaHz::new(5000.0),
+            MegaHz::new(4000.0),
+        );
     }
 }

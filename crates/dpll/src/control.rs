@@ -52,7 +52,10 @@ impl AtmLoopConfig {
             (0.0..1.0).contains(&self.down_rate_per_unit),
             "down_rate_per_unit out of [0,1)"
         );
-        assert!(self.fmin.get() > 0.0 && self.fmin <= self.fmax, "bad DPLL range");
+        assert!(
+            self.fmin.get() > 0.0 && self.fmin <= self.fmax,
+            "bad DPLL range"
+        );
     }
 }
 

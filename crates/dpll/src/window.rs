@@ -91,11 +91,7 @@ impl FreqWindow {
             return None;
         }
         let total: f64 = self.samples.iter().map(|(_, dt)| dt.get()).sum();
-        let weighted: f64 = self
-            .samples
-            .iter()
-            .map(|(f, dt)| f.get() * dt.get())
-            .sum();
+        let weighted: f64 = self.samples.iter().map(|(f, dt)| f.get() * dt.get()).sum();
         Some(MegaHz::new(weighted / total))
     }
 

@@ -50,8 +50,7 @@ pub fn run(ctx: &mut Context) -> ExtAggressive {
 
     let mut default_mgr = AtmManager::deploy(ctx.fresh_system(), Governor::Default, &charact);
     default_mgr.set_measure_duration(measure);
-    let mut aggressive_mgr =
-        AtmManager::deploy(ctx.fresh_system(), Governor::Aggressive, &charact);
+    let mut aggressive_mgr = AtmManager::deploy(ctx.fresh_system(), Governor::Aggressive, &charact);
     aggressive_mgr.set_realistic_profiles(realistic);
     aggressive_mgr.set_measure_duration(measure);
 
@@ -93,7 +92,11 @@ impl fmt::Display for ExtAggressive {
                     render::pct(r.default_speedup - 1.0),
                     render::mhz(r.aggressive_freq),
                     render::pct(r.aggressive_speedup - 1.0),
-                    if r.aggressive_ok { "ok".into() } else { "FAILED".into() },
+                    if r.aggressive_ok {
+                        "ok".into()
+                    } else {
+                        "FAILED".into()
+                    },
                 ]
             })
             .collect();

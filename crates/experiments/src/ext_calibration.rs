@@ -151,7 +151,10 @@ fn minmax(v: &[f64]) -> (f64, f64) {
 
 impl fmt::Display for ExtCalibration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Extension — calibration provenance (simulator vs. paper)")?;
+        writeln!(
+            f,
+            "Extension — calibration provenance (simulator vs. paper)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -164,7 +167,10 @@ impl fmt::Display for ExtCalibration {
                 ]
             })
             .collect();
-        f.write_str(&render::table(&["quantity", "paper", "measured", ""], &rows))
+        f.write_str(&render::table(
+            &["quantity", "paper", "measured", ""],
+            &rows,
+        ))
     }
 }
 
@@ -179,7 +185,11 @@ mod tests {
         let cal = run(&mut ctx);
         assert!(cal.rows.len() >= 9);
         for r in &cal.rows {
-            assert!(r.ok, "calibration drift: {} measured {}", r.quantity, r.measured);
+            assert!(
+                r.ok,
+                "calibration drift: {} measured {}",
+                r.quantity, r.measured
+            );
         }
     }
 }

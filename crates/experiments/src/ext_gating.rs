@@ -39,7 +39,9 @@ pub struct ExtGating {
 pub fn run(ctx: &mut Context) -> ExtGating {
     let mut sys = ctx.deployed_system();
     let core = CoreId::new(0, 0);
-    let squeezenet = atm_workloads::by_name("squeezenet").expect("catalog").clone();
+    let squeezenet = atm_workloads::by_name("squeezenet")
+        .expect("catalog")
+        .clone();
     let daxpy = atm_workloads::by_name("daxpy").expect("catalog").clone();
 
     sys.set_mode(core, MarginMode::Atm);
@@ -94,7 +96,10 @@ impl fmt::Display for ExtGating {
                 ]
             })
             .collect();
-        f.write_str(&render::table(&["siblings", "critical MHz", "chip power"], &rows))
+        f.write_str(&render::table(
+            &["siblings", "critical MHz", "chip power"],
+            &rows,
+        ))
     }
 }
 

@@ -99,7 +99,13 @@ impl fmt::Display for ExtSeeds {
             })
             .collect();
         f.write_str(&render::table(
-            &["seed", "differential", "fastest core", "default ATM", "managed max"],
+            &[
+                "seed",
+                "differential",
+                "fastest core",
+                "default ATM",
+                "managed max",
+            ],
             &rows,
         ))
     }

@@ -109,7 +109,12 @@ mod tests {
         let gcc = row("gcc");
         let x264 = row("x264");
         // di/dt activity ranks the dip behaviour.
-        assert!(x264.swing > gcc.swing, "x264 {} vs gcc {}", x264.swing, gcc.swing);
+        assert!(
+            x264.swing > gcc.swing,
+            "x264 {} vs gcc {}",
+            x264.swing,
+            gcc.swing
+        );
         assert!(x264.dip_fraction > gcc.dip_fraction);
         assert!(idle.swing <= gcc.swing + MegaHz::new(40.0));
         // The loop rides droops out: means within ~2% of each other after

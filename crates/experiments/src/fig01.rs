@@ -118,13 +118,7 @@ impl fmt::Display for Fig01 {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| {
-                vec![
-                    r.scheme.clone(),
-                    render::mhz(r.worst),
-                    render::mhz(r.best),
-                ]
-            })
+            .map(|r| vec![r.scheme.clone(), render::mhz(r.worst), render::mhz(r.best)])
             .collect();
         f.write_str(&render::table(&["scheme", "worst MHz", "best MHz"], &rows))
     }

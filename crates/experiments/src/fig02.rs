@@ -66,7 +66,14 @@ pub fn run(ctx: &mut Context) -> Fig02 {
     let core = CoreId::new(0, 0);
     sys.set_mode(core, MarginMode::Atm);
     sys.assign(core, squeezenet.clone());
-    rows.push(row("default ATM, others idle", &mut sys, core, &squeezenet, nominal, measure));
+    rows.push(row(
+        "default ATM, others idle",
+        &mut sys,
+        core,
+        &squeezenet,
+        nominal,
+        measure,
+    ));
 
     // Fine-tuned, best schedule: fastest core, others idle.
     let mut sys = ctx.deployed_system();
@@ -182,6 +189,10 @@ mod tests {
             "best gain {gain_best:.1} ms vs worst {gain_worst:.1} ms"
         );
         // Paper band: best ≈ 66–72 ms.
-        assert!(best.latency_ms > 62.0 && best.latency_ms < 75.0, "{}", best.latency_ms);
+        assert!(
+            best.latency_ms > 62.0 && best.latency_ms < 75.0,
+            "{}",
+            best.latency_ms
+        );
     }
 }

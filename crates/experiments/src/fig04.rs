@@ -55,7 +55,11 @@ pub fn run(ctx: &mut Context) -> Fig04 {
         .map(|core| {
             let cpms = sys.core(core).cpms();
             let mut presets = [0usize; 4];
-            for (i, unit) in CpmUnit::ALL.iter().filter(|u| **u != CpmUnit::Cache).enumerate() {
+            for (i, unit) in CpmUnit::ALL
+                .iter()
+                .filter(|u| **u != CpmUnit::Cache)
+                .enumerate()
+            {
                 presets[i] = cpms.preset(*unit);
             }
             PresetRow { core, presets }
@@ -66,7 +70,10 @@ pub fn run(ctx: &mut Context) -> Fig04 {
 
 impl fmt::Display for Fig04 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 4b — pre-set CPM inserted delays (steps, LLC excluded)")?;
+        writeln!(
+            f,
+            "Fig. 4b — pre-set CPM inserted delays (steps, LLC excluded)"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -101,7 +108,12 @@ mod tests {
         // Paper: ~3x spread; accept anything clearly non-uniform.
         assert!(fig.spread_ratio() > 1.8, "spread {:.2}", fig.spread_ratio());
         for r in &fig.rows {
-            assert!(r.mean() >= 3.0 && r.mean() <= 31.0, "{}: {:?}", r.core, r.presets);
+            assert!(
+                r.mean() >= 3.0 && r.mean() <= 31.0,
+                "{}: {:?}",
+                r.core,
+                r.presets
+            );
         }
     }
 }

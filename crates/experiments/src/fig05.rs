@@ -41,12 +41,7 @@ pub fn run(ctx: &mut Context) -> Fig05 {
     // in between, giving visibly different step granularities.
     let mut by_limit: Vec<CoreId> = CoreId::all().collect();
     by_limit.sort_by_key(|c| idle_limits[c.flat_index()]);
-    let picks = [
-        by_limit[0],
-        by_limit[5],
-        by_limit[10],
-        by_limit[15],
-    ];
+    let picks = [by_limit[0], by_limit[5], by_limit[10], by_limit[15]];
 
     let mut sys = ctx.fresh_system();
     let rows = picks

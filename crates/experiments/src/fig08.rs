@@ -102,7 +102,12 @@ mod tests {
             fig.rows.len()
         );
         for r in &fig.rows {
-            assert!((1..=4).contains(&r.rollback), "{}: rollback {}", r.core, r.rollback);
+            assert!(
+                (1..=4).contains(&r.rollback),
+                "{}: rollback {}",
+                r.core,
+                r.rollback
+            );
             assert_eq!(r.idle_limit - r.ubench_limit, r.rollback);
         }
     }

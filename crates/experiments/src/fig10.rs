@@ -59,11 +59,7 @@ impl Fig10 {
 /// Builds the heat map from the cached realistic characterization.
 pub fn run(ctx: &mut Context) -> Fig10 {
     let realistic = ctx.realistic();
-    let mut apps: Vec<String> = realistic
-        .profiles
-        .iter()
-        .map(|p| p.app.clone())
-        .collect();
+    let mut apps: Vec<String> = realistic.profiles.iter().map(|p| p.app.clone()).collect();
     apps.sort();
     apps.dedup();
 
@@ -118,10 +114,7 @@ mod tests {
 
         // Rows sorted by stress: top row should be x264 or ferret.
         let top = &fig.rows[0].app;
-        assert!(
-            top == "x264" || top == "ferret",
-            "top stressor is {top}"
-        );
+        assert!(top == "x264" || top == "ferret", "top stressor is {top}");
         // gcc and leela in the gentle half.
         let pos = |name: &str| fig.rows.iter().position(|r| r.app == name).unwrap();
         assert!(pos("gcc") > fig.rows.len() / 2, "gcc too stressful");

@@ -31,7 +31,11 @@ impl DeployRow {
     #[must_use]
     pub fn differential(&self) -> MegaHz {
         let max = self.freqs.iter().copied().fold(MegaHz::ZERO, MegaHz::max);
-        let min = self.freqs.iter().copied().fold(MegaHz::new(1e6), MegaHz::min);
+        let min = self
+            .freqs
+            .iter()
+            .copied()
+            .fold(MegaHz::new(1e6), MegaHz::min);
         max - min
     }
 }
@@ -109,10 +113,8 @@ mod tests {
         // Rollback keeps variation exposed but lowers frequencies.
         for w in fig.rows.windows(2) {
             assert!(w[1].differential().get() > 80.0);
-            let mean_a: f64 =
-                w[0].freqs.iter().map(|f| f.get()).sum::<f64>() / 16.0;
-            let mean_b: f64 =
-                w[1].freqs.iter().map(|f| f.get()).sum::<f64>() / 16.0;
+            let mean_a: f64 = w[0].freqs.iter().map(|f| f.get()).sum::<f64>() / 16.0;
+            let mean_b: f64 = w[1].freqs.iter().map(|f| f.get()).sum::<f64>() / 16.0;
             assert!(mean_b < mean_a, "rollback did not lower mean frequency");
         }
     }

@@ -104,10 +104,7 @@ impl fmt::Display for Fig12 {
                 ]
             })
             .collect();
-        f.write_str(&render::table(
-            &["core", "MHz/W", "intercept", "r²"],
-            &rows,
-        ))?;
+        f.write_str(&render::table(&["core", "MHz/W", "intercept", "r²"], &rows))?;
         writeln!(f, "Fig. 12b — app speedup vs. frequency fits")?;
         let rows: Vec<Vec<String>> = self
             .perf_fits

@@ -90,8 +90,7 @@ pub fn run(ctx: &mut Context) -> Fig14 {
                 .evaluate_pair(c, b, Strategy::FineTunedUnmanaged)
                 .speedup;
             let managed_max = mgr.evaluate_pair(c, b, Strategy::ManagedMax).speedup;
-            let balanced_outcome =
-                mgr.evaluate_pair(c, b, Strategy::ManagedBalanced(qos));
+            let balanced_outcome = mgr.evaluate_pair(c, b, Strategy::ManagedBalanced(qos));
             PairRow {
                 critical: (*critical).to_owned(),
                 background: (*background).to_owned(),
@@ -176,6 +175,10 @@ mod tests {
         assert!(managed_max > 1.10, "managed max mean {managed_max:.3}");
         // QoS: a solid majority of balanced runs meet 10%.
         let met = fig.rows.iter().filter(|r| r.qos_met).count();
-        assert!(met * 10 >= fig.rows.len() * 7, "{met}/{} met QoS", fig.rows.len());
+        assert!(
+            met * 10 >= fig.rows.len() * 7,
+            "{met}/{} met QoS",
+            fig.rows.len()
+        );
     }
 }

@@ -59,9 +59,26 @@ pub use context::{Context, ExpConfig};
 /// Identifiers of every reproducible exhibit, in paper order, plus the
 /// `ext-*` extensions (features the paper sketches but defers).
 pub const ALL_EXPERIMENTS: [&str; 20] = [
-    "fig1", "fig2", "fig4b", "fig5", "fig7", "table1", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "table2", "fig14", "ext-aggressive", "ext-gating", "ext-trace",
-    "ext-failure", "ext-calibration", "ext-seeds", "ext-predict",
+    "fig1",
+    "fig2",
+    "fig4b",
+    "fig5",
+    "fig7",
+    "table1",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "fig14",
+    "ext-aggressive",
+    "ext-gating",
+    "ext-trace",
+    "ext-failure",
+    "ext-calibration",
+    "ext-seeds",
+    "ext-predict",
 ];
 
 /// Runs one exhibit by name and returns its rendered report.

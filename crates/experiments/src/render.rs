@@ -64,7 +64,10 @@ mod tests {
     fn table_aligns_columns() {
         let s = table(
             &["a", "bbbb"],
-            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "22".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

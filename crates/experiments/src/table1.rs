@@ -36,7 +36,10 @@ pub fn run(ctx: &mut Context) -> Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table I — ATM reconfiguration limits (CPM delay-reduction steps)")?;
+        writeln!(
+            f,
+            "Table I — ATM reconfiguration limits (CPM delay-reduction steps)"
+        )?;
         self.table.fmt(f)
     }
 }
@@ -53,8 +56,7 @@ mod tests {
         t.table.assert_invariants();
 
         // Idle limits show wide inter-core spread.
-        let idle_spread =
-            t.table.idle.iter().max().unwrap() - t.table.idle.iter().min().unwrap();
+        let idle_spread = t.table.idle.iter().max().unwrap() - t.table.idle.iter().min().unwrap();
         assert!(idle_spread >= 3, "idle spread {idle_spread}");
 
         // Thread-worst strictly below idle for most cores (realistic

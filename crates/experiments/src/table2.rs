@@ -52,7 +52,10 @@ impl fmt::Display for Table2 {
                 self.quadrant(Role::Background, false).join(", "),
             ],
         ];
-        f.write_str(&render::table(&["mem behavior", "critical", "background"], &rows))
+        f.write_str(&render::table(
+            &["mem behavior", "critical", "background"],
+            &rows,
+        ))
     }
 }
 
@@ -65,7 +68,9 @@ mod tests {
         let t = run();
         assert_eq!(t.quadrant(Role::Critical, true).len(), 4);
         assert_eq!(t.quadrant(Role::Critical, false).len(), 5);
-        assert!(t.quadrant(Role::Background, true).contains(&"streamcluster"));
+        assert!(t
+            .quadrant(Role::Background, true)
+            .contains(&"streamcluster"));
         assert!(t.quadrant(Role::Background, false).contains(&"x264"));
     }
 }

@@ -6,8 +6,8 @@ use atm_experiments::{run_by_name, Context, ExpConfig, ALL_EXPERIMENTS};
 fn every_exhibit_runs_and_renders() {
     let mut ctx = Context::new(ExpConfig::quick(42));
     for name in ALL_EXPERIMENTS {
-        let report = run_by_name(&mut ctx, name)
-            .unwrap_or_else(|e| panic!("exhibit {name} failed: {e}"));
+        let report =
+            run_by_name(&mut ctx, name).unwrap_or_else(|e| panic!("exhibit {name} failed: {e}"));
         assert!(!report.trim().is_empty(), "{name} rendered nothing");
         assert!(
             report.lines().count() >= 3,

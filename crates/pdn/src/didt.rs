@@ -194,8 +194,8 @@ impl DroopProcess {
             let u2: f64 = self.rng.gen_range(0.0..1.0);
             (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
         };
-        let magnitude = (self.params.magnitude_mean_mv + gauss * self.params.magnitude_sigma_mv)
-            .max(0.0);
+        let magnitude =
+            (self.params.magnitude_mean_mv + gauss * self.params.magnitude_sigma_mv).max(0.0);
         Some(DroopEvent {
             magnitude: Millivolts::new(magnitude),
             unseen: Millivolts::new(magnitude * self.params.sharpness),
@@ -275,7 +275,10 @@ mod tests {
         // Expected: 1 per us = 0.05 per tick -> ~10_000 events.
         let expected = 0.05 * f64::from(ticks) * (1.0 - 0.05 / 2.0); // Poisson merge correction
         let ratio = events as f64 / expected;
-        assert!((0.85..1.15).contains(&ratio), "rate off: {events} vs ~{expected}");
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "rate off: {events} vs ~{expected}"
+        );
     }
 
     #[test]

@@ -208,7 +208,9 @@ mod tests {
     fn breakdown_sums_to_total() {
         let pm = pm();
         let t = Celsius::new(55.0);
-        let cores: Vec<_> = (0..8).map(|_| (MegaHz::new(4500.0), Volts::new(1.22), 0.6)).collect();
+        let cores: Vec<_> = (0..8)
+            .map(|_| (MegaHz::new(4500.0), Volts::new(1.22), 0.6))
+            .collect();
         let b = pm.chip_power(cores.iter().copied(), t);
         let manual: Watts = cores
             .iter()
@@ -229,6 +231,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "activity")]
     fn absurd_activity_rejected() {
-        let _ = pm().core_power(MegaHz::new(4600.0), Volts::new(1.25), Celsius::new(45.0), 2.0);
+        let _ = pm().core_power(
+            MegaHz::new(4600.0),
+            Volts::new(1.25),
+            Celsius::new(45.0),
+            2.0,
+        );
     }
 }

@@ -45,7 +45,10 @@ impl ThermalModel {
     /// positive.
     #[must_use]
     pub fn new(ambient: Celsius, r_th_deg_per_watt: f64, tau_ms: f64) -> Self {
-        assert!(r_th_deg_per_watt >= 0.0, "thermal resistance must be non-negative");
+        assert!(
+            r_th_deg_per_watt >= 0.0,
+            "thermal resistance must be non-negative"
+        );
         assert!(tau_ms > 0.0, "thermal time constant must be positive");
         ThermalModel {
             ambient,
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn starts_at_ambient() {
-        assert_eq!(ThermalModel::power7_plus().temperature(), Celsius::new(40.0));
+        assert_eq!(
+            ThermalModel::power7_plus().temperature(),
+            Celsius::new(40.0)
+        );
     }
 
     #[test]

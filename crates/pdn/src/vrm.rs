@@ -50,7 +50,10 @@ impl PdnModel {
     #[must_use]
     pub fn new(setpoint: Volts, r_shared_ohm: f64, r_local_ohm: f64) -> Self {
         assert!(setpoint.get() > 0.0, "VRM setpoint must be positive");
-        assert!(r_shared_ohm >= 0.0, "shared resistance must be non-negative");
+        assert!(
+            r_shared_ohm >= 0.0,
+            "shared resistance must be non-negative"
+        );
         assert!(r_local_ohm >= 0.0, "local resistance must be non-negative");
         PdnModel {
             setpoint,

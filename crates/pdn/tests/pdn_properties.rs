@@ -112,5 +112,8 @@ fn empirical_unseen_tail_matches_analytic_quantile() {
     let empirical_q99 = unseen[(unseen.len() as f64 * 0.99) as usize];
     let analytic = params.worst_case_unseen_mv(0.99);
     let rel = (empirical_q99 - analytic).abs() / analytic;
-    assert!(rel < 0.06, "q99 empirical {empirical_q99:.2} vs analytic {analytic:.2}");
+    assert!(
+        rel < 0.06,
+        "q99 empirical {empirical_q99:.2} vs analytic {analytic:.2}"
+    );
 }

@@ -75,7 +75,10 @@ impl CoreSilicon {
             );
         }
         assert!(gap_base >= 0.0, "gap_base must be non-negative");
-        assert!(gap_sensitivity >= 0.0, "gap_sensitivity must be non-negative");
+        assert!(
+            gap_sensitivity >= 0.0,
+            "gap_sensitivity must be non-negative"
+        );
         CoreSilicon {
             id,
             real_path,

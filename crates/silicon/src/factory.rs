@@ -158,8 +158,7 @@ impl SiliconFactory {
 
         let mut mimic = [0.0; CPMS_PER_CORE];
         for m in &mut mimic {
-            *m = p.mimic_ratio_mean
-                + rng.gen_range(-p.mimic_ratio_jitter..=p.mimic_ratio_jitter);
+            *m = p.mimic_ratio_mean + rng.gen_range(-p.mimic_ratio_jitter..=p.mimic_ratio_jitter);
         }
 
         let gap_base = rng.gen_range(p.gap_base_range.0..=p.gap_base_range.1);
@@ -220,7 +219,10 @@ mod tests {
         let cores = factory(42).all_cores();
         let v = Volts::new(1.25);
         let t = Celsius::new(45.0);
-        let delays: Vec<f64> = cores.iter().map(|c| c.real_path_delay(v, t).get()).collect();
+        let delays: Vec<f64> = cores
+            .iter()
+            .map(|c| c.real_path_delay(v, t).get())
+            .collect();
         let min = delays.iter().copied().fold(f64::MAX, f64::min);
         let max = delays.iter().copied().fold(f64::MIN, f64::max);
         assert!(max / min > 1.015, "spread too small: {min}..{max}");
@@ -232,7 +234,10 @@ mod tests {
         // Across the default parameters roughly 3/8 of cores are minted
         // vulnerable; check a seed gives a mixed population.
         let cores = factory(42).all_cores();
-        let vulnerable = cores.iter().filter(|c| c.coverage_gap(1.0) - c.coverage_gap(0.0) > 0.009).count();
+        let vulnerable = cores
+            .iter()
+            .filter(|c| c.coverage_gap(1.0) - c.coverage_gap(0.0) > 0.009)
+            .count();
         assert!(vulnerable >= 2, "no vulnerable cores minted");
         assert!(vulnerable <= 12, "nearly all cores vulnerable");
     }

@@ -47,7 +47,10 @@ impl InverterChain {
     /// `[0, 1)`.
     #[must_use]
     pub fn manufacture(seed: u64, scale_ps: f64, nonlinearity: f64) -> Self {
-        assert!(scale_ps > 0.0, "step scale must be positive, got {scale_ps}");
+        assert!(
+            scale_ps > 0.0,
+            "step scale must be positive, got {scale_ps}"
+        );
         assert!(
             (0.0..1.0).contains(&nonlinearity),
             "nonlinearity must be in [0, 1), got {nonlinearity}"
@@ -74,7 +77,10 @@ impl InverterChain {
     /// Panics if `scale_ps` is not positive.
     #[must_use]
     pub fn linear(scale_ps: f64) -> Self {
-        assert!(scale_ps > 0.0, "step scale must be positive, got {scale_ps}");
+        assert!(
+            scale_ps > 0.0,
+            "step scale must be positive, got {scale_ps}"
+        );
         InverterChain {
             step_delays: vec![Picos::new(scale_ps); MAX_INSERTED_STEPS],
         }
@@ -208,7 +214,10 @@ mod tests {
         let max = (0..chain.len())
             .map(|i| chain.step_delay(i))
             .fold(Picos::ZERO, Picos::max);
-        assert!(max / min > 1.5, "chain unexpectedly uniform: {min} .. {max}");
+        assert!(
+            max / min > 1.5,
+            "chain unexpectedly uniform: {min} .. {max}"
+        );
     }
 
     #[test]

@@ -121,7 +121,8 @@ impl AlphaPowerLaw {
             "supply voltage {v} at or below threshold {}",
             self.vth
         );
-        let v_term = ((self.vnom.get() - self.vth.get()) / (v.get() - self.vth.get())).powf(self.alpha);
+        let v_term =
+            ((self.vnom.get() - self.vth.get()) / (v.get() - self.vth.get())).powf(self.alpha);
         let t_term = 1.0 + self.temp_coeff_per_deg * (t.get() - self.tnom.get());
         self.d0 * (v_term * t_term)
     }

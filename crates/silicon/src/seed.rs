@@ -101,7 +101,10 @@ mod tests {
         let mut seen = HashSet::new();
         for domain in ["pv", "inv", "droop", "gap"] {
             for i in 0..256 {
-                assert!(seen.insert(s.derive(domain, i)), "collision at {domain}/{i}");
+                assert!(
+                    seen.insert(s.derive(domain, i)),
+                    "collision at {domain}/{i}"
+                );
             }
         }
     }

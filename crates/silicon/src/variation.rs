@@ -137,7 +137,10 @@ mod tests {
         // inter-core variation; require it for a large majority.
         let spreads: Vec<f64> = (0..50).map(|s| pv(s).spread()).collect();
         let with_spread = spreads.iter().filter(|&&s| s > 0.01).count();
-        assert!(with_spread > 40, "only {with_spread}/50 seeds show >1% spread");
+        assert!(
+            with_spread > 40,
+            "only {with_spread}/50 seeds show >1% spread"
+        );
     }
 
     #[test]
@@ -158,12 +161,21 @@ mod tests {
         let mut distinct = 0;
         for seed in 0..20 {
             let v = pv(seed);
-            let mean_p0: f64 = (0..8).map(|c| v.delay_factor(CoreId::new(0, c))).sum::<f64>() / 8.0;
-            let mean_p1: f64 = (0..8).map(|c| v.delay_factor(CoreId::new(1, c))).sum::<f64>() / 8.0;
+            let mean_p0: f64 = (0..8)
+                .map(|c| v.delay_factor(CoreId::new(0, c)))
+                .sum::<f64>()
+                / 8.0;
+            let mean_p1: f64 = (0..8)
+                .map(|c| v.delay_factor(CoreId::new(1, c)))
+                .sum::<f64>()
+                / 8.0;
             if (mean_p0 - mean_p1).abs() > 0.002 {
                 distinct += 1;
             }
         }
-        assert!(distinct >= 12, "die offsets indistinguishable: {distinct}/20");
+        assert!(
+            distinct >= 12,
+            "die offsets indistinguishable: {distinct}/20"
+        );
     }
 }

@@ -91,8 +91,14 @@ mod tests {
 
     #[test]
     fn add_delta() {
-        assert_eq!(Celsius::new(40.0) + Celsius::delta(30.0), Celsius::new(70.0));
-        assert_eq!(Celsius::new(70.0) - Celsius::new(40.0), Celsius::delta(30.0));
+        assert_eq!(
+            Celsius::new(40.0) + Celsius::delta(30.0),
+            Celsius::new(70.0)
+        );
+        assert_eq!(
+            Celsius::new(70.0) - Celsius::new(40.0),
+            Celsius::delta(30.0)
+        );
     }
 
     #[test]

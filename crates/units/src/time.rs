@@ -60,7 +60,10 @@ impl Picos {
     /// Panics if the interval is not strictly positive.
     #[must_use]
     pub fn frequency(self) -> MegaHz {
-        assert!(self.0 > 0.0, "cannot take frequency of non-positive period {self}");
+        assert!(
+            self.0 > 0.0,
+            "cannot take frequency of non-positive period {self}"
+        );
         MegaHz::new(1.0e6 / self.0)
     }
 

@@ -30,9 +30,30 @@ fn build_catalog() -> Vec<Workload> {
     let rows: Vec<(&str, WorkloadKind, f64, f64, f64, (f64, f64, f64, f64))> = vec![
         // Micro-benchmarks: smooth behaviour, little system noise, but they
         // touch more paths than idle (paper Sec. V-A).
-        ("coremark", MicroBench, 0.55, 0.05, 0.45, (0.10, 8.0, 3.0, 0.35)),
-        ("daxpy", MicroBench, 0.95, 0.10, 0.35, (0.10, 10.0, 3.0, 0.35)),
-        ("stream", MicroBench, 0.50, 0.70, 0.40, (0.20, 9.0, 3.0, 0.35)),
+        (
+            "coremark",
+            MicroBench,
+            0.55,
+            0.05,
+            0.45,
+            (0.10, 8.0, 3.0, 0.35),
+        ),
+        (
+            "daxpy",
+            MicroBench,
+            0.95,
+            0.10,
+            0.35,
+            (0.10, 10.0, 3.0, 0.35),
+        ),
+        (
+            "stream",
+            MicroBench,
+            0.50,
+            0.70,
+            0.40,
+            (0.20, 9.0, 3.0, 0.35),
+        ),
         // SPEC CPU 2017.
         ("gcc", Spec, 0.50, 0.35, 0.75, (0.50, 9.0, 3.0, 0.40)),
         ("mcf", Spec, 0.38, 0.80, 0.45, (0.30, 8.0, 3.0, 0.40)),
@@ -43,23 +64,107 @@ fn build_catalog() -> Vec<Workload> {
         ("xz", Spec, 0.45, 0.45, 0.50, (0.60, 13.0, 4.0, 0.50)),
         // PARSEC 3.0.
         ("ferret", Parsec, 0.70, 0.30, 0.65, (1.80, 28.0, 7.0, 0.55)),
-        ("fluidanimate", Parsec, 0.60, 0.30, 0.55, (1.00, 20.0, 4.0, 0.50)),
+        (
+            "fluidanimate",
+            Parsec,
+            0.60,
+            0.30,
+            0.55,
+            (1.00, 20.0, 4.0, 0.50),
+        ),
         ("facesim", Parsec, 0.55, 0.60, 0.50, (0.80, 16.0, 4.0, 0.55)),
         ("lu_cb", Parsec, 0.80, 0.55, 0.50, (0.80, 15.0, 4.0, 0.50)),
-        ("streamcluster", Parsec, 0.30, 0.60, 0.40, (0.40, 10.0, 3.0, 0.45)),
-        ("blackscholes", Parsec, 0.60, 0.05, 0.35, (0.30, 10.0, 3.0, 0.40)),
-        ("swaptions", Parsec, 0.65, 0.05, 0.40, (0.40, 12.0, 3.0, 0.45)),
-        ("raytrace", Parsec, 0.55, 0.30, 0.50, (0.50, 13.0, 3.0, 0.50)),
-        ("bodytrack", Parsec, 0.60, 0.15, 0.50, (0.60, 14.0, 4.0, 0.50)),
+        (
+            "streamcluster",
+            Parsec,
+            0.30,
+            0.60,
+            0.40,
+            (0.40, 10.0, 3.0, 0.45),
+        ),
+        (
+            "blackscholes",
+            Parsec,
+            0.60,
+            0.05,
+            0.35,
+            (0.30, 10.0, 3.0, 0.40),
+        ),
+        (
+            "swaptions",
+            Parsec,
+            0.65,
+            0.05,
+            0.40,
+            (0.40, 12.0, 3.0, 0.45),
+        ),
+        (
+            "raytrace",
+            Parsec,
+            0.55,
+            0.30,
+            0.50,
+            (0.50, 13.0, 3.0, 0.50),
+        ),
+        (
+            "bodytrack",
+            Parsec,
+            0.60,
+            0.15,
+            0.50,
+            (0.60, 14.0, 4.0, 0.50),
+        ),
         ("vips", Parsec, 0.65, 0.20, 0.55, (0.70, 15.0, 4.0, 0.50)),
         ("canneal", Parsec, 0.45, 0.75, 0.45, (0.40, 11.0, 3.0, 0.45)),
         // ML inference / training.
-        ("squeezenet", MlInference, 0.65, 0.12, 0.45, (0.50, 12.0, 3.0, 0.45)),
-        ("resnet", MlInference, 0.70, 0.30, 0.50, (0.60, 14.0, 4.0, 0.50)),
-        ("vgg19", MlInference, 0.75, 0.32, 0.50, (0.70, 15.0, 4.0, 0.50)),
-        ("seq2seq", MlInference, 0.55, 0.22, 0.50, (0.50, 12.0, 3.0, 0.45)),
-        ("babi", MlInference, 0.50, 0.20, 0.45, (0.40, 11.0, 3.0, 0.45)),
-        ("mlp", MlInference, 0.60, 0.55, 0.45, (0.50, 12.0, 3.0, 0.50)),
+        (
+            "squeezenet",
+            MlInference,
+            0.65,
+            0.12,
+            0.45,
+            (0.50, 12.0, 3.0, 0.45),
+        ),
+        (
+            "resnet",
+            MlInference,
+            0.70,
+            0.30,
+            0.50,
+            (0.60, 14.0, 4.0, 0.50),
+        ),
+        (
+            "vgg19",
+            MlInference,
+            0.75,
+            0.32,
+            0.50,
+            (0.70, 15.0, 4.0, 0.50),
+        ),
+        (
+            "seq2seq",
+            MlInference,
+            0.55,
+            0.22,
+            0.50,
+            (0.50, 12.0, 3.0, 0.45),
+        ),
+        (
+            "babi",
+            MlInference,
+            0.50,
+            0.20,
+            0.45,
+            (0.40, 11.0, 3.0, 0.45),
+        ),
+        (
+            "mlp",
+            MlInference,
+            0.60,
+            0.55,
+            0.45,
+            (0.50, 12.0, 3.0, 0.50),
+        ),
     ];
 
     rows.into_iter()
@@ -188,7 +293,11 @@ mod tests {
         for w in catalog() {
             if let Some(c) = w.class() {
                 if c.role == Role::Background && w.name() != "streamcluster" {
-                    assert!(w.activity() > sc.activity(), "{} not above streamcluster", w.name());
+                    assert!(
+                        w.activity() > sc.activity(),
+                        "{} not above streamcluster",
+                        w.name()
+                    );
                 }
             }
         }
@@ -208,7 +317,11 @@ mod tests {
         // uBench must create little di/dt (paper: smooth behaviour, no
         // pipeline flushes) so that its limit reflects path coverage.
         for w in ubench_set() {
-            assert!(w.didt().worst_case_unseen_mv(0.99) < 6.0, "{} too noisy", w.name());
+            assert!(
+                w.didt().worst_case_unseen_mv(0.99) < 6.0,
+                "{} too noisy",
+                w.name()
+            );
         }
     }
 

@@ -73,8 +73,14 @@ impl Workload {
         class: Option<AppClass>,
     ) -> Self {
         assert!((0.0..=1.5).contains(&activity), "activity out of range");
-        assert!((0.0..=1.0).contains(&mem_fraction), "mem_fraction out of range");
-        assert!((0.0..=1.0).contains(&path_stress), "path_stress out of range");
+        assert!(
+            (0.0..=1.0).contains(&mem_fraction),
+            "mem_fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&path_stress),
+            "path_stress out of range"
+        );
         assert!(sync_amplification >= 1.0, "sync_amplification must be >= 1");
         Workload {
             name: name.into(),
@@ -164,7 +170,10 @@ impl Workload {
     /// Panics if either frequency is zero.
     #[must_use]
     pub fn speedup(&self, f: MegaHz, baseline: MegaHz) -> f64 {
-        assert!(f.get() > 0.0 && baseline.get() > 0.0, "frequencies must be positive");
+        assert!(
+            f.get() > 0.0 && baseline.get() > 0.0,
+            "frequencies must be positive"
+        );
         let c = 1.0 - self.mem_fraction;
         1.0 / (c * (baseline / f).max(f64::MIN_POSITIVE) + (1.0 - c))
     }

@@ -21,8 +21,7 @@ fn main() {
     let mut sys = System::new(ChipConfig::power7_plus(seed));
     let apps = realistic_set();
     let cfg = CharactConfig::quick();
-    let (table, idle, ubench, realistic) =
-        LimitTable::characterize_detailed(&mut sys, &apps, &cfg);
+    let (table, idle, ubench, realistic) = LimitTable::characterize_detailed(&mut sys, &apps, &cfg);
 
     println!("== Idle characterization (Sec. IV) ==");
     for r in &idle {

@@ -38,7 +38,11 @@ fn main() {
 
     // Sanity: the deployed configuration honors the management contract
     // (every core in ATM at its limit under worst realistic co-location).
-    sys.assign_all(&power_atm::workloads::by_name("x264").expect("catalog").clone());
+    sys.assign_all(
+        &power_atm::workloads::by_name("x264")
+            .expect("catalog")
+            .clone(),
+    );
     sys.set_mode_all(power_atm::chip::MarginMode::Atm);
     let report = sys.run(power_atm::units::Nanos::new(100_000.0));
     println!(

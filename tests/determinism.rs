@@ -12,7 +12,10 @@ use proptest::prelude::*;
 
 /// One engine run with a fresh engine (fresh cache) for worker count `k`.
 fn run(seed: u64, cfg: &CharactConfig, apps: &[&str], k: usize) -> EngineResult {
-    let apps: Vec<_> = apps.iter().map(|n| by_name(n).expect("known app")).collect();
+    let apps: Vec<_> = apps
+        .iter()
+        .map(|n| by_name(n).expect("known app"))
+        .collect();
     let engine = CharactEngine::new(ChipConfig::power7_plus(seed), *cfg);
     engine.run_parallel(&apps, k)
 }

@@ -11,8 +11,16 @@ use power_atm::workloads::by_name;
 fn per_core_energy_sums_are_consistent_with_socket_power() {
     let mut sys = System::new(ChipConfig::default());
     Schedule::new()
-        .run(CoreId::new(0, 0), by_name("daxpy").unwrap().clone(), MarginMode::Atm)
-        .run(CoreId::new(0, 1), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+        .run(
+            CoreId::new(0, 0),
+            by_name("daxpy").unwrap().clone(),
+            MarginMode::Atm,
+        )
+        .run(
+            CoreId::new(0, 1),
+            by_name("gcc").unwrap().clone(),
+            MarginMode::Atm,
+        )
         .apply(&mut sys);
     let duration = Nanos::new(50_000.0);
     let report = sys.run(duration);
@@ -35,7 +43,11 @@ fn per_core_energy_sums_are_consistent_with_socket_power() {
 fn busy_cores_draw_more_energy_than_idle_ones() {
     let mut sys = System::new(ChipConfig::default());
     Schedule::new()
-        .run(CoreId::new(0, 0), by_name("daxpy").unwrap().clone(), MarginMode::Atm)
+        .run(
+            CoreId::new(0, 0),
+            by_name("daxpy").unwrap().clone(),
+            MarginMode::Atm,
+        )
         .apply(&mut sys);
     let report = sys.run(Nanos::new(20_000.0));
     let busy = report.core(CoreId::new(0, 0)).energy_uj;
@@ -50,7 +62,11 @@ fn undervolting_trades_frequency_for_energy() {
     let run_at = |setpoint: f64| {
         let mut sys = System::new(ChipConfig::default());
         Schedule::new()
-            .run(CoreId::new(0, 0), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+            .run(
+                CoreId::new(0, 0),
+                by_name("gcc").unwrap().clone(),
+                MarginMode::Atm,
+            )
             .apply(&mut sys);
         sys.set_rail_voltage(ProcId::new(0), Volts::new(setpoint));
         let report = sys.run(Nanos::new(20_000.0));
@@ -80,16 +96,27 @@ fn gated_cores_draw_an_order_of_magnitude_less() {
     let mut sys = System::new(ChipConfig::default());
     Schedule::new()
         .idle_cores(MarginMode::Gated)
-        .run(CoreId::new(0, 0), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+        .run(
+            CoreId::new(0, 0),
+            by_name("gcc").unwrap().clone(),
+            MarginMode::Atm,
+        )
         .apply(&mut sys);
     let report = sys.run(Nanos::new(20_000.0));
     let gated = report.core(CoreId::new(0, 4)).energy_uj;
 
     let mut sys = System::new(ChipConfig::default());
     Schedule::new()
-        .run(CoreId::new(0, 0), by_name("gcc").unwrap().clone(), MarginMode::Atm)
+        .run(
+            CoreId::new(0, 0),
+            by_name("gcc").unwrap().clone(),
+            MarginMode::Atm,
+        )
         .apply(&mut sys);
     let report = sys.run(Nanos::new(20_000.0));
     let idle = report.core(CoreId::new(0, 4)).energy_uj;
-    assert!(gated < idle / 5.0, "gated {gated:.2} µJ vs idle {idle:.2} µJ");
+    assert!(
+        gated < idle / 5.0,
+        "gated {gated:.2} µJ vs idle {idle:.2} µJ"
+    );
 }

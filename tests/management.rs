@@ -22,7 +22,11 @@ fn strategies_order_for_multiple_pairs() {
         let def = mgr.evaluate_pair(c, b, Strategy::DefaultAtm);
         let unm = mgr.evaluate_pair(c, b, Strategy::FineTunedUnmanaged);
         let max = mgr.evaluate_pair(c, b, Strategy::ManagedMax);
-        assert!((stat.speedup - 1.0).abs() < 1e-9, "{critical}: static {:.3}", stat.speedup);
+        assert!(
+            (stat.speedup - 1.0).abs() < 1e-9,
+            "{critical}: static {:.3}",
+            stat.speedup
+        );
         assert!(def.speedup > 1.0, "{critical}: default {:.3}", def.speedup);
         assert!(unm.speedup > def.speedup, "{critical}");
         assert!(max.speedup > unm.speedup, "{critical}");
@@ -41,7 +45,11 @@ fn balanced_throttles_hungry_backgrounds_but_not_streamcluster() {
     // streamcluster draws so little power the budget allows full ATM.
     let sc = by_name("streamcluster").unwrap();
     let easy = mgr.evaluate_pair(seq2seq, sc, Strategy::ManagedBalanced(qos));
-    assert!(qos.met_by(easy.speedup), "streamcluster pair {:.3}", easy.speedup);
+    assert!(
+        qos.met_by(easy.speedup),
+        "streamcluster pair {:.3}",
+        easy.speedup
+    );
 
     // lu_cb is power-hungry: some throttling is expected relative to
     // streamcluster's setting, and QoS must still be met.
@@ -66,7 +74,9 @@ fn conservative_governor_places_critical_on_robust_core() {
     // The chosen core must be in the robust half of socket 0.
     let robust = Scheduler::new(mgr.system_mut()).rank_cores(ProcId::new(0), true);
     assert!(
-        robust.iter().any(|(core, _)| *core == outcome.critical_core),
+        robust
+            .iter()
+            .any(|(core, _)| *core == outcome.critical_core),
         "critical on non-robust core {}",
         outcome.critical_core
     );
@@ -83,7 +93,12 @@ fn conservative_deploys_less_aggressively_than_default() {
         .governor()
         .reduction_map(conservative.deployed(), None, None);
     for i in 0..16 {
-        assert!(c_map[i] <= d_map[i], "core {i}: {} > {}", c_map[i], d_map[i]);
+        assert!(
+            c_map[i] <= d_map[i],
+            "core {i}: {} > {}",
+            c_map[i],
+            d_map[i]
+        );
     }
 }
 

@@ -325,7 +325,9 @@ mod tests {
     fn deterministic_per_seed() {
         let draw = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..32).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<f64>>()
+            (0..32)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect::<Vec<f64>>()
         };
         assert_eq!(draw(1), draw(1));
         assert_ne!(draw(1), draw(2));
