@@ -1,7 +1,10 @@
 #!/bin/sh
-# The repo's CI gate: release build, tests, and warning-free clippy.
+# The repo's CI gate: formatting, release build (examples included),
+# tests, and warning-free workspace-wide clippy over every target.
 set -eux
 
+cargo fmt --check
 cargo build --release
+cargo build --release --examples
 cargo test -q
-cargo clippy -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,96 @@
+//! Serving-layer throughput bench: the deterministic serving simulator
+//! at 1-, 4-, and 8-core deployments, with completed requests/sec and
+//! the critical stream's p99 latency emitted into the bench trajectory.
+//!
+//! The 1-core run serves the critical stream alone (every background
+//! request is shed); adding background cores raises total throughput
+//! while the critical p99 stays governed by its own core's queue — the
+//! isolation the managed posture buys.
+
+use atm_bench::{criterion, print_exhibit, record_metric, BENCH_SEED};
+use atm_chip::{ChipConfig, System};
+use atm_core::charact::CharactConfig;
+use atm_core::{AtmManager, Governor};
+use atm_serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
+use atm_workloads::by_name;
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const CORE_COUNTS: [u32; 3] = [1, 4, 8];
+
+fn streams() -> Vec<StreamSpec> {
+    let sq = by_name("squeezenet").expect("catalog");
+    let x264 = by_name("x264").expect("catalog");
+    let lu = by_name("lu_cb").expect("catalog");
+    vec![
+        StreamSpec::critical(
+            sq,
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            250_000_000,
+        ),
+        StreamSpec::background(
+            x264,
+            ArrivalPattern::Bursty {
+                mean_gap: 20_000_000,
+                burst_gap: 5_000_000,
+                phase: 100_000_000,
+            },
+        ),
+        StreamSpec::background(
+            lu,
+            ArrivalPattern::Poisson {
+                mean_gap: 15_000_000,
+            },
+        ),
+    ]
+}
+
+fn serve(cores: u32) -> ServeReport {
+    let sys = System::new(ChipConfig::power7_plus(BENCH_SEED));
+    let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    let mut cfg = ServeConfig::quick(BENCH_SEED);
+    cfg.serving_cores = Some(cores);
+    ServeSim::new(mgr, cfg, streams()).run(4)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    for cores in CORE_COUNTS {
+        group.bench_with_input(BenchmarkId::new("cores", cores), &cores, |b, &cores| {
+            b.iter(|| black_box(serve(cores)));
+        });
+    }
+    group.finish();
+
+    let mut rows = String::new();
+    for cores in CORE_COUNTS {
+        let report = serve(cores);
+        let rps = report.requests_per_sec();
+        let crit = report.critical();
+        record_metric(&format!("serve_throughput/{cores}c_requests_per_sec"), rps);
+        record_metric(
+            &format!("serve_throughput/{cores}c_critical_p99_ms"),
+            crit.p99_ns as f64 / 1e6,
+        );
+        rows.push_str(&format!(
+            "{cores} core(s): {rps:7.1} req/s, {} completed, {} shed, critical p99 {:.1} ms ({})\n",
+            report.completed,
+            report.shed,
+            crit.p99_ns as f64 / 1e6,
+            if crit.slo_met() {
+                "SLO met"
+            } else {
+                "SLO missed"
+            },
+        ));
+    }
+    print_exhibit("Serving throughput vs deployment size", &rows);
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

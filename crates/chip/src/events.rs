@@ -1,0 +1,155 @@
+//! Chip-level event subscription.
+//!
+//! Management layers above the chip (the ATM manager, the serving layer)
+//! need to *react* to things the hardware surfaces asynchronously: timing
+//! failures and deep droop responses. On the paper's machines these arrive
+//! as service-processor interrupts and EPOW-style alerts; here the
+//! [`System`](crate::System) keeps an event log that a subscriber drains
+//! between runs via [`System::drain_events`](crate::System::drain_events).
+//!
+//! Two event sources exist:
+//!
+//! * **failures** — every [`FailureEvent`] a run aborts on is also logged;
+//! * **droop alarms** — opt-in via
+//!   [`System::set_droop_alarm`](crate::System::set_droop_alarm): while an
+//!   ATM core's clock dips more than the threshold below its rolling mean
+//!   (the loop's visible response to a di/dt droop), a [`DroopAlarm`] is
+//!   logged once per excursion (hysteretic re-arm at half the threshold).
+
+use std::fmt;
+
+use atm_units::{CoreId, MegaHz, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::failure::FailureEvent;
+use crate::processor::Processor;
+
+/// A deep droop response observed on one core: the ATM loop pulled the
+/// clock `dip` below the core's rolling mean frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroopAlarm {
+    /// The core whose loop responded.
+    pub core: CoreId,
+    /// How far below the rolling mean the clock dipped when the alarm
+    /// tripped.
+    pub dip: MegaHz,
+    /// Simulation time of the alarm, from trial start.
+    pub at: Nanos,
+}
+
+impl fmt::Display for DroopAlarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "droop alarm on {}: -{} at {}",
+            self.core, self.dip, self.at
+        )
+    }
+}
+
+/// An asynchronous chip event a subscriber can react to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChipEvent {
+    /// A timing violation escaped the loop (the run aborted on it).
+    Failure(FailureEvent),
+    /// A core's loop rode out a deep droop (frequency dip past the
+    /// subscribed threshold).
+    Droop(DroopAlarm),
+}
+
+impl fmt::Display for ChipEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipEvent::Failure(e) => write!(f, "{e}"),
+            ChipEvent::Droop(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// EMA weight per tick for the rolling mean frequency (a ~1 µs window at
+/// the 50 ns tick — long against single droops, short against mode and
+/// load changes).
+const EMA_ALPHA: f64 = 0.05;
+
+/// Per-core droop detector bank used inside timed runs: tracks a rolling
+/// mean of each ATM core's frequency and trips hysteretic alarms.
+#[derive(Debug)]
+pub(crate) struct DroopDetectorBank {
+    threshold: MegaHz,
+    /// Per-core (flat index) rolling mean frequency, MHz.
+    ema: Vec<f64>,
+    /// Whether the detector is armed (re-arms at half threshold).
+    armed: Vec<bool>,
+}
+
+impl DroopDetectorBank {
+    /// Builds the bank over the current core frequencies.
+    pub(crate) fn new(threshold: MegaHz, procs: &[Processor]) -> Self {
+        let mut ema = Vec::new();
+        for p in procs {
+            for core in p.cores() {
+                ema.push(core.frequency().get());
+            }
+        }
+        let n = ema.len();
+        DroopDetectorBank {
+            threshold,
+            ema,
+            armed: vec![true; n],
+        }
+    }
+
+    /// Observes one tick's frequencies; returns any alarms that tripped.
+    pub(crate) fn observe(&mut self, procs: &[Processor], now: Nanos) -> Vec<ChipEvent> {
+        let mut alarms = Vec::new();
+        let mut slot = 0;
+        for p in procs {
+            for core in p.cores() {
+                let f = core.frequency().get();
+                if core.mode() == crate::MarginMode::Atm && f > 0.0 {
+                    let dip = self.ema[slot] - f;
+                    if self.armed[slot] && dip >= self.threshold.get() {
+                        self.armed[slot] = false;
+                        alarms.push(ChipEvent::Droop(DroopAlarm {
+                            core: core.id(),
+                            dip: MegaHz::new(dip),
+                            at: now,
+                        }));
+                    } else if !self.armed[slot] && dip < self.threshold.get() / 2.0 {
+                        self.armed[slot] = true;
+                    }
+                    self.ema[slot] += EMA_ALPHA * (f - self.ema[slot]);
+                } else {
+                    // Non-ATM cores have no loop to respond; track their
+                    // frequency so a later mode switch starts fresh.
+                    self.ema[slot] = f;
+                    self.armed[slot] = true;
+                }
+                slot += 1;
+            }
+        }
+        alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailureKind;
+
+    #[test]
+    fn display_names_the_core() {
+        let alarm = ChipEvent::Droop(DroopAlarm {
+            core: CoreId::new(0, 3),
+            dip: MegaHz::new(40.0),
+            at: Nanos::new(500.0),
+        });
+        assert!(alarm.to_string().contains("P0C3"));
+        let failure = ChipEvent::Failure(FailureEvent {
+            core: CoreId::new(1, 1),
+            kind: FailureKind::SystemCrash,
+            at: Nanos::new(10.0),
+        });
+        assert!(failure.to_string().contains("crash"));
+    }
+}

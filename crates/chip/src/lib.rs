@@ -37,6 +37,7 @@
 
 mod config;
 mod core;
+mod events;
 mod failure;
 mod mode;
 mod processor;
@@ -48,6 +49,7 @@ mod trace;
 
 pub use config::ChipConfig;
 pub use core::Core;
+pub use events::{ChipEvent, DroopAlarm};
 pub use failure::{FailureEvent, FailureKind};
 pub use mode::MarginMode;
 pub use processor::Processor;

@@ -37,6 +37,12 @@ use crate::report::SystemReport;
 pub struct System {
     config: ChipConfig,
     procs: Vec<Processor>,
+    /// Droop-alarm subscription threshold (frequency dip below the rolling
+    /// mean), if a subscriber asked for droop events.
+    droop_alarm: Option<atm_units::MegaHz>,
+    /// Chip events accumulated by timed runs until a subscriber drains
+    /// them.
+    events: Vec<crate::ChipEvent>,
 }
 
 impl System {
@@ -54,7 +60,32 @@ impl System {
         let procs = ProcId::all()
             .map(|p| Processor::new(p, &config, &factory))
             .collect();
-        System { config, procs }
+        System {
+            config,
+            procs,
+            droop_alarm: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Subscribes to droop alarms: while an ATM core's clock dips more
+    /// than `threshold` below its rolling mean during a timed run, a
+    /// [`crate::DroopAlarm`] event is logged (once per excursion). Pass
+    /// `None` to unsubscribe.
+    pub fn set_droop_alarm(&mut self, threshold: Option<atm_units::MegaHz>) {
+        self.droop_alarm = threshold;
+    }
+
+    /// The chip events (failures, droop alarms) accumulated since the last
+    /// [`System::drain_events`], in occurrence order.
+    #[must_use]
+    pub fn events(&self) -> &[crate::ChipEvent] {
+        &self.events
+    }
+
+    /// Removes and returns all accumulated chip events.
+    pub fn drain_events(&mut self) -> Vec<crate::ChipEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// The system configuration.
@@ -213,13 +244,27 @@ impl System {
         }
         let dt = self.config.tick;
         let check = self.config.failure_checking;
+        let mut detectors = self
+            .droop_alarm
+            .map(|th| crate::events::DroopDetectorBank::new(th, &self.procs));
         let mut now = Nanos::ZERO;
         let mut failure = None;
         while now.get() < duration.get() {
+            let mut new_failure = None;
             for p in &mut self.procs {
                 if let Some(f) = p.tick(dt, check, now) {
-                    failure.get_or_insert(f);
+                    new_failure.get_or_insert(f);
                 }
+            }
+            if let Some(f) = new_failure {
+                if failure.is_none() {
+                    self.events.push(crate::ChipEvent::Failure(f));
+                }
+                failure.get_or_insert(f);
+            }
+            if let Some(bank) = detectors.as_mut() {
+                let alarms = bank.observe(&self.procs, now);
+                self.events.extend(alarms);
             }
             now += dt;
             if failure.is_some() {
@@ -254,15 +299,29 @@ impl System {
         }
         let dt = self.config.tick;
         let check = self.config.failure_checking;
+        let mut detectors = self
+            .droop_alarm
+            .map(|th| crate::events::DroopDetectorBank::new(th, &self.procs));
         let mut now = Nanos::ZERO;
         let mut failure = None;
         let mut samples = Vec::new();
         let mut tick_index = 0usize;
         while now.get() < duration.get() {
+            let mut new_failure = None;
             for p in &mut self.procs {
                 if let Some(f) = p.tick(dt, check, now) {
-                    failure.get_or_insert(f);
+                    new_failure.get_or_insert(f);
                 }
+            }
+            if let Some(f) = new_failure {
+                if failure.is_none() {
+                    self.events.push(crate::ChipEvent::Failure(f));
+                }
+                failure.get_or_insert(f);
+            }
+            if let Some(bank) = detectors.as_mut() {
+                let alarms = bank.observe(&self.procs, now);
+                self.events.extend(alarms);
             }
             if tick_index.is_multiple_of(decimation) {
                 let core = self.core(observed);
@@ -490,6 +549,47 @@ mod tests {
                 "{c}: undervolt did not lower frequency"
             );
         }
+    }
+
+    #[test]
+    fn droop_alarms_logged_and_drained() {
+        let mut sys = system();
+        let core = CoreId::new(0, 0);
+        sys.set_mode(core, MarginMode::Atm);
+        sys.assign(core, by_name("x264").unwrap().clone());
+        // Without a subscription, no events accumulate.
+        let _ = sys.run(Nanos::new(100_000.0));
+        assert!(sys.events().is_empty());
+        // x264's droops dip the loop well past 25 MHz (see the traced-run
+        // test); the subscription turns those dips into events.
+        sys.set_droop_alarm(Some(MegaHz::new(25.0)));
+        let report = sys.run(Nanos::new(100_000.0));
+        assert!(report.is_ok());
+        let events = sys.drain_events();
+        assert!(!events.is_empty(), "no droop alarms for x264");
+        for e in &events {
+            match e {
+                crate::ChipEvent::Droop(a) => {
+                    assert_eq!(a.core, core);
+                    assert!(a.dip >= MegaHz::new(25.0));
+                }
+                crate::ChipEvent::Failure(_) => panic!("unexpected failure"),
+            }
+        }
+        assert!(sys.events().is_empty(), "drain must empty the log");
+    }
+
+    #[test]
+    fn droop_alarm_subscription_is_deterministic() {
+        let run = |seed| {
+            let mut sys = System::new(ChipConfig::power7_plus(seed));
+            sys.set_droop_alarm(Some(MegaHz::new(25.0)));
+            sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
+            sys.assign(CoreId::new(0, 0), by_name("x264").unwrap().clone());
+            let _ = sys.run(Nanos::new(50_000.0));
+            sys.drain_events()
+        };
+        assert_eq!(run(7), run(7));
     }
 
     #[test]

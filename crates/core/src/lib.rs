@@ -56,7 +56,7 @@ pub use engine::{CharactEngine, EngineResult, SweepCache, TrialKey};
 pub use finetune::FineTuner;
 pub use governor::Governor;
 pub use limits::LimitTable;
-pub use manager::{AtmManager, ManagedOutcome, Strategy};
+pub use manager::{AtmManager, ManagedOutcome, ServePosture, Strategy};
 pub use predictor::{FreqPredictor, LinearFit, PerfPredictor};
 pub use qos::QosTarget;
 pub use schedule::{Schedule, ScheduleEntry};

@@ -13,7 +13,7 @@ use crate::finetune::FineTuner;
 use crate::governor::Governor;
 use crate::predictor::{FreqPredictor, PerfPredictor};
 use crate::qos::QosTarget;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Placement, Scheduler};
 use crate::stress::{stress_test_deploy, StressTestResult};
 use crate::throttle::{throttle_to_budget, ThrottleSetting};
 
@@ -114,6 +114,36 @@ pub struct AtmManager {
     realistic: Option<RealisticResult>,
     freq_predictors: HashMap<CoreId, FreqPredictor>,
     measure_duration: Nanos,
+    /// Extra per-core CPM rollback applied after field failures
+    /// ([`AtmManager::rollback_core`]); survives re-posturing because the
+    /// governor map is adjusted by these overrides on every application.
+    rollback_overrides: HashMap<CoreId, usize>,
+}
+
+/// The serving posture produced by [`AtmManager::serve_posture`]: where
+/// the critical stream runs, how the background cores are throttled, and
+/// the settled per-core frequencies the serving layer converts into
+/// request service rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServePosture {
+    /// The placement (critical core, background cores, throttle plan).
+    pub placement: Placement,
+    /// Settled mean frequency of every socket-0 core under this posture.
+    pub core_freqs: Vec<(CoreId, MegaHz)>,
+    /// The chip power budget the background throttle was fitted to.
+    pub budget: Watts,
+}
+
+impl ServePosture {
+    /// The settled frequency of `core` under this posture (zero if the
+    /// core is not part of the posture's socket).
+    #[must_use]
+    pub fn freq_of(&self, core: CoreId) -> MegaHz {
+        self.core_freqs
+            .iter()
+            .find(|(c, _)| *c == core)
+            .map_or(MegaHz::ZERO, |(_, f)| *f)
+    }
 }
 
 impl AtmManager {
@@ -130,6 +160,7 @@ impl AtmManager {
             realistic: None,
             freq_predictors: HashMap::new(),
             measure_duration: Nanos::new(100_000.0),
+            rollback_overrides: HashMap::new(),
         }
     }
 
@@ -268,16 +299,125 @@ impl AtmManager {
         )
     }
 
-    /// Applies the governor's reduction map for `critical`.
+    /// Applies the governor's reduction map for `critical`, adjusted by
+    /// any post-failure rollback overrides.
     fn apply_governor_map(&mut self, critical: &Workload) {
-        let map = self.governor.reduction_map(
+        let mut map = self.governor.reduction_map(
             &self.deployed,
             self.realistic.as_ref(),
             Some(critical.name()),
         );
+        for (&core, &extra) in &self.rollback_overrides {
+            let slot = core.flat_index();
+            map[slot] = map[slot].saturating_sub(extra);
+        }
         FineTuner::new(&mut self.system)
             .apply_map(&map)
             .expect("governor maps derive from validated limits");
+    }
+
+    /// Rolls back `core`'s CPM fine-tuning by `steps` additional delay
+    /// steps (floored at the preset configuration) — the field response to
+    /// a failure or persistent droop alarms on that core. The override is
+    /// remembered: every future governor-map application (including
+    /// [`AtmManager::serve_posture`]) keeps the rollback, and the core's
+    /// cached frequency predictor is retrained on demand.
+    ///
+    /// Returns the core's new reduction.
+    pub fn rollback_core(&mut self, core: CoreId, steps: usize) -> usize {
+        let entry = self.rollback_overrides.entry(core).or_insert(0);
+        *entry += steps;
+        let current = self.system.core(core).reduction();
+        let new = current.saturating_sub(steps);
+        self.system
+            .set_reduction(core, new)
+            .expect("lowering a reduction is always valid");
+        self.freq_predictors.remove(&core);
+        new
+    }
+
+    /// The cumulative post-failure rollback override on `core`.
+    #[must_use]
+    pub fn rollback_override(&self, core: CoreId) -> usize {
+        self.rollback_overrides.get(&core).copied().unwrap_or(0)
+    }
+
+    /// Computes the serving posture for a critical stream with background
+    /// co-runners (the serving layer's placement hook): the governor map
+    /// is applied, the critical workload lands on the fastest (optionally
+    /// robust-only) core via [`Scheduler::place_critical`], the background
+    /// workloads backfill the remaining socket-0 cores round-robin in ATM
+    /// mode, and the background cores are throttled to the power budget
+    /// the predictor chain derives from `qos` — exactly the
+    /// `ManagedBalanced` pipeline, but returning the full posture instead
+    /// of running a one-shot measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backgrounds` is empty.
+    pub fn serve_posture(
+        &mut self,
+        critical: &Workload,
+        backgrounds: &[Workload],
+        qos: QosTarget,
+    ) -> ServePosture {
+        assert!(
+            !backgrounds.is_empty(),
+            "need at least one background workload"
+        );
+        let proc = ProcId::new(0);
+        let baseline = self.system.config().pstates.nominal().frequency;
+
+        self.system.idle_all();
+        self.system.set_mode_all(MarginMode::Static);
+        self.apply_governor_map(critical);
+
+        let robust = self.governor.robust_cores_only();
+        let mut placement = Scheduler::new(&mut self.system).place_critical(proc, robust);
+        let core = placement.critical_core;
+
+        // Predictor chain (Fig. 13): QoS → required frequency → power
+        // budget that sustains it.
+        let perf = PerfPredictor::train(critical, baseline);
+        let f_req = perf.freq_for(qos.speedup()) + QOS_HEADROOM;
+        let freq_pred = self.freq_predictor(core);
+        let budget = freq_pred.power_for(f_req);
+
+        self.system.assign(core, critical.clone());
+        self.system.set_mode(core, MarginMode::Atm);
+        for (i, &bg_core) in placement.background_cores.iter().enumerate() {
+            self.system
+                .assign(bg_core, backgrounds[i % backgrounds.len()].clone());
+            self.system.set_mode(bg_core, MarginMode::Atm);
+        }
+        let plan = throttle_to_budget(
+            &mut self.system,
+            &placement.background_cores,
+            budget,
+            proc.index(),
+        );
+        placement.plan = Some(plan);
+
+        let report = self.system.settle();
+        let core_freqs = proc
+            .cores()
+            .map(|c| (c, report.core(c).mean_freq))
+            .collect();
+        ServePosture {
+            placement,
+            core_freqs,
+            budget,
+        }
+    }
+
+    /// Re-settles the current schedule and reports each of `proc`'s cores'
+    /// steady-state frequency — the serving layer's per-epoch service-rate
+    /// refresh.
+    pub fn measure_core_freqs(&mut self, proc: ProcId) -> Vec<(CoreId, MegaHz)> {
+        let report = self.system.settle();
+        proc.cores()
+            .map(|c| (c, report.core(c).mean_freq))
+            .collect()
     }
 
     /// Places the pair on socket 0: `critical` on `core` (in ATM mode
@@ -400,6 +540,65 @@ mod tests {
         );
         let expected = Scheduler::new(mgr.system_mut()).fastest_core(ProcId::new(0), false);
         assert_eq!(outcome.critical_core, expected);
+    }
+
+    #[test]
+    fn serve_posture_places_critical_on_fastest_and_fills_plan() {
+        let mut mgr = manager();
+        let critical = by_name("squeezenet").unwrap();
+        let bgs = [
+            by_name("x264").unwrap().clone(),
+            by_name("lu_cb").unwrap().clone(),
+        ];
+        let posture = mgr.serve_posture(critical, &bgs, QosTarget::improvement_pct(10.0));
+
+        assert_eq!(posture.placement.background_cores.len(), 7);
+        assert!(
+            posture.placement.plan.is_some(),
+            "throttle plan must be filled"
+        );
+        assert!(posture.budget.get() > 0.0);
+        // Every socket-0 core has a settled frequency; the critical core's
+        // meets the QoS-required clock region (ATM above static margin).
+        assert_eq!(posture.core_freqs.len(), 8);
+        let crit_freq = posture.freq_of(posture.placement.critical_core);
+        assert!(crit_freq.get() > 4200.0, "critical at {crit_freq}");
+        // The critical core carries the critical workload on the system.
+        assert_eq!(
+            mgr.system()
+                .core(posture.placement.critical_core)
+                .workload()
+                .name(),
+            "squeezenet"
+        );
+        // Background cores carry the backgrounds round-robin.
+        for (i, &c) in posture.placement.background_cores.iter().enumerate() {
+            assert_eq!(mgr.system().core(c).workload().name(), bgs[i % 2].name());
+        }
+    }
+
+    #[test]
+    fn rollback_core_persists_across_reposturing() {
+        let mut mgr = manager();
+        let critical = by_name("squeezenet").unwrap();
+        let bgs = [by_name("x264").unwrap().clone()];
+        let qos = QosTarget::improvement_pct(5.0);
+        let first = mgr.serve_posture(critical, &bgs, qos);
+        let victim = first.placement.critical_core;
+        let before = mgr.system().core(victim).reduction();
+        if before == 0 {
+            // Nothing to roll back on this silicon; the override still
+            // registers.
+            let _ = mgr.rollback_core(victim, 2);
+            assert_eq!(mgr.rollback_override(victim), 2);
+            return;
+        }
+        let after = mgr.rollback_core(victim, 2);
+        assert_eq!(after, before.saturating_sub(2));
+        // Re-posturing re-applies the governor map — the rollback must
+        // survive it.
+        let _ = mgr.serve_posture(critical, &bgs, qos);
+        assert_eq!(mgr.system().core(victim).reduction(), after);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use atm_units::Nanos;
 use serde::{Deserialize, Serialize};
 
 /// A user-specified quality-of-service target for a critical application,
@@ -49,6 +50,15 @@ impl QosTarget {
     pub fn met_by(&self, achieved: f64) -> bool {
         achieved >= self.speedup - 1e-3
     }
+
+    /// The per-request latency budget implied by this target: a request
+    /// taking `baseline` at the static margin must finish within
+    /// `baseline / speedup` on the fine-tuned core. The serving layer uses
+    /// this to turn a QoS speedup into a tail-latency SLO.
+    #[must_use]
+    pub fn latency_budget(&self, baseline: Nanos) -> Nanos {
+        Nanos::new(baseline.get() / self.speedup)
+    }
 }
 
 impl fmt::Display for QosTarget {
@@ -76,6 +86,37 @@ mod tests {
     #[test]
     fn zero_target_always_met() {
         assert!(QosTarget::improvement_pct(0.0).met_by(1.0));
+    }
+
+    #[test]
+    fn exactly_at_target_counts_as_met() {
+        // The boundary itself must pass without leaning on the tolerance.
+        let q = QosTarget::improvement_pct(10.0);
+        assert!(q.met_by(q.speedup()));
+    }
+
+    #[test]
+    fn zero_target_tolerates_slight_regression_only() {
+        let q = QosTarget::improvement_pct(0.0);
+        assert!(q.met_by(0.9995)); // inside the 0.1% noise band
+        assert!(!q.met_by(0.99)); // a real slowdown is a miss
+    }
+
+    #[test]
+    fn negative_achievement_never_meets_a_positive_target() {
+        let q = QosTarget::improvement_pct(10.0);
+        assert!(!q.met_by(0.0));
+        assert!(!q.met_by(-1.0));
+    }
+
+    #[test]
+    fn latency_budget_scales_inverse_to_speedup() {
+        let q = QosTarget::improvement_pct(10.0);
+        let budget = q.latency_budget(Nanos::new(44_000_000.0));
+        assert!((budget.get() - 40_000_000.0).abs() < 1.0);
+        // A 0% target leaves the baseline untouched.
+        let flat = QosTarget::improvement_pct(0.0);
+        assert_eq!(flat.latency_budget(Nanos::new(500.0)), Nanos::new(500.0));
     }
 
     #[test]

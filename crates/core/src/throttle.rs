@@ -46,6 +46,16 @@ impl ThrottleSetting {
         ladder.push(ThrottleSetting::Gated);
         ladder
     }
+
+    /// The next rung down the ladder (one notch more throttled), or `None`
+    /// if this setting is already [`ThrottleSetting::Gated`] — the
+    /// degradation policy's escalation step.
+    #[must_use]
+    pub fn step_down(&self, pstates: &PStateTable) -> Option<ThrottleSetting> {
+        let ladder = ThrottleSetting::ladder(pstates);
+        let pos = ladder.iter().position(|s| s == self)?;
+        ladder.get(pos + 1).copied()
+    }
 }
 
 impl fmt::Display for ThrottleSetting {
@@ -74,6 +84,16 @@ impl ThrottlePlan {
             system.set_mode(core, self.setting.margin_mode());
         }
     }
+
+    /// The same cores one rung further down the ladder, or `None` if the
+    /// plan is already gated.
+    #[must_use]
+    pub fn step_down(&self, pstates: &PStateTable) -> Option<ThrottlePlan> {
+        self.setting.step_down(pstates).map(|setting| ThrottlePlan {
+            cores: self.cores.clone(),
+            setting,
+        })
+    }
 }
 
 /// Finds the least-throttled uniform background setting that keeps the
@@ -94,6 +114,14 @@ pub fn throttle_to_budget(
     budget: Watts,
     proc_index: usize,
 ) -> ThrottlePlan {
+    if background_cores.is_empty() {
+        // Nothing to throttle: report the fastest setting rather than a
+        // misleading "gated" plan over zero cores.
+        return ThrottlePlan {
+            cores: Vec::new(),
+            setting: ThrottleSetting::AtmMax,
+        };
+    }
     let ladder = ThrottleSetting::ladder(&system.config().pstates.clone());
     let mut chosen = ThrottleSetting::Gated;
     for setting in ladder {
@@ -171,6 +199,28 @@ mod tests {
         let bg: Vec<CoreId> = (1..8).map(|c| CoreId::new(0, c)).collect();
         let plan = throttle_to_budget(&mut sys, &bg, Watts::new(1.0), 0);
         assert_eq!(plan.setting, ThrottleSetting::Gated);
+    }
+
+    #[test]
+    fn step_down_walks_the_ladder_to_gated() {
+        let pstates = PStateTable::power7_plus();
+        let mut setting = ThrottleSetting::AtmMax;
+        let mut hops = 0;
+        while let Some(next) = setting.step_down(&pstates) {
+            setting = next;
+            hops += 1;
+        }
+        assert_eq!(setting, ThrottleSetting::Gated);
+        assert_eq!(hops, ThrottleSetting::ladder(&pstates).len() - 1);
+        assert_eq!(ThrottleSetting::Gated.step_down(&pstates), None);
+    }
+
+    #[test]
+    fn empty_background_plan_is_a_no_op() {
+        let mut sys = System::new(ChipConfig::default());
+        let plan = throttle_to_budget(&mut sys, &[], Watts::new(1.0), 0);
+        assert!(plan.cores.is_empty());
+        assert_eq!(plan.setting, ThrottleSetting::AtmMax);
     }
 
     #[test]

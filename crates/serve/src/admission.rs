@@ -1,0 +1,113 @@
+//! Admission control with backpressure.
+//!
+//! Background requests are the pressure-relief valve: when a background
+//! core's backlog grows past `defer_backlog` the request is pushed back
+//! (deferred) instead of queued, and past `shed_backlog` — or whenever the
+//! critical stream's running p99 is within `slo_risk` of its SLO — it is
+//! shed outright. Critical requests are always admitted: the serving layer
+//! protects them with placement, throttling, and shedding of others, never
+//! by dropping them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stream::StreamClass;
+
+/// Backpressure thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Background backlog (ns of queued work on the target core) that
+    /// defers a new background request.
+    pub defer_backlog: u64,
+    /// Background backlog that sheds it outright.
+    pub shed_backlog: u64,
+    /// How far a deferred request is pushed back (ns).
+    pub defer_by: u64,
+    /// Deferrals allowed per request before it is shed.
+    pub max_defers: u32,
+    /// Fraction of the critical SLO at which its running p99 trips
+    /// system-wide background shedding.
+    pub slo_risk: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            defer_backlog: 40_000_000, // 40 ms of queued work
+            shed_backlog: 120_000_000, // 120 ms
+            defer_by: 25_000_000,      // retry 25 ms later
+            max_defers: 3,
+            slo_risk: 0.9,
+        }
+    }
+}
+
+/// The verdict for one arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Admission {
+    /// Queue it now.
+    Accept,
+    /// Push it back by [`AdmissionConfig::defer_by`] and retry.
+    Defer,
+    /// Drop it.
+    Shed,
+}
+
+impl AdmissionConfig {
+    /// Decides one request given the target core's backlog, how often the
+    /// request was already deferred, and whether the critical stream's
+    /// p99 is currently at risk.
+    #[must_use]
+    pub fn decide(
+        &self,
+        class: StreamClass,
+        backlog: u64,
+        defers: u32,
+        critical_at_risk: bool,
+    ) -> Admission {
+        if class == StreamClass::Critical {
+            return Admission::Accept;
+        }
+        if critical_at_risk || backlog >= self.shed_backlog {
+            return Admission::Shed;
+        }
+        if backlog >= self.defer_backlog {
+            if defers >= self.max_defers {
+                return Admission::Shed;
+            }
+            return Admission::Defer;
+        }
+        Admission::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_is_always_admitted() {
+        let cfg = AdmissionConfig::default();
+        assert_eq!(
+            cfg.decide(StreamClass::Critical, u64::MAX, 0, true),
+            Admission::Accept
+        );
+    }
+
+    #[test]
+    fn background_backpressure_ladder() {
+        let cfg = AdmissionConfig::default();
+        let bg = StreamClass::Background;
+        assert_eq!(cfg.decide(bg, 0, 0, false), Admission::Accept);
+        assert_eq!(
+            cfg.decide(bg, cfg.defer_backlog, 0, false),
+            Admission::Defer
+        );
+        assert_eq!(
+            cfg.decide(bg, cfg.defer_backlog, cfg.max_defers, false),
+            Admission::Shed
+        );
+        assert_eq!(cfg.decide(bg, cfg.shed_backlog, 0, false), Admission::Shed);
+        // Critical SLO risk sheds even an unloaded background request.
+        assert_eq!(cfg.decide(bg, 0, 0, true), Admission::Shed);
+    }
+}

@@ -1,0 +1,221 @@
+//! Seeded open-loop arrival generation.
+//!
+//! Every stream's arrival trace is a pure function of `(root seed, stream
+//! index)`: each stream gets its own splitmix-derived [`StdRng`] and draws
+//! exponential inter-arrival gaps (plus one uniform service-jitter draw
+//! per request) completely independently of every other stream. Traces
+//! are pre-generated — in parallel across worker threads when asked — and
+//! merged into one timeline ordered by `(time, stream, seq)`, so the
+//! merged trace is byte-identical no matter how many workers produced it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::{ArrivalPattern, StreamSpec};
+
+/// One request on the open-loop timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Arrival time (virtual ns from trace start).
+    pub time: u64,
+    /// Index of the owning stream in the sim's stream list.
+    pub stream: usize,
+    /// Per-stream sequence number.
+    pub seq: u32,
+    /// Uniform draw in `[0, 1)` for the request's service-time jitter.
+    pub draw: f64,
+}
+
+/// Derives the per-stream RNG seed from the root seed (splitmix64 of the
+/// stream index, xored in — streams stay decorrelated even for adjacent
+/// root seeds).
+fn stream_seed(root: u64, stream: usize) -> u64 {
+    let mut z = (stream as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    root ^ (z ^ (z >> 31))
+}
+
+/// Exponential gap with the given mean, floored at 1 ns.
+fn exp_gap(rng: &mut StdRng, mean: u64) -> u64 {
+    let u: f64 = rng.gen();
+    let gap = -(mean as f64) * (1.0_f64 - u).ln();
+    (gap.ceil() as u64).max(1)
+}
+
+/// Generates one stream's trace over `[0, horizon)` ns.
+#[must_use]
+pub fn generate(spec: &StreamSpec, root_seed: u64, stream: usize, horizon: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(stream_seed(root_seed, stream));
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    let mut seq = 0u32;
+    loop {
+        let mean = match spec.pattern {
+            ArrivalPattern::Poisson { mean_gap } => mean_gap,
+            ArrivalPattern::Bursty {
+                mean_gap,
+                burst_gap,
+                phase,
+            } => {
+                if (t / phase).is_multiple_of(2) {
+                    mean_gap
+                } else {
+                    burst_gap
+                }
+            }
+        };
+        t = t.saturating_add(exp_gap(&mut rng, mean));
+        if t >= horizon {
+            return out;
+        }
+        let draw: f64 = rng.gen();
+        out.push(Request {
+            time: t,
+            stream,
+            seq,
+            draw,
+        });
+        seq += 1;
+    }
+}
+
+/// Generates every stream's trace — fanned out over up to `workers`
+/// threads — and merges them into one `(time, stream, seq)`-ordered
+/// timeline. The result is independent of `workers` because each trace
+/// depends only on its own stream's seed.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[must_use]
+pub fn generate_all(
+    streams: &[StreamSpec],
+    root_seed: u64,
+    horizon: u64,
+    workers: usize,
+) -> Vec<Request> {
+    assert!(workers > 0, "need at least one worker");
+    let workers = workers.min(streams.len()).max(1);
+    let mut traces: Vec<Vec<Request>> = Vec::new();
+    if workers == 1 {
+        traces.extend(
+            streams
+                .iter()
+                .enumerate()
+                .map(|(i, s)| generate(s, root_seed, i, horizon)),
+        );
+    } else {
+        let mut slots: Vec<Option<Vec<Request>>> = vec![None; streams.len()];
+        std::thread::scope(|scope| {
+            let mut pending: Vec<(usize, &StreamSpec, &mut Option<Vec<Request>>)> = streams
+                .iter()
+                .enumerate()
+                .zip(slots.iter_mut())
+                .map(|((i, s), slot)| (i, s, slot))
+                .collect();
+            let mut chunks: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
+            for (n, job) in pending.drain(..).enumerate() {
+                chunks[n % workers].push(job);
+            }
+            for chunk in chunks {
+                scope.spawn(move || {
+                    for (i, spec, slot) in chunk {
+                        *slot = Some(generate(spec, root_seed, i, horizon));
+                    }
+                });
+            }
+        });
+        traces.extend(slots.into_iter().map(|s| s.expect("worker filled slot")));
+    }
+    let mut merged: Vec<Request> = traces.into_iter().flatten().collect();
+    merged.sort_by_key(|r| (r.time, r.stream, r.seq));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_workloads::by_name;
+
+    fn specs() -> Vec<StreamSpec> {
+        let sq = by_name("squeezenet").unwrap();
+        let x264 = by_name("x264").unwrap();
+        vec![
+            StreamSpec::critical(
+                sq,
+                ArrivalPattern::Poisson {
+                    mean_gap: 90_000_000,
+                },
+                0,
+            ),
+            StreamSpec::background(
+                x264,
+                ArrivalPattern::Bursty {
+                    mean_gap: 30_000_000,
+                    burst_gap: 8_000_000,
+                    phase: 250_000_000,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn traces_are_sorted_and_seeded() {
+        let a = generate_all(&specs(), 7, 2_000_000_000, 1);
+        assert!(!a.is_empty());
+        assert!(a
+            .windows(2)
+            .all(|w| (w[0].time, w[0].stream, w[0].seq) < (w[1].time, w[1].stream, w[1].seq)));
+        assert!(a.iter().all(|r| r.time < 2_000_000_000 && r.draw < 1.0));
+        let b = generate_all(&specs(), 7, 2_000_000_000, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_all(&specs(), 8, 2_000_000_000, 1));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_trace() {
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                generate_all(&specs(), 42, 1_000_000_000, 1),
+                generate_all(&specs(), 42, 1_000_000_000, workers),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_the_mean() {
+        let spec = StreamSpec::background(
+            by_name("gcc").unwrap(),
+            ArrivalPattern::Poisson {
+                mean_gap: 1_000_000,
+            },
+        );
+        let trace = generate(&spec, 3, 0, 1_000_000_000);
+        let n = trace.len() as f64; // expect ~1000
+        assert!((800.0..1200.0).contains(&n), "{n} arrivals");
+    }
+
+    #[test]
+    fn bursts_arrive_faster_than_calm_phases() {
+        let spec = StreamSpec::background(
+            by_name("x264").unwrap(),
+            ArrivalPattern::Bursty {
+                mean_gap: 4_000_000,
+                burst_gap: 400_000,
+                phase: 100_000_000,
+            },
+        );
+        let trace = generate(&spec, 11, 0, 1_000_000_000);
+        let (mut calm, mut burst) = (0u64, 0u64);
+        for r in &trace {
+            if (r.time / 100_000_000).is_multiple_of(2) {
+                calm += 1;
+            } else {
+                burst += 1;
+            }
+        }
+        assert!(burst > calm * 3, "burst {burst} vs calm {calm}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Serving-simulation configuration.
+
+use atm_core::QosTarget;
+use atm_units::{MegaHz, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::admission::AdmissionConfig;
+
+/// Knobs of the serving simulation.
+///
+/// Two clocks coexist: the **virtual serving timeline** (`epoch_ns`
+/// buckets of request traffic, integers, decoupled from chip simulation
+/// cost) and the **chip simulation** run for `chip_trial` per epoch to
+/// harvest droop alarms and failures at the deployed posture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Root seed for arrival generation (conventionally the chip seed).
+    pub seed: u64,
+    /// Number of serving epochs.
+    pub epochs: u32,
+    /// Virtual nanoseconds of traffic per epoch.
+    pub epoch_ns: u64,
+    /// Chip-simulation time per epoch used to harvest chip events.
+    pub chip_trial: Nanos,
+    /// Droop-alarm threshold armed on the chip (frequency dip below the
+    /// core's rolling mean); `None` disables alarms.
+    pub droop_alarm: Option<MegaHz>,
+    /// QoS target for the critical stream (drives posture and budget).
+    pub qos: QosTarget,
+    /// Epochs between periodic service-rate refreshes (settle + re-read
+    /// core frequencies) when nothing degraded.
+    pub refresh_every: u32,
+    /// Caps how many cores the dispatcher uses (the critical core plus
+    /// `n − 1` background cores in id order); `None` serves on the whole
+    /// socket. Scaling studies sweep this.
+    pub serving_cores: Option<u32>,
+    /// Backpressure thresholds.
+    pub admission: AdmissionConfig,
+}
+
+impl ServeConfig {
+    /// The standard configuration: 20 epochs × 500 ms of traffic, 2 µs
+    /// chip trials, 25 MHz droop alarms, 10% QoS.
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        ServeConfig {
+            seed,
+            epochs: 20,
+            epoch_ns: 500_000_000,
+            chip_trial: Nanos::new(2_000.0),
+            droop_alarm: Some(MegaHz::new(25.0)),
+            qos: QosTarget::improvement_pct(10.0),
+            refresh_every: 4,
+            serving_cores: None,
+            admission: AdmissionConfig::default(),
+        }
+    }
+
+    /// A fast configuration for tests: 10 epochs × 200 ms.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        ServeConfig {
+            epochs: 10,
+            epoch_ns: 200_000_000,
+            chip_trial: Nanos::new(1_000.0),
+            ..ServeConfig::standard(seed)
+        }
+    }
+}

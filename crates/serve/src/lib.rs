@@ -1,0 +1,69 @@
+//! `atm-serve` — serving traffic on a fine-tuned ATM server.
+//!
+//! The paper manages a latency-critical application with one-shot
+//! measurements; this crate closes the remaining gap to a *server*: a
+//! deterministic discrete-event serving simulator that drives the managed
+//! stack with open-loop request streams and accounts for what datacenter
+//! operators actually buy — tail latency against an SLO.
+//!
+//! The pieces, in dispatch order:
+//!
+//! * [`StreamSpec`]/[`ArrivalPattern`] — seeded open-loop request streams
+//!   (Poisson or bursty phases), one critical + any number of background;
+//! * [`arrival`] — parallel per-stream trace pre-generation whose merged
+//!   timeline is independent of worker count;
+//! * [`AdmissionConfig`] — backpressure: defer, then shed background
+//!   requests as backlog grows or the critical p99 approaches its SLO;
+//! * [`LatencyHistogram`] — fixed-bucket (log-linear) latency tracking
+//!   for p50/p95/p99 with bounded memory;
+//! * [`DegradationPolicy`] — the droop-aware field response: chip
+//!   failures and persistent droop alarms trigger CPM rollback, critical
+//!   re-placement, and background throttle step-downs;
+//! * [`ServeSim`] — the epoch loop tying traffic to the chip-in-the-loop
+//!   posture of [`atm_core::AtmManager`];
+//! * [`ServeReport`] — the all-integer, `Eq`-comparable account
+//!   (determinism is `assert_eq!`-checkable).
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_chip::{ChipConfig, System};
+//! use atm_core::{AtmManager, Governor};
+//! use atm_core::charact::CharactConfig;
+//! use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+//! use atm_workloads::by_name;
+//!
+//! let sys = System::new(ChipConfig::power7_plus(42));
+//! let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+//! let sq = by_name("squeezenet").unwrap();
+//! let x264 = by_name("x264").unwrap();
+//! let streams = vec![
+//!     StreamSpec::critical(sq, ArrivalPattern::Poisson { mean_gap: 200_000_000 }, 150_000_000),
+//!     StreamSpec::background(x264, ArrivalPattern::Poisson { mean_gap: 30_000_000 }),
+//! ];
+//! let mut cfg = ServeConfig::quick(42);
+//! cfg.epochs = 4;
+//! let report = ServeSim::new(mgr, cfg, streams).run(2);
+//! assert!(report.completed > 0);
+//! assert!(report.critical().slo_met());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+pub mod arrival;
+mod config;
+mod degrade;
+mod histogram;
+mod report;
+mod sim;
+mod stream;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use config::ServeConfig;
+pub use degrade::{DegradationPolicy, DegradeAction};
+pub use histogram::LatencyHistogram;
+pub use report::{ServeReport, StreamStats, Transition};
+pub use sim::ServeSim;
+pub use stream::{ArrivalPattern, StreamClass, StreamSpec};

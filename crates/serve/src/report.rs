@@ -1,0 +1,121 @@
+//! The serving run's full account, in integers.
+//!
+//! Every field of [`ServeReport`] is an integer, a string, or a typed id,
+//! so the report derives `Eq` and the determinism contract — *same seed ⇒
+//! byte-identical report* — is checkable with a plain `assert_eq!`.
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::stream::StreamClass;
+
+/// One recorded posture transition of the degradation machinery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Epoch index at which the transition fired.
+    pub epoch: u32,
+    /// What happened ("rollback core 0/3: failure: system crash",
+    /// "throttle step-down", …).
+    pub action: String,
+    /// The critical core after the transition.
+    pub critical_core: CoreId,
+    /// The critical core's settled frequency after the transition,
+    /// rounded to whole MHz.
+    pub critical_freq_mhz: u64,
+}
+
+/// Per-stream serving statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Stream name.
+    pub name: String,
+    /// Critical or background.
+    pub class: StreamClass,
+    /// Requests that arrived.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed by admission control (or stranded on gated cores).
+    pub shed: u64,
+    /// Deferral events (one request may defer several times).
+    pub deferred: u64,
+    /// The stream's p99 latency SLO (0 = no SLO).
+    pub slo_ns: u64,
+    /// Completions whose latency exceeded the SLO.
+    pub slo_violations: u64,
+    /// Median completion latency (ns).
+    pub p50_ns: u64,
+    /// 95th-percentile latency (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+    /// Worst completion latency (ns).
+    pub max_ns: u64,
+    /// Mean completion latency (ns).
+    pub mean_ns: u64,
+    /// Deepest queue (in-flight + waiting requests on the stream's core)
+    /// observed at any dispatch.
+    pub max_queue_depth: u64,
+    /// p99 latency of each epoch's completions (0 for idle epochs) — the
+    /// recovery trace the degradation tests read.
+    pub epoch_p99_ns: Vec<u64>,
+}
+
+impl StreamStats {
+    /// Whether the stream's overall p99 met its SLO (vacuously true
+    /// without one).
+    #[must_use]
+    pub fn slo_met(&self) -> bool {
+        self.slo_ns == 0 || self.p99_ns <= self.slo_ns
+    }
+}
+
+/// The complete, deterministic account of one serving run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// The chip/arrival seed the run derives from.
+    pub seed: u64,
+    /// Number of epochs simulated.
+    pub epochs: u32,
+    /// Virtual nanoseconds per epoch.
+    pub epoch_ns: u64,
+    /// Total requests completed.
+    pub completed: u64,
+    /// Total requests shed.
+    pub shed: u64,
+    /// Total deferral events.
+    pub deferred: u64,
+    /// Where the critical stream ended up.
+    pub critical_core: CoreId,
+    /// Every degradation/posture transition, in order.
+    pub transitions: Vec<Transition>,
+    /// Per-stream statistics, in stream-spec order.
+    pub streams: Vec<StreamStats>,
+}
+
+impl ServeReport {
+    /// Total virtual duration (ns).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        u64::from(self.epochs) * self.epoch_ns
+    }
+
+    /// The critical stream's stats (the sim enforces exactly one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report holds no critical stream.
+    #[must_use]
+    pub fn critical(&self) -> &StreamStats {
+        self.streams
+            .iter()
+            .find(|s| s.class == StreamClass::Critical)
+            .expect("a serving run always has a critical stream")
+    }
+
+    /// Overall throughput in completed requests per virtual second.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        self.completed as f64 / (self.duration_ns() as f64 / 1e9)
+    }
+}

@@ -1,0 +1,465 @@
+//! The deterministic serving simulator.
+//!
+//! [`ServeSim`] drives the managed ATM stack with open-loop request
+//! traffic: the [`AtmManager`] postures the chip (critical stream on the
+//! fastest core, backgrounds backfilled and throttled to the QoS power
+//! budget), and a discrete-event loop dispatches seeded arrivals onto
+//! per-core FIFO queues whose service rates follow the cores' settled
+//! frequencies. Each epoch the chip simulation runs briefly to harvest
+//! [`ChipEvent`]s; the [`DegradationPolicy`] turns failures and droop
+//! alarms into CPM rollbacks, critical re-placement, and background
+//! throttling, all recorded in the final [`ServeReport`].
+//!
+//! Everything is a pure function of the seeds: arrivals are pre-generated
+//! per stream (in parallel when asked — the merge is worker-count
+//! independent), the event loop is serial in virtual time, and the report
+//! carries only integers, so a fixed seed yields a byte-identical
+//! [`ServeReport`] on every run.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use atm_chip::{ChipEvent, FailureEvent, FailureKind, PStateTable};
+use atm_core::{AtmManager, ServePosture};
+use atm_units::{CoreId, Nanos, ProcId};
+use atm_workloads::{ServiceProfile, Workload};
+
+use crate::admission::Admission;
+use crate::arrival;
+use crate::config::ServeConfig;
+use crate::degrade::{DegradationPolicy, DegradeAction};
+use crate::histogram::LatencyHistogram;
+use crate::report::{ServeReport, StreamStats, Transition};
+use crate::stream::{StreamClass, StreamSpec};
+
+/// A request awaiting dispatch (fresh or deferred). Ordered by
+/// `(time, stream, seq)` so the pending heap pops deterministically; the
+/// service draw rides along unordered.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    time: u64,
+    stream: usize,
+    seq: u32,
+    defers: u32,
+    orig: u64,
+    draw: f64,
+}
+
+impl Pending {
+    fn key(&self) -> (u64, usize, u32) {
+        (self.time, self.stream, self.seq)
+    }
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Running per-stream accounting.
+#[derive(Debug)]
+struct StreamState {
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    deferred: u64,
+    slo_violations: u64,
+    max_queue_depth: u64,
+    hist: LatencyHistogram,
+    epoch_hist: LatencyHistogram,
+    epoch_p99: Vec<u64>,
+}
+
+impl StreamState {
+    fn new() -> Self {
+        StreamState {
+            offered: 0,
+            completed: 0,
+            shed: 0,
+            deferred: 0,
+            slo_violations: 0,
+            max_queue_depth: 0,
+            hist: LatencyHistogram::new(),
+            epoch_hist: LatencyHistogram::new(),
+            epoch_p99: Vec::new(),
+        }
+    }
+}
+
+/// The serving simulator. Consumed by [`ServeSim::run`].
+#[derive(Debug)]
+pub struct ServeSim {
+    mgr: AtmManager,
+    cfg: ServeConfig,
+    streams: Vec<StreamSpec>,
+    policy: DegradationPolicy,
+    injected: Vec<(u32, FailureEvent)>,
+}
+
+impl ServeSim {
+    /// Builds a simulator over a deployed manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `streams` holds exactly one critical stream and at
+    /// least one background stream, or if the config's `refresh_every`
+    /// is zero.
+    #[must_use]
+    pub fn new(mgr: AtmManager, cfg: ServeConfig, streams: Vec<StreamSpec>) -> Self {
+        let criticals = streams
+            .iter()
+            .filter(|s| s.class == StreamClass::Critical)
+            .count();
+        assert_eq!(criticals, 1, "need exactly one critical stream");
+        assert!(
+            streams.len() > criticals,
+            "need at least one background stream"
+        );
+        assert!(cfg.refresh_every > 0, "refresh_every must be positive");
+        ServeSim {
+            mgr,
+            cfg,
+            streams,
+            policy: DegradationPolicy::default(),
+            injected: Vec::new(),
+        }
+    }
+
+    /// Overrides the degradation policy.
+    pub fn set_policy(&mut self, policy: DegradationPolicy) {
+        self.policy = policy;
+    }
+
+    /// Schedules a synthetic timing failure on `core`, delivered with the
+    /// chip events of epoch `epoch` — the test hook for exercising the
+    /// degradation path on demand.
+    pub fn inject_failure(&mut self, epoch: u32, core: CoreId, kind: FailureKind) {
+        self.injected.push((
+            epoch,
+            FailureEvent {
+                core,
+                kind,
+                at: Nanos::ZERO,
+            },
+        ));
+    }
+
+    /// Runs the full serving trace, pre-generating arrivals on up to
+    /// `workers` threads, and returns the deterministic report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn run(mut self, workers: usize) -> ServeReport {
+        let cfg = self.cfg.clone();
+        let proc = ProcId::new(0);
+        let baseline = self.mgr.system().config().pstates.nominal().frequency;
+        let pstates = self.mgr.system().config().pstates.clone();
+        let horizon = u64::from(cfg.epochs) * cfg.epoch_ns;
+
+        let critical_spec = self
+            .streams
+            .iter()
+            .find(|s| s.class == StreamClass::Critical)
+            .expect("checked in new")
+            .clone();
+        let backgrounds: Vec<Workload> = self
+            .streams
+            .iter()
+            .filter(|s| s.class == StreamClass::Background)
+            .map(|s| s.workload.clone())
+            .collect();
+        let profiles: Vec<ServiceProfile> = self
+            .streams
+            .iter()
+            .map(|s| s.workload.service_profile())
+            .collect();
+        let crit_idx = self
+            .streams
+            .iter()
+            .position(|s| s.class == StreamClass::Critical)
+            .expect("checked in new");
+        let crit_slo = self.streams[crit_idx].slo_ns;
+
+        self.mgr.system_mut().set_droop_alarm(cfg.droop_alarm);
+        let mut posture = self
+            .mgr
+            .serve_posture(&critical_spec.workload, &backgrounds, cfg.qos);
+        // Posturing itself settles and trains predictors; the alarms those
+        // runs raise are calibration noise, not serving-time events.
+        self.mgr.system_mut().drain_events();
+        let mut throttle_extra: usize = 0;
+
+        let arrivals = arrival::generate_all(&self.streams, cfg.seed, horizon, workers);
+        let mut next_arrival = 0usize;
+        let mut pending: BinaryHeap<Pending> = BinaryHeap::new();
+
+        let mut states: Vec<StreamState> =
+            self.streams.iter().map(|_| StreamState::new()).collect();
+        let mut free_at: BTreeMap<CoreId, u64> = BTreeMap::new();
+        let mut finishes: BTreeMap<CoreId, Vec<u64>> = BTreeMap::new();
+        let mut transitions: Vec<Transition> = Vec::new();
+
+        for epoch in 0..cfg.epochs {
+            let epoch_end = u64::from(epoch + 1) * cfg.epoch_ns;
+
+            // Harvest chip events at the current posture, plus injections.
+            let _ = self.mgr.system_mut().run(cfg.chip_trial);
+            let mut events = self.mgr.system_mut().drain_events();
+            for (e, f) in &self.injected {
+                if *e == epoch {
+                    events.push(ChipEvent::Failure(*f));
+                }
+            }
+
+            let actions = self.policy.react(&events, posture.placement.critical_core);
+            let mut needs_replace = false;
+            let mut throttled = false;
+            let mut action_texts = Vec::new();
+            for action in &actions {
+                match action {
+                    DegradeAction::Rollback { core, cause } => {
+                        let red = self.mgr.rollback_core(*core, 1);
+                        needs_replace = true;
+                        action_texts.push(format!("rollback {core} to reduction {red} ({cause})"));
+                    }
+                    DegradeAction::ThrottleDown { core } => {
+                        throttle_extra += 1;
+                        throttled = true;
+                        action_texts.push(format!(
+                            "background throttle step-down (droop alarms on {core})"
+                        ));
+                    }
+                }
+            }
+
+            if needs_replace {
+                posture = self
+                    .mgr
+                    .serve_posture(&critical_spec.workload, &backgrounds, cfg.qos);
+                if throttle_extra > 0 {
+                    self.apply_extra_throttle(&mut posture, throttle_extra, &pstates, proc);
+                }
+                self.mgr.system_mut().drain_events();
+            } else if throttled {
+                self.apply_extra_throttle(&mut posture, throttle_extra, &pstates, proc);
+                self.mgr.system_mut().drain_events();
+            } else if epoch > 0 && epoch % cfg.refresh_every == 0 {
+                posture.core_freqs = self.mgr.measure_core_freqs(proc);
+                self.mgr.system_mut().drain_events();
+            }
+            for text in action_texts {
+                transitions.push(Transition {
+                    epoch,
+                    action: text,
+                    critical_core: posture.placement.critical_core,
+                    critical_freq_mhz: posture
+                        .freq_of(posture.placement.critical_core)
+                        .get()
+                        .round() as u64,
+                });
+            }
+
+            let critical_at_risk = crit_slo > 0
+                && states[crit_idx].hist.count() >= 20
+                && states[crit_idx].hist.quantile(0.99) as f64
+                    > cfg.admission.slo_risk * crit_slo as f64;
+
+            // Dispatch this epoch's arrivals and readmissions in
+            // (time, stream, seq) order.
+            loop {
+                let arr_key = arrivals
+                    .get(next_arrival)
+                    .map(|a| (a.time, a.stream, a.seq));
+                let use_pending = match (arr_key, pending.peek().map(Pending::key)) {
+                    (Some(a), Some(p)) => p < a,
+                    (None, Some(_)) => true,
+                    (Some(_), None) => false,
+                    (None, None) => break,
+                };
+                // If the earlier of the two is past the epoch, both are.
+                let req = if use_pending {
+                    if pending.peek().expect("peeked").time >= epoch_end {
+                        break;
+                    }
+                    pending.pop().expect("peeked")
+                } else {
+                    let a = arrivals[next_arrival];
+                    if a.time >= epoch_end {
+                        break;
+                    }
+                    next_arrival += 1;
+                    Pending {
+                        time: a.time,
+                        stream: a.stream,
+                        seq: a.seq,
+                        defers: 0,
+                        orig: a.time,
+                        draw: a.draw,
+                    }
+                };
+
+                let spec = &self.streams[req.stream];
+                let state = &mut states[req.stream];
+                if req.defers == 0 {
+                    state.offered += 1;
+                }
+                let now = req.time;
+
+                // Target core: critical pinned; background to the live
+                // core with the least backlog (ties to the lowest id).
+                let core = match spec.class {
+                    StreamClass::Critical => posture.placement.critical_core,
+                    StreamClass::Background => {
+                        let bg_cap = cfg
+                            .serving_cores
+                            .map_or(usize::MAX, |n| (n as usize).saturating_sub(1));
+                        let live = posture
+                            .placement
+                            .background_cores
+                            .iter()
+                            .take(bg_cap)
+                            .filter(|c| posture.freq_of(**c).get() > 0.0)
+                            .min_by_key(|c| (free_at.get(c).copied().unwrap_or(0), c.flat_index()))
+                            .copied();
+                        match live {
+                            Some(c) => c,
+                            None => {
+                                // Whole background tier gated: nothing can
+                                // serve this request.
+                                state.shed += 1;
+                                continue;
+                            }
+                        }
+                    }
+                };
+                let backlog = free_at.get(&core).copied().unwrap_or(0).saturating_sub(now);
+                match cfg
+                    .admission
+                    .decide(spec.class, backlog, req.defers, critical_at_risk)
+                {
+                    Admission::Shed => {
+                        state.shed += 1;
+                        continue;
+                    }
+                    Admission::Defer => {
+                        state.deferred += 1;
+                        let mut d = req;
+                        d.time = now + cfg.admission.defer_by;
+                        d.defers += 1;
+                        if d.time >= horizon {
+                            state.shed += 1;
+                        } else {
+                            pending.push(d);
+                        }
+                        continue;
+                    }
+                    Admission::Accept => {}
+                }
+
+                let freq = posture.freq_of(core);
+                let service = profiles[req.stream]
+                    .sample(&spec.workload, freq, baseline, req.draw)
+                    .get()
+                    .round()
+                    .max(1.0) as u64;
+                let start = now.max(free_at.get(&core).copied().unwrap_or(0));
+                let finish = start + service;
+                free_at.insert(core, finish);
+                let fin = finishes.entry(core).or_default();
+                fin.retain(|&f| f > now);
+                fin.push(finish);
+                state.max_queue_depth = state.max_queue_depth.max(fin.len() as u64);
+
+                let latency = finish - req.orig;
+                state.hist.record(latency);
+                state.epoch_hist.record(latency);
+                state.completed += 1;
+                if spec.slo_ns > 0 && latency > spec.slo_ns {
+                    state.slo_violations += 1;
+                }
+            }
+
+            for state in &mut states {
+                state.epoch_p99.push(state.epoch_hist.quantile(0.99));
+                state.epoch_hist.reset();
+            }
+        }
+
+        // Anything still deferred past the horizon was never served.
+        for p in pending.into_vec() {
+            states[p.stream].shed += 1;
+        }
+
+        let streams: Vec<StreamStats> = self
+            .streams
+            .iter()
+            .zip(states)
+            .map(|(spec, st)| StreamStats {
+                name: spec.name.clone(),
+                class: spec.class,
+                offered: st.offered,
+                completed: st.completed,
+                shed: st.shed,
+                deferred: st.deferred,
+                slo_ns: spec.slo_ns,
+                slo_violations: st.slo_violations,
+                p50_ns: st.hist.quantile(0.5),
+                p95_ns: st.hist.quantile(0.95),
+                p99_ns: st.hist.quantile(0.99),
+                max_ns: st.hist.max(),
+                mean_ns: st.hist.mean(),
+                max_queue_depth: st.max_queue_depth,
+                epoch_p99_ns: st.epoch_p99,
+            })
+            .collect();
+        ServeReport {
+            seed: cfg.seed,
+            epochs: cfg.epochs,
+            epoch_ns: cfg.epoch_ns,
+            completed: streams.iter().map(|s| s.completed).sum(),
+            shed: streams.iter().map(|s| s.shed).sum(),
+            deferred: streams.iter().map(|s| s.deferred).sum(),
+            critical_core: posture.placement.critical_core,
+            transitions,
+            streams,
+        }
+    }
+
+    /// Steps the posture's background throttle `extra` rungs further down
+    /// the ladder, applies it, and re-measures the settled frequencies.
+    fn apply_extra_throttle(
+        &mut self,
+        posture: &mut ServePosture,
+        extra: usize,
+        pstates: &PStateTable,
+        proc: ProcId,
+    ) {
+        let Some(mut plan) = posture.placement.plan.clone() else {
+            return;
+        };
+        for _ in 0..extra {
+            match plan.step_down(pstates) {
+                Some(next) => plan = next,
+                None => break,
+            }
+        }
+        plan.apply(self.mgr.system_mut());
+        posture.placement.plan = Some(plan);
+        posture.core_freqs = self.mgr.measure_core_freqs(proc);
+    }
+}

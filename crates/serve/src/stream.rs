@@ -1,0 +1,76 @@
+//! Request streams: what arrives, how often, and what it is owed.
+
+use atm_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Whether a stream is the latency-critical tenant or background filler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamClass {
+    /// Latency-critical: placed on the fastest core, never shed.
+    Critical,
+    /// Background: backfills the remaining cores, sheddable under
+    /// pressure.
+    Background,
+}
+
+/// How a stream's requests arrive on the open-loop timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Poisson arrivals with the given mean inter-arrival gap (ns).
+    Poisson {
+        /// Mean gap between consecutive arrivals, in nanoseconds.
+        mean_gap: u64,
+    },
+    /// Alternating calm/burst phases of equal length: Poisson at
+    /// `mean_gap` during calm phases, at `burst_gap` during bursts.
+    Bursty {
+        /// Mean gap during calm phases (ns).
+        mean_gap: u64,
+        /// Mean gap during burst phases (ns); smaller means a burst.
+        burst_gap: u64,
+        /// Length of each phase (ns).
+        phase: u64,
+    },
+}
+
+/// One open-loop request stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Display name (defaults to the workload's).
+    pub name: String,
+    /// The workload one request of this stream executes.
+    pub workload: Workload,
+    /// Critical or background.
+    pub class: StreamClass,
+    /// The arrival process.
+    pub pattern: ArrivalPattern,
+    /// Tail-latency SLO in nanoseconds (p99 target); 0 disables SLO
+    /// accounting for the stream.
+    pub slo_ns: u64,
+}
+
+impl StreamSpec {
+    /// A critical stream with a p99 SLO.
+    #[must_use]
+    pub fn critical(workload: &Workload, pattern: ArrivalPattern, slo_ns: u64) -> Self {
+        StreamSpec {
+            name: workload.name().to_string(),
+            workload: workload.clone(),
+            class: StreamClass::Critical,
+            pattern,
+            slo_ns,
+        }
+    }
+
+    /// A background stream (no SLO).
+    #[must_use]
+    pub fn background(workload: &Workload, pattern: ArrivalPattern) -> Self {
+        StreamSpec {
+            name: workload.name().to_string(),
+            workload: workload.clone(),
+            class: StreamClass::Background,
+            pattern,
+            slo_ns: 0,
+        }
+    }
+}

@@ -40,9 +40,11 @@
 mod catalog;
 mod classify;
 mod profile;
+mod service;
 mod stressmark;
 
 pub use catalog::{by_name, catalog, ml_inference_set, realistic_set, ubench_set};
 pub use classify::{classification_table, AppClass, Role};
 pub use profile::{Workload, WorkloadKind};
+pub use service::ServiceProfile;
 pub use stressmark::{isa_suite, power_virus, voltage_virus};

@@ -1,0 +1,213 @@
+//! Request service-time profiles.
+//!
+//! The serving layer (`atm-serve`) models each workload as a stream of
+//! requests: one SqueezeNet inference, one x264 GOP encode, one unit of a
+//! batch job. A [`ServiceProfile`] gives the mean time one request takes
+//! at the 4.2 GHz static-margin baseline plus a dispersion factor, and
+//! converts a core's measured clock into a concrete per-request service
+//! time through the same frequency-scaling model as
+//! [`Workload::speedup`] — so a fine-tuned core that clocks 10% higher
+//! serves compute-bound requests ~10% faster, while memory-bound requests
+//! saturate exactly as the paper's Fig. 12b predicts.
+
+use atm_units::{MegaHz, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{Workload, WorkloadKind};
+
+/// Mean baseline service times per suite, in nanoseconds of virtual
+/// serving time. ML inference matches the paper's Sec. II latency scale
+/// (tens of milliseconds per inference); batch suites are sized as
+/// per-request work units rather than whole-benchmark runtimes.
+fn kind_base_ns(kind: WorkloadKind) -> f64 {
+    match kind {
+        WorkloadKind::Idle => 10_000.0,            // 10 µs bookkeeping
+        WorkloadKind::MicroBench => 100_000.0,     // 0.1 ms kernel
+        WorkloadKind::Spec => 4_000_000.0,         // 4 ms work unit
+        WorkloadKind::Parsec => 6_000_000.0,       // 6 ms frame/chunk
+        WorkloadKind::MlInference => 40_000_000.0, // 40 ms inference
+        WorkloadKind::Stressmark => 1_000_000.0,   // 1 ms burst
+    }
+}
+
+/// How one request of a workload occupies a core.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::MegaHz;
+/// use atm_workloads::{by_name, ServiceProfile};
+///
+/// let sq = by_name("squeezenet").unwrap();
+/// let profile = ServiceProfile::for_workload(sq);
+/// let base = MegaHz::new(4200.0);
+/// let fast = MegaHz::new(4830.0); // +15% clock
+/// // A faster core serves the same request sooner.
+/// assert!(profile.sample(sq, fast, base, 0.5) < profile.sample(sq, base, base, 0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Mean service time at the 4.2 GHz baseline.
+    base: Nanos,
+    /// Half-width of the uniform dispersion around the mean, as a fraction
+    /// of it (in `[0, 1)`).
+    dispersion: f64,
+}
+
+impl ServiceProfile {
+    /// Builds a profile with an explicit baseline mean and dispersion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not positive or `dispersion` is outside
+    /// `[0, 1)`.
+    #[must_use]
+    pub fn new(base: Nanos, dispersion: f64) -> Self {
+        assert!(base.get() > 0.0, "base service time must be positive");
+        assert!(
+            (0.0..1.0).contains(&dispersion),
+            "dispersion out of [0, 1): {dispersion}"
+        );
+        ServiceProfile { base, dispersion }
+    }
+
+    /// The calibrated profile for `workload`: the suite's baseline request
+    /// size scaled by the workload's switching activity (hotter code does
+    /// more per request), with dispersion growing with path stress (more
+    /// exotic code paths, more variable requests).
+    #[must_use]
+    pub fn for_workload(workload: &Workload) -> Self {
+        let base = kind_base_ns(workload.kind()) * (0.6 + 0.8 * workload.activity());
+        let dispersion = 0.05 + 0.35 * workload.path_stress();
+        ServiceProfile::new(Nanos::new(base), dispersion)
+    }
+
+    /// The mean service time at the 4.2 GHz baseline.
+    #[must_use]
+    pub fn base(&self) -> Nanos {
+        self.base
+    }
+
+    /// The dispersion half-width fraction.
+    #[must_use]
+    pub fn dispersion(&self) -> f64 {
+        self.dispersion
+    }
+
+    /// The mean service time when the serving core clocks at `freq`
+    /// (relative to `baseline`): the baseline mean divided by the
+    /// workload's frequency speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency is zero.
+    #[must_use]
+    pub fn mean_at(&self, workload: &Workload, freq: MegaHz, baseline: MegaHz) -> Nanos {
+        Nanos::new(self.base.get() / workload.speedup(freq, baseline))
+    }
+
+    /// One concrete service time from a uniform draw `u ∈ [0, 1)`: the
+    /// frequency-scaled mean spread uniformly over
+    /// `[1 − dispersion, 1 + dispersion)`. Deterministic in `u`, so seeded
+    /// request streams replay bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1)` or either frequency is zero.
+    #[must_use]
+    pub fn sample(&self, workload: &Workload, freq: MegaHz, baseline: MegaHz, u: f64) -> Nanos {
+        assert!((0.0..1.0).contains(&u), "u out of [0,1): {u}");
+        let mean = self.mean_at(workload, freq, baseline);
+        let jitter = 1.0 + self.dispersion * (2.0 * u - 1.0);
+        Nanos::new(mean.get() * jitter)
+    }
+}
+
+impl Workload {
+    /// The calibrated request service-time profile for this workload
+    /// ([`ServiceProfile::for_workload`]).
+    #[must_use]
+    pub fn service_profile(&self) -> ServiceProfile {
+        ServiceProfile::for_workload(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::catalog::by_name;
+
+    const BASE: MegaHz = MegaHz::new_const(4200.0);
+
+    #[test]
+    fn every_catalog_workload_has_a_positive_profile() {
+        for w in catalog::catalog() {
+            let p = w.service_profile();
+            assert!(p.base().get() > 0.0, "{} base", w.name());
+            assert!(
+                (0.0..1.0).contains(&p.dispersion()),
+                "{} dispersion",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn inference_requests_dwarf_spec_units() {
+        let sq = by_name("squeezenet").unwrap();
+        let gcc = by_name("gcc").unwrap();
+        assert!(sq.service_profile().base() > gcc.service_profile().base());
+        // SqueezeNet inference sits at the paper's tens-of-ms scale.
+        let ms = sq.service_profile().base().get() / 1e6;
+        assert!((20.0..80.0).contains(&ms), "squeezenet {ms} ms");
+    }
+
+    #[test]
+    fn faster_clock_shortens_service() {
+        let sq = by_name("squeezenet").unwrap();
+        let p = sq.service_profile();
+        let fast = p.mean_at(sq, MegaHz::new(4830.0), BASE);
+        assert!(fast < p.base());
+        // Compute-bound inference: ~15% clock → >10% faster service.
+        assert!(fast.get() < p.base().get() * 0.92);
+    }
+
+    #[test]
+    fn memory_bound_saturates() {
+        let mcf = by_name("mcf").unwrap();
+        let x264 = by_name("x264").unwrap();
+        let f = MegaHz::new(4830.0);
+        let gain = |w: &Workload| {
+            let p = w.service_profile();
+            p.base().get() / p.mean_at(w, f, BASE).get()
+        };
+        assert!(gain(mcf) < gain(x264));
+    }
+
+    #[test]
+    fn sample_spans_the_dispersion_band() {
+        let w = by_name("x264").unwrap();
+        let p = w.service_profile();
+        let mean = p.mean_at(w, BASE, BASE).get();
+        let lo = p.sample(w, BASE, BASE, 0.0).get();
+        let hi = p.sample(w, BASE, BASE, 0.999_999).get();
+        assert!(lo < mean && mean < hi);
+        assert!((lo / mean - (1.0 - p.dispersion())).abs() < 1e-9);
+        // The same draw always yields the same time.
+        assert_eq!(p.sample(w, BASE, BASE, 0.25), p.sample(w, BASE, BASE, 0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1)")]
+    fn sample_rejects_out_of_range_draw() {
+        let w = by_name("gcc").unwrap();
+        let _ = w.service_profile().sample(w, BASE, BASE, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dispersion")]
+    fn dispersion_bounds_enforced() {
+        let _ = ServiceProfile::new(Nanos::new(1000.0), 1.0);
+    }
+}

@@ -1,55 +1,129 @@
-//! Managing a latency-critical inference service on a fine-tuned ATM
-//! server (the paper's Sec. VII scenario): deploy via the test-time
-//! stress-test, place SqueezeNet on the fastest core, and throttle the
-//! background co-runners just enough to guarantee a 10% speedup.
+//! Serving a latency-critical inference service on a fine-tuned ATM
+//! server: deploy via the test-time stress-test, posture SqueezeNet on
+//! the fastest core with throttled background co-runners, then drive the
+//! server with an open-loop traffic trace — Poisson inference arrivals
+//! against a bursty encode/batch background — while the droop-aware
+//! degradation policy watches the chip. A timing failure is injected
+//! mid-run to show the rollback → re-placement → recovery path.
 //!
 //! ```text
 //! cargo run --release --example managed_inference
 //! ```
 
-use power_atm::chip::{ChipConfig, System};
+use power_atm::chip::{ChipConfig, FailureKind, System};
 use power_atm::core::charact::CharactConfig;
-use power_atm::core::manager::Strategy;
-use power_atm::core::{AtmManager, Governor, QosTarget};
+use power_atm::core::{AtmManager, Governor};
+use power_atm::serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+use power_atm::units::CoreId;
 use power_atm::workloads::by_name;
 
 fn main() {
     println!("deploying fine-tuned ATM via the test-time stress-test...");
     let sys = System::new(ChipConfig::power7_plus(42));
-    let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
     println!(
         "deployed; inter-core speed differential: {}\n",
         mgr.deployed().speed_differential()
     );
 
     let squeezenet = by_name("squeezenet").expect("catalog");
-    let qos = QosTarget::improvement_pct(10.0);
+    let x264 = by_name("x264").expect("catalog");
+    let lu = by_name("lu_cb").expect("catalog");
 
-    for background in ["streamcluster", "x264", "lu_cb"] {
-        let bg = by_name(background).expect("catalog");
-        println!("co-runner: {background}");
-        for strategy in [
-            Strategy::StaticMargin,
-            Strategy::DefaultAtm,
-            Strategy::FineTunedUnmanaged,
-            Strategy::ManagedMax,
-            Strategy::ManagedBalanced(qos),
-        ] {
-            let o = mgr.evaluate_pair(squeezenet, bg, strategy);
-            let latency_ms = 80.0 / o.speedup; // paper's 80 ms baseline
+    // One critical inference stream (250 ms p99 SLO), two background
+    // streams: bursty video encoding and steady batch algebra.
+    let streams = vec![
+        StreamSpec::critical(
+            squeezenet,
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            250_000_000,
+        ),
+        StreamSpec::background(
+            x264,
+            ArrivalPattern::Bursty {
+                mean_gap: 20_000_000,
+                burst_gap: 5_000_000,
+                phase: 100_000_000,
+            },
+        ),
+        StreamSpec::background(
+            lu,
+            ArrivalPattern::Poisson {
+                mean_gap: 15_000_000,
+            },
+        ),
+    ];
+
+    let cfg = ServeConfig::standard(42);
+    let mut sim = ServeSim::new(mgr, cfg.clone(), streams);
+    // Mid-run field failure on a serving core: watch the recovery.
+    sim.inject_failure(8, CoreId::new(0, 0), FailureKind::SystemCrash);
+    println!(
+        "serving {} epochs x {} ms of open-loop traffic...",
+        cfg.epochs,
+        cfg.epoch_ns / 1_000_000
+    );
+    let report = sim.run(4);
+
+    println!(
+        "\n{:.1} requests/s overall; {} completed, {} shed, {} deferral(s)",
+        report.requests_per_sec(),
+        report.completed,
+        report.shed,
+        report.deferred
+    );
+    println!("critical stream ended on core {}\n", report.critical_core);
+
+    println!(
+        "{:<14} {:>10} {:>9} {:>7} {:>9} {:>9} {:>9} {:>14}",
+        "stream", "class", "served", "shed", "p50", "p95", "p99", "SLO"
+    );
+    for s in &report.streams {
+        println!(
+            "{:<14} {:>10} {:>9} {:>7} {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>14}",
+            s.name,
+            format!("{:?}", s.class),
+            s.completed,
+            s.shed,
+            s.p50_ns as f64 / 1e6,
+            s.p95_ns as f64 / 1e6,
+            s.p99_ns as f64 / 1e6,
+            if s.slo_ns == 0 {
+                "-".to_string()
+            } else if s.slo_met() {
+                format!("met ({} ms)", s.slo_ns / 1_000_000)
+            } else {
+                format!("MISSED ({} ms)", s.slo_ns / 1_000_000)
+            }
+        );
+    }
+
+    if report.transitions.is_empty() {
+        println!("\nno degradation events");
+    } else {
+        println!("\ndegradation timeline:");
+        for t in &report.transitions {
             println!(
-                "  {:<34} core {} at {}, {:>6.1}% speedup, {latency_ms:.1} ms, {} chip power{}",
-                o.strategy.to_string(),
-                o.critical_core,
-                o.critical_freq,
-                (o.speedup - 1.0) * 100.0,
-                o.chip_power,
-                match o.background_setting {
-                    Some(s) => format!(", bg {s}"),
-                    None => String::new(),
-                }
+                "  epoch {:>2}: {} -> critical on {} at {} MHz",
+                t.epoch, t.action, t.critical_core, t.critical_freq_mhz
             );
         }
-        println!();
     }
+
+    let crit = report.critical();
+    println!("\ncritical per-epoch p99 (ms):");
+    let series: Vec<String> = crit
+        .epoch_p99_ns
+        .iter()
+        .map(|p| {
+            if *p == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}", *p as f64 / 1e6)
+            }
+        })
+        .collect();
+    println!("  [{}]", series.join(", "));
 }

@@ -1,19 +1,27 @@
 # Common development tasks. `just ci` is the gate PRs must pass.
 
-# Release build + tests + warning-free clippy (mirrors ci.sh).
+# Formatting + release build (incl. examples) + tests + warning-free
+# workspace clippy over all targets (mirrors ci.sh).
 ci:
+    cargo fmt --check
     cargo build --release
+    cargo build --release --examples
     cargo test -q
-    cargo clippy -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings
 
 # Full-workspace test run (every crate, not just the facade).
 test-all:
     cargo test --workspace
 
-# Determinism suite for the parallel characterization engine.
+# Determinism suites: parallel characterization + the serving layer.
 determinism:
     cargo test --test determinism
+    cargo test --test serving
 
 # Serial vs parallel characterization + memoized-rerun speedups.
 bench-parallel:
     cargo bench -p atm-bench --bench parallel_charact
+
+# Serving throughput and tail latency vs deployment size.
+bench-serve:
+    cargo bench -p atm-bench --bench serve_throughput

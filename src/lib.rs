@@ -20,6 +20,7 @@
 //! | [`workloads`] | calibrated SPEC/PARSEC/ML/stressmark profiles |
 //! | [`chip`] | the two-socket simulator |
 //! | [`core`] | fine-tuning, characterization, prediction, management |
+//! | [`serve`] | deterministic request serving with SLO accounting |
 //! | [`experiments`] | regeneration of every paper table and figure |
 //!
 //! # The whole pipeline in one example
@@ -66,5 +67,6 @@ pub use atm_cpm as cpm;
 pub use atm_dpll as dpll;
 pub use atm_experiments as experiments;
 pub use atm_pdn as pdn;
+pub use atm_serve as serve;
 pub use atm_silicon as silicon;
 pub use atm_workloads as workloads;

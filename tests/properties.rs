@@ -133,3 +133,62 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `FailureKind::sample` is total over its whole documented domain
+    /// u ∈ [0, 1): every draw maps to a kind, the mapping is a step
+    /// function with thresholds at exactly 0.4 and 0.8, and nearby draws
+    /// on the same side of a threshold agree.
+    #[test]
+    fn failure_kind_sample_is_total_and_banded(u in 0.0f64..1.0) {
+        use power_atm::chip::FailureKind;
+        let kind = FailureKind::sample(u);
+        let expected = if u < 0.4 {
+            FailureKind::SystemCrash
+        } else if u < 0.8 {
+            FailureKind::AbnormalExit
+        } else {
+            FailureKind::SilentDataCorruption
+        };
+        prop_assert_eq!(kind, expected, "u = {}", u);
+        // Stability: the same draw always yields the same kind.
+        prop_assert_eq!(kind, FailureKind::sample(u));
+    }
+}
+
+/// The documented 40/40/20 proportions, checked exactly on a fine
+/// uniform grid over [0, 1) — no sampling noise, no tolerance.
+#[test]
+fn failure_kind_proportions_are_40_40_20() {
+    use power_atm::chip::FailureKind;
+    const N: usize = 100_000;
+    let mut counts = [0usize; 3];
+    for i in 0..N {
+        let u = i as f64 / N as f64;
+        match FailureKind::sample(u) {
+            FailureKind::SystemCrash => counts[0] += 1,
+            FailureKind::AbnormalExit => counts[1] += 1,
+            FailureKind::SilentDataCorruption => counts[2] += 1,
+        }
+    }
+    assert_eq!(counts, [N * 2 / 5, N * 2 / 5, N / 5]);
+}
+
+/// The domain boundaries of `FailureKind::sample`: 0 is valid, 1 is not,
+/// and the threshold values land in the upper band.
+#[test]
+fn failure_kind_sample_edges() {
+    use power_atm::chip::FailureKind;
+    assert_eq!(FailureKind::sample(0.0), FailureKind::SystemCrash);
+    assert_eq!(FailureKind::sample(0.4), FailureKind::AbnormalExit);
+    assert_eq!(FailureKind::sample(0.8), FailureKind::SilentDataCorruption);
+    let just_below = 1.0_f64.next_down();
+    assert_eq!(
+        FailureKind::sample(just_below),
+        FailureKind::SilentDataCorruption
+    );
+    assert!(std::panic::catch_unwind(|| FailureKind::sample(1.0)).is_err());
+    assert!(std::panic::catch_unwind(|| FailureKind::sample(-0.001)).is_err());
+}
