@@ -1,6 +1,7 @@
 #!/bin/sh
 # The repo's CI gate: formatting, release build (examples included),
-# tests, and warning-free workspace-wide clippy over every target.
+# tests, warning-free workspace-wide clippy over every target, and
+# warning-free rustdoc.
 set -eux
 
 cargo fmt --check
@@ -8,3 +9,4 @@ cargo build --release
 cargo build --release --examples
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -52,7 +52,9 @@ fn serve(cores: u32) -> ServeReport {
     let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
     let mut cfg = ServeConfig::quick(BENCH_SEED);
     cfg.serving_cores = Some(cores);
-    ServeSim::new(mgr, cfg, streams()).run(4)
+    ServeSim::new(mgr, cfg, streams())
+        .expect("valid serving setup")
+        .run(4)
 }
 
 fn bench(c: &mut Criterion) {

@@ -4,6 +4,7 @@ use atm_cpm::{CoreCpmSet, CpmConfigError};
 use atm_dpll::{AtmLoop, AtmLoopConfig};
 use atm_pdn::DroopProcess;
 use atm_silicon::CoreSilicon;
+use atm_telemetry::{CpmReading as TelemetryCpm, Recorder, TelemetryEvent};
 use atm_units::{Celsius, CoreId, MegaHz, Nanos, Volts};
 use atm_workloads::Workload;
 use rand::rngs::StdRng;
@@ -339,7 +340,14 @@ impl Core {
     /// surge of synchronized issue throttling) as `(seen mV, unseen mV)`;
     /// it merges with any droop the core's own workload produced this tick
     /// (coincident droops overlap rather than stack).
-    pub(crate) fn tick(
+    /// Recording rides along as the generic `rec`: when it is enabled,
+    /// the CPM readout and ATM loop step of an ATM-mode tick become
+    /// [`atm_telemetry::CpmReading`] / [`atm_telemetry::DpllStep`] events
+    /// and the loop's per-action counters are bumped. Pass
+    /// [`atm_telemetry::NullRecorder`] for the unrecorded (zero-overhead)
+    /// path — the simulated physics are identical either way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn tick_recorded<R: Recorder>(
         &mut self,
         v_dc: Volts,
         t: Celsius,
@@ -347,6 +355,7 @@ impl Core {
         droop_amplify: f64,
         injected: Option<(f64, f64)>,
         check_failures: bool,
+        rec: &mut R,
     ) -> Option<FailureKind> {
         self.last_voltage = v_dc;
         let freq = self.frequency();
@@ -401,7 +410,15 @@ impl Core {
         let reading = self
             .cpms
             .measure_from_base(&self.silicon, period, base_delay);
-        self.atm.step(reading);
+        if rec.enabled() {
+            rec.record(TelemetryEvent::Cpm(TelemetryCpm {
+                t: rec.now(),
+                core: self.id,
+                units: reading.units(),
+                violation: reading.is_violation(),
+            }));
+        }
+        self.atm.step_recorded(reading, self.id, rec);
 
         failure
     }
@@ -449,6 +466,7 @@ mod tests {
     use super::*;
     use atm_cpm::CoreCpmSet;
     use atm_silicon::{SiliconFactory, SiliconParams};
+    use atm_telemetry::NullRecorder;
 
     fn core() -> Core {
         let silicon = SiliconFactory::new(SiliconParams::power7_plus(), 42).core(CoreId::new(0, 0));
@@ -500,7 +518,8 @@ mod tests {
         c.warm_start(v, t);
         let f0 = c.frequency();
         for _ in 0..500 {
-            let failure = c.tick(v, t, Nanos::new(50.0), 1.0, None, true);
+            let failure =
+                c.tick_recorded(v, t, Nanos::new(50.0), 1.0, None, true, &mut NullRecorder);
             assert!(failure.is_none(), "default config must not fail idle");
         }
         let drift = (c.frequency().get() - f0.get()).abs();
@@ -542,7 +561,9 @@ mod tests {
         c.warm_start(v, t);
         let mut failed = false;
         for _ in 0..5000 {
-            if c.tick(v, t, Nanos::new(50.0), 1.0, None, true).is_some() {
+            if c.tick_recorded(v, t, Nanos::new(50.0), 1.0, None, true, &mut NullRecorder)
+                .is_some()
+            {
                 failed = true;
                 break;
             }
@@ -562,7 +583,7 @@ mod tests {
         c.warm_start(v, t);
         c.reset_stats();
         for _ in 0..100 {
-            let _ = c.tick(v, t, Nanos::new(50.0), 1.0, None, false);
+            let _ = c.tick_recorded(v, t, Nanos::new(50.0), 1.0, None, false, &mut NullRecorder);
         }
         let r = c.report();
         assert!(r.mean_freq.get() > 4000.0);
@@ -594,13 +615,14 @@ mod tests {
         c.set_reduction(max).unwrap();
         for _ in 0..2000 {
             assert!(c
-                .tick(
+                .tick_recorded(
                     Volts::new(1.20),
                     Celsius::new(60.0),
                     Nanos::new(50.0),
                     1.0,
                     None,
-                    true
+                    true,
+                    &mut NullRecorder
                 )
                 .is_none());
         }

@@ -2,6 +2,7 @@
 
 use atm_cpm::CpmConfigError;
 use atm_silicon::SiliconFactory;
+use atm_telemetry::{DroopEvent, NullRecorder, Recorder, TelemetryEvent};
 use atm_units::{CoreId, Nanos, ProcId};
 use atm_workloads::Workload;
 
@@ -237,6 +238,22 @@ impl System {
     ///
     /// Panics if `duration` is not positive.
     pub fn run(&mut self, duration: Nanos) -> SystemReport {
+        self.run_recorded(duration, &mut NullRecorder)
+    }
+
+    /// [`System::run`] with telemetry: each tick advances `rec`'s
+    /// monotonic clock by the tick length, per-core CPM/DPLL activity is
+    /// recorded (see the DPLL crate's per-action counters), droop alarms
+    /// become [`atm_telemetry::DroopEvent`]s, and the run bumps
+    /// `chip.ticks`, `chip.failures` and `chip.droop_alarms`. The
+    /// simulation itself is identical to [`System::run`]: recording only
+    /// observes, so the returned report is byte-identical whichever
+    /// recorder is passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn run_recorded<R: Recorder>(&mut self, duration: Nanos, rec: &mut R) -> SystemReport {
         assert!(duration.get() > 0.0, "duration must be positive");
         for p in &mut self.procs {
             p.warm_start();
@@ -249,10 +266,12 @@ impl System {
             .map(|th| crate::events::DroopDetectorBank::new(th, &self.procs));
         let mut now = Nanos::ZERO;
         let mut failure = None;
+        let mut ticks = 0u64;
+        let mut droop_alarms = 0u64;
         while now.get() < duration.get() {
             let mut new_failure = None;
             for p in &mut self.procs {
-                if let Some(f) = p.tick(dt, check, now) {
+                if let Some(f) = p.tick_recorded(dt, check, now, rec) {
                     new_failure.get_or_insert(f);
                 }
             }
@@ -264,12 +283,35 @@ impl System {
             }
             if let Some(bank) = detectors.as_mut() {
                 let alarms = bank.observe(&self.procs, now);
+                if rec.enabled() {
+                    for alarm in &alarms {
+                        if let crate::ChipEvent::Droop(a) = alarm {
+                            droop_alarms += 1;
+                            rec.record(TelemetryEvent::Droop(DroopEvent {
+                                t: rec.now(),
+                                core: a.core,
+                                dip: a.dip,
+                            }));
+                        }
+                    }
+                } else {
+                    droop_alarms += alarms.len() as u64;
+                }
                 self.events.extend(alarms);
             }
             now += dt;
+            ticks += 1;
+            rec.advance(dt.get().round() as u64);
             if failure.is_some() {
                 break;
             }
+        }
+        rec.incr("chip.ticks", ticks);
+        if droop_alarms > 0 {
+            rec.incr("chip.droop_alarms", droop_alarms);
+        }
+        if failure.is_some() {
+            rec.incr("chip.failures", 1);
         }
         SystemReport {
             duration: now,
@@ -590,6 +632,31 @@ mod tests {
             sys.drain_events()
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded() {
+        use atm_telemetry::RingRecorder;
+
+        let drive = |rec: &mut dyn FnMut(&mut System) -> SystemReport| {
+            let mut sys = System::new(ChipConfig::power7_plus(9));
+            sys.set_droop_alarm(Some(MegaHz::new(25.0)));
+            sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
+            sys.assign(CoreId::new(0, 0), by_name("x264").unwrap().clone());
+            rec(&mut sys)
+        };
+        let plain = drive(&mut |sys| sys.run(Nanos::new(50_000.0)));
+        let mut ring = RingRecorder::with_capacity(4096);
+        let ringed = drive(&mut |sys| sys.run_recorded(Nanos::new(50_000.0), &mut ring));
+        assert_eq!(format!("{plain:?}"), format!("{ringed:?}"));
+        assert_eq!(ring.counter("chip.ticks"), Some(1000));
+        assert!(ring.counter("chip.droop_alarms").unwrap_or(0) > 0);
+        assert!(ring.counter("dpll.slew_up").unwrap_or(0) > 0);
+        assert_eq!(ring.now().nanos(), 50_000);
+        assert!(ring
+            .events()
+            .iter()
+            .any(|e| matches!(e, atm_telemetry::TelemetryEvent::Droop(_))));
     }
 
     #[test]

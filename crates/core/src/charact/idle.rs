@@ -1,11 +1,12 @@
 //! Idle-system characterization (Sec. IV, Fig. 7).
 
 use atm_chip::{MarginMode, System};
+use atm_telemetry::{NullRecorder, Recorder};
 use atm_units::{CoreId, MegaHz};
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
-use super::search::{find_limit, CharactConfig, LimitDistribution};
+use super::search::{find_limit_recorded, CharactConfig, LimitDistribution};
 
 /// Result of the idle characterization of one core.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,10 +36,22 @@ impl IdleResult {
 /// Cores are left programmed at their idle limits.
 #[must_use]
 pub fn idle_characterization(system: &mut System, cfg: &CharactConfig) -> Vec<IdleResult> {
+    idle_characterization_recorded(system, cfg, &mut NullRecorder)
+}
+
+/// [`idle_characterization`] with telemetry: the limit walks record
+/// their trials through `rec`. Results are identical to
+/// [`idle_characterization`]'s.
+#[must_use]
+pub fn idle_characterization_recorded<R: Recorder>(
+    system: &mut System,
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> Vec<IdleResult> {
     let idle = Workload::idle();
     let mut results = Vec::with_capacity(16);
     for core in CoreId::all() {
-        let distribution = find_limit(system, core, &[&idle], 0, cfg);
+        let distribution = find_limit_recorded(system, core, &[&idle], 0, cfg, rec);
         // Frequency at the limit, measured with the whole system idle and
         // only this core in ATM mode (find_limit leaves it that way).
         system.set_mode(core, MarginMode::Atm);

@@ -7,10 +7,13 @@ mod realistic;
 mod search;
 mod ubench;
 
-pub use idle::{idle_characterization, IdleResult};
+pub use idle::{idle_characterization, idle_characterization_recorded, IdleResult};
 pub use realistic::{
-    realistic_characterization, realistic_characterization_parallel, AppCoreProfile,
-    RealisticResult,
+    realistic_characterization, realistic_characterization_parallel,
+    realistic_characterization_recorded, AppCoreProfile, RealisticResult,
 };
-pub use search::{find_limit, find_limit_driven, passes, CharactConfig, LimitDistribution};
-pub use ubench::{ubench_characterization, UbenchResult};
+pub use search::{
+    find_limit, find_limit_driven, find_limit_recorded, passes, passes_recorded, CharactConfig,
+    CharactConfigBuilder, LimitDistribution,
+};
+pub use ubench::{ubench_characterization, ubench_characterization_recorded, UbenchResult};

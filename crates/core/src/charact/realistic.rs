@@ -1,11 +1,12 @@
 //! Realistic-workload characterization (Sec. VI, Figs. 9–10).
 
 use atm_chip::System;
+use atm_telemetry::{NullRecorder, Recorder};
 use atm_units::CoreId;
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
-use super::search::{find_limit, CharactConfig, LimitDistribution};
+use super::search::{find_limit_recorded, CharactConfig, LimitDistribution};
 
 /// The profile of one ⟨application, core⟩ pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -143,12 +144,31 @@ pub fn realistic_characterization(
     apps: &[&Workload],
     cfg: &CharactConfig,
 ) -> RealisticResult {
+    realistic_characterization_recorded(system, ubench_limits, apps, cfg, &mut NullRecorder)
+}
+
+/// [`realistic_characterization`] with telemetry: the per-app limit
+/// walks record their trials through `rec`. (The parallel variant stays
+/// unrecorded: its workers own their shards outright.) Results are
+/// identical to [`realistic_characterization`]'s.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty.
+#[must_use]
+pub fn realistic_characterization_recorded<R: Recorder>(
+    system: &mut System,
+    ubench_limits: &[usize; 16],
+    apps: &[&Workload],
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> RealisticResult {
     assert!(!apps.is_empty(), "need at least one application");
     let mut profiles = Vec::with_capacity(apps.len() * 16);
     for app in apps {
         for core in CoreId::all() {
             let ubench_limit = ubench_limits[core.flat_index()];
-            let distribution = find_limit(system, core, &[app], ubench_limit, cfg);
+            let distribution = find_limit_recorded(system, core, &[app], ubench_limit, cfg, rec);
             profiles.push(AppCoreProfile {
                 app: app.name().to_owned(),
                 core,

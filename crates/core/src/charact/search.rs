@@ -1,7 +1,8 @@
 //! The ATM limit search: the shared engine of all characterization phases.
 
 use atm_chip::{MarginMode, System};
-use atm_units::{CoreId, Nanos};
+use atm_telemetry::{NullRecorder, Recorder};
+use atm_units::{AtmError, CoreId, Nanos};
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -34,9 +35,83 @@ impl CharactConfig {
         }
     }
 
+    /// A builder for custom campaigns, seeded with the standard values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atm_core::CharactConfig;
+    /// use atm_units::Nanos;
+    ///
+    /// let cfg = CharactConfig::builder()
+    ///     .trial(Nanos::new(50_000.0))
+    ///     .repeats(5)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.repeats, 5);
+    /// assert!(CharactConfig::builder().repeats(0).build().is_err());
+    /// ```
+    #[must_use]
+    pub fn builder() -> CharactConfigBuilder {
+        CharactConfigBuilder {
+            config: CharactConfig::standard(),
+        }
+    }
+
     fn validate(&self) {
-        assert!(self.trial.get() > 0.0, "trial duration must be positive");
-        assert!(self.repeats >= 1, "at least one repeat required");
+        self.check().expect("invalid characterization config");
+    }
+
+    fn check(&self) -> Result<(), AtmError> {
+        if !self.trial.get().is_finite() || self.trial.get() <= 0.0 {
+            return Err(AtmError::invalid_config(
+                "trial",
+                "trial duration must be positive",
+            ));
+        }
+        if self.repeats < 1 {
+            return Err(AtmError::invalid_config(
+                "repeats",
+                "at least one repeat required",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`CharactConfig`] with validation at
+/// [`CharactConfigBuilder::build`] time. Obtained from
+/// [`CharactConfig::builder`]; unset fields keep the standard campaign's
+/// values.
+#[derive(Debug, Clone)]
+pub struct CharactConfigBuilder {
+    config: CharactConfig,
+}
+
+impl CharactConfigBuilder {
+    /// Sets the duration of each trial run.
+    #[must_use]
+    pub fn trial(mut self, trial: Nanos) -> Self {
+        self.config.trial = trial;
+        self
+    }
+
+    /// Sets the number of independent repeats per core.
+    #[must_use]
+    pub fn repeats(mut self, repeats: usize) -> Self {
+        self.config.repeats = repeats;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] for a non-positive trial
+    /// duration or zero repeats.
+    pub fn build(self) -> Result<CharactConfig, AtmError> {
+        self.config.check()?;
+        Ok(self.config)
     }
 }
 
@@ -112,11 +187,31 @@ pub fn passes(
     reduction: usize,
     trial: Nanos,
 ) -> bool {
+    passes_recorded(system, core, workload, reduction, trial, &mut NullRecorder)
+}
+
+/// [`passes`] with telemetry: the trial runs through
+/// [`System::run_recorded`], and the `charact.trials` /
+/// `charact.trial_failures` counters are bumped. The verdict is
+/// identical to [`passes`].
+pub fn passes_recorded<R: Recorder>(
+    system: &mut System,
+    core: CoreId,
+    workload: &Workload,
+    reduction: usize,
+    trial: Nanos,
+    rec: &mut R,
+) -> bool {
+    rec.incr("charact.trials", 1);
     if system.set_reduction(core, reduction).is_err() {
+        rec.incr("charact.trial_failures", 1);
         return false;
     }
     system.assign(core, workload.clone());
-    let report = system.run(trial);
+    let report = system.run_recorded(trial, rec);
+    if !report.is_ok() {
+        rec.incr("charact.trial_failures", 1);
+    }
     report.is_ok()
 }
 
@@ -194,6 +289,24 @@ pub fn find_limit(
     start_hint: usize,
     cfg: &CharactConfig,
 ) -> LimitDistribution {
+    find_limit_recorded(system, core, set, start_hint, cfg, &mut NullRecorder)
+}
+
+/// [`find_limit`] with telemetry: every trial of the walk is recorded
+/// through `rec` (see [`passes_recorded`]). The distribution is
+/// identical to [`find_limit`]'s.
+///
+/// # Panics
+///
+/// Panics if `set` is empty or `cfg` is invalid.
+pub fn find_limit_recorded<R: Recorder>(
+    system: &mut System,
+    core: CoreId,
+    set: &[&Workload],
+    start_hint: usize,
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> LimitDistribution {
     assert!(!set.is_empty(), "workload set cannot be empty");
     cfg.validate();
 
@@ -205,7 +318,7 @@ pub fn find_limit(
 
     let max = system.core(core).cpms().max_reduction();
     let dist = find_limit_driven(max, start_hint, cfg.repeats, set.len(), |_, w, r| {
-        passes(system, core, set[w], r, cfg.trial)
+        passes_recorded(system, core, set[w], r, cfg.trial, rec)
     });
     system
         .set_reduction(core, dist.limit())

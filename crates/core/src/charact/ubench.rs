@@ -1,11 +1,12 @@
 //! Micro-benchmark characterization (Sec. V, Fig. 8).
 
 use atm_chip::System;
+use atm_telemetry::{NullRecorder, Recorder};
 use atm_units::CoreId;
 use atm_workloads::ubench_set;
 use serde::{Deserialize, Serialize};
 
-use super::search::{find_limit, CharactConfig, LimitDistribution};
+use super::search::{find_limit_recorded, CharactConfig, LimitDistribution};
 
 /// Result of the uBench characterization of one core.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,11 +46,24 @@ pub fn ubench_characterization(
     idle_limits: &[usize; 16],
     cfg: &CharactConfig,
 ) -> Vec<UbenchResult> {
+    ubench_characterization_recorded(system, idle_limits, cfg, &mut NullRecorder)
+}
+
+/// [`ubench_characterization`] with telemetry: the limit walks record
+/// their trials through `rec`. Results are identical to
+/// [`ubench_characterization`]'s.
+#[must_use]
+pub fn ubench_characterization_recorded<R: Recorder>(
+    system: &mut System,
+    idle_limits: &[usize; 16],
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> Vec<UbenchResult> {
     let set = ubench_set();
     let mut results = Vec::with_capacity(16);
     for core in CoreId::all() {
         let idle_limit = idle_limits[core.flat_index()];
-        let distribution = find_limit(system, core, &set, idle_limit, cfg);
+        let distribution = find_limit_recorded(system, core, &set, idle_limit, cfg, rec);
         // The uBench limit can never exceed the idle limit: clamp the
         // distribution's use accordingly (a lucky repeat may sample past
         // it, but the paper's methodology only rolls back).

@@ -51,7 +51,7 @@ mod scheduler;
 pub mod stress;
 mod throttle;
 
-pub use charact::{CharactConfig, LimitDistribution};
+pub use charact::{CharactConfig, CharactConfigBuilder, LimitDistribution};
 pub use engine::{CharactEngine, EngineResult, SweepCache, TrialKey};
 pub use finetune::FineTuner;
 pub use governor::Governor;
@@ -62,4 +62,6 @@ pub use qos::QosTarget;
 pub use schedule::{Schedule, ScheduleEntry};
 pub use scheduler::{Placement, Scheduler};
 pub use stress::{stress_test_deploy, StressTestResult};
-pub use throttle::{throttle_to_budget, ThrottlePlan, ThrottleSetting};
+pub use throttle::{
+    throttle_to_budget, throttle_to_budget_recorded, ThrottlePlan, ThrottleSetting,
+};

@@ -5,11 +5,13 @@ use std::fmt;
 use atm_units::CoreId;
 use serde::{Deserialize, Serialize};
 
-use crate::charact::{idle_characterization, IdleResult, UbenchResult};
+use crate::charact::{idle_characterization_recorded, IdleResult, UbenchResult};
 use crate::charact::{
-    realistic_characterization, ubench_characterization, CharactConfig, RealisticResult,
+    realistic_characterization_recorded, ubench_characterization_recorded, CharactConfig,
+    RealisticResult,
 };
 use atm_chip::System;
+use atm_telemetry::{NullRecorder, Recorder};
 use atm_workloads::Workload;
 
 /// The paper's Table I: for each of the sixteen cores, the ATM limit (in
@@ -62,6 +64,19 @@ impl LimitTable {
         LimitTable::characterize_detailed(system, apps, cfg).0
     }
 
+    /// [`LimitTable::characterize`] with telemetry: every trial of every
+    /// phase records through `rec`. The table is identical to
+    /// [`LimitTable::characterize`]'s.
+    #[must_use]
+    pub fn characterize_recorded<R: Recorder>(
+        system: &mut System,
+        apps: &[&Workload],
+        cfg: &CharactConfig,
+        rec: &mut R,
+    ) -> LimitTable {
+        LimitTable::characterize_detailed_recorded(system, apps, cfg, rec).0
+    }
+
     /// Like [`LimitTable::characterize`], also returning the per-phase
     /// detail (idle results, uBench results, realistic profiles).
     #[must_use]
@@ -75,19 +90,36 @@ impl LimitTable {
         Vec<UbenchResult>,
         RealisticResult,
     ) {
-        let idle_results = idle_characterization(system, cfg);
+        LimitTable::characterize_detailed_recorded(system, apps, cfg, &mut NullRecorder)
+    }
+
+    /// [`LimitTable::characterize_detailed`] with telemetry through
+    /// `rec`.
+    #[must_use]
+    pub fn characterize_detailed_recorded<R: Recorder>(
+        system: &mut System,
+        apps: &[&Workload],
+        cfg: &CharactConfig,
+        rec: &mut R,
+    ) -> (
+        LimitTable,
+        Vec<IdleResult>,
+        Vec<UbenchResult>,
+        RealisticResult,
+    ) {
+        let idle_results = idle_characterization_recorded(system, cfg, rec);
         let mut idle = [0usize; 16];
         for r in &idle_results {
             idle[r.core.flat_index()] = r.idle_limit();
         }
 
-        let ubench_results = ubench_characterization(system, &idle, cfg);
+        let ubench_results = ubench_characterization_recorded(system, &idle, cfg, rec);
         let mut ubench = [0usize; 16];
         for r in &ubench_results {
             ubench[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
         }
 
-        let realistic = realistic_characterization(system, &ubench, apps, cfg);
+        let realistic = realistic_characterization_recorded(system, &ubench, apps, cfg, rec);
 
         let table = LimitTable {
             idle,

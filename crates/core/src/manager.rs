@@ -4,7 +4,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use atm_chip::{MarginMode, System};
-use atm_units::{CoreId, MegaHz, Nanos, ProcId, Watts};
+use atm_telemetry::{NullRecorder, Recorder, RollbackEvent, TelemetryEvent};
+use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId, Watts};
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -15,7 +16,7 @@ use crate::predictor::{FreqPredictor, PerfPredictor};
 use crate::qos::QosTarget;
 use crate::scheduler::{Placement, Scheduler};
 use crate::stress::{stress_test_deploy, StressTestResult};
-use crate::throttle::{throttle_to_budget, ThrottleSetting};
+use crate::throttle::{throttle_to_budget_recorded, ThrottleSetting};
 
 /// Frequency headroom added to the QoS-required frequency when computing
 /// the balanced power budget, covering droop-transient losses.
@@ -223,6 +224,19 @@ impl AtmManager {
         background: &Workload,
         strategy: Strategy,
     ) -> ManagedOutcome {
+        self.evaluate_pair_recorded(critical, background, strategy, &mut NullRecorder)
+    }
+
+    /// [`AtmManager::evaluate_pair`] with telemetry: the measured run,
+    /// throttle decision and power-budget gauge record through `rec`. The
+    /// outcome is identical to [`AtmManager::evaluate_pair`]'s.
+    pub fn evaluate_pair_recorded<R: Recorder>(
+        &mut self,
+        critical: &Workload,
+        background: &Workload,
+        strategy: Strategy,
+        rec: &mut R,
+    ) -> ManagedOutcome {
         let proc = ProcId::new(0);
         let baseline = self.system.config().pstates.nominal().frequency;
 
@@ -245,7 +259,8 @@ impl AtmManager {
                     .expect("zero map always valid");
                 let core = CoreId::new(0, 0);
                 self.place(core, critical, background, MarginMode::Atm);
-                let outcome = self.measure(strategy, critical, background, core, None, baseline);
+                let outcome =
+                    self.measure(strategy, critical, background, core, None, baseline, rec);
                 FineTuner::new(&mut self.system)
                     .apply_map(&saved)
                     .expect("restoring deployed map");
@@ -280,11 +295,18 @@ impl AtmManager {
                 let f_req = perf.freq_for(qos.speedup()) + QOS_HEADROOM;
                 let freq_pred = self.freq_predictor(core);
                 let budget = freq_pred.power_for(f_req);
+                rec.gauge("manager.budget_w", budget.get());
 
                 self.place(core, critical, background, MarginMode::Atm);
                 self.system.set_mode(core, MarginMode::Atm);
                 let bg_cores: Vec<CoreId> = proc.cores().filter(|c| *c != core).collect();
-                let plan = throttle_to_budget(&mut self.system, &bg_cores, budget, proc.index());
+                let plan = throttle_to_budget_recorded(
+                    &mut self.system,
+                    &bg_cores,
+                    budget,
+                    proc.index(),
+                    rec,
+                );
                 (core, Some(plan.setting))
             }
         };
@@ -296,6 +318,7 @@ impl AtmManager {
             critical_core,
             background_setting,
             baseline,
+            rec,
         )
     }
 
@@ -325,6 +348,19 @@ impl AtmManager {
     ///
     /// Returns the core's new reduction.
     pub fn rollback_core(&mut self, core: CoreId, steps: usize) -> usize {
+        self.rollback_core_recorded(core, steps, &mut NullRecorder)
+    }
+
+    /// [`AtmManager::rollback_core`] with telemetry: bumps the
+    /// `manager.rollbacks` counter and records a
+    /// [`atm_telemetry::RollbackEvent`]. The new reduction is identical to
+    /// [`AtmManager::rollback_core`]'s.
+    pub fn rollback_core_recorded<R: Recorder>(
+        &mut self,
+        core: CoreId,
+        steps: usize,
+        rec: &mut R,
+    ) -> usize {
         let entry = self.rollback_overrides.entry(core).or_insert(0);
         *entry += steps;
         let current = self.system.core(core).reduction();
@@ -333,6 +369,15 @@ impl AtmManager {
             .set_reduction(core, new)
             .expect("lowering a reduction is always valid");
         self.freq_predictors.remove(&core);
+        rec.incr("manager.rollbacks", 1);
+        if rec.enabled() {
+            rec.record(TelemetryEvent::Rollback(RollbackEvent {
+                t: rec.now(),
+                core,
+                steps: steps as u32,
+                new_reduction: new as u32,
+            }));
+        }
         new
     }
 
@@ -352,19 +397,38 @@ impl AtmManager {
     /// `ManagedBalanced` pipeline, but returning the full posture instead
     /// of running a one-shot measurement.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `backgrounds` is empty.
+    /// Returns [`AtmError::InvalidConfig`] if `backgrounds` is empty.
     pub fn serve_posture(
         &mut self,
         critical: &Workload,
         backgrounds: &[Workload],
         qos: QosTarget,
-    ) -> ServePosture {
-        assert!(
-            !backgrounds.is_empty(),
-            "need at least one background workload"
-        );
+    ) -> Result<ServePosture, AtmError> {
+        self.serve_posture_recorded(critical, backgrounds, qos, &mut NullRecorder)
+    }
+
+    /// [`AtmManager::serve_posture`] with telemetry: the power-budget
+    /// gauge and throttle decision record through `rec`. The posture is
+    /// identical to [`AtmManager::serve_posture`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if `backgrounds` is empty.
+    pub fn serve_posture_recorded<R: Recorder>(
+        &mut self,
+        critical: &Workload,
+        backgrounds: &[Workload],
+        qos: QosTarget,
+        rec: &mut R,
+    ) -> Result<ServePosture, AtmError> {
+        if backgrounds.is_empty() {
+            return Err(AtmError::invalid_config(
+                "backgrounds",
+                "need at least one background workload",
+            ));
+        }
         let proc = ProcId::new(0);
         let baseline = self.system.config().pstates.nominal().frequency;
 
@@ -382,6 +446,7 @@ impl AtmManager {
         let f_req = perf.freq_for(qos.speedup()) + QOS_HEADROOM;
         let freq_pred = self.freq_predictor(core);
         let budget = freq_pred.power_for(f_req);
+        rec.gauge("manager.budget_w", budget.get());
 
         self.system.assign(core, critical.clone());
         self.system.set_mode(core, MarginMode::Atm);
@@ -390,11 +455,12 @@ impl AtmManager {
                 .assign(bg_core, backgrounds[i % backgrounds.len()].clone());
             self.system.set_mode(bg_core, MarginMode::Atm);
         }
-        let plan = throttle_to_budget(
+        let plan = throttle_to_budget_recorded(
             &mut self.system,
             &placement.background_cores,
             budget,
             proc.index(),
+            rec,
         );
         placement.plan = Some(plan);
 
@@ -403,11 +469,11 @@ impl AtmManager {
             .cores()
             .map(|c| (c, report.core(c).mean_freq))
             .collect();
-        ServePosture {
+        Ok(ServePosture {
             placement,
             core_freqs,
             budget,
-        }
+        })
     }
 
     /// Re-settles the current schedule and reports each of `proc`'s cores'
@@ -443,7 +509,8 @@ impl AtmManager {
         }
     }
 
-    fn measure(
+    #[allow(clippy::too_many_arguments)]
+    fn measure<R: Recorder>(
         &mut self,
         strategy: Strategy,
         critical: &Workload,
@@ -451,8 +518,9 @@ impl AtmManager {
         critical_core: CoreId,
         background_setting: Option<ThrottleSetting>,
         baseline: MegaHz,
+        rec: &mut R,
     ) -> ManagedOutcome {
-        let report = self.system.run(self.measure_duration);
+        let report = self.system.run_recorded(self.measure_duration, rec);
         let critical_freq = report.core(critical_core).mean_freq;
         ManagedOutcome {
             strategy,
@@ -550,7 +618,9 @@ mod tests {
             by_name("x264").unwrap().clone(),
             by_name("lu_cb").unwrap().clone(),
         ];
-        let posture = mgr.serve_posture(critical, &bgs, QosTarget::improvement_pct(10.0));
+        let posture = mgr
+            .serve_posture(critical, &bgs, QosTarget::improvement_pct(10.0))
+            .expect("non-empty backgrounds");
 
         assert_eq!(posture.placement.background_cores.len(), 7);
         assert!(
@@ -583,7 +653,9 @@ mod tests {
         let critical = by_name("squeezenet").unwrap();
         let bgs = [by_name("x264").unwrap().clone()];
         let qos = QosTarget::improvement_pct(5.0);
-        let first = mgr.serve_posture(critical, &bgs, qos);
+        let first = mgr
+            .serve_posture(critical, &bgs, qos)
+            .expect("non-empty backgrounds");
         let victim = first.placement.critical_core;
         let before = mgr.system().core(victim).reduction();
         if before == 0 {
@@ -597,7 +669,9 @@ mod tests {
         assert_eq!(after, before.saturating_sub(2));
         // Re-posturing re-applies the governor map — the rollback must
         // survive it.
-        let _ = mgr.serve_posture(critical, &bgs, qos);
+        let _ = mgr
+            .serve_posture(critical, &bgs, qos)
+            .expect("non-empty backgrounds");
         assert_eq!(mgr.system().core(victim).reduction(), after);
     }
 

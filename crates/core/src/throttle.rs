@@ -3,6 +3,7 @@
 use std::fmt;
 
 use atm_chip::{MarginMode, PStateTable, System};
+use atm_telemetry::{NullRecorder, Recorder, TelemetryEvent, ThrottleAction, ThrottleRung};
 use atm_units::{CoreId, MegaHz, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,17 @@ impl ThrottleSetting {
             ThrottleSetting::AtmMax => MarginMode::Atm,
             ThrottleSetting::Fixed(f) => MarginMode::Fixed(*f),
             ThrottleSetting::Gated => MarginMode::Gated,
+        }
+    }
+
+    /// The telemetry mirror of this setting: the ladder rung plus the
+    /// fixed frequency (zero for the non-DVFS rungs).
+    #[must_use]
+    pub fn rung(&self) -> (ThrottleRung, MegaHz) {
+        match self {
+            ThrottleSetting::AtmMax => (ThrottleRung::AtmMax, MegaHz::ZERO),
+            ThrottleSetting::Fixed(f) => (ThrottleRung::Fixed, *f),
+            ThrottleSetting::Gated => (ThrottleRung::Gated, MegaHz::ZERO),
         }
     }
 
@@ -109,6 +121,46 @@ impl ThrottlePlan {
 /// The chosen plan is left applied to the system.
 #[must_use]
 pub fn throttle_to_budget(
+    system: &mut System,
+    background_cores: &[CoreId],
+    budget: Watts,
+    proc_index: usize,
+) -> ThrottlePlan {
+    throttle_to_budget_recorded(
+        system,
+        background_cores,
+        budget,
+        proc_index,
+        &mut NullRecorder,
+    )
+}
+
+/// [`throttle_to_budget`] with telemetry: the chosen plan is recorded
+/// into `rec` as an [`atm_telemetry::ThrottleAction`] event stamped with
+/// the recorder's clock. The plan is identical to
+/// [`throttle_to_budget`]'s.
+#[must_use]
+pub fn throttle_to_budget_recorded<R: Recorder>(
+    system: &mut System,
+    background_cores: &[CoreId],
+    budget: Watts,
+    proc_index: usize,
+    rec: &mut R,
+) -> ThrottlePlan {
+    let plan = throttle_to_budget_inner(system, background_cores, budget, proc_index);
+    if rec.enabled() && !plan.cores.is_empty() {
+        let (rung, freq) = plan.setting.rung();
+        rec.record(TelemetryEvent::Throttle(ThrottleAction {
+            t: rec.now(),
+            cores: plan.cores.len() as u32,
+            rung,
+            freq,
+        }));
+    }
+    plan
+}
+
+fn throttle_to_budget_inner(
     system: &mut System,
     background_cores: &[CoreId],
     budget: Watts,

@@ -1,7 +1,8 @@
 //! The ATM comparator loop between CPM readings and the DPLL.
 
 use atm_cpm::{CpmReading, READOUT_QUANTUM};
-use atm_units::{MegaHz, Picos};
+use atm_telemetry::{DpllStep, LoopVerdict, Recorder, TelemetryEvent};
+use atm_units::{CoreId, MegaHz, Picos};
 use serde::{Deserialize, Serialize};
 
 use crate::actuator::Dpll;
@@ -76,6 +77,30 @@ pub enum LoopAction {
     SlewDown,
     /// Violation: the clock was gated and frequency dropped hard.
     Gate,
+}
+
+impl LoopAction {
+    /// The telemetry mirror of this action.
+    #[must_use]
+    pub fn verdict(self) -> LoopVerdict {
+        match self {
+            LoopAction::SlewUp => LoopVerdict::SlewUp,
+            LoopAction::Hold => LoopVerdict::Hold,
+            LoopAction::SlewDown => LoopVerdict::SlewDown,
+            LoopAction::Gate => LoopVerdict::Gate,
+        }
+    }
+
+    /// The counter name bumped when this action is recorded.
+    #[must_use]
+    pub fn counter(self) -> &'static str {
+        match self {
+            LoopAction::SlewUp => "dpll.slew_up",
+            LoopAction::Hold => "dpll.hold",
+            LoopAction::SlewDown => "dpll.slew_down",
+            LoopAction::Gate => "dpll.gate",
+        }
+    }
 }
 
 /// One core's ATM control loop: compares each CPM reading against the
@@ -161,6 +186,30 @@ impl AtmLoop {
             LoopAction::SlewDown
         }
     }
+
+    /// Like [`AtmLoop::step`], but reports the step into `rec`: one
+    /// per-action counter (see [`LoopAction::counter`]) and, when the
+    /// recorder is enabled, a [`DpllStep`] event stamped with the
+    /// recorder's clock. The control decision itself is identical to
+    /// [`AtmLoop::step`] — recording only observes.
+    pub fn step_recorded<R: Recorder>(
+        &mut self,
+        reading: CpmReading,
+        core: CoreId,
+        rec: &mut R,
+    ) -> LoopAction {
+        let action = self.step(reading);
+        rec.incr(action.counter(), 1);
+        if rec.enabled() {
+            rec.record(TelemetryEvent::Dpll(DpllStep {
+                t: rec.now(),
+                core,
+                action: action.verdict(),
+                freq: self.frequency(),
+            }));
+        }
+        action
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +279,32 @@ mod tests {
         let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
         lp.relock(MegaHz::new(3000.0));
         assert_eq!(lp.frequency(), MegaHz::new(3000.0));
+    }
+
+    #[test]
+    fn recorded_step_matches_unrecorded() {
+        use atm_telemetry::{NullRecorder, RingRecorder};
+
+        let cfg = AtmLoopConfig::power7_plus();
+        let mut plain = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        let mut nulled = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        let mut ringed = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        let mut ring = RingRecorder::with_capacity(16);
+        let core = CoreId::new(0, 2);
+        for ps in [30.0, 10.5, 8.0, -5.0] {
+            let a = plain.step(reading(ps));
+            let b = nulled.step_recorded(reading(ps), core, &mut NullRecorder);
+            let c = ringed.step_recorded(reading(ps), core, &mut ring);
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+        assert_eq!(plain, nulled);
+        assert_eq!(plain, ringed);
+        assert_eq!(ring.counter("dpll.slew_up"), Some(1));
+        assert_eq!(ring.counter("dpll.hold"), Some(1));
+        assert_eq!(ring.counter("dpll.slew_down"), Some(1));
+        assert_eq!(ring.counter("dpll.gate"), Some(1));
+        assert_eq!(ring.events().len(), 4);
     }
 
     #[test]

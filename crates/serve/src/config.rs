@@ -1,7 +1,7 @@
 //! Serving-simulation configuration.
 
 use atm_core::QosTarget;
-use atm_units::{MegaHz, Nanos};
+use atm_units::{AtmError, MegaHz, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::AdmissionConfig;
@@ -65,5 +65,186 @@ impl ServeConfig {
             chip_trial: Nanos::new(1_000.0),
             ..ServeConfig::standard(seed)
         }
+    }
+
+    /// A builder seeded from [`ServeConfig::standard`] — the preferred
+    /// way to construct a validated configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atm_serve::ServeConfig;
+    ///
+    /// let cfg = ServeConfig::builder(42).epochs(4).build().unwrap();
+    /// assert_eq!(cfg.epochs, 4);
+    /// assert!(ServeConfig::builder(42).epochs(0).build().is_err());
+    /// ```
+    #[must_use]
+    pub fn builder(seed: u64) -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::standard(seed),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if `epochs`, `epoch_ns` or
+    /// `refresh_every` is zero, `chip_trial` is not positive and finite,
+    /// or `serving_cores` is `Some(0)`.
+    pub fn check(&self) -> Result<(), AtmError> {
+        if self.epochs == 0 {
+            return Err(AtmError::invalid_config("epochs", "must be at least 1"));
+        }
+        if self.epoch_ns == 0 {
+            return Err(AtmError::invalid_config("epoch_ns", "must be positive"));
+        }
+        if !self.chip_trial.get().is_finite() || self.chip_trial.get() <= 0.0 {
+            return Err(AtmError::invalid_config(
+                "chip_trial",
+                "must be positive and finite",
+            ));
+        }
+        if self.refresh_every == 0 {
+            return Err(AtmError::invalid_config(
+                "refresh_every",
+                "must be at least 1",
+            ));
+        }
+        if self.serving_cores == Some(0) {
+            return Err(AtmError::invalid_config(
+                "serving_cores",
+                "need at least the critical core",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServeConfig`], produced by [`ServeConfig::builder`].
+/// Every knob defaults to [`ServeConfig::standard`]'s value; [`build`]
+/// validates the result.
+///
+/// [`build`]: ServeConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the number of serving epochs.
+    #[must_use]
+    pub fn epochs(mut self, epochs: u32) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Sets the virtual nanoseconds of traffic per epoch.
+    #[must_use]
+    pub fn epoch_ns(mut self, epoch_ns: u64) -> Self {
+        self.config.epoch_ns = epoch_ns;
+        self
+    }
+
+    /// Sets the chip-simulation time per epoch.
+    #[must_use]
+    pub fn chip_trial(mut self, chip_trial: Nanos) -> Self {
+        self.config.chip_trial = chip_trial;
+        self
+    }
+
+    /// Sets (or disables) the droop-alarm threshold.
+    #[must_use]
+    pub fn droop_alarm(mut self, droop_alarm: Option<MegaHz>) -> Self {
+        self.config.droop_alarm = droop_alarm;
+        self
+    }
+
+    /// Sets the critical stream's QoS target.
+    #[must_use]
+    pub fn qos(mut self, qos: QosTarget) -> Self {
+        self.config.qos = qos;
+        self
+    }
+
+    /// Sets the service-rate refresh period, in epochs.
+    #[must_use]
+    pub fn refresh_every(mut self, refresh_every: u32) -> Self {
+        self.config.refresh_every = refresh_every;
+        self
+    }
+
+    /// Caps the number of serving cores (`None` serves on the whole
+    /// socket).
+    #[must_use]
+    pub fn serving_cores(mut self, serving_cores: Option<u32>) -> Self {
+        self.config.serving_cores = serving_cores;
+        self
+    }
+
+    /// Sets the backpressure thresholds.
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] under the conditions of
+    /// [`ServeConfig::check`].
+    pub fn build(self) -> Result<ServeConfig, AtmError> {
+        self.config.check()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_standard() {
+        let built = ServeConfig::builder(7).build().unwrap();
+        assert_eq!(built, ServeConfig::standard(7));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_knobs() {
+        assert!(ServeConfig::builder(7).epoch_ns(0).build().is_err());
+        assert!(ServeConfig::builder(7).refresh_every(0).build().is_err());
+        assert!(ServeConfig::builder(7)
+            .chip_trial(Nanos::new(0.0))
+            .build()
+            .is_err());
+        assert!(ServeConfig::builder(7)
+            .serving_cores(Some(0))
+            .build()
+            .is_err());
+        let err = ServeConfig::builder(7).epochs(0).build().unwrap_err();
+        assert!(err.to_string().contains("epochs"));
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = ServeConfig::builder(9)
+            .epochs(3)
+            .epoch_ns(1_000)
+            .chip_trial(Nanos::new(500.0))
+            .droop_alarm(None)
+            .qos(QosTarget::improvement_pct(5.0))
+            .refresh_every(2)
+            .serving_cores(Some(4))
+            .admission(AdmissionConfig::default())
+            .build()
+            .unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.epochs, 3);
+        assert_eq!(cfg.epoch_ns, 1_000);
+        assert_eq!(cfg.droop_alarm, None);
+        assert_eq!(cfg.serving_cores, Some(4));
     }
 }

@@ -31,6 +31,7 @@
 //! use atm_core::{AtmManager, Governor};
 //! use atm_core::charact::CharactConfig;
 //! use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+//! use atm_units::Nanos;
 //! use atm_workloads::by_name;
 //!
 //! let sys = System::new(ChipConfig::power7_plus(42));
@@ -41,9 +42,13 @@
 //!     StreamSpec::critical(sq, ArrivalPattern::Poisson { mean_gap: 200_000_000 }, 150_000_000),
 //!     StreamSpec::background(x264, ArrivalPattern::Poisson { mean_gap: 30_000_000 }),
 //! ];
-//! let mut cfg = ServeConfig::quick(42);
-//! cfg.epochs = 4;
-//! let report = ServeSim::new(mgr, cfg, streams).run(2);
+//! let cfg = ServeConfig::builder(42)
+//!     .epochs(4)
+//!     .epoch_ns(200_000_000)
+//!     .chip_trial(Nanos::new(1_000.0))
+//!     .build()
+//!     .unwrap();
+//! let report = ServeSim::new(mgr, cfg, streams).unwrap().run(2);
 //! assert!(report.completed > 0);
 //! assert!(report.critical().slo_met());
 //! ```
@@ -61,7 +66,7 @@ mod sim;
 mod stream;
 
 pub use admission::{Admission, AdmissionConfig};
-pub use config::ServeConfig;
+pub use config::{ServeConfig, ServeConfigBuilder};
 pub use degrade::{DegradationPolicy, DegradeAction};
 pub use histogram::LatencyHistogram;
 pub use report::{ServeReport, StreamStats, Transition};

@@ -21,7 +21,10 @@ use std::collections::{BTreeMap, BinaryHeap};
 
 use atm_chip::{ChipEvent, FailureEvent, FailureKind, PStateTable};
 use atm_core::{AtmManager, ServePosture};
-use atm_units::{CoreId, Nanos, ProcId};
+use atm_telemetry::{
+    AdmissionDecision, AdmissionVerdict, NullRecorder, Recorder, SimTime, TelemetryEvent,
+};
+use atm_units::{AtmError, CoreId, Nanos, ProcId};
 use atm_workloads::{ServiceProfile, Workload};
 
 use crate::admission::Admission;
@@ -112,30 +115,40 @@ pub struct ServeSim {
 impl ServeSim {
     /// Builds a simulator over a deployed manager.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `streams` holds exactly one critical stream and at
-    /// least one background stream, or if the config's `refresh_every`
-    /// is zero.
-    #[must_use]
-    pub fn new(mgr: AtmManager, cfg: ServeConfig, streams: Vec<StreamSpec>) -> Self {
+    /// Returns [`AtmError::InvalidConfig`] unless `streams` holds exactly
+    /// one critical stream and at least one background stream, or if the
+    /// config fails [`ServeConfig::check`].
+    pub fn new(
+        mgr: AtmManager,
+        cfg: ServeConfig,
+        streams: Vec<StreamSpec>,
+    ) -> Result<Self, AtmError> {
+        cfg.check()?;
         let criticals = streams
             .iter()
             .filter(|s| s.class == StreamClass::Critical)
             .count();
-        assert_eq!(criticals, 1, "need exactly one critical stream");
-        assert!(
-            streams.len() > criticals,
-            "need at least one background stream"
-        );
-        assert!(cfg.refresh_every > 0, "refresh_every must be positive");
-        ServeSim {
+        if criticals != 1 {
+            return Err(AtmError::invalid_config(
+                "streams",
+                "need exactly one critical stream",
+            ));
+        }
+        if streams.len() == criticals {
+            return Err(AtmError::invalid_config(
+                "streams",
+                "need at least one background stream",
+            ));
+        }
+        Ok(ServeSim {
             mgr,
             cfg,
             streams,
             policy: DegradationPolicy::default(),
             injected: Vec::new(),
-        }
+        })
     }
 
     /// Overrides the degradation policy.
@@ -164,7 +177,20 @@ impl ServeSim {
     ///
     /// Panics if `workers` is zero.
     #[must_use]
-    pub fn run(mut self, workers: usize) -> ServeReport {
+    pub fn run(self, workers: usize) -> ServeReport {
+        self.run_recorded(workers, &mut NullRecorder)
+    }
+
+    /// [`ServeSim::run`] with telemetry: chip harvests, admission
+    /// verdicts, latencies, rollbacks and throttle step-downs record
+    /// through `rec`, with the recorder clock tracking the virtual
+    /// serving timeline. The report is identical to [`ServeSim::run`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn run_recorded<R: Recorder>(mut self, workers: usize, rec: &mut R) -> ServeReport {
         let cfg = self.cfg.clone();
         let proc = ProcId::new(0);
         let baseline = self.mgr.system().config().pstates.nominal().frequency;
@@ -198,7 +224,8 @@ impl ServeSim {
         self.mgr.system_mut().set_droop_alarm(cfg.droop_alarm);
         let mut posture = self
             .mgr
-            .serve_posture(&critical_spec.workload, &backgrounds, cfg.qos);
+            .serve_posture_recorded(&critical_spec.workload, &backgrounds, cfg.qos, rec)
+            .expect("streams validated in new");
         // Posturing itself settles and trains predictors; the alarms those
         // runs raise are calibration noise, not serving-time events.
         self.mgr.system_mut().drain_events();
@@ -218,7 +245,7 @@ impl ServeSim {
             let epoch_end = u64::from(epoch + 1) * cfg.epoch_ns;
 
             // Harvest chip events at the current posture, plus injections.
-            let _ = self.mgr.system_mut().run(cfg.chip_trial);
+            let _ = self.mgr.system_mut().run_recorded(cfg.chip_trial, rec);
             let mut events = self.mgr.system_mut().drain_events();
             for (e, f) in &self.injected {
                 if *e == epoch {
@@ -233,13 +260,14 @@ impl ServeSim {
             for action in &actions {
                 match action {
                     DegradeAction::Rollback { core, cause } => {
-                        let red = self.mgr.rollback_core(*core, 1);
+                        let red = self.mgr.rollback_core_recorded(*core, 1, rec);
                         needs_replace = true;
                         action_texts.push(format!("rollback {core} to reduction {red} ({cause})"));
                     }
                     DegradeAction::ThrottleDown { core } => {
                         throttle_extra += 1;
                         throttled = true;
+                        rec.incr("serve.throttle_stepdowns", 1);
                         action_texts.push(format!(
                             "background throttle step-down (droop alarms on {core})"
                         ));
@@ -250,7 +278,8 @@ impl ServeSim {
             if needs_replace {
                 posture = self
                     .mgr
-                    .serve_posture(&critical_spec.workload, &backgrounds, cfg.qos);
+                    .serve_posture_recorded(&critical_spec.workload, &backgrounds, cfg.qos, rec)
+                    .expect("streams validated in new");
                 if throttle_extra > 0 {
                     self.apply_extra_throttle(&mut posture, throttle_extra, &pstates, proc);
                 }
@@ -319,6 +348,7 @@ impl ServeSim {
                     state.offered += 1;
                 }
                 let now = req.time;
+                rec.advance_to(SimTime::from_nanos(now));
 
                 // Target core: critical pinned; background to the live
                 // core with the least backlog (ties to the lowest id).
@@ -342,33 +372,52 @@ impl ServeSim {
                                 // Whole background tier gated: nothing can
                                 // serve this request.
                                 state.shed += 1;
+                                rec.incr("serve.shed", 1);
                                 continue;
                             }
                         }
                     }
                 };
                 let backlog = free_at.get(&core).copied().unwrap_or(0).saturating_sub(now);
-                match cfg
-                    .admission
-                    .decide(spec.class, backlog, req.defers, critical_at_risk)
-                {
+                let verdict =
+                    cfg.admission
+                        .decide(spec.class, backlog, req.defers, critical_at_risk);
+                if rec.enabled() {
+                    rec.record(TelemetryEvent::Admission(AdmissionDecision {
+                        t: rec.now(),
+                        stream: req.stream as u32,
+                        critical: spec.class == StreamClass::Critical,
+                        verdict: match verdict {
+                            Admission::Accept => AdmissionVerdict::Accept,
+                            Admission::Defer => AdmissionVerdict::Defer,
+                            Admission::Shed => AdmissionVerdict::Shed,
+                        },
+                        backlog_ns: backlog,
+                    }));
+                }
+                match verdict {
                     Admission::Shed => {
                         state.shed += 1;
+                        rec.incr("serve.shed", 1);
                         continue;
                     }
                     Admission::Defer => {
                         state.deferred += 1;
+                        rec.incr("serve.deferred", 1);
                         let mut d = req;
                         d.time = now + cfg.admission.defer_by;
                         d.defers += 1;
                         if d.time >= horizon {
                             state.shed += 1;
+                            rec.incr("serve.shed", 1);
                         } else {
                             pending.push(d);
                         }
                         continue;
                     }
-                    Admission::Accept => {}
+                    Admission::Accept => {
+                        rec.incr("serve.accepted", 1);
+                    }
                 }
 
                 let freq = posture.freq_of(core);
@@ -386,6 +435,7 @@ impl ServeSim {
                 state.max_queue_depth = state.max_queue_depth.max(fin.len() as u64);
 
                 let latency = finish - req.orig;
+                rec.observe("serve.latency_ns", latency);
                 state.hist.record(latency);
                 state.epoch_hist.record(latency);
                 state.completed += 1;
@@ -403,6 +453,7 @@ impl ServeSim {
         // Anything still deferred past the horizon was never served.
         for p in pending.into_vec() {
             states[p.stream].shed += 1;
+            rec.incr("serve.shed", 1);
         }
 
         let streams: Vec<StreamStats> = self

@@ -1,0 +1,313 @@
+//! Typed control-loop events.
+//!
+//! Every event is `Copy` and holds no heap data, so recording one is a
+//! handful of moves — cheap enough for the per-tick hot paths. The
+//! enums mirror the decision types of the instrumented crates
+//! (`atm_dpll::LoopAction`, `atm_serve::Admission`,
+//! `atm_core::ThrottleSetting`) without depending on them, keeping this
+//! crate at the bottom of the dependency graph.
+
+use std::fmt;
+
+use atm_units::{CoreId, MegaHz};
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// What an ATM loop step did (mirror of the DPLL crate's `LoopAction`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopVerdict {
+    /// Excess margin: frequency slewed up.
+    SlewUp,
+    /// Margin at the threshold: held.
+    Hold,
+    /// Margin deficit: frequency slewed down.
+    SlewDown,
+    /// Violation: clock gated and frequency dropped hard.
+    Gate,
+}
+
+impl LoopVerdict {
+    pub(crate) fn token(self) -> &'static str {
+        match self {
+            LoopVerdict::SlewUp => "up",
+            LoopVerdict::Hold => "hold",
+            LoopVerdict::SlewDown => "down",
+            LoopVerdict::Gate => "gate",
+        }
+    }
+
+    pub(crate) fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "up" => Some(LoopVerdict::SlewUp),
+            "hold" => Some(LoopVerdict::Hold),
+            "down" => Some(LoopVerdict::SlewDown),
+            "gate" => Some(LoopVerdict::Gate),
+            _ => None,
+        }
+    }
+}
+
+/// Which rung of the background-throttle ladder a plan sits on (mirror of
+/// the management crate's `ThrottleSetting`, minus the exact frequency,
+/// which rides in [`ThrottleAction::freq`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThrottleRung {
+    /// Aggressive ATM at the deployed configuration.
+    AtmMax,
+    /// Fixed DVFS frequency.
+    Fixed,
+    /// Power-gated.
+    Gated,
+}
+
+impl ThrottleRung {
+    pub(crate) fn token(self) -> &'static str {
+        match self {
+            ThrottleRung::AtmMax => "atm",
+            ThrottleRung::Fixed => "fixed",
+            ThrottleRung::Gated => "gated",
+        }
+    }
+
+    pub(crate) fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "atm" => Some(ThrottleRung::AtmMax),
+            "fixed" => Some(ThrottleRung::Fixed),
+            "gated" => Some(ThrottleRung::Gated),
+            _ => None,
+        }
+    }
+}
+
+/// The verdict for one arriving request (mirror of the serving crate's
+/// `Admission`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionVerdict {
+    /// Queued now.
+    Accept,
+    /// Pushed back for a later retry.
+    Defer,
+    /// Dropped.
+    Shed,
+}
+
+impl AdmissionVerdict {
+    pub(crate) fn token(self) -> &'static str {
+        match self {
+            AdmissionVerdict::Accept => "accept",
+            AdmissionVerdict::Defer => "defer",
+            AdmissionVerdict::Shed => "shed",
+        }
+    }
+
+    pub(crate) fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "accept" => Some(AdmissionVerdict::Accept),
+            "defer" => Some(AdmissionVerdict::Defer),
+            "shed" => Some(AdmissionVerdict::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// One CPM readout fed to a core's ATM comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpmReading {
+    /// When the reading was taken.
+    pub t: SimTime,
+    /// The observed core.
+    pub core: CoreId,
+    /// The quantized margin in readout units.
+    pub units: u32,
+    /// Whether the reading showed an outright timing violation.
+    pub violation: bool,
+}
+
+/// One ATM loop step and the frequency it left the DPLL at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpllStep {
+    /// When the step happened.
+    pub t: SimTime,
+    /// The stepped core.
+    pub core: CoreId,
+    /// What the comparator decided.
+    pub action: LoopVerdict,
+    /// The DPLL frequency after the step.
+    pub freq: MegaHz,
+}
+
+/// A droop alarm: an ATM core's clock dipped below its rolling mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DroopEvent {
+    /// When the dip was observed.
+    pub t: SimTime,
+    /// The drooping core.
+    pub core: CoreId,
+    /// Depth of the dip below the rolling mean.
+    pub dip: MegaHz,
+}
+
+/// A background-throttle plan taking effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleAction {
+    /// When the plan was applied.
+    pub t: SimTime,
+    /// How many cores the plan throttles.
+    pub cores: u32,
+    /// The ladder rung selected.
+    pub rung: ThrottleRung,
+    /// The fixed frequency for [`ThrottleRung::Fixed`] (zero otherwise).
+    pub freq: MegaHz,
+}
+
+/// One admission-control verdict for an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionDecision {
+    /// Virtual arrival time of the request.
+    pub t: SimTime,
+    /// Index of the request's stream.
+    pub stream: u32,
+    /// Whether the stream is the critical one.
+    pub critical: bool,
+    /// The verdict.
+    pub verdict: AdmissionVerdict,
+    /// Backlog (ns of queued work) on the target core at decision time.
+    pub backlog_ns: u64,
+}
+
+/// A CPM fine-tuning rollback applied to a core in the field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RollbackEvent {
+    /// When the rollback was commanded.
+    pub t: SimTime,
+    /// The rolled-back core.
+    pub core: CoreId,
+    /// Delay steps rolled back in this command.
+    pub steps: u32,
+    /// The core's CPM reduction after the rollback.
+    pub new_reduction: u32,
+}
+
+/// Any event a [`Recorder`](crate::Recorder) can capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A CPM readout.
+    Cpm(CpmReading),
+    /// An ATM loop step.
+    Dpll(DpllStep),
+    /// A droop alarm.
+    Droop(DroopEvent),
+    /// A throttle plan application.
+    Throttle(ThrottleAction),
+    /// An admission verdict.
+    Admission(AdmissionDecision),
+    /// A field CPM rollback.
+    Rollback(RollbackEvent),
+}
+
+impl TelemetryEvent {
+    /// The event's time stamp.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match self {
+            TelemetryEvent::Cpm(e) => e.t,
+            TelemetryEvent::Dpll(e) => e.t,
+            TelemetryEvent::Droop(e) => e.t,
+            TelemetryEvent::Throttle(e) => e.t,
+            TelemetryEvent::Admission(e) => e.t,
+            TelemetryEvent::Rollback(e) => e.t,
+        }
+    }
+}
+
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryEvent::Cpm(e) => write!(
+                f,
+                "[{}] cpm {}: {} units{}",
+                e.t,
+                e.core,
+                e.units,
+                if e.violation { " (violation)" } else { "" }
+            ),
+            TelemetryEvent::Dpll(e) => {
+                write!(
+                    f,
+                    "[{}] dpll {}: {} -> {}",
+                    e.t,
+                    e.core,
+                    e.action.token(),
+                    e.freq
+                )
+            }
+            TelemetryEvent::Droop(e) => write!(f, "[{}] droop {}: dip {}", e.t, e.core, e.dip),
+            TelemetryEvent::Throttle(e) => write!(
+                f,
+                "[{}] throttle {} cores: {} {}",
+                e.t,
+                e.cores,
+                e.rung.token(),
+                e.freq
+            ),
+            TelemetryEvent::Admission(e) => write!(
+                f,
+                "[{}] admission stream {}: {} (backlog {} ns)",
+                e.t,
+                e.stream,
+                e.verdict.token(),
+                e.backlog_ns
+            ),
+            TelemetryEvent::Rollback(e) => write!(
+                f,
+                "[{}] rollback {}: {} steps -> reduction {}",
+                e.t, e.core, e.steps, e.new_reduction
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        for v in [
+            LoopVerdict::SlewUp,
+            LoopVerdict::Hold,
+            LoopVerdict::SlewDown,
+            LoopVerdict::Gate,
+        ] {
+            assert_eq!(LoopVerdict::from_token(v.token()), Some(v));
+        }
+        for r in [
+            ThrottleRung::AtmMax,
+            ThrottleRung::Fixed,
+            ThrottleRung::Gated,
+        ] {
+            assert_eq!(ThrottleRung::from_token(r.token()), Some(r));
+        }
+        for a in [
+            AdmissionVerdict::Accept,
+            AdmissionVerdict::Defer,
+            AdmissionVerdict::Shed,
+        ] {
+            assert_eq!(AdmissionVerdict::from_token(a.token()), Some(a));
+        }
+        assert_eq!(LoopVerdict::from_token("sideways"), None);
+    }
+
+    #[test]
+    fn events_are_copy_and_timed() {
+        let e = TelemetryEvent::Droop(DroopEvent {
+            t: SimTime::from_nanos(7),
+            core: CoreId::new(0, 3),
+            dip: MegaHz::new(30.0),
+        });
+        let copied = e;
+        assert_eq!(copied.time().nanos(), 7);
+        assert!(e.to_string().contains("droop"));
+    }
+}

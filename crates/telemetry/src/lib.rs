@@ -1,0 +1,66 @@
+//! `atm-telemetry` — deterministic, allocation-light recording for the
+//! ATM control-loop simulation.
+//!
+//! The paper's methodology is built on *observing* the control loop:
+//! CPM bit readings, DPLL frequency steps, droop events, throttle and
+//! admission decisions. This crate is the recording layer those hot
+//! paths write into:
+//!
+//! * [`Recorder`] — the sink trait every instrumented hot path is
+//!   generic over;
+//! * [`NullRecorder`] — the default no-op sink (zero overhead: every
+//!   call compiles away under monomorphization);
+//! * [`RingRecorder`] — a fixed-capacity ring buffer of typed events
+//!   plus counter/gauge/histogram registries and a monotonic sim-time
+//!   clock;
+//! * [`TelemetryEvent`] and the typed event structs ([`CpmReading`],
+//!   [`DpllStep`], [`DroopEvent`], [`ThrottleAction`],
+//!   [`AdmissionDecision`], [`RollbackEvent`]) — all `Copy`, no heap;
+//! * [`TelemetrySnapshot`] — a serializable snapshot with a lossless
+//!   hand-written text form ([`TelemetrySnapshot::render`] /
+//!   [`TelemetrySnapshot::parse`]).
+//!
+//! Recording never perturbs the simulation: recorders only observe, and
+//! the instrumented code paths take the recorder as a generic parameter
+//! so results are byte-identical under [`NullRecorder`] and
+//! [`RingRecorder`] (a property the workspace's test suite asserts).
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_telemetry::{Recorder, RingRecorder, SimTime, TelemetryEvent};
+//!
+//! let mut rec = RingRecorder::with_capacity(64);
+//! rec.advance(1_000);
+//! rec.incr("dpll.slew_up", 1);
+//! rec.observe("serve.latency_ns", 40_000_000);
+//! rec.record(TelemetryEvent::Droop(atm_telemetry::DroopEvent {
+//!     t: rec.now(),
+//!     core: atm_units::CoreId::new(0, 0),
+//!     dip: atm_units::MegaHz::new(30.0),
+//! }));
+//!
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("dpll.slew_up"), Some(1));
+//! let text = snap.render();
+//! let back = atm_telemetry::TelemetrySnapshot::parse(&text).unwrap();
+//! assert_eq!(snap, back);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod snapshot;
+mod time;
+
+pub use event::{
+    AdmissionDecision, AdmissionVerdict, CpmReading, DpllStep, DroopEvent, LoopVerdict,
+    RollbackEvent, TelemetryEvent, ThrottleAction, ThrottleRung,
+};
+pub use metrics::Histogram;
+pub use recorder::{NullRecorder, Recorder, RingRecorder};
+pub use snapshot::TelemetrySnapshot;
+pub use time::SimTime;

@@ -1,0 +1,409 @@
+//! The recording sinks.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::event::TelemetryEvent;
+use crate::metrics::Histogram;
+use crate::snapshot::TelemetrySnapshot;
+use crate::time::SimTime;
+
+/// A sink for control-loop telemetry.
+///
+/// Instrumented hot paths are generic over `R: Recorder`, so the
+/// default [`NullRecorder`] monomorphizes to nothing and recording can
+/// never perturb simulation results — recorders only observe.
+///
+/// Metric names (`counter`, `gauge`, `histogram` arguments) are
+/// `'static` identifiers such as `"dpll.slew_up"`; they must contain no
+/// whitespace so snapshots render to a line-oriented text form.
+pub trait Recorder {
+    /// Whether this recorder keeps events. Hot paths consult this before
+    /// assembling an event, so disabled recorders pay nothing.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Captures one typed event.
+    fn record(&mut self, event: TelemetryEvent);
+
+    /// Adds `by` to the named counter.
+    fn incr(&mut self, counter: &'static str, by: u64);
+
+    /// Sets the named gauge to `value`.
+    fn gauge(&mut self, gauge: &'static str, value: f64);
+
+    /// Records one observation into the named histogram.
+    fn observe(&mut self, histogram: &'static str, value: u64);
+
+    /// Moves the monotonic sim-time clock forward by `ns` nanoseconds.
+    fn advance(&mut self, ns: u64) {
+        let _ = ns;
+    }
+
+    /// Moves the monotonic sim-time clock forward to `t` if `t` is ahead
+    /// of it (a high-water mark: the clock never moves backwards).
+    fn advance_to(&mut self, t: SimTime) {
+        let _ = t;
+    }
+
+    /// The current value of the monotonic sim-time clock.
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: TelemetryEvent) {
+        (**self).record(event);
+    }
+
+    fn incr(&mut self, counter: &'static str, by: u64) {
+        (**self).incr(counter, by);
+    }
+
+    fn gauge(&mut self, gauge: &'static str, value: f64) {
+        (**self).gauge(gauge, value);
+    }
+
+    fn observe(&mut self, histogram: &'static str, value: u64) {
+        (**self).observe(histogram, value);
+    }
+
+    fn advance(&mut self, ns: u64) {
+        (**self).advance(ns);
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        (**self).advance_to(t);
+    }
+
+    fn now(&self) -> SimTime {
+        (**self).now()
+    }
+}
+
+/// The zero-overhead default sink: every method is an inlined no-op.
+///
+/// # Examples
+///
+/// ```
+/// use atm_telemetry::{NullRecorder, Recorder};
+///
+/// let mut rec = NullRecorder;
+/// assert!(!rec.enabled());
+/// rec.incr("anything", 7); // vanishes
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: TelemetryEvent) {}
+
+    #[inline(always)]
+    fn incr(&mut self, _counter: &'static str, _by: u64) {}
+
+    #[inline(always)]
+    fn gauge(&mut self, _gauge: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _histogram: &'static str, _value: u64) {}
+}
+
+/// A fixed-capacity ring-buffer recorder with metric registries.
+///
+/// The ring keeps the **most recent** `capacity` events: when full, the
+/// oldest event is dropped and counted in
+/// [`RingRecorder::dropped_events`]. Counters, gauges and histograms
+/// live in ordered registries (deterministic iteration), and the
+/// monotonic sim-time clock ([`Recorder::now`]) high-water-marks every
+/// [`Recorder::advance`]/[`Recorder::advance_to`].
+///
+/// # Examples
+///
+/// ```
+/// use atm_telemetry::{Recorder, RingRecorder, SimTime, TelemetryEvent, DroopEvent};
+/// use atm_units::{CoreId, MegaHz};
+///
+/// let mut rec = RingRecorder::with_capacity(2);
+/// for i in 0..3 {
+///     rec.record(TelemetryEvent::Droop(DroopEvent {
+///         t: SimTime::from_nanos(i),
+///         core: CoreId::new(0, 0),
+///         dip: MegaHz::new(25.0),
+///     }));
+/// }
+/// // Capacity 2: the oldest of the three was dropped.
+/// assert_eq!(rec.events().len(), 2);
+/// assert_eq!(rec.dropped_events(), 1);
+/// assert_eq!(rec.events()[0].time().nanos(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RingRecorder {
+    capacity: usize,
+    events: VecDeque<TelemetryEvent>,
+    recorded: u64,
+    dropped: u64,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    clock: SimTime,
+}
+
+impl RingRecorder {
+    /// A recorder keeping at most `capacity` events (zero keeps metrics
+    /// only: every event is dropped on arrival, but still counted).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingRecorder {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            ..RingRecorder::default()
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &VecDeque<TelemetryEvent> {
+        &self.events
+    }
+
+    /// Total events offered via [`Recorder::record`], including dropped
+    /// ones.
+    #[must_use]
+    pub fn recorded_events(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted (or rejected by a zero-capacity ring) because the
+    /// ring was full.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The named counter's value (`None` if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge's value (`None` if never set).
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram (`None` if never observed into).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A serializable snapshot of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            capacity: self.capacity,
+            recorded: self.recorded,
+            dropped: self.dropped,
+            clock: self.clock,
+            events: self.events.iter().copied().collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Clears events and registries; the monotonic clock is kept (it
+    /// never moves backwards).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.recorded = 0;
+        self.dropped = 0;
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    fn check_name(name: &str) {
+        debug_assert!(
+            !name.contains(char::is_whitespace),
+            "metric name {name:?} must not contain whitespace"
+        );
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TelemetryEvent) {
+        self.recorded += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    fn incr(&mut self, counter: &'static str, by: u64) {
+        RingRecorder::check_name(counter);
+        *self.counters.entry(counter).or_insert(0) += by;
+    }
+
+    fn gauge(&mut self, gauge: &'static str, value: f64) {
+        RingRecorder::check_name(gauge);
+        self.gauges.insert(gauge, value);
+    }
+
+    fn observe(&mut self, histogram: &'static str, value: u64) {
+        RingRecorder::check_name(histogram);
+        self.histograms.entry(histogram).or_default().observe(value);
+    }
+
+    fn advance(&mut self, ns: u64) {
+        self.clock += ns;
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        self.clock = self.clock.max(t);
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DroopEvent;
+    use atm_units::{CoreId, MegaHz};
+
+    fn droop(t: u64) -> TelemetryEvent {
+        TelemetryEvent::Droop(DroopEvent {
+            t: SimTime::from_nanos(t),
+            core: CoreId::new(0, 0),
+            dip: MegaHz::new(30.0),
+        })
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut rec = RingRecorder::with_capacity(3);
+        for t in 0..10 {
+            rec.record(droop(t));
+        }
+        assert_eq!(rec.events().len(), 3);
+        assert_eq!(rec.recorded_events(), 10);
+        assert_eq!(rec.dropped_events(), 7);
+        let times: Vec<u64> = rec.events().iter().map(|e| e.time().nanos()).collect();
+        assert_eq!(times, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_keeps_metrics_only() {
+        let mut rec = RingRecorder::with_capacity(0);
+        rec.record(droop(1));
+        rec.incr("c", 2);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.dropped_events(), 1);
+        assert_eq!(rec.counter("c"), Some(2));
+    }
+
+    #[test]
+    fn registries_accumulate() {
+        let mut rec = RingRecorder::with_capacity(8);
+        rec.incr("a", 1);
+        rec.incr("a", 2);
+        rec.gauge("g", 1.5);
+        rec.gauge("g", 2.5);
+        rec.observe("h", 10);
+        rec.observe("h", 20);
+        assert_eq!(rec.counter("a"), Some(3));
+        assert_eq!(rec.gauge_value("g"), Some(2.5));
+        assert_eq!(rec.histogram("h").unwrap().count(), 2);
+        assert_eq!(rec.counter("missing"), None);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut rec = RingRecorder::with_capacity(1);
+        rec.advance(100);
+        rec.advance_to(SimTime::from_nanos(50)); // behind: ignored
+        assert_eq!(rec.now().nanos(), 100);
+        rec.advance_to(SimTime::from_nanos(400));
+        assert_eq!(rec.now().nanos(), 400);
+        rec.advance(10);
+        assert_eq!(rec.now().nanos(), 410);
+    }
+
+    #[test]
+    fn reset_clears_data_but_not_clock() {
+        let mut rec = RingRecorder::with_capacity(4);
+        rec.record(droop(1));
+        rec.incr("c", 1);
+        rec.advance(99);
+        rec.reset();
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.recorded_events(), 0);
+        assert_eq!(rec.counter("c"), None);
+        assert_eq!(rec.now().nanos(), 99);
+    }
+
+    #[test]
+    fn mut_reference_is_a_recorder() {
+        fn drive<R: Recorder>(rec: &mut R) {
+            rec.incr("via.ref", 1);
+        }
+        let mut rec = RingRecorder::with_capacity(1);
+        drive(&mut &mut rec);
+        let dy: &mut dyn Recorder = &mut rec;
+        dy.incr("via.dyn", 1);
+        assert_eq!(rec.counter("via.ref"), Some(1));
+        assert_eq!(rec.counter("via.dyn"), Some(1));
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut rec = NullRecorder;
+        assert!(!rec.enabled());
+        rec.record(droop(1));
+        rec.incr("x", 1);
+        rec.advance(5);
+        assert_eq!(rec.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,527 @@
+//! Serializable snapshots of a recorder's state.
+//!
+//! The workspace vendors a no-op `serde` shim, so the snapshot carries
+//! its own lossless line-oriented text form: [`TelemetrySnapshot::render`]
+//! writes it, [`TelemetrySnapshot::parse`] reads it back, and the pair
+//! round-trips exactly (`f64` values travel as `to_bits` hex, so not
+//! even the last mantissa bit is lost).
+
+use std::fmt::Write as _;
+
+use atm_units::{AtmError, CoreId, MegaHz, CORES_PER_PROC, NUM_PROCS};
+use serde::{Deserialize, Serialize};
+
+use crate::event::{
+    AdmissionDecision, AdmissionVerdict, CpmReading, DpllStep, DroopEvent, LoopVerdict,
+    RollbackEvent, TelemetryEvent, ThrottleAction, ThrottleRung,
+};
+use crate::metrics::Histogram;
+use crate::time::SimTime;
+
+/// Magic first line of the text form.
+const HEADER: &str = "atm-telemetry v1";
+
+/// A point-in-time copy of everything a
+/// [`RingRecorder`](crate::RingRecorder) holds: ring configuration and
+/// occupancy, the retained events, and the metric registries.
+///
+/// Snapshots are plain data — compare them with `==`, render them with
+/// [`render`](TelemetrySnapshot::render), and rebuild them with
+/// [`parse`](TelemetrySnapshot::parse).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    pub(crate) capacity: usize,
+    pub(crate) recorded: u64,
+    pub(crate) dropped: u64,
+    pub(crate) clock: SimTime,
+    pub(crate) events: Vec<TelemetryEvent>,
+    pub(crate) counters: Vec<(String, u64)>,
+    pub(crate) gauges: Vec<(String, f64)>,
+    pub(crate) histograms: Vec<(String, Histogram)>,
+}
+
+impl TelemetrySnapshot {
+    /// The source ring's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events offered to the source recorder.
+    #[must_use]
+    pub fn recorded_events(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events the source ring evicted for being over capacity.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The source recorder's monotonic clock at snapshot time.
+    #[must_use]
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// The named counter's value (`None` if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The named gauge's value (`None` if absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram (`None` if absent).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// All counters, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    #[must_use]
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
+    }
+
+    /// Renders the snapshot to its canonical text form.
+    ///
+    /// The format is line-oriented and deterministic: a header, the ring
+    /// summary, registries sorted by name, then events oldest first.
+    /// `f64` payloads (gauges, frequencies) are written as `to_bits`
+    /// hex so [`parse`](TelemetrySnapshot::parse) recovers them exactly.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        let _ = writeln!(out, "capacity {}", self.capacity);
+        let _ = writeln!(out, "recorded {}", self.recorded);
+        let _ = writeln!(out, "dropped {}", self.dropped);
+        let _ = writeln!(out, "clock {}", self.clock.nanos());
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {:016x}", v.to_bits());
+        }
+        for (name, h) in &self.histograms {
+            let _ = write!(
+                out,
+                "hist {name} {} {} {} {}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            );
+            for (i, &n) in h.buckets().iter().enumerate() {
+                if n != 0 {
+                    let _ = write!(out, " {i}:{n}");
+                }
+            }
+            out.push('\n');
+        }
+        for e in &self.events {
+            render_event(&mut out, e);
+        }
+        out
+    }
+
+    /// Parses a snapshot back from the text form written by
+    /// [`render`](TelemetrySnapshot::render).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::Parse`] (with a 1-based line number) on a
+    /// missing header, malformed line, unknown token, or out-of-range
+    /// core index.
+    pub fn parse(text: &str) -> Result<Self, AtmError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| AtmError::parse(1, "empty input"))?;
+        if header.trim_end() != HEADER {
+            return Err(AtmError::parse(1, format!("expected header {HEADER:?}")));
+        }
+
+        let mut snap = TelemetrySnapshot {
+            capacity: 0,
+            recorded: 0,
+            dropped: 0,
+            clock: SimTime::ZERO,
+            events: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_ascii_whitespace();
+            let kind = fields.next().unwrap_or_default();
+            let rest: Vec<&str> = fields.collect();
+            match kind {
+                "capacity" => snap.capacity = parse_one(lineno, &rest)?,
+                "recorded" => snap.recorded = parse_one(lineno, &rest)?,
+                "dropped" => snap.dropped = parse_one(lineno, &rest)?,
+                "clock" => snap.clock = SimTime::from_nanos(parse_one(lineno, &rest)?),
+                "counter" => {
+                    let (name, value) = parse_named(lineno, &rest)?;
+                    snap.counters.push((name, parse_num(lineno, value)?));
+                }
+                "gauge" => {
+                    let (name, value) = parse_named(lineno, &rest)?;
+                    snap.gauges.push((name, parse_f64_bits(lineno, value)?));
+                }
+                "hist" => snap.histograms.push(parse_hist(lineno, &rest)?),
+                "event" => snap.events.push(parse_event(lineno, &rest)?),
+                other => {
+                    return Err(AtmError::parse(lineno, format!("unknown record {other:?}")));
+                }
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn render_event(out: &mut String, e: &TelemetryEvent) {
+    match e {
+        TelemetryEvent::Cpm(e) => {
+            let _ = writeln!(
+                out,
+                "event cpm {} {} {} {}",
+                e.t.nanos(),
+                e.core.flat_index(),
+                e.units,
+                u8::from(e.violation)
+            );
+        }
+        TelemetryEvent::Dpll(e) => {
+            let _ = writeln!(
+                out,
+                "event dpll {} {} {} {:016x}",
+                e.t.nanos(),
+                e.core.flat_index(),
+                e.action.token(),
+                e.freq.get().to_bits()
+            );
+        }
+        TelemetryEvent::Droop(e) => {
+            let _ = writeln!(
+                out,
+                "event droop {} {} {:016x}",
+                e.t.nanos(),
+                e.core.flat_index(),
+                e.dip.get().to_bits()
+            );
+        }
+        TelemetryEvent::Throttle(e) => {
+            let _ = writeln!(
+                out,
+                "event throttle {} {} {} {:016x}",
+                e.t.nanos(),
+                e.cores,
+                e.rung.token(),
+                e.freq.get().to_bits()
+            );
+        }
+        TelemetryEvent::Admission(e) => {
+            let _ = writeln!(
+                out,
+                "event admission {} {} {} {} {}",
+                e.t.nanos(),
+                e.stream,
+                u8::from(e.critical),
+                e.verdict.token(),
+                e.backlog_ns
+            );
+        }
+        TelemetryEvent::Rollback(e) => {
+            let _ = writeln!(
+                out,
+                "event rollback {} {} {} {}",
+                e.t.nanos(),
+                e.core.flat_index(),
+                e.steps,
+                e.new_reduction
+            );
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(lineno: usize, s: &str) -> Result<T, AtmError> {
+    s.parse()
+        .map_err(|_| AtmError::parse(lineno, format!("bad number {s:?}")))
+}
+
+fn parse_one<T: std::str::FromStr>(lineno: usize, rest: &[&str]) -> Result<T, AtmError> {
+    match rest {
+        [v] => parse_num(lineno, v),
+        _ => Err(AtmError::parse(lineno, "expected exactly one value")),
+    }
+}
+
+fn parse_named<'a>(lineno: usize, rest: &[&'a str]) -> Result<(String, &'a str), AtmError> {
+    match rest {
+        [name, value] => Ok(((*name).to_owned(), value)),
+        _ => Err(AtmError::parse(lineno, "expected a name and a value")),
+    }
+}
+
+fn parse_f64_bits(lineno: usize, s: &str) -> Result<f64, AtmError> {
+    let bits = u64::from_str_radix(s, 16)
+        .map_err(|_| AtmError::parse(lineno, format!("bad f64 bit pattern {s:?}")))?;
+    Ok(f64::from_bits(bits))
+}
+
+fn parse_bool01(lineno: usize, s: &str) -> Result<bool, AtmError> {
+    match s {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(AtmError::parse(
+            lineno,
+            format!("expected 0 or 1, got {s:?}"),
+        )),
+    }
+}
+
+fn parse_core(lineno: usize, s: &str) -> Result<CoreId, AtmError> {
+    let flat: usize = parse_num(lineno, s)?;
+    if flat >= NUM_PROCS * CORES_PER_PROC {
+        return Err(AtmError::parse(
+            lineno,
+            format!("core index {flat} out of range"),
+        ));
+    }
+    Ok(CoreId::from_flat_index(flat))
+}
+
+fn parse_mhz(lineno: usize, s: &str) -> Result<MegaHz, AtmError> {
+    Ok(MegaHz::new(parse_f64_bits(lineno, s)?))
+}
+
+fn parse_time(lineno: usize, s: &str) -> Result<SimTime, AtmError> {
+    Ok(SimTime::from_nanos(parse_num(lineno, s)?))
+}
+
+fn parse_hist(lineno: usize, rest: &[&str]) -> Result<(String, Histogram), AtmError> {
+    let [name, count, sum, min, max, buckets @ ..] = rest else {
+        return Err(AtmError::parse(lineno, "hist needs name count sum min max"));
+    };
+    let mut bucket_counts = [0u64; 65];
+    for entry in buckets {
+        let (i, n) = entry
+            .split_once(':')
+            .ok_or_else(|| AtmError::parse(lineno, format!("bad bucket entry {entry:?}")))?;
+        let i: usize = parse_num(lineno, i)?;
+        if i >= bucket_counts.len() {
+            return Err(AtmError::parse(
+                lineno,
+                format!("bucket index {i} out of range"),
+            ));
+        }
+        bucket_counts[i] = parse_num(lineno, n)?;
+    }
+    let h = Histogram::from_parts(
+        bucket_counts,
+        parse_num(lineno, sum)?,
+        parse_num(lineno, min)?,
+        parse_num(lineno, max)?,
+    );
+    let declared: u64 = parse_num(lineno, count)?;
+    if h.count() != declared {
+        return Err(AtmError::parse(
+            lineno,
+            format!(
+                "hist count {declared} disagrees with buckets ({})",
+                h.count()
+            ),
+        ));
+    }
+    Ok(((*name).to_owned(), h))
+}
+
+fn parse_event(lineno: usize, rest: &[&str]) -> Result<TelemetryEvent, AtmError> {
+    match rest {
+        ["cpm", t, core, units, violation] => Ok(TelemetryEvent::Cpm(CpmReading {
+            t: parse_time(lineno, t)?,
+            core: parse_core(lineno, core)?,
+            units: parse_num(lineno, units)?,
+            violation: parse_bool01(lineno, violation)?,
+        })),
+        ["dpll", t, core, action, freq] => Ok(TelemetryEvent::Dpll(DpllStep {
+            t: parse_time(lineno, t)?,
+            core: parse_core(lineno, core)?,
+            action: LoopVerdict::from_token(action)
+                .ok_or_else(|| AtmError::parse(lineno, format!("bad dpll action {action:?}")))?,
+            freq: parse_mhz(lineno, freq)?,
+        })),
+        ["droop", t, core, dip] => Ok(TelemetryEvent::Droop(DroopEvent {
+            t: parse_time(lineno, t)?,
+            core: parse_core(lineno, core)?,
+            dip: parse_mhz(lineno, dip)?,
+        })),
+        ["throttle", t, cores, rung, freq] => Ok(TelemetryEvent::Throttle(ThrottleAction {
+            t: parse_time(lineno, t)?,
+            cores: parse_num(lineno, cores)?,
+            rung: ThrottleRung::from_token(rung)
+                .ok_or_else(|| AtmError::parse(lineno, format!("bad throttle rung {rung:?}")))?,
+            freq: parse_mhz(lineno, freq)?,
+        })),
+        ["admission", t, stream, critical, verdict, backlog] => {
+            Ok(TelemetryEvent::Admission(AdmissionDecision {
+                t: parse_time(lineno, t)?,
+                stream: parse_num(lineno, stream)?,
+                critical: parse_bool01(lineno, critical)?,
+                verdict: AdmissionVerdict::from_token(verdict).ok_or_else(|| {
+                    AtmError::parse(lineno, format!("bad admission verdict {verdict:?}"))
+                })?,
+                backlog_ns: parse_num(lineno, backlog)?,
+            }))
+        }
+        ["rollback", t, core, steps, reduction] => Ok(TelemetryEvent::Rollback(RollbackEvent {
+            t: parse_time(lineno, t)?,
+            core: parse_core(lineno, core)?,
+            steps: parse_num(lineno, steps)?,
+            new_reduction: parse_num(lineno, reduction)?,
+        })),
+        [kind, ..] => Err(AtmError::parse(lineno, format!("unknown event {kind:?}"))),
+        [] => Err(AtmError::parse(lineno, "empty event record")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, RingRecorder};
+
+    fn populated_recorder() -> RingRecorder {
+        let mut rec = RingRecorder::with_capacity(8);
+        rec.advance(2_000);
+        rec.incr("dpll.slew_up", 3);
+        rec.incr("chip.ticks", 100);
+        rec.gauge("manager.budget_w", 147.5);
+        rec.observe("serve.latency_ns", 40_000_000);
+        rec.observe("serve.latency_ns", 0);
+        rec.record(TelemetryEvent::Cpm(CpmReading {
+            t: SimTime::from_nanos(10),
+            core: CoreId::new(0, 1),
+            units: 7,
+            violation: false,
+        }));
+        rec.record(TelemetryEvent::Dpll(DpllStep {
+            t: SimTime::from_nanos(11),
+            core: CoreId::new(0, 1),
+            action: LoopVerdict::SlewUp,
+            freq: MegaHz::new(4123.456),
+        }));
+        rec.record(TelemetryEvent::Droop(DroopEvent {
+            t: SimTime::from_nanos(12),
+            core: CoreId::new(1, 7),
+            dip: MegaHz::new(31.25),
+        }));
+        rec.record(TelemetryEvent::Throttle(ThrottleAction {
+            t: SimTime::from_nanos(13),
+            cores: 6,
+            rung: ThrottleRung::Fixed,
+            freq: MegaHz::new(2166.0),
+        }));
+        rec.record(TelemetryEvent::Admission(AdmissionDecision {
+            t: SimTime::from_nanos(14),
+            stream: 2,
+            critical: true,
+            verdict: AdmissionVerdict::Defer,
+            backlog_ns: 9_999,
+        }));
+        rec.record(TelemetryEvent::Rollback(RollbackEvent {
+            t: SimTime::from_nanos(15),
+            core: CoreId::new(1, 0),
+            steps: 1,
+            new_reduction: 4,
+        }));
+        rec
+    }
+
+    #[test]
+    fn render_parse_round_trips_every_event_kind() {
+        let snap = populated_recorder().snapshot();
+        let text = snap.render();
+        let back = TelemetrySnapshot::parse(&text).expect("parse rendered snapshot");
+        assert_eq!(snap, back);
+        // And the round-trip is a fixed point.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn f64_payloads_round_trip_bit_exactly() {
+        let mut rec = RingRecorder::with_capacity(2);
+        let awkward = 0.1 + 0.2; // not representable prettily in decimal
+        rec.gauge("g", awkward);
+        let back = TelemetrySnapshot::parse(&rec.snapshot().render()).unwrap();
+        assert_eq!(back.gauge("g").unwrap().to_bits(), awkward.to_bits());
+    }
+
+    #[test]
+    fn accessors_expose_registries() {
+        let snap = populated_recorder().snapshot();
+        assert_eq!(snap.counter("dpll.slew_up"), Some(3));
+        assert_eq!(snap.counter("absent"), None);
+        assert!(snap.gauge("manager.budget_w").is_some());
+        assert_eq!(snap.histogram("serve.latency_ns").unwrap().count(), 2);
+        assert_eq!(snap.events().len(), 6);
+        assert_eq!(snap.clock().nanos(), 2_000);
+        assert_eq!(snap.capacity(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(TelemetrySnapshot::parse("").is_err());
+        assert!(TelemetrySnapshot::parse("not-the-header\n").is_err());
+        let bad_record = format!("{HEADER}\nwhatever 1\n");
+        assert!(TelemetrySnapshot::parse(&bad_record).is_err());
+        let bad_core = format!("{HEADER}\nevent droop 1 99 0000000000000000\n");
+        let err = TelemetrySnapshot::parse(&bad_core).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+        let bad_action = format!("{HEADER}\nevent dpll 1 0 sideways 0000000000000000\n");
+        assert!(TelemetrySnapshot::parse(&bad_action).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_histogram() {
+        let text = format!("{HEADER}\nhist h 5 10 1 9 1:2\n");
+        assert!(TelemetrySnapshot::parse(&text).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Integer simulated-time stamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use atm_units::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A monotonic simulated-time stamp in integer nanoseconds.
+///
+/// The simulation's own clocks are `f64`-backed ([`Nanos`]); telemetry
+/// stamps are integers so snapshots compare exactly and serialize
+/// losslessly. Recorders keep a high-water-mark clock
+/// ([`Recorder::now`](crate::Recorder::now)) that only moves forward, so
+/// stamps taken from it are monotone even across back-to-back simulation
+/// runs that each restart their local clock at zero.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A stamp from integer nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// A stamp from a simulation clock value, rounded to the nearest
+    /// nanosecond (negative values clamp to zero).
+    #[must_use]
+    pub fn from_sim(t: Nanos) -> Self {
+        SimTime(t.get().max(0.0).round() as u64)
+    }
+
+    /// The stamp in nanoseconds.
+    #[must_use]
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two stamps.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ns))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, ns: u64) {
+        self.0 = self.0.saturating_add(ns);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_ordering() {
+        assert_eq!(SimTime::from_sim(Nanos::new(49.6)).nanos(), 50);
+        assert_eq!(SimTime::from_sim(Nanos::new(-3.0)), SimTime::ZERO);
+        assert!(SimTime::from_nanos(2) > SimTime::from_nanos(1));
+        assert_eq!(
+            SimTime::from_nanos(1).max(SimTime::from_nanos(5)).nanos(),
+            5
+        );
+    }
+
+    #[test]
+    fn addition_saturates() {
+        let mut t = SimTime::from_nanos(u64::MAX - 1);
+        t += 10;
+        assert_eq!(t.nanos(), u64::MAX);
+        assert_eq!((SimTime::from_nanos(3) + 4).nanos(), 7);
+    }
+
+    #[test]
+    fn display_shows_nanoseconds() {
+        assert_eq!(SimTime::from_nanos(42).to_string(), "42 ns");
+    }
+}

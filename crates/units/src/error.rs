@@ -1,0 +1,127 @@
+//! The unified error type of the `power-atm` stack.
+
+use std::error::Error;
+use std::fmt;
+
+/// The error type shared by every fallible public API of the stack.
+///
+/// Earlier revisions signalled misuse through `Option` returns and
+/// panics; `AtmError` replaces both so callers can route failures through
+/// `?` instead of `unwrap()` chains.
+///
+/// # Examples
+///
+/// ```
+/// use atm_units::AtmError;
+///
+/// let err = AtmError::unknown_workload("not-a-benchmark");
+/// assert!(err.to_string().contains("not-a-benchmark"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtmError {
+    /// A workload name was not found in the calibrated catalog.
+    UnknownWorkload {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A configuration value (or combination of values) is invalid.
+    InvalidConfig {
+        /// The field or concept that failed validation.
+        what: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A serialized telemetry snapshot (or similar text form) failed to
+    /// parse.
+    Parse {
+        /// One-based line number of the offending input line (zero when
+        /// the problem is not tied to a specific line).
+        line: usize,
+        /// Why the input was rejected.
+        reason: String,
+    },
+}
+
+impl AtmError {
+    /// An [`AtmError::UnknownWorkload`] for `name`.
+    #[must_use]
+    pub fn unknown_workload(name: impl Into<String>) -> Self {
+        AtmError::UnknownWorkload { name: name.into() }
+    }
+
+    /// An [`AtmError::InvalidConfig`] for field `what` rejected for
+    /// `reason`.
+    #[must_use]
+    pub fn invalid_config(what: impl Into<String>, reason: impl Into<String>) -> Self {
+        AtmError::InvalidConfig {
+            what: what.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// An [`AtmError::Parse`] at `line` (one-based; zero when unknown).
+    #[must_use]
+    pub fn parse(line: usize, reason: impl Into<String>) -> Self {
+        AtmError::Parse {
+            line,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for AtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtmError::UnknownWorkload { name } => {
+                write!(
+                    f,
+                    "unknown workload {name:?} (not in the calibrated catalog)"
+                )
+            }
+            AtmError::InvalidConfig { what, reason } => {
+                write!(f, "invalid configuration: {what}: {reason}")
+            }
+            AtmError::Parse { line, reason } => {
+                if *line == 0 {
+                    write!(f, "parse error: {reason}")
+                } else {
+                    write!(f, "parse error at line {line}: {reason}")
+                }
+            }
+        }
+    }
+}
+
+impl Error for AtmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        assert_eq!(
+            AtmError::unknown_workload("ray").to_string(),
+            "unknown workload \"ray\" (not in the calibrated catalog)"
+        );
+        assert_eq!(
+            AtmError::invalid_config("repeats", "must be at least 1").to_string(),
+            "invalid configuration: repeats: must be at least 1"
+        );
+        assert_eq!(
+            AtmError::parse(3, "bad counter line").to_string(),
+            "parse error at line 3: bad counter line"
+        );
+        assert_eq!(
+            AtmError::parse(0, "empty input").to_string(),
+            "parse error: empty input"
+        );
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<AtmError>();
+    }
+}

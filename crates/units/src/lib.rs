@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod freq;
 mod ids;
 mod power;
@@ -31,6 +32,7 @@ mod temp;
 mod time;
 mod volt;
 
+pub use error::AtmError;
 pub use freq::MegaHz;
 pub use ids::{CoreId, ParseCoreIdError, ProcId, SocketIter, CORES_PER_PROC, NUM_PROCS};
 pub use power::Watts;

@@ -10,6 +10,7 @@
 use std::sync::OnceLock;
 
 use atm_pdn::DiDtParams;
+use atm_units::AtmError;
 
 use crate::classify::{classification_table, AppClass};
 use crate::profile::{Workload, WorkloadKind};
@@ -195,8 +196,23 @@ pub fn catalog() -> &'static [Workload] {
 }
 
 /// Looks a workload up by name.
+///
+/// # Errors
+///
+/// Returns [`AtmError::UnknownWorkload`] naming the missing profile, so
+/// a typo in a workload name surfaces in the error instead of as a bare
+/// `None`.
+pub fn by_name(name: &str) -> Result<&'static Workload, AtmError> {
+    cached()
+        .iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| AtmError::unknown_workload(name))
+}
+
+/// The pre-[`AtmError`] lookup, kept as a transition shim.
+#[deprecated(note = "use `by_name`, whose error names the missing workload")]
 #[must_use]
-pub fn by_name(name: &str) -> Option<&'static Workload> {
+pub fn get(name: &str) -> Option<&'static Workload> {
     cached().iter().find(|w| w.name() == name)
 }
 
@@ -248,13 +264,21 @@ mod tests {
         for w in catalog() {
             assert_eq!(by_name(w.name()).unwrap().name(), w.name());
         }
-        assert!(by_name("does-not-exist").is_none());
+        let err = by_name("does-not-exist").unwrap_err();
+        assert!(err.to_string().contains("does-not-exist"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_get_still_works() {
+        assert_eq!(get("x264").map(Workload::name), Some("x264"));
+        assert!(get("does-not-exist").is_none());
     }
 
     #[test]
     fn every_table2_app_has_a_profile() {
         for (name, class) in classification_table() {
-            let w = by_name(name).unwrap_or_else(|| panic!("missing profile for {name}"));
+            let w = by_name(name).unwrap_or_else(|_| panic!("missing profile for {name}"));
             assert_eq!(w.class(), Some(&class), "class mismatch for {name}");
         }
     }

@@ -6,9 +6,7 @@
 //! cargo run --release --example characterize_server [seed]
 //! ```
 
-use power_atm::chip::{ChipConfig, System};
-use power_atm::core::charact::CharactConfig;
-use power_atm::core::LimitTable;
+use power_atm::prelude::*;
 use power_atm::workloads::realistic_set;
 
 fn main() {

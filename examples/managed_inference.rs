@@ -10,12 +10,9 @@
 //! cargo run --release --example managed_inference
 //! ```
 
-use power_atm::chip::{ChipConfig, FailureKind, System};
-use power_atm::core::charact::CharactConfig;
-use power_atm::core::{AtmManager, Governor};
-use power_atm::serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
-use power_atm::units::CoreId;
-use power_atm::workloads::by_name;
+use power_atm::chip::FailureKind;
+use power_atm::prelude::*;
+use power_atm::serve::ArrivalPattern;
 
 fn main() {
     println!("deploying fine-tuned ATM via the test-time stress-test...");
@@ -57,7 +54,7 @@ fn main() {
     ];
 
     let cfg = ServeConfig::standard(42);
-    let mut sim = ServeSim::new(mgr, cfg.clone(), streams);
+    let mut sim = ServeSim::new(mgr, cfg.clone(), streams).expect("valid serving setup");
     // Mid-run field failure on a serving core: watch the recovery.
     sim.inject_failure(8, CoreId::new(0, 0), FailureKind::SystemCrash);
     println!(

@@ -9,9 +9,9 @@
 //! cargo run --release --example margin_accounting
 //! ```
 
-use power_atm::chip::{ChipConfig, System};
 use power_atm::core::analysis::MarginBreakdown;
-use power_atm::units::{Celsius, CoreId, Volts};
+use power_atm::prelude::*;
+use power_atm::units::{Celsius, Volts};
 
 fn main() {
     let mut sys = System::new(ChipConfig::power7_plus(42));

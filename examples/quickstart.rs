@@ -6,10 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use power_atm::chip::{ChipConfig, MarginMode, System};
 use power_atm::core::FineTuner;
-use power_atm::units::{CoreId, Nanos};
-use power_atm::workloads::by_name;
+use power_atm::prelude::*;
 
 fn main() {
     // A deterministic server: same seed, same silicon.

@@ -7,10 +7,8 @@
 //! cargo run --release --example stress_deploy [rollback]
 //! ```
 
-use power_atm::chip::{ChipConfig, System};
-use power_atm::core::charact::CharactConfig;
 use power_atm::core::stress::stress_test_deploy;
-use power_atm::units::CoreId;
+use power_atm::prelude::*;
 
 fn main() {
     let rollback: usize = std::env::args()

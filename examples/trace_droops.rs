@@ -9,9 +9,7 @@
 //! cargo run --release --example trace_droops
 //! ```
 
-use power_atm::chip::{ChipConfig, MarginMode, System};
-use power_atm::units::{CoreId, Nanos};
-use power_atm::workloads::by_name;
+use power_atm::prelude::*;
 
 fn main() {
     let mut sys = System::new(ChipConfig::power7_plus(42));

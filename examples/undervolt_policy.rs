@@ -13,9 +13,9 @@
 //! cargo run --release --example undervolt_policy
 //! ```
 
-use power_atm::chip::{ChipConfig, MarginMode, System};
 use power_atm::dpll::{FreqWindow, UndervoltController};
-use power_atm::units::{MegaHz, Nanos, ProcId, Volts};
+use power_atm::prelude::*;
+use power_atm::units::Volts;
 
 fn main() {
     let mut sys = System::new(ChipConfig::power7_plus(42));

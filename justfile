@@ -1,13 +1,19 @@
 # Common development tasks. `just ci` is the gate PRs must pass.
 
 # Formatting + release build (incl. examples) + tests + warning-free
-# workspace clippy over all targets (mirrors ci.sh).
+# workspace clippy over all targets + warning-free rustdoc (mirrors
+# ci.sh).
 ci:
     cargo fmt --check
     cargo build --release
     cargo build --release --examples
     cargo test -q
     cargo clippy --workspace --all-targets -- -D warnings
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Warning-free rustdoc over the workspace.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # Full-workspace test run (every crate, not just the facade).
 test-all:

@@ -18,19 +18,19 @@
 //! | [`cpm`] | programmable Critical Path Monitors |
 //! | [`dpll`] | the per-core ATM control loop and clocking |
 //! | [`workloads`] | calibrated SPEC/PARSEC/ML/stressmark profiles |
+//! | [`telemetry`] | zero-overhead-by-default recording of control-loop decisions |
 //! | [`chip`] | the two-socket simulator |
 //! | [`core`] | fine-tuning, characterization, prediction, management |
 //! | [`serve`] | deterministic request serving with SLO accounting |
 //! | [`experiments`] | regeneration of every paper table and figure |
 //!
+//! The [`prelude`] re-exports the handful of types nearly every program
+//! needs, so `use power_atm::prelude::*;` is enough to get going.
+//!
 //! # The whole pipeline in one example
 //!
 //! ```no_run
-//! use power_atm::chip::{ChipConfig, System};
-//! use power_atm::core::charact::CharactConfig;
-//! use power_atm::core::manager::Strategy;
-//! use power_atm::core::{AtmManager, Governor, QosTarget};
-//! use power_atm::workloads::by_name;
+//! use power_atm::prelude::*;
 //!
 //! // 1. A server with freshly minted silicon.
 //! let sys = System::new(ChipConfig::power7_plus(42));
@@ -39,13 +39,20 @@
 //! let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::standard());
 //!
 //! // 3. Field management: critical app to the fastest core, background
-//! //    throttled until a 10% speedup over static margin is guaranteed.
-//! let outcome = mgr.evaluate_pair(
+//! //    throttled until a 10% speedup over static margin is guaranteed,
+//! //    with every control-loop decision recorded.
+//! let mut rec = RingRecorder::with_capacity(4096);
+//! let outcome = mgr.evaluate_pair_recorded(
 //!     by_name("squeezenet").unwrap(),
 //!     by_name("x264").unwrap(),
 //!     Strategy::ManagedBalanced(QosTarget::improvement_pct(10.0)),
+//!     &mut rec,
 //! );
 //! assert!(outcome.ok && outcome.speedup >= 1.10);
+//!
+//! // 4. The snapshot renders and parses losslessly for offline analysis.
+//! let snap = rec.snapshot();
+//! assert!(snap.counter("chip.ticks").is_some());
 //! ```
 //!
 //! A quicker taste:
@@ -69,4 +76,29 @@ pub use atm_experiments as experiments;
 pub use atm_pdn as pdn;
 pub use atm_serve as serve;
 pub use atm_silicon as silicon;
+pub use atm_telemetry as telemetry;
 pub use atm_workloads as workloads;
+
+pub mod prelude {
+    //! The types nearly every `power-atm` program touches, in one import.
+    //!
+    //! # Examples
+    //!
+    //! ```
+    //! use power_atm::prelude::*;
+    //!
+    //! let sys = System::new(ChipConfig::default());
+    //! let workload = by_name("squeezenet").unwrap();
+    //! assert_eq!(workload.name(), "squeezenet");
+    //! let _ = (sys, NullRecorder);
+    //! ```
+
+    pub use atm_chip::{ChipConfig, MarginMode, System};
+    pub use atm_core::charact::CharactConfig;
+    pub use atm_core::manager::Strategy;
+    pub use atm_core::{AtmManager, Governor, LimitTable, QosTarget};
+    pub use atm_serve::{ServeConfig, ServeSim, StreamSpec};
+    pub use atm_telemetry::{NullRecorder, Recorder, RingRecorder, TelemetrySnapshot};
+    pub use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId, Watts};
+    pub use atm_workloads::{by_name, Workload};
+}

@@ -53,7 +53,7 @@ fn streams() -> Vec<StreamSpec> {
 fn sim(seed: u64) -> ServeSim {
     let sys = System::new(ChipConfig::power7_plus(seed));
     let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
-    ServeSim::new(mgr, ServeConfig::quick(seed), streams())
+    ServeSim::new(mgr, ServeConfig::quick(seed), streams()).expect("valid serving setup")
 }
 
 fn run(seed: u64, workers: usize) -> ServeReport {

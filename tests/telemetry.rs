@@ -1,0 +1,145 @@
+//! Telemetry contract tests: recording never perturbs results, the ring
+//! bounds memory, and snapshots round-trip losslessly.
+//!
+//! The two "never perturbs" properties are the subsystem's core promise:
+//! a characterization ([`LimitTable`]) and a full serving trace
+//! ([`ServeReport`](power_atm::serve::ServeReport)) must be byte-identical
+//! whether driven through a [`NullRecorder`] or a [`RingRecorder`].
+
+use power_atm::prelude::*;
+use power_atm::serve::{ArrivalPattern, ServeReport};
+use power_atm::telemetry::{SimTime, TelemetryEvent};
+use power_atm::workloads::realistic_set;
+
+const SEED: u64 = 42;
+
+#[test]
+fn ring_recorder_overflow_keeps_newest_and_counts_drops() {
+    let mut rec = RingRecorder::with_capacity(8);
+    for i in 0..20u64 {
+        rec.advance_to(SimTime::from_nanos(i));
+        rec.record(TelemetryEvent::Droop(power_atm::telemetry::DroopEvent {
+            t: rec.now(),
+            core: CoreId::new(0, 0),
+            dip: MegaHz::new(25.0),
+        }));
+    }
+    assert_eq!(rec.events().len(), 8);
+    assert_eq!(rec.recorded_events(), 20);
+    assert_eq!(rec.dropped_events(), 12);
+    // The survivors are the 8 newest, in order.
+    let times: Vec<u64> = rec.events().iter().map(|e| e.time().nanos()).collect();
+    assert_eq!(times, (12..20).collect::<Vec<u64>>());
+}
+
+#[test]
+fn snapshot_round_trips_through_text() {
+    let sys = System::new(ChipConfig::power7_plus(SEED));
+    let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    let mut rec = RingRecorder::with_capacity(1024);
+    let _ = mgr.evaluate_pair_recorded(
+        by_name("squeezenet").unwrap(),
+        by_name("x264").unwrap(),
+        Strategy::ManagedBalanced(QosTarget::improvement_pct(10.0)),
+        &mut rec,
+    );
+    let snap = rec.snapshot();
+    assert!(snap.counter("chip.ticks").unwrap_or(0) > 0);
+    assert!(snap.gauge("manager.budget_w").is_some());
+    let text = snap.render();
+    let parsed = TelemetrySnapshot::parse(&text).expect("canonical text parses");
+    assert_eq!(parsed, snap);
+    assert_eq!(parsed.render(), text);
+}
+
+#[test]
+fn characterization_is_identical_under_null_and_ring_recorders() {
+    let apps = realistic_set();
+    let apps: Vec<&Workload> = apps.into_iter().take(2).collect();
+    let cfg = CharactConfig::quick();
+
+    let mut plain_sys = System::new(ChipConfig::power7_plus(SEED));
+    let plain = LimitTable::characterize(&mut plain_sys, &apps, &cfg);
+
+    let mut ring_sys = System::new(ChipConfig::power7_plus(SEED));
+    let mut rec = RingRecorder::with_capacity(512);
+    let ringed = LimitTable::characterize_recorded(&mut ring_sys, &apps, &cfg, &mut rec);
+
+    assert_eq!(plain, ringed, "recording must not perturb the limit table");
+    assert!(rec.counter("charact.trials").unwrap_or(0) > 0);
+}
+
+fn serve_report<R: Recorder>(rec: &mut R) -> ServeReport {
+    let sys = System::new(ChipConfig::power7_plus(SEED));
+    let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    let streams = vec![
+        StreamSpec::critical(
+            by_name("squeezenet").unwrap(),
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            250_000_000,
+        ),
+        StreamSpec::background(
+            by_name("x264").unwrap(),
+            ArrivalPattern::Poisson {
+                mean_gap: 20_000_000,
+            },
+        ),
+    ];
+    let cfg = ServeConfig::builder(SEED)
+        .epochs(4)
+        .epoch_ns(200_000_000)
+        .chip_trial(Nanos::new(1_000.0))
+        .build()
+        .expect("valid config");
+    ServeSim::new(mgr, cfg, streams)
+        .expect("valid serving setup")
+        .run_recorded(2, rec)
+}
+
+#[test]
+fn serving_is_identical_under_null_and_ring_recorders() {
+    let plain = serve_report(&mut NullRecorder);
+    let mut rec = RingRecorder::with_capacity(4096);
+    let ringed = serve_report(&mut rec);
+
+    assert_eq!(plain, ringed, "recording must not perturb the serve report");
+    assert!(plain.completed > 0, "the run must actually serve traffic");
+
+    // The recorder saw the traffic the report accounts for.
+    let accepted = rec.counter("serve.accepted").unwrap_or(0);
+    assert_eq!(accepted, ringed.completed);
+    let shed = rec.counter("serve.shed").unwrap_or(0);
+    assert_eq!(shed, ringed.shed);
+    let hist = rec
+        .histogram("serve.latency_ns")
+        .expect("latency histogram");
+    assert_eq!(hist.count(), ringed.completed);
+    // The clock followed the virtual serving timeline into the last epoch.
+    assert!(rec.now().nanos() > 600_000_000);
+}
+
+#[test]
+fn builders_and_errors_cover_the_redesigned_api() {
+    // Workload lookup failures carry the name.
+    let err = by_name("no-such-app").unwrap_err();
+    assert!(matches!(err, AtmError::UnknownWorkload { .. }));
+    assert!(err.to_string().contains("no-such-app"));
+
+    // Builder validation replaces panics with typed errors.
+    assert!(CharactConfig::builder().repeats(0).build().is_err());
+    assert!(ServeConfig::builder(SEED).epochs(0).build().is_err());
+
+    // serve_posture rejects an empty background set as a typed error.
+    let sys = System::new(ChipConfig::power7_plus(SEED));
+    let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    let err = mgr
+        .serve_posture(
+            by_name("squeezenet").unwrap(),
+            &[],
+            QosTarget::improvement_pct(10.0),
+        )
+        .unwrap_err();
+    assert!(matches!(err, AtmError::InvalidConfig { .. }));
+}
