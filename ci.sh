@@ -1,12 +1,15 @@
 #!/bin/sh
-# The repo's CI gate: formatting, release build (examples included),
-# tests, warning-free workspace-wide clippy over every target, and
-# warning-free rustdoc.
+# The repo's CI gate: formatting, release build (examples and benches
+# included), tests, a bench smoke pass, warning-free workspace-wide
+# clippy over every target, and warning-free rustdoc.
 set -eux
 
 cargo fmt --check
 cargo build --release
 cargo build --release --examples
+cargo build --release --benches
 cargo test -q
+# Smoke the perf harness end to end (tiny spans, no JSON update).
+cargo bench -p atm-bench --bench simperf -- --test
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -1,0 +1,198 @@
+//! Single-thread hot-path throughput regression harness.
+//!
+//! Measures simulated-nanoseconds-per-wall-second on the stress-deploy
+//! scenario and requests-per-wall-second on the serving scenario, then
+//! writes both into `BENCH_simperf.json` at the repo root.
+//!
+//! The file is stateful across runs: the `before` column is preserved
+//! from the first capture (taken on the tree *before* the tick-loop
+//! overhaul) and only `after`/`speedup` are refreshed, so the JSON always
+//! reads as a before/after trajectory for the hot-path work.
+//!
+//! ```text
+//! cargo bench -p atm-bench --bench simperf           # full measurement
+//! cargo bench -p atm-bench --bench simperf -- --test # CI smoke
+//! ```
+
+use std::time::Instant;
+
+use atm_bench::{record_metric, BENCH_SEED};
+use atm_chip::{ChipConfig, MarginMode, System};
+use atm_core::charact::CharactConfig;
+use atm_core::stress::stress_test_deploy;
+use atm_core::{AtmManager, Governor};
+use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+use atm_units::Nanos;
+use atm_workloads::by_name;
+
+fn charact_config(smoke: bool) -> CharactConfig {
+    if smoke {
+        CharactConfig::builder()
+            .trial(Nanos::new(2_000.0))
+            .repeats(1)
+            .build()
+            .expect("valid smoke campaign")
+    } else {
+        CharactConfig::quick()
+    }
+}
+
+/// Simulated span of one steady-state measurement iteration.
+const STEADY_NS: f64 = 100_000.0;
+/// Measurement repeats (best-of, to shed scheduler noise).
+const REPEATS: usize = 5;
+
+fn steady_sim_ns_per_wall_s(smoke: bool) -> f64 {
+    let mut sys = System::new(ChipConfig::power7_plus(BENCH_SEED));
+    let cfg = charact_config(smoke);
+    let t0 = Instant::now();
+    let _deploy = stress_test_deploy(&mut sys, 0, &cfg);
+    let deploy_s = t0.elapsed().as_secs_f64();
+    eprintln!("stress-deploy characterization: {deploy_s:.3} wall-s");
+
+    sys.assign_all(by_name("x264").expect("catalog"));
+    sys.set_mode_all(MarginMode::Atm);
+    let span = if smoke {
+        Nanos::new(5_000.0)
+    } else {
+        Nanos::new(STEADY_NS)
+    };
+    let repeats = if smoke { 1 } else { REPEATS };
+    let mut best = f64::MAX;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let report = sys.run(span);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(report.is_ok(), "steady run must stay failure-free");
+        best = best.min(wall);
+    }
+    span.get() / best
+}
+
+fn serving_req_per_wall_s(smoke: bool) -> f64 {
+    let sq = by_name("squeezenet").expect("catalog");
+    let x264 = by_name("x264").expect("catalog");
+    let lu = by_name("lu_cb").expect("catalog");
+    let streams = vec![
+        StreamSpec::critical(
+            sq,
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            250_000_000,
+        ),
+        StreamSpec::background(
+            x264,
+            ArrivalPattern::Bursty {
+                mean_gap: 20_000_000,
+                burst_gap: 5_000_000,
+                phase: 100_000_000,
+            },
+        ),
+        StreamSpec::background(
+            lu,
+            ArrivalPattern::Poisson {
+                mean_gap: 15_000_000,
+            },
+        ),
+    ];
+    let charact = charact_config(smoke);
+    let sys = System::new(ChipConfig::power7_plus(BENCH_SEED));
+    let mgr = AtmManager::deploy(sys, Governor::Default, &charact);
+    let cfg = if smoke {
+        ServeConfig::builder(BENCH_SEED)
+            .epochs(2)
+            .epoch_ns(50_000_000)
+            .build()
+            .expect("valid smoke config")
+    } else {
+        ServeConfig::quick(BENCH_SEED)
+    };
+    let sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
+    let t0 = Instant::now();
+    let report = sim.run(1);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(report.completed > 0, "the run must actually serve traffic");
+    #[allow(clippy::cast_precision_loss)]
+    let rate = report.completed as f64 / wall;
+    rate
+}
+
+/// One before/after row of `BENCH_simperf.json`.
+struct Row {
+    name: &'static str,
+    metric: &'static str,
+    after: f64,
+}
+
+/// Repo root = the parent of the enclosing `target/` directory.
+fn simperf_path() -> std::path::PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name() == Some(std::ffi::OsStr::new("target")) {
+                if let Some(root) = dir.parent() {
+                    return root.join("BENCH_simperf.json");
+                }
+            }
+        }
+    }
+    std::path::Path::new("BENCH_simperf.json").to_path_buf()
+}
+
+/// Pulls the preserved `before` value for `name` out of a prior capture.
+fn prior_before(existing: &str, name: &str) -> Option<f64> {
+    let anchor = format!("\"name\": \"{name}\"");
+    let tail = &existing[existing.find(&anchor)? + anchor.len()..];
+    let tail = &tail[tail.find("\"before\": ")? + "\"before\": ".len()..];
+    let end = tail.find([',', '\n', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn write_report(rows: &[Row]) {
+    let path = simperf_path();
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut out = String::from("{\n  \"benchmark\": \"simperf\",\n");
+    out.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    out.push_str("  \"unit\": \"higher is better\",\n  \"scenarios\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let before = prior_before(&existing, row.name).unwrap_or(row.after);
+        let speedup = row.after / before;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"metric\": \"{}\", \"before\": {:.1}, \"after\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            row.name,
+            row.metric,
+            before,
+            row.after,
+            speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+        record_metric(&format!("simperf.{}.speedup", row.name), speedup);
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, &out).expect("write BENCH_simperf.json");
+    eprintln!("wrote {}:\n{out}", path.display());
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let steady = steady_sim_ns_per_wall_s(smoke);
+    let serving = serving_req_per_wall_s(smoke);
+    eprintln!("stress_deploy steady: {steady:.0} sim-ns/wall-s");
+    eprintln!("serving: {serving:.0} req/wall-s");
+    if smoke {
+        eprintln!("--test smoke: skipping BENCH_simperf.json update");
+        return;
+    }
+    write_report(&[
+        Row {
+            name: "stress_deploy",
+            metric: "sim_ns_per_wall_s",
+            after: steady,
+        },
+        Row {
+            name: "serving",
+            metric: "req_per_wall_s",
+            after: serving,
+        },
+    ]);
+}

@@ -1,11 +1,11 @@
 //! One simulated core: silicon + CPMs + ATM loop + workload.
 
-use atm_cpm::{CoreCpmSet, CpmConfigError};
+use atm_cpm::{CoreCpmSet, CpmConfigError, CpmReading, CpmUnit, CPMS_PER_CORE, READOUT_QUANTUM};
 use atm_dpll::{AtmLoop, AtmLoopConfig};
 use atm_pdn::DroopProcess;
 use atm_silicon::CoreSilicon;
 use atm_telemetry::{CpmReading as TelemetryCpm, Recorder, TelemetryEvent};
-use atm_units::{Celsius, CoreId, MegaHz, Nanos, Volts};
+use atm_units::{Celsius, CoreId, MegaHz, Nanos, Picos, Volts};
 use atm_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +26,106 @@ const STARVED_ACTIVITY: f64 = 0.08;
 /// The delivered voltage a freshly built (or baseline-reset) core assumes
 /// before its first tick.
 const V_INIT: Volts = Volts::new_const(1.25);
+
+/// Half-width of a band certificate's voltage box, volts (±2.5 mV).
+const CERT_BOX_V: f64 = 2.5e-3;
+
+/// Half-width of a band certificate's temperature box, °C.
+const CERT_BOX_T: f64 = 0.5;
+
+/// Fast ticks a certificate must have served for its successor to be
+/// granted immediately when delivered conditions leave the box.
+const CERT_MIN_USES: u32 = 2;
+
+/// Slow uncovered ticks between certification attempts when the previous
+/// certificate was unproductive (conditions moving faster than the box),
+/// so a core that never settles does not pay the corner evaluations every
+/// tick.
+const CERT_BACKOFF: u32 = 8;
+
+/// Relative padding applied to certified delay bounds. The bracketing
+/// arguments behind a certificate are exact-arithmetic facts (convexity,
+/// monotone rounding), but the handful of floating-point operations that
+/// evaluate the bounds each contribute up to an ulp of slack. Padding the
+/// bound endpoints outward by 1 part in 10⁹ — six orders of magnitude
+/// above the accumulated ulp scale, five below the readout quantum —
+/// restores a rigorous bracket at a negligible cost in certificate
+/// tightness.
+const CERT_PAD: f64 = 1e-9;
+
+/// Certified bounds on the real-path delay over a `(voltage,
+/// temperature)` box, independent of the control loop's state.
+///
+/// The alpha-power delay law is separable: `d = d0 · F(v) · G(t)`, where
+/// `F` is the voltage term — convex and decreasing — and `G` is the
+/// affine temperature term (see
+/// [`AlphaPowerLaw`](atm_silicon::AlphaPowerLaw)). A certificate models
+/// `F` over `[v_lo, v_hi]` by its chord `s0 + s1·v`: convexity puts the
+/// true term at or below the chord everywhere in the interval, and the
+/// chord-minus-term deviation — concave, zero at both endpoints — is
+/// bounded by twice its midpoint value. `G` is bracketed by its values at
+/// `t_lo` and `t_hi`. Three `powf` evaluations at grant time therefore
+/// buy, for every tick inside the box, two-multiply bounds on the exact
+/// delay the tick would have computed, tight to the curvature of `F` over
+/// a few millivolts (≲ 0.01 ps) rather than to its full swing.
+///
+/// Because every downstream quantity of a tick is a monotone image of the
+/// delay under rounding-monotone operations, those bounds transfer:
+///
+/// - each CPM's occupied time `inserted + delay × mimic_ratio` is
+///   monotone in the delay, so the worst-CPM occupied time — and with it
+///   the worst margin `period − occupied` — is bracketed;
+/// - the failure bound `delay × (1 + coverage_gap)` is bracketed from
+///   above, so a period clearing it provably cannot trip the failure
+///   check (and therefore cannot consume failure randomness).
+///
+/// On a tick with no droop and no injected surge whose margin bounds fall
+/// in the *same* readout quantum `k`, the quantized worst reading is
+/// fully determined: `k` units, no violation. The loop step is a pure
+/// function of that pair, so feeding it a synthesized mid-band reading
+/// replays the bit-identical DPLL trajectory without evaluating the delay
+/// law. This covers not only `Hold` equilibrium but entire
+/// slew-up/slew-down recovery ramps between droops, which is where a
+/// stressed loop spends most of its ticks.
+/// One CPM unit fixed as the worst (envelope-dominant) unit for a whole
+/// certificate: its occupied time `inserted + delay × ratio` attains the
+/// five-unit maximum at both extremes of the certified delay range, and —
+/// occupied times being affine in the delay — therefore everywhere in
+/// between. `c_hi`/`c_lo` fold the padded `d0`, the temperature-term
+/// range and the unit's mimic ratio into single multipliers of the
+/// voltage-term bound, so the fast path bounds the worst occupied time in
+/// two fused multiply-adds instead of a five-unit loop.
+#[derive(Debug, Clone, Copy)]
+struct DominantCpm {
+    inserted: f64,
+    c_hi: f64,
+    c_lo: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BandCert {
+    v_lo: f64,
+    v_hi: f64,
+    t_lo: f64,
+    t_hi: f64,
+    /// Chord (secant) model of the voltage term over `[v_lo, v_hi]`:
+    /// `F(v) ∈ [s0 + s1·v − dev, s0 + s1·v]`.
+    s0: f64,
+    s1: f64,
+    dev: f64,
+    /// A period at or above `fail_mul × (s0 + s1·v)` provably cannot
+    /// fail: folds the padded `d0`, the upper temperature term and
+    /// `(1 + coverage_gap)` over the voltage-term chord.
+    fail_mul: f64,
+    /// The envelope-dominant CPM unit (see [`DominantCpm`]).
+    dom: DominantCpm,
+}
+
+impl BandCert {
+    fn covers(&self, v: Volts, t: Celsius) -> bool {
+        v.get() >= self.v_lo && v.get() <= self.v_hi && t.get() >= self.t_lo && t.get() <= self.t_hi
+    }
+}
 
 /// One core of the simulated system.
 ///
@@ -50,6 +150,31 @@ pub struct Core {
     droop: DroopProcess,
     rng: StdRng,
     last_voltage: Volts,
+    /// Memoized per-unit CPM inserted delays (pure function of the chain
+    /// and the programmed reduction; rebuilt by [`Core::set_reduction`]).
+    inserted_cache: [Picos; CPMS_PER_CORE],
+    /// Whether the stride fast path may engage on this core.
+    stride_enabled: bool,
+    /// Active band certificate, if one has been granted since the last
+    /// configuration change.
+    cert: Option<BandCert>,
+    /// Fast ticks served by the active certificate (productivity signal
+    /// for the recertification policy).
+    cert_uses: u32,
+    /// Slow quiescent ticks outside certificate coverage since the last
+    /// certification (back-off counter).
+    cert_wait: u32,
+    /// Lifetime count of ticks served by the stride fast path
+    /// (diagnostic; not part of any report).
+    fast_ticks: u64,
+    /// Bumped by every configuration mutator; lets the processor detect
+    /// schedule changes with one integer read per core instead of
+    /// re-deriving its per-tick invariants from workload state.
+    config_epoch: u64,
+    /// Memoized [`Core::activity`] — a pure function of mode, workload,
+    /// SMT and throttle, all of which funnel through
+    /// [`Core::invalidate_stride`], where the cache is refreshed.
+    activity_cache: f64,
     // Telemetry accumulators.
     busy_time: Nanos,
     freq_integral_mhz_ns: f64,
@@ -76,11 +201,20 @@ impl Core {
         let workload = Workload::idle();
         let droop = DroopProcess::new(*workload.didt(), droop_seed);
         let atm = AtmLoop::new(loop_config, static_freq);
-        Core {
+        let inserted_cache = cpms.inserted_delays(&silicon);
+        let mut core = Core {
             id,
             silicon,
             cpms,
             atm,
+            inserted_cache,
+            stride_enabled: true,
+            cert: None,
+            cert_uses: 0,
+            cert_wait: 0,
+            fast_ticks: 0,
+            config_epoch: 0,
+            activity_cache: 0.0,
             mode: MarginMode::Static,
             static_freq,
             workload,
@@ -95,7 +229,9 @@ impl Core {
             min_freq: MegaHz::new(f64::MAX / 1e6),
             max_freq: MegaHz::ZERO,
             violations_at_reset: 0,
-        }
+        };
+        core.activity_cache = core.compute_activity();
+        core
     }
 
     /// This core's identity.
@@ -129,6 +265,7 @@ impl Core {
         if mode == MarginMode::Atm {
             self.atm.relock(self.static_freq);
         }
+        self.invalidate_stride();
     }
 
     /// The frequency the core runs at in [`MarginMode::Static`].
@@ -144,6 +281,7 @@ impl Core {
         if self.mode == MarginMode::Atm {
             self.atm.relock(f);
         }
+        self.invalidate_stride();
     }
 
     /// The workload currently scheduled on this core.
@@ -172,6 +310,7 @@ impl Core {
         self.droop.set_params(didt);
         self.smt_threads = threads;
         self.workload = workload;
+        self.invalidate_stride();
     }
 
     /// The number of SMT threads currently scheduled.
@@ -200,6 +339,7 @@ impl Core {
             assert!(p >= 2, "throttle period must span at least two ticks");
         }
         self.issue_throttle = period_ticks;
+        self.invalidate_stride();
     }
 
     /// The issue-throttle period, if throttling is enabled.
@@ -231,7 +371,10 @@ impl Core {
     /// Returns [`CpmConfigError::ReductionTooLarge`] if `steps` exceeds
     /// the core's smallest CPM preset.
     pub fn set_reduction(&mut self, steps: usize) -> Result<(), CpmConfigError> {
-        self.cpms.set_reduction(steps)
+        self.cpms.set_reduction(steps)?;
+        self.invalidate_stride();
+        self.inserted_cache = self.cpms.inserted_delays(&self.silicon);
+        Ok(())
     }
 
     /// The current CPM delay reduction in steps.
@@ -253,9 +396,14 @@ impl Core {
 
     /// Switching activity presented to the power model (SMT-scaled,
     /// saturating at the power model's 1.5 ceiling; averaged over the
-    /// throttle duty cycle when issue throttling is active).
+    /// throttle duty cycle when issue throttling is active). Memoized —
+    /// the value only changes through configuration mutators.
     #[must_use]
     pub fn activity(&self) -> f64 {
+        self.activity_cache
+    }
+
+    fn compute_activity(&self) -> f64 {
         if self.mode == MarginMode::Gated {
             return 0.0;
         }
@@ -284,6 +432,7 @@ impl Core {
     /// so short trials measure steady-state behaviour instead of the
     /// initial lock transient.
     pub fn warm_start(&mut self, v: Volts, t: Celsius) {
+        self.invalidate_stride();
         self.last_voltage = v;
         if self.mode == MarginMode::Atm {
             let period = self.cpms.equilibrium_period(
@@ -302,6 +451,7 @@ impl Core {
     /// characterization engine: a trial preceded by a stream reseed is
     /// independent of whatever ran on the core before.
     pub fn reseed_streams(&mut self, droop_seed: u64, rng_seed: u64) {
+        self.invalidate_stride();
         self.droop.reseed(droop_seed);
         self.rng = StdRng::seed_from_u64(rng_seed);
     }
@@ -312,8 +462,134 @@ impl Core {
     /// frequency, throttle) is left untouched; random streams are reseeded
     /// separately via [`Core::reseed_streams`].
     pub fn reset_baseline(&mut self) {
+        self.invalidate_stride();
         self.last_voltage = V_INIT;
         self.reset_stats();
+    }
+
+    /// Enables or disables the stride fast path on this core. Disabling it
+    /// forces every tick through the full evaluation path; results are
+    /// byte-identical either way (the certificate only licenses skipping
+    /// work whose outcome is already proven), so this exists for A/B
+    /// verification and debugging, not correctness.
+    pub fn set_stride(&mut self, enabled: bool) {
+        self.stride_enabled = enabled;
+        if !enabled {
+            self.invalidate_stride();
+        }
+    }
+
+    /// Whether the stride fast path may engage on this core.
+    #[must_use]
+    pub fn stride_enabled(&self) -> bool {
+        self.stride_enabled
+    }
+
+    /// Lifetime count of ticks this core served via the stride fast path.
+    /// Diagnostic for benchmarks and tests; never part of a report, and
+    /// always zero when stride is disabled or the run is recorded.
+    #[must_use]
+    pub fn stride_fast_ticks(&self) -> u64 {
+        self.fast_ticks
+    }
+
+    /// Drops any band certificate, resets the certification counters,
+    /// bumps the configuration epoch and refreshes the memoized activity.
+    /// Called by every mutator that could change what a tick computes
+    /// (mode, frequency, workload, throttle, CPM reduction, seeds).
+    fn invalidate_stride(&mut self) {
+        self.cert = None;
+        self.cert_uses = 0;
+        self.cert_wait = 0;
+        self.config_epoch += 1;
+        self.activity_cache = self.compute_activity();
+    }
+
+    /// Monotone counter of configuration changes, for processor-level
+    /// invariant caching.
+    pub(crate) fn config_epoch(&self) -> u64 {
+        self.config_epoch
+    }
+
+    /// Certifies delay-law bounds over the box
+    /// `(v ± CERT_BOX_V, t ± CERT_BOX_T)`: a chord model of the convex
+    /// voltage term plus the endpoint range of the affine temperature
+    /// term (see [`BandCert`]). Returns `None` only when the box would
+    /// dip to the droop floor (where `floor_voltage` stops being the
+    /// identity, breaking the monotone bracket).
+    fn certify_band(&self, v: Volts, t: Celsius) -> Option<BandCert> {
+        let (v_lo, v_hi) = (v.get() - CERT_BOX_V, v.get() + CERT_BOX_V);
+        let (t_lo, t_hi) = (t.get() - CERT_BOX_T, t.get() + CERT_BOX_T);
+        if v_lo <= V_FLOOR.get() {
+            return None;
+        }
+        let path = self.silicon.real_path();
+        // Chord through the voltage term's endpoints. Convexity puts the
+        // term at or below the chord; the deviation below is concave and
+        // vanishes at both endpoints, so twice its midpoint value bounds
+        // it everywhere in the interval.
+        let f_lo = path.voltage_term(Volts::new(v_lo));
+        let f_hi = path.voltage_term(Volts::new(v_hi));
+        let v_mid = 0.5 * (v_lo + v_hi);
+        let f_mid = path.voltage_term(Volts::new(v_mid));
+        let s1 = (f_hi - f_lo) / (v_hi - v_lo);
+        let s0 = f_lo - s1 * v_lo;
+        let dev = 2.0 * (s0 + s1 * v_mid - f_mid).max(0.0) + f_mid * CERT_PAD;
+        // The affine temperature term is spanned by its endpoint values.
+        let g_a = path.temp_term(Celsius::new(t_lo));
+        let g_b = path.temp_term(Celsius::new(t_hi));
+        let g_lo = g_a.min(g_b) * (1.0 - CERT_PAD);
+        let g_hi = g_a.max(g_b) * (1.0 + CERT_PAD);
+        if g_lo <= 0.0 {
+            return None;
+        }
+        let d0 = path.d0().get();
+        let d0_lo = d0 * (1.0 - CERT_PAD);
+        let d0_hi = d0 * (1.0 + CERT_PAD);
+        let gap = self.silicon.coverage_gap(self.workload.path_stress());
+        // Fix the worst CPM for the whole box: occupied times are affine
+        // in the delay, so a unit that attains the five-unit maximum at
+        // both extremes of the certified delay range attains it at every
+        // delay in between. (An ulp-level mistie at an extreme picks a
+        // unit within an ulp of the true maximum, which the padding
+        // absorbs.) A box whose delay range has no single dominant unit
+        // is not certified; the next attempt, at different conditions,
+        // usually is.
+        let base_min = d0_lo * ((f_hi - dev) * g_lo);
+        let base_max = d0_hi * (f_lo * g_hi);
+        let argmax = |base: f64| -> usize {
+            let mut best = 0;
+            let mut best_occ = f64::NEG_INFINITY;
+            for unit in CpmUnit::ALL {
+                let occ = self.inserted_cache[unit.index()].get()
+                    + base * self.silicon.mimic_ratio(unit.index());
+                if occ > best_occ {
+                    best_occ = occ;
+                    best = unit.index();
+                }
+            }
+            best
+        };
+        let dom = argmax(base_min);
+        if dom != argmax(base_max) {
+            return None;
+        }
+        let ratio = self.silicon.mimic_ratio(dom);
+        Some(BandCert {
+            v_lo,
+            v_hi,
+            t_lo,
+            t_hi,
+            s0,
+            s1,
+            dev,
+            fail_mul: d0_hi * g_hi * ((1.0 + gap) * (1.0 + CERT_PAD)),
+            dom: DominantCpm {
+                inserted: self.inserted_cache[dom].get(),
+                c_hi: d0_hi * g_hi * ratio,
+                c_lo: d0_lo * g_lo * ratio,
+            },
+        })
     }
 
     /// Clears telemetry accumulators.
@@ -374,6 +650,45 @@ impl Core {
         }
 
         let event = self.droop.sample_tick(dt);
+        let quiescent_inputs = event.is_none() && injected.is_none();
+
+        // Stride fast path: with no droop and no injected surge this tick,
+        // a live certificate covering the delivered conditions bounds the
+        // worst margin without evaluating the delay law. If the period
+        // clears the certified failure floor (no failure, no RNG draw) and
+        // both margin bounds land in the same readout quantum `k`, the
+        // measurement's outcome is fully determined: `k` units, no
+        // violation. The loop step only consumes that pair, so driving it
+        // with a synthesized mid-band reading replays the bit-identical
+        // DPLL trajectory. Ticks whose bounds straddle a quantum edge fall
+        // through to the exact path; recorded runs always take the full
+        // path so CPM/DPLL events stream out.
+        if quiescent_inputs && self.stride_enabled && !rec.enabled() {
+            if let Some(cert) = &self.cert {
+                if cert.covers(v_dc, t) {
+                    let s = cert.s0 + cert.s1 * v_dc.get();
+                    let period = freq.period().get();
+                    if period >= cert.fail_mul * s {
+                        let occ_hi = cert.dom.inserted + cert.dom.c_hi * s;
+                        let occ_lo = cert.dom.inserted + cert.dom.c_lo * (s - cert.dev);
+                        let m_lo = period - occ_hi;
+                        if m_lo > 0.0 {
+                            let quantum = READOUT_QUANTUM.get();
+                            let k = (m_lo / quantum).floor();
+                            if k == ((period - occ_lo) / quantum).floor() {
+                                self.cert_uses = self.cert_uses.saturating_add(1);
+                                self.fast_ticks += 1;
+                                let margin = Picos::new((k + 0.5) * quantum);
+                                let reading = CpmReading::quantize(CpmUnit::FixedPoint, margin);
+                                self.atm.step_recorded(reading, self.id, rec);
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         let (mut seen_mv, mut unseen_mv) = match event {
             Some(e) => {
                 let m = e.magnitude.get() * droop_amplify;
@@ -389,6 +704,14 @@ impl Core {
 
         let period = freq.period();
 
+        // The loop measures with the *seen* droop portion applied. The
+        // delay at the measurement point is computed first so the failure
+        // check below can reuse it when both see the same voltage (the
+        // common no-droop tick) — `real_path_delay` is pure, so evaluation
+        // order cannot change any bit of either result.
+        let v_meas = floor_voltage(v_dc, seen_mv);
+        let base_delay = self.silicon.real_path_delay(v_meas, t);
+
         // Failure check first: the violating cycle happens at the clock
         // the droop interrupted, before the loop can respond.
         let mut failure = None;
@@ -398,18 +721,23 @@ impl Core {
             // window (modeled in the measurement below).
             let v_check = floor_voltage(v_dc, unseen_mv);
             let gap = self.silicon.coverage_gap(self.workload.path_stress());
-            let d_real = self.silicon.real_path_delay(v_check, t) * (1.0 + gap);
+            let d_check = if v_check == v_meas {
+                base_delay
+            } else {
+                self.silicon.real_path_delay(v_check, t)
+            };
+            let d_real = d_check * (1.0 + gap);
             if period < d_real {
                 failure = Some(FailureKind::sample(self.rng.gen_range(0.0..1.0)));
             }
         }
 
-        // The loop measures with the *seen* droop portion applied.
-        let v_meas = floor_voltage(v_dc, seen_mv);
-        let base_delay = self.silicon.real_path_delay(v_meas, t);
-        let reading = self
-            .cpms
-            .measure_from_base(&self.silicon, period, base_delay);
+        let reading = self.cpms.measure_from_inserted(
+            &self.silicon,
+            period,
+            base_delay,
+            &self.inserted_cache,
+        );
         if rec.enabled() {
             rec.record(TelemetryEvent::Cpm(TelemetryCpm {
                 t: rec.now(),
@@ -419,6 +747,27 @@ impl Core {
             }));
         }
         self.atm.step_recorded(reading, self.id, rec);
+
+        // Certificate maintenance (unrecorded runs only — recorded runs
+        // must stream every tick's events, so striding never pays there).
+        // The certificate is pure physics over its (v, t) box — droops,
+        // surges, failures and loop actions do not invalidate it — so it
+        // is kept across non-quiescent ticks and renewed only when
+        // delivered conditions are outside the box: immediately if its
+        // predecessor earned its cost in fast ticks, on a back-off cadence
+        // if conditions are moving too fast for the box to stick.
+        if self.stride_enabled && !rec.enabled() && quiescent_inputs && failure.is_none() {
+            let covered = self.cert.as_ref().is_some_and(|c| c.covers(v_dc, t));
+            if !covered {
+                self.cert_wait = self.cert_wait.saturating_add(1);
+                let productive = self.cert.is_some() && self.cert_uses >= CERT_MIN_USES;
+                if productive || self.cert_wait >= CERT_BACKOFF {
+                    self.cert = self.certify_band(v_dc, t);
+                    self.cert_uses = 0;
+                    self.cert_wait = 0;
+                }
+            }
+        }
 
         failure
     }

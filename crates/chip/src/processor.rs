@@ -3,7 +3,7 @@
 use atm_cpm::CoreCpmSet;
 use atm_pdn::{PdnModel, PowerModel, ThermalModel};
 use atm_silicon::SiliconFactory;
-use atm_telemetry::{NullRecorder, Recorder};
+use atm_telemetry::Recorder;
 use atm_units::{Celsius, MegaHz, Nanos, ProcId, Watts, CORES_PER_PROC};
 use atm_workloads::WorkloadKind;
 
@@ -37,6 +37,16 @@ pub struct Processor {
     max_temp: Celsius,
     last_power: Watts,
     tick_index: u64,
+    /// Memoized thermal relaxation coefficient, keyed on the exact bits of
+    /// the tick length it was computed for (the tick loop's `dt` never
+    /// changes mid-run, so this hoists one `exp` per tick).
+    alpha_cache: Option<(u64, f64)>,
+    /// Memoized schedule invariants `(amplify, total_swing, min throttle
+    /// period)`, keyed on the sum of the cores' configuration epochs —
+    /// strictly increasing under any mutation, so a match proves the
+    /// schedule is unchanged and the scan over workload state can be
+    /// skipped.
+    invariants_cache: Option<(u64, f64, f64, Option<u16>)>,
 }
 
 impl Processor {
@@ -86,6 +96,8 @@ impl Processor {
             max_temp: config.thermal.temperature(),
             last_power: Watts::ZERO,
             tick_index: 0,
+            alpha_cache: None,
+            invariants_cache: None,
         }
     }
 
@@ -142,16 +154,20 @@ impl Processor {
     }
 
     fn core_power(&self, core: &Core, t: Celsius) -> Watts {
-        let f = if core.frequency() == MegaHz::ZERO {
-            MegaHz::ZERO
-        } else {
-            core.frequency()
-        };
+        self.core_power_with_term(core, self.power.leakage_temp_term(t))
+    }
+
+    /// [`Processor::core_power`] with the leakage temperature term already
+    /// evaluated — all eight cores share one die temperature, so the tick
+    /// loop computes the term once per socket.
+    fn core_power_with_term(&self, core: &Core, temp_term: f64) -> Watts {
+        let f = core.frequency();
         let p = if f == MegaHz::ZERO {
-            self.power.core_leakage(core.last_voltage(), t)
+            self.power
+                .core_leakage_with_term(core.last_voltage(), temp_term)
         } else {
             self.power
-                .core_power(f, core.last_voltage(), t, core.activity())
+                .core_power_with_term(f, core.last_voltage(), temp_term, core.activity())
         };
         if core.is_gated() {
             p * GATED_LEAKAGE_FRACTION
@@ -160,71 +176,85 @@ impl Processor {
         }
     }
 
-    /// The chip-wide di/dt surge generated by synchronized issue
-    /// throttling, injected into every core at the throttle phase edges
-    /// (the construction of the paper's voltage virus: simultaneous issue
-    /// release across cores is the worst-case aligned current step).
+    /// The tick-loop invariants that depend only on the programmed
+    /// schedule — droop amplification and the issue-throttle swing (the
+    /// construction of the paper's voltage virus: simultaneous issue
+    /// release across cores is the worst-case aligned current step) —
+    /// from a single pass over the cores. Returns `(amplify, total
+    /// throttle swing, smallest active throttle period)`.
     ///
-    /// Returns `(seen mV, unseen mV)` for this tick, or `None` off-edge.
-    fn throttle_surge(&self) -> Option<(f64, f64)> {
-        // All throttled cores share the socket clock, so their phases
-        // align; the edge fires when the shared tick counter crosses a
-        // half-period of the smallest active throttle period.
+    /// Amplification: synchronized stressmarks running on at least half
+    /// the socket amplify each other's transients (the largest
+    /// sync-amplification among the scheduled workloads, floored at 1).
+    ///
+    /// Swing and period feed [`Processor::throttle_surge_at`], which
+    /// resolves the schedule-independent part — whether the current tick
+    /// sits on a phase edge.
+    fn schedule_invariants(&self) -> (f64, f64, Option<u16>) {
+        let mut sync_cores = 0usize;
+        let mut max_sync = 1.0f64;
         let mut total_swing = 0.0;
         let mut period: Option<u16> = None;
         for c in &self.cores {
+            let w = c.workload();
+            if w.kind() == WorkloadKind::Stressmark && w.sync_amplification() > 1.0 {
+                sync_cores += 1;
+            }
+            max_sync = f64::max(max_sync, w.sync_amplification());
             if let Some(p) = c.issue_throttle() {
                 total_swing += c.throttle_swing();
                 period = Some(period.map_or(p, |q| q.min(p)));
             }
         }
-        let period = period?;
-        let half = u64::from(period / 2).max(1);
-        if !self.tick_index.is_multiple_of(half) || total_swing <= 0.0 {
+        let amplify = if sync_cores >= CORES_PER_PROC / 2 {
+            max_sync
+        } else {
+            1.0
+        };
+        (amplify, total_swing, period)
+    }
+
+    /// [`Processor::schedule_invariants`], memoized on the cores'
+    /// configuration-epoch sum.
+    fn cached_invariants(&mut self) -> (f64, f64, Option<u16>) {
+        let epoch: u64 = self.cores.iter().map(Core::config_epoch).sum();
+        match self.invariants_cache {
+            Some((key, amplify, swing, period)) if key == epoch => (amplify, swing, period),
+            _ => {
+                let (amplify, swing, period) = self.schedule_invariants();
+                self.invariants_cache = Some((epoch, amplify, swing, period));
+                (amplify, swing, period)
+            }
+        }
+    }
+
+    /// The chip-wide di/dt surge of synchronized issue throttling, if this
+    /// tick sits on a phase edge. All throttled cores share the socket
+    /// clock, so their phases align; the edge fires when the shared tick
+    /// counter crosses a half-period of the smallest active throttle
+    /// period. Each unit of simultaneously released activity steps the
+    /// shared rail by ~5.5 mV; three quarters of the edge outruns the
+    /// loop. Returns `(seen mV, unseen mV)`, or `None` off-edge.
+    fn throttle_surge_at(
+        tick_index: u64,
+        total_swing: f64,
+        period: Option<u16>,
+    ) -> Option<(f64, f64)> {
+        let p = period?;
+        let half = u64::from(p / 2).max(1);
+        if !tick_index.is_multiple_of(half) || total_swing <= 0.0 {
             return None;
         }
-        // Each unit of simultaneously released activity steps the shared
-        // rail by ~5.5 mV; three quarters of the edge outruns the loop.
         let magnitude = THROTTLE_SURGE_MV_PER_ACTIVITY * total_swing;
         let unseen = magnitude * THROTTLE_SURGE_SHARPNESS;
         Some((magnitude - unseen, unseen))
     }
 
-    /// Droop amplification in effect: synchronized stressmarks running on
-    /// at least half the socket amplify each other's transients.
-    fn droop_amplification(&self) -> f64 {
-        let sync_cores = self
-            .cores
-            .iter()
-            .filter(|c| {
-                c.workload().kind() == WorkloadKind::Stressmark
-                    && c.workload().sync_amplification() > 1.0
-            })
-            .count();
-        if sync_cores >= CORES_PER_PROC / 2 {
-            self.cores
-                .iter()
-                .map(|c| c.workload().sync_amplification())
-                .fold(1.0, f64::max)
-        } else {
-            1.0
-        }
-    }
-
     /// Advances the socket one tick; returns the first core failure, if
-    /// any.
-    pub(crate) fn tick(
-        &mut self,
-        dt: Nanos,
-        check_failures: bool,
-        now: Nanos,
-    ) -> Option<FailureEvent> {
-        self.tick_recorded(dt, check_failures, now, &mut NullRecorder)
-    }
-
-    /// [`Processor::tick`] with telemetry: per-core CPM/DPLL records are
-    /// taken through `rec` (see [`Core::tick_recorded`]). Physics are
-    /// identical to [`Processor::tick`].
+    /// any. Telemetry rides along as the generic `rec` (see
+    /// [`Core::tick_recorded`]); pass [`atm_telemetry::NullRecorder`] for
+    /// the unrecorded path — the simulated physics are identical either
+    /// way.
     pub(crate) fn tick_recorded<R: Recorder>(
         &mut self,
         dt: Nanos,
@@ -233,19 +263,38 @@ impl Processor {
         rec: &mut R,
     ) -> Option<FailureEvent> {
         let t = self.thermal.temperature();
-        let chip_power = self.instantaneous_power();
-        self.thermal.step(chip_power, dt);
+        // One pass computes every core's power and the chip total the
+        // instantaneous-power sum would produce (same addends, same
+        // order), sharing one leakage temperature term across the die.
+        let temp_term = self.power.leakage_temp_term(t);
+        let mut core_powers = [Watts::ZERO; CORES_PER_PROC];
+        let mut chip_power = self.power.uncore();
+        for (p, c) in core_powers.iter_mut().zip(&self.cores) {
+            *p = self.core_power_with_term(c, temp_term);
+            chip_power += *p;
+        }
+        let alpha = match self.alpha_cache {
+            Some((key, a)) if key == dt.get().to_bits() => a,
+            _ => {
+                let a = self.thermal.alpha(dt);
+                self.alpha_cache = Some((dt.get().to_bits(), a));
+                a
+            }
+        };
+        self.thermal.step_with_alpha(chip_power, alpha);
         self.last_power = chip_power;
         self.power_integral_w_ns += chip_power.get() * dt.get();
         self.time += dt;
         self.max_temp = self.max_temp.max(self.thermal.temperature());
 
-        let amplify = self.droop_amplification();
-        let surge = self.throttle_surge();
-        let core_powers: Vec<Watts> = self.cores.iter().map(|c| self.core_power(c, t)).collect();
+        let (amplify, total_swing, throttle_period) = self.cached_invariants();
+        let surge = Self::throttle_surge_at(self.tick_index, total_swing, throttle_period);
+        let shared_drop = self.pdn.shared_term(chip_power);
         let mut first_failure: Option<(usize, FailureKind)> = None;
         for (i, core) in self.cores.iter_mut().enumerate() {
-            let v_dc = self.pdn.core_voltage(chip_power, core_powers[i]);
+            let v_dc = self
+                .pdn
+                .core_voltage_from_shared(shared_drop, core_powers[i]);
             core.record_power(core_powers[i], dt);
             if let Some(kind) = core.tick_recorded(v_dc, t, dt, amplify, surge, check_failures, rec)
             {
@@ -269,8 +318,11 @@ impl Processor {
             let chip = self.instantaneous_power();
             self.thermal.settle(chip);
             let t = self.thermal.temperature();
-            let core_powers: Vec<Watts> =
-                self.cores.iter().map(|c| self.core_power(c, t)).collect();
+            let temp_term = self.power.leakage_temp_term(t);
+            let mut core_powers = [Watts::ZERO; CORES_PER_PROC];
+            for (p, c) in core_powers.iter_mut().zip(&self.cores) {
+                *p = self.core_power_with_term(c, temp_term);
+            }
             for (core, &p_core) in self.cores.iter_mut().zip(&core_powers) {
                 let v = self.pdn.core_voltage(chip, p_core);
                 core.warm_start(v, t);
@@ -296,6 +348,8 @@ impl Processor {
         self.max_temp = config.thermal.temperature();
         self.last_power = Watts::ZERO;
         self.tick_index = 0;
+        self.alpha_cache = None;
+        self.invariants_cache = None;
         for core in &mut self.cores {
             core.reset_baseline();
         }
@@ -330,6 +384,7 @@ impl Processor {
 mod tests {
     use super::*;
     use crate::mode::MarginMode;
+    use atm_telemetry::NullRecorder;
     use atm_units::ProcId;
     use atm_workloads::{by_name, voltage_virus};
 
@@ -365,7 +420,7 @@ mod tests {
         p.warm_start();
         // Let thermal and power interact for a few ms.
         for _ in 0..200 {
-            let _ = p.tick(Nanos::new(50_000.0), false, Nanos::ZERO);
+            let _ = p.tick_recorded(Nanos::new(50_000.0), false, Nanos::ZERO, &mut NullRecorder);
         }
         let total = p.instantaneous_power();
         assert!(
@@ -378,12 +433,12 @@ mod tests {
     #[test]
     fn droop_amplification_requires_sync_majority() {
         let mut p = proc();
-        assert!((p.droop_amplification() - 1.0).abs() < 1e-12);
+        assert!((p.schedule_invariants().0 - 1.0).abs() < 1e-12);
         let virus = voltage_virus();
         for c in p.cores_mut().iter_mut().take(4) {
             c.assign(virus.clone());
         }
-        assert!(p.droop_amplification() > 1.1);
+        assert!(p.schedule_invariants().0 > 1.1);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use atm_workloads::Workload;
 
 use crate::config::ChipConfig;
 use crate::core::Core;
+use crate::failure::FailureEvent;
 use crate::mode::MarginMode;
 use crate::processor::Processor;
 use crate::report::SystemReport;
@@ -44,6 +45,93 @@ pub struct System {
     /// Chip events accumulated by timed runs until a subscriber drains
     /// them.
     events: Vec<crate::ChipEvent>,
+    /// Whether cores may take the stride fast path (see
+    /// [`System::set_stride`]).
+    stride: bool,
+}
+
+/// The per-run state of the tick loop, shared by every flavour of timed
+/// run ([`System::run_recorded`], [`System::run_traced`],
+/// [`System::run_chunked`]): the loop's constants, the monotonic clock,
+/// and the counters the run reports at the end. One engine is started per
+/// warm-started run and advanced to one or more time targets.
+struct RunEngine {
+    dt: Nanos,
+    check: bool,
+    detectors: Option<crate::events::DroopDetectorBank>,
+    now: Nanos,
+    ticks: u64,
+    droop_alarms: u64,
+    failure: Option<FailureEvent>,
+}
+
+impl RunEngine {
+    /// Ticks the system until the clock reaches `target` (or a failure
+    /// aborts the run). `observe` is called once per tick after the
+    /// physics and droop detectors, before the clock advances — the
+    /// traced run's sampling hook.
+    fn advance_to<R: Recorder>(
+        &mut self,
+        sys: &mut System,
+        target: Nanos,
+        rec: &mut R,
+        observe: &mut impl FnMut(&System, u64, Nanos),
+    ) {
+        if self.failure.is_some() {
+            return; // A prior chunk already aborted the run.
+        }
+        while self.now.get() < target.get() {
+            let mut new_failure = None;
+            for p in &mut sys.procs {
+                if let Some(f) = p.tick_recorded(self.dt, self.check, self.now, rec) {
+                    new_failure.get_or_insert(f);
+                }
+            }
+            if let Some(f) = new_failure {
+                if self.failure.is_none() {
+                    sys.events.push(crate::ChipEvent::Failure(f));
+                }
+                self.failure.get_or_insert(f);
+            }
+            if let Some(bank) = self.detectors.as_mut() {
+                let alarms = bank.observe(&sys.procs, self.now);
+                if rec.enabled() {
+                    for alarm in &alarms {
+                        if let crate::ChipEvent::Droop(a) = alarm {
+                            self.droop_alarms += 1;
+                            rec.record(TelemetryEvent::Droop(DroopEvent {
+                                t: rec.now(),
+                                core: a.core,
+                                dip: a.dip,
+                            }));
+                        }
+                    }
+                } else {
+                    self.droop_alarms += alarms.len() as u64;
+                }
+                sys.events.extend(alarms);
+            }
+            observe(sys, self.ticks, self.now);
+            self.now += self.dt;
+            self.ticks += 1;
+            rec.advance(self.dt.get().round() as u64);
+            if self.failure.is_some() {
+                break;
+            }
+        }
+    }
+
+    /// Bumps the run's summary counters on `rec` (once per run, however
+    /// many chunks it advanced through).
+    fn finish<R: Recorder>(&self, rec: &mut R) {
+        rec.incr("chip.ticks", self.ticks);
+        if self.droop_alarms > 0 {
+            rec.incr("chip.droop_alarms", self.droop_alarms);
+        }
+        if self.failure.is_some() {
+            rec.incr("chip.failures", 1);
+        }
+    }
 }
 
 impl System {
@@ -66,6 +154,20 @@ impl System {
             procs,
             droop_alarm: None,
             events: Vec::new(),
+            stride: true,
+        }
+    }
+
+    /// Enables or disables the stride fast path on every core. When a
+    /// core's ATM loop is provably pinned at `Hold` (see the chip crate's
+    /// hold-certificate machinery), the fast path skips the per-tick delay
+    /// evaluations and loop step whose outcome the certificate already
+    /// proves; reports are byte-identical either way, so this knob exists
+    /// for A/B verification, not correctness. On by default.
+    pub fn set_stride(&mut self, enabled: bool) {
+        self.stride = enabled;
+        for id in CoreId::all() {
+            self.core_mut(id).set_stride(enabled);
         }
     }
 
@@ -225,7 +327,40 @@ impl System {
     /// identical, no matter what the parent has simulated.
     #[must_use]
     pub fn shard(&self, focus: CoreId) -> crate::SystemShard {
-        crate::SystemShard::new(System::new(self.config.clone()), focus)
+        let mut sys = System::new(self.config.clone());
+        sys.set_stride(self.stride);
+        crate::SystemShard::new(sys, focus)
+    }
+
+    /// Warm-starts the loops, resets telemetry, and builds the run
+    /// engine: the shared preamble of every timed run.
+    fn start_engine(&mut self) -> RunEngine {
+        for p in &mut self.procs {
+            p.warm_start();
+            p.reset_stats();
+        }
+        RunEngine {
+            dt: self.config.tick,
+            check: self.config.failure_checking,
+            detectors: self
+                .droop_alarm
+                .map(|th| crate::events::DroopDetectorBank::new(th, &self.procs)),
+            now: Nanos::ZERO,
+            ticks: 0,
+            droop_alarms: 0,
+            failure: None,
+        }
+    }
+
+    /// Snapshots the run's telemetry into a report (the shared epilogue
+    /// of every timed run and of [`System::settle`]).
+    fn assemble_report(&self, duration: Nanos, failure: Option<FailureEvent>) -> SystemReport {
+        SystemReport {
+            duration,
+            cores: CoreId::all().map(|id| self.core(id).report()).collect(),
+            procs: self.procs.iter().map(Processor::report).collect(),
+            failure,
+        }
     }
 
     /// Runs the system for `duration`, returning telemetry. The run aborts
@@ -255,70 +390,51 @@ impl System {
     /// Panics if `duration` is not positive.
     pub fn run_recorded<R: Recorder>(&mut self, duration: Nanos, rec: &mut R) -> SystemReport {
         assert!(duration.get() > 0.0, "duration must be positive");
-        for p in &mut self.procs {
-            p.warm_start();
-            p.reset_stats();
+        let mut engine = self.start_engine();
+        engine.advance_to(self, duration, rec, &mut |_, _, _| {});
+        engine.finish(rec);
+        self.assemble_report(engine.now, engine.failure)
+    }
+
+    /// Runs the system for the sum of `chunks` as **one** trial — a single
+    /// warm start, one continuous tick sequence, one report — advancing
+    /// the clock through each chunk boundary in turn. Because the tick
+    /// loop compares the clock against each accumulated target exactly as
+    /// [`System::run`] compares it against the total, the returned report
+    /// is byte-identical to `run(chunks[0] + chunks[1] + …)`: chunking is
+    /// observable only to the caller, which regains control at each
+    /// boundary. (Two separate `run` calls are *not* equivalent — each
+    /// re-warm-starts and resets telemetry.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is empty or any chunk is not positive.
+    pub fn run_chunked(&mut self, chunks: &[Nanos]) -> SystemReport {
+        self.run_chunked_recorded(chunks, &mut NullRecorder)
+    }
+
+    /// [`System::run_chunked`] with telemetry (see
+    /// [`System::run_recorded`]); the run's summary counters are bumped
+    /// once at the end, not per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is empty or any chunk is not positive.
+    pub fn run_chunked_recorded<R: Recorder>(
+        &mut self,
+        chunks: &[Nanos],
+        rec: &mut R,
+    ) -> SystemReport {
+        assert!(!chunks.is_empty(), "at least one chunk is required");
+        let mut engine = self.start_engine();
+        let mut target = Nanos::ZERO;
+        for &chunk in chunks {
+            assert!(chunk.get() > 0.0, "chunk durations must be positive");
+            target += chunk;
+            engine.advance_to(self, target, rec, &mut |_, _, _| {});
         }
-        let dt = self.config.tick;
-        let check = self.config.failure_checking;
-        let mut detectors = self
-            .droop_alarm
-            .map(|th| crate::events::DroopDetectorBank::new(th, &self.procs));
-        let mut now = Nanos::ZERO;
-        let mut failure = None;
-        let mut ticks = 0u64;
-        let mut droop_alarms = 0u64;
-        while now.get() < duration.get() {
-            let mut new_failure = None;
-            for p in &mut self.procs {
-                if let Some(f) = p.tick_recorded(dt, check, now, rec) {
-                    new_failure.get_or_insert(f);
-                }
-            }
-            if let Some(f) = new_failure {
-                if failure.is_none() {
-                    self.events.push(crate::ChipEvent::Failure(f));
-                }
-                failure.get_or_insert(f);
-            }
-            if let Some(bank) = detectors.as_mut() {
-                let alarms = bank.observe(&self.procs, now);
-                if rec.enabled() {
-                    for alarm in &alarms {
-                        if let crate::ChipEvent::Droop(a) = alarm {
-                            droop_alarms += 1;
-                            rec.record(TelemetryEvent::Droop(DroopEvent {
-                                t: rec.now(),
-                                core: a.core,
-                                dip: a.dip,
-                            }));
-                        }
-                    }
-                } else {
-                    droop_alarms += alarms.len() as u64;
-                }
-                self.events.extend(alarms);
-            }
-            now += dt;
-            ticks += 1;
-            rec.advance(dt.get().round() as u64);
-            if failure.is_some() {
-                break;
-            }
-        }
-        rec.incr("chip.ticks", ticks);
-        if droop_alarms > 0 {
-            rec.incr("chip.droop_alarms", droop_alarms);
-        }
-        if failure.is_some() {
-            rec.incr("chip.failures", 1);
-        }
-        SystemReport {
-            duration: now,
-            cores: CoreId::all().map(|id| self.core(id).report()).collect(),
-            procs: self.procs.iter().map(Processor::report).collect(),
-            failure,
-        }
+        engine.finish(rec);
+        self.assemble_report(engine.now, engine.failure)
     }
 
     /// Like [`System::run`], additionally recording a decimated per-tick
@@ -335,57 +451,25 @@ impl System {
     ) -> (SystemReport, crate::Trace) {
         assert!(duration.get() > 0.0, "duration must be positive");
         assert!(decimation > 0, "decimation must be positive");
-        for p in &mut self.procs {
-            p.warm_start();
-            p.reset_stats();
-        }
-        let dt = self.config.tick;
-        let check = self.config.failure_checking;
-        let mut detectors = self
-            .droop_alarm
-            .map(|th| crate::events::DroopDetectorBank::new(th, &self.procs));
-        let mut now = Nanos::ZERO;
-        let mut failure = None;
+        let mut engine = self.start_engine();
         let mut samples = Vec::new();
-        let mut tick_index = 0usize;
-        while now.get() < duration.get() {
-            let mut new_failure = None;
-            for p in &mut self.procs {
-                if let Some(f) = p.tick(dt, check, now) {
-                    new_failure.get_or_insert(f);
+        engine.advance_to(
+            self,
+            duration,
+            &mut NullRecorder,
+            &mut |sys, tick_index, now| {
+                if (tick_index as usize).is_multiple_of(decimation) {
+                    let core = sys.core(observed);
+                    samples.push(crate::TraceSample {
+                        t: now,
+                        freq: core.frequency(),
+                        voltage: core.last_voltage(),
+                        chip_power: sys.procs[observed.proc_id().index()].last_power(),
+                    });
                 }
-            }
-            if let Some(f) = new_failure {
-                if failure.is_none() {
-                    self.events.push(crate::ChipEvent::Failure(f));
-                }
-                failure.get_or_insert(f);
-            }
-            if let Some(bank) = detectors.as_mut() {
-                let alarms = bank.observe(&self.procs, now);
-                self.events.extend(alarms);
-            }
-            if tick_index.is_multiple_of(decimation) {
-                let core = self.core(observed);
-                samples.push(crate::TraceSample {
-                    t: now,
-                    freq: core.frequency(),
-                    voltage: core.last_voltage(),
-                    chip_power: self.procs[observed.proc_id().index()].last_power(),
-                });
-            }
-            now += dt;
-            tick_index += 1;
-            if failure.is_some() {
-                break;
-            }
-        }
-        let report = SystemReport {
-            duration: now,
-            cores: CoreId::all().map(|id| self.core(id).report()).collect(),
-            procs: self.procs.iter().map(Processor::report).collect(),
-            failure,
-        };
+            },
+        );
+        let report = self.assemble_report(engine.now, engine.failure);
         (report, crate::Trace::new(samples, decimation))
     }
 
@@ -398,12 +482,7 @@ impl System {
             p.warm_start();
             p.reset_stats();
         }
-        SystemReport {
-            duration: Nanos::ZERO,
-            cores: CoreId::all().map(|id| self.core(id).report()).collect(),
-            procs: self.procs.iter().map(Processor::report).collect(),
-            failure: None,
-        }
+        self.assemble_report(Nanos::ZERO, None)
     }
 }
 

@@ -39,6 +39,7 @@ pub struct CpmReading {
 impl CpmReading {
     /// Quantizes a raw margin into a reading attributed to `unit`.
     #[must_use]
+    #[inline]
     pub fn quantize(unit: CpmUnit, margin: Picos) -> Self {
         let violation = margin.get() <= 0.0;
         let units = if violation {

@@ -229,6 +229,45 @@ impl CoreCpmSet {
         worst.expect("at least one CPM")
     }
 
+    /// The inserted delay times of all five CPMs at the current reduction,
+    /// in unit order. A pure function of the (immutable) chain and the
+    /// programmed reduction: the simulator recomputes this table only when
+    /// a reduction is programmed and feeds it back through
+    /// [`CoreCpmSet::measure_from_inserted`], hoisting five O(chain-length)
+    /// walks out of every tick.
+    #[must_use]
+    pub fn inserted_delays(&self, silicon: &CoreSilicon) -> [Picos; CPMS_PER_CORE] {
+        let mut table = [Picos::ZERO; CPMS_PER_CORE];
+        for unit in CpmUnit::ALL {
+            table[unit.index()] = self.inserted_delay(silicon, unit);
+        }
+        table
+    }
+
+    /// Like [`CoreCpmSet::measure_from_base`], but with the per-unit
+    /// inserted delays also precomputed (they must come from
+    /// [`CoreCpmSet::inserted_delays`] for the current reduction). The
+    /// reading is bit-identical to [`CoreCpmSet::measure`]'s.
+    #[must_use]
+    pub fn measure_from_inserted(
+        &self,
+        silicon: &CoreSilicon,
+        period: Picos,
+        base_delay: Picos,
+        inserted: &[Picos; CPMS_PER_CORE],
+    ) -> CpmReading {
+        let mut worst: Option<CpmReading> = None;
+        for unit in CpmUnit::ALL {
+            let occupied = inserted[unit.index()] + base_delay * silicon.mimic_ratio(unit.index());
+            let reading = CpmReading::quantize(unit, period - occupied);
+            worst = Some(match worst {
+                Some(w) => w.worst(reading),
+                None => reading,
+            });
+        }
+        worst.expect("at least one CPM")
+    }
+
     /// Like [`CoreCpmSet::equilibrium_period`], but reusing a precomputed
     /// real-path base delay.
     #[must_use]

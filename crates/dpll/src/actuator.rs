@@ -50,6 +50,7 @@ impl Dpll {
 
     /// The current clock frequency.
     #[must_use]
+    #[inline]
     pub fn frequency(&self) -> MegaHz {
         self.frequency
     }
@@ -78,6 +79,7 @@ impl Dpll {
     /// # Panics
     ///
     /// Panics if `rate` is negative.
+    #[inline]
     pub fn slew_up(&mut self, rate: f64) {
         assert!(rate >= 0.0, "slew rate must be non-negative");
         self.frequency = (self.frequency * (1.0 + rate)).min(self.fmax);
@@ -88,6 +90,7 @@ impl Dpll {
     /// # Panics
     ///
     /// Panics if `rate` is not within `[0, 1)`.
+    #[inline]
     pub fn slew_down(&mut self, rate: f64) {
         assert!((0.0..1.0).contains(&rate), "slew rate out of [0,1): {rate}");
         self.frequency = (self.frequency * (1.0 - rate)).max(self.fmin);
@@ -101,6 +104,7 @@ impl Dpll {
 
     /// Records an emergency clock-gate response: the clock is held for
     /// `cycles` cycles (a throughput penalty, not a frequency change).
+    #[inline]
     pub fn gate(&mut self, cycles: u64) {
         self.gated_cycles += cycles;
     }

@@ -140,6 +140,7 @@ impl AtmLoop {
 
     /// The current clock frequency.
     #[must_use]
+    #[inline]
     pub fn frequency(&self) -> MegaHz {
         self.dpll.frequency()
     }

@@ -48,6 +48,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig14;
+pub mod perfref;
 pub mod render;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,124 @@
+//! Golden-reference scenarios for the hot-path determinism contract.
+//!
+//! Each function here builds a fixed-seed scenario, runs it, and renders
+//! the resulting report through `{:#?}`. Rust's `Debug` formatting for
+//! `f64` is shortest-roundtrip, so two renderings are equal exactly when
+//! every float in the reports is bit-identical — which makes the rendered
+//! text a *byte-identity witness* for the whole report.
+//!
+//! The text produced by [`full_reference`] is checked in as
+//! `tests/data/reference_reports.txt`, captured from the tree *before*
+//! the tick-loop performance overhaul. `tests/perf_reference.rs` re-runs
+//! the scenarios on every build and compares byte-for-byte, proving the
+//! optimized hot path emits exactly the bit patterns the original one
+//! did.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! let text = atm_experiments::perfref::full_reference();
+//! print!("{text}");
+//! ```
+
+use std::fmt::Write as _;
+
+use atm_chip::{ChipConfig, MarginMode, System};
+use atm_core::charact::CharactConfig;
+use atm_core::{AtmManager, Governor, LimitTable};
+use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+use atm_units::{CoreId, Nanos};
+use atm_workloads::{by_name, voltage_virus};
+
+/// Seeds exercised by the `SystemReport` scenarios.
+pub const SYSTEM_SEEDS: [u64; 2] = [5, 9];
+/// Seed for the stress, characterization, and serving scenarios.
+pub const HEAVY_SEED: u64 = 42;
+
+/// All-core x264 under ATM for 50 µs: the steady-state serving regime the
+/// stride fast path targets.
+#[must_use]
+pub fn system_reference(seed: u64) -> String {
+    let mut sys = System::new(ChipConfig::power7_plus(seed));
+    sys.assign_all(by_name("x264").expect("catalog"));
+    sys.set_mode_all(MarginMode::Atm);
+    let report = sys.run(Nanos::new(50_000.0));
+    format!("{report:#?}\n")
+}
+
+/// Voltage virus on every core with one ATM core for 20 µs: the
+/// droop-heavy regime where the stride path must keep falling back to
+/// 1-tick stepping.
+#[must_use]
+pub fn virus_reference(seed: u64) -> String {
+    let mut sys = System::new(ChipConfig::power7_plus(seed));
+    sys.assign_all(&voltage_virus());
+    sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
+    let report = sys.run(Nanos::new(20_000.0));
+    format!("{report:#?}\n")
+}
+
+/// Quick-config Table I characterization: thousands of short shard runs,
+/// covering warm starts, reseeds, and reduction sweeps.
+#[must_use]
+pub fn limit_table_reference(seed: u64) -> String {
+    let mut sys = System::new(ChipConfig::power7_plus(seed));
+    let x264 = by_name("x264").expect("catalog");
+    let table = LimitTable::characterize(&mut sys, &[x264], &CharactConfig::quick());
+    format!("{table:#?}\n")
+}
+
+/// The serving-layer recipe from `tests/serving.rs`: deploy, then serve a
+/// critical SqueezeNet stream against bursty x264 and Poisson lu_cb
+/// background traffic.
+#[must_use]
+pub fn serve_reference(seed: u64) -> String {
+    let sq = by_name("squeezenet").expect("catalog");
+    let x264 = by_name("x264").expect("catalog");
+    let lu = by_name("lu_cb").expect("catalog");
+    let streams = vec![
+        StreamSpec::critical(
+            sq,
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            250_000_000,
+        ),
+        StreamSpec::background(
+            x264,
+            ArrivalPattern::Bursty {
+                mean_gap: 20_000_000,
+                burst_gap: 5_000_000,
+                phase: 100_000_000,
+            },
+        ),
+        StreamSpec::background(
+            lu,
+            ArrivalPattern::Poisson {
+                mean_gap: 15_000_000,
+            },
+        ),
+    ];
+    let sys = System::new(ChipConfig::power7_plus(seed));
+    let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    let sim = ServeSim::new(mgr, ServeConfig::quick(seed), streams).expect("valid serving setup");
+    let report = sim.run(1);
+    format!("{report:#?}\n")
+}
+
+/// Renders every scenario into one labelled document (the checked-in
+/// golden file's exact contents).
+#[must_use]
+pub fn full_reference() -> String {
+    let mut out = String::new();
+    for seed in SYSTEM_SEEDS {
+        let _ = writeln!(out, "=== SystemReport atm-x264 seed={seed} ===");
+        out.push_str(&system_reference(seed));
+    }
+    let _ = writeln!(out, "=== SystemReport virus seed={HEAVY_SEED} ===");
+    out.push_str(&virus_reference(HEAVY_SEED));
+    let _ = writeln!(out, "=== LimitTable quick seed={HEAVY_SEED} ===");
+    out.push_str(&limit_table_reference(HEAVY_SEED));
+    let _ = writeln!(out, "=== ServeReport quick seed={HEAVY_SEED} ===");
+    out.push_str(&serve_reference(HEAVY_SEED));
+    out
+}

@@ -144,6 +144,12 @@ pub struct DroopEvent {
 pub struct DroopProcess {
     params: DiDtParams,
     rng: StdRng,
+    /// Memoized `(rate bits, 1 - exp(-rate))` of the last tick: the event
+    /// probability is a pure function of the per-tick rate, which is
+    /// constant while the workload and tick length are — caching it keyed
+    /// on the exact rate bits removes one `exp` per tick without changing
+    /// any emitted value.
+    p_event_cache: Option<(u64, f64)>,
 }
 
 impl DroopProcess {
@@ -153,6 +159,7 @@ impl DroopProcess {
         DroopProcess {
             params,
             rng: StdRng::seed_from_u64(seed),
+            p_event_cache: None,
         }
     }
 
@@ -180,12 +187,20 @@ impl DroopProcess {
     ///
     /// At most one event per tick is reported (ticks are shorter than the
     /// droop recovery time, so coincident events merge in reality too).
+    #[inline]
     pub fn sample_tick(&mut self, dt: Nanos) -> Option<DroopEvent> {
         let rate = self.params.events_per_us * dt.get() / 1000.0;
         if rate <= 0.0 {
             return None;
         }
-        let p_event = 1.0 - (-rate).exp();
+        let p_event = match self.p_event_cache {
+            Some((key, p)) if key == rate.to_bits() => p,
+            _ => {
+                let p = 1.0 - (-rate).exp();
+                self.p_event_cache = Some((rate.to_bits(), p));
+                p
+            }
+        };
         if !self.rng.gen_bool(p_event.clamp(0.0, 1.0)) {
             return None;
         }

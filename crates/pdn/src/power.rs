@@ -103,18 +103,57 @@ impl PowerModel {
     /// may exceed 1.0 slightly, but nothing should exceed 1.5).
     #[must_use]
     pub fn core_power(&self, f: MegaHz, v: Volts, t: Celsius, activity: f64) -> Watts {
+        self.core_power_with_term(f, v, self.leakage_temp_term(t), activity)
+    }
+
+    /// [`PowerModel::core_power`] with a precomputed leakage temperature
+    /// term (see [`PowerModel::leakage_temp_term`]). The per-tick simulator
+    /// computes the term once per socket and shares it across all eight
+    /// cores — they sit on one die at one temperature — removing eight
+    /// `exp` calls per tick while emitting the same f64 bit patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1.5]` (SMT-stacked stressmarks
+    /// may exceed 1.0 slightly, but nothing should exceed 1.5).
+    #[must_use]
+    #[inline]
+    pub fn core_power_with_term(
+        &self,
+        f: MegaHz,
+        v: Volts,
+        temp_term: f64,
+        activity: f64,
+    ) -> Watts {
         assert!(
             (0.0..=1.5).contains(&activity),
             "activity out of [0, 1.5]: {activity}"
         );
         let dynamic = self.ceff_w_per_mhz_v2 * activity * v.get() * v.get() * f.get();
-        Watts::new(dynamic) + self.core_leakage(v, t)
+        Watts::new(dynamic) + self.core_leakage_with_term(v, temp_term)
     }
 
     /// Leakage power of one core at `(v, t)`.
     #[must_use]
     pub fn core_leakage(&self, v: Volts, t: Celsius) -> Watts {
-        let temp_term = (self.leak_temp_coeff * (t.get() - self.tnom.get())).exp();
+        self.core_leakage_with_term(v, self.leakage_temp_term(t))
+    }
+
+    /// The exponential temperature factor of the leakage model at die
+    /// temperature `t` — the only transcendental in the leakage path, and
+    /// a pure function of `t`, so it can be hoisted and shared across the
+    /// cores of a socket within one tick.
+    #[must_use]
+    #[inline]
+    pub fn leakage_temp_term(&self, t: Celsius) -> f64 {
+        (self.leak_temp_coeff * (t.get() - self.tnom.get())).exp()
+    }
+
+    /// [`PowerModel::core_leakage`] with a precomputed temperature term
+    /// (must come from [`PowerModel::leakage_temp_term`] for the same `t`).
+    #[must_use]
+    #[inline]
+    pub fn core_leakage_with_term(&self, v: Volts, temp_term: f64) -> Watts {
         let v_term = v.get() / 1.25;
         Watts::new(self.leak_nominal.get() * v_term * temp_term)
     }

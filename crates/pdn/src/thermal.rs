@@ -72,8 +72,24 @@ impl ThermalModel {
 
     /// Advances the model by `dt` at chip power `p`.
     pub fn step(&mut self, p: Watts, dt: Nanos) {
+        self.step_with_alpha(p, self.alpha(dt));
+    }
+
+    /// The first-order relaxation coefficient for a step of length `dt` —
+    /// a pure function of `dt` and the time constant. The simulator's tick
+    /// loop computes this once per run (its `dt` never changes mid-run)
+    /// and feeds [`ThermalModel::step_with_alpha`], hoisting the `exp`
+    /// out of the per-tick path without changing a single bit of the
+    /// trajectory.
+    #[must_use]
+    pub fn alpha(&self, dt: Nanos) -> f64 {
+        1.0 - (-dt.to_millis() / self.tau_ms).exp()
+    }
+
+    /// [`ThermalModel::step`] with a precomputed relaxation coefficient
+    /// (`alpha` must come from [`ThermalModel::alpha`] for the same `dt`).
+    pub fn step_with_alpha(&mut self, p: Watts, alpha: f64) {
         let target = self.steady_state(p);
-        let alpha = 1.0 - (-dt.to_millis() / self.tau_ms).exp();
         let next = self.temperature.get() + alpha * (target.get() - self.temperature.get());
         self.temperature = Celsius::new(next);
     }

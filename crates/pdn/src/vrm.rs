@@ -89,9 +89,29 @@ impl PdnModel {
     /// drop, well under 0.2%).
     #[must_use]
     pub fn core_voltage(&self, chip_power: Watts, core_power: Watts) -> Volts {
+        self.core_voltage_from_shared(self.shared_term(chip_power), core_power)
+    }
+
+    /// The shared-path drop term of [`PdnModel::core_voltage`], a pure
+    /// function of the chip total. A tick loop that delivers voltage to
+    /// every core of a socket evaluates this once and reuses it — the
+    /// per-core result is bit-identical to calling
+    /// [`PdnModel::core_voltage`] directly, because the underlying
+    /// expression is evaluated in the same order either way.
+    #[must_use]
+    #[inline]
+    pub fn shared_term(&self, chip_power: Watts) -> f64 {
         let i_chip = chip_power.get() / self.setpoint.get();
+        self.r_shared_ohm * i_chip
+    }
+
+    /// Completes [`PdnModel::core_voltage`] from a precomputed
+    /// [`PdnModel::shared_term`].
+    #[must_use]
+    #[inline]
+    pub fn core_voltage_from_shared(&self, shared: f64, core_power: Watts) -> Volts {
         let i_core = core_power.get() / self.setpoint.get();
-        let drop = self.r_shared_ohm * i_chip + self.r_local_ohm * i_core;
+        let drop = shared + self.r_local_ohm * i_core;
         self.setpoint.saturating_sub(Volts::new(drop))
     }
 

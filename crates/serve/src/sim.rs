@@ -190,77 +190,79 @@ impl ServeSim {
     ///
     /// Panics if `workers` is zero.
     #[must_use]
-    pub fn run_recorded<R: Recorder>(mut self, workers: usize, rec: &mut R) -> ServeReport {
-        let cfg = self.cfg.clone();
+    pub fn run_recorded<R: Recorder>(self, workers: usize, rec: &mut R) -> ServeReport {
+        // Disassemble the simulator up front: the manager needs exclusive
+        // mutable access through the whole trace, so the config and stream
+        // specs move into locals and are borrowed from there — no per-run
+        // clones of the config or the critical spec.
+        let ServeSim {
+            mut mgr,
+            cfg,
+            streams,
+            policy,
+            injected,
+        } = self;
         let proc = ProcId::new(0);
-        let baseline = self.mgr.system().config().pstates.nominal().frequency;
-        let pstates = self.mgr.system().config().pstates.clone();
+        let baseline = mgr.system().config().pstates.nominal().frequency;
+        // The p-state table is still owned by the system while `mgr` is
+        // borrowed mutably at every throttle step, so one copy per run.
+        let pstates = mgr.system().config().pstates.clone();
         let horizon = u64::from(cfg.epochs) * cfg.epoch_ns;
 
-        let critical_spec = self
-            .streams
+        let crit_idx = streams
             .iter()
-            .find(|s| s.class == StreamClass::Critical)
-            .expect("checked in new")
-            .clone();
-        let backgrounds: Vec<Workload> = self
-            .streams
+            .position(|s| s.class == StreamClass::Critical)
+            .expect("checked in new");
+        let critical_spec = &streams[crit_idx];
+        let backgrounds: Vec<Workload> = streams
             .iter()
             .filter(|s| s.class == StreamClass::Background)
             .map(|s| s.workload.clone())
             .collect();
-        let profiles: Vec<ServiceProfile> = self
-            .streams
+        let profiles: Vec<ServiceProfile> = streams
             .iter()
             .map(|s| s.workload.service_profile())
             .collect();
-        let crit_idx = self
-            .streams
-            .iter()
-            .position(|s| s.class == StreamClass::Critical)
-            .expect("checked in new");
-        let crit_slo = self.streams[crit_idx].slo_ns;
+        let crit_slo = critical_spec.slo_ns;
 
-        self.mgr.system_mut().set_droop_alarm(cfg.droop_alarm);
-        let mut posture = self
-            .mgr
+        mgr.system_mut().set_droop_alarm(cfg.droop_alarm);
+        let mut posture = mgr
             .serve_posture_recorded(&critical_spec.workload, &backgrounds, cfg.qos, rec)
             .expect("streams validated in new");
         // Posturing itself settles and trains predictors; the alarms those
         // runs raise are calibration noise, not serving-time events.
-        self.mgr.system_mut().drain_events();
+        mgr.system_mut().drain_events();
         let mut throttle_extra: usize = 0;
 
-        let arrivals = arrival::generate_all(&self.streams, cfg.seed, horizon, workers);
+        let arrivals = arrival::generate_all(&streams, cfg.seed, horizon, workers);
         let mut next_arrival = 0usize;
         let mut pending: BinaryHeap<Pending> = BinaryHeap::new();
 
-        let mut states: Vec<StreamState> =
-            self.streams.iter().map(|_| StreamState::new()).collect();
+        let mut states: Vec<StreamState> = streams.iter().map(|_| StreamState::new()).collect();
         let mut free_at: BTreeMap<CoreId, u64> = BTreeMap::new();
         let mut finishes: BTreeMap<CoreId, Vec<u64>> = BTreeMap::new();
         let mut transitions: Vec<Transition> = Vec::new();
+        let mut action_texts: Vec<String> = Vec::new();
 
         for epoch in 0..cfg.epochs {
             let epoch_end = u64::from(epoch + 1) * cfg.epoch_ns;
 
             // Harvest chip events at the current posture, plus injections.
-            let _ = self.mgr.system_mut().run_recorded(cfg.chip_trial, rec);
-            let mut events = self.mgr.system_mut().drain_events();
-            for (e, f) in &self.injected {
+            let _ = mgr.system_mut().run_recorded(cfg.chip_trial, rec);
+            let mut events = mgr.system_mut().drain_events();
+            for (e, f) in &injected {
                 if *e == epoch {
                     events.push(ChipEvent::Failure(*f));
                 }
             }
 
-            let actions = self.policy.react(&events, posture.placement.critical_core);
+            let actions = policy.react(&events, posture.placement.critical_core);
             let mut needs_replace = false;
             let mut throttled = false;
-            let mut action_texts = Vec::new();
             for action in &actions {
                 match action {
                     DegradeAction::Rollback { core, cause } => {
-                        let red = self.mgr.rollback_core_recorded(*core, 1, rec);
+                        let red = mgr.rollback_core_recorded(*core, 1, rec);
                         needs_replace = true;
                         action_texts.push(format!("rollback {core} to reduction {red} ({cause})"));
                     }
@@ -276,22 +278,21 @@ impl ServeSim {
             }
 
             if needs_replace {
-                posture = self
-                    .mgr
+                posture = mgr
                     .serve_posture_recorded(&critical_spec.workload, &backgrounds, cfg.qos, rec)
                     .expect("streams validated in new");
                 if throttle_extra > 0 {
-                    self.apply_extra_throttle(&mut posture, throttle_extra, &pstates, proc);
+                    apply_extra_throttle(&mut mgr, &mut posture, throttle_extra, &pstates, proc);
                 }
-                self.mgr.system_mut().drain_events();
+                mgr.system_mut().drain_events();
             } else if throttled {
-                self.apply_extra_throttle(&mut posture, throttle_extra, &pstates, proc);
-                self.mgr.system_mut().drain_events();
+                apply_extra_throttle(&mut mgr, &mut posture, throttle_extra, &pstates, proc);
+                mgr.system_mut().drain_events();
             } else if epoch > 0 && epoch % cfg.refresh_every == 0 {
-                posture.core_freqs = self.mgr.measure_core_freqs(proc);
-                self.mgr.system_mut().drain_events();
+                posture.core_freqs = mgr.measure_core_freqs(proc);
+                mgr.system_mut().drain_events();
             }
-            for text in action_texts {
+            for text in action_texts.drain(..) {
                 transitions.push(Transition {
                     epoch,
                     action: text,
@@ -342,7 +343,7 @@ impl ServeSim {
                     }
                 };
 
-                let spec = &self.streams[req.stream];
+                let spec = &streams[req.stream];
                 let state = &mut states[req.stream];
                 if req.defers == 0 {
                     state.offered += 1;
@@ -456,8 +457,7 @@ impl ServeSim {
             rec.incr("serve.shed", 1);
         }
 
-        let streams: Vec<StreamStats> = self
-            .streams
+        let streams: Vec<StreamStats> = streams
             .iter()
             .zip(states)
             .map(|(spec, st)| StreamStats {
@@ -490,27 +490,27 @@ impl ServeSim {
             streams,
         }
     }
+}
 
-    /// Steps the posture's background throttle `extra` rungs further down
-    /// the ladder, applies it, and re-measures the settled frequencies.
-    fn apply_extra_throttle(
-        &mut self,
-        posture: &mut ServePosture,
-        extra: usize,
-        pstates: &PStateTable,
-        proc: ProcId,
-    ) {
-        let Some(mut plan) = posture.placement.plan.clone() else {
-            return;
-        };
-        for _ in 0..extra {
-            match plan.step_down(pstates) {
-                Some(next) => plan = next,
-                None => break,
-            }
+/// Steps the posture's background throttle `extra` rungs further down
+/// the ladder, applies it, and re-measures the settled frequencies.
+fn apply_extra_throttle(
+    mgr: &mut AtmManager,
+    posture: &mut ServePosture,
+    extra: usize,
+    pstates: &PStateTable,
+    proc: ProcId,
+) {
+    let Some(mut plan) = posture.placement.plan.clone() else {
+        return;
+    };
+    for _ in 0..extra {
+        match plan.step_down(pstates) {
+            Some(next) => plan = next,
+            None => break,
         }
-        plan.apply(self.mgr.system_mut());
-        posture.placement.plan = Some(plan);
-        posture.core_freqs = self.mgr.measure_core_freqs(proc);
     }
+    plan.apply(mgr.system_mut());
+    posture.placement.plan = Some(plan);
+    posture.core_freqs = mgr.measure_core_freqs(proc);
 }

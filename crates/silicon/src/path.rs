@@ -115,16 +115,44 @@ impl AlphaPowerLaw {
     /// would not switch at all, which the surrounding simulation never
     /// requests (droops are bounded well above threshold).
     #[must_use]
+    #[inline]
     pub fn delay(&self, v: Volts, t: Celsius) -> Picos {
+        let v_term = self.voltage_term(v);
+        let t_term = self.temp_term(t);
+        self.d0 * (v_term * t_term)
+    }
+
+    /// The dimensionless voltage factor `((Vnom − Vt) / (V − Vt))^α` of
+    /// the delay law — exactly the factor [`AlphaPowerLaw::delay`]
+    /// multiplies into `d0`. Exposed so callers that bound the delay over
+    /// a voltage interval (e.g. the chip layer's stride certificates) can
+    /// model this term — convex and decreasing in `v` — separately from
+    /// the affine temperature term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is at or below the threshold voltage — the circuit
+    /// would not switch at all, which the surrounding simulation never
+    /// requests (droops are bounded well above threshold).
+    #[must_use]
+    #[inline]
+    pub fn voltage_term(&self, v: Volts) -> f64 {
         assert!(
             v > self.vth,
             "supply voltage {v} at or below threshold {}",
             self.vth
         );
-        let v_term =
-            ((self.vnom.get() - self.vth.get()) / (v.get() - self.vth.get())).powf(self.alpha);
-        let t_term = 1.0 + self.temp_coeff_per_deg * (t.get() - self.tnom.get());
-        self.d0 * (v_term * t_term)
+        ((self.vnom.get() - self.vth.get()) / (v.get() - self.vth.get())).powf(self.alpha)
+    }
+
+    /// The dimensionless temperature factor `1 + kT·(T − Tnom)` of the
+    /// delay law — exactly the factor [`AlphaPowerLaw::delay`] multiplies
+    /// into `d0`. Affine and (for positive `kT`) increasing in `t`, so its
+    /// range over a temperature interval is spanned by the endpoints.
+    #[must_use]
+    #[inline]
+    pub fn temp_term(&self, t: Celsius) -> f64 {
+        1.0 + self.temp_coeff_per_deg * (t.get() - self.tnom.get())
     }
 
     /// Returns a copy with a different nominal delay, keeping all other

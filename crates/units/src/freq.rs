@@ -61,6 +61,7 @@ impl MegaHz {
     ///
     /// Panics if the frequency is zero.
     #[must_use]
+    #[inline]
     pub fn period(self) -> Picos {
         assert!(self.0 > 0.0, "cannot take period of zero frequency");
         Picos::new(1.0e6 / self.0)

@@ -1,0 +1,15 @@
+//! Regenerates the golden byte-identity reference for the hot-path
+//! determinism contract (see `atm_experiments::perfref`).
+//!
+//! ```text
+//! cargo run --release --example perf_reference > tests/data/reference_reports.txt
+//! ```
+//!
+//! The checked-in file was captured from the tree *before* the tick-loop
+//! performance overhaul; `tests/perf_reference.rs` compares every build
+//! against it byte-for-byte. Regenerate only when a scenario or report
+//! format intentionally changes — never to paper over a hot-path diff.
+
+fn main() {
+    print!("{}", power_atm::experiments::perfref::full_reference());
+}

@@ -1,13 +1,15 @@
 # Common development tasks. `just ci` is the gate PRs must pass.
 
-# Formatting + release build (incl. examples) + tests + warning-free
-# workspace clippy over all targets + warning-free rustdoc (mirrors
-# ci.sh).
+# Formatting + release build (incl. examples and benches) + tests +
+# bench smoke + warning-free workspace clippy over all targets +
+# warning-free rustdoc (mirrors ci.sh).
 ci:
     cargo fmt --check
     cargo build --release
     cargo build --release --examples
+    cargo build --release --benches
     cargo test -q
+    cargo bench -p atm-bench --bench simperf -- --test
     cargo clippy --workspace --all-targets -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
@@ -31,3 +33,9 @@ bench-parallel:
 # Serving throughput and tail latency vs deployment size.
 bench-serve:
     cargo bench -p atm-bench --bench serve_throughput
+
+# Hot-path throughput trajectory: re-measures the stress-deploy and
+# serving scenarios and refreshes BENCH_simperf.json (the `before`
+# column is preserved from the pre-overhaul capture).
+perf:
+    cargo bench -p atm-bench --bench simperf

@@ -1,0 +1,99 @@
+//! Exactness suite for the tick-loop hot-path overhaul.
+//!
+//! The overhaul (invariant hoisting, allocation-free stepping, the stride
+//! fast path) is licensed only by proofs that it cannot change a single
+//! bit of any trajectory. These tests pin that promise three ways:
+//!
+//! 1. the full reference bundle — steady-state, droop-heavy, parallel
+//!    characterization and serving scenarios — must match the golden file
+//!    captured from the tree *before* the overhaul, byte for byte;
+//! 2. disabling the stride fast path (`System::set_stride(false)`) must
+//!    not change any report, while the fast path must actually engage
+//!    when enabled;
+//! 3. for any split of a run into chunks, `run_chunked` must equal the
+//!    single continuous run byte for byte.
+
+use power_atm::chip::{ChipConfig, MarginMode, System};
+use power_atm::experiments::perfref;
+use power_atm::units::{CoreId, Nanos};
+use power_atm::workloads::by_name;
+use proptest::prelude::*;
+
+/// Pinpoints the first diverging line so a regression reads as a small
+/// diff, not two megabyte blobs.
+fn assert_same_text(actual: &str, expected: &str, what: &str) {
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(a, e, "{what}: first divergence at line {}", i + 1);
+    }
+    panic!(
+        "{what}: line counts differ ({} vs {})",
+        actual.lines().count(),
+        expected.lines().count()
+    );
+}
+
+#[test]
+fn full_reference_matches_golden_capture() {
+    let expected = include_str!("data/reference_reports.txt");
+    let actual = perfref::full_reference();
+    assert_same_text(&actual, expected, "reference bundle");
+}
+
+fn atm_report(seed: u64, stride: bool, span: Nanos) -> (String, u64) {
+    let mut sys = System::new(ChipConfig::power7_plus(seed));
+    sys.set_stride(stride);
+    sys.assign_all(by_name("x264").expect("catalog"));
+    sys.set_mode_all(MarginMode::Atm);
+    let report = sys.run(span);
+    let fast: u64 = CoreId::all()
+        .map(|id| sys.core(id).stride_fast_ticks())
+        .sum();
+    (format!("{report:#?}"), fast)
+}
+
+#[test]
+fn stride_toggle_never_changes_a_report() {
+    for seed in [3u64, 17, 42] {
+        let span = Nanos::new(30_000.0);
+        let (on, fast_on) = atm_report(seed, true, span);
+        let (off, fast_off) = atm_report(seed, false, span);
+        assert_same_text(&on, &off, "stride on vs off");
+        assert!(
+            fast_on > 0,
+            "stride path never engaged in a steady ATM run (seed {seed})"
+        );
+        assert_eq!(fast_off, 0, "disabled stride must never take the fast path");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `run(a + b + c)` and `run_chunked(&[a, b, c])` are one trial split
+    /// at caller-visible boundaries — the reports must be byte-identical.
+    #[test]
+    fn chunked_run_equals_continuous_run(
+        seed in 0u64..10_000,
+        a_us in 1u64..=8,
+        b_us in 1u64..=8,
+        c_us in 1u64..=8,
+    ) {
+        let build = |seed: u64| {
+            let mut sys = System::new(ChipConfig::power7_plus(seed));
+            sys.assign_all(by_name("x264").expect("catalog"));
+            sys.set_mode_all(MarginMode::Atm);
+            sys
+        };
+        let us = |n: u64| Nanos::new(n as f64 * 1000.0);
+        let whole = build(seed).run(us(a_us + b_us + c_us));
+        let chunked = build(seed).run_chunked(&[us(a_us), us(b_us), us(c_us)]);
+        assert_same_text(
+            &format!("{chunked:#?}"),
+            &format!("{whole:#?}"),
+            "chunked vs continuous",
+        );
+    }
+}

@@ -74,6 +74,7 @@ pub trait Rng: RngCore {
     /// # Panics
     ///
     /// Panics if the range is empty.
+    #[inline]
     fn gen_range<T, R>(&mut self, range: R) -> T
     where
         R: SampleRange<T>,
@@ -87,6 +88,7 @@ pub trait Rng: RngCore {
     /// # Panics
     ///
     /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: Sized,
@@ -103,6 +105,7 @@ pub trait Rng: RngCore {
     /// Samples a value from the standard distribution of `T` (uniform over
     /// the value range for integers, `[0, 1)` at 53-bit precision for
     /// floats).
+    #[inline]
     fn gen<T: Standard>(&mut self) -> T
     where
         Self: Sized,
@@ -152,6 +155,7 @@ pub trait SampleRange<T> {
 }
 
 /// Maps 52 random bits into `[1, 2)` (the rand 0.8 uniform-float core).
+#[inline]
 fn value1_2<R: RngCore>(rng: &mut R) -> f64 {
     let fraction = rng.next_u64() >> 12;
     f64::from_bits(fraction | (1023u64 << 52))
@@ -299,6 +303,7 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u32(&mut self) -> u32 {
             if self.index >= 16 {
                 self.refill();
@@ -308,6 +313,7 @@ pub mod rngs {
             word
         }
 
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let lo = u64::from(self.next_u32());
             let hi = u64::from(self.next_u32());
