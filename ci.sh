@@ -13,3 +13,8 @@ cargo test -q
 cargo bench -p atm-bench --bench simperf -- --test
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+# Chaos sweep: the three standard fault plans under three seeds
+# (mirrors `just chaos`).
+for seed in 42 7 1234; do
+    cargo run --release --example fault_campaign "$seed" 3 4
+done

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::failure::FailureKind;
+use crate::faults::CoreFaultLine;
 use crate::mode::MarginMode;
 use crate::report::CoreReport;
 
@@ -175,6 +176,10 @@ pub struct Core {
     /// SMT and throttle, all of which funnel through
     /// [`Core::invalidate_stride`], where the cache is refreshed.
     activity_cache: f64,
+    /// Lifetime count of ATM-mode ticks on which the CPM readout was lost
+    /// (sensor dropout faults): the loop held its last command because no
+    /// sample arrived. A staleness signal for the margin supervisor.
+    cpm_stale_ticks: u64,
     // Telemetry accumulators.
     busy_time: Nanos,
     freq_integral_mhz_ns: f64,
@@ -215,6 +220,7 @@ impl Core {
             fast_ticks: 0,
             config_epoch: 0,
             activity_cache: 0.0,
+            cpm_stale_ticks: 0,
             mode: MarginMode::Static,
             static_freq,
             workload,
@@ -433,6 +439,10 @@ impl Core {
     /// initial lock transient.
     pub fn warm_start(&mut self, v: Volts, t: Celsius) {
         self.invalidate_stride();
+        // Belt-and-braces: actuator faults are applied just-in-time around
+        // each loop step and cleared right after, so none can be live here;
+        // clearing again makes warm starts unconditionally fault-free.
+        self.atm.set_actuator_fault(None);
         self.last_voltage = v;
         if self.mode == MarginMode::Atm {
             let period = self.cpms.equilibrium_period(
@@ -491,6 +501,15 @@ impl Core {
     #[must_use]
     pub fn stride_fast_ticks(&self) -> u64 {
         self.fast_ticks
+    }
+
+    /// Lifetime count of ATM-mode ticks on which a sensor-dropout fault
+    /// swallowed the CPM readout (the loop saw no sample and held). The
+    /// margin supervisor watches this counter's growth as a staleness
+    /// signal.
+    #[must_use]
+    pub fn cpm_stale_ticks(&self) -> u64 {
+        self.cpm_stale_ticks
     }
 
     /// Drops any band certificate, resets the certification counters,
@@ -616,6 +635,12 @@ impl Core {
     /// surge of synchronized issue throttling) as `(seen mV, unseen mV)`;
     /// it merges with any droop the core's own workload produced this tick
     /// (coincident droops overlap rather than stack).
+    /// `fault` is this core's armed fault line, if a fault-injection hook
+    /// is driving the run: load-step bursts merge into the injected droop,
+    /// sensor faults rewrite (or drop) the CPM readout before the loop
+    /// consumes it, and actuator faults filter the loop's slews for the
+    /// tick. The stride fast path never engages while a fault line is
+    /// present.
     /// Recording rides along as the generic `rec`: when it is enabled,
     /// the CPM readout and ATM loop step of an ATM-mode tick become
     /// [`atm_telemetry::CpmReading`] / [`atm_telemetry::DpllStep`] events
@@ -630,6 +655,7 @@ impl Core {
         dt: Nanos,
         droop_amplify: f64,
         injected: Option<(f64, f64)>,
+        fault: Option<&CoreFaultLine>,
         check_failures: bool,
         rec: &mut R,
     ) -> Option<FailureKind> {
@@ -650,6 +676,19 @@ impl Core {
         }
 
         let event = self.droop.sample_tick(dt);
+        // An injected load-step burst merges into the external surge slot
+        // (coincident disturbances overlap rather than stack, like the
+        // throttle surge itself).
+        let injected = match fault.and_then(|l| l.load_step) {
+            Some((step, _)) => {
+                let (step_seen, step_unseen) = step.split();
+                Some(match injected {
+                    Some((seen, unseen)) => (seen.max(step_seen), unseen.max(step_unseen)),
+                    None => (step_seen, step_unseen),
+                })
+            }
+            None => injected,
+        };
         let quiescent_inputs = event.is_none() && injected.is_none();
 
         // Stride fast path: with no droop and no injected surge this tick,
@@ -663,7 +702,7 @@ impl Core {
         // DPLL trajectory. Ticks whose bounds straddle a quantum edge fall
         // through to the exact path; recorded runs always take the full
         // path so CPM/DPLL events stream out.
-        if quiescent_inputs && self.stride_enabled && !rec.enabled() {
+        if quiescent_inputs && self.stride_enabled && fault.is_none() && !rec.enabled() {
             if let Some(cert) = &self.cert {
                 if cert.covers(v_dc, t) {
                     let s = cert.s0 + cert.s1 * v_dc.get();
@@ -732,12 +771,24 @@ impl Core {
             }
         }
 
-        let reading = self.cpms.measure_from_inserted(
+        let mut reading = self.cpms.measure_from_inserted(
             &self.silicon,
             period,
             base_delay,
             &self.inserted_cache,
         );
+        if let Some((sensor_fault, _)) = fault.and_then(|l| l.cpm) {
+            match sensor_fault.apply(reading) {
+                Some(faulted) => reading = faulted,
+                None => {
+                    // Dropout: the loop never sees a sample this tick — no
+                    // telemetry record, no loop step, frequency held. The
+                    // physics above (droop, failure check) already ran.
+                    self.cpm_stale_ticks += 1;
+                    return failure;
+                }
+            }
+        }
         if rec.enabled() {
             rec.record(TelemetryEvent::Cpm(TelemetryCpm {
                 t: rec.now(),
@@ -746,7 +797,19 @@ impl Core {
                 violation: reading.is_violation(),
             }));
         }
-        self.atm.step_recorded(reading, self.id, rec);
+        match fault.and_then(|l| l.dpll) {
+            Some((actuator_fault, _)) => {
+                // Just-in-time application: the fault is live only for this
+                // step and cleared immediately after, so it cannot leak
+                // into fault-free ticks or across runs.
+                self.atm.set_actuator_fault(Some(actuator_fault));
+                self.atm.step_recorded(reading, self.id, rec);
+                self.atm.set_actuator_fault(None);
+            }
+            None => {
+                self.atm.step_recorded(reading, self.id, rec);
+            }
+        }
 
         // Certificate maintenance (unrecorded runs only — recorded runs
         // must stream every tick's events, so striding never pays there).
@@ -756,7 +819,12 @@ impl Core {
         // delivered conditions are outside the box: immediately if its
         // predecessor earned its cost in fast ticks, on a back-off cadence
         // if conditions are moving too fast for the box to stick.
-        if self.stride_enabled && !rec.enabled() && quiescent_inputs && failure.is_none() {
+        if self.stride_enabled
+            && !rec.enabled()
+            && quiescent_inputs
+            && fault.is_none()
+            && failure.is_none()
+        {
             let covered = self.cert.as_ref().is_some_and(|c| c.covers(v_dc, t));
             if !covered {
                 self.cert_wait = self.cert_wait.saturating_add(1);
@@ -867,8 +935,16 @@ mod tests {
         c.warm_start(v, t);
         let f0 = c.frequency();
         for _ in 0..500 {
-            let failure =
-                c.tick_recorded(v, t, Nanos::new(50.0), 1.0, None, true, &mut NullRecorder);
+            let failure = c.tick_recorded(
+                v,
+                t,
+                Nanos::new(50.0),
+                1.0,
+                None,
+                None,
+                true,
+                &mut NullRecorder,
+            );
             assert!(failure.is_none(), "default config must not fail idle");
         }
         let drift = (c.frequency().get() - f0.get()).abs();
@@ -910,8 +986,17 @@ mod tests {
         c.warm_start(v, t);
         let mut failed = false;
         for _ in 0..5000 {
-            if c.tick_recorded(v, t, Nanos::new(50.0), 1.0, None, true, &mut NullRecorder)
-                .is_some()
+            if c.tick_recorded(
+                v,
+                t,
+                Nanos::new(50.0),
+                1.0,
+                None,
+                None,
+                true,
+                &mut NullRecorder,
+            )
+            .is_some()
             {
                 failed = true;
                 break;
@@ -932,7 +1017,16 @@ mod tests {
         c.warm_start(v, t);
         c.reset_stats();
         for _ in 0..100 {
-            let _ = c.tick_recorded(v, t, Nanos::new(50.0), 1.0, None, false, &mut NullRecorder);
+            let _ = c.tick_recorded(
+                v,
+                t,
+                Nanos::new(50.0),
+                1.0,
+                None,
+                None,
+                false,
+                &mut NullRecorder,
+            );
         }
         let r = c.report();
         assert!(r.mean_freq.get() > 4000.0);
@@ -969,6 +1063,7 @@ mod tests {
                     Celsius::new(60.0),
                     Nanos::new(50.0),
                     1.0,
+                    None,
                     None,
                     true,
                     &mut NullRecorder

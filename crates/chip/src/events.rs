@@ -71,15 +71,85 @@ impl fmt::Display for ChipEvent {
 /// load changes).
 const EMA_ALPHA: f64 = 0.05;
 
+/// A single hysteretic droop detector: trips once when the dip reaches the
+/// threshold, then stays silent until the dip recovers below *half* the
+/// threshold — guaranteeing exactly one alarm per excursion no matter how
+/// the dip waveform wiggles near the trip point.
+///
+/// This is the per-core comparator inside the system's droop-alarm bank
+/// (see [`System::set_droop_alarm`](crate::System::set_droop_alarm)),
+/// exposed so the hysteresis contract can be property-tested and reused.
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::DroopHysteresis;
+/// use atm_units::MegaHz;
+///
+/// let mut det = DroopHysteresis::new(MegaHz::new(25.0));
+/// assert!(det.observe(MegaHz::new(30.0))); // trips
+/// assert!(!det.observe(MegaHz::new(40.0))); // still in the excursion
+/// assert!(!det.observe(MegaHz::new(20.0))); // above half threshold: silent
+/// assert!(!det.observe(MegaHz::new(5.0))); // recovers, re-arms
+/// assert!(det.observe(MegaHz::new(26.0))); // a new excursion trips again
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DroopHysteresis {
+    threshold: MegaHz,
+    armed: bool,
+}
+
+impl DroopHysteresis {
+    /// Creates an armed detector with the given trip threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    #[must_use]
+    pub fn new(threshold: MegaHz) -> Self {
+        assert!(threshold.get() > 0.0, "droop threshold must be positive");
+        DroopHysteresis {
+            threshold,
+            armed: true,
+        }
+    }
+
+    /// Observes one sample of the dip below the rolling mean; returns
+    /// `true` iff the alarm trips on this sample.
+    #[inline]
+    pub fn observe(&mut self, dip: MegaHz) -> bool {
+        if self.armed && dip.get() >= self.threshold.get() {
+            self.armed = false;
+            true
+        } else {
+            if !self.armed && dip.get() < self.threshold.get() / 2.0 {
+                self.armed = true;
+            }
+            false
+        }
+    }
+
+    /// Whether the detector is armed (ready to trip).
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Force-rearms the detector (used when its core leaves ATM mode and
+    /// the excursion bookkeeping restarts from scratch).
+    pub fn rearm(&mut self) {
+        self.armed = true;
+    }
+}
+
 /// Per-core droop detector bank used inside timed runs: tracks a rolling
 /// mean of each ATM core's frequency and trips hysteretic alarms.
 #[derive(Debug)]
 pub(crate) struct DroopDetectorBank {
-    threshold: MegaHz,
     /// Per-core (flat index) rolling mean frequency, MHz.
     ema: Vec<f64>,
-    /// Whether the detector is armed (re-arms at half threshold).
-    armed: Vec<bool>,
+    /// Per-core hysteresis comparator.
+    detectors: Vec<DroopHysteresis>,
 }
 
 impl DroopDetectorBank {
@@ -93,9 +163,8 @@ impl DroopDetectorBank {
         }
         let n = ema.len();
         DroopDetectorBank {
-            threshold,
             ema,
-            armed: vec![true; n],
+            detectors: vec![DroopHysteresis::new(threshold); n],
         }
     }
 
@@ -108,22 +177,21 @@ impl DroopDetectorBank {
                 let f = core.frequency().get();
                 if core.mode() == crate::MarginMode::Atm && f > 0.0 {
                     let dip = self.ema[slot] - f;
-                    if self.armed[slot] && dip >= self.threshold.get() {
-                        self.armed[slot] = false;
+                    // A clock above its rolling mean is a zero dip: the
+                    // comparator only sees non-negative excursions.
+                    if self.detectors[slot].observe(MegaHz::new(dip.max(0.0))) {
                         alarms.push(ChipEvent::Droop(DroopAlarm {
                             core: core.id(),
                             dip: MegaHz::new(dip),
                             at: now,
                         }));
-                    } else if !self.armed[slot] && dip < self.threshold.get() / 2.0 {
-                        self.armed[slot] = true;
                     }
                     self.ema[slot] += EMA_ALPHA * (f - self.ema[slot]);
                 } else {
                     // Non-ATM cores have no loop to respond; track their
                     // frequency so a later mode switch starts fresh.
                     self.ema[slot] = f;
-                    self.armed[slot] = true;
+                    self.detectors[slot].rearm();
                 }
                 slot += 1;
             }
@@ -136,6 +204,7 @@ impl DroopDetectorBank {
 mod tests {
     use super::*;
     use crate::FailureKind;
+    use proptest::prelude::*;
 
     #[test]
     fn display_names_the_core() {
@@ -151,5 +220,95 @@ mod tests {
             at: Nanos::new(10.0),
         });
         assert!(failure.to_string().contains("crash"));
+    }
+
+    #[test]
+    fn hysteresis_trips_once_per_excursion() {
+        let mut det = DroopHysteresis::new(MegaHz::new(25.0));
+        // Excursion: rise past threshold, wiggle, recover.
+        let dips = [0.0, 10.0, 26.0, 30.0, 27.0, 20.0, 13.0, 12.0, 5.0, 0.0];
+        let alarms: usize = dips
+            .iter()
+            .filter(|&&d| det.observe(MegaHz::new(d)))
+            .count();
+        assert_eq!(alarms, 1);
+        assert!(det.is_armed());
+    }
+
+    #[test]
+    fn hysteresis_half_threshold_rearm_boundary() {
+        let mut det = DroopHysteresis::new(MegaHz::new(20.0));
+        assert!(det.observe(MegaHz::new(20.0))); // trips at exactly threshold
+        assert!(!det.observe(MegaHz::new(10.0))); // exactly half: NOT below, stays disarmed
+        assert!(!det.is_armed());
+        assert!(!det.observe(MegaHz::new(9.999))); // below half: re-arms
+        assert!(det.is_armed());
+        assert!(det.observe(MegaHz::new(20.0))); // next excursion trips
+    }
+
+    // A waveform that never recovers below half threshold after tripping
+    // can alarm at most once, no matter how wild it is.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn no_realarm_without_half_recovery(
+            dips in proptest::collection::vec(0.0f64..200.0, 1..200),
+        ) {
+            let threshold = 25.0;
+            let mut det = DroopHysteresis::new(MegaHz::new(threshold));
+            let mut tripped = false;
+            for &d in &dips {
+                // Clamp the waveform so that once tripped it never dips
+                // below half threshold again.
+                let d = if tripped { d.max(threshold / 2.0) } else { d };
+                let fired = det.observe(MegaHz::new(d));
+                if fired {
+                    prop_assert!(!tripped, "re-alarmed without half-threshold recovery");
+                    tripped = true;
+                }
+            }
+        }
+
+        /// Across an arbitrary dip waveform, the number of alarms equals
+        /// the number of excursions: transitions into the at-or-above
+        /// threshold region from the armed state, where arming happens
+        /// only strictly below half threshold.
+        #[test]
+        fn exactly_one_alarm_per_excursion(
+            dips in proptest::collection::vec(0.0f64..200.0, 1..300),
+        ) {
+            let threshold = 25.0;
+            let mut det = DroopHysteresis::new(MegaHz::new(threshold));
+            // Reference count via an explicit excursion scan.
+            let mut armed = true;
+            let mut expected = 0usize;
+            let mut fired = 0usize;
+            for &d in &dips {
+                if armed && d >= threshold {
+                    expected += 1;
+                    armed = false;
+                } else if !armed && d < threshold / 2.0 {
+                    armed = true;
+                }
+                if det.observe(MegaHz::new(d)) {
+                    fired += 1;
+                }
+            }
+            prop_assert_eq!(fired, expected);
+        }
+
+        /// The detector's armed state is a pure function of the waveform
+        /// prefix: replaying the same waveform yields the same alarms.
+        #[test]
+        fn hysteresis_is_deterministic(
+            dips in proptest::collection::vec(0.0f64..100.0, 1..100),
+        ) {
+            let run = |dips: &[f64]| {
+                let mut det = DroopHysteresis::new(MegaHz::new(25.0));
+                dips.iter().map(|&d| det.observe(MegaHz::new(d))).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(&dips), run(&dips));
+        }
     }
 }

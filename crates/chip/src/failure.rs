@@ -29,18 +29,24 @@ impl fmt::Display for FailureKind {
 }
 
 impl FailureKind {
-    /// Samples a failure manifestation from a uniform draw in `[0, 1)`.
+    /// Samples a failure manifestation from a uniform draw over the
+    /// closed unit interval `[0, 1]`.
     ///
     /// Roughly 40% crashes, 40% abnormal exits, 20% SDC — SDC is the
     /// rarest manifestation because most timing violations hit control
-    /// logic rather than silent datapaths.
+    /// logic rather than silent datapaths. The function is **total** over
+    /// `[0, 1]`: `u == 1.0` (which some RNG adapters can produce at the
+    /// top of an inclusive range) maps to the last bucket instead of
+    /// panicking, so a caller feeding raw RNG draws can never crash the
+    /// simulator.
     ///
     /// # Panics
     ///
-    /// Panics if `u` is outside `[0, 1)`.
+    /// Panics if `u` is outside `[0, 1]` (including NaN) — a programming
+    /// error, not a boundary artifact of a uniform draw.
     #[must_use]
     pub fn sample(u: f64) -> Self {
-        assert!((0.0..1.0).contains(&u), "u out of [0,1): {u}");
+        assert!((0.0..=1.0).contains(&u), "u out of [0,1]: {u}");
         if u < 0.4 {
             FailureKind::SystemCrash
         } else if u < 0.8 {
@@ -80,9 +86,36 @@ mod tests {
     }
 
     #[test]
+    fn sample_is_total_on_closed_interval() {
+        // The boundaries of every bucket, including the inclusive top.
+        assert_eq!(FailureKind::sample(0.0), FailureKind::SystemCrash);
+        assert_eq!(FailureKind::sample(0.4), FailureKind::AbnormalExit);
+        assert_eq!(FailureKind::sample(0.8), FailureKind::SilentDataCorruption);
+        assert_eq!(FailureKind::sample(1.0), FailureKind::SilentDataCorruption);
+        // Just below the top is still in range.
+        let below_one = 1.0 - f64::EPSILON;
+        assert_eq!(
+            FailureKind::sample(below_one),
+            FailureKind::SilentDataCorruption
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "out of")]
-    fn sample_rejects_out_of_range() {
-        let _ = FailureKind::sample(1.0);
+    fn sample_rejects_above_one() {
+        let _ = FailureKind::sample(1.0 + f64::EPSILON * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn sample_rejects_negative() {
+        let _ = FailureKind::sample(-0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn sample_rejects_nan() {
+        let _ = FailureKind::sample(f64::NAN);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Fault-injection hooks for timed runs.
+//!
+//! A [`FaultHook`] is threaded through the system's timed runs
+//! ([`System::run_faulted`](crate::System::run_faulted) and friends) and
+//! asked, once per tick while armed, which [`FaultAction`]s to inject.
+//! Actions arm faults for a bounded number of ticks in the engine's
+//! internal fault state; the tick loop then delivers them to the right
+//! substrate:
+//!
+//! * [`FaultAction::CpmFault`] — a [`SensorFault`] rewrites (or drops) the
+//!   core's worst-CPM reading before the ATM loop consumes it;
+//! * [`FaultAction::DpllFault`] — an [`ActuatorFault`] filters the loop's
+//!   commanded slews for the tick;
+//! * [`FaultAction::RailTransient`] — a [`RailTransient`] sags the
+//!   delivered DC voltage of every core on a socket;
+//! * [`FaultAction::LoadStep`] — a deterministic [`LoadStep`] droop burst
+//!   merges with the core's own stochastic droops;
+//! * [`FaultAction::ForceFailure`] — a timing failure fires on the core
+//!   this tick, regardless of margin mode (modeling workload-phase
+//!   triggered escapes the margin machinery cannot see coming).
+//!
+//! The stride fast path never engages on a core while faults are armed:
+//! an armed hook forces every tick through the exact evaluation path, so
+//! injected corruption is always simulated, never certified away.
+//!
+//! Hooks must report a stable [`FaultHook::armed`] value for the duration
+//! of a single timed run; the engine drains any still-armed fault
+//! durations to completion even if the hook disarms between runs.
+
+use atm_cpm::SensorFault;
+use atm_dpll::ActuatorFault;
+use atm_pdn::{LoadStep, RailTransient};
+use atm_units::{CoreId, Nanos, ProcId, CORES_PER_PROC, NUM_PROCS};
+
+use crate::failure::FailureKind;
+
+/// One fault injection requested by a [`FaultHook`] for the current tick.
+///
+/// Durations are in ticks; a duration of zero is treated as one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Corrupt a core's CPM readout for `ticks` ticks.
+    CpmFault {
+        /// The affected core.
+        core: CoreId,
+        /// The sensor fault to apply.
+        fault: SensorFault,
+        /// How many ticks the fault stays armed.
+        ticks: u32,
+    },
+    /// Degrade a core's DPLL actuator for `ticks` ticks.
+    DpllFault {
+        /// The affected core.
+        core: CoreId,
+        /// The actuator fault to apply.
+        fault: ActuatorFault,
+        /// How many ticks the fault stays armed.
+        ticks: u32,
+    },
+    /// Sag a whole socket's delivered rail voltage for `ticks` ticks.
+    RailTransient {
+        /// The affected socket.
+        proc: ProcId,
+        /// The rail sag to apply.
+        transient: RailTransient,
+        /// How many ticks the sag lasts.
+        ticks: u32,
+    },
+    /// Inject a deterministic load-step droop burst on a core for
+    /// `ticks` ticks.
+    LoadStep {
+        /// The affected core.
+        core: CoreId,
+        /// The droop burst to merge with the core's own droops.
+        step: LoadStep,
+        /// How many ticks the burst lasts.
+        ticks: u32,
+    },
+    /// Force a timing failure on a core this tick (single-tick action).
+    ForceFailure {
+        /// The failing core.
+        core: CoreId,
+        /// How the failure manifests.
+        kind: FailureKind,
+    },
+}
+
+/// A source of fault injections for timed runs.
+///
+/// The default implementation ([`NoFaults`]) is permanently disarmed and
+/// adds no per-tick work beyond one branch. Campaign engines (crate
+/// `atm-faults`) implement this trait over a resolved, deterministic
+/// schedule.
+pub trait FaultHook {
+    /// Whether the hook may inject anything. While this returns `true`,
+    /// every core's stride fast path is bypassed. A hook may disarm
+    /// permanently once its schedule is exhausted (one-way transition);
+    /// still-armed fault durations drain to completion regardless.
+    fn armed(&self) -> bool {
+        false
+    }
+
+    /// Called once at the start of every timed run, before any tick.
+    fn on_trial_start(&mut self) {}
+
+    /// Called once per tick while [`FaultHook::armed`]; push any actions
+    /// to inject this tick into `out`. `tick` counts ticks within the
+    /// current run; `now` is the run's simulation clock.
+    fn on_tick(&mut self, now: Nanos, tick: u64, out: &mut Vec<FaultAction>);
+}
+
+/// The no-op hook: never armed, never injects. Timed runs driven with
+/// `NoFaults` are bit-identical to the plain (hook-less) runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn on_tick(&mut self, _now: Nanos, _tick: u64, _out: &mut Vec<FaultAction>) {}
+}
+
+impl<F: FaultHook + ?Sized> FaultHook for &mut F {
+    fn armed(&self) -> bool {
+        (**self).armed()
+    }
+
+    fn on_trial_start(&mut self) {
+        (**self).on_trial_start();
+    }
+
+    fn on_tick(&mut self, now: Nanos, tick: u64, out: &mut Vec<FaultAction>) {
+        (**self).on_tick(now, tick, out);
+    }
+}
+
+/// The faults currently armed on one core, as the tick loop sees them.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CoreFaultLine {
+    /// Sensor fault with remaining ticks.
+    pub(crate) cpm: Option<(SensorFault, u32)>,
+    /// Actuator fault with remaining ticks.
+    pub(crate) dpll: Option<(ActuatorFault, u32)>,
+    /// Load-step burst with remaining ticks.
+    pub(crate) load_step: Option<(LoadStep, u32)>,
+    /// Forced failure for this tick only.
+    pub(crate) force: Option<FailureKind>,
+}
+
+impl CoreFaultLine {
+    fn is_idle(&self) -> bool {
+        self.cpm.is_none()
+            && self.dpll.is_none()
+            && self.load_step.is_none()
+            && self.force.is_none()
+    }
+}
+
+/// One socket's view of the armed faults for a tick.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProcFaults<'a> {
+    /// Rail sag applied to every core's delivered voltage.
+    pub(crate) rail: Option<RailTransient>,
+    /// Per-core fault lines, indexed by core index within the socket.
+    pub(crate) lines: &'a [CoreFaultLine; CORES_PER_PROC],
+}
+
+/// The run engine's fault bookkeeping: armed fault lines with remaining
+/// durations, refreshed from the hook each tick and decremented after.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    lines: [[CoreFaultLine; CORES_PER_PROC]; NUM_PROCS],
+    rail: [Option<(RailTransient, u32)>; NUM_PROCS],
+    scratch: Vec<FaultAction>,
+    active: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new() -> Self {
+        FaultState {
+            lines: [[CoreFaultLine::default(); CORES_PER_PROC]; NUM_PROCS],
+            rail: [None; NUM_PROCS],
+            scratch: Vec::new(),
+            active: false,
+        }
+    }
+
+    /// Whether any fault line or rail sag still has remaining duration.
+    pub(crate) fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Collects the hook's actions for this tick and merges them into the
+    /// armed lines (an action on an already-armed slot replaces it).
+    pub(crate) fn begin_tick<F: FaultHook>(&mut self, hook: &mut F, now: Nanos, tick: u64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        hook.on_tick(now, tick, &mut scratch);
+        for action in scratch.drain(..) {
+            self.apply(action);
+        }
+        self.scratch = scratch;
+    }
+
+    fn apply(&mut self, action: FaultAction) {
+        self.active = true;
+        match action {
+            FaultAction::CpmFault { core, fault, ticks } => {
+                self.line_mut(core).cpm = Some((fault, ticks.max(1)));
+            }
+            FaultAction::DpllFault { core, fault, ticks } => {
+                self.line_mut(core).dpll = Some((fault, ticks.max(1)));
+            }
+            FaultAction::RailTransient {
+                proc,
+                transient,
+                ticks,
+            } => {
+                self.rail[proc.index()] = Some((transient, ticks.max(1)));
+            }
+            FaultAction::LoadStep { core, step, ticks } => {
+                self.line_mut(core).load_step = Some((step, ticks.max(1)));
+            }
+            FaultAction::ForceFailure { core, kind } => {
+                self.line_mut(core).force = Some(kind);
+            }
+        }
+    }
+
+    fn line_mut(&mut self, core: CoreId) -> &mut CoreFaultLine {
+        &mut self.lines[core.proc_id().index()][core.core_index()]
+    }
+
+    /// The armed faults socket `proc` must apply this tick.
+    pub(crate) fn proc_view(&self, proc: usize) -> ProcFaults<'_> {
+        ProcFaults {
+            rail: self.rail[proc].map(|(t, _)| t),
+            lines: &self.lines[proc],
+        }
+    }
+
+    /// Decrements remaining durations, clears expired slots and one-shot
+    /// forced failures, and recomputes the active flag.
+    pub(crate) fn end_tick(&mut self) {
+        let mut active = false;
+        for proc_lines in &mut self.lines {
+            for line in proc_lines.iter_mut() {
+                decrement(&mut line.cpm);
+                decrement(&mut line.dpll);
+                decrement(&mut line.load_step);
+                line.force = None;
+                active |= !line.is_idle();
+            }
+        }
+        for rail in &mut self.rail {
+            decrement(rail);
+            active |= rail.is_some();
+        }
+        self.active = active;
+    }
+}
+
+/// Decrements a `(payload, remaining ticks)` slot, clearing it at zero.
+fn decrement<T>(slot: &mut Option<(T, u32)>) {
+    if let Some((_, remaining)) = slot {
+        *remaining -= 1;
+        if *remaining == 0 {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct OneShot {
+        fired: bool,
+    }
+
+    impl FaultHook for OneShot {
+        fn armed(&self) -> bool {
+            true
+        }
+
+        fn on_tick(&mut self, _now: Nanos, tick: u64, out: &mut Vec<FaultAction>) {
+            if tick == 0 && !self.fired {
+                self.fired = true;
+                out.push(FaultAction::CpmFault {
+                    core: CoreId::new(0, 3),
+                    fault: SensorFault::Dropout,
+                    ticks: 2,
+                });
+                out.push(FaultAction::RailTransient {
+                    proc: ProcId::new(1),
+                    transient: RailTransient::new(30.0),
+                    ticks: 1,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn durations_expire_after_their_ticks() {
+        let mut state = FaultState::new();
+        let mut hook = OneShot { fired: false };
+        // Tick 0: both faults armed.
+        state.begin_tick(&mut hook, Nanos::ZERO, 0);
+        assert!(state.proc_view(0).lines[3].cpm.is_some());
+        assert!(state.proc_view(1).rail.is_some());
+        state.end_tick();
+        // Tick 1: the 1-tick rail sag has expired, the 2-tick CPM fault
+        // survives.
+        assert!(state.is_active());
+        state.begin_tick(&mut hook, Nanos::ZERO, 1);
+        assert!(state.proc_view(0).lines[3].cpm.is_some());
+        assert!(state.proc_view(1).rail.is_none());
+        state.end_tick();
+        assert!(!state.is_active());
+    }
+
+    #[test]
+    fn forced_failures_are_one_shot() {
+        struct Forcer;
+        impl FaultHook for Forcer {
+            fn armed(&self) -> bool {
+                true
+            }
+            fn on_tick(&mut self, _now: Nanos, tick: u64, out: &mut Vec<FaultAction>) {
+                if tick == 0 {
+                    out.push(FaultAction::ForceFailure {
+                        core: CoreId::new(0, 0),
+                        kind: FailureKind::SystemCrash,
+                    });
+                }
+            }
+        }
+        let mut state = FaultState::new();
+        state.begin_tick(&mut Forcer, Nanos::ZERO, 0);
+        assert!(state.proc_view(0).lines[0].force.is_some());
+        state.end_tick();
+        assert!(state.proc_view(0).lines[0].force.is_none());
+        assert!(!state.is_active());
+    }
+
+    #[test]
+    fn no_faults_is_disarmed() {
+        assert!(!NoFaults.armed());
+        let mut out = Vec::new();
+        NoFaults.on_tick(Nanos::ZERO, 0, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -39,6 +39,7 @@ mod config;
 mod core;
 mod events;
 mod failure;
+mod faults;
 mod mode;
 mod processor;
 mod pstate;
@@ -49,8 +50,9 @@ mod trace;
 
 pub use config::ChipConfig;
 pub use core::Core;
-pub use events::{ChipEvent, DroopAlarm};
+pub use events::{ChipEvent, DroopAlarm, DroopHysteresis};
 pub use failure::{FailureEvent, FailureKind};
+pub use faults::{FaultAction, FaultHook, NoFaults};
 pub use mode::MarginMode;
 pub use processor::Processor;
 pub use pstate::{PState, PStateTable};

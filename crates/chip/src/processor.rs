@@ -10,6 +10,7 @@ use atm_workloads::WorkloadKind;
 use crate::config::ChipConfig;
 use crate::core::Core;
 use crate::failure::{FailureEvent, FailureKind};
+use crate::faults::ProcFaults;
 use crate::report::ProcReport;
 
 /// Fraction of leakage a power-gated core still draws.
@@ -254,12 +255,18 @@ impl Processor {
     /// any. Telemetry rides along as the generic `rec` (see
     /// [`Core::tick_recorded`]); pass [`atm_telemetry::NullRecorder`] for
     /// the unrecorded path — the simulated physics are identical either
-    /// way.
+    /// way. `faults` is this socket's armed fault view for the tick, if a
+    /// fault-injection hook is driving the run: a rail transient sags the
+    /// delivered voltage of every core, per-core fault lines pass down to
+    /// [`Core::tick_recorded`], and forced failures fire after the core
+    /// loop (a naturally occurring failure on any core takes precedence
+    /// over a forced one).
     pub(crate) fn tick_recorded<R: Recorder>(
         &mut self,
         dt: Nanos,
         check_failures: bool,
         now: Nanos,
+        faults: Option<ProcFaults<'_>>,
         rec: &mut R,
     ) -> Option<FailureEvent> {
         let t = self.thermal.temperature();
@@ -292,14 +299,34 @@ impl Processor {
         let shared_drop = self.pdn.shared_term(chip_power);
         let mut first_failure: Option<(usize, FailureKind)> = None;
         for (i, core) in self.cores.iter_mut().enumerate() {
-            let v_dc = self
+            let mut v_dc = self
                 .pdn
                 .core_voltage_from_shared(shared_drop, core_powers[i]);
+            let line = match &faults {
+                Some(f) => {
+                    if let Some(rail) = f.rail {
+                        v_dc = rail.apply(v_dc);
+                    }
+                    Some(&f.lines[i])
+                }
+                None => None,
+            };
             core.record_power(core_powers[i], dt);
-            if let Some(kind) = core.tick_recorded(v_dc, t, dt, amplify, surge, check_failures, rec)
+            if let Some(kind) =
+                core.tick_recorded(v_dc, t, dt, amplify, surge, line, check_failures, rec)
             {
                 if first_failure.is_none() {
                     first_failure = Some((i, kind));
+                }
+            }
+        }
+        if first_failure.is_none() {
+            if let Some(f) = &faults {
+                for (i, line) in f.lines.iter().enumerate() {
+                    if let Some(kind) = line.force {
+                        first_failure = Some((i, kind));
+                        break;
+                    }
                 }
             }
         }
@@ -420,7 +447,13 @@ mod tests {
         p.warm_start();
         // Let thermal and power interact for a few ms.
         for _ in 0..200 {
-            let _ = p.tick_recorded(Nanos::new(50_000.0), false, Nanos::ZERO, &mut NullRecorder);
+            let _ = p.tick_recorded(
+                Nanos::new(50_000.0),
+                false,
+                Nanos::ZERO,
+                None,
+                &mut NullRecorder,
+            );
         }
         let total = p.instantaneous_power();
         assert!(

@@ -9,6 +9,7 @@ use atm_workloads::Workload;
 use crate::config::ChipConfig;
 use crate::core::Core;
 use crate::failure::FailureEvent;
+use crate::faults::{FaultHook, FaultState, NoFaults};
 use crate::mode::MarginMode;
 use crate::processor::Processor;
 use crate::report::SystemReport;
@@ -63,17 +64,24 @@ struct RunEngine {
     ticks: u64,
     droop_alarms: u64,
     failure: Option<FailureEvent>,
+    /// Armed fault lines with remaining durations (always idle unless a
+    /// fault-injection hook drives the run).
+    faults: FaultState,
 }
 
 impl RunEngine {
     /// Ticks the system until the clock reaches `target` (or a failure
-    /// aborts the run). `observe` is called once per tick after the
-    /// physics and droop detectors, before the clock advances — the
-    /// traced run's sampling hook.
-    fn advance_to<R: Recorder>(
+    /// aborts the run). `hook` is consulted once per tick while armed and
+    /// its injections are applied through the engine's fault state — with
+    /// the disarmed [`NoFaults`] hook the loop is bit-identical to a
+    /// hook-less one. `observe` is called once per tick after the physics
+    /// and droop detectors, before the clock advances — the traced run's
+    /// sampling hook.
+    fn advance_to<R: Recorder, F: FaultHook>(
         &mut self,
         sys: &mut System,
         target: Nanos,
+        hook: &mut F,
         rec: &mut R,
         observe: &mut impl FnMut(&System, u64, Nanos),
     ) {
@@ -81,11 +89,28 @@ impl RunEngine {
             return; // A prior chunk already aborted the run.
         }
         while self.now.get() < target.get() {
+            let armed = hook.armed();
+            if armed {
+                self.faults.begin_tick(hook, self.now, self.ticks);
+            }
+            // An armed hook routes every core through the exact path (so
+            // injections are always simulated, never certified away);
+            // lingering timed faults drain to expiry even if the hook
+            // disarmed between runs.
+            let faulting = armed || self.faults.is_active();
             let mut new_failure = None;
-            for p in &mut sys.procs {
-                if let Some(f) = p.tick_recorded(self.dt, self.check, self.now, rec) {
+            for (pi, p) in sys.procs.iter_mut().enumerate() {
+                let view = if faulting {
+                    Some(self.faults.proc_view(pi))
+                } else {
+                    None
+                };
+                if let Some(f) = p.tick_recorded(self.dt, self.check, self.now, view, rec) {
                     new_failure.get_or_insert(f);
                 }
+            }
+            if faulting {
+                self.faults.end_tick();
             }
             if let Some(f) = new_failure {
                 if self.failure.is_none() {
@@ -349,6 +374,7 @@ impl System {
             ticks: 0,
             droop_alarms: 0,
             failure: None,
+            faults: FaultState::new(),
         }
     }
 
@@ -389,9 +415,40 @@ impl System {
     ///
     /// Panics if `duration` is not positive.
     pub fn run_recorded<R: Recorder>(&mut self, duration: Nanos, rec: &mut R) -> SystemReport {
+        self.run_faulted_recorded(duration, &mut NoFaults, rec)
+    }
+
+    /// [`System::run`] with a fault-injection hook: `hook` is consulted
+    /// once per tick while armed and its [`crate::FaultAction`]s are
+    /// applied to the simulated hardware (see [`crate::FaultHook`]).
+    /// Driving a run with the disarmed [`NoFaults`] hook is bit-identical
+    /// to [`System::run`]. While the hook is armed, every core takes the
+    /// exact evaluation path — the stride fast path never certifies away
+    /// an injected fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn run_faulted<F: FaultHook>(&mut self, duration: Nanos, hook: &mut F) -> SystemReport {
+        self.run_faulted_recorded(duration, hook, &mut NullRecorder)
+    }
+
+    /// [`System::run_faulted`] with telemetry (see
+    /// [`System::run_recorded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    pub fn run_faulted_recorded<R: Recorder, F: FaultHook>(
+        &mut self,
+        duration: Nanos,
+        hook: &mut F,
+        rec: &mut R,
+    ) -> SystemReport {
         assert!(duration.get() > 0.0, "duration must be positive");
+        hook.on_trial_start();
         let mut engine = self.start_engine();
-        engine.advance_to(self, duration, rec, &mut |_, _, _| {});
+        engine.advance_to(self, duration, hook, rec, &mut |_, _, _| {});
         engine.finish(rec);
         self.assemble_report(engine.now, engine.failure)
     }
@@ -431,7 +488,7 @@ impl System {
         for &chunk in chunks {
             assert!(chunk.get() > 0.0, "chunk durations must be positive");
             target += chunk;
-            engine.advance_to(self, target, rec, &mut |_, _, _| {});
+            engine.advance_to(self, target, &mut NoFaults, rec, &mut |_, _, _| {});
         }
         engine.finish(rec);
         self.assemble_report(engine.now, engine.failure)
@@ -456,6 +513,7 @@ impl System {
         engine.advance_to(
             self,
             duration,
+            &mut NoFaults,
             &mut NullRecorder,
             &mut |sys, tick_index, now| {
                 if (tick_index as usize).is_multiple_of(decimation) {

@@ -49,6 +49,7 @@ mod qos;
 mod schedule;
 mod scheduler;
 pub mod stress;
+mod supervisor;
 mod throttle;
 
 pub use charact::{CharactConfig, CharactConfigBuilder, LimitDistribution};
@@ -62,6 +63,7 @@ pub use qos::QosTarget;
 pub use schedule::{Schedule, ScheduleEntry};
 pub use scheduler::{Placement, Scheduler};
 pub use stress::{stress_test_deploy, StressTestResult};
+pub use supervisor::{MarginSupervisor, SupervisorAction, SupervisorConfig};
 pub use throttle::{
     throttle_to_budget, throttle_to_budget_recorded, ThrottlePlan, ThrottleSetting,
 };

@@ -1,6 +1,6 @@
 //! The fine-tuned ATM manager (Sec. VII, Figs. 13–14).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use atm_chip::{MarginMode, System};
@@ -16,6 +16,7 @@ use crate::predictor::{FreqPredictor, PerfPredictor};
 use crate::qos::QosTarget;
 use crate::scheduler::{Placement, Scheduler};
 use crate::stress::{stress_test_deploy, StressTestResult};
+use crate::supervisor::SupervisorAction;
 use crate::throttle::{throttle_to_budget_recorded, ThrottleSetting};
 
 /// Frequency headroom added to the QoS-required frequency when computing
@@ -119,6 +120,12 @@ pub struct AtmManager {
     /// ([`AtmManager::rollback_core`]); survives re-posturing because the
     /// governor map is adjusted by these overrides on every application.
     rollback_overrides: HashMap<CoreId, usize>,
+    /// Cores the supervisor has quarantined: clock-gated, idle, and
+    /// excluded from every placement until the manager is redeployed.
+    quarantined: BTreeSet<CoreId>,
+    /// Cores reverted to the static-margin baseline by the supervisor's
+    /// safe mode: reduction pinned at 0, never placed as critical.
+    safe_mode: BTreeSet<CoreId>,
 }
 
 /// The serving posture produced by [`AtmManager::serve_posture`]: where
@@ -162,6 +169,8 @@ impl AtmManager {
             freq_predictors: HashMap::new(),
             measure_duration: Nanos::new(100_000.0),
             rollback_overrides: HashMap::new(),
+            quarantined: BTreeSet::new(),
+            safe_mode: BTreeSet::new(),
         }
     }
 
@@ -334,6 +343,11 @@ impl AtmManager {
             let slot = core.flat_index();
             map[slot] = map[slot].saturating_sub(extra);
         }
+        // Safe-moded and quarantined cores stay at the static-margin
+        // baseline (reduction 0) no matter what the governor proposes.
+        for &core in self.safe_mode.iter().chain(self.quarantined.iter()) {
+            map[core.flat_index()] = 0;
+        }
         FineTuner::new(&mut self.system)
             .apply_map(&map)
             .expect("governor maps derive from validated limits");
@@ -387,6 +401,128 @@ impl AtmManager {
         self.rollback_overrides.get(&core).copied().unwrap_or(0)
     }
 
+    /// Applies a batch of [`MarginSupervisor`](crate::MarginSupervisor)
+    /// decisions to the managed system. Returns `true` when the serving
+    /// layer must recompute its placement (a core was quarantined or
+    /// dropped to safe mode — either can take the critical core out of
+    /// rotation).
+    pub fn apply_supervisor_actions(&mut self, actions: &[SupervisorAction]) -> bool {
+        self.apply_supervisor_actions_recorded(actions, &mut NullRecorder)
+    }
+
+    /// [`AtmManager::apply_supervisor_actions`] with telemetry: rollbacks
+    /// and re-probes record through `rec` and the `manager.quarantines` /
+    /// `manager.safe_modes` counters are bumped. The outcome is identical
+    /// to [`AtmManager::apply_supervisor_actions`]'s.
+    pub fn apply_supervisor_actions_recorded<R: Recorder>(
+        &mut self,
+        actions: &[SupervisorAction],
+        rec: &mut R,
+    ) -> bool {
+        let mut needs_replace = false;
+        for action in actions {
+            let core = action.core();
+            if self.quarantined.contains(&core) {
+                continue;
+            }
+            match *action {
+                SupervisorAction::Rollback { steps, .. } => {
+                    if !self.safe_mode.contains(&core) {
+                        let _ = self.rollback_core_recorded(core, steps, rec);
+                    }
+                }
+                SupervisorAction::Reprobe { steps, .. } => {
+                    if !self.safe_mode.contains(&core) {
+                        let _ = self.reprobe_core_recorded(core, steps, rec);
+                    }
+                }
+                SupervisorAction::SafeMode { .. } => {
+                    self.safe_mode_core(core);
+                    rec.incr("manager.safe_modes", 1);
+                    needs_replace = true;
+                }
+                SupervisorAction::Quarantine { .. } => {
+                    self.quarantine_core(core);
+                    rec.incr("manager.quarantines", 1);
+                    needs_replace = true;
+                }
+            }
+        }
+        needs_replace
+    }
+
+    /// Cautiously restores fine-tuning after a clean probation: `steps` of
+    /// the rollback override come back off, and the core's live reduction
+    /// climbs by `steps`, capped at the stress-test-validated deployment.
+    ///
+    /// Returns the core's new reduction.
+    pub fn reprobe_core_recorded<R: Recorder>(
+        &mut self,
+        core: CoreId,
+        steps: usize,
+        rec: &mut R,
+    ) -> usize {
+        if let Some(over) = self.rollback_overrides.get_mut(&core) {
+            *over = over.saturating_sub(steps);
+            if *over == 0 {
+                self.rollback_overrides.remove(&core);
+            }
+        }
+        let ceiling = self.deployed.deployed_map()[core.flat_index()];
+        let new = (self.system.core(core).reduction() + steps).min(ceiling);
+        self.system
+            .set_reduction(core, new)
+            .expect("re-probe never exceeds the validated deployment");
+        self.freq_predictors.remove(&core);
+        rec.incr("manager.reprobes", 1);
+        new
+    }
+
+    /// Quarantines `core`: clock-gated, idled, reduction pinned at 0, and
+    /// excluded from every future placement. Terminal until redeployment.
+    pub fn quarantine_core(&mut self, core: CoreId) {
+        self.safe_mode.remove(&core);
+        self.quarantined.insert(core);
+        self.system
+            .set_reduction(core, 0)
+            .expect("zero reduction is always valid");
+        self.system.assign(core, Workload::idle());
+        self.system.set_mode(core, MarginMode::Gated);
+        self.freq_predictors.remove(&core);
+    }
+
+    /// Drops `core` to safe mode: static margin, reduction 0 — exactly the
+    /// never-tuned baseline configuration, which is correct by
+    /// construction. The core stays powered but is excluded from every
+    /// future placement and never re-enters ATM mode under this manager.
+    pub fn safe_mode_core(&mut self, core: CoreId) {
+        self.safe_mode.insert(core);
+        self.system
+            .set_reduction(core, 0)
+            .expect("zero reduction is always valid");
+        self.system.set_mode(core, MarginMode::Static);
+        self.freq_predictors.remove(&core);
+    }
+
+    /// The cores currently quarantined by supervisor actions.
+    #[must_use]
+    pub fn quarantined_cores(&self) -> &BTreeSet<CoreId> {
+        &self.quarantined
+    }
+
+    /// The cores currently held in safe mode by supervisor actions.
+    #[must_use]
+    pub fn safe_mode_cores(&self) -> &BTreeSet<CoreId> {
+        &self.safe_mode
+    }
+
+    /// The cores a placement must exclude (quarantined ∪ safe mode), in
+    /// core order.
+    #[must_use]
+    pub fn supervisor_excluded(&self) -> Vec<CoreId> {
+        self.quarantined.union(&self.safe_mode).copied().collect()
+    }
+
     /// Computes the serving posture for a critical stream with background
     /// co-runners (the serving layer's placement hook): the governor map
     /// is applied, the critical workload lands on the fastest (optionally
@@ -434,10 +570,16 @@ impl AtmManager {
 
         self.system.idle_all();
         self.system.set_mode_all(MarginMode::Static);
+        // The posture reset must not wake quarantined cores.
+        for &q in &self.quarantined {
+            self.system.set_mode(q, MarginMode::Gated);
+        }
         self.apply_governor_map(critical);
 
         let robust = self.governor.robust_cores_only();
-        let mut placement = Scheduler::new(&mut self.system).place_critical(proc, robust);
+        let excluded = self.supervisor_excluded();
+        let mut placement =
+            Scheduler::new(&mut self.system).place_critical_excluding(proc, robust, &excluded);
         let core = placement.critical_core;
 
         // Predictor chain (Fig. 13): QoS → required frequency → power

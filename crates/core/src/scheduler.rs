@@ -51,17 +51,43 @@ impl<'a> Scheduler<'a> {
     /// Modes and workloads are restored to static idle afterwards.
     #[must_use]
     pub fn rank_cores(&mut self, proc: ProcId, robust_only: bool) -> Vec<(CoreId, MegaHz)> {
+        self.rank_cores_excluding(proc, robust_only, &[])
+    }
+
+    /// [`Scheduler::rank_cores`] with a hard exclusion list: excluded cores
+    /// (quarantined or safe-moded by the margin supervisor) are never
+    /// probed — their margin mode is not touched — and never ranked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exclusion list covers the entire socket.
+    #[must_use]
+    pub fn rank_cores_excluding(
+        &mut self,
+        proc: ProcId,
+        robust_only: bool,
+        excluded: &[CoreId],
+    ) -> Vec<(CoreId, MegaHz)> {
+        let eligible: Vec<CoreId> = proc.cores().filter(|c| !excluded.contains(c)).collect();
+        assert!(
+            !eligible.is_empty(),
+            "exclusion list covers every core of {proc}"
+        );
         self.system.idle_all();
-        self.system.set_mode_all(MarginMode::Static);
-        for core in proc.cores() {
+        for core in CoreId::all().filter(|c| !excluded.contains(c)) {
+            self.system.set_mode(core, MarginMode::Static);
+        }
+        for &core in &eligible {
             self.system.set_mode(core, MarginMode::Atm);
         }
         let report = self.system.settle();
-        self.system.set_mode_all(MarginMode::Static);
+        for core in CoreId::all().filter(|c| !excluded.contains(c)) {
+            self.system.set_mode(core, MarginMode::Static);
+        }
 
-        let mut ranked: Vec<(CoreId, MegaHz)> = proc
-            .cores()
-            .map(|c| (c, report.core(c).mean_freq))
+        let mut ranked: Vec<(CoreId, MegaHz)> = eligible
+            .iter()
+            .map(|&c| (c, report.core(c).mean_freq))
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("frequencies are finite"));
 
@@ -110,10 +136,30 @@ impl<'a> Scheduler<'a> {
     /// fill once a power budget is known.
     #[must_use]
     pub fn place_critical(&mut self, proc: ProcId, robust_only: bool) -> Placement {
-        let critical_core = self.fastest_core(proc, robust_only);
+        self.place_critical_excluding(proc, robust_only, &[])
+    }
+
+    /// [`Scheduler::place_critical`] with a hard exclusion list: excluded
+    /// cores (quarantined or safe-moded) are neither candidates for the
+    /// critical slot nor listed as background slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exclusion list covers the entire socket.
+    #[must_use]
+    pub fn place_critical_excluding(
+        &mut self,
+        proc: ProcId,
+        robust_only: bool,
+        excluded: &[CoreId],
+    ) -> Placement {
+        let critical_core = self.rank_cores_excluding(proc, robust_only, excluded)[0].0;
         Placement {
             critical_core,
-            background_cores: proc.cores().filter(|c| *c != critical_core).collect(),
+            background_cores: proc
+                .cores()
+                .filter(|c| *c != critical_core && !excluded.contains(c))
+                .collect(),
             plan: None,
         }
     }

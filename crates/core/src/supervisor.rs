@@ -1,0 +1,488 @@
+//! The margin-safety supervisor: a watchdog over the fine-tuned fleet.
+//!
+//! Fine-tuning trades guardband for frequency; the paper's field story
+//! depends on *reacting* when that trade goes wrong. The
+//! [`MarginSupervisor`] is the reaction policy: it watches each core's
+//! health signals across observation windows — timing failures, droop-alarm
+//! storms, CPM-readout staleness — and escalates through a deterministic
+//! ladder:
+//!
+//! 1. **Strike → rollback + probation.** A strike rolls the core's CPM
+//!    reduction back one step and puts it on probation: the fine-tuned
+//!    setting is re-probed only after `reprobe_after × 2^strikes` clean
+//!    windows (exponential backoff, capped), so a marginal core earns its
+//!    aggressive setting back slowly.
+//! 2. **Three strikes → safe mode.** The core provably reverts to the
+//!    static-margin baseline: margin mode [`MarginMode::Static`], CPM
+//!    reduction zero — byte-for-byte the configuration of a core that was
+//!    never fine-tuned (the safe-mode guarantee, asserted by the
+//!    golden-comparison test in `tests/fault_campaigns.rs`).
+//! 3. **Five strikes → quarantine.** A flapping core — one that keeps
+//!    failing even in safe mode — is power-gated and permanently excluded
+//!    from placement. Quarantine is terminal for the supervisor's
+//!    lifetime.
+//!
+//! The supervisor only *decides*; the [`AtmManager`](crate::AtmManager)
+//! applies its [`SupervisorAction`]s (see
+//! [`AtmManager::apply_supervisor_actions`](crate::AtmManager::apply_supervisor_actions)).
+//! All state is integer-valued and window-indexed, so supervised runs are
+//! bit-deterministic.
+
+use atm_chip::{ChipEvent, MarginMode, System};
+use atm_units::{CoreId, CORES_PER_PROC, NUM_PROCS};
+use serde::{Deserialize, Serialize};
+
+/// Total cores watched.
+const NUM_CORES: usize = NUM_PROCS * CORES_PER_PROC;
+
+/// Health lost per strike window.
+const HEALTH_PER_STRIKE: u32 = 30;
+
+/// Health regained per clean window.
+const HEALTH_PER_CLEAN: u32 = 10;
+
+/// The supervisor's thresholds. All integer-valued; the defaults are the
+/// ones the repo's fault-campaign tests are calibrated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Clean windows required before the first re-probe (doubled per
+    /// accumulated strike, capped by `backoff_cap`).
+    pub reprobe_after: u32,
+    /// Maximum backoff exponent: probation never requires more than
+    /// `reprobe_after << backoff_cap` clean windows.
+    pub backoff_cap: u32,
+    /// Droop alarms within one window that count as a strike.
+    pub alarm_trip: usize,
+    /// CPM-stale ticks accumulated within one window that count as a
+    /// strike (sensor-dropout staleness).
+    pub stale_trip: u64,
+    /// Strikes at which a core is reverted to the static-margin baseline.
+    pub safe_mode_strikes: u32,
+    /// Strikes at which a core is quarantined (power-gated, excluded from
+    /// placement). Must be above `safe_mode_strikes`.
+    pub quarantine_strikes: u32,
+    /// CPM steps removed per rollback and restored per re-probe.
+    pub rollback_steps: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            reprobe_after: 2,
+            backoff_cap: 4,
+            alarm_trip: 3,
+            stale_trip: 64,
+            safe_mode_strikes: 3,
+            quarantine_strikes: 5,
+            rollback_steps: 1,
+        }
+    }
+}
+
+/// One decision the supervisor hands to the manager at a window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SupervisorAction {
+    /// Roll the core's CPM reduction back by `steps` (field response to a
+    /// strike).
+    Rollback {
+        /// The struck core.
+        core: CoreId,
+        /// Delay steps to restore.
+        steps: usize,
+    },
+    /// Probation served: raise the core's reduction back toward the
+    /// fine-tuned target by `steps`.
+    Reprobe {
+        /// The recovered core.
+        core: CoreId,
+        /// Delay steps to remove again.
+        steps: usize,
+    },
+    /// Revert the core to the static-margin baseline (mode
+    /// [`MarginMode::Static`], reduction zero).
+    SafeMode {
+        /// The failing core.
+        core: CoreId,
+    },
+    /// Power-gate the core and exclude it from placement permanently.
+    Quarantine {
+        /// The flapping core.
+        core: CoreId,
+    },
+}
+
+impl SupervisorAction {
+    /// The core this action targets.
+    #[must_use]
+    pub fn core(&self) -> CoreId {
+        match *self {
+            SupervisorAction::Rollback { core, .. }
+            | SupervisorAction::Reprobe { core, .. }
+            | SupervisorAction::SafeMode { core }
+            | SupervisorAction::Quarantine { core } => core,
+        }
+    }
+}
+
+/// Where a watched core sits on the escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Phase {
+    /// Healthy, running its fine-tuned setting.
+    Fine,
+    /// Rolled back; serving clean windows toward a re-probe.
+    Probation {
+        /// Clean windows served so far.
+        clean: u32,
+        /// Clean windows required.
+        need: u32,
+    },
+    /// Reverted to the static-margin baseline.
+    SafeMode,
+    /// Power-gated and excluded from placement (terminal).
+    Quarantined,
+}
+
+/// Per-core watchdog state.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct CoreWatch {
+    phase: Phase,
+    strikes: u32,
+    health: u32,
+    /// The core's lifetime `cpm_stale_ticks` at the last window boundary.
+    last_stale: u64,
+}
+
+impl CoreWatch {
+    fn new() -> Self {
+        CoreWatch {
+            phase: Phase::Fine,
+            strikes: 0,
+            health: 100,
+            last_stale: 0,
+        }
+    }
+}
+
+/// The margin-safety supervisor (see the module docs for the escalation
+/// ladder).
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::{ChipConfig, System};
+/// use atm_core::{MarginSupervisor, SupervisorConfig};
+/// use atm_units::CoreId;
+///
+/// let sys = System::new(ChipConfig::default());
+/// let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+/// sup.attach(&sys);
+/// let actions = sup.observe_window(&sys, &[]);
+/// assert!(actions.is_empty(), "a clean window needs no intervention");
+/// assert_eq!(sup.health(CoreId::new(0, 0)), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarginSupervisor {
+    config: SupervisorConfig,
+    watch: [CoreWatch; NUM_CORES],
+}
+
+impl MarginSupervisor {
+    /// Creates a supervisor with every core healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's quarantine threshold is not above its
+    /// safe-mode threshold, or either is zero.
+    #[must_use]
+    pub fn new(config: SupervisorConfig) -> Self {
+        assert!(
+            config.safe_mode_strikes > 0 && config.quarantine_strikes > config.safe_mode_strikes,
+            "strike ladder must be 0 < safe_mode_strikes < quarantine_strikes"
+        );
+        MarginSupervisor {
+            config,
+            watch: [CoreWatch::new(); NUM_CORES],
+        }
+    }
+
+    /// The configured thresholds.
+    #[must_use]
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Baselines the staleness counters against `sys` and resets every
+    /// core to healthy. Call once after taking over a system, before the
+    /// first window.
+    pub fn attach(&mut self, sys: &System) {
+        for (flat, w) in self.watch.iter_mut().enumerate() {
+            *w = CoreWatch::new();
+            w.last_stale = sys.core(CoreId::from_flat_index(flat)).cpm_stale_ticks();
+        }
+    }
+
+    /// Closes one observation window: digests the window's chip events and
+    /// the cores' staleness counters into per-core strikes, advances each
+    /// core's ladder phase, and returns the actions the manager must apply
+    /// (in core order — the output is deterministic given the inputs).
+    pub fn observe_window(&mut self, sys: &System, events: &[ChipEvent]) -> Vec<SupervisorAction> {
+        let mut failed = [false; NUM_CORES];
+        let mut alarms = [0usize; NUM_CORES];
+        for e in events {
+            match e {
+                ChipEvent::Failure(f) => failed[f.core.flat_index()] = true,
+                ChipEvent::Droop(a) => alarms[a.core.flat_index()] += 1,
+            }
+        }
+
+        let mut actions = Vec::new();
+        for flat in 0..NUM_CORES {
+            let core = CoreId::from_flat_index(flat);
+            let stale_now = sys.core(core).cpm_stale_ticks();
+            let stale_grew = stale_now.saturating_sub(self.watch[flat].last_stale);
+            self.watch[flat].last_stale = stale_now;
+
+            if self.watch[flat].phase == Phase::Quarantined {
+                continue; // Terminal: no strikes, no recovery.
+            }
+            let strike = failed[flat]
+                || alarms[flat] >= self.config.alarm_trip
+                || stale_grew >= self.config.stale_trip;
+            if strike {
+                self.strike(flat, core, &mut actions);
+            } else {
+                self.clean(flat, core, &mut actions);
+            }
+        }
+        actions
+    }
+
+    fn strike(&mut self, flat: usize, core: CoreId, actions: &mut Vec<SupervisorAction>) {
+        let w = &mut self.watch[flat];
+        w.strikes += 1;
+        w.health = w.health.saturating_sub(HEALTH_PER_STRIKE);
+        if w.strikes >= self.config.quarantine_strikes {
+            w.phase = Phase::Quarantined;
+            actions.push(SupervisorAction::Quarantine { core });
+        } else if w.strikes >= self.config.safe_mode_strikes {
+            if w.phase != Phase::SafeMode {
+                w.phase = Phase::SafeMode;
+                actions.push(SupervisorAction::SafeMode { core });
+            }
+        } else {
+            // Exponential backoff: each accumulated strike doubles the
+            // clean-window requirement, capped so probation stays bounded.
+            let exponent = w.strikes.min(self.config.backoff_cap);
+            let need = self.config.reprobe_after << exponent;
+            w.phase = Phase::Probation { clean: 0, need };
+            actions.push(SupervisorAction::Rollback {
+                core,
+                steps: self.config.rollback_steps,
+            });
+        }
+    }
+
+    fn clean(&mut self, flat: usize, core: CoreId, actions: &mut Vec<SupervisorAction>) {
+        let w = &mut self.watch[flat];
+        w.health = (w.health + HEALTH_PER_CLEAN).min(100);
+        if let Phase::Probation { clean, need } = w.phase {
+            let clean = clean + 1;
+            if clean >= need {
+                w.phase = Phase::Fine;
+                actions.push(SupervisorAction::Reprobe {
+                    core,
+                    steps: self.config.rollback_steps,
+                });
+            } else {
+                w.phase = Phase::Probation { clean, need };
+            }
+        }
+    }
+
+    /// The core's health score, 0 (persistent trouble) to 100 (clean).
+    #[must_use]
+    pub fn health(&self, core: CoreId) -> u32 {
+        self.watch[core.flat_index()].health
+    }
+
+    /// Strikes accumulated against `core` over the supervisor's lifetime.
+    #[must_use]
+    pub fn strikes(&self, core: CoreId) -> u32 {
+        self.watch[core.flat_index()].strikes
+    }
+
+    /// Whether `core` has been reverted to the static-margin baseline.
+    #[must_use]
+    pub fn in_safe_mode(&self, core: CoreId) -> bool {
+        self.watch[core.flat_index()].phase == Phase::SafeMode
+    }
+
+    /// Whether `core` is quarantined (terminal).
+    #[must_use]
+    pub fn is_quarantined(&self, core: CoreId) -> bool {
+        self.watch[core.flat_index()].phase == Phase::Quarantined
+    }
+
+    /// Whether `core` is serving a probation (rolled back, awaiting
+    /// re-probe).
+    #[must_use]
+    pub fn on_probation(&self, core: CoreId) -> bool {
+        matches!(self.watch[core.flat_index()].phase, Phase::Probation { .. })
+    }
+
+    /// The safe-mode margin mode (what a safe-mode core runs at).
+    #[must_use]
+    pub fn safe_mode_margin() -> MarginMode {
+        MarginMode::Static
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::{ChipConfig, DroopAlarm, FailureEvent, FailureKind};
+    use atm_units::{MegaHz, Nanos};
+
+    fn sys() -> System {
+        System::new(ChipConfig::default())
+    }
+
+    fn failure(core: CoreId) -> ChipEvent {
+        ChipEvent::Failure(FailureEvent {
+            core,
+            kind: FailureKind::SystemCrash,
+            at: Nanos::ZERO,
+        })
+    }
+
+    fn droop(core: CoreId) -> ChipEvent {
+        ChipEvent::Droop(DroopAlarm {
+            core,
+            dip: MegaHz::new(30.0),
+            at: Nanos::ZERO,
+        })
+    }
+
+    #[test]
+    fn failure_strikes_and_rolls_back() {
+        let s = sys();
+        let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+        sup.attach(&s);
+        let core = CoreId::new(0, 2);
+        let actions = sup.observe_window(&s, &[failure(core)]);
+        assert_eq!(actions, vec![SupervisorAction::Rollback { core, steps: 1 }]);
+        assert!(sup.on_probation(core));
+        assert_eq!(sup.health(core), 70);
+        assert_eq!(sup.strikes(core), 1);
+    }
+
+    #[test]
+    fn alarm_storm_strikes_but_isolated_alarms_do_not() {
+        let s = sys();
+        let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+        sup.attach(&s);
+        let core = CoreId::new(1, 0);
+        let calm = sup.observe_window(&s, &[droop(core), droop(core)]);
+        assert!(calm.is_empty(), "2 alarms under trip=3 must not strike");
+        let stormy = sup.observe_window(&s, &[droop(core), droop(core), droop(core)]);
+        assert_eq!(stormy.len(), 1);
+        assert!(matches!(
+            stormy[0],
+            SupervisorAction::Rollback { core: c, .. } if c == core
+        ));
+    }
+
+    #[test]
+    fn backoff_doubles_the_probation() {
+        let s = sys();
+        let cfg = SupervisorConfig::default();
+        let mut sup = MarginSupervisor::new(cfg);
+        sup.attach(&s);
+        let core = CoreId::new(0, 5);
+        // First strike: probation needs reprobe_after << 1 = 4 clean
+        // windows.
+        let _ = sup.observe_window(&s, &[failure(core)]);
+        for i in 0..3 {
+            let a = sup.observe_window(&s, &[]);
+            assert!(a.is_empty(), "window {i} ended probation early");
+        }
+        let done = sup.observe_window(&s, &[]);
+        assert_eq!(done, vec![SupervisorAction::Reprobe { core, steps: 1 }]);
+        assert!(!sup.on_probation(core));
+        // Second strike: needs 8 clean windows now.
+        let _ = sup.observe_window(&s, &[failure(core)]);
+        for _ in 0..7 {
+            assert!(sup.observe_window(&s, &[]).is_empty());
+        }
+        assert_eq!(
+            sup.observe_window(&s, &[]),
+            vec![SupervisorAction::Reprobe { core, steps: 1 }]
+        );
+    }
+
+    #[test]
+    fn three_strikes_revert_to_safe_mode_five_quarantine() {
+        let s = sys();
+        let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+        sup.attach(&s);
+        let core = CoreId::new(0, 7);
+        let a1 = sup.observe_window(&s, &[failure(core)]);
+        let a2 = sup.observe_window(&s, &[failure(core)]);
+        assert!(a1
+            .iter()
+            .chain(&a2)
+            .all(|a| matches!(a, SupervisorAction::Rollback { .. })));
+        let a3 = sup.observe_window(&s, &[failure(core)]);
+        assert_eq!(a3, vec![SupervisorAction::SafeMode { core }]);
+        assert!(sup.in_safe_mode(core));
+        // A fourth strike keeps it in safe mode without repeating the
+        // action; the fifth quarantines.
+        let a4 = sup.observe_window(&s, &[failure(core)]);
+        assert!(a4.is_empty());
+        let a5 = sup.observe_window(&s, &[failure(core)]);
+        assert_eq!(a5, vec![SupervisorAction::Quarantine { core }]);
+        assert!(sup.is_quarantined(core));
+        // Quarantine is terminal: further failures produce nothing.
+        assert!(sup.observe_window(&s, &[failure(core)]).is_empty());
+        assert_eq!(sup.health(core), 0);
+    }
+
+    #[test]
+    fn health_recovers_on_clean_windows() {
+        let s = sys();
+        let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+        sup.attach(&s);
+        let core = CoreId::new(1, 4);
+        let _ = sup.observe_window(&s, &[failure(core)]);
+        assert_eq!(sup.health(core), 70);
+        for _ in 0..10 {
+            let _ = sup.observe_window(&s, &[]);
+        }
+        assert_eq!(sup.health(core), 100);
+    }
+
+    #[test]
+    fn strikes_are_per_core() {
+        let s = sys();
+        let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+        sup.attach(&s);
+        let victim = CoreId::new(0, 1);
+        let healthy = CoreId::new(0, 2);
+        for _ in 0..5 {
+            let _ = sup.observe_window(&s, &[failure(victim)]);
+        }
+        assert!(sup.is_quarantined(victim));
+        assert!(!sup.is_quarantined(healthy));
+        assert_eq!(sup.health(healthy), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "strike ladder")]
+    fn inverted_ladder_rejected() {
+        let _ = MarginSupervisor::new(SupervisorConfig {
+            safe_mode_strikes: 5,
+            quarantine_strikes: 3,
+            ..SupervisorConfig::default()
+        });
+    }
+}

@@ -48,5 +48,5 @@ mod monitor;
 mod set;
 
 pub use config::{CpmConfigError, CpmUnit, CPMS_PER_CORE, READOUT_QUANTUM};
-pub use monitor::CpmReading;
+pub use monitor::{CpmReading, SensorFault};
 pub use set::CoreCpmSet;

@@ -91,6 +91,75 @@ impl CpmReading {
     }
 }
 
+/// A fault injected into a CPM sensor's readout path.
+///
+/// Sensor faults model the ways the canary circuit itself can lie to the
+/// control loop: a latched (stuck-at) readout, a dropped sample, or a
+/// calibration drift that biases every reading by a fixed number of units.
+/// [`SensorFault::apply`] rewrites a freshly measured reading; `None` means
+/// the sample never arrived (dropout) and the loop must hold its last
+/// action.
+///
+/// # Examples
+///
+/// ```
+/// use atm_cpm::{CpmReading, CpmUnit, SensorFault};
+/// use atm_units::Picos;
+///
+/// let real = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(9.0));
+/// let stuck = SensorFault::StuckAt { units: 12 }.apply(real).unwrap();
+/// assert_eq!(stuck.units(), 12);
+/// assert!(SensorFault::Dropout.apply(real).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensorFault {
+    /// The readout latch is stuck: every sample reports exactly `units`
+    /// regardless of the true margin.
+    StuckAt {
+        /// The latched readout value, in quantum units.
+        units: u32,
+    },
+    /// The sample is lost entirely; the consumer sees no reading this
+    /// cycle.
+    Dropout,
+    /// Calibration drift: every reading is shifted by `delta_units`
+    /// quantum units (negative drift under-reports margin, positive drift
+    /// over-reports it — the dangerous direction).
+    Drift {
+        /// Signed readout shift in quantum units.
+        delta_units: i32,
+    },
+}
+
+impl SensorFault {
+    /// Applies this fault to a freshly measured `reading`, returning the
+    /// corrupted reading the control loop will actually see, or `None`
+    /// for a dropout.
+    #[must_use]
+    pub fn apply(self, reading: CpmReading) -> Option<CpmReading> {
+        match self {
+            SensorFault::StuckAt { units } => {
+                // Reconstruct a reading in the middle of the stuck bucket
+                // so quantization reproduces `units` exactly.
+                let margin = Picos::new((f64::from(units) + 0.5) * READOUT_QUANTUM.get());
+                Some(CpmReading::quantize(reading.unit(), margin))
+            }
+            SensorFault::Dropout => None,
+            SensorFault::Drift { delta_units } => {
+                let shifted = f64::from(reading.units()) + f64::from(delta_units);
+                let margin = if shifted < 0.0 || (reading.is_violation() && delta_units <= 0) {
+                    // Drift cannot un-fail a violating path downward, and a
+                    // negative total reads as a violation.
+                    Picos::new(shifted.min(0.0) * READOUT_QUANTUM.get())
+                } else {
+                    Picos::new((shifted + 0.5) * READOUT_QUANTUM.get())
+                };
+                Some(CpmReading::quantize(reading.unit(), margin))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +188,58 @@ mod tests {
         let b = CpmReading::quantize(CpmUnit::FloatingPoint, Picos::new(4.0));
         assert_eq!(a.worst(b).unit(), CpmUnit::FloatingPoint);
         assert_eq!(b.worst(a).unit(), CpmUnit::FloatingPoint);
+    }
+
+    #[test]
+    fn stuck_at_pins_units() {
+        let real = CpmReading::quantize(CpmUnit::Cache, Picos::new(3.0));
+        let faulted = SensorFault::StuckAt { units: 9 }.apply(real).unwrap();
+        assert_eq!(faulted.units(), 9);
+        assert!(!faulted.is_violation());
+        assert_eq!(faulted.unit(), CpmUnit::Cache);
+    }
+
+    #[test]
+    fn stuck_at_zero_is_violation_free_but_minimal() {
+        let real = CpmReading::quantize(CpmUnit::Cache, Picos::new(30.0));
+        let faulted = SensorFault::StuckAt { units: 0 }.apply(real).unwrap();
+        assert_eq!(faulted.units(), 0);
+        assert!(!faulted.is_violation());
+    }
+
+    #[test]
+    fn dropout_loses_the_sample() {
+        let real = CpmReading::quantize(CpmUnit::FloatingPoint, Picos::new(8.0));
+        assert!(SensorFault::Dropout.apply(real).is_none());
+    }
+
+    #[test]
+    fn drift_shifts_units_both_ways() {
+        let real = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(10.1));
+        assert_eq!(real.units(), 5);
+        let up = SensorFault::Drift { delta_units: 3 }.apply(real).unwrap();
+        assert_eq!(up.units(), 8);
+        let down = SensorFault::Drift { delta_units: -2 }.apply(real).unwrap();
+        assert_eq!(down.units(), 3);
+    }
+
+    #[test]
+    fn drift_below_zero_reads_as_violation() {
+        let real = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(4.1));
+        assert_eq!(real.units(), 2);
+        let down = SensorFault::Drift { delta_units: -5 }.apply(real).unwrap();
+        assert!(down.is_violation());
+        assert_eq!(down.units(), 0);
+    }
+
+    #[test]
+    fn negative_drift_keeps_violations_violating() {
+        let real = CpmReading::quantize(CpmUnit::FixedPoint, Picos::new(-1.0));
+        assert!(real.is_violation());
+        let still = SensorFault::Drift { delta_units: -1 }.apply(real).unwrap();
+        assert!(still.is_violation());
+        let held = SensorFault::Drift { delta_units: 0 }.apply(real).unwrap();
+        assert!(held.is_violation());
     }
 
     #[test]

@@ -110,6 +110,28 @@ impl Dpll {
     }
 }
 
+/// A fault injected into the DPLL actuator path.
+///
+/// Actuator faults model a clock generator that stops obeying the control
+/// loop: a stuck slew interface (frequency frozen at its current value) or
+/// a mis-stepping interface that scales every commanded slew. They are
+/// applied by [`AtmLoop`](crate::AtmLoop) when armed via
+/// [`AtmLoop::set_actuator_fault`](crate::AtmLoop::set_actuator_fault);
+/// emergency gating still works (it is a separate hardware path).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActuatorFault {
+    /// The slew interface is stuck: commanded slews (up and down) are
+    /// ignored and the frequency freezes.
+    SlewStuck,
+    /// Every commanded slew rate is multiplied by `scale` (e.g. `0.1`
+    /// under-actuates, `3.0` over-actuates).
+    Misstep {
+        /// Multiplier applied to every commanded slew rate; must be
+        /// non-negative.
+        scale: f64,
+    },
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@ use atm_telemetry::{DpllStep, LoopVerdict, Recorder, TelemetryEvent};
 use atm_units::{CoreId, MegaHz, Picos};
 use serde::{Deserialize, Serialize};
 
-use crate::actuator::Dpll;
+use crate::actuator::{ActuatorFault, Dpll};
 
 /// Configuration of one core's ATM control loop.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +114,7 @@ pub struct AtmLoop {
     config: AtmLoopConfig,
     dpll: Dpll,
     violations: u64,
+    actuator_fault: Option<ActuatorFault>,
 }
 
 impl AtmLoop {
@@ -129,6 +130,7 @@ impl AtmLoop {
             config,
             dpll: Dpll::new(initial, config.fmin, config.fmax),
             violations: 0,
+            actuator_fault: None,
         }
     }
 
@@ -162,6 +164,45 @@ impl AtmLoop {
         self.dpll.set_frequency(f);
     }
 
+    /// Arms (`Some`) or clears (`None`) an actuator fault. While armed,
+    /// commanded slews are filtered through the fault — frozen for
+    /// [`ActuatorFault::SlewStuck`], scaled for
+    /// [`ActuatorFault::Misstep`] — but the loop's decision logic,
+    /// violation counting, and emergency gating are unchanged.
+    pub fn set_actuator_fault(&mut self, fault: Option<ActuatorFault>) {
+        self.actuator_fault = fault;
+    }
+
+    /// The currently armed actuator fault, if any.
+    #[must_use]
+    pub fn actuator_fault(&self) -> Option<ActuatorFault> {
+        self.actuator_fault
+    }
+
+    /// Slews up through the armed actuator fault, if any.
+    #[inline]
+    fn slew_up_faulted(&mut self, rate: f64) {
+        match self.actuator_fault {
+            None => self.dpll.slew_up(rate),
+            Some(ActuatorFault::SlewStuck) => {}
+            Some(ActuatorFault::Misstep { scale }) => self.dpll.slew_up(rate * scale.max(0.0)),
+        }
+    }
+
+    /// Slews down through the armed actuator fault, if any. The effective
+    /// rate is clamped below 1 so a wild `Misstep` scale cannot violate
+    /// the actuator's contract.
+    #[inline]
+    fn slew_down_faulted(&mut self, rate: f64) {
+        match self.actuator_fault {
+            None => self.dpll.slew_down(rate),
+            Some(ActuatorFault::SlewStuck) => {}
+            Some(ActuatorFault::Misstep { scale }) => {
+                self.dpll.slew_down((rate * scale.max(0.0)).min(0.99));
+            }
+        }
+    }
+
     /// Advances the loop one step with the worst CPM reading of the
     /// interval, returning the action taken.
     pub fn step(&mut self, reading: CpmReading) -> LoopAction {
@@ -170,20 +211,18 @@ impl AtmLoop {
             self.dpll.gate(self.config.gate_cycles);
             // Hard back-off: treat as a max-deficit slew.
             let deficit = f64::from(self.config.threshold_units.max(1));
-            self.dpll
-                .slew_down((self.config.down_rate_per_unit * deficit).min(0.99));
+            self.slew_down_faulted((self.config.down_rate_per_unit * deficit).min(0.99));
             return LoopAction::Gate;
         }
         let units = reading.units();
         if units > self.config.threshold_units {
-            self.dpll.slew_up(self.config.up_rate);
+            self.slew_up_faulted(self.config.up_rate);
             LoopAction::SlewUp
         } else if units == self.config.threshold_units {
             LoopAction::Hold
         } else {
             let deficit = f64::from(self.config.threshold_units - units);
-            self.dpll
-                .slew_down((self.config.down_rate_per_unit * deficit).min(0.99));
+            self.slew_down_faulted((self.config.down_rate_per_unit * deficit).min(0.99));
             LoopAction::SlewDown
         }
     }
@@ -306,6 +345,53 @@ mod tests {
         assert_eq!(ring.counter("dpll.slew_down"), Some(1));
         assert_eq!(ring.counter("dpll.gate"), Some(1));
         assert_eq!(ring.events().len(), 4);
+    }
+
+    #[test]
+    fn slew_stuck_freezes_frequency_but_still_gates() {
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
+        lp.set_actuator_fault(Some(ActuatorFault::SlewStuck));
+        assert_eq!(lp.step(reading(30.0)), LoopAction::SlewUp);
+        assert_eq!(lp.frequency(), MegaHz::new(4200.0));
+        assert_eq!(lp.step(reading(2.0)), LoopAction::SlewDown);
+        assert_eq!(lp.frequency(), MegaHz::new(4200.0));
+        assert_eq!(lp.step(reading(-5.0)), LoopAction::Gate);
+        assert_eq!(lp.frequency(), MegaHz::new(4200.0));
+        assert_eq!(lp.violations(), 1);
+        assert_eq!(lp.dpll().gated_cycles(), 4);
+    }
+
+    #[test]
+    fn misstep_scales_slews() {
+        let cfg = AtmLoopConfig::power7_plus();
+        let mut clean = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        let mut weak = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        weak.set_actuator_fault(Some(ActuatorFault::Misstep { scale: 0.1 }));
+        clean.step(reading(30.0));
+        weak.step(reading(30.0));
+        assert!(weak.frequency() < clean.frequency());
+        assert!(weak.frequency() > MegaHz::new(4200.0));
+    }
+
+    #[test]
+    fn misstep_overshoot_is_clamped() {
+        // A wild scale must not violate the actuator's [0,1) contract.
+        let mut lp = AtmLoop::new(AtmLoopConfig::power7_plus(), MegaHz::new(4200.0));
+        lp.set_actuator_fault(Some(ActuatorFault::Misstep { scale: 1e6 }));
+        assert_eq!(lp.step(reading(2.0)), LoopAction::SlewDown);
+        assert_eq!(lp.frequency(), MegaHz::new(2000.0));
+    }
+
+    #[test]
+    fn clearing_fault_restores_behavior() {
+        let cfg = AtmLoopConfig::power7_plus();
+        let mut faulted = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        let mut clean = AtmLoop::new(cfg, MegaHz::new(4200.0));
+        faulted.set_actuator_fault(Some(ActuatorFault::SlewStuck));
+        faulted.set_actuator_fault(None);
+        assert_eq!(faulted.actuator_fault(), None);
+        assert_eq!(faulted.step(reading(30.0)), clean.step(reading(30.0)));
+        assert_eq!(faulted.frequency(), clean.frequency());
     }
 
     #[test]

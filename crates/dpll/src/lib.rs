@@ -39,7 +39,7 @@ mod control;
 mod policy;
 mod window;
 
-pub use actuator::Dpll;
+pub use actuator::{ActuatorFault, Dpll};
 pub use control::{AtmLoop, AtmLoopConfig, LoopAction};
 pub use policy::{AtmPolicy, UndervoltController};
 pub use window::FreqWindow;

@@ -1,0 +1,225 @@
+//! The campaign engine: trials × windows × supervisor, in parallel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use atm_chip::{ChipConfig, MarginMode, System};
+use atm_core::charact::CharactConfig;
+use atm_core::{AtmManager, Governor, MarginSupervisor, SupervisorAction, SupervisorConfig};
+use atm_units::{CoreId, MegaHz, Nanos};
+use std::collections::BTreeMap;
+
+use crate::hook::{mix, CampaignHook};
+use crate::plan::FaultPlan;
+use crate::report::{FaultCampaignReport, TicksSummary};
+
+/// One trial's integer bookkeeping, merged in trial order.
+#[derive(Debug, Default)]
+struct TrialOutcome {
+    injected: u64,
+    detected: u64,
+    recovered: u64,
+    safe_modes: u64,
+    quarantines: u64,
+    ttd: Vec<u64>,
+    ttr: Vec<u64>,
+}
+
+/// A deterministic fault-injection campaign: `trials` independent
+/// supervised servers, each minted from a seed-derived silicon lot, each
+/// subjected to the same [`FaultPlan`] (re-resolved per trial so seeded
+/// targets roam), observed over fixed windows by a
+/// [`MarginSupervisor`] whose decisions the [`AtmManager`] applies.
+///
+/// The report is a pure function of `(plan, seed, trials, windows)`:
+/// trials are claimed by worker threads but merged in trial order, so
+/// [`FaultCampaign::run`] returns byte-identical
+/// [`FaultCampaignReport`]s for every worker count.
+///
+/// # Examples
+///
+/// ```no_run
+/// use atm_faults::{droop_storm, FaultCampaign};
+///
+/// let report = FaultCampaign::new(droop_storm(), 42).trials(3).run(4);
+/// assert_eq!(report.injected, 3 * droop_storm().total_firings());
+/// assert!(report.detected <= report.injected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultCampaign {
+    plan: FaultPlan,
+    seed: u64,
+    trials: u32,
+    windows: u32,
+    window: Nanos,
+    droop_alarm: MegaHz,
+    supervisor: SupervisorConfig,
+}
+
+impl FaultCampaign {
+    /// A campaign over `plan` with the default shape: 3 trials of 20
+    /// five-microsecond observation windows, 30 MHz droop-alarm
+    /// threshold, default supervisor ladder.
+    #[must_use]
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultCampaign {
+            plan,
+            seed,
+            trials: 3,
+            windows: 20,
+            window: Nanos::new(5_000.0),
+            droop_alarm: MegaHz::new(30.0),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+
+    /// Sets the trial count (floored at 1).
+    #[must_use]
+    pub fn trials(mut self, trials: u32) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Sets the observation-window count per trial (floored at 1).
+    #[must_use]
+    pub fn windows(mut self, windows: u32) -> Self {
+        self.windows = windows.max(1);
+        self
+    }
+
+    /// Overrides the supervisor thresholds.
+    #[must_use]
+    pub fn supervisor(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor = config;
+        self
+    }
+
+    /// Runs the campaign on up to `workers` threads and merges the
+    /// per-trial outcomes, in trial order, into one report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn run(&self, workers: usize) -> FaultCampaignReport {
+        assert!(workers > 0, "need at least one worker");
+        let trials = self.trials as usize;
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(u32, TrialOutcome)>> = Mutex::new(Vec::with_capacity(trials));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(trials) {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= trials {
+                        break;
+                    }
+                    let outcome = self.run_trial(t as u32);
+                    results
+                        .lock()
+                        .expect("no poisoned trials")
+                        .push((t as u32, outcome));
+                });
+            }
+        });
+
+        let mut outcomes = results.into_inner().expect("no poisoned trials");
+        outcomes.sort_by_key(|(t, _)| *t);
+
+        let mut merged = TrialOutcome::default();
+        for (_, o) in outcomes {
+            merged.injected += o.injected;
+            merged.detected += o.detected;
+            merged.recovered += o.recovered;
+            merged.safe_modes += o.safe_modes;
+            merged.quarantines += o.quarantines;
+            merged.ttd.extend(o.ttd);
+            merged.ttr.extend(o.ttr);
+        }
+        FaultCampaignReport {
+            plan: self.plan.name.clone(),
+            seed: self.seed,
+            trials: self.trials,
+            injected: merged.injected,
+            detected: merged.detected,
+            recovered: merged.recovered,
+            safe_modes: merged.safe_modes,
+            quarantines: merged.quarantines,
+            time_to_detect: TicksSummary::from_samples(&merged.ttd),
+            time_to_recover: TicksSummary::from_samples(&merged.ttr),
+        }
+    }
+
+    /// One supervised trial: deploy, arm the resolved plan, observe.
+    fn run_trial(&self, trial: u32) -> TrialOutcome {
+        let lot = mix(self.seed ^ mix(u64::from(trial)));
+        let sys = System::new(ChipConfig::power7_plus(lot));
+        let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+        mgr.system_mut().set_droop_alarm(Some(self.droop_alarm));
+        mgr.system_mut().set_mode_all(MarginMode::Atm);
+        mgr.system_mut().drain_events();
+
+        let mut sup = MarginSupervisor::new(self.supervisor);
+        sup.attach(mgr.system());
+        let mut hook = CampaignHook::resolve(&self.plan, self.seed, trial);
+
+        let mut out = TrialOutcome::default();
+        let mut pending_detect: BTreeMap<CoreId, Vec<u64>> = BTreeMap::new();
+        let mut pending_recover: BTreeMap<CoreId, Vec<u64>> = BTreeMap::new();
+        let mut seen_injections = 0usize;
+
+        for _ in 0..self.windows {
+            let _ = mgr.system_mut().run_faulted(self.window, &mut hook);
+            let t_end = hook.ticks_seen();
+            let events = mgr.system_mut().drain_events();
+            let actions = sup.observe_window(mgr.system(), &events);
+            let _ = mgr.apply_supervisor_actions(&actions);
+
+            for inj in &hook.injections()[seen_injections..] {
+                pending_detect.entry(inj.core).or_default().push(inj.tick);
+            }
+            seen_injections = hook.injections().len();
+
+            // Recoveries first: an action resolves only detections from
+            // earlier windows, never the ones it creates below.
+            for action in &actions {
+                let resolves = matches!(
+                    action,
+                    SupervisorAction::Reprobe { .. }
+                        | SupervisorAction::SafeMode { .. }
+                        | SupervisorAction::Quarantine { .. }
+                );
+                match action {
+                    SupervisorAction::SafeMode { .. } => out.safe_modes += 1,
+                    SupervisorAction::Quarantine { .. } => out.quarantines += 1,
+                    _ => {}
+                }
+                if !resolves {
+                    continue;
+                }
+                if let Some(detections) = pending_recover.remove(&action.core()) {
+                    for t_detect in detections {
+                        out.recovered += 1;
+                        out.ttr.push(t_end.saturating_sub(t_detect));
+                    }
+                }
+            }
+
+            // Detections: the supervisor's first reaction on a faulted
+            // core claims every injection delivered to it so far.
+            for action in &actions {
+                let core = action.core();
+                if let Some(ticks) = pending_detect.remove(&core) {
+                    for tick in ticks {
+                        out.detected += 1;
+                        out.ttd.push(t_end.saturating_sub(tick));
+                        pending_recover.entry(core).or_default().push(t_end);
+                    }
+                }
+            }
+        }
+
+        out.injected = hook.injections().len() as u64;
+        out
+    }
+}

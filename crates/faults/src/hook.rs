@@ -1,0 +1,287 @@
+//! The campaign's [`FaultHook`]: a resolved, deterministic injector.
+
+use atm_chip::{FailureKind, FaultAction, FaultHook};
+use atm_cpm::SensorFault;
+use atm_dpll::ActuatorFault;
+use atm_pdn::{LoadStep, RailTransient};
+use atm_units::{CoreId, Nanos};
+
+use crate::plan::{FaultKind, FaultPlan, FaultTarget};
+
+/// The number of cores a seeded target can land on.
+const NUM_CORES: usize = atm_units::NUM_PROCS * atm_units::CORES_PER_PROC;
+
+/// SplitMix64: the one-shot integer mixer behind every seeded choice.
+#[must_use]
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One delivered injection, for campaign bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Engine tick (cumulative across a trial's windows) of the firing.
+    pub tick: u64,
+    /// The core the fault landed on (rail faults: a core of the socket).
+    pub core: CoreId,
+}
+
+/// A plan spec bound to a concrete core with live pulse-train state.
+#[derive(Debug, Clone, Copy)]
+struct Resolved {
+    core: CoreId,
+    kind: FaultKind,
+    next: u64,
+    period: u64,
+    remaining: u32,
+    duration: u32,
+}
+
+/// A [`FaultPlan`] resolved against a `(seed, trial)` pair: seeded
+/// targets are bound to concrete cores, and the pulse trains replay on a
+/// tick counter that accumulates across every timed run of the trial —
+/// so a trial split into observation windows sees exactly the same
+/// injections as one long run.
+///
+/// # Examples
+///
+/// ```
+/// use atm_chip::FaultHook;
+/// use atm_faults::{droop_storm, CampaignHook};
+///
+/// let hook = CampaignHook::resolve(&droop_storm(), 42, 0);
+/// assert!(hook.armed());
+/// assert_eq!(
+///     hook.planned_injections(),
+///     droop_storm().total_firings()
+/// );
+/// ```
+#[derive(Debug)]
+pub struct CampaignHook {
+    specs: Vec<Resolved>,
+    tick: u64,
+    injections: Vec<Injection>,
+}
+
+impl CampaignHook {
+    /// Resolves `plan` for one `(seed, trial)` pair. The binding is a
+    /// pure function of `(plan, seed, trial)` — same inputs, same cores,
+    /// same schedule, every run.
+    #[must_use]
+    pub fn resolve(plan: &FaultPlan, seed: u64, trial: u32) -> Self {
+        let specs = plan
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let core = match spec.target {
+                    FaultTarget::Core(core) => core,
+                    FaultTarget::Seeded => {
+                        let draw = mix(seed ^ mix(u64::from(trial)) ^ mix(i as u64 + 1));
+                        CoreId::from_flat_index((draw % NUM_CORES as u64) as usize)
+                    }
+                };
+                Resolved {
+                    core,
+                    kind: spec.kind,
+                    next: spec.start,
+                    period: spec.period,
+                    remaining: spec.firings(),
+                    duration: spec.duration,
+                }
+            })
+            .collect();
+        CampaignHook {
+            specs,
+            tick: 0,
+            injections: Vec::new(),
+        }
+    }
+
+    /// Total injections the resolved schedule will perform.
+    #[must_use]
+    pub fn planned_injections(&self) -> u64 {
+        self.injections.len() as u64
+            + self
+                .specs
+                .iter()
+                .map(|s| u64::from(s.remaining))
+                .sum::<u64>()
+    }
+
+    /// The injections delivered so far, in firing order.
+    #[must_use]
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Cumulative ticks this hook has observed across every run.
+    #[must_use]
+    pub fn ticks_seen(&self) -> u64 {
+        self.tick
+    }
+
+    /// Whether every pulse train has finished firing.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.specs.iter().all(|s| s.remaining == 0)
+    }
+
+    fn action_for(core: CoreId, kind: FaultKind, duration: u32) -> FaultAction {
+        let ticks = duration.max(1);
+        match kind {
+            FaultKind::CpmStuckAt { units } => FaultAction::CpmFault {
+                core,
+                fault: SensorFault::StuckAt { units },
+                ticks,
+            },
+            FaultKind::CpmDropout => FaultAction::CpmFault {
+                core,
+                fault: SensorFault::Dropout,
+                ticks,
+            },
+            FaultKind::CpmDrift { delta_units } => FaultAction::CpmFault {
+                core,
+                fault: SensorFault::Drift { delta_units },
+                ticks,
+            },
+            FaultKind::DpllSlewStuck => FaultAction::DpllFault {
+                core,
+                fault: ActuatorFault::SlewStuck,
+                ticks,
+            },
+            FaultKind::DpllMisstep { scale_pct } => FaultAction::DpllFault {
+                core,
+                fault: ActuatorFault::Misstep {
+                    scale: f64::from(scale_pct) / 100.0,
+                },
+                ticks,
+            },
+            FaultKind::RailSag { offset_mv } => FaultAction::RailTransient {
+                proc: core.proc_id(),
+                transient: RailTransient::new(f64::from(offset_mv)),
+                ticks,
+            },
+            FaultKind::LoadBurst {
+                magnitude_mv,
+                sharpness_pct,
+            } => FaultAction::LoadStep {
+                core,
+                step: LoadStep::new(
+                    f64::from(magnitude_mv),
+                    f64::from(sharpness_pct.min(100)) / 100.0,
+                ),
+                ticks,
+            },
+            FaultKind::PhaseFailure => FaultAction::ForceFailure {
+                core,
+                kind: FailureKind::SystemCrash,
+            },
+        }
+    }
+}
+
+impl FaultHook for CampaignHook {
+    fn armed(&self) -> bool {
+        !self.exhausted()
+    }
+
+    fn on_tick(&mut self, _now: Nanos, _tick: u64, out: &mut Vec<FaultAction>) {
+        for spec in &mut self.specs {
+            if spec.remaining > 0 && self.tick >= spec.next {
+                out.push(Self::action_for(spec.core, spec.kind, spec.duration));
+                self.injections.push(Injection {
+                    tick: self.tick,
+                    core: spec.core,
+                });
+                spec.remaining -= 1;
+                spec.next = spec.next.saturating_add(spec.period.max(1));
+            }
+        }
+        self.tick += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{standard_plans, FaultSpec};
+
+    fn drive(hook: &mut CampaignHook, ticks: u64) -> Vec<FaultAction> {
+        let mut all = Vec::new();
+        for t in 0..ticks {
+            let mut out = Vec::new();
+            hook.on_tick(Nanos::new(t as f64 * 50.0), t, &mut out);
+            all.extend(out);
+        }
+        all
+    }
+
+    #[test]
+    fn resolution_is_deterministic_and_seed_sensitive() {
+        let plan = sensor_chaosish();
+        let a = CampaignHook::resolve(&plan, 7, 0);
+        let b = CampaignHook::resolve(&plan, 7, 0);
+        assert_eq!(
+            drive(&mut { a }, 2000),
+            drive(&mut { b }, 2000),
+            "same seed, same schedule"
+        );
+        // Across many trials at least one resolves to a different core.
+        let base: Vec<_> = CampaignHook::resolve(&plan, 7, 0)
+            .specs
+            .iter()
+            .map(|s| s.core)
+            .collect();
+        assert!(
+            (1..32).any(|t| CampaignHook::resolve(&plan, 7, t)
+                .specs
+                .iter()
+                .map(|s| s.core)
+                .collect::<Vec<_>>()
+                != base),
+            "seeded targets never moved"
+        );
+    }
+
+    #[test]
+    fn tick_counter_accumulates_across_windows() {
+        let plan = sensor_chaosish();
+        let mut whole = CampaignHook::resolve(&plan, 3, 1);
+        let whole_actions = drive(&mut whole, 1000);
+
+        let mut windowed = CampaignHook::resolve(&plan, 3, 1);
+        let mut windowed_actions = Vec::new();
+        for _ in 0..10 {
+            windowed_actions.extend(drive(&mut windowed, 100));
+        }
+        assert_eq!(whole_actions, windowed_actions);
+        assert_eq!(whole.ticks_seen(), windowed.ticks_seen());
+    }
+
+    #[test]
+    fn exhaustion_disarms_the_hook() {
+        for plan in standard_plans() {
+            let mut hook = CampaignHook::resolve(&plan, 11, 2);
+            assert!(hook.armed());
+            let _ = drive(&mut hook, 5_000);
+            assert!(hook.exhausted(), "{} never exhausted", plan.name);
+            assert!(!hook.armed());
+            assert_eq!(hook.injections().len() as u64, plan.total_firings());
+        }
+    }
+
+    fn sensor_chaosish() -> FaultPlan {
+        FaultPlan::new("test").with(FaultSpec {
+            target: crate::plan::FaultTarget::Seeded,
+            kind: FaultKind::CpmDropout,
+            start: 5,
+            period: 40,
+            repeats: 4,
+            duration: 8,
+        })
+    }
+}

@@ -1,0 +1,61 @@
+//! `atm-faults` — deterministic fault-injection campaigns over the ATM
+//! stack.
+//!
+//! Fine-tuning shaves timing guardband; this crate asks, systematically,
+//! *what happens when the hardware lies*. A [`FaultPlan`] composes
+//! seed-driven fault pulse trains — CPM sensor faults (stuck-at, dropout,
+//! calibration drift), DPLL actuator faults (slews stuck or mis-stepped),
+//! VRM rail sags, load-step droop bursts, and workload-phase-triggered
+//! timing failures. A [`FaultCampaign`] replays a plan against fleets of
+//! supervised servers: each trial deploys a fine-tuned
+//! [`AtmManager`](atm_core::AtmManager), arms the plan through the chip's
+//! [`FaultHook`](atm_chip::FaultHook) seam (which disables the stride
+//! fast path so injected corruption is always simulated), and lets the
+//! [`MarginSupervisor`](atm_core::MarginSupervisor) detect, roll back,
+//! safe-mode, or quarantine the damage.
+//!
+//! Everything is a pure function of `(plan, seed)`: trial resolution,
+//! injection schedules, supervisor decisions and the merged
+//! [`FaultCampaignReport`] are all integer-valued and worker-count
+//! independent, so campaign regressions are `assert_eq!`-detectable.
+//!
+//! # Examples
+//!
+//! ```
+//! use atm_faults::{standard_plans, FaultTarget};
+//!
+//! let plans = standard_plans();
+//! assert_eq!(plans.len(), 3);
+//! // Standard plans use seeded targets: the same plan roams across
+//! // cores as the campaign seed changes.
+//! assert!(plans
+//!     .iter()
+//!     .flat_map(|p| &p.specs)
+//!     .all(|s| s.target == FaultTarget::Seeded));
+//! ```
+//!
+//! Running a campaign (takes a few seconds per plan):
+//!
+//! ```no_run
+//! use atm_faults::{sensor_chaos, FaultCampaign};
+//!
+//! let report = FaultCampaign::new(sensor_chaos(), 7).trials(3).run(4);
+//! println!("{report}");
+//! assert!(report.detected > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod hook;
+mod plan;
+mod report;
+
+pub use campaign::FaultCampaign;
+pub use hook::{CampaignHook, Injection};
+pub use plan::{
+    actuator_flap, droop_storm, sensor_chaos, standard_plans, FaultKind, FaultPlan, FaultSpec,
+    FaultTarget,
+};
+pub use report::{FaultCampaignReport, TicksSummary};

@@ -1,0 +1,301 @@
+//! Seed-driven fault plans.
+//!
+//! A [`FaultPlan`] is a declarative, integer-valued schedule of fault
+//! injections: *what* goes wrong ([`FaultKind`]), *where*
+//! ([`FaultTarget`]), and *when* (a `start/period/repeats` pulse train in
+//! engine ticks). Plans carry no floating-point state and no resolved
+//! core identities — a [`Seeded`](FaultTarget::Seeded) target is bound to
+//! a concrete core only when a campaign trial resolves the plan against
+//! its `(seed, trial)` pair, so the same plan replays bit-identically for
+//! a given seed and explores different cores across seeds.
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// What kind of fault a spec injects. All parameters are integers so
+/// plans are `Eq`-comparable and hash-stable; the campaign hook converts
+/// them to the substrate fault types at injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// CPM readout latch stuck at `units` quantum units.
+    CpmStuckAt {
+        /// The latched readout value, in quantum units.
+        units: u32,
+    },
+    /// CPM sample lost entirely (the loop sees nothing, staleness grows).
+    CpmDropout,
+    /// CPM calibration drift of `delta_units` quantum units (positive
+    /// over-reports margin — the dangerous direction).
+    CpmDrift {
+        /// Signed readout shift in quantum units.
+        delta_units: i32,
+    },
+    /// DPLL slew interface stuck: the frequency freezes.
+    DpllSlewStuck,
+    /// DPLL slew rates scaled to `scale_pct`% of the commanded value.
+    DpllMisstep {
+        /// Slew-rate multiplier in percent (e.g. `10` under-actuates,
+        /// `300` over-actuates).
+        scale_pct: u32,
+    },
+    /// VRM rail sag of `offset_mv` millivolts across the whole socket.
+    RailSag {
+        /// Sag magnitude in millivolts.
+        offset_mv: u32,
+    },
+    /// A deterministic load-step droop burst on one core.
+    LoadBurst {
+        /// Full droop magnitude in millivolts.
+        magnitude_mv: u32,
+        /// Leading-edge sharpness in percent of the magnitude escaping
+        /// the loop's response window.
+        sharpness_pct: u32,
+    },
+    /// A workload-phase-triggered timing failure the margin machinery
+    /// cannot see coming: fires as a system crash on the target core.
+    PhaseFailure,
+}
+
+/// Which core (or socket, for rail faults) a spec hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// A fixed core. Rail faults hit the core's whole socket.
+    Core(CoreId),
+    /// A core drawn deterministically from the campaign's `(seed, trial,
+    /// spec-index)` tuple — same seed, same core, every run.
+    Seeded,
+}
+
+/// One pulse train of fault injections.
+///
+/// The spec fires at engine ticks `start + k × period` for
+/// `k ∈ [0, repeats)`; each firing arms the fault for `duration` ticks.
+/// A `period` of zero collapses the train to a single firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Where the fault lands.
+    pub target: FaultTarget,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First firing, in ticks from trial start.
+    pub start: u64,
+    /// Tick gap between firings (0 = fire once).
+    pub period: u64,
+    /// Number of firings (floored at 1).
+    pub repeats: u32,
+    /// Ticks each firing stays armed (floored at 1 by the engine).
+    pub duration: u32,
+}
+
+impl FaultSpec {
+    /// Number of firings this spec performs.
+    #[must_use]
+    pub fn firings(&self) -> u32 {
+        if self.period == 0 {
+            1
+        } else {
+            self.repeats.max(1)
+        }
+    }
+
+    /// The tick of firing `k`, if the spec has that many firings.
+    #[must_use]
+    pub fn firing_tick(&self, k: u32) -> Option<u64> {
+        (k < self.firings()).then(|| self.start + u64::from(k) * self.period)
+    }
+}
+
+/// A named, deterministic fault-injection schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Human-readable plan name (appears in campaign reports).
+    pub name: String,
+    /// The pulse trains, in injection-priority order.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        FaultPlan {
+            name: name.to_owned(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Appends a spec (builder-style).
+    #[must_use]
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Total number of injections the plan performs per trial.
+    #[must_use]
+    pub fn total_firings(&self) -> u64 {
+        self.specs.iter().map(|s| u64::from(s.firings())).sum()
+    }
+}
+
+/// The droop-storm plan: dense load-step bursts on three seeded cores
+/// plus a socket-wide rail sag — the serving layer's worst afternoon.
+#[must_use]
+pub fn droop_storm() -> FaultPlan {
+    let burst = |start: u64| FaultSpec {
+        target: FaultTarget::Seeded,
+        kind: FaultKind::LoadBurst {
+            magnitude_mv: 45,
+            sharpness_pct: 85,
+        },
+        start,
+        period: 40,
+        repeats: 24,
+        duration: 3,
+    };
+    FaultPlan::new("droop-storm")
+        .with(burst(20))
+        .with(burst(35))
+        .with(burst(50))
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::RailSag { offset_mv: 12 },
+            start: 200,
+            period: 500,
+            repeats: 3,
+            duration: 60,
+        })
+}
+
+/// The sensor-chaos plan: stuck-at, dropout and drifting CPM readouts
+/// across seeded cores — the margin loop flying on bad instruments.
+#[must_use]
+pub fn sensor_chaos() -> FaultPlan {
+    FaultPlan::new("sensor-chaos")
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::CpmStuckAt { units: 30 },
+            start: 50,
+            period: 300,
+            repeats: 6,
+            duration: 40,
+        })
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::CpmDropout,
+            start: 120,
+            period: 250,
+            repeats: 8,
+            duration: 30,
+        })
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::CpmDrift { delta_units: 8 },
+            start: 400,
+            period: 0,
+            repeats: 1,
+            duration: 200,
+        })
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::PhaseFailure,
+            start: 700,
+            period: 900,
+            repeats: 2,
+            duration: 1,
+        })
+}
+
+/// The actuator-flap plan: DPLL slew interfaces sticking and mis-stepping
+/// in bursts, with an occasional forced phase failure.
+#[must_use]
+pub fn actuator_flap() -> FaultPlan {
+    FaultPlan::new("actuator-flap")
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::DpllSlewStuck,
+            start: 60,
+            period: 200,
+            repeats: 10,
+            duration: 25,
+        })
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::DpllMisstep { scale_pct: 300 },
+            start: 150,
+            period: 320,
+            repeats: 6,
+            duration: 20,
+        })
+        .with(FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::PhaseFailure,
+            start: 500,
+            period: 0,
+            repeats: 1,
+            duration: 1,
+        })
+}
+
+/// Every standard plan, in campaign order.
+#[must_use]
+pub fn standard_plans() -> Vec<FaultPlan> {
+    vec![droop_storm(), sensor_chaos(), actuator_flap()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_train_arithmetic() {
+        let spec = FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::CpmDropout,
+            start: 100,
+            period: 50,
+            repeats: 3,
+            duration: 10,
+        };
+        assert_eq!(spec.firings(), 3);
+        assert_eq!(spec.firing_tick(0), Some(100));
+        assert_eq!(spec.firing_tick(2), Some(200));
+        assert_eq!(spec.firing_tick(3), None);
+    }
+
+    #[test]
+    fn zero_period_is_one_shot() {
+        let spec = FaultSpec {
+            target: FaultTarget::Seeded,
+            kind: FaultKind::DpllSlewStuck,
+            start: 7,
+            period: 0,
+            repeats: 99,
+            duration: 1,
+        };
+        assert_eq!(spec.firings(), 1);
+        assert_eq!(spec.firing_tick(0), Some(7));
+        assert_eq!(spec.firing_tick(1), None);
+    }
+
+    #[test]
+    fn standard_plans_are_nonempty_and_named() {
+        let plans = standard_plans();
+        assert_eq!(plans.len(), 3);
+        for plan in &plans {
+            assert!(!plan.specs.is_empty(), "{} has no specs", plan.name);
+            assert!(plan.total_firings() > 0);
+        }
+        assert_eq!(plans[0].name, "droop-storm");
+    }
+
+    #[test]
+    fn plans_are_value_types() {
+        // Rebuilding a standard plan yields an identical value — the
+        // foundation of cross-run campaign determinism.
+        assert_eq!(droop_storm(), droop_storm());
+        assert_eq!(sensor_chaos(), sensor_chaos());
+        assert_eq!(actuator_flap(), actuator_flap());
+        assert_ne!(droop_storm(), actuator_flap());
+    }
+}

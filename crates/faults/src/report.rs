@@ -1,0 +1,162 @@
+//! All-integer campaign reports.
+
+use std::fmt;
+
+use atm_serve::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Integer summary of a time-to-X distribution, in engine ticks.
+///
+/// Quantiles come from [`atm_serve::LatencyHistogram`]'s log-linear
+/// buckets, so equal sample streams always produce equal summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TicksSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median, in ticks (bucket floor).
+    pub p50: u64,
+    /// 99th percentile, in ticks (bucket floor).
+    pub p99: u64,
+    /// Exact maximum, in ticks.
+    pub max: u64,
+}
+
+impl TicksSummary {
+    /// Summarizes `samples` (order-insensitive; all-zero when empty).
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let mut hist = LatencyHistogram::new();
+        for &s in samples {
+            hist.record(s);
+        }
+        TicksSummary {
+            count: hist.count(),
+            p50: hist.quantile(0.5),
+            p99: hist.quantile(0.99),
+            max: hist.max(),
+        }
+    }
+}
+
+impl fmt::Display for TicksSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={}t p99={}t max={}t",
+            self.count, self.p50, self.p99, self.max
+        )
+    }
+}
+
+/// The outcome of one fault campaign: what was injected, what the
+/// supervisor noticed, and how fast it contained the damage.
+///
+/// Every field is an integer (or a `String` name), so two reports from
+/// the same `(plan, seed)` pair can be compared with `assert_eq!` — the
+/// campaign determinism contract is `Eq`-checkable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCampaignReport {
+    /// The plan that ran.
+    pub plan: String,
+    /// The campaign seed.
+    pub seed: u64,
+    /// Trials merged into this report.
+    pub trials: u32,
+    /// Faults injected across all trials.
+    pub injected: u64,
+    /// Injections the supervisor reacted to (any action on the faulted
+    /// core after the injection).
+    pub detected: u64,
+    /// Detections later resolved — the core re-probed back to its
+    /// fine-tuned setting, or contained in safe mode / quarantine.
+    pub recovered: u64,
+    /// Cores dropped to the static-margin safe mode.
+    pub safe_modes: u64,
+    /// Cores quarantined.
+    pub quarantines: u64,
+    /// Time from injection to the supervisor's first reaction.
+    pub time_to_detect: TicksSummary,
+    /// Time from detection to resolution.
+    pub time_to_recover: TicksSummary,
+}
+
+impl FaultCampaignReport {
+    /// Detected fraction of injected faults, in percent (0 when nothing
+    /// was injected).
+    #[must_use]
+    pub fn detection_pct(&self) -> u64 {
+        (self.detected * 100)
+            .checked_div(self.injected)
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for FaultCampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign '{}' seed {} ({} trials):",
+            self.plan, self.seed, self.trials
+        )?;
+        writeln!(
+            f,
+            "  injected {}  detected {} ({}%)  recovered {}",
+            self.injected,
+            self.detected,
+            self.detection_pct(),
+            self.recovered
+        )?;
+        writeln!(
+            f,
+            "  safe modes {}  quarantines {}",
+            self.safe_modes, self.quarantines
+        )?;
+        writeln!(f, "  time-to-detect  {}", self.time_to_detect)?;
+        write!(f, "  time-to-recover {}", self.time_to_recover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = TicksSummary::from_samples(&[]);
+        assert_eq!(
+            s,
+            TicksSummary {
+                count: 0,
+                p50: 0,
+                p99: 0,
+                max: 0
+            }
+        );
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let samples: Vec<u64> = (1..=1000).collect();
+        let s = TicksSummary::from_samples(&samples);
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn detection_pct_handles_zero() {
+        let report = FaultCampaignReport {
+            plan: "x".into(),
+            seed: 0,
+            trials: 0,
+            injected: 0,
+            detected: 0,
+            recovered: 0,
+            safe_modes: 0,
+            quarantines: 0,
+            time_to_detect: TicksSummary::from_samples(&[]),
+            time_to_recover: TicksSummary::from_samples(&[]),
+        };
+        assert_eq!(report.detection_pct(), 0);
+    }
+}

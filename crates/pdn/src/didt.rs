@@ -218,6 +218,72 @@ impl DroopProcess {
     }
 }
 
+/// A deterministic injected load-step burst: a workload-surge droop with a
+/// known magnitude and leading-edge sharpness, used by fault campaigns to
+/// place worst-case transients at exact simulation ticks (unlike
+/// [`DroopProcess`], which samples stochastically).
+///
+/// # Examples
+///
+/// ```
+/// use atm_pdn::LoadStep;
+///
+/// let step = LoadStep::new(40.0, 0.75);
+/// let (seen, unseen) = step.split();
+/// assert!((seen - 10.0).abs() < 1e-12);
+/// assert!((unseen - 30.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadStep {
+    magnitude_mv: f64,
+    sharpness: f64,
+}
+
+impl LoadStep {
+    /// Creates a load step of `magnitude_mv` millivolts with the given
+    /// leading-edge `sharpness` (the fraction escaping the loop's
+    /// response window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude_mv` is negative or `sharpness` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(magnitude_mv: f64, sharpness: f64) -> Self {
+        assert!(
+            magnitude_mv.is_finite() && magnitude_mv >= 0.0,
+            "load-step magnitude must be a non-negative finite millivolt value"
+        );
+        assert!((0.0..=1.0).contains(&sharpness), "sharpness out of [0,1]");
+        LoadStep {
+            magnitude_mv,
+            sharpness,
+        }
+    }
+
+    /// The full droop magnitude in millivolts.
+    #[must_use]
+    pub fn magnitude_mv(&self) -> f64 {
+        self.magnitude_mv
+    }
+
+    /// The leading-edge fraction escaping the control loop.
+    #[must_use]
+    pub fn sharpness(&self) -> f64 {
+        self.sharpness
+    }
+
+    /// Splits the droop into its `(seen, unseen)` millivolt components:
+    /// the slow tail the ATM loop tracks, and the sharp leading edge that
+    /// outruns it.
+    #[must_use]
+    #[inline]
+    pub fn split(&self) -> (f64, f64) {
+        let unseen = self.magnitude_mv * self.sharpness;
+        (self.magnitude_mv - unseen, unseen)
+    }
+}
+
 /// Acklam-style rational approximation of the standard normal quantile,
 /// accurate to ~1e-4 over (0.001, 0.999) — ample for stress quantiles.
 fn inverse_normal_cdf(p: f64) -> f64 {
@@ -364,6 +430,28 @@ mod tests {
         let p = DiDtParams::new(2.0, 30.0, 6.0, 0.7).amplified(1.5);
         assert!((p.magnitude_mean().get() - 45.0).abs() < 1e-12);
         assert!((p.sharpness() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_step_split_partitions_magnitude() {
+        let step = LoadStep::new(32.0, 0.6);
+        let (seen, unseen) = step.split();
+        assert!((seen + unseen - 32.0).abs() < 1e-12);
+        assert!((unseen - 19.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_step_extremes() {
+        let all_seen = LoadStep::new(20.0, 0.0).split();
+        assert_eq!(all_seen, (20.0, 0.0));
+        let all_unseen = LoadStep::new(20.0, 1.0).split();
+        assert_eq!(all_unseen, (0.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sharpness")]
+    fn load_step_rejects_bad_sharpness() {
+        let _ = LoadStep::new(20.0, 1.5);
     }
 
     #[test]

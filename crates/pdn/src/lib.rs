@@ -33,7 +33,7 @@ mod power;
 mod thermal;
 mod vrm;
 
-pub use didt::{DiDtParams, DroopEvent, DroopProcess};
+pub use didt::{DiDtParams, DroopEvent, DroopProcess, LoadStep};
 pub use power::{PowerBreakdown, PowerModel};
 pub use thermal::ThermalModel;
-pub use vrm::PdnModel;
+pub use vrm::{PdnModel, RailTransient};

@@ -136,6 +136,58 @@ impl Default for PdnModel {
     }
 }
 
+/// A transient disturbance on the VRM output rail, used by fault-injection
+/// campaigns to model brownouts and regulator glitches.
+///
+/// The transient is expressed as a millivolt offset *subtracted* from the
+/// delivered DC voltage for as long as it is armed; it composes with the
+/// normal IR-drop terms (which are computed from the undisturbed setpoint,
+/// as a real chip's current draw would be during a short glitch).
+///
+/// # Examples
+///
+/// ```
+/// use atm_pdn::RailTransient;
+/// use atm_units::Volts;
+///
+/// let sag = RailTransient::new(40.0);
+/// let v = sag.apply(Volts::new(1.25));
+/// assert!((v.get() - 1.21).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RailTransient {
+    offset_mv: f64,
+}
+
+impl RailTransient {
+    /// Creates a rail sag of `offset_mv` millivolts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset_mv` is negative or not finite.
+    #[must_use]
+    pub fn new(offset_mv: f64) -> Self {
+        assert!(
+            offset_mv.is_finite() && offset_mv >= 0.0,
+            "rail transient offset must be a non-negative finite millivolt value"
+        );
+        RailTransient { offset_mv }
+    }
+
+    /// The sag magnitude in millivolts.
+    #[must_use]
+    pub fn offset_mv(&self) -> f64 {
+        self.offset_mv
+    }
+
+    /// Applies the sag to a delivered voltage, flooring at zero volts.
+    #[must_use]
+    #[inline]
+    pub fn apply(&self, v: Volts) -> Volts {
+        v.saturating_sub(Volts::new(self.offset_mv / 1000.0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +244,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_setpoint_rejected() {
         let _ = PdnModel::new(Volts::ZERO, 1e-4, 1e-5);
+    }
+
+    #[test]
+    fn rail_transient_subtracts_offset() {
+        let sag = RailTransient::new(25.0);
+        let v = sag.apply(Volts::new(1.25));
+        assert!((v.get() - 1.225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rail_transient_floors_at_zero() {
+        let sag = RailTransient::new(5000.0);
+        assert_eq!(sag.apply(Volts::new(1.25)), Volts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rail_transient_rejected() {
+        let _ = RailTransient::new(-1.0);
     }
 }

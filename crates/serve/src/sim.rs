@@ -18,9 +18,10 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
 
-use atm_chip::{ChipEvent, FailureEvent, FailureKind, PStateTable};
-use atm_core::{AtmManager, ServePosture};
+use atm_chip::{ChipEvent, FailureEvent, FailureKind, FaultHook, PStateTable};
+use atm_core::{AtmManager, MarginSupervisor, ServePosture, SupervisorAction};
 use atm_telemetry::{
     AdmissionDecision, AdmissionVerdict, NullRecorder, Recorder, SimTime, TelemetryEvent,
 };
@@ -103,13 +104,28 @@ impl StreamState {
 }
 
 /// The serving simulator. Consumed by [`ServeSim::run`].
-#[derive(Debug)]
 pub struct ServeSim {
     mgr: AtmManager,
     cfg: ServeConfig,
     streams: Vec<StreamSpec>,
     policy: DegradationPolicy,
+    supervisor: Option<MarginSupervisor>,
+    faults: Option<Box<dyn FaultHook>>,
     injected: Vec<(u32, FailureEvent)>,
+}
+
+impl fmt::Debug for ServeSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeSim")
+            .field("mgr", &self.mgr)
+            .field("cfg", &self.cfg)
+            .field("streams", &self.streams)
+            .field("policy", &self.policy)
+            .field("supervisor", &self.supervisor)
+            .field("faults_armed", &self.faults.as_ref().map(|h| h.armed()))
+            .field("injected", &self.injected)
+            .finish()
+    }
 }
 
 impl ServeSim {
@@ -147,6 +163,8 @@ impl ServeSim {
             cfg,
             streams,
             policy: DegradationPolicy::default(),
+            supervisor: None,
+            faults: None,
             injected: Vec::new(),
         })
     }
@@ -154,6 +172,27 @@ impl ServeSim {
     /// Overrides the degradation policy.
     pub fn set_policy(&mut self, policy: DegradationPolicy) {
         self.policy = policy;
+    }
+
+    /// Attaches a margin-safety supervisor. Once attached, the supervisor
+    /// owns the failure response — its strike ladder (rollback →
+    /// backed-off re-probe → safe mode → quarantine) replaces the plain
+    /// policy's per-failure rollback, while the policy keeps handling
+    /// droop-alarm throttle step-downs. Quarantined and safe-moded cores
+    /// drop out of every subsequent placement, so critical streams are
+    /// re-placed automatically.
+    pub fn set_supervisor(&mut self, supervisor: MarginSupervisor) {
+        self.supervisor = Some(supervisor);
+    }
+
+    /// Arms a chip-level fault hook (e.g. a resolved `atm-faults`
+    /// campaign plan) for the per-epoch chip harvests: each epoch's
+    /// hardware trial runs through
+    /// [`System::run_faulted`](atm_chip::System::run_faulted) with this
+    /// hook instead of a clean run. The hook's tick clock spans the whole
+    /// serving trace, so one plan unfolds across epochs deterministically.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.faults = Some(hook);
     }
 
     /// Schedules a synthetic timing failure on `core`, delivered with the
@@ -200,6 +239,8 @@ impl ServeSim {
             cfg,
             streams,
             policy,
+            mut supervisor,
+            mut faults,
             injected,
         } = self;
         let proc = ProcId::new(0);
@@ -232,6 +273,9 @@ impl ServeSim {
         // Posturing itself settles and trains predictors; the alarms those
         // runs raise are calibration noise, not serving-time events.
         mgr.system_mut().drain_events();
+        if let Some(sup) = supervisor.as_mut() {
+            sup.attach(mgr.system());
+        }
         let mut throttle_extra: usize = 0;
 
         let arrivals = arrival::generate_all(&streams, cfg.seed, horizon, workers);
@@ -248,7 +292,13 @@ impl ServeSim {
             let epoch_end = u64::from(epoch + 1) * cfg.epoch_ns;
 
             // Harvest chip events at the current posture, plus injections.
-            let _ = mgr.system_mut().run_recorded(cfg.chip_trial, rec);
+            let _ = match faults.as_deref_mut() {
+                Some(mut hook) => {
+                    mgr.system_mut()
+                        .run_faulted_recorded(cfg.chip_trial, &mut hook, rec)
+                }
+                None => mgr.system_mut().run_recorded(cfg.chip_trial, rec),
+            };
             let mut events = mgr.system_mut().drain_events();
             for (e, f) in &injected {
                 if *e == epoch {
@@ -256,9 +306,36 @@ impl ServeSim {
                 }
             }
 
-            let actions = policy.react(&events, posture.placement.critical_core);
             let mut needs_replace = false;
             let mut throttled = false;
+
+            // The supervisor (when attached) owns the failure ladder; the
+            // plain policy keeps the droop-alarm throttle response.
+            let mut actions = policy.react(&events, posture.placement.critical_core);
+            if let Some(sup) = supervisor.as_mut() {
+                actions.retain(|a| matches!(a, DegradeAction::ThrottleDown { .. }));
+                let sup_actions = sup.observe_window(mgr.system(), &events);
+                let _ = mgr.apply_supervisor_actions_recorded(&sup_actions, rec);
+                if !sup_actions.is_empty() {
+                    needs_replace = true;
+                }
+                for a in &sup_actions {
+                    action_texts.push(match a {
+                        SupervisorAction::Rollback { core, steps } => {
+                            format!("supervisor rollback {core} by {steps}")
+                        }
+                        SupervisorAction::Reprobe { core, steps } => {
+                            format!("supervisor re-probe {core} by {steps}")
+                        }
+                        SupervisorAction::SafeMode { core } => {
+                            format!("supervisor safe mode {core}")
+                        }
+                        SupervisorAction::Quarantine { core } => {
+                            format!("supervisor quarantine {core}")
+                        }
+                    });
+                }
+            }
             for action in &actions {
                 match action {
                     DegradeAction::Rollback { core, cause } => {

@@ -1,0 +1,29 @@
+//! Run the standard fault-injection campaigns against supervised servers.
+//!
+//! ```text
+//! cargo run --release --example fault_campaign [seed] [trials] [workers]
+//! ```
+//!
+//! Each plan — droop-storm, sensor-chaos, actuator-flap — is replayed
+//! against `trials` independently minted, fine-tuned, supervisor-watched
+//! servers. The report is a pure function of `(plan, seed)`: rerun with
+//! the same arguments (any worker count) and every number matches.
+
+use power_atm::faults::{standard_plans, FaultCampaign};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let trials: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    println!("fault campaigns: seed {seed}, {trials} trials, {workers} workers\n");
+    for plan in standard_plans() {
+        let report = FaultCampaign::new(plan, seed).trials(trials).run(workers);
+        println!("{report}\n");
+        assert!(
+            report.detected <= report.injected,
+            "detection cannot exceed injection"
+        );
+    }
+}

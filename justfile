@@ -12,6 +12,16 @@ ci:
     cargo bench -p atm-bench --bench simperf -- --test
     cargo clippy --workspace --all-targets -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+    just chaos
+
+# Fault-injection sweep: every standard plan (droop-storm,
+# sensor-chaos, actuator-flap) replayed under three seeds. Each run
+# asserts its own report coherence; reports are pure functions of
+# (plan, seed), so output drift is a regression.
+chaos:
+    cargo run --release --example fault_campaign 42 3 4
+    cargo run --release --example fault_campaign 7 3 4
+    cargo run --release --example fault_campaign 1234 3 4
 
 # Warning-free rustdoc over the workspace.
 doc:

@@ -22,6 +22,7 @@
 //! | [`chip`] | the two-socket simulator |
 //! | [`core`] | fine-tuning, characterization, prediction, management |
 //! | [`serve`] | deterministic request serving with SLO accounting |
+//! | [`faults`] | seeded fault-injection campaigns and recovery reports |
 //! | [`experiments`] | regeneration of every paper table and figure |
 //!
 //! The [`prelude`] re-exports the handful of types nearly every program
@@ -73,6 +74,7 @@ pub use atm_core as core;
 pub use atm_cpm as cpm;
 pub use atm_dpll as dpll;
 pub use atm_experiments as experiments;
+pub use atm_faults as faults;
 pub use atm_pdn as pdn;
 pub use atm_serve as serve;
 pub use atm_silicon as silicon;
@@ -96,7 +98,8 @@ pub mod prelude {
     pub use atm_chip::{ChipConfig, MarginMode, System};
     pub use atm_core::charact::CharactConfig;
     pub use atm_core::manager::Strategy;
-    pub use atm_core::{AtmManager, Governor, LimitTable, QosTarget};
+    pub use atm_core::{AtmManager, Governor, LimitTable, MarginSupervisor, QosTarget};
+    pub use atm_faults::{FaultCampaign, FaultPlan};
     pub use atm_serve::{ServeConfig, ServeSim, StreamSpec};
     pub use atm_telemetry::{NullRecorder, Recorder, RingRecorder, TelemetrySnapshot};
     pub use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId, Watts};

@@ -65,6 +65,40 @@ proptest! {
     }
 }
 
+/// The stride fast path is an optimization, not a semantic: with droop
+/// alarms subscribed and firing, [`System::drain_events`] must return the
+/// same events, in the same order, with identical payloads, whether the
+/// stride optimization is enabled or not.
+///
+/// [`System::drain_events`]: power_atm::chip::System::drain_events
+#[test]
+fn stride_fast_path_preserves_event_stream() {
+    use power_atm::chip::{MarginMode, System};
+    use power_atm::units::MegaHz;
+
+    let run_events = |stride: bool| -> Vec<String> {
+        let mut sys = System::new(ChipConfig::power7_plus(42));
+        sys.set_stride(stride);
+        sys.set_droop_alarm(Some(MegaHz::new(25.0)));
+        let loud = CoreId::new(0, 2);
+        sys.set_mode(loud, MarginMode::Atm);
+        sys.assign(loud, by_name("x264").expect("known app").clone());
+        let _ = sys.run(Nanos::new(80_000.0));
+        sys.drain_events()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect()
+    };
+
+    let with_stride = run_events(true);
+    let without_stride = run_events(false);
+    assert!(
+        !without_stride.is_empty(),
+        "the scenario must actually raise droop alarms"
+    );
+    assert_eq!(with_stride, without_stride);
+}
+
 /// The acceptance posture of the issue, pinned as a plain test: on the
 /// default 16-core chip, 1, 2 and 8 workers agree exactly.
 #[test]

@@ -100,6 +100,89 @@ fn disabling_failure_checking_suppresses_failures() {
     assert!(report.is_ok());
 }
 
+/// End-to-end supervisor recovery: a served system riding out the
+/// droop-storm fault plan. The storm floods the first ~1300 ticks with
+/// load-step bursts and rail sags; the supervisor must notice (strike,
+/// roll back, possibly safe-mode), and once the plan exhausts itself the
+/// critical stream's per-epoch p99 must be back within its SLO.
+#[test]
+fn supervisor_contains_a_droop_storm_and_restores_the_slo() {
+    use power_atm::core::charact::CharactConfig;
+    use power_atm::core::{AtmManager, Governor, MarginSupervisor, SupervisorConfig};
+    use power_atm::faults::{droop_storm, CampaignHook};
+    use power_atm::serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+
+    const SEED: u64 = 42;
+    const SLO_NS: u64 = 250_000_000;
+    // The storm's last injection drains around tick 1263; at 8 µs of
+    // chip time per epoch (160 ticks), epoch 8 onward is storm-free.
+    const CLEAN_FROM_EPOCH: usize = 8;
+
+    let streams = || {
+        vec![
+            StreamSpec::critical(
+                by_name("squeezenet").expect("catalog"),
+                ArrivalPattern::Poisson {
+                    mean_gap: 150_000_000,
+                },
+                SLO_NS,
+            ),
+            StreamSpec::background(
+                by_name("x264").expect("catalog"),
+                ArrivalPattern::Poisson {
+                    mean_gap: 20_000_000,
+                },
+            ),
+        ]
+    };
+    let run = |workers: usize| {
+        let sys = System::new(ChipConfig::power7_plus(SEED));
+        let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+        let cfg = ServeConfig::builder(SEED)
+            .epochs(12)
+            .epoch_ns(200_000_000)
+            .chip_trial(Nanos::new(8_000.0))
+            .build()
+            .expect("valid config");
+        let mut s = ServeSim::new(mgr, cfg, streams()).expect("valid serving setup");
+        s.set_supervisor(MarginSupervisor::new(SupervisorConfig::default()));
+        s.set_fault_hook(Box::new(CampaignHook::resolve(&droop_storm(), SEED, 0)));
+        s.run(workers)
+    };
+
+    let report = run(1);
+    // The supervisor reacted to the storm.
+    assert!(
+        report
+            .transitions
+            .iter()
+            .any(|t| t.action.contains("supervisor")),
+        "no supervisor action during the storm: {:?}",
+        report.transitions
+    );
+
+    // Bounded recovery: every storm-free epoch with critical traffic is
+    // back within the SLO.
+    let crit = report.critical();
+    let tail: Vec<u64> = crit
+        .epoch_p99_ns
+        .iter()
+        .copied()
+        .skip(CLEAN_FROM_EPOCH)
+        .filter(|&p| p > 0)
+        .collect();
+    assert!(!tail.is_empty(), "critical stream kept serving after storm");
+    for p99 in &tail {
+        assert!(
+            *p99 <= SLO_NS,
+            "post-storm epoch p99 {p99} ns exceeds SLO {SLO_NS} ns"
+        );
+    }
+
+    // Supervised, fault-injected serving stays deterministic.
+    assert_eq!(report, run(4));
+}
+
 #[test]
 fn noisier_workloads_fail_at_less_aggressive_settings() {
     // At a fixed reduction between the x264 limit and the idle limit,

@@ -1,0 +1,137 @@
+//! Acceptance tests for the fault-injection campaign engine and the
+//! margin-safety supervisor's safe-mode guarantee.
+//!
+//! Two properties are load-bearing for the whole `atm-faults` design:
+//!
+//! 1. A [`FaultCampaignReport`] is a pure function of `(plan, seed)` —
+//!    rerunning a campaign, with any worker count, reproduces every byte.
+//! 2. Safe mode *provably* reverts a core to the static-margin baseline:
+//!    a supervised core driven into safe mode follows the exact frequency
+//!    trajectory of a never-tuned core on the same silicon lot.
+
+use power_atm::chip::{ChipConfig, ChipEvent, FailureEvent, FailureKind, MarginMode, System};
+use power_atm::core::charact::CharactConfig;
+use power_atm::core::{AtmManager, Governor, MarginSupervisor, QosTarget, SupervisorConfig};
+use power_atm::faults::{actuator_flap, droop_storm, sensor_chaos, FaultCampaign};
+use power_atm::units::{CoreId, MegaHz, Nanos};
+use power_atm::workloads::by_name;
+
+const SEED: u64 = 42;
+
+#[test]
+fn droop_storm_report_is_byte_identical_across_runs_and_workers() {
+    let reference = FaultCampaign::new(droop_storm(), SEED).trials(2).run(1);
+    let rerun = FaultCampaign::new(droop_storm(), SEED).trials(2).run(1);
+    let parallel = FaultCampaign::new(droop_storm(), SEED).trials(2).run(3);
+    assert_eq!(reference, rerun, "same seed, same worker count");
+    assert_eq!(reference, parallel, "worker count must not leak in");
+}
+
+#[test]
+fn sensor_chaos_report_is_worker_count_independent() {
+    let serial = FaultCampaign::new(sensor_chaos(), SEED).trials(2).run(1);
+    let parallel = FaultCampaign::new(sensor_chaos(), SEED).trials(2).run(2);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn actuator_flap_report_is_worker_count_independent() {
+    let serial = FaultCampaign::new(actuator_flap(), SEED).trials(2).run(1);
+    let parallel = FaultCampaign::new(actuator_flap(), SEED).trials(2).run(4);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn droop_storm_campaign_detects_and_accounts_coherently() {
+    let report = FaultCampaign::new(droop_storm(), SEED).trials(2).run(2);
+    assert!(report.injected > 0, "the plan must actually fire");
+    assert!(report.detected > 0, "a droop storm must be noticed");
+    assert!(
+        report.detected <= report.injected,
+        "detection cannot exceed injection"
+    );
+    assert!(
+        report.recovered <= report.detected,
+        "recovery only follows detection"
+    );
+    assert_eq!(
+        report.time_to_detect.count, report.detected as u64,
+        "every detection contributes a time-to-detect sample"
+    );
+    assert_eq!(
+        report.time_to_recover.count, report.recovered as u64,
+        "every recovery contributes a time-to-recover sample"
+    );
+}
+
+/// The safe-mode guarantee, by golden comparison: after the supervisor
+/// escalates a flapping core to safe mode, the core's margin state equals
+/// the never-tuned configuration *and* its observable frequency
+/// trajectory matches a freshly minted, never-characterized system on the
+/// same silicon lot, sample for sample.
+#[test]
+fn safe_mode_provably_reverts_to_static_baseline() {
+    const LOT: u64 = 7;
+    let sys = System::new(ChipConfig::power7_plus(LOT));
+    let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+
+    // Pick a core the deployment actually fine-tuned, so reverting it is
+    // a real state change rather than a no-op.
+    let victim = CoreId::all()
+        .find(|&c| mgr.system().core(c).reduction() > 0)
+        .expect("deployment fine-tunes at least one core");
+
+    let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+    sup.attach(mgr.system());
+    let crash = |core: CoreId| {
+        vec![ChipEvent::Failure(FailureEvent {
+            core,
+            kind: FailureKind::SystemCrash,
+            at: Nanos::ZERO,
+        })]
+    };
+    // Three strike windows: rollback, rollback, safe mode.
+    for _ in 0..3 {
+        let actions = sup.observe_window(mgr.system(), &crash(victim));
+        let _ = mgr.apply_supervisor_actions(&actions);
+    }
+
+    assert!(sup.in_safe_mode(victim));
+    assert!(mgr.safe_mode_cores().contains(&victim));
+    assert_eq!(mgr.system().core(victim).mode(), MarginMode::Static);
+    assert_eq!(mgr.system().core(victim).reduction(), 0);
+
+    // Golden trajectory: the safe-moded core under load...
+    let workload = by_name("x264").expect("x264 exists");
+    let horizon = Nanos::new(20_000.0);
+    mgr.system_mut().assign(victim, workload.clone());
+    let (_, supervised) = mgr.system_mut().run_traced(horizon, victim, 1);
+
+    // ...versus the same silicon lot that never saw a characterization.
+    let mut golden_sys = System::new(ChipConfig::power7_plus(LOT));
+    golden_sys.assign(victim, workload.clone());
+    let (_, golden) = golden_sys.run_traced(horizon, victim, 1);
+
+    let freqs = |t: &power_atm::chip::Trace| -> Vec<MegaHz> {
+        t.samples().iter().map(|s| s.freq).collect()
+    };
+    assert_eq!(
+        freqs(&supervised),
+        freqs(&golden),
+        "safe mode must walk the never-tuned trajectory"
+    );
+
+    // And the placement layer honors the revert: a fresh serving posture
+    // neither wakes the core nor hands it work.
+    let posture = mgr
+        .serve_posture(
+            by_name("squeezenet").expect("squeezenet exists"),
+            std::slice::from_ref(workload),
+            QosTarget::improvement_pct(5.0),
+        )
+        .expect("posture with one background");
+    assert_ne!(posture.placement.critical_core, victim);
+    assert!(!posture.placement.background_cores.contains(&victim));
+    assert_eq!(mgr.system().core(victim).mode(), MarginMode::Static);
+    assert_eq!(mgr.system().core(victim).reduction(), 0);
+}

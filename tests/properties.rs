@@ -138,11 +138,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// `FailureKind::sample` is total over its whole documented domain
-    /// u ∈ [0, 1): every draw maps to a kind, the mapping is a step
+    /// u ∈ [0, 1]: every draw maps to a kind, the mapping is a step
     /// function with thresholds at exactly 0.4 and 0.8, and nearby draws
     /// on the same side of a threshold agree.
     #[test]
-    fn failure_kind_sample_is_total_and_banded(u in 0.0f64..1.0) {
+    fn failure_kind_sample_is_total_and_banded(u in 0.0f64..=1.0) {
         use power_atm::chip::FailureKind;
         let kind = FailureKind::sample(u);
         let expected = if u < 0.4 {
@@ -176,8 +176,9 @@ fn failure_kind_proportions_are_40_40_20() {
     assert_eq!(counts, [N * 2 / 5, N * 2 / 5, N / 5]);
 }
 
-/// The domain boundaries of `FailureKind::sample`: 0 is valid, 1 is not,
-/// and the threshold values land in the upper band.
+/// The domain boundaries of `FailureKind::sample`: the whole closed unit
+/// interval is valid — including `u == 1.0`, which an inclusive-range RNG
+/// draw can produce — and anything outside it is a programming error.
 #[test]
 fn failure_kind_sample_edges() {
     use power_atm::chip::FailureKind;
@@ -189,6 +190,9 @@ fn failure_kind_sample_edges() {
         FailureKind::sample(just_below),
         FailureKind::SilentDataCorruption
     );
-    assert!(std::panic::catch_unwind(|| FailureKind::sample(1.0)).is_err());
+    // The closed top of the interval is total: no RNG draw can panic the
+    // simulator.
+    assert_eq!(FailureKind::sample(1.0), FailureKind::SilentDataCorruption);
+    assert!(std::panic::catch_unwind(|| FailureKind::sample(1.0_f64.next_up())).is_err());
     assert!(std::panic::catch_unwind(|| FailureKind::sample(-0.001)).is_err());
 }

@@ -152,6 +152,71 @@ fn injected_failure_triggers_rollback_and_recovery() {
     assert_eq!(report, s2.run(4));
 }
 
+/// Serving resilience under a flapping core: with the supervisor
+/// attached, a core that fails epoch after epoch climbs the strike
+/// ladder — rollback, safe mode, and finally quarantine — while the
+/// critical stream is re-placed onto healthy silicon and keeps serving.
+/// The whole ordeal stays byte-deterministic across reruns and worker
+/// counts.
+#[test]
+fn flapping_core_ends_quarantined_and_critical_stream_is_replaced() {
+    use power_atm::core::{MarginSupervisor, SupervisorConfig};
+
+    let clean = run(SEED, 1);
+    // Flap the critical core itself: the supervisor must evict the
+    // stream's own home.
+    let flapper = clean.critical_core;
+    let build = || {
+        let mut s = sim(SEED);
+        s.set_supervisor(MarginSupervisor::new(SupervisorConfig::default()));
+        for epoch in 1..=6 {
+            s.inject_failure(epoch, flapper, FailureKind::SystemCrash);
+        }
+        s
+    };
+
+    let report = build().run(1);
+    let ladder: Vec<&str> = report
+        .transitions
+        .iter()
+        .map(|t| t.action.as_str())
+        .filter(|a| a.contains("supervisor"))
+        .collect();
+    assert!(
+        ladder
+            .iter()
+            .any(|a| a.contains("safe mode") && a.contains(&flapper.to_string())),
+        "flapping core never reached safe mode: {ladder:?}"
+    );
+    assert!(
+        ladder
+            .iter()
+            .any(|a| a.contains("quarantine") && a.contains(&flapper.to_string())),
+        "flapping core never quarantined: {ladder:?}"
+    );
+
+    // The critical stream found a new home and kept serving after the
+    // quarantine epoch.
+    assert_ne!(report.critical_core, flapper);
+    let after: Vec<u64> = report
+        .critical()
+        .epoch_p99_ns
+        .iter()
+        .copied()
+        .skip(6)
+        .filter(|&p| p > 0)
+        .collect();
+    assert!(
+        !after.is_empty(),
+        "critical stream stopped serving after the quarantine"
+    );
+
+    // Byte-identical across reruns and worker counts.
+    for workers in [2, 4, 8] {
+        assert_eq!(report, build().run(workers), "workers = {workers}");
+    }
+}
+
 #[test]
 fn failures_on_background_cores_leave_the_critical_core_alone() {
     let clean = run(SEED, 1);
