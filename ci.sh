@@ -18,3 +18,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 for seed in 42 7 1234; do
     cargo run --release --example fault_campaign "$seed" 3 4
 done
+# Fleet smoke: small sharded fleets under two seeds, serial vs
+# 4-worker runs byte-compared (mirrors `just fleet`).
+for seed in 42 7; do
+    cargo run --release --example fleet "$seed"
+done

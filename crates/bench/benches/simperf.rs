@@ -1,8 +1,9 @@
 //! Single-thread hot-path throughput regression harness.
 //!
 //! Measures simulated-nanoseconds-per-wall-second on the stress-deploy
-//! scenario and requests-per-wall-second on the serving scenario, then
-//! writes both into `BENCH_simperf.json` at the repo root.
+//! scenario, requests-per-wall-second on the serving scenario, and
+//! chips-simulated-per-wall-second on sharded fleets of 16/64/256 chips,
+//! then writes every row into `BENCH_simperf.json` at the repo root.
 //!
 //! The file is stateful across runs: the `before` column is preserved
 //! from the first capture (taken on the tree *before* the tick-loop
@@ -21,6 +22,7 @@ use atm_chip::{ChipConfig, MarginMode, System};
 use atm_core::charact::CharactConfig;
 use atm_core::stress::stress_test_deploy;
 use atm_core::{AtmManager, Governor};
+use atm_fleet::{FleetConfig, FleetSim};
 use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
 use atm_units::Nanos;
 use atm_workloads::by_name;
@@ -118,12 +120,32 @@ fn serving_req_per_wall_s(smoke: bool) -> f64 {
     rate
 }
 
+/// Whole-fleet throughput: chips simulated per wall-second for a sharded
+/// `chips`-chip fleet (deploy + epoch loop + merge, 2 workers — the host
+/// pins the worker count, the report doesn't depend on it).
+fn fleet_chips_per_wall_s(chips: u32, smoke: bool) -> f64 {
+    let mut cfg = FleetConfig::quick(BENCH_SEED).with_chips(chips);
+    if smoke {
+        cfg = cfg.with_chips(chips.min(4)).with_epochs(2);
+    }
+    let chips = cfg.chips;
+    let t0 = Instant::now();
+    let report = FleetSim::new(cfg).expect("valid fleet").run(2);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(report.conservation_holds(), "fleet books must balance");
+    assert!(report.completed() > 0, "the fleet must actually serve");
+    f64::from(chips) / wall
+}
+
 /// One before/after row of `BENCH_simperf.json`.
 struct Row {
     name: &'static str,
     metric: &'static str,
     after: f64,
 }
+
+/// Fleet sizes measured by the `fleet_scale` scenario family.
+const FLEET_SIZES: [u32; 3] = [16, 64, 256];
 
 /// Repo root = the parent of the enclosing `target/` directory.
 fn simperf_path() -> std::path::PathBuf {
@@ -179,11 +201,22 @@ fn main() {
     let serving = serving_req_per_wall_s(smoke);
     eprintln!("stress_deploy steady: {steady:.0} sim-ns/wall-s");
     eprintln!("serving: {serving:.0} req/wall-s");
+    let fleet_sizes: &[u32] = if smoke {
+        &FLEET_SIZES[..1]
+    } else {
+        &FLEET_SIZES
+    };
+    let mut fleet_rates = Vec::new();
+    for &chips in fleet_sizes {
+        let rate = fleet_chips_per_wall_s(chips, smoke);
+        eprintln!("fleet_scale_{chips}: {rate:.1} chips/wall-s");
+        fleet_rates.push(rate);
+    }
     if smoke {
         eprintln!("--test smoke: skipping BENCH_simperf.json update");
         return;
     }
-    write_report(&[
+    let mut rows = vec![
         Row {
             name: "stress_deploy",
             metric: "sim_ns_per_wall_s",
@@ -194,5 +227,14 @@ fn main() {
             metric: "req_per_wall_s",
             after: serving,
         },
-    ]);
+    ];
+    let fleet_names: [&'static str; 3] = ["fleet_scale_16", "fleet_scale_64", "fleet_scale_256"];
+    for (name, rate) in fleet_names.into_iter().zip(fleet_rates) {
+        rows.push(Row {
+            name,
+            metric: "chips_per_wall_s",
+            after: rate,
+        });
+    }
+    write_report(&rows);
 }

@@ -63,7 +63,7 @@ pub use qos::QosTarget;
 pub use schedule::{Schedule, ScheduleEntry};
 pub use scheduler::{Placement, Scheduler};
 pub use stress::{stress_test_deploy, StressTestResult};
-pub use supervisor::{MarginSupervisor, SupervisorAction, SupervisorConfig};
+pub use supervisor::{MarginSupervisor, SupervisorAction, SupervisorConfig, SupervisorSummary};
 pub use throttle::{
     throttle_to_budget, throttle_to_budget_recorded, ThrottlePlan, ThrottleSetting,
 };

@@ -124,6 +124,21 @@ impl SupervisorAction {
     }
 }
 
+/// A whole-chip digest of the supervisor's state — the health surface a
+/// fleet-level placement policy routes traffic by (fast healthy chips
+/// attract critical work, quarantine-heavy chips drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorSummary {
+    /// Cores currently quarantined (terminal).
+    pub quarantined: u32,
+    /// Cores currently held at the static-margin baseline.
+    pub safe_mode: u32,
+    /// Cores serving a probation (rolled back, awaiting re-probe).
+    pub probation: u32,
+    /// The least healthy core's score (0–100).
+    pub min_health: u32,
+}
+
 /// Where a watched core sits on the escalation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Phase {
@@ -335,6 +350,28 @@ impl MarginSupervisor {
     pub fn safe_mode_margin() -> MarginMode {
         MarginMode::Static
     }
+
+    /// Digests the per-core ladder into the chip-level health surface a
+    /// fleet placement policy consumes (see [`SupervisorSummary`]).
+    #[must_use]
+    pub fn summary(&self) -> SupervisorSummary {
+        let mut s = SupervisorSummary {
+            quarantined: 0,
+            safe_mode: 0,
+            probation: 0,
+            min_health: 100,
+        };
+        for w in &self.watch {
+            match w.phase {
+                Phase::Quarantined => s.quarantined += 1,
+                Phase::SafeMode => s.safe_mode += 1,
+                Phase::Probation { .. } => s.probation += 1,
+                Phase::Fine => {}
+            }
+            s.min_health = s.min_health.min(w.health);
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -474,6 +511,33 @@ mod tests {
         assert!(sup.is_quarantined(victim));
         assert!(!sup.is_quarantined(healthy));
         assert_eq!(sup.health(healthy), 100);
+    }
+
+    #[test]
+    fn summary_tracks_the_ladder() {
+        let s = sys();
+        let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+        sup.attach(&s);
+        assert_eq!(
+            sup.summary(),
+            SupervisorSummary {
+                quarantined: 0,
+                safe_mode: 0,
+                probation: 0,
+                min_health: 100
+            }
+        );
+        let probed = CoreId::new(0, 1);
+        let gone = CoreId::new(0, 2);
+        for _ in 0..5 {
+            let _ = sup.observe_window(&s, &[failure(gone)]);
+        }
+        let _ = sup.observe_window(&s, &[failure(probed)]);
+        let summary = sup.summary();
+        assert_eq!(summary.quarantined, 1);
+        assert_eq!(summary.probation, 1);
+        assert_eq!(summary.safe_mode, 0);
+        assert_eq!(summary.min_health, 0);
     }
 
     #[test]

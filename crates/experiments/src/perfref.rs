@@ -25,6 +25,8 @@ use std::fmt::Write as _;
 use atm_chip::{ChipConfig, MarginMode, System};
 use atm_core::charact::CharactConfig;
 use atm_core::{AtmManager, Governor, LimitTable};
+use atm_faults::{droop_storm, FleetFaultPlan};
+use atm_fleet::{FleetConfig, FleetSim};
 use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
 use atm_units::{CoreId, Nanos};
 use atm_workloads::{by_name, voltage_virus};
@@ -103,6 +105,37 @@ pub fn serve_reference(seed: u64) -> String {
     let sim = ServeSim::new(mgr, ServeConfig::quick(seed), streams).expect("valid serving setup");
     let report = sim.run(1);
     format!("{report:#?}\n")
+}
+
+/// A quick 8-chip fleet: the sharded epoch-barrier loop end to end, with
+/// silicon lots, traffic lanes, and placement all derived from one seed.
+#[must_use]
+pub fn fleet_reference(seed: u64) -> String {
+    let report = FleetSim::new(FleetConfig::quick(seed))
+        .expect("valid quick fleet")
+        .run(2);
+    format!("{report:#?}\n")
+}
+
+/// A quick fleet with a 1-in-2 droop-storm campaign armed: fault hooks,
+/// supervisor ladders, and routing reacting to injected damage.
+#[must_use]
+pub fn fleet_faulted_reference(seed: u64) -> String {
+    let cfg = FleetConfig::quick(seed).with_faults(FleetFaultPlan::new(droop_storm(), 2));
+    let report = FleetSim::new(cfg).expect("valid faulted fleet").run(2);
+    format!("{report:#?}\n")
+}
+
+/// Renders the fleet scenarios into one labelled document (the exact
+/// contents of `tests/data/fleet_reference.txt`).
+#[must_use]
+pub fn fleet_full_reference() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== FleetReport quick seed={HEAVY_SEED} ===");
+    out.push_str(&fleet_reference(HEAVY_SEED));
+    let _ = writeln!(out, "=== FleetReport faulted seed=7 ===");
+    out.push_str(&fleet_faulted_reference(7));
+    out
 }
 
 /// Renders every scenario into one labelled document (the checked-in

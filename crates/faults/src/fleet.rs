@@ -1,0 +1,98 @@
+//! Fleet-wide fault campaigns: one plan, deterministically scattered
+//! over the chips of a fleet.
+//!
+//! A single-chip [`FaultPlan`] describes *what* goes wrong; a
+//! [`FleetFaultPlan`] adds *where*: a seeded `1-in-N` choice of which
+//! chips are afflicted at all. Each afflicted chip resolves the plan
+//! through [`CampaignHook::resolve`] with its own chip index as the trial
+//! number, so the same trick that lets campaign trials roam across cores
+//! lets fleet chips fail in decorrelated ways — and the whole affliction
+//! map is a pure function of `(plan, seed)`.
+
+use crate::hook::{mix, CampaignHook};
+use crate::plan::FaultPlan;
+
+/// A [`FaultPlan`] scattered across a fleet (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use atm_faults::{droop_storm, FleetFaultPlan};
+///
+/// let fleet_plan = FleetFaultPlan::new(droop_storm(), 4);
+/// let afflicted = (0..64)
+///     .filter(|c| fleet_plan.hook_for_chip(42, *c).is_some())
+///     .count();
+/// // Roughly a quarter of the fleet, exactly reproducible.
+/// assert!(afflicted > 0 && afflicted < 40);
+/// assert_eq!(
+///     afflicted,
+///     (0..64)
+///         .filter(|c| fleet_plan.hook_for_chip(42, *c).is_some())
+///         .count()
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetFaultPlan {
+    /// The per-chip fault plan armed on afflicted chips.
+    pub plan: FaultPlan,
+    /// Affliction rate: each chip is afflicted with probability `1/one_in`
+    /// (seeded, deterministic). `1` afflicts every chip.
+    pub one_in: u32,
+}
+
+impl FleetFaultPlan {
+    /// A fleet plan afflicting roughly one chip in `one_in` (floored at
+    /// 1, i.e. every chip).
+    #[must_use]
+    pub fn new(plan: FaultPlan, one_in: u32) -> Self {
+        FleetFaultPlan {
+            plan,
+            one_in: one_in.max(1),
+        }
+    }
+
+    /// Whether chip `chip` of a fleet seeded `seed` is afflicted.
+    #[must_use]
+    pub fn afflicts(&self, seed: u64, chip: u32) -> bool {
+        mix(seed ^ mix(0xF1EE_7000 ^ u64::from(chip))).is_multiple_of(u64::from(self.one_in))
+    }
+
+    /// The resolved injection hook for `chip`, or `None` when the chip is
+    /// spared. The hook is a pure function of `(plan, seed, chip)`.
+    #[must_use]
+    pub fn hook_for_chip(&self, seed: u64, chip: u32) -> Option<CampaignHook> {
+        self.afflicts(seed, chip)
+            .then(|| CampaignHook::resolve(&self.plan, seed, chip))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::standard_plans;
+
+    #[test]
+    fn affliction_is_deterministic_and_seed_sensitive() {
+        let plan = FleetFaultPlan::new(standard_plans().remove(0), 3);
+        let map = |seed: u64| -> Vec<bool> { (0..256).map(|c| plan.afflicts(seed, c)).collect() };
+        assert_eq!(map(7), map(7));
+        assert_ne!(map(7), map(8), "affliction map ignored the seed");
+        let hit = map(7).iter().filter(|b| **b).count();
+        assert!((40..140).contains(&hit), "1-in-3 rate wildly off: {hit}");
+    }
+
+    #[test]
+    fn one_in_one_afflicts_everyone() {
+        let plan = FleetFaultPlan::new(standard_plans().remove(1), 1);
+        assert!((0..64).all(|c| plan.hook_for_chip(11, c).is_some()));
+    }
+
+    #[test]
+    fn afflicted_chips_resolve_decorrelated_hooks() {
+        let plan = FleetFaultPlan::new(standard_plans().remove(2), 1);
+        let a = plan.hook_for_chip(5, 0).unwrap();
+        let b = plan.hook_for_chip(5, 1).unwrap();
+        assert_eq!(a.planned_injections(), b.planned_injections());
+    }
+}

@@ -48,11 +48,13 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod fleet;
 mod hook;
 mod plan;
 mod report;
 
 pub use campaign::FaultCampaign;
+pub use fleet::FleetFaultPlan;
 pub use hook::{CampaignHook, Injection};
 pub use plan::{
     actuator_flap, droop_storm, sensor_chaos, standard_plans, FaultKind, FaultPlan, FaultSpec,

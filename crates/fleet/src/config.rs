@@ -1,0 +1,196 @@
+//! Fleet-run configuration.
+
+use atm_core::charact::CharactConfig;
+use atm_faults::FleetFaultPlan;
+use atm_serve::{ArrivalPattern, ChipServeConfig};
+use atm_units::{AtmError, Nanos};
+use atm_workloads::by_name;
+
+use crate::placement::PlacementConfig;
+use crate::traffic::TrafficSpec;
+
+/// Knobs of a fleet simulation.
+///
+/// Everything a [`FleetSim`](crate::FleetSim) run depends on lives here —
+/// the [`FleetReport`](crate::FleetReport) is a pure function of
+/// `(FleetConfig, seed)`, independent of the worker count the run is
+/// sharded over.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of chips in the fleet.
+    pub chips: u32,
+    /// Fleet root seed: per-chip silicon lots, traffic lane seeds, and
+    /// the fault-affliction map all derive from it.
+    pub seed: u64,
+    /// Number of fleet epochs (routing intervals).
+    pub epochs: u32,
+    /// Virtual nanoseconds of traffic per epoch.
+    pub epoch_ns: u64,
+    /// The fleet's aggregate request streams.
+    pub traffic: Vec<TrafficSpec>,
+    /// Per-chip serving knobs (every chip runs the same recipe; silicon
+    /// variation comes from the per-chip lot seeds).
+    pub chip: ChipServeConfig,
+    /// Characterization recipe used to fine-tune each chip at deploy.
+    pub charact: CharactConfig,
+    /// Fleet-placement thresholds.
+    pub placement: PlacementConfig,
+    /// Optional fleet-wide fault campaign.
+    pub faults: Option<FleetFaultPlan>,
+    /// Whether chips use the stride fast path (report-identical either
+    /// way; `false` exercises the reference tick loop).
+    pub stride: bool,
+}
+
+impl FleetConfig {
+    /// A small fleet for tests and smoke runs: 8 chips × 4 epochs of
+    /// 50 ms, one critical and one background stream, 2 µs single-repeat
+    /// characterization trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the built-in workload catalog is missing its
+    /// standard entries (a build defect).
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        FleetConfig {
+            chips: 8,
+            seed,
+            epochs: 4,
+            epoch_ns: 50_000_000,
+            traffic: vec![
+                // SqueezeNet inference runs ~42 ms on a critical core, so
+                // an 80 ms per-lane gap keeps each chip's critical queue
+                // loaded but sustainable (ρ ≈ 0.5).
+                TrafficSpec::critical(
+                    "inference",
+                    ArrivalPattern::Poisson {
+                        mean_gap: 80_000_000,
+                    },
+                ),
+                TrafficSpec::background(
+                    "batch",
+                    ArrivalPattern::Bursty {
+                        mean_gap: 3_000_000,
+                        burst_gap: 800_000,
+                        phase: 20_000_000,
+                    },
+                ),
+            ],
+            chip: ChipServeConfig::standard(
+                by_name("squeezenet").expect("catalog").clone(),
+                vec![by_name("x264").expect("catalog").clone()],
+            ),
+            charact: CharactConfig::builder()
+                .trial(Nanos::new(2_000.0))
+                .repeats(1)
+                .build()
+                .expect("valid quick characterization"),
+            placement: PlacementConfig::default(),
+            faults: None,
+            stride: true,
+        }
+    }
+
+    /// The standard fleet: 64 chips × 10 epochs of 100 ms over the quick
+    /// recipe.
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        FleetConfig {
+            chips: 64,
+            epochs: 10,
+            epoch_ns: 100_000_000,
+            ..FleetConfig::quick(seed)
+        }
+    }
+
+    /// Replaces the chip count (chainable).
+    #[must_use]
+    pub fn with_chips(mut self, chips: u32) -> Self {
+        self.chips = chips;
+        self
+    }
+
+    /// Replaces the epoch count (chainable).
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Arms a fleet-wide fault campaign (chainable).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FleetFaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the stride fast path on or off (chainable).
+    #[must_use]
+    pub fn with_stride(mut self, stride: bool) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Replaces the placement thresholds (chainable).
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementConfig) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if the fleet is empty (no
+    /// chips, no epochs, zero-length epochs, or no traffic) or the
+    /// per-chip knobs fail [`ChipServeConfig::check`].
+    pub fn check(&self) -> Result<(), AtmError> {
+        if self.chips == 0 {
+            return Err(AtmError::invalid_config("chips", "need at least one chip"));
+        }
+        if self.epochs == 0 {
+            return Err(AtmError::invalid_config(
+                "epochs",
+                "need at least one epoch",
+            ));
+        }
+        if self.epoch_ns == 0 {
+            return Err(AtmError::invalid_config(
+                "epoch_ns",
+                "epochs must span time",
+            ));
+        }
+        if self.traffic.is_empty() {
+            return Err(AtmError::invalid_config(
+                "traffic",
+                "need at least one stream",
+            ));
+        }
+        self.chip.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_and_standard_validate() {
+        assert!(FleetConfig::quick(42).check().is_ok());
+        assert!(FleetConfig::standard(42).check().is_ok());
+    }
+
+    #[test]
+    fn degenerate_fleets_are_rejected() {
+        assert!(FleetConfig::quick(1).with_chips(0).check().is_err());
+        assert!(FleetConfig::quick(1).with_epochs(0).check().is_err());
+        let mut no_traffic = FleetConfig::quick(1);
+        no_traffic.traffic.clear();
+        assert!(no_traffic.check().is_err());
+        let mut zero_epoch = FleetConfig::quick(1);
+        zero_epoch.epoch_ns = 0;
+        assert!(zero_epoch.check().is_err());
+    }
+}

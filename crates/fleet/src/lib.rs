@@ -1,0 +1,47 @@
+//! `atm-fleet` — fleet-scale sharded simulation of managed ATM chips.
+//!
+//! One fine-tuned POWER7+ server is a solved problem three crates down;
+//! this crate asks what happens when a *fleet* of them serves shared
+//! traffic. A [`FleetSim`] shards hundreds of whole managed chips — each
+//! with its own silicon lot, margin supervisor, and serving queues —
+//! across worker threads, joined by a deterministic epoch-barrier router:
+//!
+//! - the **traffic generator** splits seeded aggregate streams into
+//!   per-chip sub-streams with SplitMix64-derived lane seeds
+//!   (collision-free by construction, see [`lane_seed`]);
+//! - the **placement policy** routes critical traffic to the chips with
+//!   the fastest healthy cores, backfills background traffic onto the
+//!   least-backlogged chips, and drains chips whose supervisors have
+//!   quarantined too much silicon;
+//! - the **epoch barrier** collects per-chip snapshots in chip order, so
+//!   worker scheduling can never leak into the results.
+//!
+//! The determinism contract one level up from the serving layer's: the
+//! [`FleetReport`] is a pure function of `(FleetConfig, seed)`,
+//! byte-identical across runs *and across worker counts* — property- and
+//! golden-tested in `tests/fleet.rs` and `tests/properties.rs`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use atm_fleet::{FleetConfig, FleetSim};
+//!
+//! let report = FleetSim::new(FleetConfig::quick(42)).unwrap().run(4);
+//! assert!(report.conservation_holds());
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod placement;
+mod report;
+mod sim;
+mod traffic;
+
+pub use config::FleetConfig;
+pub use placement::{route, PlacementConfig, RouteTable};
+pub use report::{ChipRow, FleetReport, LatencyBands, RoutingCounters};
+pub use sim::FleetSim;
+pub use traffic::{generate_fleet, generate_lane, lane_seed, LaneRequest, TrafficSpec};

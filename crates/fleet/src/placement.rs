@@ -1,0 +1,135 @@
+//! Fleet-level placement: which chip serves which lane, recomputed at
+//! every epoch barrier.
+//!
+//! The policy is the ControlPULP shape — a slow fleet loop above the fast
+//! per-chip ATM loops: at each barrier the router reads every chip's
+//! [`ChipSnapshot`] and derives a lane→chip table for the next epoch.
+//! Critical lanes go to the chips with the *fastest healthy cores*
+//! (supervisor-excluded cores don't count); background lanes go to the
+//! least-backlogged chips. Chips whose supervisors have quarantined too
+//! many cores are **draining**: they receive no new traffic at all, so
+//! their queues empty and the fleet sheds load away from sick silicon.
+
+use atm_serve::ChipSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Fleet-placement thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// A chip with at least this many quarantined cores drains:
+    /// excluded from every lane map until the end of the run.
+    pub drain_quarantined: u32,
+    /// Defer (rather than route) a fresh request whose target chip's
+    /// barrier-time backlog exceeds this many nanoseconds. A request is
+    /// deferred at most once.
+    pub defer_backlog_ns: u64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            drain_quarantined: 2,
+            defer_backlog_ns: 200_000_000,
+        }
+    }
+}
+
+/// One epoch's routing decision: lane→chip maps plus the drain set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    /// Chip serving each critical lane (`None` when every chip drains).
+    pub critical: Vec<Option<u32>>,
+    /// Chip serving each background lane (`None` when every chip drains).
+    pub background: Vec<Option<u32>>,
+    /// Whether each chip is draining this epoch.
+    pub drained: Vec<bool>,
+}
+
+/// Builds the route table for one epoch from the barrier snapshots.
+///
+/// Critical lanes are dealt round-robin over the eligible chips ranked by
+/// descending fastest-healthy-core frequency (ties to the lower chip id);
+/// background lanes over the same chips ranked by ascending backlog. The
+/// table is a pure function of the snapshots, so routing is deterministic.
+#[must_use]
+pub fn route(snapshots: &[ChipSnapshot], cfg: &PlacementConfig, lanes: u32) -> RouteTable {
+    let drained: Vec<bool> = snapshots
+        .iter()
+        .map(|s| s.quarantined >= cfg.drain_quarantined)
+        .collect();
+
+    let mut by_speed: Vec<u32> = (0..snapshots.len() as u32)
+        .filter(|c| !drained[*c as usize])
+        .collect();
+    by_speed.sort_by_key(|c| {
+        (
+            std::cmp::Reverse(snapshots[*c as usize].fastest_healthy_mhz),
+            *c,
+        )
+    });
+    let mut by_backlog: Vec<u32> = by_speed.clone();
+    by_backlog.sort_by_key(|c| (snapshots[*c as usize].backlog_ns, *c));
+
+    let deal = |ranked: &[u32]| -> Vec<Option<u32>> {
+        (0..lanes)
+            .map(|l| {
+                if ranked.is_empty() {
+                    None
+                } else {
+                    Some(ranked[l as usize % ranked.len()])
+                }
+            })
+            .collect()
+    };
+    RouteTable {
+        critical: deal(&by_speed),
+        background: deal(&by_backlog),
+        drained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(fastest: u64, backlog: u64, quarantined: u32) -> ChipSnapshot {
+        ChipSnapshot {
+            fastest_healthy_mhz: fastest,
+            backlog_ns: backlog,
+            quarantined,
+            safe_mode: 0,
+            min_health: 100,
+        }
+    }
+
+    #[test]
+    fn critical_lanes_favour_the_fastest_chips() {
+        let snaps = vec![snap(4500, 0, 0), snap(4700, 0, 0), snap(4600, 0, 0)];
+        let table = route(&snaps, &PlacementConfig::default(), 3);
+        assert_eq!(table.critical, vec![Some(1), Some(2), Some(0)]);
+    }
+
+    #[test]
+    fn background_lanes_favour_the_empty_chips() {
+        let snaps = vec![snap(4700, 9_000, 0), snap(4500, 0, 0), snap(4600, 4_000, 0)];
+        let table = route(&snaps, &PlacementConfig::default(), 3);
+        assert_eq!(table.background, vec![Some(1), Some(2), Some(0)]);
+    }
+
+    #[test]
+    fn drained_chips_receive_nothing() {
+        let snaps = vec![snap(4700, 0, 2), snap(4500, 0, 0)];
+        let table = route(&snaps, &PlacementConfig::default(), 4);
+        assert!(table.drained[0] && !table.drained[1]);
+        assert!(table.critical.iter().all(|c| *c == Some(1)));
+        assert!(table.background.iter().all(|c| *c == Some(1)));
+    }
+
+    #[test]
+    fn a_fully_drained_fleet_routes_nowhere() {
+        let snaps = vec![snap(4700, 0, 3), snap(4500, 0, 2)];
+        let table = route(&snaps, &PlacementConfig::default(), 2);
+        assert!(table.critical.iter().all(Option::is_none));
+        assert!(table.background.iter().all(Option::is_none));
+    }
+}

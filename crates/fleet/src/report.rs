@@ -1,0 +1,277 @@
+//! The fleet run's full account, in integers.
+//!
+//! Like [`ServeReport`](atm_serve::ServeReport) one level down, every
+//! field of [`FleetReport`] is an integer, so the report derives `Eq` and
+//! the fleet determinism contract — *same `(FleetConfig, seed)` ⇒
+//! byte-identical report, for any worker count* — is checkable with a
+//! plain `assert_eq!` (and, rendered through `{:#?}`, byte-comparable
+//! against a checked-in golden file).
+
+use std::fmt;
+
+use atm_serve::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Latency quantile bands of one merged request class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBands {
+    /// Completions recorded.
+    pub count: u64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 95th-percentile latency (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+    /// Worst latency (ns).
+    pub max_ns: u64,
+    /// Mean latency (ns).
+    pub mean_ns: u64,
+}
+
+impl LatencyBands {
+    /// Reads the bands out of a (merged) histogram.
+    #[must_use]
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        LatencyBands {
+            count: h.count(),
+            p50_ns: h.quantile(0.5),
+            p95_ns: h.quantile(0.95),
+            p99_ns: h.quantile(0.99),
+            max_ns: h.max(),
+            mean_ns: h.mean(),
+        }
+    }
+}
+
+/// Exactly-once accounting of every generated request.
+///
+/// The conservation law `generated = routed + shed + deferred_unserved`
+/// holds by construction: each request reaches exactly one terminal state
+/// (landed on a chip, shed because no chip was eligible, or still parked
+/// in the defer queue when the run ended). `deferred` counts defer
+/// *events* and is informational — a deferred request later lands in one
+/// of the three terminal buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingCounters {
+    /// Requests produced by the traffic generator.
+    pub generated: u64,
+    /// Requests handed to a chip.
+    pub routed: u64,
+    /// Requests dropped because no chip was eligible.
+    pub shed: u64,
+    /// Defer events (a request defers at most once).
+    pub deferred: u64,
+    /// Requests still deferred when the run ended.
+    pub deferred_unserved: u64,
+    /// Epoch-over-epoch changes of a critical lane's assigned chip.
+    pub critical_reroutes: u64,
+    /// Chips draining when the run ended.
+    pub drained_chips: u32,
+}
+
+/// One chip's final account within the fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipRow {
+    /// Chip index within the fleet.
+    pub chip: u32,
+    /// The chip's silicon-lot seed (derived from the fleet seed).
+    pub lot: u64,
+    /// Requests served to completion on this chip.
+    pub completed: u64,
+    /// Requests stranded on this chip (background tier fully gated).
+    pub shed: u64,
+    /// Critical requests routed here.
+    pub critical_routed: u64,
+    /// Background requests routed here.
+    pub background_routed: u64,
+    /// Critical completions that violated the chip SLO.
+    pub critical_slo_violations: u64,
+    /// p99 latency over the chip's completions (ns).
+    pub p99_ns: u64,
+    /// Supervisor/degradation actions applied on this chip.
+    pub transitions: u64,
+    /// Cores quarantined at the end of the run.
+    pub quarantined: u32,
+    /// Cores in supervisor safe mode at the end of the run.
+    pub safe_mode: u32,
+    /// Final fastest healthy core frequency (whole MHz).
+    pub fastest_healthy_mhz: u64,
+    /// First epoch whose routing excluded this chip as draining
+    /// (quarantine is terminal, so draining is too); `-1` = never drained.
+    pub drained_from_epoch: i64,
+    /// Last epoch a critical request was routed here; `-1` = never.
+    pub last_critical_epoch: i64,
+}
+
+/// The complete, deterministic account of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The fleet root seed (silicon lots, traffic, and fault scatter all
+    /// derive from it).
+    pub seed: u64,
+    /// Number of chips simulated.
+    pub chips: u32,
+    /// Number of epochs simulated.
+    pub epochs: u32,
+    /// Virtual nanoseconds per epoch.
+    pub epoch_ns: u64,
+    /// Exactly-once request accounting.
+    pub routing: RoutingCounters,
+    /// Merged latency bands of every critical completion fleet-wide.
+    pub critical: LatencyBands,
+    /// Merged latency bands of every background completion fleet-wide.
+    pub background: LatencyBands,
+    /// Per-chip accounts, in chip order.
+    pub rows: Vec<ChipRow>,
+}
+
+impl FleetReport {
+    /// Whether exactly-once accounting held: every generated request is in
+    /// precisely one terminal bucket, and the routed total matches what
+    /// the chips actually absorbed.
+    #[must_use]
+    pub fn conservation_holds(&self) -> bool {
+        let r = &self.routing;
+        let absorbed: u64 = self.rows.iter().map(|row| row.completed + row.shed).sum();
+        r.generated == r.routed + r.shed + r.deferred_unserved && r.routed == absorbed
+    }
+
+    /// Whether no chip ever received a critical request at or after the
+    /// epoch its drain began (vacuously true for chips that never
+    /// drained).
+    #[must_use]
+    pub fn drained_respected(&self) -> bool {
+        self.rows
+            .iter()
+            .filter(|row| row.drained_from_epoch >= 0)
+            .all(|row| row.last_critical_epoch < row.drained_from_epoch)
+    }
+
+    /// Total completions across the fleet.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.rows.iter().map(|row| row.completed).sum()
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet seed={} chips={} epochs={}×{} ns",
+            self.seed, self.chips, self.epochs, self.epoch_ns
+        )?;
+        let r = &self.routing;
+        writeln!(
+            f,
+            "  routing: {} generated = {} routed + {} shed + {} unserved ({} defers, {} reroutes, {} draining)",
+            r.generated,
+            r.routed,
+            r.shed,
+            r.deferred_unserved,
+            r.deferred,
+            r.critical_reroutes,
+            r.drained_chips
+        )?;
+        writeln!(
+            f,
+            "  critical:   {:>8} done  p50 {:>10} ns  p99 {:>10} ns  max {:>10} ns",
+            self.critical.count, self.critical.p50_ns, self.critical.p99_ns, self.critical.max_ns
+        )?;
+        writeln!(
+            f,
+            "  background: {:>8} done  p50 {:>10} ns  p99 {:>10} ns  max {:>10} ns",
+            self.background.count,
+            self.background.p50_ns,
+            self.background.p99_ns,
+            self.background.max_ns
+        )?;
+        let quarantined: u32 = self.rows.iter().map(|row| row.quarantined).sum();
+        let transitions: u64 = self.rows.iter().map(|row| row.transitions).sum();
+        writeln!(
+            f,
+            "  health: {} cores quarantined, {} supervisor/degrade transitions",
+            quarantined, transitions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FleetReport {
+        let row = ChipRow {
+            chip: 0,
+            lot: 99,
+            completed: 8,
+            shed: 1,
+            critical_routed: 3,
+            background_routed: 6,
+            critical_slo_violations: 0,
+            p99_ns: 1_000,
+            transitions: 0,
+            quarantined: 0,
+            safe_mode: 0,
+            fastest_healthy_mhz: 4_600,
+            drained_from_epoch: -1,
+            last_critical_epoch: 2,
+        };
+        let bands = LatencyBands {
+            count: 0,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+            max_ns: 0,
+            mean_ns: 0,
+        };
+        FleetReport {
+            seed: 42,
+            chips: 1,
+            epochs: 3,
+            epoch_ns: 1_000_000,
+            routing: RoutingCounters {
+                generated: 10,
+                routed: 9,
+                shed: 1,
+                deferred: 2,
+                deferred_unserved: 0,
+                critical_reroutes: 0,
+                drained_chips: 0,
+            },
+            critical: bands,
+            background: bands,
+            rows: vec![row],
+        }
+    }
+
+    #[test]
+    fn conservation_checks_both_sides() {
+        let good = report();
+        assert!(good.conservation_holds());
+        let mut leak = report();
+        leak.routing.generated += 1;
+        assert!(!leak.conservation_holds());
+        let mut phantom = report();
+        phantom.rows[0].completed += 1;
+        assert!(!phantom.conservation_holds());
+    }
+
+    #[test]
+    fn drain_invariant_spots_late_criticals() {
+        let mut r = report();
+        assert!(r.drained_respected());
+        r.rows[0].drained_from_epoch = 2;
+        assert!(!r.drained_respected(), "critical at the drain epoch");
+        r.rows[0].drained_from_epoch = 3;
+        assert!(r.drained_respected());
+    }
+
+    #[test]
+    fn display_summarises_the_account() {
+        let text = report().to_string();
+        assert!(text.contains("10 generated"));
+        assert!(text.contains("chips=1"));
+    }
+}

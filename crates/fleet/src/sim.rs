@@ -1,0 +1,365 @@
+//! The sharded fleet simulation loop.
+//!
+//! [`FleetSim`] steps hundreds of whole managed chips — each with its own
+//! silicon lot, [`MarginSupervisor`](atm_core::MarginSupervisor) ladder,
+//! and serving queues — through a shared epoch-barrier timeline:
+//!
+//! 1. **Route** (serial): the placement policy reads every chip's
+//!    barrier snapshot and maps each traffic lane onto a chip. Drained
+//!    chips get nothing; overloaded targets defer fresh requests by one
+//!    epoch; a fully drained fleet sheds.
+//! 2. **Step** (parallel): chips absorb their routed batches
+//!    independently — one [`ChipServer::step_epoch`] each, distributed
+//!    round-robin over `std::thread::scope` workers. No cross-chip state
+//!    is touched, so the schedule cannot leak into the results.
+//! 3. **Barrier** (serial): snapshots are collected *in chip order* and
+//!    feed the next epoch's routing.
+//!
+//! Because routing is a pure function of the snapshots, each chip is a
+//! pure function of its lot seed and routed batches, and the merge at
+//! every barrier is order-fixed, the [`FleetReport`] is a pure function
+//! of `(FleetConfig, seed)` — byte-identical for any worker count.
+
+use atm_chip::{ChipConfig, FaultHook, System};
+use atm_core::{AtmManager, Governor};
+use atm_faults::CampaignHook;
+use atm_serve::{ChipRequest, ChipServer, ChipSnapshot, LatencyHistogram};
+use atm_units::AtmError;
+
+use crate::config::FleetConfig;
+use crate::placement::route;
+use crate::report::{ChipRow, FleetReport, LatencyBands, RoutingCounters};
+use crate::traffic::{generate_fleet, mix, LaneRequest};
+
+/// One chip of the running fleet: the steppable server plus the routing
+/// bookkeeping the fleet report needs.
+struct ChipState {
+    server: ChipServer,
+    hook: Option<CampaignHook>,
+    lot: u64,
+    critical_routed: u64,
+    background_routed: u64,
+    /// Last epoch a critical request was routed here (`-1` = never).
+    last_critical_epoch: i64,
+    /// First epoch whose routing drained this chip (`-1` = never).
+    drained_from_epoch: i64,
+}
+
+/// A request parked for one epoch by backlog-based deferral, or queued in
+/// a per-chip batch before the deterministic sort. The `(stream, lane,
+/// seq)` triple makes the batch order total and schedule-independent.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    stream: u32,
+    lane: u32,
+    critical: bool,
+    req: LaneRequest,
+}
+
+/// A sharded fleet run (see the module docs).
+#[derive(Debug)]
+pub struct FleetSim {
+    cfg: FleetConfig,
+}
+
+impl FleetSim {
+    /// Validates the configuration and prepares a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if the config fails
+    /// [`FleetConfig::check`].
+    pub fn new(cfg: FleetConfig) -> Result<Self, AtmError> {
+        cfg.check()?;
+        Ok(FleetSim { cfg })
+    }
+
+    /// Runs the fleet to completion on up to `workers` threads and
+    /// returns the deterministic report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn run(self, workers: usize) -> FleetReport {
+        assert!(workers > 0, "need at least one worker");
+        let cfg = self.cfg;
+        let chips = cfg.chips as usize;
+
+        // Deploy the fleet: each chip is fine-tuned on its own silicon
+        // lot, independent of every other chip, so deploys parallelize.
+        let mut states = build_fleet(&cfg, workers);
+
+        let horizon = u64::from(cfg.epochs) * cfg.epoch_ns;
+        let traces = generate_fleet(&cfg.traffic, cfg.chips, cfg.seed, horizon, workers);
+        let mut routing = RoutingCounters {
+            generated: traces
+                .iter()
+                .flat_map(|lanes| lanes.iter().map(|l| l.len() as u64))
+                .sum(),
+            ..RoutingCounters::default()
+        };
+
+        let mut cursors: Vec<Vec<usize>> = traces.iter().map(|l| vec![0; l.len()]).collect();
+        let mut snapshots: Vec<ChipSnapshot> =
+            states.iter().map(|s| s.server.snapshot(0)).collect();
+        let mut deferred: Vec<Pending> = Vec::new();
+        let mut prev_critical: Vec<Option<u32>> = Vec::new();
+
+        for epoch in 0..cfg.epochs {
+            let table = route(&snapshots, &cfg.placement, cfg.chips);
+            for (chip, drained) in table.drained.iter().enumerate() {
+                if *drained && states[chip].drained_from_epoch < 0 {
+                    states[chip].drained_from_epoch = i64::from(epoch);
+                }
+            }
+            if epoch > 0 {
+                routing.critical_reroutes += table
+                    .critical
+                    .iter()
+                    .zip(&prev_critical)
+                    .filter(|(now, before)| now != before)
+                    .count() as u64;
+            }
+            prev_critical.clone_from(&table.critical);
+
+            let mut batches: Vec<Vec<Pending>> = vec![Vec::new(); chips];
+            // Re-route last epoch's deferrals first: a request defers at
+            // most once, so this time it lands or sheds.
+            for p in std::mem::take(&mut deferred) {
+                let target = if p.critical {
+                    table.critical[p.lane as usize]
+                } else {
+                    table.background[p.lane as usize]
+                };
+                match target {
+                    Some(t) => batches[t as usize].push(p),
+                    None => routing.shed += 1,
+                }
+            }
+            // Fresh arrivals of this epoch, lane by lane.
+            let epoch_end = (u64::from(epoch) + 1) * cfg.epoch_ns;
+            for (stream, spec) in cfg.traffic.iter().enumerate() {
+                for lane in 0..chips {
+                    let trace = &traces[stream][lane];
+                    let cursor = &mut cursors[stream][lane];
+                    let target = if spec.critical {
+                        table.critical[lane]
+                    } else {
+                        table.background[lane]
+                    };
+                    while *cursor < trace.len() && trace[*cursor].time < epoch_end {
+                        let p = Pending {
+                            stream: stream as u32,
+                            lane: lane as u32,
+                            critical: spec.critical,
+                            req: trace[*cursor],
+                        };
+                        *cursor += 1;
+                        match target {
+                            Some(t)
+                                if snapshots[t as usize].backlog_ns
+                                    > cfg.placement.defer_backlog_ns =>
+                            {
+                                routing.deferred += 1;
+                                deferred.push(p);
+                            }
+                            Some(t) => batches[t as usize].push(p),
+                            None => routing.shed += 1,
+                        }
+                    }
+                }
+            }
+
+            // Freeze each batch into a schedule-independent total order
+            // and close the routing books for the epoch.
+            let batches: Vec<Vec<ChipRequest>> = batches
+                .into_iter()
+                .enumerate()
+                .map(|(chip, mut batch)| {
+                    batch.sort_by_key(|p| (p.req.time, p.stream, p.lane, p.req.seq));
+                    let state = &mut states[chip];
+                    for p in &batch {
+                        routing.routed += 1;
+                        if p.critical {
+                            state.critical_routed += 1;
+                            state.last_critical_epoch = i64::from(epoch);
+                        } else {
+                            state.background_routed += 1;
+                        }
+                    }
+                    batch
+                        .into_iter()
+                        .map(|p| ChipRequest {
+                            at: p.req.time,
+                            critical: p.critical,
+                            draw: p.req.draw,
+                        })
+                        .collect()
+                })
+                .collect();
+
+            step_epoch_sharded(&mut states, batches, workers);
+
+            // The barrier: snapshots collected in chip order, whatever
+            // schedule the workers ran.
+            snapshots = states
+                .iter()
+                .map(|s| s.server.snapshot(epoch_end))
+                .collect();
+        }
+        routing.deferred_unserved = deferred.len() as u64;
+        routing.drained_chips = states.iter().filter(|s| s.drained_from_epoch >= 0).count() as u32;
+
+        finish(&cfg, states, routing)
+    }
+}
+
+/// Deploys every chip of the fleet, round-robin over `workers` threads.
+/// Chip `c`'s silicon lot is `mix`-derived from the fleet seed, so fleets
+/// with different seeds draw different silicon.
+fn build_fleet(cfg: &FleetConfig, workers: usize) -> Vec<ChipState> {
+    let mut slots: Vec<Option<ChipState>> = (0..cfg.chips).map(|_| None).collect();
+    let workers = workers.min(slots.len()).max(1);
+    let mut chunks: Vec<Vec<(u32, &mut Option<ChipState>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (chip, slot) in slots.iter_mut().enumerate() {
+        chunks[chip % workers].push((chip as u32, slot));
+    }
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(|| {
+                for (chip, slot) in chunk {
+                    *slot = Some(build_chip(cfg, chip));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chip slot filled"))
+        .collect()
+}
+
+/// Deploys one chip: mint the lot's silicon, fine-tune, posture, and arm
+/// the fault hook when the fleet plan afflicts this chip.
+fn build_chip(cfg: &FleetConfig, chip: u32) -> ChipState {
+    let lot = mix(cfg.seed ^ mix(0xC417_5000 ^ u64::from(chip)));
+    let mut sys = System::new(ChipConfig::power7_plus(lot));
+    sys.set_stride(cfg.stride);
+    let mgr = AtmManager::deploy(sys, Governor::Default, &cfg.charact);
+    let server = ChipServer::new(mgr, cfg.chip.clone()).expect("config validated in FleetSim::new");
+    let hook = cfg
+        .faults
+        .as_ref()
+        .and_then(|f| f.hook_for_chip(cfg.seed, chip));
+    ChipState {
+        server,
+        hook,
+        lot,
+        critical_routed: 0,
+        background_routed: 0,
+        last_critical_epoch: -1,
+        drained_from_epoch: -1,
+    }
+}
+
+/// Steps every chip through one epoch, round-robin over `workers`
+/// threads. Chips touch only their own state, so the worker schedule
+/// cannot affect any result.
+fn step_epoch_sharded(states: &mut [ChipState], batches: Vec<Vec<ChipRequest>>, workers: usize) {
+    let workers = workers.min(states.len()).max(1);
+    let mut chunks: Vec<Vec<(&mut ChipState, Vec<ChipRequest>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (chip, (state, batch)) in states.iter_mut().zip(batches).enumerate() {
+        chunks[chip % workers].push((state, batch));
+    }
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(|| {
+                for (state, batch) in chunk {
+                    let hook = state.hook.as_mut().map(|h| h as &mut dyn FaultHook);
+                    state.server.step_epoch(&batch, hook);
+                }
+            });
+        }
+    });
+}
+
+/// Merges the per-chip accounts into the fleet report, in chip order.
+fn finish(cfg: &FleetConfig, states: Vec<ChipState>, routing: RoutingCounters) -> FleetReport {
+    let mut crit = LatencyHistogram::new();
+    let mut bg = LatencyHistogram::new();
+    let mut rows = Vec::with_capacity(states.len());
+    for (chip, state) in states.iter().enumerate() {
+        let (c, b) = state.server.histograms();
+        crit.merge(c);
+        bg.merge(b);
+        let summary = state.server.summary();
+        rows.push(ChipRow {
+            chip: chip as u32,
+            lot: state.lot,
+            completed: summary.completed,
+            shed: summary.shed,
+            critical_routed: state.critical_routed,
+            background_routed: state.background_routed,
+            critical_slo_violations: summary.critical_slo_violations,
+            p99_ns: summary.p99_ns,
+            transitions: summary.transitions,
+            quarantined: summary.quarantined,
+            safe_mode: summary.safe_mode,
+            fastest_healthy_mhz: summary.fastest_healthy_mhz,
+            drained_from_epoch: state.drained_from_epoch,
+            last_critical_epoch: state.last_critical_epoch,
+        });
+    }
+    FleetReport {
+        seed: cfg.seed,
+        chips: cfg.chips,
+        epochs: cfg.epochs,
+        epoch_ns: cfg.epoch_ns,
+        routing,
+        critical: LatencyBands::from_histogram(&crit),
+        background: LatencyBands::from_histogram(&bg),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64) -> FleetConfig {
+        FleetConfig::quick(seed).with_chips(3).with_epochs(2)
+    }
+
+    #[test]
+    fn a_tiny_fleet_runs_and_balances_the_books() {
+        let report = FleetSim::new(tiny(42)).unwrap().run(2);
+        assert_eq!(report.chips, 3);
+        assert!(report.routing.generated > 0);
+        assert!(report.completed() > 0);
+        assert!(report.conservation_holds(), "{:?}", report.routing);
+        assert!(report.drained_respected());
+    }
+
+    #[test]
+    fn worker_count_cannot_leak_into_the_report() {
+        let a = FleetSim::new(tiny(7)).unwrap().run(1);
+        let b = FleetSim::new(tiny(7)).unwrap().run(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn the_seed_reaches_the_silicon_and_the_traffic() {
+        let a = FleetSim::new(tiny(7)).unwrap().run(2);
+        let b = FleetSim::new(tiny(8)).unwrap().run(2);
+        assert_ne!(a.rows[0].lot, b.rows[0].lot);
+        assert_ne!(a.routing.generated, b.routing.generated);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        assert!(FleetSim::new(tiny(1).with_chips(0)).is_err());
+    }
+}

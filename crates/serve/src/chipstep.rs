@@ -1,0 +1,528 @@
+//! Per-epoch chip stepping for fleet-scale simulation.
+//!
+//! [`ServeSim`](crate::ServeSim) owns its whole timeline: it generates
+//! arrivals, loops over epochs, and returns one report. A *fleet* of
+//! chips cannot work that way — a fleet-level router decides, at every
+//! epoch barrier, which chip each request lands on, so the per-chip
+//! serving machinery has to be steppable from the outside.
+//!
+//! [`ChipServer`] is that seam: the managed-chip epoch body of
+//! `ServeSim` (chip-event harvest → supervisor ladder → degradation →
+//! re-posture → dispatch) refactored into an incremental object. The
+//! fleet loop calls [`ChipServer::step_epoch`] once per epoch with the
+//! requests routed to this chip, reads a [`ChipSnapshot`] at the barrier
+//! to drive placement, and finally folds the [`ChipSummary`] into the
+//! fleet report. Every piece of state is integer-valued or
+//! deterministic, so a chip stepped by any worker thread produces the
+//! same bytes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use atm_chip::{FaultHook, PStateTable};
+use atm_core::{AtmManager, MarginSupervisor, QosTarget, ServePosture, SupervisorConfig};
+use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId};
+use atm_workloads::{ServiceProfile, Workload};
+
+use crate::degrade::{DegradationPolicy, DegradeAction};
+use crate::histogram::LatencyHistogram;
+
+/// Per-chip serving knobs — the subset of [`ServeConfig`](crate::ServeConfig)
+/// that applies to one chip of a fleet (the fleet owns the timeline, the
+/// seeds, and the traffic shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipServeConfig {
+    /// The latency-critical workload each chip hosts.
+    pub critical: Workload,
+    /// Background workloads backfilling the remaining cores (round-robin).
+    pub backgrounds: Vec<Workload>,
+    /// QoS target for the critical stream (drives posture and budget).
+    pub qos: QosTarget,
+    /// Droop-alarm threshold armed on the chip; `None` disables alarms.
+    pub droop_alarm: Option<MegaHz>,
+    /// Chip-simulation time per epoch used to harvest chip events.
+    pub chip_trial: Nanos,
+    /// p99 SLO for critical requests, in nanoseconds (0 = no SLO).
+    pub critical_slo_ns: u64,
+    /// Epochs between periodic service-rate refreshes when nothing
+    /// degraded.
+    pub refresh_every: u32,
+    /// Supervisor thresholds for this chip's margin-safety ladder.
+    pub supervisor: SupervisorConfig,
+}
+
+impl ChipServeConfig {
+    /// Standard per-chip knobs over the given critical/background pair:
+    /// 1 µs harvest trials, 25 MHz droop alarms, 10% QoS, 250 ms SLO.
+    #[must_use]
+    pub fn standard(critical: Workload, backgrounds: Vec<Workload>) -> Self {
+        ChipServeConfig {
+            critical,
+            backgrounds,
+            qos: QosTarget::improvement_pct(10.0),
+            droop_alarm: Some(MegaHz::new(25.0)),
+            chip_trial: Nanos::new(1_000.0),
+            critical_slo_ns: 250_000_000,
+            refresh_every: 4,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if `backgrounds` is empty,
+    /// `chip_trial` is not positive and finite, or `refresh_every` is
+    /// zero.
+    pub fn check(&self) -> Result<(), AtmError> {
+        if self.backgrounds.is_empty() {
+            return Err(AtmError::invalid_config(
+                "backgrounds",
+                "need at least one background workload",
+            ));
+        }
+        if !self.chip_trial.get().is_finite() || self.chip_trial.get() <= 0.0 {
+            return Err(AtmError::invalid_config(
+                "chip_trial",
+                "must be positive and finite",
+            ));
+        }
+        if self.refresh_every == 0 {
+            return Err(AtmError::invalid_config(
+                "refresh_every",
+                "must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One request routed to a chip for an epoch: arrival time on the global
+/// fleet timeline, class, and the pre-drawn service jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipRequest {
+    /// Arrival time (virtual ns from fleet-trace start).
+    pub at: u64,
+    /// Whether this is a critical-stream request.
+    pub critical: bool,
+    /// Uniform draw in `[0, 1)` for the request's service-time jitter.
+    pub draw: f64,
+}
+
+/// The per-chip state the fleet router reads at each epoch barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipSnapshot {
+    /// Settled frequency of the fastest core still eligible for placement
+    /// (not quarantined, not safe-moded), in whole MHz. Zero when every
+    /// core is excluded.
+    pub fastest_healthy_mhz: u64,
+    /// Total queued-work backlog across serving cores, in ns past `now`.
+    pub backlog_ns: u64,
+    /// Cores quarantined by the supervisor (terminal).
+    pub quarantined: u32,
+    /// Cores held at the static-margin baseline by the supervisor.
+    pub safe_mode: u32,
+    /// The least healthy core's supervisor health score (0–100).
+    pub min_health: u32,
+}
+
+/// The chip's final integer account, folded into the fleet report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipSummary {
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests stranded on this chip (background tier fully gated).
+    pub shed: u64,
+    /// Critical completions.
+    pub critical_completed: u64,
+    /// Critical completions that violated the SLO.
+    pub critical_slo_violations: u64,
+    /// p99 latency over every completion (ns).
+    pub p99_ns: u64,
+    /// Supervisor/degradation actions applied over the chip's lifetime.
+    pub transitions: u64,
+    /// Final quarantined-core count.
+    pub quarantined: u32,
+    /// Final safe-mode-core count.
+    pub safe_mode: u32,
+    /// Final fastest healthy core frequency (whole MHz).
+    pub fastest_healthy_mhz: u64,
+}
+
+/// One managed chip, steppable epoch by epoch (see the module docs).
+pub struct ChipServer {
+    mgr: AtmManager,
+    cfg: ChipServeConfig,
+    supervisor: MarginSupervisor,
+    policy: DegradationPolicy,
+    posture: ServePosture,
+    pstates: PStateTable,
+    baseline: MegaHz,
+    /// `(workload, profile)` served by each postured core.
+    core_svc: BTreeMap<CoreId, (Workload, ServiceProfile)>,
+    free_at: BTreeMap<CoreId, u64>,
+    crit_hist: LatencyHistogram,
+    bg_hist: LatencyHistogram,
+    completed: u64,
+    shed: u64,
+    critical_completed: u64,
+    critical_slo_violations: u64,
+    transitions: u64,
+    throttle_extra: usize,
+    epoch: u32,
+}
+
+impl fmt::Debug for ChipServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChipServer")
+            .field("epoch", &self.epoch)
+            .field("completed", &self.completed)
+            .field("shed", &self.shed)
+            .field("transitions", &self.transitions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChipServer {
+    /// Postures a deployed manager for incremental serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if the config fails
+    /// [`ChipServeConfig::check`].
+    pub fn new(mut mgr: AtmManager, cfg: ChipServeConfig) -> Result<Self, AtmError> {
+        cfg.check()?;
+        let baseline = mgr.system().config().pstates.nominal().frequency;
+        let pstates = mgr.system().config().pstates.clone();
+        mgr.system_mut().set_droop_alarm(cfg.droop_alarm);
+        let posture = mgr.serve_posture(&cfg.critical, &cfg.backgrounds, cfg.qos)?;
+        // Posturing settles and trains predictors; the alarms those runs
+        // raise are calibration noise, not serving-time events.
+        mgr.system_mut().drain_events();
+        let mut supervisor = MarginSupervisor::new(cfg.supervisor);
+        supervisor.attach(mgr.system());
+        let core_svc = service_map(&cfg, &posture);
+        Ok(ChipServer {
+            mgr,
+            cfg,
+            supervisor,
+            policy: DegradationPolicy::default(),
+            posture,
+            pstates,
+            baseline,
+            core_svc,
+            free_at: BTreeMap::new(),
+            crit_hist: LatencyHistogram::new(),
+            bg_hist: LatencyHistogram::new(),
+            completed: 0,
+            shed: 0,
+            critical_completed: 0,
+            critical_slo_violations: 0,
+            transitions: 0,
+            throttle_extra: 0,
+            epoch: 0,
+        })
+    }
+
+    /// Steps one serving epoch: harvests chip events at the current
+    /// posture (through `faults` when armed), closes a supervisor window,
+    /// applies the degradation responses, and dispatches `requests` —
+    /// which must be sorted by arrival time — onto the per-core queues.
+    ///
+    /// The caller (the fleet loop) owns the timeline: requests carry
+    /// global timestamps and this chip only ever sees the ones routed to
+    /// it.
+    pub fn step_epoch(&mut self, requests: &[ChipRequest], faults: Option<&mut dyn FaultHook>) {
+        self.harvest_and_degrade(faults);
+        for req in requests {
+            self.dispatch(req);
+        }
+        self.epoch += 1;
+    }
+
+    /// The epoch-start chip-in-the-loop body: run a short hardware trial,
+    /// feed the events to the supervisor ladder and the droop policy, and
+    /// re-posture when anything changed.
+    fn harvest_and_degrade(&mut self, faults: Option<&mut dyn FaultHook>) {
+        let _ = match faults {
+            Some(mut hook) => self
+                .mgr
+                .system_mut()
+                .run_faulted(self.cfg.chip_trial, &mut hook),
+            None => self.mgr.system_mut().run(self.cfg.chip_trial),
+        };
+        let events = self.mgr.system_mut().drain_events();
+
+        let mut needs_replace = false;
+        let mut throttled = false;
+        let mut actions = self
+            .policy
+            .react(&events, self.posture.placement.critical_core);
+        // The supervisor owns the failure ladder; the plain policy keeps
+        // the droop-alarm throttle response.
+        actions.retain(|a| matches!(a, DegradeAction::ThrottleDown { .. }));
+        let sup_actions = self.supervisor.observe_window(self.mgr.system(), &events);
+        let _ = self.mgr.apply_supervisor_actions(&sup_actions);
+        if !sup_actions.is_empty() {
+            needs_replace = true;
+            self.transitions += sup_actions.len() as u64;
+        }
+        for action in &actions {
+            if let DegradeAction::ThrottleDown { .. } = action {
+                self.throttle_extra += 1;
+                throttled = true;
+                self.transitions += 1;
+            }
+        }
+
+        if needs_replace {
+            self.posture = self
+                .mgr
+                .serve_posture(&self.cfg.critical, &self.cfg.backgrounds, self.cfg.qos)
+                .expect("config validated in new");
+            if self.throttle_extra > 0 {
+                self.apply_extra_throttle();
+            }
+            self.mgr.system_mut().drain_events();
+            self.core_svc = service_map(&self.cfg, &self.posture);
+        } else if throttled {
+            self.apply_extra_throttle();
+            self.mgr.system_mut().drain_events();
+        } else if self.epoch > 0 && self.epoch.is_multiple_of(self.cfg.refresh_every) {
+            self.posture.core_freqs = self.mgr.measure_core_freqs(ProcId::new(0));
+            self.mgr.system_mut().drain_events();
+        }
+    }
+
+    /// Steps the posture's background throttle further down the ladder
+    /// (mirrors the `ServeSim` response to droop-alarm storms).
+    fn apply_extra_throttle(&mut self) {
+        let Some(mut plan) = self.posture.placement.plan.clone() else {
+            return;
+        };
+        for _ in 0..self.throttle_extra {
+            match plan.step_down(&self.pstates) {
+                Some(next) => plan = next,
+                None => break,
+            }
+        }
+        plan.apply(self.mgr.system_mut());
+        self.posture.placement.plan = Some(plan);
+        self.posture.core_freqs = self.mgr.measure_core_freqs(ProcId::new(0));
+    }
+
+    /// Serves one request on the posture's queues.
+    fn dispatch(&mut self, req: &ChipRequest) {
+        let core = if req.critical {
+            self.posture.placement.critical_core
+        } else {
+            let live = self
+                .posture
+                .placement
+                .background_cores
+                .iter()
+                .filter(|c| self.posture.freq_of(**c).get() > 0.0)
+                .min_by_key(|c| (self.free_at.get(c).copied().unwrap_or(0), c.flat_index()))
+                .copied();
+            match live {
+                Some(c) => c,
+                None => {
+                    // Whole background tier gated: nothing can serve it.
+                    self.shed += 1;
+                    return;
+                }
+            }
+        };
+        let freq = self.posture.freq_of(core);
+        let (workload, profile) = self
+            .core_svc
+            .get(&core)
+            .unwrap_or_else(|| self.core_svc.first_key_value().expect("postured cores").1);
+        let service = profile
+            .sample(workload, freq, self.baseline, req.draw)
+            .get()
+            .round()
+            .max(1.0) as u64;
+        let start = req.at.max(self.free_at.get(&core).copied().unwrap_or(0));
+        let finish = start + service;
+        self.free_at.insert(core, finish);
+        let latency = finish - req.at;
+        self.completed += 1;
+        if req.critical {
+            self.crit_hist.record(latency);
+            self.critical_completed += 1;
+            if self.cfg.critical_slo_ns > 0 && latency > self.cfg.critical_slo_ns {
+                self.critical_slo_violations += 1;
+            }
+        } else {
+            self.bg_hist.record(latency);
+        }
+    }
+
+    /// The barrier-time view the fleet router places traffic with.
+    #[must_use]
+    pub fn snapshot(&self, now: u64) -> ChipSnapshot {
+        let excluded = self.mgr.supervisor_excluded();
+        let fastest = self
+            .posture
+            .core_freqs
+            .iter()
+            .filter(|(c, _)| !excluded.contains(c))
+            .map(|(_, f)| f.get().round() as u64)
+            .max()
+            .unwrap_or(0);
+        let backlog = self
+            .free_at
+            .values()
+            .map(|f| f.saturating_sub(now))
+            .sum::<u64>();
+        let mut min_health = 100;
+        for (core, _) in &self.posture.core_freqs {
+            min_health = min_health.min(self.supervisor.health(*core));
+        }
+        ChipSnapshot {
+            fastest_healthy_mhz: fastest,
+            backlog_ns: backlog,
+            quarantined: self.mgr.quarantined_cores().len() as u32,
+            safe_mode: self.mgr.safe_mode_cores().len() as u32,
+            min_health,
+        }
+    }
+
+    /// The critical- and background-latency histograms (for fleet-level
+    /// merging).
+    #[must_use]
+    pub fn histograms(&self) -> (&LatencyHistogram, &LatencyHistogram) {
+        (&self.crit_hist, &self.bg_hist)
+    }
+
+    /// The supervisor watching this chip.
+    #[must_use]
+    pub fn supervisor(&self) -> &MarginSupervisor {
+        &self.supervisor
+    }
+
+    /// Closes the chip's account.
+    #[must_use]
+    pub fn summary(&self) -> ChipSummary {
+        let mut all = self.crit_hist.clone();
+        all.merge(&self.bg_hist);
+        let snap = self.snapshot(u64::MAX);
+        ChipSummary {
+            completed: self.completed,
+            shed: self.shed,
+            critical_completed: self.critical_completed,
+            critical_slo_violations: self.critical_slo_violations,
+            p99_ns: all.quantile(0.99),
+            transitions: self.transitions,
+            quarantined: snap.quarantined,
+            safe_mode: snap.safe_mode,
+            fastest_healthy_mhz: snap.fastest_healthy_mhz,
+        }
+    }
+}
+
+/// Maps each postured core to the workload (and service profile) it
+/// hosts: the critical core to the critical workload, background cores to
+/// the round-robin background assignment `serve_posture` made.
+fn service_map(
+    cfg: &ChipServeConfig,
+    posture: &ServePosture,
+) -> BTreeMap<CoreId, (Workload, ServiceProfile)> {
+    let mut map = BTreeMap::new();
+    map.insert(
+        posture.placement.critical_core,
+        (cfg.critical.clone(), cfg.critical.service_profile()),
+    );
+    for (i, core) in posture.placement.background_cores.iter().enumerate() {
+        let w = cfg.backgrounds[i % cfg.backgrounds.len()].clone();
+        let p = w.service_profile();
+        map.insert(*core, (w, p));
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_chip::{ChipConfig, System};
+    use atm_core::charact::CharactConfig;
+    use atm_core::Governor;
+    use atm_workloads::by_name;
+
+    fn server(seed: u64) -> ChipServer {
+        let sys = System::new(ChipConfig::power7_plus(seed));
+        let mgr = AtmManager::deploy(
+            sys,
+            Governor::Default,
+            &CharactConfig::builder()
+                .trial(Nanos::new(2_000.0))
+                .repeats(1)
+                .build()
+                .unwrap(),
+        );
+        let cfg = ChipServeConfig::standard(
+            by_name("squeezenet").unwrap().clone(),
+            vec![by_name("x264").unwrap().clone()],
+        );
+        ChipServer::new(mgr, cfg).unwrap()
+    }
+
+    fn traffic(epoch: u64, epoch_ns: u64) -> Vec<ChipRequest> {
+        (0..20)
+            .map(|i| ChipRequest {
+                at: epoch * epoch_ns + i * (epoch_ns / 20),
+                critical: i.is_multiple_of(5),
+                draw: f64::from(u32::try_from(i).unwrap()) / 20.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stepping_is_deterministic() {
+        let run = || {
+            let mut srv = server(42);
+            for e in 0..3u64 {
+                srv.step_epoch(&traffic(e, 1_000_000), None);
+            }
+            (format!("{:?}", srv.summary()), srv.snapshot(3_000_000))
+        };
+        let (a, snap_a) = run();
+        let (b, snap_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(snap_a, snap_b);
+    }
+
+    #[test]
+    fn served_requests_land_in_the_account() {
+        let mut srv = server(7);
+        srv.step_epoch(&traffic(0, 1_000_000), None);
+        let summary = srv.summary();
+        assert_eq!(summary.completed + summary.shed, 20);
+        assert!(summary.critical_completed >= 1);
+        let snap = srv.snapshot(1_000_000);
+        assert!(snap.fastest_healthy_mhz > 4_000, "{snap:?}");
+        assert_eq!(snap.quarantined, 0);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let cfg = ChipServeConfig {
+            backgrounds: Vec::new(),
+            ..ChipServeConfig::standard(
+                by_name("squeezenet").unwrap().clone(),
+                vec![by_name("x264").unwrap().clone()],
+            )
+        };
+        assert!(cfg.check().is_err());
+        let cfg = ChipServeConfig {
+            refresh_every: 0,
+            ..ChipServeConfig::standard(
+                by_name("squeezenet").unwrap().clone(),
+                vec![by_name("x264").unwrap().clone()],
+            )
+        };
+        assert!(cfg.check().is_err());
+    }
+}

@@ -113,6 +113,19 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Folds `other`'s samples into this histogram. Because the buckets
+    /// are fixed, merging per-chip histograms and then reading quantiles
+    /// is exactly equivalent to having recorded every sample into one
+    /// histogram — the fleet-level aggregation is order-independent.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Clears the histogram for reuse (the per-epoch tracker).
     pub fn reset(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);
@@ -156,6 +169,23 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for v in 1..=5_000u64 {
+            whole.record(v * 37);
+            if v.is_multiple_of(2) {
+                left.record(v * 37);
+            } else {
+                right.record(v * 37);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!   re-placement, and background throttle step-downs;
 //! * [`ServeSim`] — the epoch loop tying traffic to the chip-in-the-loop
 //!   posture of [`atm_core::AtmManager`];
+//! * [`ChipServer`] — the same epoch body as an externally stepped
+//!   object, the per-chip seam the `atm-fleet` barrier loop drives;
 //! * [`ServeReport`] — the all-integer, `Eq`-comparable account
 //!   (determinism is `assert_eq!`-checkable).
 //!
@@ -58,6 +60,7 @@
 
 mod admission;
 pub mod arrival;
+mod chipstep;
 mod config;
 mod degrade;
 mod histogram;
@@ -66,6 +69,7 @@ mod sim;
 mod stream;
 
 pub use admission::{Admission, AdmissionConfig};
+pub use chipstep::{ChipRequest, ChipServeConfig, ChipServer, ChipSnapshot, ChipSummary};
 pub use config::{ServeConfig, ServeConfigBuilder};
 pub use degrade::{DegradationPolicy, DegradeAction};
 pub use histogram::LatencyHistogram;

@@ -1,15 +1,28 @@
-//! Regenerates the golden byte-identity reference for the hot-path
-//! determinism contract (see `atm_experiments::perfref`).
+//! Regenerates the golden byte-identity references for the determinism
+//! contracts (see `atm_experiments::perfref`).
 //!
 //! ```text
 //! cargo run --release --example perf_reference > tests/data/reference_reports.txt
+//! cargo run --release --example perf_reference fleet > tests/data/fleet_reference.txt
 //! ```
 //!
-//! The checked-in file was captured from the tree *before* the tick-loop
-//! performance overhaul; `tests/perf_reference.rs` compares every build
-//! against it byte-for-byte. Regenerate only when a scenario or report
-//! format intentionally changes — never to paper over a hot-path diff.
+//! The checked-in hot-path file was captured from the tree *before* the
+//! tick-loop performance overhaul; the fleet file was captured when the
+//! sharded fleet landed. `tests/perf_reference.rs` compares every build
+//! against both byte-for-byte. Regenerate only when a scenario or report
+//! format intentionally changes — never to paper over a determinism diff.
 
 fn main() {
-    print!("{}", power_atm::experiments::perfref::full_reference());
+    let bundle = std::env::args().nth(1);
+    match bundle.as_deref() {
+        Some("fleet") => print!(
+            "{}",
+            power_atm::experiments::perfref::fleet_full_reference()
+        ),
+        None => print!("{}", power_atm::experiments::perfref::full_reference()),
+        Some(other) => {
+            eprintln!("unknown bundle {other:?}: expected no argument or \"fleet\"");
+            std::process::exit(2);
+        }
+    }
 }

@@ -13,6 +13,7 @@ ci:
     cargo clippy --workspace --all-targets -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     just chaos
+    just fleet
 
 # Fault-injection sweep: every standard plan (droop-storm,
 # sensor-chaos, actuator-flap) replayed under three seeds. Each run
@@ -22,6 +23,13 @@ chaos:
     cargo run --release --example fault_campaign 42 3 4
     cargo run --release --example fault_campaign 7 3 4
     cargo run --release --example fault_campaign 1234 3 4
+
+# Fleet determinism smoke: a small sharded fleet under two seeds, each
+# run serially and on four workers and byte-compared (the example
+# asserts identity, conservation, and drain discipline itself).
+fleet:
+    cargo run --release --example fleet 42
+    cargo run --release --example fleet 7
 
 # Warning-free rustdoc over the workspace.
 doc:

@@ -23,6 +23,7 @@
 //! | [`core`] | fine-tuning, characterization, prediction, management |
 //! | [`serve`] | deterministic request serving with SLO accounting |
 //! | [`faults`] | seeded fault-injection campaigns and recovery reports |
+//! | [`fleet`] | fleet-scale sharded simulation behind a deterministic epoch-barrier router |
 //! | [`experiments`] | regeneration of every paper table and figure |
 //!
 //! The [`prelude`] re-exports the handful of types nearly every program
@@ -75,6 +76,7 @@ pub use atm_cpm as cpm;
 pub use atm_dpll as dpll;
 pub use atm_experiments as experiments;
 pub use atm_faults as faults;
+pub use atm_fleet as fleet;
 pub use atm_pdn as pdn;
 pub use atm_serve as serve;
 pub use atm_silicon as silicon;
@@ -100,6 +102,7 @@ pub mod prelude {
     pub use atm_core::manager::Strategy;
     pub use atm_core::{AtmManager, Governor, LimitTable, MarginSupervisor, QosTarget};
     pub use atm_faults::{FaultCampaign, FaultPlan};
+    pub use atm_fleet::{FleetConfig, FleetReport, FleetSim};
     pub use atm_serve::{ServeConfig, ServeSim, StreamSpec};
     pub use atm_telemetry::{NullRecorder, Recorder, RingRecorder, TelemetrySnapshot};
     pub use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId, Watts};

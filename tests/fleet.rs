@@ -1,0 +1,69 @@
+//! Determinism suite for the sharded fleet simulation.
+//!
+//! The fleet contract is the serving contract lifted one level: a
+//! [`FleetReport`] is a pure function of `(FleetConfig, seed)` — the
+//! worker count the run is sharded over, the stride fast path, and
+//! repeated execution must all be invisible in the bytes. The 64-chip
+//! sweep below is the acceptance gate for the fleet subsystem.
+
+use power_atm::faults::{droop_storm, FleetFaultPlan};
+use power_atm::fleet::{FleetConfig, FleetReport, FleetSim};
+
+fn run(cfg: &FleetConfig, workers: usize) -> FleetReport {
+    FleetSim::new(cfg.clone())
+        .expect("valid fleet")
+        .run(workers)
+}
+
+/// The tentpole acceptance test: a 64-chip fleet produces byte-identical
+/// reports across repeated runs and across worker counts k ∈ {1, 2, 8}.
+/// `{:#?}` rendering makes equality a byte-identity witness, and the
+/// serial run (k = 1) is the reference.
+#[test]
+fn sixty_four_chip_fleet_is_byte_identical_across_workers() {
+    let cfg = FleetConfig::standard(42);
+    let serial = run(&cfg, 1);
+    assert!(serial.routing.generated > 10_000, "fleet barely loaded");
+    assert!(serial.conservation_holds(), "{:?}", serial.routing);
+    let serial_text = format!("{serial:#?}");
+    for workers in [1usize, 2, 8] {
+        let again = run(&cfg, workers);
+        assert_eq!(serial, again, "k = {workers} diverged");
+        assert_eq!(
+            serial_text,
+            format!("{again:#?}"),
+            "k = {workers} bytes diverged"
+        );
+    }
+}
+
+/// The stride fast path is a per-chip optimization; at fleet scale it
+/// must still be a pure no-op on the results.
+#[test]
+fn stride_toggle_never_changes_a_fleet_report() {
+    let on = run(&FleetConfig::quick(7), 2);
+    let off = run(&FleetConfig::quick(7).with_stride(false), 2);
+    assert_eq!(on, off);
+}
+
+/// Fault hooks are resolved per chip before the epoch loop, so an armed
+/// fleet campaign keeps the same worker-count independence.
+#[test]
+fn faulted_fleets_stay_worker_count_independent() {
+    let cfg = FleetConfig::quick(11).with_faults(FleetFaultPlan::new(droop_storm(), 2));
+    let serial = run(&cfg, 1);
+    for workers in [2usize, 8] {
+        assert_eq!(serial, run(&cfg, workers), "faulted k = {workers}");
+    }
+    assert!(serial.conservation_holds());
+}
+
+/// Different fleet seeds must reach the silicon lots, the traffic, and
+/// therefore the account — seeds are not cosmetic.
+#[test]
+fn fleet_seed_reaches_every_layer() {
+    let a = run(&FleetConfig::quick(1), 2);
+    let b = run(&FleetConfig::quick(2), 2);
+    assert_ne!(a.rows[0].lot, b.rows[0].lot, "lots ignore the seed");
+    assert_ne!(a, b);
+}

@@ -42,6 +42,16 @@ fn full_reference_matches_golden_capture() {
     assert_same_text(&actual, expected, "reference bundle");
 }
 
+/// The fleet bundle — a quick sharded fleet, plain and fault-armed —
+/// must match the golden capture from the tree where the fleet subsystem
+/// landed, byte for byte, on every build.
+#[test]
+fn fleet_reference_matches_golden_capture() {
+    let expected = include_str!("data/fleet_reference.txt");
+    let actual = perfref::fleet_full_reference();
+    assert_same_text(&actual, expected, "fleet bundle");
+}
+
 fn atm_report(seed: u64, stride: bool, span: Nanos) -> (String, u64) {
     let mut sys = System::new(ChipConfig::power7_plus(seed));
     sys.set_stride(stride);

@@ -196,3 +196,99 @@ fn failure_kind_sample_edges() {
     assert!(std::panic::catch_unwind(|| FailureKind::sample(1.0_f64.next_up())).is_err());
     assert!(std::panic::catch_unwind(|| FailureKind::sample(-0.001)).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Fleet invariants: routing conservation, drain discipline, and lane-seed
+// injectivity of the sharded fleet simulation.
+// ---------------------------------------------------------------------------
+
+/// A fault plan that reliably quarantines silicon: a phase failure on one
+/// fixed core at every epoch's 1 µs harvest trial (20 engine ticks), so
+/// the supervisor ladder climbs one strike per window and quarantines by
+/// epoch five.
+fn chip_killer(epochs: u32) -> power_atm::faults::FleetFaultPlan {
+    use power_atm::faults::{FaultKind, FaultPlan, FaultSpec, FaultTarget, FleetFaultPlan};
+    use power_atm::units::CoreId;
+    let plan = FaultPlan::new("chip-killer").with(FaultSpec {
+        target: FaultTarget::Core(CoreId::from_flat_index(3)),
+        kind: FaultKind::PhaseFailure,
+        start: 5,
+        period: 20,
+        repeats: epochs + 2,
+        duration: 1,
+    });
+    FleetFaultPlan::new(plan, 1)
+}
+
+proptest! {
+    // Whole-fleet runs deploy several chips each; a few random
+    // configurations cover the space without dominating the suite.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Exactly-once accounting: for any seed and fleet shape, every
+    /// generated request reaches precisely one terminal state —
+    /// `generated = routed + shed + deferred_unserved`, and the routed
+    /// total matches what the chips absorbed.
+    #[test]
+    fn fleet_routing_conserves_every_request(
+        seed in 0u64..10_000,
+        chips in 2u32..=5,
+        epochs in 2u32..=5,
+    ) {
+        use power_atm::fleet::{FleetConfig, FleetSim};
+        let cfg = FleetConfig::quick(seed).with_chips(chips).with_epochs(epochs);
+        let report = FleetSim::new(cfg).expect("valid fleet").run(2);
+        prop_assert!(report.routing.generated > 0);
+        prop_assert!(report.conservation_holds(), "{:?}", report.routing);
+        prop_assert!(report.drained_respected());
+    }
+
+    /// Drain discipline: under a campaign that quarantines cores on every
+    /// chip, drained chips never receive another critical request — the
+    /// last critical epoch strictly precedes the drain epoch — and the
+    /// accounting still balances.
+    #[test]
+    fn drained_chips_never_receive_critical_requests(seed in 0u64..10_000) {
+        use power_atm::fleet::{FleetConfig, FleetSim, PlacementConfig};
+        let epochs = 9;
+        let cfg = FleetConfig::quick(seed)
+            .with_chips(4)
+            .with_epochs(epochs)
+            .with_faults(chip_killer(epochs))
+            .with_placement(PlacementConfig {
+                drain_quarantined: 1,
+                ..PlacementConfig::default()
+            });
+        let report = FleetSim::new(cfg).expect("valid fleet").run(2);
+        // Non-vacuity: the killer plan afflicts every chip, so the fleet
+        // must actually drain silicon.
+        prop_assert!(
+            report.routing.drained_chips > 0,
+            "campaign never drained a chip: {:?}",
+            report.rows
+        );
+        prop_assert!(report.drained_respected(), "{:?}", report.rows);
+        prop_assert!(report.conservation_holds(), "{:?}", report.routing);
+        for row in &report.rows {
+            if row.drained_from_epoch >= 0 {
+                prop_assert!(row.quarantined >= 1, "drained without quarantine: {row:?}");
+            }
+        }
+    }
+
+    /// Lane-seed injectivity: per-chip sub-stream seeds are collision-free
+    /// across four streams and 1024-chip fleets, for any root seed.
+    #[test]
+    fn lane_seeds_are_collision_free_up_to_1024_chips(root in 0u64..u64::MAX) {
+        use power_atm::fleet::lane_seed;
+        let mut seen = std::collections::HashSet::with_capacity(4 * 1024);
+        for stream in 0..4u32 {
+            for lane in 0..1024u32 {
+                prop_assert!(
+                    seen.insert(lane_seed(root, stream, lane)),
+                    "seed collision at root {root}, stream {stream}, lane {lane}"
+                );
+            }
+        }
+    }
+}
