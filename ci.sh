@@ -23,3 +23,9 @@ done
 for seed in 42 7; do
     cargo run --release --example fleet "$seed"
 done
+# Adaptation smoke: drifting lots with the recharacterization loop
+# closed — convergence, SLO safety and byte determinism asserted by the
+# example itself (mirrors `just adapt`).
+for seed in 42 7; do
+    cargo run --release --example adapt "$seed"
+done

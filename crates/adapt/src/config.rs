@@ -1,0 +1,166 @@
+//! Adaptation knobs.
+
+use atm_units::AtmError;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the online recharacterization loop: estimator forgetting,
+/// recharacterization-window length, the confidence/traffic gates a
+/// re-tighten must pass, and the micro-probe budget.
+///
+/// # Examples
+///
+/// ```
+/// use atm_adapt::AdaptConfig;
+///
+/// let cfg = AdaptConfig::standard();
+/// assert!(cfg.check().is_ok());
+/// // Tighter gate for a cautious fleet: twice the observations, half
+/// // the tolerated innovation.
+/// let cautious = AdaptConfig {
+///     min_observations: 2 * cfg.min_observations,
+///     max_innovation_milli_mhz: cfg.max_innovation_milli_mhz / 2,
+///     ..cfg
+/// };
+/// assert!(cautious.check().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptConfig {
+    /// Epochs per recharacterization window (RMS-error accounting
+    /// granularity).
+    pub window_epochs: u32,
+    /// RLS forgetting factor in milli (1000 = never forget; 980 tracks
+    /// slow drift).
+    pub forgetting_milli: u32,
+    /// Observations a core's predictor must absorb before a re-tighten
+    /// may cite it.
+    pub min_observations: u64,
+    /// Confidence gate: the core's exponentially-weighted absolute
+    /// innovation (milli-MHz) must be at or below this.
+    pub max_innovation_milli_mhz: u64,
+    /// Traffic gate: the serving layer's backlog must be at or below this
+    /// for a re-tighten (and for probes) to fire.
+    pub low_traffic_backlog_ns: u64,
+    /// Epochs between re-tighten episodes.
+    pub cooldown_epochs: u32,
+    /// CPM steps restored per re-tighten episode (per core).
+    pub retighten_steps: usize,
+    /// Micro-probe bursts allowed per epoch (0 disables probing).
+    pub probe_budget_per_epoch: u32,
+    /// Virtual nanoseconds of chip time per probe burst.
+    pub probe_trial_ns: u64,
+    /// Capacity of the adapter's telemetry ring.
+    pub telemetry_capacity: usize,
+}
+
+impl AdaptConfig {
+    /// The production recipe: 4-epoch windows, λ = 0.98, a 40 MHz
+    /// confidence gate after 6 observations, one 600 ns probe burst per
+    /// quiet epoch, and a 4-epoch re-tighten cooldown.
+    #[must_use]
+    pub fn standard() -> Self {
+        AdaptConfig {
+            window_epochs: 4,
+            forgetting_milli: 980,
+            min_observations: 6,
+            max_innovation_milli_mhz: 40_000,
+            low_traffic_backlog_ns: 50_000_000,
+            cooldown_epochs: 4,
+            retighten_steps: 1,
+            probe_budget_per_epoch: 1,
+            probe_trial_ns: 600,
+            telemetry_capacity: 256,
+        }
+    }
+
+    /// An *ungated* recipe for supervisor-interaction tests: re-tightens
+    /// fire every epoch regardless of confidence or traffic, as hard as
+    /// the deployment ceiling allows. Deliberately reckless — production
+    /// fleets use [`AdaptConfig::standard`].
+    #[must_use]
+    pub fn reckless() -> Self {
+        AdaptConfig {
+            min_observations: 0,
+            max_innovation_milli_mhz: u64::MAX,
+            low_traffic_backlog_ns: u64::MAX,
+            cooldown_epochs: 0,
+            retighten_steps: usize::MAX,
+            ..AdaptConfig::standard()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if the window is empty, the
+    /// forgetting factor is outside `(0.5, 1.0]`, a probe budget comes
+    /// with a zero-length burst, or re-tightening is configured with
+    /// zero steps.
+    pub fn check(&self) -> Result<(), AtmError> {
+        if self.window_epochs == 0 {
+            return Err(AtmError::invalid_config(
+                "window_epochs",
+                "windows must span at least one epoch",
+            ));
+        }
+        if !(501..=1000).contains(&self.forgetting_milli) {
+            return Err(AtmError::invalid_config(
+                "forgetting_milli",
+                "must lie in (500, 1000]",
+            ));
+        }
+        if self.probe_budget_per_epoch > 0 && self.probe_trial_ns == 0 {
+            return Err(AtmError::invalid_config(
+                "probe_trial_ns",
+                "probe bursts must span chip time",
+            ));
+        }
+        if self.retighten_steps == 0 {
+            return Err(AtmError::invalid_config(
+                "retighten_steps",
+                "a re-tighten must restore at least one step",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(AdaptConfig::standard().check().is_ok());
+        assert!(AdaptConfig::reckless().check().is_ok());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let base = AdaptConfig::standard();
+        assert!(AdaptConfig {
+            window_epochs: 0,
+            ..base
+        }
+        .check()
+        .is_err());
+        assert!(AdaptConfig {
+            forgetting_milli: 100,
+            ..base
+        }
+        .check()
+        .is_err());
+        assert!(AdaptConfig {
+            probe_trial_ns: 0,
+            ..base
+        }
+        .check()
+        .is_err());
+        assert!(AdaptConfig {
+            retighten_steps: 0,
+            ..base
+        }
+        .check()
+        .is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! The online estimator: live refinement of the Eq. 1 frequency
+//! predictor and the per-app performance predictor.
+//!
+//! Characterization trains both predictors *offline* (PR 2's deployment
+//! sweep); [`OnlineEstimator`] keeps them honest afterwards. Every epoch
+//! the serving layer feeds it the chip harvest — total socket power plus
+//! each core's settled ATM frequency — and every completed critical
+//! request contributes a service-time point. Two families of
+//! [`Rls2`](crate::Rls2) models absorb them:
+//!
+//! * **Per-core frequency models** re-fit Eq. 1 (`f̄ = −k′·P̄ + b`) with
+//!   power normalized to hectowatts and frequency to GHz. The innovation
+//!   stream doubles as the error signal: before each update the current
+//!   model predicts, and `|prediction − measurement|` is scored
+//!   prequentially — an honest, leak-free error estimate against the
+//!   true (possibly drifted) silicon.
+//! * **Per-app performance models** fit service time (milliseconds)
+//!   against the inverse frequency ratio `f_nominal / f`, refining the
+//!   speedup curve the serving posture's QoS math rests on.
+//!
+//! Observations are quantized to integers (milliwatts, kilohertz,
+//! nanoseconds) at the intake boundary; everything after is Q32.32
+//! fixed-point, so the estimator state is a pure function of the
+//! observation stream.
+
+use std::collections::BTreeMap;
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::fixed::{isqrt_u128, Fixed};
+use crate::report::AdaptWindow;
+use crate::rls::Rls2;
+
+/// EW smoothing shift for the per-core innovation track: new = 7/8 old +
+/// 1/8 sample.
+const EW_SHIFT: u64 = 3;
+
+/// One core's frequency model plus its confidence bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CoreModel {
+    rls: Rls2,
+    /// Exponentially-weighted absolute innovation, milli-MHz.
+    ew_innovation_milli: u64,
+}
+
+/// The live predictor bank (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineEstimator {
+    forgetting_milli: u32,
+    cores: BTreeMap<CoreId, CoreModel>,
+    apps: BTreeMap<String, Rls2>,
+    observations: u64,
+    app_observations: u64,
+    /// Current window's squared-error accumulator (milli-MHz²).
+    window_sq_sum: u128,
+    window_obs: u64,
+    windows: Vec<AdaptWindow>,
+}
+
+impl OnlineEstimator {
+    /// Creates an empty estimator with the given RLS forgetting factor
+    /// (in milli; see [`Rls2::new`]).
+    #[must_use]
+    pub fn new(forgetting_milli: u32) -> Self {
+        OnlineEstimator {
+            forgetting_milli,
+            cores: BTreeMap::new(),
+            apps: BTreeMap::new(),
+            observations: 0,
+            app_observations: 0,
+            window_sq_sum: 0,
+            window_obs: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Absorbs one `(chip power, core frequency)` point for `core` and
+    /// returns the prequential absolute error in milli-MHz (`None` for
+    /// the core's very first observation, which nothing predicted).
+    pub fn observe_freq(&mut self, core: CoreId, power_mw: u64, freq_khz: u64) -> Option<u64> {
+        let x = Fixed::from_ratio(power_mw as i64, 100_000); // hectowatts
+        let y = Fixed::from_ratio(freq_khz as i64, 1_000_000); // GHz
+        let model = self.cores.entry(core).or_insert_with(|| CoreModel {
+            rls: Rls2::new(self.forgetting_milli),
+            ew_innovation_milli: 0,
+        });
+        let error = if model.rls.observations() > 0 {
+            // 1 kHz = 1 milli-MHz, so the scaled innovation is the error.
+            let err_milli = model
+                .rls
+                .predict(x)
+                .to_scaled(1_000_000)
+                .abs_diff(freq_khz as i64);
+            // A one-point model's prediction is a prior artifact, not
+            // evidence — seed the EW track from the two-point model's
+            // first honest error instead of poisoning it.
+            model.ew_innovation_milli = if model.rls.observations() <= 2 {
+                err_milli
+            } else {
+                (model.ew_innovation_milli * ((1 << EW_SHIFT) - 1) + err_milli) >> EW_SHIFT
+            };
+            self.window_sq_sum += u128::from(err_milli) * u128::from(err_milli);
+            self.window_obs += 1;
+            Some(err_milli)
+        } else {
+            None
+        };
+        let _ = model.rls.update(x, y);
+        self.observations += 1;
+        error
+    }
+
+    /// Absorbs one completed-request service-time point for `app`:
+    /// `service_ns` observed at `freq_khz` against nominal
+    /// `baseline_khz`.
+    pub fn observe_service(
+        &mut self,
+        app: &str,
+        freq_khz: u64,
+        baseline_khz: u64,
+        service_ns: u64,
+    ) {
+        if freq_khz == 0 || baseline_khz == 0 {
+            return;
+        }
+        let x = Fixed::from_ratio(baseline_khz as i64, freq_khz as i64);
+        let y = Fixed::from_ratio(service_ns as i64, 1_000_000); // ms
+        let rls = self
+            .apps
+            .entry(app.to_owned())
+            .or_insert_with(|| Rls2::new(self.forgetting_milli));
+        let _ = rls.update(x, y);
+        self.app_observations += 1;
+    }
+
+    /// The refined Eq. 1 prediction for `core` at `power_mw`, in kHz
+    /// (`None` until the core's model has at least two observations — a
+    /// one-point line has no slope).
+    #[must_use]
+    pub fn predicted_freq_khz(&self, core: CoreId, power_mw: u64) -> Option<u64> {
+        let model = self.cores.get(&core)?;
+        if model.rls.observations() < 2 {
+            return None;
+        }
+        let x = Fixed::from_ratio(power_mw as i64, 100_000);
+        Some(u64::try_from(model.rls.predict(x).to_scaled(1_000_000)).unwrap_or(0))
+    }
+
+    /// The refined service-time prediction for `app` at `freq_khz`
+    /// against `baseline_khz`, in ns (`None` until the app's model has at
+    /// least two observations).
+    #[must_use]
+    pub fn predicted_service_ns(&self, app: &str, freq_khz: u64, baseline_khz: u64) -> Option<u64> {
+        if freq_khz == 0 || baseline_khz == 0 {
+            return None;
+        }
+        let rls = self.apps.get(app)?;
+        if rls.observations() < 2 {
+            return None;
+        }
+        let x = Fixed::from_ratio(baseline_khz as i64, freq_khz as i64);
+        Some(u64::try_from(rls.predict(x).to_scaled(1_000_000)).unwrap_or(0))
+    }
+
+    /// Observations absorbed by `core`'s frequency model.
+    #[must_use]
+    pub fn core_observations(&self, core: CoreId) -> u64 {
+        self.cores.get(&core).map_or(0, |m| m.rls.observations())
+    }
+
+    /// `core`'s exponentially-weighted absolute innovation, milli-MHz —
+    /// the confidence signal the re-tighten gate reads (`u64::MAX` before
+    /// the first scored observation: an unscored model is maximally
+    /// unconfident).
+    #[must_use]
+    pub fn confidence_milli_mhz(&self, core: CoreId) -> u64 {
+        match self.cores.get(&core) {
+            Some(m) if m.rls.observations() >= 2 => m.ew_innovation_milli,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Total frequency observations absorbed.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Total service-time observations absorbed.
+    #[must_use]
+    pub fn app_observations(&self) -> u64 {
+        self.app_observations
+    }
+
+    /// Closes the current recharacterization window: folds its
+    /// accumulated squared errors into an [`AdaptWindow`] (skipped when
+    /// the window scored nothing) and starts the next.
+    pub fn end_window(&mut self) {
+        if self.window_obs > 0 {
+            let rms = isqrt_u128(self.window_sq_sum / u128::from(self.window_obs));
+            self.windows.push(AdaptWindow {
+                window: self.windows.len() as u32,
+                observations: self.window_obs,
+                rms_milli_mhz: rms,
+            });
+        }
+        self.window_sq_sum = 0;
+        self.window_obs = 0;
+    }
+
+    /// The closed windows' error series.
+    #[must_use]
+    pub fn windows(&self) -> &[AdaptWindow] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq_for(power_mw: u64) -> u64 {
+        // A plausible Eq.-1 truth: 5.1 GHz intercept, −2 MHz/W slope.
+        5_100_000 - 2_000 * (power_mw / 1_000)
+    }
+
+    #[test]
+    fn prequential_error_shrinks_on_a_stationary_chip() {
+        let mut est = OnlineEstimator::new(1_000);
+        let core = CoreId::new(0, 0);
+        let mut errors = Vec::new();
+        for round in 0..6u64 {
+            for power in [90_000u64, 130_000, 170_000, 210_000] {
+                if let Some(e) = est.observe_freq(core, power, freq_for(power)) {
+                    if round > 0 {
+                        errors.push(e);
+                    }
+                }
+            }
+            est.end_window();
+        }
+        assert!(errors.last().unwrap() < errors.first().unwrap());
+        assert!(est.confidence_milli_mhz(core) < 10_000, "no confidence");
+        let w = est.windows();
+        assert!(w.len() >= 2);
+        assert!(w.last().unwrap().rms_milli_mhz < w.first().unwrap().rms_milli_mhz);
+    }
+
+    #[test]
+    fn prediction_matches_the_line_after_training() {
+        let mut est = OnlineEstimator::new(980);
+        let core = CoreId::new(1, 3);
+        for power in (80_000..240_000).step_by(20_000) {
+            let _ = est.observe_freq(core, power, freq_for(power));
+        }
+        let pred = est.predicted_freq_khz(core, 150_000).unwrap();
+        assert!(pred.abs_diff(freq_for(150_000)) < 5_000, "pred {pred}");
+    }
+
+    #[test]
+    fn unseen_cores_are_unconfident() {
+        let est = OnlineEstimator::new(980);
+        let core = CoreId::new(0, 7);
+        assert_eq!(est.confidence_milli_mhz(core), u64::MAX);
+        assert_eq!(est.predicted_freq_khz(core, 100_000), None);
+        assert_eq!(est.core_observations(core), 0);
+    }
+
+    #[test]
+    fn app_model_learns_service_scaling() {
+        let mut est = OnlineEstimator::new(1_000);
+        let baseline = 4_200_000u64;
+        // service = 40 ms × (baseline/f): slower clock, longer service.
+        for f in [4_200_000u64, 4_600_000, 5_000_000, 5_200_000] {
+            let service = 40_000_000 * baseline / f;
+            est.observe_service("squeezenet", f, baseline, service);
+        }
+        let at_badline = est
+            .predicted_service_ns("squeezenet", 4_400_000, baseline)
+            .unwrap();
+        let truth = 40_000_000 * baseline / 4_400_000;
+        assert!(at_badline.abs_diff(truth) < 2_000_000, "pred {at_badline}");
+        assert_eq!(est.app_observations(), 4);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let mut est = OnlineEstimator::new(980);
+        est.end_window();
+        est.end_window();
+        assert!(est.windows().is_empty());
+    }
+}

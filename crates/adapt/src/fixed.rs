@@ -1,0 +1,233 @@
+//! Q32.32 fixed-point arithmetic for the online estimator.
+//!
+//! The determinism contract says every report is a pure function of the
+//! observation stream — on any machine, any worker count, any run. The
+//! estimator therefore does its linear algebra in signed Q32.32 fixed
+//! point (an `i64` with 32 fractional bits, `i128` intermediates): the
+//! only float→int boundary is the quantization of raw observations, and
+//! from there every operation is exact integer arithmetic.
+//!
+//! Inputs are normalized before they reach [`Fixed`] so magnitudes stay
+//! small: chip power in hectowatts (≈1–2.5), frequency in GHz (≈4–5.3),
+//! service time in milliseconds. With values this size, Q32.32 offers
+//! ~2.3 × 10⁻¹⁰ resolution and ±2³¹ headroom — orders of magnitude more
+//! than a recursive least-squares update needs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of fractional bits.
+const FRAC: u32 = 32;
+
+/// `n / d` rounded to nearest, ties away from zero — keeps conversions
+/// exactly invertible (`from_ratio` ∘ `to_scaled` round-trips).
+fn div_round(n: i128, d: i128) -> i128 {
+    let q = n / d;
+    let r = n % d;
+    if r.abs() * 2 >= d.abs() {
+        q + if (n < 0) != (d < 0) { -1 } else { 1 }
+    } else {
+        q
+    }
+}
+
+/// A signed Q32.32 fixed-point number.
+///
+/// # Examples
+///
+/// ```
+/// use atm_adapt::Fixed;
+///
+/// let half = Fixed::from_ratio(1, 2);
+/// let three = Fixed::from_int(3);
+/// assert_eq!(half.mul(three), Fixed::from_ratio(3, 2));
+/// assert_eq!(three.div(half), Fixed::from_int(6));
+/// // Exact scaling back to integers:
+/// assert_eq!(Fixed::from_ratio(4_200_000, 1_000_000).to_scaled(1_000), 4_200);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize, Hash,
+)]
+pub struct Fixed(i64);
+
+impl Fixed {
+    /// Zero.
+    pub const ZERO: Fixed = Fixed(0);
+    /// One.
+    pub const ONE: Fixed = Fixed(1 << FRAC);
+
+    /// An integer, exactly.
+    #[must_use]
+    pub fn from_int(v: i64) -> Self {
+        Fixed(v << FRAC)
+    }
+
+    /// The ratio `num / den`, rounded to nearest at the 2⁻³² bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn from_ratio(num: i64, den: i64) -> Self {
+        assert!(den != 0, "fixed-point ratio with zero denominator");
+        Fixed(div_round(i128::from(num) << FRAC, i128::from(den)) as i64)
+    }
+
+    /// The raw Q32.32 representation.
+    #[must_use]
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Rebuilds a value from its raw representation.
+    #[must_use]
+    pub fn from_raw(raw: i64) -> Self {
+        Fixed(raw)
+    }
+
+    /// Product, rounded to nearest at the 2⁻³² bit.
+    ///
+    /// Deliberately an inherent method, not `std::ops::Mul`: the rounding
+    /// step makes this a lossy operation, and the explicit call keeps
+    /// every rounding site visible in the RLS recursion.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn mul(self, other: Fixed) -> Self {
+        Fixed(div_round(i128::from(self.0) * i128::from(other.0), 1 << FRAC) as i64)
+    }
+
+    /// Quotient, rounded to nearest at the 2⁻³² bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    ///
+    /// Deliberately an inherent method, not `std::ops::Div`, for the same
+    /// reason as [`Fixed::mul`].
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn div(self, other: Fixed) -> Self {
+        assert!(other.0 != 0, "fixed-point division by zero");
+        Fixed(div_round(i128::from(self.0) << FRAC, i128::from(other.0)) as i64)
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Self {
+        Fixed(self.0.abs())
+    }
+
+    /// `self × scale` as a plain integer (rounded to nearest): the exit
+    /// path back to report units — e.g. a GHz-normalized value with
+    /// `scale` 1 000 000 yields kHz.
+    #[must_use]
+    pub fn to_scaled(self, scale: i64) -> i64 {
+        div_round(i128::from(self.0) * i128::from(scale), 1 << FRAC) as i64
+    }
+}
+
+impl Add for Fixed {
+    type Output = Fixed;
+    fn add(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fixed {
+    fn add_assign(&mut self, rhs: Fixed) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Fixed {
+    type Output = Fixed;
+    fn sub(self, rhs: Fixed) -> Fixed {
+        Fixed(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Fixed {
+    fn sub_assign(&mut self, rhs: Fixed) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Fixed {
+    type Output = Fixed;
+    fn neg(self) -> Fixed {
+        Fixed(-self.0)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Six decimal places cover the report units (kHz, milli-MHz).
+        let millionths = self.to_scaled(1_000_000);
+        write!(
+            f,
+            "{}.{:06}",
+            millionths / 1_000_000,
+            (millionths % 1_000_000).abs()
+        )
+    }
+}
+
+/// Deterministic integer square root (Newton's method, floor semantics).
+#[must_use]
+pub fn isqrt_u128(v: u128) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Fixed::from_ratio(42_123_456, 1_000_000);
+        assert_eq!(a.to_scaled(1_000_000), 42_123_456);
+        assert_eq!((a - a), Fixed::ZERO);
+        assert_eq!(a.mul(Fixed::ONE), a);
+        assert_eq!(a.div(Fixed::ONE), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn mul_div_agree_with_rationals() {
+        let a = Fixed::from_ratio(7, 3);
+        let b = Fixed::from_ratio(5, 2);
+        // 7/3 × 5/2 = 35/6; truncation keeps them within one ulp.
+        let exact = Fixed::from_ratio(35, 6);
+        assert!((a.mul(b) - exact).abs().raw() <= 1);
+        assert!((exact.div(b) - a).abs().raw() <= 1);
+    }
+
+    #[test]
+    fn isqrt_is_floor() {
+        assert_eq!(isqrt_u128(0), 0);
+        assert_eq!(isqrt_u128(1), 1);
+        assert_eq!(isqrt_u128(15), 3);
+        assert_eq!(isqrt_u128(16), 4);
+        assert_eq!(isqrt_u128(1_000_000), 1_000);
+        let big = u128::from(u64::MAX);
+        let r = isqrt_u128(big * big);
+        assert_eq!(r, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_rejected() {
+        let _ = Fixed::from_ratio(1, 0);
+    }
+}

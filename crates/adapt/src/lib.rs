@@ -1,0 +1,71 @@
+//! `atm-adapt` — online recharacterization: closing the ATM tuning loop
+//! in production.
+//!
+//! The paper's pipeline (characterize → stress-test → deploy) is a
+//! one-shot affair: the guardbands it ships reflect the silicon as it
+//! was on deployment day. Real fleets drift — cores age, seasons move
+//! the ambient, and the Eq. 1 predictor the serving posture leans on
+//! slowly goes stale. This crate keeps the loop closed *after*
+//! deployment, without ever outranking the safety machinery:
+//!
+//! * [`OnlineEstimator`] — recursive-least-squares refinement of the
+//!   per-core frequency predictor (Eq. 1) and the per-app performance
+//!   predictor from live serving telemetry, in Q32.32 [`Fixed`]
+//!   arithmetic ([`Rls2`]) so the estimate is a pure function of the
+//!   observation stream;
+//! * [`MicroProbe`] — budgeted characterization bursts piggybacked on
+//!   queue-idle cores during quiet epochs, feeding the estimator the
+//!   x-axis spread a single operating point never provides;
+//! * [`RetightenPolicy`] — the confidence-gated proposal to restore
+//!   margin a rollback (or a conservative deployment) left behind,
+//!   applied strictly through `AtmManager::retighten_core_recorded` so a
+//!   bad re-tighten rides the supervisor's strike ladder like any other
+//!   failure — rollback, probation, safe mode, quarantine — and never
+//!   bypasses it;
+//! * [`Adapter`] / [`NullAdapter`] / [`OnlineAdapter`] — the serving-loop
+//!   seam: one `enabled()` check per epoch when off (the zero-cost law),
+//!   the full loop when on;
+//! * [`AdaptReport`] — the all-integer, `Eq`-deriving account (per-window
+//!   RMS predictor error, probe and re-tighten counters) extending the
+//!   workspace determinism law to adaptation: same config + seed ⇒
+//!   byte-identical report, across runs and worker counts.
+//!
+//! # Examples
+//!
+//! Watch the estimator learn a drifted Eq. 1 line from scratch:
+//!
+//! ```
+//! use atm_adapt::OnlineEstimator;
+//! use atm_units::CoreId;
+//!
+//! let mut est = OnlineEstimator::new(980);
+//! let core = CoreId::new(0, 0);
+//! // True (drifted) silicon: 5.0 GHz intercept, −2 MHz/W slope.
+//! for power_mw in [90_000u64, 130_000, 170_000, 210_000, 120_000, 190_000] {
+//!     let freq_khz = 5_000_000 - 2_000 * (power_mw / 1_000);
+//!     est.observe_freq(core, power_mw, freq_khz);
+//! }
+//! let pred = est.predicted_freq_khz(core, 150_000).unwrap();
+//! assert!(pred.abs_diff(4_700_000) < 5_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapter;
+mod config;
+mod estimator;
+mod fixed;
+mod policy;
+mod probe;
+mod report;
+mod rls;
+
+pub use adapter::{AdaptContext, Adapter, NullAdapter, OnlineAdapter};
+pub use config::AdaptConfig;
+pub use estimator::OnlineEstimator;
+pub use fixed::{isqrt_u128, Fixed};
+pub use policy::RetightenPolicy;
+pub use probe::{MicroProbe, ProbePlan};
+pub use report::{AdaptReport, AdaptWindow};
+pub use rls::Rls2;

@@ -1,0 +1,174 @@
+//! The confidence-gated re-tighten policy.
+//!
+//! Re-tightening restores CPM steps a rollback (or a conservative
+//! deployment) left on the table — it *raises* frequency on live
+//! silicon, so it is the one adaptation action that can hurt. The policy
+//! therefore demands every gate at once:
+//!
+//! 1. **Traffic** — the serving backlog is at or below the low-traffic
+//!    threshold. A re-tighten mid-burst risks a latency excursion on top
+//!    of a frequency excursion.
+//! 2. **Cooldown** — at least `cooldown_epochs` since the last episode,
+//!    so each change's fault evidence is attributable before the next.
+//! 3. **Confidence** — the core's predictor has absorbed at least
+//!    `min_observations` points and its exponentially-weighted
+//!    innovation is at or below `max_innovation_milli_mhz`. A drifting
+//!    or barely-observed core keeps its guardband.
+//! 4. **Standing** — the core is not under supervisor discipline
+//!    (probation, safe mode, quarantine). The ladder outranks the
+//!    policy: a rolled-back core earns its margin back through clean
+//!    re-probes, never through the adapter.
+//!
+//! The policy only *selects* cores; application goes through
+//! `AtmManager::retighten_core_recorded`, which additionally clamps to
+//! the validated deployment ceiling minus any live rollback override.
+
+use std::collections::BTreeSet;
+
+use atm_units::CoreId;
+use serde::{Deserialize, Serialize};
+
+use crate::config::AdaptConfig;
+use crate::estimator::OnlineEstimator;
+
+/// The re-tighten gate (see the module docs for the four conditions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RetightenPolicy {
+    last_episode: Option<u64>,
+}
+
+impl RetightenPolicy {
+    /// Creates a policy with no episode history.
+    #[must_use]
+    pub fn new() -> Self {
+        RetightenPolicy::default()
+    }
+
+    /// Epoch of the last re-tighten episode, if any.
+    #[must_use]
+    pub fn last_episode(&self) -> Option<u64> {
+        self.last_episode
+    }
+
+    /// Selects the cores to re-tighten this epoch (possibly empty).
+    /// `candidates` is the serving layer's core set in deterministic
+    /// order; `blocked` holds every core under supervisor discipline.
+    /// Records the episode iff at least one core passes every gate.
+    pub fn decide(
+        &mut self,
+        cfg: &AdaptConfig,
+        epoch: u64,
+        backlog_ns: u64,
+        estimator: &OnlineEstimator,
+        candidates: &[CoreId],
+        blocked: &BTreeSet<CoreId>,
+    ) -> Vec<CoreId> {
+        if backlog_ns > cfg.low_traffic_backlog_ns {
+            return Vec::new();
+        }
+        if let Some(last) = self.last_episode {
+            if epoch.saturating_sub(last) < u64::from(cfg.cooldown_epochs) {
+                return Vec::new();
+            }
+        }
+        let picked: Vec<CoreId> = candidates
+            .iter()
+            .copied()
+            .filter(|core| !blocked.contains(core))
+            .filter(|core| estimator.core_observations(*core) >= cfg.min_observations)
+            .filter(|core| {
+                cfg.min_observations == 0
+                    || estimator.confidence_milli_mhz(*core) <= cfg.max_innovation_milli_mhz
+            })
+            .collect();
+        if !picked.is_empty() {
+            self.last_episode = Some(epoch);
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained(cores: &[CoreId], points: u64) -> OnlineEstimator {
+        let mut est = OnlineEstimator::new(1_000);
+        for &core in cores {
+            for i in 0..points {
+                let power = 100_000 + 20_000 * i;
+                let _ = est.observe_freq(core, power, 5_100_000 - 2_000 * (power / 1_000));
+            }
+        }
+        est
+    }
+
+    #[test]
+    fn passes_when_every_gate_clears() {
+        let cfg = AdaptConfig::standard();
+        let cores = [CoreId::new(0, 0), CoreId::new(0, 1)];
+        let est = trained(&cores, cfg.min_observations + 2);
+        let mut policy = RetightenPolicy::new();
+        let picked = policy.decide(&cfg, 10, 0, &est, &cores, &BTreeSet::new());
+        assert_eq!(picked, cores.to_vec());
+        assert_eq!(policy.last_episode(), Some(10));
+    }
+
+    #[test]
+    fn traffic_gate_blocks_busy_epochs() {
+        let cfg = AdaptConfig::standard();
+        let cores = [CoreId::new(0, 0)];
+        let est = trained(&cores, cfg.min_observations + 2);
+        let mut policy = RetightenPolicy::new();
+        let busy = cfg.low_traffic_backlog_ns + 1;
+        assert!(policy
+            .decide(&cfg, 10, busy, &est, &cores, &BTreeSet::new())
+            .is_empty());
+        assert_eq!(policy.last_episode(), None);
+    }
+
+    #[test]
+    fn cooldown_spaces_episodes() {
+        let cfg = AdaptConfig::standard();
+        let cores = [CoreId::new(0, 0)];
+        let est = trained(&cores, cfg.min_observations + 2);
+        let mut policy = RetightenPolicy::new();
+        assert!(!policy
+            .decide(&cfg, 4, 0, &est, &cores, &BTreeSet::new())
+            .is_empty());
+        for epoch in 5..4 + u64::from(cfg.cooldown_epochs) {
+            assert!(policy
+                .decide(&cfg, epoch, 0, &est, &cores, &BTreeSet::new())
+                .is_empty());
+        }
+        let next = 4 + u64::from(cfg.cooldown_epochs);
+        assert!(!policy
+            .decide(&cfg, next, 0, &est, &cores, &BTreeSet::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn unconfident_and_blocked_cores_are_skipped() {
+        let cfg = AdaptConfig::standard();
+        let confident = CoreId::new(0, 0);
+        let raw = CoreId::new(0, 1);
+        let disciplined = CoreId::new(0, 2);
+        let est = trained(&[confident, disciplined], cfg.min_observations + 2);
+        let blocked: BTreeSet<CoreId> = [disciplined].into_iter().collect();
+        let mut policy = RetightenPolicy::new();
+        let picked = policy.decide(&cfg, 10, 0, &est, &[confident, raw, disciplined], &blocked);
+        assert_eq!(picked, vec![confident]);
+    }
+
+    #[test]
+    fn reckless_preset_ignores_confidence_but_not_standing() {
+        let cfg = AdaptConfig::reckless();
+        let core = CoreId::new(0, 0);
+        let jailed = CoreId::new(0, 1);
+        let est = OnlineEstimator::new(1_000); // zero observations anywhere
+        let blocked: BTreeSet<CoreId> = [jailed].into_iter().collect();
+        let mut policy = RetightenPolicy::new();
+        let picked = policy.decide(&cfg, 0, u64::MAX - 1, &est, &[core, jailed], &blocked);
+        assert_eq!(picked, vec![core], "standing gate must survive reckless");
+    }
+}

@@ -1,0 +1,143 @@
+//! Micro-probe scheduling: budgeted characterization bursts that
+//! piggyback on quiet epochs.
+//!
+//! The offline characterization sweep (PR 2) buys slope identifiability
+//! by dedicating the whole chip to daxpy co-runner ladders. In
+//! production no such luxury exists — the serving posture occupies every
+//! socket-0 core. What *does* exist is queue idleness: background cores
+//! whose work queues have drained by the epoch boundary. A micro-probe
+//! burst **parks** a rotating subset of those cores (assigns them the
+//! idle workload) for a few hundred virtual nanoseconds, which sweeps
+//! total chip power downward and gives the RLS estimator the x-axis
+//! variation a single operating point never provides.
+//!
+//! [`MicroProbe`] only decides *whether and how many*; the adapter owns
+//! the mechanics (saving workloads, running the burst, restoring). Two
+//! gates apply: a per-epoch budget (`probe_budget_per_epoch`) and a
+//! traffic gate — under backlog the burst is deferred, never queued, so
+//! probing can never amplify a latency excursion.
+
+use serde::{Deserialize, Serialize};
+
+/// One epoch's probe decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbePlan {
+    /// Background cores to park (assign idle) for the burst. Always at
+    /// least 1 and at most the number of queue-idle cores offered.
+    pub parked: usize,
+}
+
+/// The probe scheduler: a budget, a deferral counter, and a rotating
+/// cursor that varies how many cores each burst parks (different parked
+/// counts ⇒ different chip power ⇒ x-axis spread for the estimator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroProbe {
+    budget_per_epoch: u32,
+    cursor: u64,
+    run: u64,
+    deferred: u64,
+}
+
+impl MicroProbe {
+    /// Creates a scheduler with the given per-epoch burst budget
+    /// (0 disables probing entirely).
+    #[must_use]
+    pub fn new(budget_per_epoch: u32) -> Self {
+        MicroProbe {
+            budget_per_epoch,
+            cursor: 0,
+            run: 0,
+            deferred: 0,
+        }
+    }
+
+    /// Decides this epoch's bursts. Yields up to `budget_per_epoch`
+    /// plans when the backlog is at or below `low_traffic_backlog_ns`
+    /// and at least one queue-idle core is offered; otherwise defers
+    /// (counting each burst the budget would have allowed).
+    pub fn plan_epoch(
+        &mut self,
+        backlog_ns: u64,
+        low_traffic_backlog_ns: u64,
+        idle_cores: usize,
+    ) -> Vec<ProbePlan> {
+        if self.budget_per_epoch == 0 || idle_cores == 0 {
+            return Vec::new();
+        }
+        if backlog_ns > low_traffic_backlog_ns {
+            self.deferred += u64::from(self.budget_per_epoch);
+            return Vec::new();
+        }
+        let mut plans = Vec::with_capacity(self.budget_per_epoch as usize);
+        for _ in 0..self.budget_per_epoch {
+            // Rotate through 1..=idle_cores parked cores for power spread.
+            let parked = (self.cursor as usize % idle_cores) + 1;
+            self.cursor += 1;
+            self.run += 1;
+            plans.push(ProbePlan { parked });
+        }
+        plans
+    }
+
+    /// Bursts executed so far.
+    #[must_use]
+    pub fn probes_run(&self) -> u64 {
+        self.run
+    }
+
+    /// Bursts deferred by the traffic gate so far.
+    #[must_use]
+    pub fn probes_deferred(&self) -> u64 {
+        self.deferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defers_under_backlog() {
+        let mut probe = MicroProbe::new(2);
+        assert!(probe.plan_epoch(1_000_000, 500, 4).is_empty());
+        assert_eq!(probe.probes_deferred(), 2);
+        assert_eq!(probe.probes_run(), 0);
+    }
+
+    #[test]
+    fn rotates_parked_counts_when_quiet() {
+        let mut probe = MicroProbe::new(1);
+        let counts: Vec<usize> = (0..6)
+            .flat_map(|_| probe.plan_epoch(0, 500, 3))
+            .map(|p| p.parked)
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3, 1, 2, 3]);
+        assert_eq!(probe.probes_run(), 6);
+        assert_eq!(probe.probes_deferred(), 0);
+    }
+
+    #[test]
+    fn zero_budget_or_no_idle_cores_is_silent() {
+        let mut off = MicroProbe::new(0);
+        assert!(off.plan_epoch(0, u64::MAX, 8).is_empty());
+        assert_eq!(off.probes_deferred(), 0);
+
+        let mut busy_chip = MicroProbe::new(4);
+        assert!(busy_chip.plan_epoch(0, u64::MAX, 0).is_empty());
+        assert_eq!(busy_chip.probes_deferred(), 0);
+    }
+
+    #[test]
+    fn determinism_is_structural() {
+        let run = || {
+            let mut p = MicroProbe::new(2);
+            let mut all = Vec::new();
+            for epoch in 0..8u64 {
+                let backlog = if epoch % 3 == 0 { 900 } else { 0 };
+                all.extend(p.plan_epoch(backlog, 100, 5));
+            }
+            (p, all)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,106 @@
+//! The adaptation run's integer account.
+
+use serde::{Deserialize, Serialize};
+
+/// One recharacterization window's error accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptWindow {
+    /// Window index (0-based, counted over non-empty windows).
+    pub window: u32,
+    /// Prequential observations scored in this window.
+    pub observations: u64,
+    /// Root-mean-square frequency-prediction error over the window, in
+    /// milli-MHz (prediction *before* each update vs. the measured
+    /// frequency of the true, drifted silicon).
+    pub rms_milli_mhz: u64,
+}
+
+/// The deterministic account of one adapter's lifetime: window-by-window
+/// predictor error plus probe and re-tighten counters. All-integer and
+/// `Eq`, so the determinism law (`same config + seed ⇒ byte-identical`)
+/// is `assert_eq!`-checkable, and serializable for fleet reports.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// Per-window RMS error series (the drifting-lot convergence trace).
+    pub windows: Vec<AdaptWindow>,
+    /// Frequency observations absorbed (harvests + probes).
+    pub observations: u64,
+    /// Per-app service-time observations absorbed.
+    pub app_observations: u64,
+    /// Micro-probe bursts executed.
+    pub probes_run: u64,
+    /// Micro-probe bursts deferred by the backlog gate.
+    pub probes_deferred: u64,
+    /// Re-tighten episodes applied through the manager.
+    pub retightens: u64,
+    /// Total CPM steps restored by re-tightens.
+    pub retighten_steps: u64,
+}
+
+impl AdaptReport {
+    /// Whether the window RMS series shrinks *monotonically on average*:
+    /// the mean RMS of the second half of the windows is below the mean
+    /// of the first half, and the last window beats the first. (Strict
+    /// per-window monotonicity is too brittle under seasonal drift — the
+    /// triangle wave turns around mid-run by design.)
+    #[must_use]
+    pub fn error_shrinks(&self) -> bool {
+        if self.windows.len() < 2 {
+            return false;
+        }
+        let rms: Vec<u64> = self.windows.iter().map(|w| w.rms_milli_mhz).collect();
+        let mid = rms.len() / 2;
+        let sum = |s: &[u64]| s.iter().sum::<u64>() as u128;
+        let first_half = sum(&rms[..mid]) * rms[mid..].len() as u128;
+        let second_half = sum(&rms[mid..]) * rms[..mid].len() as u128;
+        second_half < first_half && rms[rms.len() - 1] < rms[0]
+    }
+
+    /// The last window's RMS error, in milli-MHz (`None` before the
+    /// first window closes).
+    #[must_use]
+    pub fn final_rms_milli_mhz(&self) -> Option<u64> {
+        self.windows.last().map(|w| w.rms_milli_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rms: &[u64]) -> AdaptReport {
+        AdaptReport {
+            windows: rms
+                .iter()
+                .enumerate()
+                .map(|(i, r)| AdaptWindow {
+                    window: i as u32,
+                    observations: 8,
+                    rms_milli_mhz: *r,
+                })
+                .collect(),
+            ..AdaptReport::default()
+        }
+    }
+
+    #[test]
+    fn shrinking_series_passes() {
+        assert!(report(&[50_000, 20_000, 9_000, 4_000]).error_shrinks());
+        // One seasonal bump mid-series must not fail the average law.
+        assert!(report(&[50_000, 12_000, 19_000, 6_000]).error_shrinks());
+    }
+
+    #[test]
+    fn flat_or_growing_series_fails() {
+        assert!(!report(&[10_000, 10_000]).error_shrinks());
+        assert!(!report(&[5_000, 20_000, 40_000]).error_shrinks());
+        assert!(!report(&[5_000]).error_shrinks());
+        assert!(!AdaptReport::default().error_shrinks());
+    }
+
+    #[test]
+    fn final_rms_reads_the_last_window() {
+        assert_eq!(report(&[3, 2, 1]).final_rms_milli_mhz(), Some(1));
+        assert_eq!(AdaptReport::default().final_rms_milli_mhz(), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Two-parameter recursive least squares with exponential forgetting.
+//!
+//! The paper's Eq. 1 predictor (`f̄ = −k′·P̄ + b`) and the per-app
+//! performance predictor are both straight lines, so the online refiner
+//! only ever needs the two-parameter special case: regressors
+//! `φ = [x, 1]`, parameters `θ = [slope, intercept]`. [`Rls2`] is the
+//! textbook exponentially-weighted RLS recursion
+//!
+//! ```text
+//! K = Pφ / (λ + φᵀPφ)
+//! θ ← θ + K·(y − φᵀθ)
+//! P ← (P − KφᵀP) / λ
+//! ```
+//!
+//! carried out entirely in [`Fixed`] Q32.32 arithmetic: the estimate is a
+//! pure function of the quantized observation sequence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fixed::Fixed;
+
+/// Initial covariance diagonal: large enough that the first few
+/// observations dominate the (zero) prior (RLS with finite `P0` is
+/// ridge regression with ridge `1/P0` — the prior's pull must be far
+/// below the report resolution).
+const P0: i64 = 1 << 16;
+
+/// A two-parameter (slope + intercept) RLS estimator.
+///
+/// # Examples
+///
+/// ```
+/// use atm_adapt::{Fixed, Rls2};
+///
+/// // Learn y = −2x + 10 from six exact points.
+/// let mut rls = Rls2::new(1_000);
+/// for x in 0..6 {
+///     let xf = Fixed::from_int(x);
+///     rls.update(xf, Fixed::from_int(-2 * x + 10));
+/// }
+/// assert!((rls.slope() - Fixed::from_int(-2)).abs() < Fixed::from_ratio(1, 100));
+/// assert!((rls.intercept() - Fixed::from_int(10)).abs() < Fixed::from_ratio(1, 10));
+/// let y = rls.predict(Fixed::from_int(3));
+/// assert!((y - Fixed::from_int(4)).abs() < Fixed::from_ratio(1, 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rls2 {
+    theta: [Fixed; 2],
+    /// Covariance stored symmetrically as `[p00, p01, p11]`: under
+    /// rounded arithmetic the two off-diagonal updates drift apart, and
+    /// the `1/λ` amplification compounds the asymmetry until the
+    /// recursion diverges. One stored `p01` keeps P symmetric by
+    /// construction.
+    p: [Fixed; 3],
+    lambda: Fixed,
+    observations: u64,
+}
+
+impl Rls2 {
+    /// Creates an estimator with forgetting factor `lambda_milli / 1000`
+    /// (1000 = no forgetting; 980 tracks slow drift).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda_milli` is in `(500, 1000]` — below that the
+    /// recursion forgets faster than two points per window can inform.
+    #[must_use]
+    pub fn new(lambda_milli: u32) -> Self {
+        assert!(
+            (501..=1000).contains(&lambda_milli),
+            "forgetting factor {lambda_milli}/1000 outside (0.5, 1.0]"
+        );
+        Rls2 {
+            theta: [Fixed::ZERO; 2],
+            p: [Fixed::from_int(P0), Fixed::ZERO, Fixed::from_int(P0)],
+            lambda: Fixed::from_ratio(i64::from(lambda_milli), 1000),
+            observations: 0,
+        }
+    }
+
+    /// The fitted slope.
+    #[must_use]
+    pub fn slope(&self) -> Fixed {
+        self.theta[0]
+    }
+
+    /// The fitted intercept.
+    #[must_use]
+    pub fn intercept(&self) -> Fixed {
+        self.theta[1]
+    }
+
+    /// Observations absorbed so far.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The model's prediction at `x`.
+    #[must_use]
+    pub fn predict(&self, x: Fixed) -> Fixed {
+        self.theta[0].mul(x) + self.theta[1]
+    }
+
+    /// Absorbs one `(x, y)` observation and returns the innovation
+    /// (prediction error *before* the update) — the prequential signal
+    /// confidence gating is built on.
+    pub fn update(&mut self, x: Fixed, y: Fixed) -> Fixed {
+        let e = y - self.predict(x);
+        // Pφ with φ = [x, 1], P = [[p00, p01], [p01, p11]].
+        let px0 = self.p[0].mul(x) + self.p[1];
+        let px1 = self.p[1].mul(x) + self.p[2];
+        // λ + φᵀPφ; P stays positive definite, so this is never zero.
+        let denom = self.lambda + x.mul(px0) + px1;
+        let k0 = px0.div(denom);
+        let k1 = px1.div(denom);
+        self.theta[0] += k0.mul(e);
+        self.theta[1] += k1.mul(e);
+        // P ← (P − K·(Pφ)ᵀ)/λ (P symmetric, so φᵀP = (Pφ)ᵀ).
+        self.p[0] = (self.p[0] - k0.mul(px0)).div(self.lambda);
+        self.p[1] = (self.p[1] - k0.mul(px1)).div(self.lambda);
+        self.p[2] = (self.p[2] - k1.mul(px1)).div(self.lambda);
+        self.observations += 1;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(x: i64) -> Fixed {
+        // y = −0.2x + 5.1, the Eq.-1 shape in hectowatt/GHz units.
+        Fixed::from_ratio(-2 * x, 10) + Fixed::from_ratio(51, 10)
+    }
+
+    #[test]
+    fn converges_on_a_noiseless_line() {
+        let mut rls = Rls2::new(1_000);
+        for x in 0..8 {
+            let _ = rls.update(Fixed::from_int(x), line(x));
+        }
+        let err = (rls.predict(Fixed::from_int(10)) - line(10)).abs();
+        assert!(err < Fixed::from_ratio(1, 1000), "error {err}");
+        assert_eq!(rls.observations(), 8);
+    }
+
+    #[test]
+    fn innovation_shrinks_as_the_fit_locks() {
+        let mut rls = Rls2::new(980);
+        let mut innovations = Vec::new();
+        for round in 0..6 {
+            for x in [1i64, 2, 3] {
+                let e = rls.update(Fixed::from_int(x), line(x)).abs();
+                if round > 0 {
+                    innovations.push(e);
+                }
+            }
+        }
+        let first = innovations.first().unwrap();
+        let last = innovations.last().unwrap();
+        assert!(last < first, "innovation grew: {first} → {last}");
+    }
+
+    #[test]
+    fn tracks_a_drifting_intercept() {
+        let mut rls = Rls2::new(900);
+        // Intercept falls 0.01/step (a cooling-limited fleet in autumn).
+        for step in 0..120i64 {
+            let x = Fixed::from_int(step % 4);
+            let y = Fixed::from_ratio(-2 * (step % 4), 10) + Fixed::from_ratio(510 - step, 100);
+            let _ = rls.update(x, y);
+        }
+        // After 120 steps the intercept is 5.1 − 1.2 = 3.9. Exponential
+        // forgetting tracks a ramp with lag ≈ rate·λ/(1−λ) = 0.09, so
+        // anything inside 0.15 means the fit is following the drift.
+        let err = (rls.intercept() - Fixed::from_ratio(39, 10)).abs();
+        assert!(
+            err < Fixed::from_ratio(15, 100),
+            "stale intercept, err {err}"
+        );
+    }
+
+    #[test]
+    fn determinism_is_bitwise() {
+        let run = || {
+            let mut rls = Rls2::new(970);
+            for x in 0..32 {
+                let _ = rls.update(Fixed::from_ratio(x, 7), Fixed::from_ratio(3 * x + 1, 5));
+            }
+            rls
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn degenerate_forgetting_rejected() {
+        let _ = Rls2::new(400);
+    }
+}

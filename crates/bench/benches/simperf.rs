@@ -1,9 +1,12 @@
 //! Single-thread hot-path throughput regression harness.
 //!
 //! Measures simulated-nanoseconds-per-wall-second on the stress-deploy
-//! scenario, requests-per-wall-second on the serving scenario, and
-//! chips-simulated-per-wall-second on sharded fleets of 16/64/256 chips,
-//! then writes every row into `BENCH_simperf.json` at the repo root.
+//! scenario, requests-per-wall-second on the serving scenario (twice:
+//! bare, and with the no-op `NullAdapter` explicitly installed — the
+//! `adapt_overhead` row prices the adaptation seam, which must stay
+//! within noise), and chips-simulated-per-wall-second on sharded fleets
+//! of 16/64/256 chips, then writes every row into `BENCH_simperf.json`
+//! at the repo root.
 //!
 //! The file is stateful across runs: the `before` column is preserved
 //! from the first capture (taken on the tree *before* the tick-loop
@@ -17,6 +20,7 @@
 
 use std::time::Instant;
 
+use atm_adapt::NullAdapter;
 use atm_bench::{record_metric, BENCH_SEED};
 use atm_chip::{ChipConfig, MarginMode, System};
 use atm_core::charact::CharactConfig;
@@ -71,7 +75,7 @@ fn steady_sim_ns_per_wall_s(smoke: bool) -> f64 {
     span.get() / best
 }
 
-fn serving_req_per_wall_s(smoke: bool) -> f64 {
+fn serving_req_per_wall_s(smoke: bool, explicit_null_adapter: bool) -> f64 {
     let sq = by_name("squeezenet").expect("catalog");
     let x264 = by_name("x264").expect("catalog");
     let lu = by_name("lu_cb").expect("catalog");
@@ -110,7 +114,13 @@ fn serving_req_per_wall_s(smoke: bool) -> f64 {
     } else {
         ServeConfig::quick(BENCH_SEED)
     };
-    let sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
+    let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
+    if explicit_null_adapter {
+        // Re-install the default no-op adapter explicitly: the measured
+        // path is byte-for-byte the adapter-wired epoch loop, so this row
+        // prices the `enabled()` seam and nothing else.
+        sim.set_adapter(Box::new(NullAdapter));
+    }
     let t0 = Instant::now();
     let report = sim.run(1);
     let wall = t0.elapsed().as_secs_f64();
@@ -198,9 +208,11 @@ fn write_report(rows: &[Row]) {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let steady = steady_sim_ns_per_wall_s(smoke);
-    let serving = serving_req_per_wall_s(smoke);
+    let serving = serving_req_per_wall_s(smoke, false);
+    let adapt_overhead = serving_req_per_wall_s(smoke, true);
     eprintln!("stress_deploy steady: {steady:.0} sim-ns/wall-s");
     eprintln!("serving: {serving:.0} req/wall-s");
+    eprintln!("adapt_overhead (explicit NullAdapter): {adapt_overhead:.0} req/wall-s");
     let fleet_sizes: &[u32] = if smoke {
         &FLEET_SIZES[..1]
     } else {
@@ -226,6 +238,14 @@ fn main() {
             name: "serving",
             metric: "req_per_wall_s",
             after: serving,
+        },
+        // The zero-cost-when-off law, priced: the same serving scenario
+        // with the no-op adapter explicitly installed must sit within
+        // noise of the `serving` row.
+        Row {
+            name: "adapt_overhead",
+            metric: "req_per_wall_s",
+            after: adapt_overhead,
         },
     ];
     let fleet_names: [&'static str; 3] = ["fleet_scale_16", "fleet_scale_64", "fleet_scale_256"];

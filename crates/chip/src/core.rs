@@ -141,6 +141,9 @@ impl BandCert {
 pub struct Core {
     id: CoreId,
     silicon: CoreSilicon,
+    /// The real path's nominal delay as manufactured — the fixed point
+    /// silicon drift scales from, so drift is absolute, not compounding.
+    pristine_d0: Picos,
     cpms: CoreCpmSet,
     atm: AtmLoop,
     mode: MarginMode,
@@ -207,9 +210,11 @@ impl Core {
         let droop = DroopProcess::new(*workload.didt(), droop_seed);
         let atm = AtmLoop::new(loop_config, static_freq);
         let inserted_cache = cpms.inserted_delays(&silicon);
+        let pristine_d0 = silicon.real_path().d0();
         let mut core = Core {
             id,
             silicon,
+            pristine_d0,
             cpms,
             atm,
             inserted_cache,
@@ -387,6 +392,25 @@ impl Core {
     #[must_use]
     pub fn reduction(&self) -> usize {
         self.cpms.reduction()
+    }
+
+    /// Sets the core's silicon drift: the real critical path's nominal
+    /// delay becomes `pristine × (1 + ppm/10⁶)`. The CPM synthetic paths
+    /// (mimic-ratio fractions of the real path) age along with it.
+    ///
+    /// Drift is *absolute*: the factor always applies to the manufactured
+    /// delay, so calling this every epoch with a growing schedule never
+    /// compounds. A no-op call (same ppm as last time) leaves the stride
+    /// certificate and configuration epoch untouched.
+    pub fn apply_drift(&mut self, ppm: u64) {
+        let d0 = Picos::new(self.pristine_d0.get() * (1.0 + ppm as f64 * 1e-6));
+        if d0 == self.silicon.real_path().d0() {
+            return;
+        }
+        let path = self.silicon.real_path().with_d0(d0);
+        self.silicon = self.silicon.clone().with_real_path(path);
+        self.invalidate_stride();
+        self.inserted_cache = self.cpms.inserted_delays(&self.silicon);
     }
 
     /// The current clock frequency.

@@ -1,7 +1,7 @@
 //! The two-socket server.
 
 use atm_cpm::CpmConfigError;
-use atm_silicon::SiliconFactory;
+use atm_silicon::{DriftModel, SiliconFactory};
 use atm_telemetry::{DroopEvent, NullRecorder, Recorder, TelemetryEvent};
 use atm_units::{CoreId, Nanos, ProcId};
 use atm_workloads::Workload;
@@ -338,6 +338,22 @@ impl System {
     /// bit-for-bit regardless of what the system simulated before.
     pub fn reseed_core(&mut self, id: CoreId, droop_seed: u64, rng_seed: u64) {
         self.core_mut(id).reseed_streams(droop_seed, rng_seed);
+    }
+
+    /// Applies silicon drift for `epoch` to every core: each real critical
+    /// path (and its CPM mimics) slows by the model's scheduled ppm. Call
+    /// at epoch boundaries only — drift mid-trial would break the run
+    /// engine's cached invariants contract.
+    ///
+    /// The schedule is absolute (see [`Core::apply_drift`]), so skipping
+    /// or repeating an epoch's call cannot compound the drift.
+    pub fn apply_drift(&mut self, drift: &DriftModel, epoch: u64) {
+        for p in &mut self.procs {
+            for core in p.cores_mut() {
+                let ppm = drift.delay_ppm(core.id().flat_index(), epoch);
+                core.apply_drift(ppm);
+            }
+        }
     }
 
     /// Mints a fresh single-focus shard of this system for characterizing

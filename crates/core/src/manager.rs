@@ -478,6 +478,47 @@ impl AtmManager {
         new
     }
 
+    /// Re-tightens `core`'s fine-tuning by up to `steps`: the online
+    /// adaptation hook. The new reduction is capped at the stress-tested
+    /// deployment ceiling *minus the supervisor's live rollback override*,
+    /// so adaptation can never undo a strike — a rolled-back core stays
+    /// rolled back until its probation clears through the normal re-probe
+    /// path. Quarantined and safe-mode cores are left untouched.
+    ///
+    /// Returns the core's reduction after the call.
+    pub fn retighten_core(&mut self, core: CoreId, steps: usize) -> usize {
+        self.retighten_core_recorded(core, steps, &mut NullRecorder)
+    }
+
+    /// [`AtmManager::retighten_core`] with telemetry: bumps the
+    /// `manager.retightens` counter. The new reduction is identical to
+    /// [`AtmManager::retighten_core`]'s.
+    pub fn retighten_core_recorded<R: Recorder>(
+        &mut self,
+        core: CoreId,
+        steps: usize,
+        rec: &mut R,
+    ) -> usize {
+        if self.quarantined.contains(&core) || self.safe_mode.contains(&core) {
+            return self.system.core(core).reduction();
+        }
+        let ceiling = self.deployed.deployed_map()[core.flat_index()]
+            .saturating_sub(self.rollback_override(core));
+        let current = self.system.core(core).reduction();
+        if ceiling <= current {
+            // Nothing left to tighten (or a live rollback owns the gap):
+            // re-tightening must never *loosen*, so leave the core alone.
+            return current;
+        }
+        let new = current.saturating_add(steps).min(ceiling);
+        self.system
+            .set_reduction(core, new)
+            .expect("re-tighten never exceeds the validated deployment");
+        self.freq_predictors.remove(&core);
+        rec.incr("manager.retightens", 1);
+        new
+    }
+
     /// Quarantines `core`: clock-gated, idled, reduction pinned at 0, and
     /// excluded from every future placement. Terminal until redeployment.
     pub fn quarantine_core(&mut self, core: CoreId) {

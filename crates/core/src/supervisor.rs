@@ -43,6 +43,41 @@ const HEALTH_PER_CLEAN: u32 = 10;
 
 /// The supervisor's thresholds. All integer-valued; the defaults are the
 /// ones the repo's fault-campaign tests are calibrated against.
+///
+/// The thresholds parameterize a per-core state machine:
+///
+/// ```text
+///            strike                    strike (×safe_mode_strikes)
+///   Fine ───────────▶ Probation ─── ⋯ ───▶ SafeMode ─── ⋯ ───▶ Quarantined
+///    ▲                    │                         (×quarantine_strikes)
+///    └────────────────────┘
+///      reprobe_after << min(strikes, backoff_cap) clean windows
+/// ```
+///
+/// A *strike* is any window with a timing failure, `alarm_trip` droop
+/// alarms, or `stale_trip` CPM-stale ticks. Each strike rolls the core
+/// back `rollback_steps` and opens a probation whose length doubles per
+/// accumulated strike (capped by `backoff_cap`); serving it re-probes the
+/// fine-tuned setting. `safe_mode_strikes` total strikes revert the core
+/// to the static baseline; `quarantine_strikes` power-gate it for good.
+///
+/// # Examples
+///
+/// ```
+/// use atm_core::SupervisorConfig;
+///
+/// // A stricter ladder than the default: one droop alarm per window
+/// // already counts as a strike, and safe mode comes one strike sooner.
+/// let cfg = SupervisorConfig {
+///     alarm_trip: 1,
+///     safe_mode_strikes: 2,
+///     quarantine_strikes: 4,
+///     ..SupervisorConfig::default()
+/// };
+/// assert!(cfg.safe_mode_strikes < cfg.quarantine_strikes);
+/// // The first probation takes reprobe_after << 1 clean windows.
+/// assert_eq!(cfg.reprobe_after << 1, 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SupervisorConfig {
     /// Clean windows required before the first re-probe (doubled per
@@ -352,7 +387,33 @@ impl MarginSupervisor {
     }
 
     /// Digests the per-core ladder into the chip-level health surface a
-    /// fleet placement policy consumes (see [`SupervisorSummary`]).
+    /// fleet placement policy consumes (see [`SupervisorSummary`]): how
+    /// many cores sit at each rung (probation / safe mode / quarantine)
+    /// and the worst health score on the chip.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atm_chip::{ChipConfig, FailureEvent, FailureKind, ChipEvent, System};
+    /// use atm_core::{MarginSupervisor, SupervisorConfig};
+    /// use atm_units::{CoreId, Nanos};
+    ///
+    /// let sys = System::new(ChipConfig::default());
+    /// let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+    /// sup.attach(&sys);
+    /// assert_eq!(sup.summary().min_health, 100);
+    ///
+    /// // One failing window strikes the core: rollback + probation.
+    /// let failure = ChipEvent::Failure(FailureEvent {
+    ///     core: CoreId::new(0, 3),
+    ///     kind: FailureKind::SystemCrash,
+    ///     at: Nanos::ZERO,
+    /// });
+    /// let _ = sup.observe_window(&sys, &[failure]);
+    /// let s = sup.summary();
+    /// assert_eq!((s.probation, s.safe_mode, s.quarantined), (1, 0, 0));
+    /// assert_eq!(s.min_health, 70);
+    /// ```
     #[must_use]
     pub fn summary(&self) -> SupervisorSummary {
         let mut s = SupervisorSummary {

@@ -1,0 +1,155 @@
+//! Extension: the drifting-lot recharacterization experiment — the
+//! "serve for months" scenario the paper's one-shot pipeline cannot
+//! cover (Sec. VII future work; ROADMAP item 2).
+//!
+//! A conservatively governed server (one CPM step below the validated
+//! ceiling) serves a critical inference stream while its silicon ages
+//! epoch by epoch. The online adapter refines the Eq. 1 frequency
+//! predictor from live harvests and micro-probe bursts, and re-tightens
+//! margin once its confidence gate clears. The exhibit reports the
+//! per-window RMS predictor error (which must shrink), the re-tighten
+//! account, and the critical stream's tail latency through it all.
+
+use std::fmt;
+
+use atm_adapt::{AdaptConfig, AdaptWindow, OnlineAdapter};
+use atm_core::{AtmManager, Governor};
+use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+use atm_silicon::DriftModel;
+use atm_units::Nanos;
+use atm_workloads::by_name;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// p99 budget for the critical stream, nanoseconds.
+const SLO_NS: u64 = 250_000_000;
+
+/// The drifting-lot account: learning curve, safety, and the re-tighten
+/// ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtAdapt {
+    /// Per-window RMS predictor error, milli-MHz.
+    pub windows: Vec<AdaptWindow>,
+    /// Whether the error shrank monotonically-on-average.
+    pub error_shrinks: bool,
+    /// Harvest + probe observations absorbed by the estimator.
+    pub observations: u64,
+    /// Micro-probe bursts run / deferred under backlog.
+    pub probes_run: u64,
+    /// Micro-probe bursts deferred under backlog.
+    pub probes_deferred: u64,
+    /// Re-tighten episodes applied.
+    pub retightens: u64,
+    /// Critical completions.
+    pub completed: u64,
+    /// Critical p99 over the whole run, nanoseconds.
+    pub critical_p99_ns: u64,
+    /// Critical SLO violations (must stay zero).
+    pub slo_violations: u64,
+}
+
+/// Serves a drifting lot for 24 epochs with the loop closed.
+pub fn run(ctx: &mut Context) -> ExtAdapt {
+    let seed = ctx.cfg().seed;
+    let streams = vec![
+        StreamSpec::critical(
+            by_name("squeezenet").expect("catalog"),
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            SLO_NS,
+        ),
+        StreamSpec::background(
+            by_name("x264").expect("catalog"),
+            ArrivalPattern::Poisson {
+                mean_gap: 40_000_000,
+            },
+        ),
+    ];
+    let sys = ctx.fresh_system();
+    let mgr = AtmManager::deploy(sys, Governor::Conservative, &ctx.cfg().charact);
+    let cfg = ServeConfig::builder(seed)
+        .epochs(24)
+        .epoch_ns(200_000_000)
+        .chip_trial(Nanos::new(1_000.0))
+        .build()
+        .expect("valid config");
+    let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
+    sim.set_drift(DriftModel::standard(seed));
+    sim.set_adapter(Box::new(OnlineAdapter::new(AdaptConfig::standard())));
+    let report = sim.run(2);
+
+    let adapt = report.adapt.as_ref().expect("adaptation was on");
+    let critical = report.critical();
+    ExtAdapt {
+        windows: adapt.windows.clone(),
+        error_shrinks: adapt.error_shrinks(),
+        observations: adapt.observations,
+        probes_run: adapt.probes_run,
+        probes_deferred: adapt.probes_deferred,
+        retightens: adapt.retightens,
+        completed: critical.completed,
+        critical_p99_ns: critical.p99_ns,
+        slo_violations: critical.slo_violations,
+    }
+}
+
+impl fmt::Display for ExtAdapt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — living guardbands: online recharacterization on a drifting lot"
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .windows
+            .iter()
+            .map(|w| {
+                vec![
+                    w.window.to_string(),
+                    w.observations.to_string(),
+                    format!("{:.1}", w.rms_milli_mhz as f64 / 1_000.0),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(&["window", "obs", "RMS (MHz)"], &rows))?;
+        writeln!(
+            f,
+            "estimator: {} observations, {} probes ({} deferred), error {}",
+            self.observations,
+            self.probes_run,
+            self.probes_deferred,
+            if self.error_shrinks {
+                "shrinks"
+            } else {
+                "did NOT shrink"
+            }
+        )?;
+        writeln!(
+            f,
+            "serving: {} critical completions, p99 {:.1} ms (SLO {:.0} ms), {} violations, {} re-tightens",
+            self.completed,
+            self.critical_p99_ns as f64 / 1e6,
+            SLO_NS as f64 / 1e6,
+            self.slo_violations,
+            self.retightens
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn drifting_lot_learns_and_serves() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let ext = run(&mut ctx);
+        assert!(ext.error_shrinks, "windows: {:?}", ext.windows);
+        assert_eq!(ext.slo_violations, 0);
+        assert!(ext.observations > 0);
+        assert!(ext.completed > 0);
+    }
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ext_adapt;
 pub mod ext_aggressive;
 pub mod ext_calibration;
 pub mod ext_failure;
@@ -59,7 +60,7 @@ pub use context::{Context, ExpConfig};
 
 /// Identifiers of every reproducible exhibit, in paper order, plus the
 /// `ext-*` extensions (features the paper sketches but defers).
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "fig1",
     "fig2",
     "fig4b",
@@ -80,6 +81,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = [
     "ext-calibration",
     "ext-seeds",
     "ext-predict",
+    "ext-adapt",
 ];
 
 /// Runs one exhibit by name and returns its rendered report.
@@ -103,6 +105,7 @@ pub fn run_by_name(ctx: &mut Context, name: &str) -> Result<String, String> {
         "fig12" => fig12::run(ctx).to_string(),
         "table2" => table2::run().to_string(),
         "fig14" => fig14::run(ctx).to_string(),
+        "ext-adapt" => ext_adapt::run(ctx).to_string(),
         "ext-aggressive" => ext_aggressive::run(ctx).to_string(),
         "ext-calibration" => ext_calibration::run(ctx).to_string(),
         "ext-failure" => ext_failure::run(ctx).to_string(),

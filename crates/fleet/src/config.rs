@@ -1,8 +1,10 @@
 //! Fleet-run configuration.
 
+use atm_adapt::AdaptConfig;
 use atm_core::charact::CharactConfig;
 use atm_faults::FleetFaultPlan;
 use atm_serve::{ArrivalPattern, ChipServeConfig};
+use atm_silicon::DriftModel;
 use atm_units::{AtmError, Nanos};
 use atm_workloads::by_name;
 
@@ -40,6 +42,14 @@ pub struct FleetConfig {
     /// Whether chips use the stride fast path (report-identical either
     /// way; `false` exercises the reference tick loop).
     pub stride: bool,
+    /// Optional fleet-wide silicon drift: each chip gets this model
+    /// rebased on a per-chip seed, so aging scatter differs chip to chip
+    /// while staying a pure function of the fleet seed.
+    pub drift: Option<DriftModel>,
+    /// Optional online recharacterization recipe; when set, every chip
+    /// runs an `OnlineAdapter` and the fleet report carries one
+    /// `AdaptReport` per chip.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl FleetConfig {
@@ -89,6 +99,8 @@ impl FleetConfig {
             placement: PlacementConfig::default(),
             faults: None,
             stride: true,
+            drift: None,
+            adapt: None,
         }
     }
 
@@ -115,6 +127,20 @@ impl FleetConfig {
     #[must_use]
     pub fn with_epochs(mut self, epochs: u32) -> Self {
         self.epochs = epochs;
+        self
+    }
+
+    /// Arms fleet-wide silicon drift (chainable).
+    #[must_use]
+    pub fn with_drift(mut self, drift: DriftModel) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Arms per-chip online recharacterization (chainable).
+    #[must_use]
+    pub fn with_adapt(mut self, adapt: AdaptConfig) -> Self {
+        self.adapt = Some(adapt);
         self
     }
 
@@ -167,6 +193,9 @@ impl FleetConfig {
                 "traffic",
                 "need at least one stream",
             ));
+        }
+        if let Some(adapt) = &self.adapt {
+            adapt.check()?;
         }
         self.chip.check()
     }

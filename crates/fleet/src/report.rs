@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use atm_adapt::AdaptReport;
 use atm_serve::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
@@ -124,6 +125,10 @@ pub struct FleetReport {
     pub background: LatencyBands,
     /// Per-chip accounts, in chip order.
     pub rows: Vec<ChipRow>,
+    /// Per-chip adapter accounts, in chip order (empty — and absent from
+    /// serialized reports — unless the fleet ran with adaptation on).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub adapt: Vec<AdaptReport>,
 }
 
 impl FleetReport {
@@ -243,6 +248,7 @@ mod tests {
             critical: bands,
             background: bands,
             rows: vec![row],
+            adapt: Vec::new(),
         }
     }
 

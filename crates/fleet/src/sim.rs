@@ -20,6 +20,7 @@
 //! every barrier is order-fixed, the [`FleetReport`] is a pure function
 //! of `(FleetConfig, seed)` — byte-identical for any worker count.
 
+use atm_adapt::OnlineAdapter;
 use atm_chip::{ChipConfig, FaultHook, System};
 use atm_core::{AtmManager, Governor};
 use atm_faults::CampaignHook;
@@ -248,7 +249,16 @@ fn build_chip(cfg: &FleetConfig, chip: u32) -> ChipState {
     let mut sys = System::new(ChipConfig::power7_plus(lot));
     sys.set_stride(cfg.stride);
     let mgr = AtmManager::deploy(sys, Governor::Default, &cfg.charact);
-    let server = ChipServer::new(mgr, cfg.chip.clone()).expect("config validated in FleetSim::new");
+    let mut server =
+        ChipServer::new(mgr, cfg.chip.clone()).expect("config validated in FleetSim::new");
+    if let Some(drift) = cfg.drift {
+        // Rebase the model per chip: every chip ages from its own seed,
+        // still a pure function of the fleet seed.
+        server.set_drift(drift.with_seed(mix(drift.seed() ^ mix(0xAD4A_7000 ^ u64::from(chip)))));
+    }
+    if let Some(adapt) = cfg.adapt {
+        server.set_adapter(Box::new(OnlineAdapter::new(adapt)));
+    }
     let hook = cfg
         .faults
         .as_ref()
@@ -313,6 +323,18 @@ fn finish(cfg: &FleetConfig, states: Vec<ChipState>, routing: RoutingCounters) -
             last_critical_epoch: state.last_critical_epoch,
         });
     }
+    let adapt = if cfg.adapt.is_some() {
+        states
+            .iter()
+            .map(|s| {
+                s.server
+                    .adapt_report()
+                    .expect("every chip runs an adapter when cfg.adapt is set")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     FleetReport {
         seed: cfg.seed,
         chips: cfg.chips,
@@ -322,6 +344,7 @@ fn finish(cfg: &FleetConfig, states: Vec<ChipState>, routing: RoutingCounters) -
         critical: LatencyBands::from_histogram(&crit),
         background: LatencyBands::from_histogram(&bg),
         rows,
+        adapt,
     }
 }
 

@@ -19,8 +19,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use atm_adapt::{AdaptContext, AdaptReport, Adapter, NullAdapter};
 use atm_chip::{FaultHook, PStateTable};
 use atm_core::{AtmManager, MarginSupervisor, QosTarget, ServePosture, SupervisorConfig};
+use atm_silicon::DriftModel;
 use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId};
 use atm_workloads::{ServiceProfile, Workload};
 
@@ -171,6 +173,10 @@ pub struct ChipServer {
     transitions: u64,
     throttle_extra: usize,
     epoch: u32,
+    /// The online recharacterization seam ([`NullAdapter`] = off).
+    adapter: Box<dyn Adapter>,
+    /// Silicon aging/seasonal drift applied each epoch (`None` = pristine).
+    drift: Option<DriftModel>,
 }
 
 impl fmt::Debug for ChipServer {
@@ -222,7 +228,25 @@ impl ChipServer {
             transitions: 0,
             throttle_extra: 0,
             epoch: 0,
+            adapter: Box::new(NullAdapter),
+            drift: None,
         })
+    }
+
+    /// Installs an online adapter (replacing the default [`NullAdapter`]).
+    pub fn set_adapter(&mut self, adapter: Box<dyn Adapter>) {
+        self.adapter = adapter;
+    }
+
+    /// Arms epoch-by-epoch silicon drift (aging + seasonal temperature).
+    pub fn set_drift(&mut self, drift: DriftModel) {
+        self.drift = Some(drift);
+    }
+
+    /// The adapter's account, if one is running.
+    #[must_use]
+    pub fn adapt_report(&self) -> Option<AdaptReport> {
+        self.adapter.report()
     }
 
     /// Steps one serving epoch: harvests chip events at the current
@@ -234,7 +258,16 @@ impl ChipServer {
     /// global timestamps and this chip only ever sees the ones routed to
     /// it.
     pub fn step_epoch(&mut self, requests: &[ChipRequest], faults: Option<&mut dyn FaultHook>) {
-        self.harvest_and_degrade(faults);
+        if let Some(drift) = self.drift {
+            self.mgr
+                .system_mut()
+                .apply_drift(&drift, u64::from(self.epoch));
+        }
+        // The epoch boundary on the fleet timeline: the first routed
+        // arrival. An empty epoch means every queue has drained relative
+        // to any later boundary, so the backlog reads zero either way.
+        let now = requests.first().map_or(u64::MAX, |r| r.at);
+        self.harvest_and_degrade(faults, now);
         for req in requests {
             self.dispatch(req);
         }
@@ -244,8 +277,8 @@ impl ChipServer {
     /// The epoch-start chip-in-the-loop body: run a short hardware trial,
     /// feed the events to the supervisor ladder and the droop policy, and
     /// re-posture when anything changed.
-    fn harvest_and_degrade(&mut self, faults: Option<&mut dyn FaultHook>) {
-        let _ = match faults {
+    fn harvest_and_degrade(&mut self, faults: Option<&mut dyn FaultHook>, now: u64) {
+        let harvest = match faults {
             Some(mut hook) => self
                 .mgr
                 .system_mut()
@@ -293,6 +326,54 @@ impl ChipServer {
             self.posture.core_freqs = self.mgr.measure_core_freqs(ProcId::new(0));
             self.mgr.system_mut().drain_events();
         }
+
+        if self.adapter.enabled() {
+            self.run_adapter(&harvest, now);
+        }
+    }
+
+    /// Runs one epoch of online recharacterization against the harvest
+    /// the degradation ladder just consumed. Re-measures the posture when
+    /// the adapter re-tightened anything.
+    fn run_adapter(&mut self, harvest: &atm_chip::SystemReport, now: u64) {
+        let serving: Vec<CoreId> = self.posture.core_freqs.iter().map(|(c, _)| *c).collect();
+        let critical_core = self.posture.placement.critical_core;
+        let idle: Vec<CoreId> = self
+            .posture
+            .placement
+            .background_cores
+            .iter()
+            .filter(|c| self.free_at.get(c).copied().unwrap_or(0) <= now)
+            .copied()
+            .collect();
+        let blocked: std::collections::BTreeSet<CoreId> = serving
+            .iter()
+            .filter(|c| {
+                self.supervisor.on_probation(**c)
+                    || self.mgr.safe_mode_cores().contains(c)
+                    || self.mgr.quarantined_cores().contains(c)
+            })
+            .copied()
+            .collect();
+        let backlog_ns = self
+            .free_at
+            .values()
+            .map(|f| f.saturating_sub(now))
+            .sum::<u64>();
+        let changed = self.adapter.on_epoch(AdaptContext {
+            mgr: &mut self.mgr,
+            harvest,
+            epoch: u64::from(self.epoch),
+            backlog_ns,
+            serving: &serving,
+            idle: &idle,
+            critical_core,
+            blocked: &blocked,
+        });
+        if changed {
+            self.posture.core_freqs = self.mgr.measure_core_freqs(ProcId::new(0));
+        }
+        self.mgr.system_mut().drain_events();
     }
 
     /// Steps the posture's background throttle further down the ladder
@@ -354,6 +435,12 @@ impl ChipServer {
             self.critical_completed += 1;
             if self.cfg.critical_slo_ns > 0 && latency > self.cfg.critical_slo_ns {
                 self.critical_slo_violations += 1;
+            }
+            if self.adapter.enabled() {
+                let freq_khz = (freq.get() * 1_000.0).round() as u64;
+                let baseline_khz = (self.baseline.get() * 1_000.0).round() as u64;
+                self.adapter
+                    .on_service(workload.name(), freq_khz, baseline_khz, service);
             }
         } else {
             self.bg_hist.record(latency);

@@ -4,6 +4,7 @@
 //! so the report derives `Eq` and the determinism contract — *same seed ⇒
 //! byte-identical report* — is checkable with a plain `assert_eq!`.
 
+use atm_adapt::AdaptReport;
 use atm_units::CoreId;
 use serde::{Deserialize, Serialize};
 
@@ -91,6 +92,10 @@ pub struct ServeReport {
     pub transitions: Vec<Transition>,
     /// Per-stream statistics, in stream-spec order.
     pub streams: Vec<StreamStats>,
+    /// The online adapter's account, when adaptation ran (absent — and
+    /// absent from serialized reports — on plain serving runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub adapt: Option<AdaptReport>,
 }
 
 impl ServeReport {

@@ -20,8 +20,10 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
+use atm_adapt::{AdaptContext, Adapter, NullAdapter};
 use atm_chip::{ChipEvent, FailureEvent, FailureKind, FaultHook, PStateTable};
 use atm_core::{AtmManager, MarginSupervisor, ServePosture, SupervisorAction};
+use atm_silicon::DriftModel;
 use atm_telemetry::{
     AdmissionDecision, AdmissionVerdict, NullRecorder, Recorder, SimTime, TelemetryEvent,
 };
@@ -112,6 +114,8 @@ pub struct ServeSim {
     supervisor: Option<MarginSupervisor>,
     faults: Option<Box<dyn FaultHook>>,
     injected: Vec<(u32, FailureEvent)>,
+    adapter: Box<dyn Adapter>,
+    drift: Option<DriftModel>,
 }
 
 impl fmt::Debug for ServeSim {
@@ -124,6 +128,8 @@ impl fmt::Debug for ServeSim {
             .field("supervisor", &self.supervisor)
             .field("faults_armed", &self.faults.as_ref().map(|h| h.armed()))
             .field("injected", &self.injected)
+            .field("adapter", &self.adapter)
+            .field("drift", &self.drift)
             .finish()
     }
 }
@@ -166,7 +172,26 @@ impl ServeSim {
             supervisor: None,
             faults: None,
             injected: Vec::new(),
+            adapter: Box::new(NullAdapter),
+            drift: None,
         })
+    }
+
+    /// Installs an online recharacterization adapter (replacing the
+    /// default no-op [`NullAdapter`]). The adapter observes each epoch's
+    /// chip harvest, may run micro-probe bursts on queue-idle cores, and
+    /// may re-tighten margins through the manager — always below the
+    /// supervisor's strike ladder.
+    pub fn set_adapter(&mut self, adapter: Box<dyn Adapter>) {
+        self.adapter = adapter;
+    }
+
+    /// Arms epoch-by-epoch silicon drift (per-core aging plus seasonal
+    /// temperature offsets): before each epoch's harvest, every core's
+    /// true path delay is re-derived from the pristine silicon at the
+    /// model's ppm schedule.
+    pub fn set_drift(&mut self, drift: DriftModel) {
+        self.drift = Some(drift);
     }
 
     /// Overrides the degradation policy.
@@ -242,6 +267,8 @@ impl ServeSim {
             mut supervisor,
             mut faults,
             injected,
+            mut adapter,
+            drift,
         } = self;
         let proc = ProcId::new(0);
         let baseline = mgr.system().config().pstates.nominal().frequency;
@@ -289,10 +316,15 @@ impl ServeSim {
         let mut action_texts: Vec<String> = Vec::new();
 
         for epoch in 0..cfg.epochs {
+            let epoch_start = u64::from(epoch) * cfg.epoch_ns;
             let epoch_end = u64::from(epoch + 1) * cfg.epoch_ns;
 
+            if let Some(d) = drift {
+                mgr.system_mut().apply_drift(&d, u64::from(epoch));
+            }
+
             // Harvest chip events at the current posture, plus injections.
-            let _ = match faults.as_deref_mut() {
+            let harvest = match faults.as_deref_mut() {
                 Some(mut hook) => {
                     mgr.system_mut()
                         .run_faulted_recorded(cfg.chip_trial, &mut hook, rec)
@@ -367,6 +399,45 @@ impl ServeSim {
                 mgr.system_mut().drain_events();
             } else if epoch > 0 && epoch % cfg.refresh_every == 0 {
                 posture.core_freqs = mgr.measure_core_freqs(proc);
+                mgr.system_mut().drain_events();
+            }
+
+            if adapter.enabled() {
+                let serving: Vec<CoreId> = posture.core_freqs.iter().map(|(c, _)| *c).collect();
+                let idle: Vec<CoreId> = posture
+                    .placement
+                    .background_cores
+                    .iter()
+                    .filter(|c| free_at.get(c).copied().unwrap_or(0) <= epoch_start)
+                    .copied()
+                    .collect();
+                let blocked: std::collections::BTreeSet<CoreId> = serving
+                    .iter()
+                    .filter(|c| {
+                        supervisor.as_ref().is_some_and(|s| s.on_probation(**c))
+                            || mgr.safe_mode_cores().contains(c)
+                            || mgr.quarantined_cores().contains(c)
+                    })
+                    .copied()
+                    .collect();
+                let backlog_ns = free_at
+                    .values()
+                    .map(|f| f.saturating_sub(epoch_start))
+                    .sum::<u64>();
+                let changed = adapter.on_epoch(AdaptContext {
+                    mgr: &mut mgr,
+                    harvest: &harvest,
+                    epoch: u64::from(epoch),
+                    backlog_ns,
+                    serving: &serving,
+                    idle: &idle,
+                    critical_core: posture.placement.critical_core,
+                    blocked: &blocked,
+                });
+                if changed {
+                    posture.core_freqs = mgr.measure_core_freqs(proc);
+                    action_texts.push(String::from("adapter re-tighten"));
+                }
                 mgr.system_mut().drain_events();
             }
             for text in action_texts.drain(..) {
@@ -513,6 +584,11 @@ impl ServeSim {
                 state.max_queue_depth = state.max_queue_depth.max(fin.len() as u64);
 
                 let latency = finish - req.orig;
+                if adapter.enabled() && spec.class == StreamClass::Critical {
+                    let freq_khz = (freq.get() * 1_000.0).round() as u64;
+                    let baseline_khz = (baseline.get() * 1_000.0).round() as u64;
+                    adapter.on_service(spec.workload.name(), freq_khz, baseline_khz, service);
+                }
                 rec.observe("serve.latency_ns", latency);
                 state.hist.record(latency);
                 state.epoch_hist.record(latency);
@@ -565,6 +641,7 @@ impl ServeSim {
             critical_core: posture.placement.critical_core,
             transitions,
             streams,
+            adapt: adapter.report(),
         }
     }
 }

@@ -95,6 +95,17 @@ impl CoreSilicon {
         self.id
     }
 
+    /// The same description with the real critical path replaced — the
+    /// hook silicon drift uses to slow a core without re-rolling its
+    /// mimic ratios, coverage gap, or inverter chain. Because the CPM
+    /// synthetic paths are mimic-ratio fractions of the real path, they
+    /// age along with it, exactly as co-located circuits would.
+    #[must_use]
+    pub fn with_real_path(mut self, real_path: AlphaPowerLaw) -> Self {
+        self.real_path = real_path;
+        self
+    }
+
     /// The core's real-critical-path delay model.
     #[must_use]
     pub fn real_path(&self) -> &AlphaPowerLaw {

@@ -1,0 +1,211 @@
+//! Slow silicon drift: aging and seasonal temperature excursions.
+//!
+//! Characterization (PR 2) freezes a per-core `LimitTable` against the
+//! silicon *as manufactured*; a serving fleet then runs for months while
+//! transistors age (NBTI/HCI shift raises threshold voltages, so paths
+//! slow down) and ambient seasons move the die's thermal operating point.
+//! [`DriftModel`] injects both effects as a deterministic, integer-valued
+//! schedule: given a core and an epoch index it returns the total
+//! parts-per-million by which the core's nominal path delay has grown.
+//!
+//! Two terms compose the schedule:
+//!
+//! * **Aging** — a per-core linear slope in ppm/epoch. Each core draws its
+//!   own slope from the model seed (splitmix-scattered around the mean),
+//!   so a drifting lot ages *unevenly* — exactly the spread an online
+//!   estimator has to re-learn per core.
+//! * **Season** — a fleet-wide triangle wave of ambient temperature,
+//!   expressed in centidegrees and mapped onto delay through the POWER7+
+//!   path temperature coefficient (`5e-5 /°C` ⇒ 50 ppm per degree ⇒
+//!   1 ppm per 2 centidegrees). A triangle needs no trigonometry, so the
+//!   schedule stays pure integer arithmetic.
+//!
+//! The model never *speeds a core up*: both terms are non-negative, so a
+//! drifted core is always at or below its validated margin — the
+//! dangerous direction for a frozen fine-tuning table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::seed::SeedSplitter;
+
+/// Delay ppm per centidegree of ambient offset (50 ppm/°C halved).
+const PPM_PER_2_CENTIDEG: u64 = 1;
+
+/// A deterministic aging + seasonal-temperature drift schedule.
+///
+/// The returned ppm is a pure function of `(seed, core, epoch)`: two
+/// models built from the same parameters agree everywhere, which is what
+/// keeps drifted fleet runs byte-identical across worker counts.
+///
+/// # Examples
+///
+/// ```
+/// use atm_silicon::DriftModel;
+///
+/// let drift = DriftModel::standard(42);
+/// // Drift starts at zero and only ever slows a core down.
+/// assert_eq!(drift.delay_ppm(0, 0), drift.seasonal_ppm(0));
+/// assert!(drift.delay_ppm(0, 50) >= drift.delay_ppm(0, 0));
+/// // Deterministic: same parameters, same schedule.
+/// assert_eq!(
+///     DriftModel::standard(42).delay_ppm(3, 17),
+///     drift.delay_ppm(3, 17),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriftModel {
+    seed: u64,
+    /// Mean aging slope, ppm of nominal delay per epoch.
+    aging_ppm_per_epoch: u32,
+    /// Per-core slope scatter, in percent of the mean (0 = uniform lot).
+    scatter_pct: u32,
+    /// Peak seasonal ambient offset, centidegrees above nominal.
+    seasonal_amp_centideg: u32,
+    /// Epochs per full seasonal cycle (0 disables the seasonal term).
+    seasonal_period: u32,
+}
+
+impl DriftModel {
+    /// Builds a drift schedule from explicit parameters.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        aging_ppm_per_epoch: u32,
+        scatter_pct: u32,
+        seasonal_amp_centideg: u32,
+        seasonal_period: u32,
+    ) -> Self {
+        DriftModel {
+            seed,
+            aging_ppm_per_epoch,
+            scatter_pct,
+            seasonal_amp_centideg,
+            seasonal_period,
+        }
+    }
+
+    /// A gentle production-fleet drift: 40 ppm/epoch mean aging with ±50%
+    /// per-core scatter and an 8 °C seasonal swing over 8 epochs.
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        DriftModel::new(seed, 40, 50, 800, 8)
+    }
+
+    /// A stress drift for adaptation tests: an order of magnitude faster
+    /// aging than [`DriftModel::standard`], same scatter and season.
+    #[must_use]
+    pub fn aggressive(seed: u64) -> Self {
+        DriftModel::new(seed, 400, 50, 800, 8)
+    }
+
+    /// The model's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Rebases the schedule on a different seed (same slopes and season).
+    /// Fleet runs use this to give every chip its own aging scatter.
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> Self {
+        DriftModel { seed, ..*self }
+    }
+
+    /// The per-core aging slope in ppm/epoch: the mean slope scattered by
+    /// a seed-derived factor in `[100 − scatter, 100 + scatter]` percent.
+    #[must_use]
+    pub fn aging_slope_ppm(&self, core_flat: usize) -> u64 {
+        let mean = u64::from(self.aging_ppm_per_epoch);
+        if self.scatter_pct == 0 {
+            return mean;
+        }
+        let span = 2 * u64::from(self.scatter_pct) + 1;
+        let draw = SeedSplitter::new(self.seed).derive("drift-aging", core_flat as u64) % span;
+        // draw ∈ [0, 2·scatter] ⇒ factor ∈ [100 − scatter, 100 + scatter].
+        let factor = 100 + draw - u64::from(self.scatter_pct);
+        mean * factor / 100
+    }
+
+    /// The seasonal delay term at `epoch`, in ppm: a triangle wave over
+    /// `seasonal_period` epochs, peaking at the configured amplitude.
+    #[must_use]
+    pub fn seasonal_ppm(&self, epoch: u64) -> u64 {
+        if self.seasonal_period == 0 || self.seasonal_amp_centideg == 0 {
+            return 0;
+        }
+        let period = u64::from(self.seasonal_period);
+        let phase = epoch % period;
+        let half = period.div_ceil(2);
+        // Rise over the first half, fall over the second.
+        let level = if phase <= half { phase } else { period - phase };
+        let centideg = u64::from(self.seasonal_amp_centideg) * level / half;
+        centideg * PPM_PER_2_CENTIDEG / 2
+    }
+
+    /// Total delay growth of `core_flat`'s nominal path at `epoch`, in
+    /// parts per million (aging plus season; never negative).
+    #[must_use]
+    pub fn delay_ppm(&self, core_flat: usize, epoch: u64) -> u64 {
+        self.aging_slope_ppm(core_flat)
+            .saturating_mul(epoch)
+            .saturating_add(self.seasonal_ppm(epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = DriftModel::standard(1);
+        assert_eq!(a.delay_ppm(5, 9), DriftModel::standard(1).delay_ppm(5, 9));
+        let b = DriftModel::standard(2);
+        let differs = (0..16).any(|c| a.aging_slope_ppm(c) != b.aging_slope_ppm(c));
+        assert!(differs, "seed does not reach the aging scatter");
+    }
+
+    #[test]
+    fn aging_is_monotone_per_core() {
+        let d = DriftModel::standard(7);
+        for core in 0..16 {
+            let mut last = 0;
+            for epoch in 0..32 {
+                let now = d.aging_slope_ppm(core) * epoch;
+                assert!(now >= last);
+                last = now;
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_spreads_the_lot() {
+        let d = DriftModel::standard(42);
+        let slopes: Vec<u64> = (0..16).map(|c| d.aging_slope_ppm(c)).collect();
+        assert!(slopes.iter().any(|s| *s != slopes[0]), "uniform lot");
+        for s in &slopes {
+            assert!((20..=60).contains(s), "slope {s} outside ±50% of 40");
+        }
+    }
+
+    #[test]
+    fn season_is_periodic_and_bounded() {
+        let d = DriftModel::standard(3);
+        for epoch in 0..40 {
+            assert_eq!(d.seasonal_ppm(epoch), d.seasonal_ppm(epoch + 8));
+            assert!(d.seasonal_ppm(epoch) <= 400, "8 °C caps at 400 ppm");
+        }
+        assert_eq!(d.seasonal_ppm(0), 0);
+        assert_eq!(d.seasonal_ppm(4), 400);
+    }
+
+    #[test]
+    fn zeroed_terms_vanish() {
+        let flat = DriftModel::new(1, 0, 0, 0, 0);
+        for epoch in 0..16 {
+            assert_eq!(flat.delay_ppm(0, epoch), 0);
+        }
+        let no_season = DriftModel::new(1, 10, 0, 0, 0);
+        assert_eq!(no_season.delay_ppm(2, 5), 50);
+    }
+}

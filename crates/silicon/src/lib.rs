@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod core_desc;
+mod drift;
 mod factory;
 mod inverter;
 mod path;
@@ -41,6 +42,7 @@ mod seed;
 mod variation;
 
 pub use core_desc::CoreSilicon;
+pub use drift::DriftModel;
 pub use factory::{SiliconFactory, SiliconParams};
 pub use inverter::{InverterChain, MAX_INSERTED_STEPS};
 pub use path::AlphaPowerLaw;

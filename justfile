@@ -14,6 +14,7 @@ ci:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     just chaos
     just fleet
+    just adapt
 
 # Fault-injection sweep: every standard plan (droop-storm,
 # sensor-chaos, actuator-flap) replayed under three seeds. Each run
@@ -30,6 +31,14 @@ chaos:
 fleet:
     cargo run --release --example fleet 42
     cargo run --release --example fleet 7
+
+# Drifting-lot adaptation smoke: two seeds of conservative deployments
+# on aging silicon with the recharacterization loop closed. Each run
+# asserts estimator convergence, SLO safety through re-tighten episodes,
+# and serial ≡ 4-worker byte identity itself.
+adapt:
+    cargo run --release --example adapt 42
+    cargo run --release --example adapt 7
 
 # Warning-free rustdoc over the workspace.
 doc:

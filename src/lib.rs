@@ -21,6 +21,7 @@
 //! | [`telemetry`] | zero-overhead-by-default recording of control-loop decisions |
 //! | [`chip`] | the two-socket simulator |
 //! | [`core`] | fine-tuning, characterization, prediction, management |
+//! | [`adapt`] | online recharacterization: live predictor refinement, micro-probes, confidence-gated re-tightening |
 //! | [`serve`] | deterministic request serving with SLO accounting |
 //! | [`faults`] | seeded fault-injection campaigns and recovery reports |
 //! | [`fleet`] | fleet-scale sharded simulation behind a deterministic epoch-barrier router |
@@ -70,6 +71,7 @@
 
 pub use atm_units as units;
 
+pub use atm_adapt as adapt;
 pub use atm_chip as chip;
 pub use atm_core as core;
 pub use atm_cpm as cpm;
@@ -97,6 +99,7 @@ pub mod prelude {
     //! let _ = (sys, NullRecorder);
     //! ```
 
+    pub use atm_adapt::{AdaptConfig, AdaptReport, NullAdapter, OnlineAdapter};
     pub use atm_chip::{ChipConfig, MarginMode, System};
     pub use atm_core::charact::CharactConfig;
     pub use atm_core::manager::Strategy;
@@ -104,6 +107,7 @@ pub mod prelude {
     pub use atm_faults::{FaultCampaign, FaultPlan};
     pub use atm_fleet::{FleetConfig, FleetReport, FleetSim};
     pub use atm_serve::{ServeConfig, ServeSim, StreamSpec};
+    pub use atm_silicon::DriftModel;
     pub use atm_telemetry::{NullRecorder, Recorder, RingRecorder, TelemetrySnapshot};
     pub use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId, Watts};
     pub use atm_workloads::{by_name, Workload};

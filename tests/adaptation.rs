@@ -1,0 +1,241 @@
+//! Acceptance suite for the online recharacterization subsystem
+//! (`atm-adapt`): the drifting-lot experiment.
+//!
+//! Three properties close the loop:
+//!
+//! 1. **Learning** — on a drifting silicon lot, the RLS predictor's
+//!    per-window RMS error shrinks monotonically-on-average across
+//!    recharacterization windows ([`AdaptReport::error_shrinks`]).
+//! 2. **Safety under adaptation** — the critical stream's p99 stays
+//!    within its SLO during every epoch a re-tighten episode fires.
+//! 3. **The ladder outranks the adapter** — a deliberately bad
+//!    re-tighten (stale ceiling restored onto aged silicon) fails like
+//!    any other margin violation and rides the supervisor's strike
+//!    ladder: rollback, probation, and a standing gate that keeps the
+//!    adapter's hands off the core until probation clears.
+//!
+//! A fourth, transversal property — byte-identical [`AdaptReport`]s
+//! across runs and worker counts — lives in `tests/determinism.rs`
+//! (serving) and `tests/fleet.rs` (fleet), keeping each determinism
+//! suite next to the layer it covers.
+//!
+//! [`AdaptReport`]: power_atm::adapt::AdaptReport
+//! [`AdaptReport::error_shrinks`]: power_atm::adapt::AdaptReport::error_shrinks
+
+use std::collections::BTreeSet;
+
+use power_atm::adapt::{AdaptConfig, OnlineAdapter, OnlineEstimator, RetightenPolicy};
+use power_atm::chip::{ChipConfig, MarginMode, System};
+use power_atm::core::charact::CharactConfig;
+use power_atm::core::{AtmManager, Governor, MarginSupervisor, SupervisorAction, SupervisorConfig};
+use power_atm::serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
+use power_atm::silicon::DriftModel;
+use power_atm::units::{CoreId, Nanos};
+use power_atm::workloads::{by_name, voltage_virus};
+
+const SEED: u64 = 42;
+/// Same p99 budget as the serving suite: queueing spikes of a few
+/// clustered ~41 ms inferences fit inside 250 ms.
+const SLO_NS: u64 = 250_000_000;
+
+fn streams() -> Vec<StreamSpec> {
+    let sq = by_name("squeezenet").expect("catalog");
+    let x264 = by_name("x264").expect("catalog");
+    vec![
+        StreamSpec::critical(
+            sq,
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            SLO_NS,
+        ),
+        StreamSpec::background(
+            x264,
+            ArrivalPattern::Poisson {
+                mean_gap: 40_000_000,
+            },
+        ),
+    ]
+}
+
+/// A drifting-lot serving run: standard drift, standard adaptation,
+/// enough epochs for several recharacterization windows. The
+/// conservative governor deploys one CPM step below the validated
+/// ceiling, so the adapter has real margin to reclaim once its
+/// confidence gate clears.
+fn drifting_run(seed: u64, workers: usize) -> ServeReport {
+    let sys = System::new(ChipConfig::power7_plus(seed));
+    let mgr = AtmManager::deploy(sys, Governor::Conservative, &CharactConfig::quick());
+    let cfg = ServeConfig::builder(seed)
+        .epochs(24)
+        .epoch_ns(200_000_000)
+        .chip_trial(Nanos::new(1_000.0))
+        .build()
+        .expect("valid config");
+    let mut sim = ServeSim::new(mgr, cfg, streams()).expect("valid serving setup");
+    sim.set_drift(DriftModel::standard(seed));
+    sim.set_adapter(Box::new(OnlineAdapter::new(AdaptConfig::standard())));
+    sim.run(workers)
+}
+
+/// Property 1: the estimator actually learns the drifting lot — window
+/// RMS error shrinks monotonically-on-average, and the loop's account
+/// shows real activity (observations, closed windows).
+#[test]
+fn drifting_lot_predictor_error_shrinks_across_windows() {
+    let report = drifting_run(SEED, 2);
+    assert!(report.completed > 0, "the run must actually serve traffic");
+    let adapt = report.adapt.as_ref().expect("adaptation was on");
+    assert!(adapt.observations > 0, "harvests must feed the estimator");
+    assert!(
+        adapt.windows.len() >= 3,
+        "24 epochs / 4-epoch windows must close several windows, got {}",
+        adapt.windows.len()
+    );
+    assert!(
+        adapt.error_shrinks(),
+        "window RMS must shrink on average: {:?}",
+        adapt.windows
+    );
+    let first = adapt.windows.first().unwrap().rms_milli_mhz;
+    let last = adapt.final_rms_milli_mhz().unwrap();
+    assert!(last < first, "final RMS {last} not below initial {first}");
+}
+
+/// Property 2: adaptation never costs the critical stream its SLO — in
+/// every epoch a re-tighten episode fired, the critical per-epoch p99
+/// stays within budget (and the stream's overall SLO accounting holds).
+#[test]
+fn critical_p99_stays_within_slo_during_retighten_episodes() {
+    let report = drifting_run(SEED, 2);
+    let critical = report.critical();
+    let episodes: Vec<u32> = report
+        .transitions
+        .iter()
+        .filter(|t| t.action == "adapter re-tighten")
+        .map(|t| t.epoch)
+        .collect();
+    assert!(
+        !episodes.is_empty(),
+        "the conservative deployment leaves margin, so at least one \
+         episode must fire once confidence builds"
+    );
+    let adapt = report.adapt.as_ref().expect("adaptation was on");
+    assert!(adapt.retightens >= 1, "episodes imply re-tightened cores");
+    for &epoch in &episodes {
+        let p99 = critical.epoch_p99_ns[epoch as usize];
+        assert!(
+            p99 <= SLO_NS,
+            "epoch {epoch} re-tightened with critical p99 {p99} > SLO {SLO_NS}"
+        );
+    }
+    assert!(
+        critical.slo_met(),
+        "critical stream missed its SLO: {} violations",
+        critical.slo_violations
+    );
+}
+
+/// Property 3: a deliberately bad re-tighten rides the strike ladder.
+///
+/// A core backed off to the static baseline is re-tightened straight to
+/// its deployment-day ceiling by the reckless recipe — but the silicon
+/// has aged far past that characterization, so the restored margin fails
+/// like any other violation: the supervisor rolls the core back, puts it
+/// on probation, and the policy's standing gate keeps the adapter away
+/// until probation clears.
+#[test]
+fn bad_retighten_is_caught_by_the_supervisor() {
+    let sys = System::new(ChipConfig::power7_plus(7));
+    let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+
+    // The most aggressively fine-tuned core has the most margin to lose.
+    // Arm it the way a serving posture would: ATM mode, stressing
+    // workload.
+    let victim = CoreId::all()
+        .max_by_key(|&c| mgr.system().core(c).reduction())
+        .expect("cores exist");
+    let deployed = mgr.system().core(victim).reduction();
+    assert!(deployed > 0, "deployment fine-tunes the victim");
+    mgr.system_mut().set_mode(victim, MarginMode::Atm);
+    mgr.system_mut().assign(victim, voltage_virus());
+
+    // A conservative operator backed the core off to the static
+    // baseline; meanwhile the lot aged far past deployment day.
+    mgr.system_mut()
+        .set_reduction(victim, 0)
+        .expect("loosening is always valid");
+    mgr.system_mut()
+        .apply_drift(&DriftModel::aggressive(7), 500);
+
+    // Control: the backed-off core survives the aged silicon — whatever
+    // fails after the re-tighten is the re-tighten's doing.
+    for _ in 0..20 {
+        let chip = mgr.system_mut().run(Nanos::new(50_000.0));
+        assert!(
+            chip.failure.is_none_or(|f| f.core != victim),
+            "the backed-off core must be safe on this lot"
+        );
+    }
+    let _ = mgr.system_mut().drain_events();
+
+    let mut sup = MarginSupervisor::new(SupervisorConfig::default());
+    sup.attach(mgr.system());
+
+    // The reckless recipe passes every gate and restores the stale
+    // ceiling in one episode.
+    let cfg = AdaptConfig::reckless();
+    let mut policy = RetightenPolicy::new();
+    let estimator = OnlineEstimator::new(cfg.forgetting_milli);
+    let picked = policy.decide(&cfg, 0, 0, &estimator, &[victim], &BTreeSet::new());
+    assert_eq!(picked, vec![victim], "nothing gates the reckless recipe");
+    let restored = mgr.retighten_core(victim, cfg.retighten_steps);
+    assert_eq!(restored, deployed, "ceiling is the validated deployment");
+
+    // Aged silicon at deployment-day tuning under a stressing workload:
+    // the margin violation manifests as a real failure.
+    let mut failed = false;
+    for _ in 0..40 {
+        let chip = mgr.system_mut().run(Nanos::new(50_000.0));
+        if chip.failure.is_some_and(|f| f.core == victim) {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "the stale ceiling must fail on aged silicon");
+
+    // The supervisor catches it like any other failure: rollback, then
+    // probation.
+    let events = mgr.system_mut().drain_events();
+    let actions = sup.observe_window(mgr.system(), &events);
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, SupervisorAction::Rollback { core, .. } if *core == victim)),
+        "expected a rollback on {victim}, got {actions:?}"
+    );
+    let _ = mgr.apply_supervisor_actions(&actions);
+    assert!(sup.on_probation(victim), "the core must land on probation");
+    assert!(
+        mgr.system().core(victim).reduction() < deployed,
+        "the rollback must undo part of the bad re-tighten"
+    );
+    assert!(mgr.rollback_override(victim) > 0, "the override is live");
+
+    // The standing gate now blocks the adapter, reckless or not; the
+    // live rollback also caps the ceiling, so even a direct re-tighten
+    // cannot climb back.
+    let blocked: BTreeSet<CoreId> = [victim].into_iter().collect();
+    assert!(
+        policy
+            .decide(&cfg, 1, 0, &estimator, &[victim], &blocked)
+            .is_empty(),
+        "probation must gate the policy"
+    );
+    let current = mgr.system().core(victim).reduction();
+    assert_eq!(
+        mgr.retighten_core(victim, cfg.retighten_steps),
+        current,
+        "a live rollback owns the gap — re-tightening must not reclaim it"
+    );
+}

@@ -99,6 +99,68 @@ fn stride_fast_path_preserves_event_stream() {
     assert_eq!(with_stride, without_stride);
 }
 
+/// Determinism survives closing the loop: a serving run with silicon
+/// drift armed *and* the online adapter active — estimator updates,
+/// micro-probe bursts, re-tighten episodes — still produces a
+/// byte-identical [`ServeReport`] (including the [`AdaptReport`]) for
+/// every worker count, and across repeated runs.
+///
+/// [`ServeReport`]: power_atm::serve::ServeReport
+/// [`AdaptReport`]: power_atm::adapt::AdaptReport
+#[test]
+fn adaptation_is_byte_identical_across_runs_and_workers() {
+    use power_atm::adapt::{AdaptConfig, OnlineAdapter};
+    use power_atm::core::{AtmManager, Governor};
+    use power_atm::serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+    use power_atm::silicon::DriftModel;
+    use power_atm::{chip::System, serve::ServeReport};
+
+    let run = |workers: usize| -> ServeReport {
+        let sys = System::new(ChipConfig::power7_plus(42));
+        let mgr = AtmManager::deploy(sys, Governor::Conservative, &CharactConfig::quick());
+        let streams = vec![
+            StreamSpec::critical(
+                by_name("squeezenet").expect("catalog"),
+                ArrivalPattern::Poisson {
+                    mean_gap: 150_000_000,
+                },
+                250_000_000,
+            ),
+            StreamSpec::background(
+                by_name("x264").expect("catalog"),
+                ArrivalPattern::Poisson {
+                    mean_gap: 40_000_000,
+                },
+            ),
+        ];
+        let cfg = ServeConfig::builder(42)
+            .epochs(12)
+            .epoch_ns(200_000_000)
+            .chip_trial(Nanos::new(1_000.0))
+            .build()
+            .expect("valid config");
+        let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
+        sim.set_drift(DriftModel::standard(42));
+        sim.set_adapter(Box::new(OnlineAdapter::new(AdaptConfig::standard())));
+        sim.run(workers)
+    };
+
+    let reference = run(1);
+    let adapt = reference.adapt.as_ref().expect("adaptation was on");
+    assert!(adapt.observations > 0, "the adapter must actually observe");
+    let reference_text = format!("{reference:#?}");
+    assert_eq!(reference, run(1), "repeated runs diverged");
+    for workers in [2usize, 8] {
+        let parallel = run(workers);
+        assert_eq!(reference, parallel, "k = {workers} diverged");
+        assert_eq!(
+            reference_text,
+            format!("{parallel:#?}"),
+            "k = {workers} bytes diverged"
+        );
+    }
+}
+
 /// The acceptance posture of the issue, pinned as a plain test: on the
 /// default 16-core chip, 1, 2 and 8 workers agree exactly.
 #[test]

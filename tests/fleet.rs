@@ -58,6 +58,43 @@ fn faulted_fleets_stay_worker_count_independent() {
     assert!(serial.conservation_holds());
 }
 
+/// A drifting, adapting fleet keeps the determinism contract: every
+/// chip ages on its own schedule and runs the full online
+/// recharacterization loop, and the [`FleetReport`] — including the
+/// per-chip [`AdaptReport`](power_atm::adapt::AdaptReport)s — is still
+/// byte-identical across runs and worker counts k ∈ {1, 2, 8}.
+#[test]
+fn drifting_adaptive_fleet_is_byte_identical_across_workers() {
+    use power_atm::adapt::AdaptConfig;
+    use power_atm::silicon::DriftModel;
+
+    let cfg = FleetConfig::quick(42)
+        .with_drift(DriftModel::standard(42))
+        .with_adapt(AdaptConfig::standard());
+    let serial = run(&cfg, 1);
+    assert_eq!(
+        serial.adapt.len(),
+        serial.rows.len(),
+        "one adapter account per chip"
+    );
+    assert!(
+        serial.adapt.iter().any(|a| a.observations > 0),
+        "the adapters must actually observe the fleet"
+    );
+    let serial_text = format!("{serial:#?}");
+    for workers in [1usize, 2, 8] {
+        let again = run(&cfg, workers);
+        assert_eq!(serial, again, "k = {workers} diverged");
+        assert_eq!(
+            serial_text,
+            format!("{again:#?}"),
+            "k = {workers} bytes diverged"
+        );
+    }
+    // Per-chip drift rebasing must actually differentiate the chips.
+    assert!(serial.conservation_holds());
+}
+
 /// Different fleet seeds must reach the silicon lots, the traffic, and
 /// therefore the account — seeds are not cosmetic.
 #[test]

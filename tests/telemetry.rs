@@ -32,6 +32,70 @@ fn ring_recorder_overflow_keeps_newest_and_counts_drops() {
     assert_eq!(times, (12..20).collect::<Vec<u64>>());
 }
 
+/// Wraparound under a real workload: a characterization campaign that
+/// emits far more events than the ring holds must still leave a coherent
+/// account — newest events kept in order, `recorded = retained +
+/// dropped`, counters unaffected by eviction, and the resulting
+/// [`TelemetrySnapshot`] round-trips through its text form.
+#[test]
+fn ring_wraparound_during_a_campaign_keeps_a_coherent_snapshot() {
+    let apps = realistic_set();
+    let apps: Vec<&Workload> = apps.into_iter().take(2).collect();
+    let cfg = CharactConfig::quick();
+
+    // Reference: a ring big enough to keep everything.
+    let mut sys_big = System::new(ChipConfig::power7_plus(SEED));
+    let mut big = RingRecorder::with_capacity(1 << 20);
+    let table_big = LimitTable::characterize_recorded(&mut sys_big, &apps, &cfg, &mut big);
+    assert_eq!(big.dropped_events(), 0, "reference ring must not wrap");
+    let total = big.recorded_events();
+
+    // The same campaign through a ring that must wrap many times over.
+    let capacity = 32;
+    assert!(
+        total > 10 * capacity as u64,
+        "campaign must overflow the ring"
+    );
+    let mut sys_small = System::new(ChipConfig::power7_plus(SEED));
+    let mut small = RingRecorder::with_capacity(capacity);
+    let table_small = LimitTable::characterize_recorded(&mut sys_small, &apps, &cfg, &mut small);
+
+    // Recording is observation, never perturbation — capacity included.
+    assert_eq!(table_big, table_small, "ring capacity perturbed results");
+
+    // Exactly-once event accounting across the wrap.
+    assert_eq!(small.events().len(), capacity);
+    assert_eq!(small.recorded_events(), total);
+    assert_eq!(small.dropped_events(), total - capacity as u64);
+
+    // The survivors are the newest slice of the reference stream, in
+    // order, with monotone timestamps.
+    let tail: Vec<String> = big
+        .events()
+        .iter()
+        .skip(big.events().len() - capacity)
+        .map(|e| format!("{e:?}"))
+        .collect();
+    let kept: Vec<String> = small.events().iter().map(|e| format!("{e:?}")).collect();
+    assert_eq!(kept, tail, "eviction must drop oldest-first");
+    let times: Vec<u64> = small.events().iter().map(|e| e.time().nanos()).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "time went backwards"
+    );
+
+    // Counters live outside the ring: eviction never uncounts, and the
+    // snapshot stays coherent through its canonical text form.
+    assert_eq!(
+        small.counter("charact.trials"),
+        big.counter("charact.trials")
+    );
+    let snap = small.snapshot();
+    assert!(snap.counter("charact.trials").unwrap_or(0) > 0);
+    let parsed = TelemetrySnapshot::parse(&snap.render()).expect("canonical text parses");
+    assert_eq!(parsed, snap);
+}
+
 #[test]
 fn snapshot_round_trips_through_text() {
     let sys = System::new(ChipConfig::power7_plus(SEED));
