@@ -29,3 +29,10 @@ done
 for seed in 42 7; do
     cargo run --release --example adapt "$seed"
 done
+# Capping smoke: brownout, price-curve and budgeted-fleet scenarios
+# under two seeds — regulator laws, energy conservation and serial ≡
+# 4-worker byte identity asserted by the example itself (mirrors
+# `just capping`).
+for seed in 42 7; do
+    cargo run --release --example capping "$seed"
+done

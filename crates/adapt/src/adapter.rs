@@ -14,7 +14,7 @@
 //! the [`OnlineEstimator`], quiet epochs run [`MicroProbe`] bursts,
 //! window boundaries close RMS accounting, and the [`RetightenPolicy`]
 //! proposes margin restoration — applied strictly through
-//! [`AtmManager::retighten_core_recorded`], so the supervisor's strike
+//! [`AtmManager::retighten_core`], so the supervisor's strike
 //! ladder keeps full authority over anything the adapter tightens.
 
 use std::collections::BTreeSet;
@@ -204,7 +204,7 @@ impl OnlineAdapter {
             for &core in parked {
                 ctx.mgr.system_mut().assign(core, Workload::idle());
             }
-            let report = ctx.mgr.system_mut().run_recorded(
+            let report = ctx.mgr.system_mut().run(
                 Nanos::new(self.cfg.probe_trial_ns as f64),
                 &mut self.recorder,
             );
@@ -239,9 +239,9 @@ impl Adapter for OnlineAdapter {
         let mut changed = false;
         for core in picked {
             let before = ctx.mgr.system().core(core).reduction();
-            let after =
-                ctx.mgr
-                    .retighten_core_recorded(core, self.cfg.retighten_steps, &mut self.recorder);
+            let after = ctx
+                .mgr
+                .retighten_core(core, self.cfg.retighten_steps, &mut self.recorder);
             if after > before {
                 changed = true;
                 self.retightens += 1;

@@ -18,7 +18,7 @@
 //!   x-axis spread a single operating point never provides;
 //! * [`RetightenPolicy`] — the confidence-gated proposal to restore
 //!   margin a rollback (or a conservative deployment) left behind,
-//!   applied strictly through `AtmManager::retighten_core_recorded` so a
+//!   applied strictly through `AtmManager::retighten_core` so a
 //!   bad re-tighten rides the supervisor's strike ladder like any other
 //!   failure — rollback, probation, safe mode, quarantine — and never
 //!   bypasses it;

@@ -20,7 +20,7 @@
 //!    re-probes, never through the adapter.
 //!
 //! The policy only *selects* cores; application goes through
-//! `AtmManager::retighten_core_recorded`, which additionally clamps to
+//! `AtmManager::retighten_core`, which additionally clamps to
 //! the validated deployment ceiling minus any live rollback override.
 
 use std::collections::BTreeSet;

@@ -9,6 +9,7 @@ use atm_bench::criterion;
 use atm_chip::{ChipConfig, MarginMode, System};
 use atm_core::charact::{find_limit, CharactConfig};
 use atm_pdn::DiDtParams;
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos};
 use atm_workloads::{by_name, Workload, WorkloadKind};
 use criterion::Criterion;
@@ -35,8 +36,8 @@ fn bench(c: &mut Criterion) {
     let x264 = by_name("x264").unwrap();
     let soft = softened(x264);
 
-    let sharp_limit = find_limit(&mut sys, core, &[x264], 4, &cfg).limit();
-    let soft_limit = find_limit(&mut sys, core, &[&soft], 4, &cfg).limit();
+    let sharp_limit = find_limit(&mut sys, core, &[x264], 4, &cfg, &mut NullRecorder).limit();
+    let soft_limit = find_limit(&mut sys, core, &[&soft], 4, &cfg, &mut NullRecorder).limit();
     eprintln!("\n===== ablation: di/dt fast component ({core}) =====");
     eprintln!("x264 with sharp droop edges: limit {sharp_limit} steps");
     eprintln!("x264 with fully-tracked droops: limit {soft_limit} steps");
@@ -45,7 +46,7 @@ fn bench(c: &mut Criterion) {
     sys.set_mode(core, MarginMode::Atm);
     sys.assign(core, x264.clone());
     c.bench_function("ablation_didt/x264_run_20us", |b| {
-        b.iter(|| black_box(sys.run(Nanos::new(20_000.0))))
+        b.iter(|| black_box(sys.run(Nanos::new(20_000.0), &mut NullRecorder)))
     });
 }
 

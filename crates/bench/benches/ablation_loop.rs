@@ -8,6 +8,7 @@
 use atm_bench::criterion;
 use atm_chip::{ChipConfig, MarginMode, System};
 use atm_dpll::AtmLoopConfig;
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos};
 use criterion::Criterion;
 use std::hint::black_box;
@@ -23,7 +24,7 @@ fn equilibrium_at(threshold_units: u32, up_rate: f64) -> (f64, u64) {
     let core = CoreId::new(0, 0);
     sys.set_mode(core, MarginMode::Atm);
     sys.assign(core, atm_workloads::by_name("x264").unwrap().clone());
-    let report = sys.run(Nanos::new(50_000.0));
+    let report = sys.run(Nanos::new(50_000.0), &mut NullRecorder);
     (
         report.core(core).mean_freq.get(),
         report.core(core).violations,
@@ -45,7 +46,7 @@ fn bench(c: &mut Criterion) {
     let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
     sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
     c.bench_function("ablation_loop/run_50us", |b| {
-        b.iter(|| black_box(sys.run(Nanos::new(50_000.0))))
+        b.iter(|| black_box(sys.run(Nanos::new(50_000.0), &mut NullRecorder)))
     });
 }
 

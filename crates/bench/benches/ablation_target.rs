@@ -9,6 +9,7 @@
 use atm_bench::criterion;
 use atm_chip::{ChipConfig, MarginMode, System};
 use atm_cpm::CpmUnit;
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, MegaHz, Nanos};
 use criterion::Criterion;
 use std::hint::black_box;
@@ -31,7 +32,7 @@ fn bench(c: &mut Criterion) {
             })
             .collect();
         sys.set_mode_all(MarginMode::Atm);
-        let report = sys.run(Nanos::new(10_000.0));
+        let report = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
         let freqs: Vec<f64> = report.cores.iter().map(|c| c.mean_freq.get()).collect();
         eprintln!(
             "{target:>10.0}   {:>3}..{:<3}                {:>5.0}..{:<5.0}",

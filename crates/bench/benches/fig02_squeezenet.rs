@@ -3,6 +3,7 @@
 
 use atm_bench::{criterion, print_exhibit, quick_context};
 use atm_chip::MarginMode;
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos};
 use criterion::Criterion;
 use std::hint::black_box;
@@ -17,7 +18,7 @@ fn bench(c: &mut Criterion) {
     sys.set_mode(core, MarginMode::Atm);
     sys.assign(core, atm_workloads::by_name("squeezenet").unwrap().clone());
     c.bench_function("fig02/measured_run_20us", |b| {
-        b.iter(|| black_box(sys.run(Nanos::new(20_000.0))))
+        b.iter(|| black_box(sys.run(Nanos::new(20_000.0), &mut NullRecorder)))
     });
 }
 

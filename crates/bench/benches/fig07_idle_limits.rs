@@ -3,6 +3,7 @@
 
 use atm_bench::{criterion, print_exhibit, quick_context};
 use atm_core::charact::{find_limit, CharactConfig};
+use atm_telemetry::NullRecorder;
 use atm_units::CoreId;
 use atm_workloads::Workload;
 use criterion::Criterion;
@@ -17,7 +18,16 @@ fn bench(c: &mut Criterion) {
     let idle = Workload::idle();
     let cfg = CharactConfig::quick();
     c.bench_function("fig07/idle_limit_search_one_core", |b| {
-        b.iter(|| black_box(find_limit(&mut sys, CoreId::new(0, 0), &[&idle], 4, &cfg)))
+        b.iter(|| {
+            black_box(find_limit(
+                &mut sys,
+                CoreId::new(0, 0),
+                &[&idle],
+                4,
+                &cfg,
+                &mut NullRecorder,
+            ))
+        })
     });
 }
 

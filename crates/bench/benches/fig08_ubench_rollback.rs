@@ -4,6 +4,7 @@
 use atm_bench::{criterion, print_exhibit, quick_context};
 use atm_chip::MarginMode;
 use atm_core::charact::passes;
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos};
 use atm_workloads::ubench_set;
 use criterion::Criterion;
@@ -21,7 +22,14 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig08/ubench_validation_three_programs", |b| {
         b.iter(|| {
             for w in &set {
-                black_box(passes(&mut sys, core, w, 2, Nanos::new(10_000.0)));
+                black_box(passes(
+                    &mut sys,
+                    core,
+                    w,
+                    2,
+                    Nanos::new(10_000.0),
+                    &mut NullRecorder,
+                ));
             }
         })
     });

@@ -4,6 +4,7 @@
 use atm_bench::{criterion, print_exhibit, quick_context};
 use atm_chip::MarginMode;
 use atm_core::charact::passes;
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos};
 use criterion::Criterion;
 use std::hint::black_box;
@@ -18,7 +19,16 @@ fn bench(c: &mut Criterion) {
     sys.set_mode(core, MarginMode::Atm);
     let gcc = atm_workloads::by_name("gcc").unwrap();
     c.bench_function("fig09/gcc_trial_20us", |b| {
-        b.iter(|| black_box(passes(&mut sys, core, gcc, 3, Nanos::new(20_000.0))))
+        b.iter(|| {
+            black_box(passes(
+                &mut sys,
+                core,
+                gcc,
+                3,
+                Nanos::new(20_000.0),
+                &mut NullRecorder,
+            ))
+        })
     });
 }
 

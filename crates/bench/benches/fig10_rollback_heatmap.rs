@@ -3,6 +3,7 @@
 
 use atm_bench::{criterion, print_exhibit, quick_context};
 use atm_core::charact::{realistic_characterization, CharactConfig};
+use atm_telemetry::NullRecorder;
 use criterion::Criterion;
 use std::hint::black_box;
 
@@ -22,6 +23,7 @@ fn bench(c: &mut Criterion) {
                 &ubench,
                 &[leela],
                 &cfg,
+                &mut NullRecorder,
             ))
         })
     });

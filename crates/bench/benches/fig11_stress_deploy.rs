@@ -3,6 +3,7 @@
 
 use atm_bench::{criterion, print_exhibit, quick_context};
 use atm_chip::MarginMode;
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos};
 use atm_workloads::voltage_virus;
 use criterion::Criterion;
@@ -17,7 +18,7 @@ fn bench(c: &mut Criterion) {
     sys.assign_all(&voltage_virus());
     sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
     c.bench_function("fig11/virus_trial_20us", |b| {
-        b.iter(|| black_box(sys.run(Nanos::new(20_000.0))))
+        b.iter(|| black_box(sys.run(Nanos::new(20_000.0), &mut NullRecorder)))
     });
 }
 

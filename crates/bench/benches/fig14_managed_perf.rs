@@ -5,6 +5,7 @@ use atm_bench::{criterion, print_exhibit, quick_context};
 use atm_core::charact::CharactConfig;
 use atm_core::manager::Strategy;
 use atm_core::{AtmManager, Governor};
+use atm_telemetry::NullRecorder;
 use criterion::Criterion;
 use std::hint::black_box;
 
@@ -21,7 +22,14 @@ fn bench(c: &mut Criterion) {
     let critical = atm_workloads::by_name("squeezenet").unwrap();
     let background = atm_workloads::by_name("x264").unwrap();
     c.bench_function("fig14/evaluate_managed_max_pair", |b| {
-        b.iter(|| black_box(mgr.evaluate_pair(critical, background, Strategy::ManagedMax)))
+        b.iter(|| {
+            black_box(mgr.evaluate_pair(
+                critical,
+                background,
+                Strategy::ManagedMax,
+                &mut NullRecorder,
+            ))
+        })
     });
 }
 

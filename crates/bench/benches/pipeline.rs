@@ -6,6 +6,7 @@ use atm_bench::criterion;
 use atm_chip::{ChipConfig, System};
 use atm_core::charact::{idle_characterization, CharactConfig};
 use atm_core::stress::stress_test_deploy;
+use atm_telemetry::NullRecorder;
 use criterion::Criterion;
 use std::hint::black_box;
 
@@ -14,7 +15,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("pipeline/idle_characterization_16_cores", |b| {
         b.iter(|| {
             let mut sys = System::new(ChipConfig::power7_plus(atm_bench::BENCH_SEED));
-            black_box(idle_characterization(&mut sys, &cfg))
+            black_box(idle_characterization(&mut sys, &cfg, &mut NullRecorder))
         })
     });
     c.bench_function("pipeline/stress_test_deploy_16_cores", |b| {

@@ -12,6 +12,7 @@ use atm_chip::{ChipConfig, System};
 use atm_core::charact::CharactConfig;
 use atm_core::{AtmManager, Governor};
 use atm_serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
+use atm_telemetry::NullRecorder;
 use atm_workloads::by_name;
 use criterion::{BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -54,7 +55,7 @@ fn serve(cores: u32) -> ServeReport {
     cfg.serving_cores = Some(cores);
     ServeSim::new(mgr, cfg, streams())
         .expect("valid serving setup")
-        .run(4)
+        .run(4, &mut NullRecorder)
 }
 
 fn bench(c: &mut Criterion) {

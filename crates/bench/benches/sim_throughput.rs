@@ -4,6 +4,7 @@
 
 use atm_bench::criterion;
 use atm_chip::{ChipConfig, MarginMode, System};
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos};
 use criterion::{BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -20,7 +21,7 @@ fn bench(c: &mut Criterion) {
         let duration = Nanos::new(10_000.0); // 200 ticks
         group.throughput(Throughput::Elements(200));
         group.bench_with_input(BenchmarkId::new("ticks", atm_cores), &atm_cores, |b, _| {
-            b.iter(|| black_box(sys.run(duration)))
+            b.iter(|| black_box(sys.run(duration, &mut NullRecorder)))
         });
     }
     group.finish();

@@ -1,12 +1,10 @@
 //! Telemetry overhead: the cost of threading a recorder through the chip
 //! hot loop.
 //!
-//! Three variants of the same 50 µs ATM run: the pre-telemetry entry
-//! point (`System::run`), the recorded entry point with the zero-cost
-//! [`NullRecorder`], and a live [`RingRecorder`]. The first two must be
-//! within noise of each other — `NullRecorder` monomorphizes to the
-//! original loop — while the ring's cost bounds what "telemetry on"
-//! buys.
+//! Two variants of the same 50 µs ATM run through the consolidated
+//! recorder-generic entry point: the zero-cost [`NullRecorder`] — which
+//! monomorphizes to the bare loop and is the baseline — and a live
+//! [`RingRecorder`], whose cost bounds what "telemetry on" buys.
 
 use atm_bench::{criterion, print_exhibit, record_metric, BENCH_SEED};
 use atm_chip::{ChipConfig, MarginMode, System};
@@ -40,38 +38,23 @@ fn time_per_run<F: FnMut() -> f64>(mut f: F, reps: u32) -> f64 {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
-    group.bench_function("plain_run_50us", |b| {
-        let mut sys = system();
-        b.iter(|| black_box(sys.run(Nanos::new(TRIAL))));
-    });
     group.bench_function("null_recorder_50us", |b| {
         let mut sys = system();
-        b.iter(|| black_box(sys.run_recorded(Nanos::new(TRIAL), &mut NullRecorder)));
+        b.iter(|| black_box(sys.run(Nanos::new(TRIAL), &mut NullRecorder)));
     });
     group.bench_function("ring_recorder_50us", |b| {
         let mut sys = system();
         let mut rec = RingRecorder::with_capacity(4096);
-        b.iter(|| black_box(sys.run_recorded(Nanos::new(TRIAL), &mut rec)));
+        b.iter(|| black_box(sys.run(Nanos::new(TRIAL), &mut rec)));
     });
     group.finish();
 
     let reps = 20;
-    let mut plain_sys = system();
-    let plain = time_per_run(
-        || {
-            plain_sys
-                .run(Nanos::new(TRIAL))
-                .core(CoreId::new(0, 0))
-                .mean_freq
-                .get()
-        },
-        reps,
-    );
     let mut null_sys = system();
     let null = time_per_run(
         || {
             null_sys
-                .run_recorded(Nanos::new(TRIAL), &mut NullRecorder)
+                .run(Nanos::new(TRIAL), &mut NullRecorder)
                 .core(CoreId::new(0, 0))
                 .mean_freq
                 .get()
@@ -83,7 +66,7 @@ fn bench(c: &mut Criterion) {
     let ring = time_per_run(
         || {
             ring_sys
-                .run_recorded(Nanos::new(TRIAL), &mut rec)
+                .run(Nanos::new(TRIAL), &mut rec)
                 .core(CoreId::new(0, 0))
                 .mean_freq
                 .get()
@@ -91,23 +74,18 @@ fn bench(c: &mut Criterion) {
         reps,
     );
 
-    record_metric("telemetry_overhead/plain_ms", plain * 1e3);
     record_metric("telemetry_overhead/null_ms", null * 1e3);
     record_metric("telemetry_overhead/ring_ms", ring * 1e3);
-    record_metric("telemetry_overhead/null_over_plain", null / plain);
-    record_metric("telemetry_overhead/ring_over_plain", ring / plain);
+    record_metric("telemetry_overhead/ring_over_null", ring / null);
 
     print_exhibit(
         "Telemetry overhead (50 us chip run)",
         &format!(
-            "plain System::run      : {:8.3} ms/run\n\
-             NullRecorder (default) : {:8.3} ms/run ({:+5.1}% vs plain)\n\
-             RingRecorder (cap 4096): {:8.3} ms/run ({:+5.1}% vs plain)\n",
-            plain * 1e3,
+            "NullRecorder (default) : {:8.3} ms/run (baseline)\n\
+             RingRecorder (cap 4096): {:8.3} ms/run ({:+5.1}% vs null)\n",
             null * 1e3,
-            (null / plain - 1.0) * 100.0,
             ring * 1e3,
-            (ring / plain - 1.0) * 100.0,
+            (ring / null - 1.0) * 100.0,
         ),
     );
 }

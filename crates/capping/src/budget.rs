@@ -1,0 +1,269 @@
+//! Power budget schedules: the cap the regulator tracks, per epoch.
+//!
+//! All caps are integer milliwatts so budget arithmetic is exact and the
+//! resulting [`CapReport`](crate::CapReport) stays `Eq`-comparable. A
+//! schedule maps an epoch index to a cap; the serving loop consults it
+//! once per epoch at the same barrier that snapshots chip state, so a
+//! run's budget trace is a pure function of the configuration.
+
+use atm_units::AtmError;
+use serde::{Deserialize, Serialize};
+
+/// A cap used when a chip is regulated externally (e.g. by a
+/// [`FleetBudget`](crate::FleetBudget) that overrides the per-chip
+/// schedule each epoch): high enough to never bind, low enough that
+/// integral arithmetic stays comfortably inside `i64`.
+pub const UNLIMITED_MW: u64 = 1 << 40;
+
+/// A power-cap schedule in integer milliwatts, indexed by epoch.
+///
+/// Four shapes cover the scenarios the experiments exercise: a steady
+/// cap, a one-way step-down, a bounded brownout episode, and a
+/// piecewise-constant curve (e.g. an energy-price trace quantized to
+/// cap levels).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerBudget {
+    /// The same cap every epoch.
+    Steady {
+        /// The cap, in milliwatts.
+        cap_mw: u64,
+    },
+    /// `before_mw` until `at_epoch`, then `after_mw` from `at_epoch` on.
+    Step {
+        /// Cap before the step.
+        before_mw: u64,
+        /// Cap at and after the step.
+        after_mw: u64,
+        /// First epoch the stepped-down cap applies to.
+        at_epoch: u32,
+    },
+    /// `cap_mw` everywhere except a `floor_mw` window over
+    /// `[from_epoch, until_epoch)` — a rolling brownout.
+    Episode {
+        /// The nominal cap outside the episode.
+        cap_mw: u64,
+        /// The reduced cap during the episode.
+        floor_mw: u64,
+        /// First epoch of the episode (inclusive).
+        from_epoch: u32,
+        /// End of the episode (exclusive).
+        until_epoch: u32,
+    },
+    /// Piecewise-constant `(start_epoch, cap_mw)` breakpoints, e.g. a
+    /// time-varying energy price quantized to cap levels. The first
+    /// breakpoint must start at epoch 0; breakpoints must be strictly
+    /// increasing in epoch.
+    Curve {
+        /// The `(start_epoch, cap_mw)` breakpoints.
+        points: Vec<(u32, u64)>,
+    },
+}
+
+impl PowerBudget {
+    /// A steady cap.
+    #[must_use]
+    pub fn steady(cap_mw: u64) -> Self {
+        PowerBudget::Steady { cap_mw }
+    }
+
+    /// A one-way step-down (the classic cap episode: full budget, then a
+    /// permanent reduction at `at_epoch`).
+    #[must_use]
+    pub fn step_down(before_mw: u64, after_mw: u64, at_epoch: u32) -> Self {
+        PowerBudget::Step {
+            before_mw,
+            after_mw,
+            at_epoch,
+        }
+    }
+
+    /// A brownout: nominal cap with a reduced window.
+    #[must_use]
+    pub fn brownout(cap_mw: u64, floor_mw: u64, from_epoch: u32, until_epoch: u32) -> Self {
+        PowerBudget::Episode {
+            cap_mw,
+            floor_mw,
+            from_epoch,
+            until_epoch,
+        }
+    }
+
+    /// A piecewise-constant price curve.
+    #[must_use]
+    pub fn price_curve(points: Vec<(u32, u64)>) -> Self {
+        PowerBudget::Curve { points }
+    }
+
+    /// A cap that never binds — for chips whose effective cap is pushed
+    /// in from outside (fleet splits) every epoch.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        PowerBudget::Steady {
+            cap_mw: UNLIMITED_MW,
+        }
+    }
+
+    /// The cap in force at `epoch`, in milliwatts.
+    #[must_use]
+    pub fn cap_at(&self, epoch: u32) -> u64 {
+        match self {
+            PowerBudget::Steady { cap_mw } => *cap_mw,
+            PowerBudget::Step {
+                before_mw,
+                after_mw,
+                at_epoch,
+            } => {
+                if epoch >= *at_epoch {
+                    *after_mw
+                } else {
+                    *before_mw
+                }
+            }
+            PowerBudget::Episode {
+                cap_mw,
+                floor_mw,
+                from_epoch,
+                until_epoch,
+            } => {
+                if epoch >= *from_epoch && epoch < *until_epoch {
+                    *floor_mw
+                } else {
+                    *cap_mw
+                }
+            }
+            PowerBudget::Curve { points } => points
+                .iter()
+                .take_while(|(start, _)| *start <= epoch)
+                .last()
+                .map_or(0, |(_, cap)| *cap),
+        }
+    }
+
+    /// Validates the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if any cap is zero or above
+    /// [`UNLIMITED_MW`], a brownout window is empty or inverted, or a
+    /// curve is empty, does not start at epoch 0, or has non-increasing
+    /// breakpoints.
+    pub fn check(&self) -> Result<(), AtmError> {
+        let check_cap = |cap: u64| -> Result<(), AtmError> {
+            if cap == 0 {
+                return Err(AtmError::invalid_config("cap_mw", "caps must be positive"));
+            }
+            if cap > UNLIMITED_MW {
+                return Err(AtmError::invalid_config(
+                    "cap_mw",
+                    "caps above UNLIMITED_MW overflow integral arithmetic",
+                ));
+            }
+            Ok(())
+        };
+        match self {
+            PowerBudget::Steady { cap_mw } => check_cap(*cap_mw),
+            PowerBudget::Step {
+                before_mw,
+                after_mw,
+                ..
+            } => {
+                check_cap(*before_mw)?;
+                check_cap(*after_mw)
+            }
+            PowerBudget::Episode {
+                cap_mw,
+                floor_mw,
+                from_epoch,
+                until_epoch,
+            } => {
+                check_cap(*cap_mw)?;
+                check_cap(*floor_mw)?;
+                if floor_mw > cap_mw {
+                    return Err(AtmError::invalid_config(
+                        "floor_mw",
+                        "a brownout floor must not exceed the nominal cap",
+                    ));
+                }
+                if from_epoch >= until_epoch {
+                    return Err(AtmError::invalid_config(
+                        "from_epoch",
+                        "brownout windows must span at least one epoch",
+                    ));
+                }
+                Ok(())
+            }
+            PowerBudget::Curve { points } => {
+                if points.is_empty() {
+                    return Err(AtmError::invalid_config(
+                        "points",
+                        "a price curve needs at least one breakpoint",
+                    ));
+                }
+                if points[0].0 != 0 {
+                    return Err(AtmError::invalid_config(
+                        "points",
+                        "the first breakpoint must start at epoch 0",
+                    ));
+                }
+                if points.windows(2).any(|w| w[1].0 <= w[0].0) {
+                    return Err(AtmError::invalid_config(
+                        "points",
+                        "breakpoints must be strictly increasing in epoch",
+                    ));
+                }
+                for (_, cap) in points {
+                    check_cap(*cap)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_and_step_schedules() {
+        let s = PowerBudget::steady(60_000);
+        assert_eq!(s.cap_at(0), 60_000);
+        assert_eq!(s.cap_at(1000), 60_000);
+        let step = PowerBudget::step_down(60_000, 42_000, 4);
+        assert_eq!(step.cap_at(3), 60_000);
+        assert_eq!(step.cap_at(4), 42_000);
+        assert_eq!(step.cap_at(40), 42_000);
+    }
+
+    #[test]
+    fn brownout_window_is_half_open() {
+        let b = PowerBudget::brownout(60_000, 30_000, 2, 5);
+        assert_eq!(b.cap_at(1), 60_000);
+        assert_eq!(b.cap_at(2), 30_000);
+        assert_eq!(b.cap_at(4), 30_000);
+        assert_eq!(b.cap_at(5), 60_000);
+    }
+
+    #[test]
+    fn curve_holds_last_breakpoint() {
+        let c = PowerBudget::price_curve(vec![(0, 70_000), (3, 50_000), (6, 65_000)]);
+        assert_eq!(c.cap_at(0), 70_000);
+        assert_eq!(c.cap_at(2), 70_000);
+        assert_eq!(c.cap_at(3), 50_000);
+        assert_eq!(c.cap_at(7), 65_000);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_schedules() {
+        assert!(PowerBudget::steady(0).check().is_err());
+        assert!(PowerBudget::brownout(50_000, 60_000, 0, 2).check().is_err());
+        assert!(PowerBudget::brownout(60_000, 50_000, 3, 3).check().is_err());
+        assert!(PowerBudget::price_curve(vec![]).check().is_err());
+        assert!(PowerBudget::price_curve(vec![(1, 60_000)]).check().is_err());
+        assert!(PowerBudget::price_curve(vec![(0, 60_000), (0, 50_000)])
+            .check()
+            .is_err());
+        assert!(PowerBudget::unlimited().check().is_ok());
+        assert!(PowerBudget::steady(UNLIMITED_MW + 1).check().is_err());
+    }
+}

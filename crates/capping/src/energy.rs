@@ -1,0 +1,228 @@
+//! Integer picojoule energy accounting.
+//!
+//! A Hofmann-style analytic split: each epoch's measured chip power is
+//! decomposed into a static floor (per powered core, paid for the whole
+//! epoch) and a dynamic excess attributed to actual serving activity
+//! (scaled by the epoch's busy-time utilization). The unit identity
+//! `1 mW × 1 ns = 1 pJ` is exact in integers, so energy totals are
+//! `Eq`-comparable and byte-identical across runs and worker counts.
+
+use atm_units::AtmError;
+use serde::{Deserialize, Serialize};
+
+/// The analytic energy model: coefficients plus the epoch span the
+/// integrator assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Virtual nanoseconds integrated per epoch.
+    pub epoch_ns: u64,
+    /// Static (leakage + uncore share) floor per powered core, in
+    /// milliwatts — paid for the full epoch regardless of activity.
+    pub static_mw_per_core: u64,
+}
+
+impl EnergyModel {
+    /// POWER7+-flavoured defaults: ~2 W of static floor per core.
+    #[must_use]
+    pub fn standard(epoch_ns: u64) -> Self {
+        EnergyModel {
+            epoch_ns,
+            static_mw_per_core: 2_000,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] on a zero epoch span.
+    pub fn check(&self) -> Result<(), AtmError> {
+        if self.epoch_ns == 0 {
+            return Err(AtmError::invalid_config(
+                "epoch_ns",
+                "energy integrates over time; epochs must span time",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Accumulated energy for a run (all integer picojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total energy, picojoules.
+    pub total_pj: u64,
+    /// The static-floor share of the total.
+    pub static_pj: u64,
+    /// The activity-attributed share of the total.
+    pub dynamic_pj: u64,
+    /// Total request busy time integrated, nanoseconds.
+    pub busy_ns: u64,
+    /// Epochs integrated.
+    pub epochs: u32,
+    /// Completed requests the energy is amortized over.
+    pub requests: u64,
+}
+
+impl EnergyReport {
+    /// Energy per completed request, in nanojoules (0 when no requests
+    /// completed).
+    #[must_use]
+    pub fn energy_per_request_nj(&self) -> u64 {
+        self.total_pj.checked_div(self.requests).unwrap_or(0) / 1_000
+    }
+
+    /// Total energy in microjoules (truncating).
+    #[must_use]
+    pub fn microjoules(&self) -> u64 {
+        self.total_pj / 1_000_000
+    }
+
+    /// Total energy in millijoules (truncating).
+    #[must_use]
+    pub fn millijoules(&self) -> u64 {
+        self.total_pj / 1_000_000_000
+    }
+
+    /// Folds another report into this one (fleet merge).
+    pub fn merge(&mut self, other: &EnergyReport) {
+        self.total_pj += other.total_pj;
+        self.static_pj += other.static_pj;
+        self.dynamic_pj += other.dynamic_pj;
+        self.busy_ns += other.busy_ns;
+        self.epochs = self.epochs.max(other.epochs);
+        self.requests += other.requests;
+    }
+}
+
+/// The per-run integrator: feed it one observation per epoch.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    model: EnergyModel,
+    report: EnergyReport,
+}
+
+impl EnergyMeter {
+    /// A meter with an empty report.
+    #[must_use]
+    pub fn new(model: EnergyModel) -> Self {
+        EnergyMeter {
+            model,
+            report: EnergyReport::default(),
+        }
+    }
+
+    /// Integrates one epoch: `measured_mw` is the settled chip power,
+    /// `powered_cores` the cores not power-gated, and `busy_ns` the
+    /// request service time dispatched this epoch (the activity the
+    /// dynamic share is attributed to).
+    ///
+    /// Exact in integers: intermediate products run in `u128` and the
+    /// only division is the utilization scaling of the dynamic share.
+    pub fn observe_epoch(&mut self, measured_mw: u64, powered_cores: u32, busy_ns: u64) {
+        let span = self.model.epoch_ns;
+        let static_mw = self.model.static_mw_per_core * u64::from(powered_cores);
+        let static_pj = static_mw.saturating_mul(span);
+        let dyn_mw = measured_mw.saturating_sub(static_mw);
+        let capacity_ns = span.saturating_mul(u64::from(powered_cores));
+        let busy = busy_ns.min(capacity_ns);
+        let dynamic_pj = if capacity_ns == 0 {
+            0
+        } else {
+            u64::try_from(
+                u128::from(dyn_mw) * u128::from(span) * u128::from(busy) / u128::from(capacity_ns),
+            )
+            .unwrap_or(u64::MAX)
+        };
+        self.report.static_pj += static_pj;
+        self.report.dynamic_pj += dynamic_pj;
+        self.report.total_pj += static_pj + dynamic_pj;
+        self.report.busy_ns += busy_ns;
+        self.report.epochs += 1;
+    }
+
+    /// Counts completed requests toward the per-request amortization.
+    pub fn add_requests(&mut self, n: u64) {
+        self.report.requests += n;
+    }
+
+    /// The accumulated report.
+    #[must_use]
+    pub fn report(&self) -> EnergyReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_identity_one_mw_one_ns_is_one_pj() {
+        let mut m = EnergyMeter::new(EnergyModel {
+            epoch_ns: 1,
+            static_mw_per_core: 1,
+        });
+        // One core, fully busy: 5 mW measured = 1 static + 4 dynamic.
+        m.observe_epoch(5, 1, 1);
+        let r = m.report();
+        assert_eq!(r.static_pj, 1);
+        assert_eq!(r.dynamic_pj, 4);
+        assert_eq!(r.total_pj, 5);
+    }
+
+    #[test]
+    fn idle_epoch_pays_only_the_static_floor() {
+        let model = EnergyModel::standard(50_000_000);
+        let mut m = EnergyMeter::new(model);
+        m.observe_epoch(60_000, 8, 0);
+        let r = m.report();
+        assert_eq!(r.dynamic_pj, 0);
+        assert_eq!(r.static_pj, 8 * 2_000 * 50_000_000);
+        assert_eq!(r.total_pj, r.static_pj);
+    }
+
+    #[test]
+    fn fully_busy_epoch_attributes_the_whole_excess() {
+        let model = EnergyModel::standard(50_000_000);
+        let mut m = EnergyMeter::new(model);
+        let span = 50_000_000u64;
+        m.observe_epoch(60_000, 8, 8 * span);
+        let r = m.report();
+        let static_pj = 8 * 2_000 * span;
+        let dynamic_pj = (60_000 - 8 * 2_000) * span;
+        assert_eq!(r.static_pj, static_pj);
+        assert_eq!(r.dynamic_pj, dynamic_pj);
+        assert_eq!(r.total_pj, static_pj + dynamic_pj);
+    }
+
+    #[test]
+    fn merge_adds_and_per_request_amortizes() {
+        let model = EnergyModel::standard(1_000);
+        let mut a = EnergyMeter::new(model);
+        a.observe_epoch(10_000, 2, 500);
+        a.add_requests(2);
+        let mut b = EnergyMeter::new(model);
+        b.observe_epoch(10_000, 2, 500);
+        b.add_requests(3);
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        assert_eq!(merged.total_pj, a.report().total_pj + b.report().total_pj);
+        assert_eq!(merged.requests, 5);
+        assert_eq!(merged.energy_per_request_nj(), merged.total_pj / 5 / 1_000);
+        assert_eq!(EnergyReport::default().energy_per_request_nj(), 0);
+    }
+
+    #[test]
+    fn gated_chip_integrates_nothing() {
+        let mut m = EnergyMeter::new(EnergyModel::standard(1_000));
+        m.observe_epoch(50_000, 0, 0);
+        assert_eq!(m.report().total_pj, 0);
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(EnergyModel::standard(1).check().is_ok());
+        assert!(EnergyModel::standard(0).check().is_err());
+    }
+}

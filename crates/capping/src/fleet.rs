@@ -1,0 +1,138 @@
+//! Fleet-level budget: one global cap, split across chips each epoch.
+
+use atm_units::AtmError;
+use serde::{Deserialize, Serialize};
+
+use crate::budget::PowerBudget;
+
+/// A global fleet power budget.
+///
+/// Each epoch, at the fleet's serial snapshot barrier, the global cap in
+/// force is split across chips proportional to their serving load (with
+/// a `+1` floor so idle chips keep a sliver and weights are never all
+/// zero). The split is the deterministic largest-remainder method, so
+/// the shares sum to the global cap *exactly* and the whole allocation
+/// is a pure function of `(config, seed)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetBudget {
+    /// The global cap schedule, in milliwatts across the whole fleet.
+    pub total: PowerBudget,
+}
+
+impl FleetBudget {
+    /// A fleet budget over any schedule.
+    #[must_use]
+    pub fn new(total: PowerBudget) -> Self {
+        FleetBudget { total }
+    }
+
+    /// A steady global cap.
+    #[must_use]
+    pub fn steady(cap_mw: u64) -> Self {
+        FleetBudget {
+            total: PowerBudget::steady(cap_mw),
+        }
+    }
+
+    /// Validates the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if the underlying schedule
+    /// fails [`PowerBudget::check`].
+    pub fn check(&self) -> Result<(), AtmError> {
+        self.total.check()
+    }
+
+    /// Splits the cap in force at `epoch` across chips proportional to
+    /// `loads` (e.g. per-chip backlog). Returns one cap per chip,
+    /// summing exactly to the global cap. Empty `loads` yields an empty
+    /// split.
+    #[must_use]
+    pub fn split(&self, epoch: u32, loads: &[u64]) -> Vec<u64> {
+        let cap = self.total.cap_at(epoch);
+        largest_remainder_split(cap, loads)
+    }
+}
+
+/// Largest-remainder apportionment of `cap` over weights `loads[i] + 1`.
+///
+/// Quotas are `cap * w_i / W`; every chip gets the floor of its quota,
+/// and the remaining milliwatts go one each to the chips with the
+/// largest fractional parts (ties broken by lowest chip index, keeping
+/// the split deterministic).
+fn largest_remainder_split(cap: u64, loads: &[u64]) -> Vec<u64> {
+    if loads.is_empty() {
+        return Vec::new();
+    }
+    let weights: Vec<u128> = loads.iter().map(|&l| u128::from(l) + 1).collect();
+    let total_w: u128 = weights.iter().sum();
+    let cap_w = u128::from(cap);
+    let mut shares: Vec<u64> = Vec::with_capacity(loads.len());
+    let mut fracs: Vec<(u128, usize)> = Vec::with_capacity(loads.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = cap_w * w;
+        let share = u64::try_from(exact / total_w).unwrap_or(u64::MAX);
+        shares.push(share);
+        assigned += share;
+        fracs.push((exact % total_w, i));
+    }
+    // Hand out the remainder, largest fractional part first; ties go to
+    // the lowest index.
+    fracs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut remainder = cap - assigned;
+    for &(_, i) in &fracs {
+        if remainder == 0 {
+            break;
+        }
+        shares[i] += 1;
+        remainder -= 1;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_exact_and_proportional() {
+        let b = FleetBudget::steady(100_000);
+        let loads = [300, 100, 100, 0];
+        let shares = b.split(0, &loads);
+        assert_eq!(shares.iter().sum::<u64>(), 100_000);
+        assert!(shares[0] > shares[1]);
+        assert_eq!(shares[1], shares[2]);
+        assert!(shares[3] > 0, "idle chips keep the +1 weight sliver");
+    }
+
+    #[test]
+    fn all_idle_splits_evenly() {
+        let b = FleetBudget::steady(90_001);
+        let shares = b.split(0, &[0, 0, 0]);
+        assert_eq!(shares.iter().sum::<u64>(), 90_001);
+        let min = shares.iter().min().unwrap();
+        let max = shares.iter().max().unwrap();
+        assert!(max - min <= 1, "equal weights differ by at most 1 mW");
+    }
+
+    #[test]
+    fn split_tracks_the_schedule() {
+        let b = FleetBudget::new(PowerBudget::step_down(80_000, 40_000, 2));
+        assert_eq!(b.split(0, &[1, 1]).iter().sum::<u64>(), 80_000);
+        assert_eq!(b.split(2, &[1, 1]).iter().sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn empty_fleet_splits_to_nothing() {
+        assert!(FleetBudget::steady(1_000).split(0, &[]).is_empty());
+    }
+
+    #[test]
+    fn remainder_ties_break_by_lowest_index() {
+        // cap 10 over 3 equal weights: 3 each + 1 remainder → chip 0.
+        let shares = largest_remainder_split(10, &[5, 5, 5]);
+        assert_eq!(shares, vec![4, 3, 3]);
+    }
+}

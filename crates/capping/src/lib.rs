@@ -1,0 +1,104 @@
+//! Power capping above the ATM loop.
+//!
+//! The paper fine-tunes per-core timing margins for efficiency at a
+//! fixed power envelope; this crate asks what happens when the envelope
+//! itself moves — cap episodes, brownouts, time-varying energy prices.
+//! It provides:
+//!
+//! - [`PowerBudget`]: integer-milliwatt cap schedules (steady, step,
+//!   brownout episode, price curve);
+//! - [`PowerRegulator`]: a deterministic anti-windup integral
+//!   controller on measured chip power (Chen/Wardi/Yalamanchili style)
+//!   that proposes throttle-ladder depth changes and lets the serving
+//!   loop commit or suppress them — supervisor rollbacks always outrank
+//!   the regulator;
+//! - [`FleetBudget`]: a global cap split across chips each epoch,
+//!   proportional to serving load, by exact largest-remainder
+//!   apportionment;
+//! - [`EnergyModel`]/[`EnergyMeter`]: Hofmann-style static + dynamic
+//!   energy accounting in exact integer picojoules
+//!   (`1 mW × 1 ns = 1 pJ`), yielding `energy_per_request` next to the
+//!   latency percentiles;
+//! - [`CapReport`]: the all-integer, `Eq`-comparable record of what the
+//!   regulator did.
+//!
+//! The regulator never touches a core directly: it actuates through the
+//! same throttle-ladder seams the droop degradation policy uses
+//! (background cores step down first, the critical core only after),
+//! and anything the `MarginSupervisor` imposed — rollback overrides,
+//! safe mode, quarantine — is out of its reach.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod energy;
+mod fleet;
+mod regulator;
+mod report;
+
+pub use budget::{PowerBudget, UNLIMITED_MW};
+pub use energy::{EnergyMeter, EnergyModel, EnergyReport};
+pub use fleet::FleetBudget;
+pub use regulator::{CapAction, PowerRegulator, RegulatorConfig};
+pub use report::CapReport;
+
+use atm_units::AtmError;
+use serde::{Deserialize, Serialize};
+
+/// Everything a serving loop needs to run under a power cap: the budget
+/// schedule and the regulator knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapConfig {
+    /// The cap schedule the chip regulates against. Under a fleet
+    /// budget the fleet's per-epoch split overrides this schedule.
+    pub budget: PowerBudget,
+    /// Regulator gain and bands.
+    pub regulator: RegulatorConfig,
+}
+
+impl CapConfig {
+    /// A standard regulator over the given schedule.
+    #[must_use]
+    pub fn standard(budget: PowerBudget) -> Self {
+        CapConfig {
+            budget,
+            regulator: RegulatorConfig::standard(),
+        }
+    }
+
+    /// A chip regulated from outside: the local schedule never binds
+    /// and the effective cap is pushed in per epoch (fleet splits).
+    #[must_use]
+    pub fn fleet_driven() -> Self {
+        CapConfig::standard(PowerBudget::unlimited())
+    }
+
+    /// Validates budget and regulator together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if either part fails its own
+    /// check.
+    pub fn check(&self) -> Result<(), AtmError> {
+        self.budget.check()?;
+        self.regulator.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_config_validates_both_halves() {
+        assert!(CapConfig::standard(PowerBudget::steady(60_000))
+            .check()
+            .is_ok());
+        assert!(CapConfig::fleet_driven().check().is_ok());
+        let mut bad = CapConfig::fleet_driven();
+        bad.regulator.gain_milli = 0;
+        assert!(bad.check().is_err());
+        assert!(CapConfig::standard(PowerBudget::steady(0)).check().is_err());
+    }
+}

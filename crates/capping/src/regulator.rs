@@ -1,0 +1,304 @@
+//! The integral power regulator.
+//!
+//! An adjustable-gain integral controller on measured chip power, after
+//! Chen, Wardi, and Yalamanchili: each epoch the regulator integrates
+//! the (deadbanded) error between measured power and the budget cap,
+//! and maps the integral onto a *throttle depth* — how many rungs below
+//! the serving posture's own plan the chip should run. All state is
+//! integer (milliwatt-epochs), the integral is clamped (anti-windup),
+//! and the regulator only ever *proposes*; the serving loop commits the
+//! proposal, which lets supervisor actions outrank the regulator (a
+//! release proposed in the same epoch as a rollback is suppressed, never
+//! re-raising frequency on a rolled-back core).
+
+use atm_telemetry::Recorder;
+use atm_units::AtmError;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the [`PowerRegulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegulatorConfig {
+    /// Integral gain, in milli-(depth steps) per watt-epoch of
+    /// integrated error: `depth = integral_W_epochs * gain_milli / 1000`.
+    pub gain_milli: u32,
+    /// Over-budget error at or below this (milliwatts) does not
+    /// integrate — the hold band that keeps a converged regulator from
+    /// limit-cycling on the quantized throttle ladder.
+    pub deadband_mw: u64,
+    /// Under-budget slack that must exist before the integral unwinds
+    /// (milliwatts). Releasing a rung raises power by a discrete amount;
+    /// requiring at least this much headroom before unwinding keeps a
+    /// release from immediately re-triggering a throttle.
+    pub release_headroom_mw: u64,
+    /// The deepest depth the regulator may command. The serving loop
+    /// additionally clamps to the throttle ladder's length.
+    pub max_depth: u32,
+}
+
+impl RegulatorConfig {
+    /// A gain and band sized for POWER7+-class chips (caps in the tens
+    /// of watts, epochs in the tens of milliseconds): roughly one depth
+    /// step per 8 W-epochs of sustained error, a 0.5 W hold band, and
+    /// 6 W of release headroom.
+    #[must_use]
+    pub fn standard() -> Self {
+        RegulatorConfig {
+            gain_milli: 125,
+            deadband_mw: 500,
+            release_headroom_mw: 6_000,
+            max_depth: 9,
+        }
+    }
+
+    /// The anti-windup clamp on the integral, in milliwatt-epochs: one
+    /// depth step's worth of error beyond the deepest commandable depth,
+    /// so a long overload cannot wind up unbounded release debt.
+    #[must_use]
+    pub fn integral_clamp_mwe(&self) -> i64 {
+        (i64::from(self.max_depth) + 1) * 1_000_000 / i64::from(self.gain_milli)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] on a zero gain or zero
+    /// maximum depth.
+    pub fn check(&self) -> Result<(), AtmError> {
+        if self.gain_milli == 0 {
+            return Err(AtmError::invalid_config(
+                "gain_milli",
+                "an integral regulator needs a positive gain",
+            ));
+        }
+        if self.max_depth == 0 {
+            return Err(AtmError::invalid_config(
+                "max_depth",
+                "a regulator that may never throttle regulates nothing",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the regulator wants done this epoch, relative to the current
+/// committed depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapAction {
+    /// Stay at the current depth.
+    Hold,
+    /// Deepen the throttle by this many rungs.
+    Throttle(u32),
+    /// Raise the chip back up by this many rungs.
+    Release(u32),
+}
+
+/// The deterministic integral power regulator.
+///
+/// Call [`propose`](PowerRegulator::propose) once per epoch with the
+/// measured chip power and the cap in force; apply the returned
+/// [`CapAction`] through the serving loop's throttle seam (or suppress
+/// it); then [`commit`](PowerRegulator::commit) what was actually done.
+#[derive(Debug, Clone)]
+pub struct PowerRegulator {
+    cfg: RegulatorConfig,
+    integral_mwe: i64,
+    depth: u32,
+}
+
+impl PowerRegulator {
+    /// A regulator at depth zero with an empty integral.
+    #[must_use]
+    pub fn new(cfg: RegulatorConfig) -> Self {
+        PowerRegulator {
+            cfg,
+            integral_mwe: 0,
+            depth: 0,
+        }
+    }
+
+    /// The committed throttle depth.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The current integral, in milliwatt-epochs (always within the
+    /// anti-windup clamp).
+    #[must_use]
+    pub fn integral_mwe(&self) -> i64 {
+        self.integral_mwe
+    }
+
+    /// The configuration the regulator runs with.
+    #[must_use]
+    pub fn config(&self) -> &RegulatorConfig {
+        &self.cfg
+    }
+
+    /// Integrates one epoch of measured power against the cap and
+    /// proposes an action. Does **not** move the committed depth —
+    /// callers decide whether the proposal survives (supervisor actions
+    /// outrank the regulator) and then [`commit`](PowerRegulator::commit).
+    pub fn propose<R: Recorder>(
+        &mut self,
+        measured_mw: u64,
+        cap_mw: u64,
+        rec: &mut R,
+    ) -> CapAction {
+        let error = i64::try_from(measured_mw).unwrap_or(i64::MAX)
+            - i64::try_from(cap_mw).unwrap_or(i64::MAX);
+        if error > i64::try_from(self.cfg.deadband_mw).unwrap_or(i64::MAX) {
+            self.integral_mwe = self.integral_mwe.saturating_add(error);
+        } else {
+            let headroom = i64::try_from(self.cfg.release_headroom_mw).unwrap_or(i64::MAX);
+            if error < -headroom {
+                self.integral_mwe = self.integral_mwe.saturating_add(error + headroom);
+            }
+        }
+        self.integral_mwe = self.integral_mwe.clamp(0, self.cfg.integral_clamp_mwe());
+        let target = self.target_depth();
+        if rec.enabled() {
+            rec.gauge("cap.power_mw", measured_mw as f64);
+            rec.gauge("cap.cap_mw", cap_mw as f64);
+            rec.gauge("cap.integral_mwe", self.integral_mwe as f64);
+            rec.gauge("cap.target_depth", f64::from(target));
+        }
+        match target.cmp(&self.depth) {
+            std::cmp::Ordering::Greater => CapAction::Throttle(target - self.depth),
+            std::cmp::Ordering::Less => CapAction::Release(self.depth - target),
+            std::cmp::Ordering::Equal => CapAction::Hold,
+        }
+    }
+
+    /// Commits an action (typically the proposal, or
+    /// [`CapAction::Hold`] when the proposal was suppressed), moving
+    /// the regulator's notion of the chip's depth.
+    pub fn commit(&mut self, action: CapAction) {
+        match action {
+            CapAction::Hold => {}
+            CapAction::Throttle(n) => {
+                self.depth = (self.depth + n).min(self.cfg.max_depth);
+            }
+            CapAction::Release(n) => {
+                self.depth = self.depth.saturating_sub(n);
+            }
+        }
+    }
+
+    fn target_depth(&self) -> u32 {
+        let steps = self.integral_mwe * i64::from(self.cfg.gain_milli) / 1_000_000;
+        u32::try_from(steps.max(0))
+            .unwrap_or(u32::MAX)
+            .min(self.cfg.max_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_telemetry::NullRecorder;
+
+    fn reg() -> PowerRegulator {
+        PowerRegulator::new(RegulatorConfig::standard())
+    }
+
+    #[test]
+    fn within_band_holds_forever() {
+        let mut r = reg();
+        for _ in 0..100 {
+            let a = r.propose(60_000, 60_000, &mut NullRecorder);
+            assert_eq!(a, CapAction::Hold);
+            r.commit(a);
+        }
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.integral_mwe(), 0);
+    }
+
+    #[test]
+    fn sustained_overload_ramps_depth_monotonically() {
+        let mut r = reg();
+        let mut last = 0;
+        for _ in 0..30 {
+            let a = r.propose(78_000, 60_000, &mut NullRecorder);
+            assert!(!matches!(a, CapAction::Release(_)));
+            r.commit(a);
+            assert!(r.depth() >= last);
+            last = r.depth();
+        }
+        assert!(last > 0, "18 W over for 30 epochs must throttle");
+    }
+
+    #[test]
+    fn integral_is_clamped_under_permanent_overload() {
+        let mut r = reg();
+        for _ in 0..10_000 {
+            let a = r.propose(500_000, 60_000, &mut NullRecorder);
+            r.commit(a);
+        }
+        assert_eq!(r.depth(), r.config().max_depth);
+        assert!(r.integral_mwe() <= r.config().integral_clamp_mwe());
+        // Anti-windup: once the overload clears with real headroom, the
+        // regulator releases within a bounded number of epochs instead of
+        // paying down an unbounded wound-up integral.
+        let mut epochs_to_release = 0;
+        while r.depth() > 0 {
+            let a = r.propose(20_000, 60_000, &mut NullRecorder);
+            r.commit(a);
+            epochs_to_release += 1;
+            assert!(epochs_to_release < 100, "release debt must be bounded");
+        }
+    }
+
+    #[test]
+    fn small_undershoot_inside_headroom_does_not_release() {
+        let mut r = reg();
+        // Wind up one step.
+        while r.depth() == 0 {
+            let a = r.propose(90_000, 60_000, &mut NullRecorder);
+            r.commit(a);
+        }
+        let d = r.depth();
+        // 3 W under budget is inside the 6 W release headroom: hold.
+        for _ in 0..50 {
+            let a = r.propose(57_000, 60_000, &mut NullRecorder);
+            assert!(!matches!(a, CapAction::Release(_)));
+            r.commit(a);
+        }
+        assert_eq!(r.depth(), d);
+    }
+
+    #[test]
+    fn suppressed_release_is_reproposed_next_epoch() {
+        let mut r = reg();
+        while r.depth() == 0 {
+            let a = r.propose(90_000, 60_000, &mut NullRecorder);
+            r.commit(a);
+        }
+        // Drive a deep undershoot until a release is proposed.
+        let mut a = r.propose(10_000, 60_000, &mut NullRecorder);
+        let mut guard = 0;
+        while !matches!(a, CapAction::Release(_)) {
+            r.commit(a);
+            a = r.propose(10_000, 60_000, &mut NullRecorder);
+            guard += 1;
+            assert!(guard < 100, "undershoot must eventually propose release");
+        }
+        // Suppress it (commit Hold): the next epoch proposes it again —
+        // suppression is same-epoch only, no integral fixup required.
+        r.commit(CapAction::Hold);
+        let again = r.propose(10_000, 60_000, &mut NullRecorder);
+        assert!(matches!(again, CapAction::Release(_)));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RegulatorConfig::standard().check().is_ok());
+        let mut bad = RegulatorConfig::standard();
+        bad.gain_milli = 0;
+        assert!(bad.check().is_err());
+        let mut bad = RegulatorConfig::standard();
+        bad.max_depth = 0;
+        assert!(bad.check().is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The regulator's run report.
+//!
+//! All-integer and `Eq`-derivable like every other report in the stack:
+//! same config + seed ⇒ byte-identical `CapReport`, independent of
+//! worker count.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::regulator::CapAction;
+
+/// What the power regulator did over a run: per-epoch traces plus
+/// aggregate counters, accumulated by the serving loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapReport {
+    /// Epochs regulated.
+    pub epochs: u32,
+    /// Per-epoch cap in force (after any fleet split), milliwatts.
+    pub cap_mw: Vec<u64>,
+    /// Per-epoch measured chip power, milliwatts.
+    pub power_mw: Vec<u64>,
+    /// Per-epoch committed throttle depth (after that epoch's action).
+    pub depth: Vec<u32>,
+    /// Epochs whose measured power exceeded the cap.
+    pub over_budget_epochs: u32,
+    /// Worst single-epoch overshoot above the cap, milliwatts.
+    pub max_overshoot_mw: u64,
+    /// Total rungs of throttle committed.
+    pub throttle_steps: u32,
+    /// Total rungs of release committed.
+    pub release_steps: u32,
+    /// Releases proposed but suppressed — because a supervisor action
+    /// fired the same epoch (rollbacks outrank the regulator) or the
+    /// chip was still over budget.
+    pub releases_suppressed: u32,
+    /// Peak of the anti-windup integral, milliwatt-epochs.
+    pub max_integral_mwe: i64,
+    /// Depth at the end of the run.
+    pub final_depth: u32,
+}
+
+impl CapReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        CapReport::default()
+    }
+
+    /// Appends one regulated epoch: the cap in force, the measured
+    /// power it was compared against, the depth committed after the
+    /// epoch's action, and the post-epoch integral.
+    pub fn push_epoch(&mut self, cap_mw: u64, power_mw: u64, depth: u32, integral_mwe: i64) {
+        self.epochs += 1;
+        self.cap_mw.push(cap_mw);
+        self.power_mw.push(power_mw);
+        self.depth.push(depth);
+        if power_mw > cap_mw {
+            self.over_budget_epochs += 1;
+            self.max_overshoot_mw = self.max_overshoot_mw.max(power_mw - cap_mw);
+        }
+        self.max_integral_mwe = self.max_integral_mwe.max(integral_mwe);
+        self.final_depth = depth;
+    }
+
+    /// Counts a committed action (call with [`CapAction::Hold`] plus
+    /// `suppressed = true` when a proposal was vetoed).
+    pub fn count_action(&mut self, committed: CapAction, suppressed: bool) {
+        match committed {
+            CapAction::Hold => {}
+            CapAction::Throttle(n) => self.throttle_steps += n,
+            CapAction::Release(n) => self.release_steps += n,
+        }
+        if suppressed {
+            self.releases_suppressed += 1;
+        }
+    }
+
+    /// Whether the depth trace settled: the last `min(tail, epochs)`
+    /// depths are all equal — the "no limit cycle" acceptance check.
+    #[must_use]
+    pub fn converged(&self, tail: usize) -> bool {
+        let n = self.depth.len();
+        let start = n.saturating_sub(tail.max(1));
+        self.depth[start..].windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Safety law: the regulator never released in an epoch whose
+    /// measured power exceeded its cap (the serving loop defers such
+    /// releases, so over-budget epochs can only hold or deepen).
+    #[must_use]
+    pub fn never_released_over_budget(&self) -> bool {
+        (0..self.depth.len()).all(|e| {
+            let prev = if e == 0 { 0 } else { self.depth[e - 1] };
+            self.power_mw[e] <= self.cap_mw[e] || self.depth[e] >= prev
+        })
+    }
+
+    /// Anti-windup law: the integral peak stayed within `clamp_mwe`
+    /// (one epoch of overshoot beyond the deepest commandable depth).
+    #[must_use]
+    pub fn integral_bounded(&self, clamp_mwe: i64) -> bool {
+        self.max_integral_mwe <= clamp_mwe
+    }
+
+    /// Folds a per-chip report into a fleet aggregate: traces are
+    /// summed elementwise (the fleet's cap/power per epoch), counters
+    /// added, depth trace kept as the elementwise maximum.
+    pub fn merge(&mut self, other: &CapReport) {
+        merge_trace(&mut self.cap_mw, &other.cap_mw, u64::saturating_add);
+        merge_trace(&mut self.power_mw, &other.power_mw, u64::saturating_add);
+        merge_trace(&mut self.depth, &other.depth, u32::max);
+        self.epochs = self.epochs.max(other.epochs);
+        self.over_budget_epochs += other.over_budget_epochs;
+        self.max_overshoot_mw = self.max_overshoot_mw.max(other.max_overshoot_mw);
+        self.throttle_steps += other.throttle_steps;
+        self.release_steps += other.release_steps;
+        self.releases_suppressed += other.releases_suppressed;
+        self.max_integral_mwe = self.max_integral_mwe.max(other.max_integral_mwe);
+        self.final_depth = self.final_depth.max(other.final_depth);
+    }
+}
+
+fn merge_trace<T: Copy + Default>(into: &mut Vec<T>, from: &[T], f: impl Fn(T, T) -> T) {
+    if into.len() < from.len() {
+        into.resize(from.len(), T::default());
+    }
+    for (a, &b) in into.iter_mut().zip(from.iter()) {
+        *a = f(*a, b);
+    }
+}
+
+impl fmt::Display for CapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} epochs regulated, {} over budget (max overshoot {} mW), \
+             {} throttle / {} release rungs ({} suppressed), final depth {}",
+            self.epochs,
+            self.over_budget_epochs,
+            self.max_overshoot_mw,
+            self.throttle_steps,
+            self.release_steps,
+            self.releases_suppressed,
+            self.final_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_epoch_tracks_overshoot_and_traces() {
+        let mut r = CapReport::new();
+        r.push_epoch(60_000, 70_000, 1, 10_000);
+        r.push_epoch(60_000, 59_000, 1, 9_000);
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.over_budget_epochs, 1);
+        assert_eq!(r.max_overshoot_mw, 10_000);
+        assert_eq!(r.max_integral_mwe, 10_000);
+        assert_eq!(r.final_depth, 1);
+        assert_eq!(r.depth, vec![1, 1]);
+    }
+
+    #[test]
+    fn convergence_looks_at_the_tail_only() {
+        let mut r = CapReport::new();
+        for d in [0, 1, 2, 3, 3, 3, 3] {
+            r.push_epoch(60_000, 60_000, d, 0);
+        }
+        assert!(r.converged(4));
+        assert!(!r.converged(6));
+        assert!(CapReport::new().converged(3), "empty trace is converged");
+    }
+
+    #[test]
+    fn release_over_budget_violates_the_law() {
+        let mut ok = CapReport::new();
+        ok.push_epoch(60_000, 70_000, 1, 0);
+        ok.push_epoch(60_000, 70_000, 2, 0);
+        ok.push_epoch(60_000, 50_000, 1, 0);
+        assert!(ok.never_released_over_budget());
+
+        let mut bad = CapReport::new();
+        bad.push_epoch(60_000, 70_000, 2, 0);
+        bad.push_epoch(60_000, 70_000, 1, 0); // released while over
+        assert!(!bad.never_released_over_budget());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_traces() {
+        let mut a = CapReport::new();
+        a.push_epoch(30_000, 35_000, 1, 5_000);
+        a.count_action(CapAction::Throttle(1), false);
+        let mut b = CapReport::new();
+        b.push_epoch(30_000, 28_000, 0, 0);
+        b.count_action(CapAction::Hold, true);
+        a.merge(&b);
+        assert_eq!(a.cap_mw, vec![60_000]);
+        assert_eq!(a.power_mw, vec![63_000]);
+        assert_eq!(a.depth, vec![1]);
+        assert_eq!(a.throttle_steps, 1);
+        assert_eq!(a.releases_suppressed, 1);
+        assert_eq!(a.over_budget_epochs, 1);
+    }
+}

@@ -19,12 +19,13 @@
 //!
 //! ```
 //! use atm_chip::{ChipConfig, MarginMode, System};
+//! use atm_telemetry::NullRecorder;
 //! use atm_units::{CoreId, Nanos};
 //! use atm_workloads::Workload;
 //!
 //! let mut sys = System::new(ChipConfig::default());
 //! sys.set_mode_all(MarginMode::Atm);
-//! let report = sys.run(Nanos::new(20_000.0)); // 20 µs
+//! let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder); // 20 µs
 //! assert!(report.failure.is_none());
 //! // Default (preset) ATM clocks every core near 4.6 GHz when idle.
 //! for core in &report.cores {

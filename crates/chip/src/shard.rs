@@ -17,6 +17,7 @@
 //! reseed → simulate sequence that makes every trial a pure function of
 //! its arguments.
 
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, MegaHz, Nanos};
 use atm_workloads::Workload;
 
@@ -97,7 +98,7 @@ impl SystemShard {
         // Assign first (it swaps droop parameters), then pin the streams.
         self.system.assign(self.focus, workload.clone());
         self.system.reseed_core(self.focus, droop_seed, rng_seed);
-        self.system.run(trial).is_ok()
+        self.system.run(trial, &mut NullRecorder).is_ok()
     }
 
     /// The focus core's ATM equilibrium frequency at `reduction` with the
@@ -135,7 +136,7 @@ mod tests {
         // Dirty the parent thoroughly.
         parent.set_mode_all(MarginMode::Atm);
         parent.assign_all(&by_name("daxpy").unwrap().clone());
-        let _ = parent.run(Nanos::new(20_000.0));
+        let _ = parent.run(Nanos::new(20_000.0), &mut NullRecorder);
         let dirty = parent.shard(core);
         assert_eq!(
             fresh.system().core(core).frequency(),

@@ -25,6 +25,7 @@ use crate::report::SystemReport;
 ///
 /// ```
 /// use atm_chip::{ChipConfig, MarginMode, System};
+/// use atm_telemetry::NullRecorder;
 /// use atm_units::{CoreId, Nanos};
 /// use atm_workloads::by_name;
 ///
@@ -32,7 +33,7 @@ use crate::report::SystemReport;
 /// let core = CoreId::new(0, 0);
 /// sys.set_mode(core, MarginMode::Atm);
 /// sys.assign(core, by_name("gcc").unwrap().clone());
-/// let report = sys.run(Nanos::new(10_000.0));
+/// let report = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
 /// assert!(report.is_ok());
 /// assert!(report.core(core).mean_freq.get() > 4_200.0);
 /// ```
@@ -52,7 +53,7 @@ pub struct System {
 }
 
 /// The per-run state of the tick loop, shared by every flavour of timed
-/// run ([`System::run_recorded`], [`System::run_traced`],
+/// run ([`System::run`], [`System::run_traced`],
 /// [`System::run_chunked`]): the loop's constants, the monotonic clock,
 /// and the counters the run reports at the end. One engine is started per
 /// warm-started run and advanced to one or more time targets.
@@ -411,27 +412,31 @@ impl System {
     /// Loops are warm-started at their current schedule's equilibrium and
     /// telemetry is reset, so the report reflects steady-state behaviour.
     ///
+    /// Recording goes through `rec`: each tick advances the monotonic
+    /// clock by the tick length, per-core CPM/DPLL activity is recorded
+    /// (see the DPLL crate's per-action counters), droop alarms become
+    /// [`atm_telemetry::DroopEvent`]s, and the run bumps `chip.ticks`,
+    /// `chip.failures` and `chip.droop_alarms`. Pass
+    /// [`&mut NullRecorder`](NullRecorder) for the zero-overhead
+    /// unrecorded path — recording only observes, so the returned report
+    /// is byte-identical whichever recorder is passed.
+    ///
     /// # Panics
     ///
     /// Panics if `duration` is not positive.
-    pub fn run(&mut self, duration: Nanos) -> SystemReport {
-        self.run_recorded(duration, &mut NullRecorder)
+    pub fn run<R: Recorder>(&mut self, duration: Nanos, rec: &mut R) -> SystemReport {
+        self.run_faulted(duration, &mut NoFaults, rec)
     }
 
-    /// [`System::run`] with telemetry: each tick advances `rec`'s
-    /// monotonic clock by the tick length, per-core CPM/DPLL activity is
-    /// recorded (see the DPLL crate's per-action counters), droop alarms
-    /// become [`atm_telemetry::DroopEvent`]s, and the run bumps
-    /// `chip.ticks`, `chip.failures` and `chip.droop_alarms`. The
-    /// simulation itself is identical to [`System::run`]: recording only
-    /// observes, so the returned report is byte-identical whichever
-    /// recorder is passed.
+    /// Deprecated alias of [`System::run`], kept for one release while
+    /// callers migrate to the consolidated recorder-generic method.
     ///
     /// # Panics
     ///
     /// Panics if `duration` is not positive.
+    #[deprecated(since = "0.1.0", note = "use `run` (same signature)")]
     pub fn run_recorded<R: Recorder>(&mut self, duration: Nanos, rec: &mut R) -> SystemReport {
-        self.run_faulted_recorded(duration, &mut NoFaults, rec)
+        self.run(duration, rec)
     }
 
     /// [`System::run`] with a fault-injection hook: `hook` is consulted
@@ -445,17 +450,7 @@ impl System {
     /// # Panics
     ///
     /// Panics if `duration` is not positive.
-    pub fn run_faulted<F: FaultHook>(&mut self, duration: Nanos, hook: &mut F) -> SystemReport {
-        self.run_faulted_recorded(duration, hook, &mut NullRecorder)
-    }
-
-    /// [`System::run_faulted`] with telemetry (see
-    /// [`System::run_recorded`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `duration` is not positive.
-    pub fn run_faulted_recorded<R: Recorder, F: FaultHook>(
+    pub fn run_faulted<R: Recorder, F: FaultHook>(
         &mut self,
         duration: Nanos,
         hook: &mut F,
@@ -469,6 +464,22 @@ impl System {
         self.assemble_report(engine.now, engine.failure)
     }
 
+    /// Deprecated alias of [`System::run_faulted`], kept for one release
+    /// while callers migrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive.
+    #[deprecated(since = "0.1.0", note = "use `run_faulted` (same signature)")]
+    pub fn run_faulted_recorded<R: Recorder, F: FaultHook>(
+        &mut self,
+        duration: Nanos,
+        hook: &mut F,
+        rec: &mut R,
+    ) -> SystemReport {
+        self.run_faulted(duration, hook, rec)
+    }
+
     /// Runs the system for the sum of `chunks` as **one** trial — a single
     /// warm start, one continuous tick sequence, one report — advancing
     /// the clock through each chunk boundary in turn. Because the tick
@@ -479,25 +490,14 @@ impl System {
     /// boundary. (Two separate `run` calls are *not* equivalent — each
     /// re-warm-starts and resets telemetry.)
     ///
-    /// # Panics
-    ///
-    /// Panics if `chunks` is empty or any chunk is not positive.
-    pub fn run_chunked(&mut self, chunks: &[Nanos]) -> SystemReport {
-        self.run_chunked_recorded(chunks, &mut NullRecorder)
-    }
-
-    /// [`System::run_chunked`] with telemetry (see
-    /// [`System::run_recorded`]); the run's summary counters are bumped
-    /// once at the end, not per chunk.
+    /// The run's summary counters are bumped into `rec` once at the end,
+    /// not per chunk; pass [`&mut NullRecorder`](NullRecorder) for the
+    /// unrecorded path.
     ///
     /// # Panics
     ///
     /// Panics if `chunks` is empty or any chunk is not positive.
-    pub fn run_chunked_recorded<R: Recorder>(
-        &mut self,
-        chunks: &[Nanos],
-        rec: &mut R,
-    ) -> SystemReport {
+    pub fn run_chunked<R: Recorder>(&mut self, chunks: &[Nanos], rec: &mut R) -> SystemReport {
         assert!(!chunks.is_empty(), "at least one chunk is required");
         let mut engine = self.start_engine();
         let mut target = Nanos::ZERO;
@@ -508,6 +508,21 @@ impl System {
         }
         engine.finish(rec);
         self.assemble_report(engine.now, engine.failure)
+    }
+
+    /// Deprecated alias of [`System::run_chunked`], kept for one release
+    /// while callers migrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is empty or any chunk is not positive.
+    #[deprecated(since = "0.1.0", note = "use `run_chunked` (same signature)")]
+    pub fn run_chunked_recorded<R: Recorder>(
+        &mut self,
+        chunks: &[Nanos],
+        rec: &mut R,
+    ) -> SystemReport {
+        self.run_chunked(chunks, rec)
     }
 
     /// Like [`System::run`], additionally recording a decimated per-tick
@@ -580,7 +595,7 @@ mod tests {
     #[test]
     fn static_margin_all_cores_4200() {
         let mut sys = system();
-        let report = sys.run(Nanos::new(5_000.0));
+        let report = sys.run(Nanos::new(5_000.0), &mut NullRecorder);
         for c in &report.cores {
             assert_eq!(c.mean_freq, MegaHz::new(4200.0));
         }
@@ -590,7 +605,7 @@ mod tests {
     fn default_atm_idle_near_4600_uniform() {
         let mut sys = system();
         sys.set_mode_all(MarginMode::Atm);
-        let report = sys.run(Nanos::new(20_000.0));
+        let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
         assert!(report.is_ok());
         let freqs: Vec<f64> = report.cores.iter().map(|c| c.mean_freq.get()).collect();
         let min = freqs.iter().copied().fold(f64::MAX, f64::min);
@@ -606,7 +621,7 @@ mod tests {
         let mut sys = system();
         sys.set_mode_all(MarginMode::Atm);
         let settled = sys.settle();
-        let ran = sys.run(Nanos::new(20_000.0));
+        let ran = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
         for (s, r) in settled.cores.iter().zip(&ran.cores) {
             let diff = (s.mean_freq.get() - r.mean_freq.get()).abs();
             assert!(
@@ -625,7 +640,7 @@ mod tests {
             let mut sys = System::new(ChipConfig::power7_plus(seed));
             sys.set_mode_all(MarginMode::Atm);
             sys.assign_all(&by_name("x264").unwrap().clone());
-            let r = sys.run(Nanos::new(10_000.0));
+            let r = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
             r.cores
                 .iter()
                 .map(|c| c.mean_freq.get())
@@ -719,7 +734,7 @@ mod tests {
         let mut sys = system();
         let low = sys.config().pstates.lowest();
         sys.set_chip_pstate(ProcId::new(0), low);
-        let report = sys.run(Nanos::new(5_000.0));
+        let report = sys.run(Nanos::new(5_000.0), &mut NullRecorder);
         for c in ProcId::new(0).cores() {
             assert_eq!(report.core(c).mean_freq, low.frequency);
         }
@@ -753,12 +768,12 @@ mod tests {
         sys.set_mode(core, MarginMode::Atm);
         sys.assign(core, by_name("x264").unwrap().clone());
         // Without a subscription, no events accumulate.
-        let _ = sys.run(Nanos::new(100_000.0));
+        let _ = sys.run(Nanos::new(100_000.0), &mut NullRecorder);
         assert!(sys.events().is_empty());
         // x264's droops dip the loop well past 25 MHz (see the traced-run
         // test); the subscription turns those dips into events.
         sys.set_droop_alarm(Some(MegaHz::new(25.0)));
-        let report = sys.run(Nanos::new(100_000.0));
+        let report = sys.run(Nanos::new(100_000.0), &mut NullRecorder);
         assert!(report.is_ok());
         let events = sys.drain_events();
         assert!(!events.is_empty(), "no droop alarms for x264");
@@ -781,7 +796,7 @@ mod tests {
             sys.set_droop_alarm(Some(MegaHz::new(25.0)));
             sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
             sys.assign(CoreId::new(0, 0), by_name("x264").unwrap().clone());
-            let _ = sys.run(Nanos::new(50_000.0));
+            let _ = sys.run(Nanos::new(50_000.0), &mut NullRecorder);
             sys.drain_events()
         };
         assert_eq!(run(7), run(7));
@@ -798,9 +813,9 @@ mod tests {
             sys.assign(CoreId::new(0, 0), by_name("x264").unwrap().clone());
             rec(&mut sys)
         };
-        let plain = drive(&mut |sys| sys.run(Nanos::new(50_000.0)));
+        let plain = drive(&mut |sys| sys.run(Nanos::new(50_000.0), &mut NullRecorder));
         let mut ring = RingRecorder::with_capacity(4096);
-        let ringed = drive(&mut |sys| sys.run_recorded(Nanos::new(50_000.0), &mut ring));
+        let ringed = drive(&mut |sys| sys.run(Nanos::new(50_000.0), &mut ring));
         assert_eq!(format!("{plain:?}"), format!("{ringed:?}"));
         assert_eq!(ring.counter("chip.ticks"), Some(1000));
         assert!(ring.counter("chip.droop_alarms").unwrap_or(0) > 0);
@@ -815,7 +830,7 @@ mod tests {
     #[test]
     fn run_reports_requested_duration() {
         let mut sys = system();
-        let r = sys.run(Nanos::new(5_000.0));
+        let r = sys.run(Nanos::new(5_000.0), &mut NullRecorder);
         assert!((r.duration.get() - 5_000.0).abs() <= sys.config().tick.get());
     }
 }

@@ -1,6 +1,7 @@
 //! Cross-module property and behavioural tests for the chip simulator.
 
 use atm_chip::{ChipConfig, MarginMode, System, SystemReport};
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, Nanos, ProcId};
 use atm_workloads::by_name;
 use proptest::prelude::*;
@@ -16,12 +17,12 @@ proptest! {
         a.set_mode_all(MarginMode::Atm);
         a.assign_all(&by_name("gcc").unwrap().clone());
         let mut b = a.clone();
-        let ra = a.run(Nanos::new(10_000.0));
-        let rb = b.run(Nanos::new(10_000.0));
+        let ra = a.run(Nanos::new(10_000.0), &mut NullRecorder);
+        let rb = b.run(Nanos::new(10_000.0), &mut NullRecorder);
         prop_assert_eq!(describe(&ra), describe(&rb));
         // Running the original again must NOT replay the same droops
         // (its RNG streams advanced).
-        let ra2 = a.run(Nanos::new(10_000.0));
+        let ra2 = a.run(Nanos::new(10_000.0), &mut NullRecorder);
         // Mean frequencies stay close but the trajectories may differ;
         // just check both completed.
         prop_assert!(ra2.is_ok() || ra2.failure.is_some());
@@ -38,7 +39,7 @@ proptest! {
                 sys.set_mode(id, MarginMode::Atm);
             }
         }
-        let report = sys.run(Nanos::new(10_000.0));
+        let report = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
         prop_assert_eq!(report.cores.len(), 16);
         prop_assert_eq!(report.procs.len(), 2);
         for c in &report.cores {
@@ -83,7 +84,7 @@ fn temperature_reaches_seventy_at_paper_load() {
         sys.assign_smt(id, daxpy.clone(), 4);
         sys.set_mode(id, MarginMode::Atm);
     }
-    let report = sys.run(Nanos::new(20_000.0));
+    let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
     let t = report.procs[0].max_temp;
     assert!(
         t.get() > 60.0 && t.get() < 80.0,
@@ -100,7 +101,7 @@ fn sockets_are_thermally_and_electrically_independent() {
         sys.assign(id, daxpy.clone());
     }
     sys.set_mode_all(MarginMode::Atm);
-    let report = sys.run(Nanos::new(10_000.0));
+    let report = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
     // Socket 1 stays near idle power; its ATM cores keep idle frequency.
     assert!(report.procs[0].mean_power.get() > report.procs[1].mean_power.get() + 50.0);
     let f0: f64 = ProcId::new(0)
@@ -142,7 +143,7 @@ fn constructed_virus_matches_the_profile_virus() {
         loop {
             sys.set_reduction(probe, r).unwrap();
             sys.assign(probe, by_name("x264").unwrap().clone());
-            if (0..2).all(|_| sys.run(Nanos::new(50_000.0)).is_ok()) {
+            if (0..2).all(|_| sys.run(Nanos::new(50_000.0), &mut NullRecorder).is_ok()) {
                 break r;
             }
             assert!(r > 0, "x264 fails even at the preset");
@@ -162,7 +163,11 @@ fn constructed_virus_matches_the_profile_virus() {
     .unwrap();
     let mut failed = false;
     for _ in 0..6 {
-        if sys.run(Nanos::new(50_000.0)).failure.is_some() {
+        if sys
+            .run(Nanos::new(50_000.0), &mut NullRecorder)
+            .failure
+            .is_some()
+        {
             failed = true;
             break;
         }

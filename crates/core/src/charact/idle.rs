@@ -1,12 +1,12 @@
 //! Idle-system characterization (Sec. IV, Fig. 7).
 
 use atm_chip::{MarginMode, System};
-use atm_telemetry::{NullRecorder, Recorder};
+use atm_telemetry::Recorder;
 use atm_units::{CoreId, MegaHz};
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
-use super::search::{find_limit_recorded, CharactConfig, LimitDistribution};
+use super::search::{find_limit, CharactConfig, LimitDistribution};
 
 /// Result of the idle characterization of one core.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,16 +34,11 @@ impl IdleResult {
 /// speed (paper Sec. IV).
 ///
 /// Cores are left programmed at their idle limits.
+///
+/// The limit walks record their trials through `rec`; pass
+/// [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the unrecorded path.
 #[must_use]
-pub fn idle_characterization(system: &mut System, cfg: &CharactConfig) -> Vec<IdleResult> {
-    idle_characterization_recorded(system, cfg, &mut NullRecorder)
-}
-
-/// [`idle_characterization`] with telemetry: the limit walks record
-/// their trials through `rec`. Results are identical to
-/// [`idle_characterization`]'s.
-#[must_use]
-pub fn idle_characterization_recorded<R: Recorder>(
+pub fn idle_characterization<R: Recorder>(
     system: &mut System,
     cfg: &CharactConfig,
     rec: &mut R,
@@ -51,7 +46,7 @@ pub fn idle_characterization_recorded<R: Recorder>(
     let idle = Workload::idle();
     let mut results = Vec::with_capacity(16);
     for core in CoreId::all() {
-        let distribution = find_limit_recorded(system, core, &[&idle], 0, cfg, rec);
+        let distribution = find_limit(system, core, &[&idle], 0, cfg, rec);
         // Frequency at the limit, measured with the whole system idle and
         // only this core in ATM mode (find_limit leaves it that way).
         system.set_mode(core, MarginMode::Atm);
@@ -69,15 +64,28 @@ pub fn idle_characterization_recorded<R: Recorder>(
     results
 }
 
+/// Deprecated alias of [`idle_characterization`], kept for one release
+/// while callers migrate.
+#[deprecated(since = "0.1.0", note = "use `idle_characterization` (same signature)")]
+#[must_use]
+pub fn idle_characterization_recorded<R: Recorder>(
+    system: &mut System,
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> Vec<IdleResult> {
+    idle_characterization(system, cfg, rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use atm_chip::ChipConfig;
+    use atm_telemetry::NullRecorder;
 
     #[test]
     fn idle_limits_match_paper_shape() {
         let mut sys = System::new(ChipConfig::default());
-        let results = idle_characterization(&mut sys, &CharactConfig::quick());
+        let results = idle_characterization(&mut sys, &CharactConfig::quick(), &mut NullRecorder);
         assert_eq!(results.len(), 16);
 
         let limits: Vec<usize> = results.iter().map(IdleResult::idle_limit).collect();
@@ -107,7 +115,7 @@ mod tests {
     #[test]
     fn cores_left_at_their_limits() {
         let mut sys = System::new(ChipConfig::default());
-        let results = idle_characterization(&mut sys, &CharactConfig::quick());
+        let results = idle_characterization(&mut sys, &CharactConfig::quick(), &mut NullRecorder);
         for r in &results {
             assert_eq!(sys.core(r.core).reduction(), r.idle_limit());
         }

@@ -7,13 +7,22 @@ mod realistic;
 mod search;
 mod ubench;
 
-pub use idle::{idle_characterization, idle_characterization_recorded, IdleResult};
+pub use idle::{idle_characterization, IdleResult};
 pub use realistic::{
-    realistic_characterization, realistic_characterization_parallel,
-    realistic_characterization_recorded, AppCoreProfile, RealisticResult,
+    realistic_characterization, realistic_characterization_parallel, AppCoreProfile,
+    RealisticResult,
 };
 pub use search::{
-    find_limit, find_limit_driven, find_limit_recorded, passes, passes_recorded, CharactConfig,
-    CharactConfigBuilder, LimitDistribution,
+    find_limit, find_limit_driven, passes, CharactConfig, CharactConfigBuilder, LimitDistribution,
 };
-pub use ubench::{ubench_characterization, ubench_characterization_recorded, UbenchResult};
+pub use ubench::{ubench_characterization, UbenchResult};
+
+// Deprecated aliases stay importable for one release.
+#[allow(deprecated)]
+pub use idle::idle_characterization_recorded;
+#[allow(deprecated)]
+pub use realistic::realistic_characterization_recorded;
+#[allow(deprecated)]
+pub use search::{find_limit_recorded, passes_recorded};
+#[allow(deprecated)]
+pub use ubench::ubench_characterization_recorded;

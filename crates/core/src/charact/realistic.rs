@@ -6,7 +6,7 @@ use atm_units::CoreId;
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
-use super::search::{find_limit_recorded, CharactConfig, LimitDistribution};
+use super::search::{find_limit, CharactConfig, LimitDistribution};
 
 /// The profile of one ⟨application, core⟩ pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,29 +134,16 @@ impl RealisticResult {
 ///
 /// Cores are left programmed at their thread-worst limits.
 ///
-/// # Panics
-///
-/// Panics if `apps` is empty.
-#[must_use]
-pub fn realistic_characterization(
-    system: &mut System,
-    ubench_limits: &[usize; 16],
-    apps: &[&Workload],
-    cfg: &CharactConfig,
-) -> RealisticResult {
-    realistic_characterization_recorded(system, ubench_limits, apps, cfg, &mut NullRecorder)
-}
-
-/// [`realistic_characterization`] with telemetry: the per-app limit
-/// walks record their trials through `rec`. (The parallel variant stays
-/// unrecorded: its workers own their shards outright.) Results are
-/// identical to [`realistic_characterization`]'s.
+/// The per-app limit walks record their trials through `rec`; pass
+/// [`&mut NullRecorder`](NullRecorder) for the unrecorded path. (The
+/// parallel variant stays unrecorded: its workers own their shards
+/// outright.)
 ///
 /// # Panics
 ///
 /// Panics if `apps` is empty.
 #[must_use]
-pub fn realistic_characterization_recorded<R: Recorder>(
+pub fn realistic_characterization<R: Recorder>(
     system: &mut System,
     ubench_limits: &[usize; 16],
     apps: &[&Workload],
@@ -168,7 +155,7 @@ pub fn realistic_characterization_recorded<R: Recorder>(
     for app in apps {
         for core in CoreId::all() {
             let ubench_limit = ubench_limits[core.flat_index()];
-            let distribution = find_limit_recorded(system, core, &[app], ubench_limit, cfg, rec);
+            let distribution = find_limit(system, core, &[app], ubench_limit, cfg, rec);
             profiles.push(AppCoreProfile {
                 app: app.name().to_owned(),
                 core,
@@ -187,6 +174,23 @@ pub fn realistic_characterization_recorded<R: Recorder>(
     }
 
     result
+}
+
+/// Deprecated alias of [`realistic_characterization`], kept for one
+/// release while callers migrate.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `realistic_characterization` (same signature)"
+)]
+#[must_use]
+pub fn realistic_characterization_recorded<R: Recorder>(
+    system: &mut System,
+    ubench_limits: &[usize; 16],
+    apps: &[&Workload],
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> RealisticResult {
+    realistic_characterization(system, ubench_limits, apps, cfg, rec)
 }
 
 /// Like [`realistic_characterization`], but fanning the applications out
@@ -217,7 +221,14 @@ pub fn realistic_characterization_parallel(
         for group in apps.chunks(chunk) {
             handles.push(scope.spawn(move || {
                 let mut worker = System::new(config.clone());
-                realistic_characterization(&mut worker, ubench_limits, group, cfg).profiles
+                realistic_characterization(
+                    &mut worker,
+                    ubench_limits,
+                    group,
+                    cfg,
+                    &mut NullRecorder,
+                )
+                .profiles
             }));
         }
         for h in handles {
@@ -250,7 +261,13 @@ mod tests {
         let ubench_limits = [4usize; 16];
 
         let mut seq_sys = System::new(config.clone());
-        let seq = realistic_characterization(&mut seq_sys, &ubench_limits, &apps, &cfg);
+        let seq = realistic_characterization(
+            &mut seq_sys,
+            &ubench_limits,
+            &apps,
+            &cfg,
+            &mut NullRecorder,
+        );
         let mut par_sys = System::new(config.clone());
         let par = realistic_characterization_parallel(
             &mut par_sys,
@@ -279,19 +296,20 @@ mod tests {
     fn x264_needs_more_rollback_than_gcc() {
         let mut sys = System::new(ChipConfig::default());
         let cfg = CharactConfig::quick();
-        let idle = idle_characterization(&mut sys, &cfg);
+        let idle = idle_characterization(&mut sys, &cfg, &mut NullRecorder);
         let mut idle_limits = [0usize; 16];
         for r in &idle {
             idle_limits[r.core.flat_index()] = r.idle_limit();
         }
-        let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+        let ub = ubench_characterization(&mut sys, &idle_limits, &cfg, &mut NullRecorder);
         let mut ubench_limits = [0usize; 16];
         for r in &ub {
             ubench_limits[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
         }
 
         let apps = [by_name("x264").unwrap(), by_name("gcc").unwrap()];
-        let result = realistic_characterization(&mut sys, &ubench_limits, &apps, &cfg);
+        let result =
+            realistic_characterization(&mut sys, &ubench_limits, &apps, &cfg, &mut NullRecorder);
 
         // Paper Fig. 9: x264 requires significant rollback, gcc little.
         let x264 = result.app_stress("x264");

@@ -1,7 +1,7 @@
 //! The ATM limit search: the shared engine of all characterization phases.
 
 use atm_chip::{MarginMode, System};
-use atm_telemetry::{NullRecorder, Recorder};
+use atm_telemetry::Recorder;
 use atm_units::{AtmError, CoreId, Nanos};
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -180,21 +180,12 @@ impl LimitDistribution {
 ///
 /// Returns `false` without running if `reduction` exceeds the core's
 /// preset.
-pub fn passes(
-    system: &mut System,
-    core: CoreId,
-    workload: &Workload,
-    reduction: usize,
-    trial: Nanos,
-) -> bool {
-    passes_recorded(system, core, workload, reduction, trial, &mut NullRecorder)
-}
-
-/// [`passes`] with telemetry: the trial runs through
-/// [`System::run_recorded`], and the `charact.trials` /
-/// `charact.trial_failures` counters are bumped. The verdict is
-/// identical to [`passes`].
-pub fn passes_recorded<R: Recorder>(
+///
+/// The trial runs through [`System::run`] with `rec`, and the
+/// `charact.trials` / `charact.trial_failures` counters are bumped;
+/// pass [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the zero-overhead
+/// unrecorded path.
+pub fn passes<R: Recorder>(
     system: &mut System,
     core: CoreId,
     workload: &Workload,
@@ -208,11 +199,25 @@ pub fn passes_recorded<R: Recorder>(
         return false;
     }
     system.assign(core, workload.clone());
-    let report = system.run_recorded(trial, rec);
+    let report = system.run(trial, rec);
     if !report.is_ok() {
         rec.incr("charact.trial_failures", 1);
     }
     report.is_ok()
+}
+
+/// Deprecated alias of [`passes`], kept for one release while callers
+/// migrate.
+#[deprecated(since = "0.1.0", note = "use `passes` (same signature)")]
+pub fn passes_recorded<R: Recorder>(
+    system: &mut System,
+    core: CoreId,
+    workload: &Workload,
+    reduction: usize,
+    trial: Nanos,
+    rec: &mut R,
+) -> bool {
+    passes(system, core, workload, reduction, trial, rec)
 }
 
 /// The limit-walk skeleton shared by every characterization driver.
@@ -279,27 +284,13 @@ where
 /// static margin (the paper's single-core characterization setup). The
 /// core is left at the distribution's limit with idle assigned.
 ///
-/// # Panics
-///
-/// Panics if `set` is empty or `cfg` is invalid.
-pub fn find_limit(
-    system: &mut System,
-    core: CoreId,
-    set: &[&Workload],
-    start_hint: usize,
-    cfg: &CharactConfig,
-) -> LimitDistribution {
-    find_limit_recorded(system, core, set, start_hint, cfg, &mut NullRecorder)
-}
-
-/// [`find_limit`] with telemetry: every trial of the walk is recorded
-/// through `rec` (see [`passes_recorded`]). The distribution is
-/// identical to [`find_limit`]'s.
+/// Every trial of the walk is recorded through `rec` (see [`passes`]);
+/// pass [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the unrecorded path.
 ///
 /// # Panics
 ///
 /// Panics if `set` is empty or `cfg` is invalid.
-pub fn find_limit_recorded<R: Recorder>(
+pub fn find_limit<R: Recorder>(
     system: &mut System,
     core: CoreId,
     set: &[&Workload],
@@ -318,7 +309,7 @@ pub fn find_limit_recorded<R: Recorder>(
 
     let max = system.core(core).cpms().max_reduction();
     let dist = find_limit_driven(max, start_hint, cfg.repeats, set.len(), |_, w, r| {
-        passes_recorded(system, core, set[w], r, cfg.trial, rec)
+        passes(system, core, set[w], r, cfg.trial, rec)
     });
     system
         .set_reduction(core, dist.limit())
@@ -327,10 +318,25 @@ pub fn find_limit_recorded<R: Recorder>(
     dist
 }
 
+/// Deprecated alias of [`find_limit`], kept for one release while
+/// callers migrate.
+#[deprecated(since = "0.1.0", note = "use `find_limit` (same signature)")]
+pub fn find_limit_recorded<R: Recorder>(
+    system: &mut System,
+    core: CoreId,
+    set: &[&Workload],
+    start_hint: usize,
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> LimitDistribution {
+    find_limit(system, core, set, start_hint, cfg, rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use atm_chip::ChipConfig;
+    use atm_telemetry::NullRecorder;
     use atm_workloads::by_name;
 
     fn system() -> System {
@@ -394,7 +400,8 @@ mod tests {
             core,
             &Workload::idle(),
             0,
-            Nanos::new(20_000.0)
+            Nanos::new(20_000.0),
+            &mut NullRecorder
         ));
     }
 
@@ -409,7 +416,8 @@ mod tests {
             core,
             &Workload::idle(),
             max,
-            Nanos::new(50_000.0)
+            Nanos::new(50_000.0),
+            &mut NullRecorder
         ));
     }
 
@@ -418,7 +426,14 @@ mod tests {
         let mut sys = system();
         let core = CoreId::new(0, 2);
         let idle = Workload::idle();
-        let dist = find_limit(&mut sys, core, &[&idle], 0, &CharactConfig::quick());
+        let dist = find_limit(
+            &mut sys,
+            core,
+            &[&idle],
+            0,
+            &CharactConfig::quick(),
+            &mut NullRecorder,
+        );
         let max = sys.core(core).cpms().max_reduction();
         assert!(dist.limit() > 0, "idle limit should allow some reduction");
         assert!(dist.limit() < max, "idle limit cannot be the whole preset");
@@ -430,7 +445,14 @@ mod tests {
         let mut sys = system();
         let core = CoreId::new(1, 1);
         let idle = Workload::idle();
-        let dist = find_limit(&mut sys, core, &[&idle], 0, &CharactConfig::quick());
+        let dist = find_limit(
+            &mut sys,
+            core,
+            &[&idle],
+            0,
+            &CharactConfig::quick(),
+            &mut NullRecorder,
+        );
         assert_eq!(sys.core(core).reduction(), dist.limit());
         assert_eq!(sys.core(core).workload().name(), "idle");
     }
@@ -440,7 +462,14 @@ mod tests {
         let mut sys = system();
         let core = CoreId::new(0, 4);
         let idle = Workload::idle();
-        let dist = find_limit(&mut sys, core, &[&idle], 999, &CharactConfig::quick());
+        let dist = find_limit(
+            &mut sys,
+            core,
+            &[&idle],
+            999,
+            &CharactConfig::quick(),
+            &mut NullRecorder,
+        );
         let max = sys.core(core).cpms().max_reduction();
         assert!(dist.limit() <= max);
         assert!(dist.max() <= max);
@@ -454,8 +483,8 @@ mod tests {
         let cfg = CharactConfig::quick();
         let gcc = by_name("gcc").unwrap();
         let x264 = by_name("x264").unwrap();
-        let solo_x264 = find_limit(&mut sys, core, &[x264], 4, &cfg);
-        let pair = find_limit(&mut sys, core, &[gcc, x264], 4, &cfg);
+        let solo_x264 = find_limit(&mut sys, core, &[x264], 4, &cfg, &mut NullRecorder);
+        let pair = find_limit(&mut sys, core, &[gcc, x264], 4, &cfg, &mut NullRecorder);
         assert!(
             pair.limit() <= solo_x264.limit() + 1,
             "pair {} vs x264 {}",
@@ -470,9 +499,16 @@ mod tests {
         let core = CoreId::new(0, 3);
         let idle = Workload::idle();
         let cfg = CharactConfig::quick();
-        let idle_dist = find_limit(&mut sys, core, &[&idle], 0, &cfg);
+        let idle_dist = find_limit(&mut sys, core, &[&idle], 0, &cfg, &mut NullRecorder);
         let x264 = by_name("x264").unwrap();
-        let x264_dist = find_limit(&mut sys, core, &[x264], idle_dist.limit(), &cfg);
+        let x264_dist = find_limit(
+            &mut sys,
+            core,
+            &[x264],
+            idle_dist.limit(),
+            &cfg,
+            &mut NullRecorder,
+        );
         assert!(
             x264_dist.limit() <= idle_dist.limit(),
             "x264 {} must not exceed idle {}",

@@ -1,12 +1,12 @@
 //! Micro-benchmark characterization (Sec. V, Fig. 8).
 
 use atm_chip::System;
-use atm_telemetry::{NullRecorder, Recorder};
+use atm_telemetry::Recorder;
 use atm_units::CoreId;
 use atm_workloads::ubench_set;
 use serde::{Deserialize, Serialize};
 
-use super::search::{find_limit_recorded, CharactConfig, LimitDistribution};
+use super::search::{find_limit, CharactConfig, LimitDistribution};
 
 /// Result of the uBench characterization of one core.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,20 +40,11 @@ impl UbenchResult {
 /// [`idle_characterization`](super::idle_characterization).
 ///
 /// Cores are left programmed at their uBench limits.
+///
+/// The limit walks record their trials through `rec`; pass
+/// [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the unrecorded path.
 #[must_use]
-pub fn ubench_characterization(
-    system: &mut System,
-    idle_limits: &[usize; 16],
-    cfg: &CharactConfig,
-) -> Vec<UbenchResult> {
-    ubench_characterization_recorded(system, idle_limits, cfg, &mut NullRecorder)
-}
-
-/// [`ubench_characterization`] with telemetry: the limit walks record
-/// their trials through `rec`. Results are identical to
-/// [`ubench_characterization`]'s.
-#[must_use]
-pub fn ubench_characterization_recorded<R: Recorder>(
+pub fn ubench_characterization<R: Recorder>(
     system: &mut System,
     idle_limits: &[usize; 16],
     cfg: &CharactConfig,
@@ -63,7 +54,7 @@ pub fn ubench_characterization_recorded<R: Recorder>(
     let mut results = Vec::with_capacity(16);
     for core in CoreId::all() {
         let idle_limit = idle_limits[core.flat_index()];
-        let distribution = find_limit_recorded(system, core, &set, idle_limit, cfg, rec);
+        let distribution = find_limit(system, core, &set, idle_limit, cfg, rec);
         // The uBench limit can never exceed the idle limit: clamp the
         // distribution's use accordingly (a lucky repeat may sample past
         // it, but the paper's methodology only rolls back).
@@ -80,22 +71,39 @@ pub fn ubench_characterization_recorded<R: Recorder>(
     results
 }
 
+/// Deprecated alias of [`ubench_characterization`], kept for one release
+/// while callers migrate.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ubench_characterization` (same signature)"
+)]
+#[must_use]
+pub fn ubench_characterization_recorded<R: Recorder>(
+    system: &mut System,
+    idle_limits: &[usize; 16],
+    cfg: &CharactConfig,
+    rec: &mut R,
+) -> Vec<UbenchResult> {
+    ubench_characterization(system, idle_limits, cfg, rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::charact::idle_characterization;
     use atm_chip::ChipConfig;
+    use atm_telemetry::NullRecorder;
 
     #[test]
     fn ubench_limits_at_or_below_idle_limits() {
         let mut sys = System::new(ChipConfig::default());
         let cfg = CharactConfig::quick();
-        let idle = idle_characterization(&mut sys, &cfg);
+        let idle = idle_characterization(&mut sys, &cfg, &mut NullRecorder);
         let mut idle_limits = [0usize; 16];
         for r in &idle {
             idle_limits[r.core.flat_index()] = r.idle_limit();
         }
-        let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+        let ub = ubench_characterization(&mut sys, &idle_limits, &cfg, &mut NullRecorder);
         assert_eq!(ub.len(), 16);
 
         let mut rollbacks = 0;

@@ -64,6 +64,8 @@ pub use schedule::{Schedule, ScheduleEntry};
 pub use scheduler::{Placement, Scheduler};
 pub use stress::{stress_test_deploy, StressTestResult};
 pub use supervisor::{MarginSupervisor, SupervisorAction, SupervisorConfig, SupervisorSummary};
-pub use throttle::{
-    throttle_to_budget, throttle_to_budget_recorded, ThrottlePlan, ThrottleSetting,
-};
+pub use throttle::{throttle_to_budget, ThrottlePlan, ThrottleSetting};
+
+// Deprecated alias stays importable for one release.
+#[allow(deprecated)]
+pub use throttle::throttle_to_budget_recorded;

@@ -5,13 +5,12 @@ use std::fmt;
 use atm_units::CoreId;
 use serde::{Deserialize, Serialize};
 
-use crate::charact::{idle_characterization_recorded, IdleResult, UbenchResult};
+use crate::charact::{idle_characterization, IdleResult, UbenchResult};
 use crate::charact::{
-    realistic_characterization_recorded, ubench_characterization_recorded, CharactConfig,
-    RealisticResult,
+    realistic_characterization, ubench_characterization, CharactConfig, RealisticResult,
 };
 use atm_chip::System;
-use atm_telemetry::{NullRecorder, Recorder};
+use atm_telemetry::Recorder;
 use atm_workloads::Workload;
 
 /// The paper's Table I: for each of the sixteen cores, the ATM limit (in
@@ -32,6 +31,7 @@ use atm_workloads::Workload;
 ///     &mut sys,
 ///     &realistic_set(),
 ///     &CharactConfig::standard(),
+///     &mut atm_telemetry::NullRecorder,
 /// );
 /// println!("{table}");
 /// ```
@@ -52,21 +52,24 @@ impl LimitTable {
     /// realistic apps) and assembles the table. Cores are left programmed
     /// at their thread-worst limits.
     ///
-    /// Also returns detailed results through
+    /// Every trial of every phase records through `rec`; pass
+    /// [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the
+    /// unrecorded path. Also returns detailed results through
     /// [`LimitTable::characterize_detailed`] when the distributions are
     /// needed.
     #[must_use]
-    pub fn characterize(
+    pub fn characterize<R: Recorder>(
         system: &mut System,
         apps: &[&Workload],
         cfg: &CharactConfig,
+        rec: &mut R,
     ) -> LimitTable {
-        LimitTable::characterize_detailed(system, apps, cfg).0
+        LimitTable::characterize_detailed(system, apps, cfg, rec).0
     }
 
-    /// [`LimitTable::characterize`] with telemetry: every trial of every
-    /// phase records through `rec`. The table is identical to
-    /// [`LimitTable::characterize`]'s.
+    /// Deprecated alias of [`LimitTable::characterize`], kept for one
+    /// release while callers migrate.
+    #[deprecated(since = "0.1.0", note = "use `characterize` (same signature)")]
     #[must_use]
     pub fn characterize_recorded<R: Recorder>(
         system: &mut System,
@@ -74,27 +77,50 @@ impl LimitTable {
         cfg: &CharactConfig,
         rec: &mut R,
     ) -> LimitTable {
-        LimitTable::characterize_detailed_recorded(system, apps, cfg, rec).0
+        LimitTable::characterize(system, apps, cfg, rec)
     }
 
     /// Like [`LimitTable::characterize`], also returning the per-phase
     /// detail (idle results, uBench results, realistic profiles).
     #[must_use]
-    pub fn characterize_detailed(
+    pub fn characterize_detailed<R: Recorder>(
         system: &mut System,
         apps: &[&Workload],
         cfg: &CharactConfig,
+        rec: &mut R,
     ) -> (
         LimitTable,
         Vec<IdleResult>,
         Vec<UbenchResult>,
         RealisticResult,
     ) {
-        LimitTable::characterize_detailed_recorded(system, apps, cfg, &mut NullRecorder)
+        let idle_results = idle_characterization(system, cfg, rec);
+        let mut idle = [0usize; 16];
+        for r in &idle_results {
+            idle[r.core.flat_index()] = r.idle_limit();
+        }
+
+        let ubench_results = ubench_characterization(system, &idle, cfg, rec);
+        let mut ubench = [0usize; 16];
+        for r in &ubench_results {
+            ubench[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
+        }
+
+        let realistic = realistic_characterization(system, &ubench, apps, cfg, rec);
+
+        let table = LimitTable {
+            idle,
+            ubench,
+            thread_normal: realistic.thread_normal,
+            thread_worst: realistic.thread_worst,
+        };
+        table.assert_invariants();
+        (table, idle_results, ubench_results, realistic)
     }
 
-    /// [`LimitTable::characterize_detailed`] with telemetry through
-    /// `rec`.
+    /// Deprecated alias of [`LimitTable::characterize_detailed`], kept
+    /// for one release while callers migrate.
+    #[deprecated(since = "0.1.0", note = "use `characterize_detailed` (same signature)")]
     #[must_use]
     pub fn characterize_detailed_recorded<R: Recorder>(
         system: &mut System,
@@ -107,28 +133,7 @@ impl LimitTable {
         Vec<UbenchResult>,
         RealisticResult,
     ) {
-        let idle_results = idle_characterization_recorded(system, cfg, rec);
-        let mut idle = [0usize; 16];
-        for r in &idle_results {
-            idle[r.core.flat_index()] = r.idle_limit();
-        }
-
-        let ubench_results = ubench_characterization_recorded(system, &idle, cfg, rec);
-        let mut ubench = [0usize; 16];
-        for r in &ubench_results {
-            ubench[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
-        }
-
-        let realistic = realistic_characterization_recorded(system, &ubench, apps, cfg, rec);
-
-        let table = LimitTable {
-            idle,
-            ubench,
-            thread_normal: realistic.thread_normal,
-            thread_worst: realistic.thread_worst,
-        };
-        table.assert_invariants();
-        (table, idle_results, ubench_results, realistic)
+        LimitTable::characterize_detailed(system, apps, cfg, rec)
     }
 
     /// Checks the monotonicity invariant.

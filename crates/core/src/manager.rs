@@ -4,7 +4,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use atm_chip::{MarginMode, System};
-use atm_telemetry::{NullRecorder, Recorder, RollbackEvent, TelemetryEvent};
+use atm_telemetry::{Recorder, RollbackEvent, TelemetryEvent};
 use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId, Watts};
 use atm_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -17,7 +17,7 @@ use crate::qos::QosTarget;
 use crate::scheduler::{Placement, Scheduler};
 use crate::stress::{stress_test_deploy, StressTestResult};
 use crate::supervisor::SupervisorAction;
-use crate::throttle::{throttle_to_budget_recorded, ThrottleSetting};
+use crate::throttle::{throttle_to_budget, ThrottlePlan, ThrottleSetting};
 
 /// Frequency headroom added to the QoS-required frequency when computing
 /// the balanced power budget, covering droop-transient losses.
@@ -97,6 +97,7 @@ pub struct ManagedOutcome {
 /// use atm_chip::{ChipConfig, System};
 /// use atm_core::{AtmManager, Governor, QosTarget};
 /// use atm_core::charact::CharactConfig;
+/// use atm_telemetry::NullRecorder;
 /// use atm_workloads::by_name;
 ///
 /// let sys = System::new(ChipConfig::default());
@@ -105,6 +106,7 @@ pub struct ManagedOutcome {
 ///     by_name("squeezenet").unwrap(),
 ///     by_name("x264").unwrap(),
 ///     atm_core::manager::Strategy::ManagedBalanced(QosTarget::improvement_pct(10.0)),
+///     &mut NullRecorder,
 /// );
 /// assert!(outcome.speedup >= 1.0);
 /// ```
@@ -227,19 +229,12 @@ impl AtmManager {
     /// Runs one ⟨critical : background⟩ pair under `strategy` and measures
     /// the critical application's speedup over the static-margin baseline
     /// (one bar group of Fig. 14).
-    pub fn evaluate_pair(
-        &mut self,
-        critical: &Workload,
-        background: &Workload,
-        strategy: Strategy,
-    ) -> ManagedOutcome {
-        self.evaluate_pair_recorded(critical, background, strategy, &mut NullRecorder)
-    }
-
-    /// [`AtmManager::evaluate_pair`] with telemetry: the measured run,
-    /// throttle decision and power-budget gauge record through `rec`. The
-    /// outcome is identical to [`AtmManager::evaluate_pair`]'s.
-    pub fn evaluate_pair_recorded<R: Recorder>(
+    ///
+    /// The measured run, throttle decision and power-budget gauge record
+    /// through `rec`; pass [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the
+    /// zero-overhead unrecorded path — the outcome is identical either
+    /// way.
+    pub fn evaluate_pair<R: Recorder>(
         &mut self,
         critical: &Workload,
         background: &Workload,
@@ -309,13 +304,8 @@ impl AtmManager {
                 self.place(core, critical, background, MarginMode::Atm);
                 self.system.set_mode(core, MarginMode::Atm);
                 let bg_cores: Vec<CoreId> = proc.cores().filter(|c| *c != core).collect();
-                let plan = throttle_to_budget_recorded(
-                    &mut self.system,
-                    &bg_cores,
-                    budget,
-                    proc.index(),
-                    rec,
-                );
+                let plan =
+                    throttle_to_budget(&mut self.system, &bg_cores, budget, proc.index(), rec);
                 (core, Some(plan.setting))
             }
         };
@@ -329,6 +319,20 @@ impl AtmManager {
             baseline,
             rec,
         )
+    }
+
+    /// Deprecated alias of [`AtmManager::evaluate_pair`], kept for one
+    /// release while callers migrate to the consolidated recorder-generic
+    /// method.
+    #[deprecated(since = "0.1.0", note = "use `evaluate_pair` (same signature)")]
+    pub fn evaluate_pair_recorded<R: Recorder>(
+        &mut self,
+        critical: &Workload,
+        background: &Workload,
+        strategy: Strategy,
+        rec: &mut R,
+    ) -> ManagedOutcome {
+        self.evaluate_pair(critical, background, strategy, rec)
     }
 
     /// Applies the governor's reduction map for `critical`, adjusted by
@@ -360,21 +364,11 @@ impl AtmManager {
     /// [`AtmManager::serve_posture`]) keeps the rollback, and the core's
     /// cached frequency predictor is retrained on demand.
     ///
-    /// Returns the core's new reduction.
-    pub fn rollback_core(&mut self, core: CoreId, steps: usize) -> usize {
-        self.rollback_core_recorded(core, steps, &mut NullRecorder)
-    }
-
-    /// [`AtmManager::rollback_core`] with telemetry: bumps the
-    /// `manager.rollbacks` counter and records a
-    /// [`atm_telemetry::RollbackEvent`]. The new reduction is identical to
-    /// [`AtmManager::rollback_core`]'s.
-    pub fn rollback_core_recorded<R: Recorder>(
-        &mut self,
-        core: CoreId,
-        steps: usize,
-        rec: &mut R,
-    ) -> usize {
+    /// Bumps the `manager.rollbacks` counter and records a
+    /// [`atm_telemetry::RollbackEvent`] through `rec`; pass
+    /// [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the zero-overhead
+    /// unrecorded path. Returns the core's new reduction.
+    pub fn rollback_core<R: Recorder>(&mut self, core: CoreId, steps: usize, rec: &mut R) -> usize {
         let entry = self.rollback_overrides.entry(core).or_insert(0);
         *entry += steps;
         let current = self.system.core(core).reduction();
@@ -395,6 +389,18 @@ impl AtmManager {
         new
     }
 
+    /// Deprecated alias of [`AtmManager::rollback_core`], kept for one
+    /// release while callers migrate.
+    #[deprecated(since = "0.1.0", note = "use `rollback_core` (same signature)")]
+    pub fn rollback_core_recorded<R: Recorder>(
+        &mut self,
+        core: CoreId,
+        steps: usize,
+        rec: &mut R,
+    ) -> usize {
+        self.rollback_core(core, steps, rec)
+    }
+
     /// The cumulative post-failure rollback override on `core`.
     #[must_use]
     pub fn rollback_override(&self, core: CoreId) -> usize {
@@ -406,15 +412,12 @@ impl AtmManager {
     /// layer must recompute its placement (a core was quarantined or
     /// dropped to safe mode — either can take the critical core out of
     /// rotation).
-    pub fn apply_supervisor_actions(&mut self, actions: &[SupervisorAction]) -> bool {
-        self.apply_supervisor_actions_recorded(actions, &mut NullRecorder)
-    }
-
-    /// [`AtmManager::apply_supervisor_actions`] with telemetry: rollbacks
-    /// and re-probes record through `rec` and the `manager.quarantines` /
-    /// `manager.safe_modes` counters are bumped. The outcome is identical
-    /// to [`AtmManager::apply_supervisor_actions`]'s.
-    pub fn apply_supervisor_actions_recorded<R: Recorder>(
+    ///
+    /// Rollbacks and re-probes record through `rec` and the
+    /// `manager.quarantines` / `manager.safe_modes` counters are bumped;
+    /// pass [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the zero-overhead
+    /// unrecorded path.
+    pub fn apply_supervisor_actions<R: Recorder>(
         &mut self,
         actions: &[SupervisorAction],
         rec: &mut R,
@@ -428,12 +431,12 @@ impl AtmManager {
             match *action {
                 SupervisorAction::Rollback { steps, .. } => {
                     if !self.safe_mode.contains(&core) {
-                        let _ = self.rollback_core_recorded(core, steps, rec);
+                        let _ = self.rollback_core(core, steps, rec);
                     }
                 }
                 SupervisorAction::Reprobe { steps, .. } => {
                     if !self.safe_mode.contains(&core) {
-                        let _ = self.reprobe_core_recorded(core, steps, rec);
+                        let _ = self.reprobe_core(core, steps, rec);
                     }
                 }
                 SupervisorAction::SafeMode { .. } => {
@@ -451,17 +454,28 @@ impl AtmManager {
         needs_replace
     }
 
+    /// Deprecated alias of [`AtmManager::apply_supervisor_actions`], kept
+    /// for one release while callers migrate.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `apply_supervisor_actions` (same signature)"
+    )]
+    pub fn apply_supervisor_actions_recorded<R: Recorder>(
+        &mut self,
+        actions: &[SupervisorAction],
+        rec: &mut R,
+    ) -> bool {
+        self.apply_supervisor_actions(actions, rec)
+    }
+
     /// Cautiously restores fine-tuning after a clean probation: `steps` of
     /// the rollback override come back off, and the core's live reduction
     /// climbs by `steps`, capped at the stress-test-validated deployment.
+    /// Re-probes record through `rec` (`manager.reprobes`); pass
+    /// [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the unrecorded path.
     ///
     /// Returns the core's new reduction.
-    pub fn reprobe_core_recorded<R: Recorder>(
-        &mut self,
-        core: CoreId,
-        steps: usize,
-        rec: &mut R,
-    ) -> usize {
+    pub fn reprobe_core<R: Recorder>(&mut self, core: CoreId, steps: usize, rec: &mut R) -> usize {
         if let Some(over) = self.rollback_overrides.get_mut(&core) {
             *over = over.saturating_sub(steps);
             if *over == 0 {
@@ -478,6 +492,18 @@ impl AtmManager {
         new
     }
 
+    /// Deprecated alias of [`AtmManager::reprobe_core`], kept for one
+    /// release while callers migrate.
+    #[deprecated(since = "0.1.0", note = "use `reprobe_core` (same signature)")]
+    pub fn reprobe_core_recorded<R: Recorder>(
+        &mut self,
+        core: CoreId,
+        steps: usize,
+        rec: &mut R,
+    ) -> usize {
+        self.reprobe_core(core, steps, rec)
+    }
+
     /// Re-tightens `core`'s fine-tuning by up to `steps`: the online
     /// adaptation hook. The new reduction is capped at the stress-tested
     /// deployment ceiling *minus the supervisor's live rollback override*,
@@ -485,15 +511,10 @@ impl AtmManager {
     /// rolled back until its probation clears through the normal re-probe
     /// path. Quarantined and safe-mode cores are left untouched.
     ///
+    /// Bumps the `manager.retightens` counter through `rec`; pass
+    /// [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the unrecorded path.
     /// Returns the core's reduction after the call.
-    pub fn retighten_core(&mut self, core: CoreId, steps: usize) -> usize {
-        self.retighten_core_recorded(core, steps, &mut NullRecorder)
-    }
-
-    /// [`AtmManager::retighten_core`] with telemetry: bumps the
-    /// `manager.retightens` counter. The new reduction is identical to
-    /// [`AtmManager::retighten_core`]'s.
-    pub fn retighten_core_recorded<R: Recorder>(
+    pub fn retighten_core<R: Recorder>(
         &mut self,
         core: CoreId,
         steps: usize,
@@ -517,6 +538,18 @@ impl AtmManager {
         self.freq_predictors.remove(&core);
         rec.incr("manager.retightens", 1);
         new
+    }
+
+    /// Deprecated alias of [`AtmManager::retighten_core`], kept for one
+    /// release while callers migrate.
+    #[deprecated(since = "0.1.0", note = "use `retighten_core` (same signature)")]
+    pub fn retighten_core_recorded<R: Recorder>(
+        &mut self,
+        core: CoreId,
+        steps: usize,
+        rec: &mut R,
+    ) -> usize {
+        self.retighten_core(core, steps, rec)
     }
 
     /// Quarantines `core`: clock-gated, idled, reduction pinned at 0, and
@@ -574,26 +607,14 @@ impl AtmManager {
     /// `ManagedBalanced` pipeline, but returning the full posture instead
     /// of running a one-shot measurement.
     ///
-    /// # Errors
-    ///
-    /// Returns [`AtmError::InvalidConfig`] if `backgrounds` is empty.
-    pub fn serve_posture(
-        &mut self,
-        critical: &Workload,
-        backgrounds: &[Workload],
-        qos: QosTarget,
-    ) -> Result<ServePosture, AtmError> {
-        self.serve_posture_recorded(critical, backgrounds, qos, &mut NullRecorder)
-    }
-
-    /// [`AtmManager::serve_posture`] with telemetry: the power-budget
-    /// gauge and throttle decision record through `rec`. The posture is
-    /// identical to [`AtmManager::serve_posture`]'s.
+    /// The power-budget gauge and throttle decision record through
+    /// `rec`; pass [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the
+    /// zero-overhead unrecorded path.
     ///
     /// # Errors
     ///
     /// Returns [`AtmError::InvalidConfig`] if `backgrounds` is empty.
-    pub fn serve_posture_recorded<R: Recorder>(
+    pub fn serve_posture<R: Recorder>(
         &mut self,
         critical: &Workload,
         backgrounds: &[Workload],
@@ -638,7 +659,7 @@ impl AtmManager {
                 .assign(bg_core, backgrounds[i % backgrounds.len()].clone());
             self.system.set_mode(bg_core, MarginMode::Atm);
         }
-        let plan = throttle_to_budget_recorded(
+        let plan = throttle_to_budget(
             &mut self.system,
             &placement.background_cores,
             budget,
@@ -657,6 +678,71 @@ impl AtmManager {
             core_freqs,
             budget,
         })
+    }
+
+    /// Deprecated alias of [`AtmManager::serve_posture`], kept for one
+    /// release while callers migrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if `backgrounds` is empty.
+    #[deprecated(since = "0.1.0", note = "use `serve_posture` (same signature)")]
+    pub fn serve_posture_recorded<R: Recorder>(
+        &mut self,
+        critical: &Workload,
+        backgrounds: &[Workload],
+        qos: QosTarget,
+        rec: &mut R,
+    ) -> Result<ServePosture, AtmError> {
+        self.serve_posture(critical, backgrounds, qos, rec)
+    }
+
+    /// The power regulator's actuation seam: applies a cap throttle depth
+    /// on top of a serving posture, background-before-critical.
+    ///
+    /// `base` is the posture's own background throttle plan (the
+    /// regulator's depth is always relative to it, so droop-policy
+    /// escalations and cap throttles compose instead of fighting);
+    /// `bg_depth` rungs are taken off the background cores first, and
+    /// `crit_depth` pins the critical core that many ladder rungs below
+    /// ATM-max — clamped above [`ThrottleSetting::Gated`], a power cap may
+    /// slow the critical stream but never kill it.
+    ///
+    /// Supervisor state always outranks the regulator: quarantined and
+    /// safe-mode cores are skipped entirely, and because the seam moves
+    /// *margin modes* only, a rolled-back core's reduction (the
+    /// `retighten_core` ceiling: deployment minus live rollback override)
+    /// is untouched — a cap release can never undo a strike.
+    ///
+    /// Returns the background setting now in force.
+    pub fn apply_cap_levels<R: Recorder>(
+        &mut self,
+        base: &ThrottlePlan,
+        critical: CoreId,
+        bg_depth: u32,
+        crit_depth: u32,
+        rec: &mut R,
+    ) -> ThrottleSetting {
+        let pstates = self.system.config().pstates.clone();
+        let bg_setting = base.setting.stepped(&pstates, bg_depth);
+        for &core in &base.cores {
+            if self.quarantined.contains(&core) || self.safe_mode.contains(&core) {
+                continue;
+            }
+            self.system.set_mode(core, bg_setting.margin_mode());
+        }
+        if !self.quarantined.contains(&critical) && !self.safe_mode.contains(&critical) {
+            let ladder = ThrottleSetting::ladder(&pstates);
+            // Never gate the critical core: clamp at the slowest p-state.
+            let idx = (crit_depth as usize).min(ladder.len() - 2);
+            self.system.set_mode(critical, ladder[idx].margin_mode());
+        }
+        if rec.enabled() {
+            rec.incr("manager.cap_applications", 1);
+            rec.gauge("manager.cap_bg_depth", f64::from(bg_depth));
+            rec.gauge("manager.cap_crit_depth", f64::from(crit_depth));
+        }
+        bg_setting
     }
 
     /// Re-settles the current schedule and reports each of `proc`'s cores'
@@ -703,7 +789,7 @@ impl AtmManager {
         baseline: MegaHz,
         rec: &mut R,
     ) -> ManagedOutcome {
-        let report = self.system.run_recorded(self.measure_duration, rec);
+        let report = self.system.run(self.measure_duration, rec);
         let critical_freq = report.core(critical_core).mean_freq;
         ManagedOutcome {
             strategy,
@@ -723,11 +809,43 @@ impl AtmManager {
 mod tests {
     use super::*;
     use atm_chip::ChipConfig;
+    use atm_telemetry::NullRecorder;
     use atm_workloads::by_name;
 
     fn manager() -> AtmManager {
         let sys = System::new(ChipConfig::default());
         AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick())
+    }
+
+    /// The deprecated `*_recorded` shims must stay exact aliases of the
+    /// consolidated methods until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_recorded_shims_match_canonical_methods() {
+        let critical = by_name("squeezenet").unwrap();
+        let background = by_name("x264").unwrap();
+
+        let mut canonical = manager();
+        let via_new = canonical.evaluate_pair(
+            critical,
+            background,
+            Strategy::ManagedMax,
+            &mut NullRecorder,
+        );
+        let mut shimmed = manager();
+        let via_shim = shimmed.evaluate_pair_recorded(
+            critical,
+            background,
+            Strategy::ManagedMax,
+            &mut NullRecorder,
+        );
+        assert_eq!(via_new.critical_freq, via_shim.critical_freq);
+        assert!((via_new.speedup - via_shim.speedup).abs() < 1e-12);
+
+        let victim = CoreId::new(0, 3);
+        let a = canonical.rollback_core(victim, 2, &mut NullRecorder);
+        let b = shimmed.rollback_core_recorded(victim, 2, &mut NullRecorder);
+        assert_eq!(a, b, "rollback shims must land on the same reduction");
     }
 
     #[test]
@@ -736,10 +854,30 @@ mod tests {
         let critical = by_name("squeezenet").unwrap();
         let background = by_name("x264").unwrap();
 
-        let s_static = mgr.evaluate_pair(critical, background, Strategy::StaticMargin);
-        let s_default = mgr.evaluate_pair(critical, background, Strategy::DefaultAtm);
-        let s_unmanaged = mgr.evaluate_pair(critical, background, Strategy::FineTunedUnmanaged);
-        let s_max = mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
+        let s_static = mgr.evaluate_pair(
+            critical,
+            background,
+            Strategy::StaticMargin,
+            &mut NullRecorder,
+        );
+        let s_default = mgr.evaluate_pair(
+            critical,
+            background,
+            Strategy::DefaultAtm,
+            &mut NullRecorder,
+        );
+        let s_unmanaged = mgr.evaluate_pair(
+            critical,
+            background,
+            Strategy::FineTunedUnmanaged,
+            &mut NullRecorder,
+        );
+        let s_max = mgr.evaluate_pair(
+            critical,
+            background,
+            Strategy::ManagedMax,
+            &mut NullRecorder,
+        );
 
         assert!((s_static.speedup - 1.0).abs() < 1e-9);
         assert!(
@@ -770,7 +908,12 @@ mod tests {
         let critical = by_name("squeezenet").unwrap();
         let background = by_name("lu_cb").unwrap();
         let qos = QosTarget::improvement_pct(10.0);
-        let outcome = mgr.evaluate_pair(critical, background, Strategy::ManagedBalanced(qos));
+        let outcome = mgr.evaluate_pair(
+            critical,
+            background,
+            Strategy::ManagedBalanced(qos),
+            &mut NullRecorder,
+        );
         assert!(
             qos.met_by(outcome.speedup),
             "balanced speedup {:.3} misses {qos}",
@@ -784,7 +927,12 @@ mod tests {
         let mut mgr = manager();
         let critical = by_name("seq2seq").unwrap();
         let background = by_name("swaptions").unwrap();
-        let outcome = mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
+        let outcome = mgr.evaluate_pair(
+            critical,
+            background,
+            Strategy::ManagedMax,
+            &mut NullRecorder,
+        );
         assert_eq!(
             outcome.background_setting,
             Some(ThrottleSetting::Fixed(MegaHz::new(2100.0)))
@@ -802,7 +950,12 @@ mod tests {
             by_name("lu_cb").unwrap().clone(),
         ];
         let posture = mgr
-            .serve_posture(critical, &bgs, QosTarget::improvement_pct(10.0))
+            .serve_posture(
+                critical,
+                &bgs,
+                QosTarget::improvement_pct(10.0),
+                &mut NullRecorder,
+            )
             .expect("non-empty backgrounds");
 
         assert_eq!(posture.placement.background_cores.len(), 7);
@@ -837,23 +990,23 @@ mod tests {
         let bgs = [by_name("x264").unwrap().clone()];
         let qos = QosTarget::improvement_pct(5.0);
         let first = mgr
-            .serve_posture(critical, &bgs, qos)
+            .serve_posture(critical, &bgs, qos, &mut NullRecorder)
             .expect("non-empty backgrounds");
         let victim = first.placement.critical_core;
         let before = mgr.system().core(victim).reduction();
         if before == 0 {
             // Nothing to roll back on this silicon; the override still
             // registers.
-            let _ = mgr.rollback_core(victim, 2);
+            let _ = mgr.rollback_core(victim, 2, &mut NullRecorder);
             assert_eq!(mgr.rollback_override(victim), 2);
             return;
         }
-        let after = mgr.rollback_core(victim, 2);
+        let after = mgr.rollback_core(victim, 2, &mut NullRecorder);
         assert_eq!(after, before.saturating_sub(2));
         // Re-posturing re-applies the governor map — the rollback must
         // survive it.
         let _ = mgr
-            .serve_posture(critical, &bgs, qos)
+            .serve_posture(critical, &bgs, qos, &mut NullRecorder)
             .expect("non-empty backgrounds");
         assert_eq!(mgr.system().core(victim).reduction(), after);
     }
@@ -868,6 +1021,7 @@ mod tests {
             by_name("babi").unwrap(),
             by_name("raytrace").unwrap(),
             Strategy::DefaultAtm,
+            &mut NullRecorder,
         );
         let after: Vec<usize> = CoreId::all()
             .map(|c| mgr.system().core(c).reduction())

@@ -30,6 +30,7 @@ pub struct ScheduleEntry {
 /// ```
 /// use atm_chip::{ChipConfig, MarginMode, System};
 /// use atm_core::Schedule;
+/// use atm_telemetry::NullRecorder;
 /// use atm_units::{CoreId, Nanos};
 /// use atm_workloads::by_name;
 ///
@@ -38,7 +39,7 @@ pub struct ScheduleEntry {
 ///     .run(CoreId::new(0, 0), by_name("squeezenet").unwrap().clone(), MarginMode::Atm)
 ///     .run_smt(CoreId::new(0, 1), by_name("daxpy").unwrap().clone(), 4, MarginMode::Static)
 ///     .apply(&mut sys);
-/// let report = sys.run(Nanos::new(10_000.0));
+/// let report = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
 /// assert!(report.is_ok());
 /// assert_eq!(report.core(CoreId::new(0, 0)).workload, "squeezenet");
 /// ```
@@ -135,6 +136,7 @@ impl Schedule {
 mod tests {
     use super::*;
     use atm_chip::ChipConfig;
+    use atm_telemetry::NullRecorder;
     use atm_units::Nanos;
     use atm_workloads::by_name;
 
@@ -160,7 +162,7 @@ mod tests {
         assert_eq!(sys.core(CoreId::new(0, 2)).mode(), MarginMode::Atm);
         assert_eq!(sys.core(CoreId::new(1, 1)).smt_threads(), 4);
         assert_eq!(sys.core(CoreId::new(0, 0)).mode(), MarginMode::Gated);
-        let report = sys.run(Nanos::new(5_000.0));
+        let report = sys.run(Nanos::new(5_000.0), &mut NullRecorder);
         assert!(report.is_ok());
     }
 

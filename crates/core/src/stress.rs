@@ -9,6 +9,7 @@
 //! way, the inter-core speed variation remains exposed.
 
 use atm_chip::{MarginMode, System};
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, MegaHz};
 use atm_workloads::{isa_suite, power_virus, voltage_virus};
 use serde::{Deserialize, Serialize};
@@ -100,7 +101,7 @@ pub fn stress_test_deploy(
                 'trials: for stress in [&virus, &pvirus, &isa] {
                     system.assign(core, (*stress).clone());
                     for _ in 0..cfg.repeats {
-                        if !system.run(cfg.trial).is_ok() {
+                        if !system.run(cfg.trial, &mut NullRecorder).is_ok() {
                             ok = false;
                             break 'trials;
                         }
@@ -144,7 +145,7 @@ pub fn stress_test_deploy(
     loop {
         let mut clean = true;
         for _ in 0..joint_repeats {
-            let report = system.run(joint_trial);
+            let report = system.run(joint_trial, &mut NullRecorder);
             if let Some(failure) = report.failure {
                 let i = failure.core.flat_index();
                 limits[i] = limits[i].saturating_sub(1);
@@ -245,7 +246,7 @@ mod tests {
         // Exposure consistent with what the quick-config gate certified
         // (2·repeats trials of 2·trial length = 160 µs total).
         for _ in 0..3 {
-            let report = sys.run(atm_units::Nanos::new(40_000.0));
+            let report = sys.run(atm_units::Nanos::new(40_000.0), &mut NullRecorder);
             assert!(
                 report.is_ok(),
                 "deployed config failed the joint co-location run: {:?}",

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use atm_chip::{MarginMode, PStateTable, System};
-use atm_telemetry::{NullRecorder, Recorder, TelemetryEvent, ThrottleAction, ThrottleRung};
+use atm_telemetry::{Recorder, TelemetryEvent, ThrottleAction, ThrottleRung};
 use atm_units::{CoreId, MegaHz, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +68,33 @@ impl ThrottleSetting {
         let pos = ladder.iter().position(|s| s == self)?;
         ladder.get(pos + 1).copied()
     }
+
+    /// The setting `depth` rungs below this one, clamped at
+    /// [`ThrottleSetting::Gated`] — the power regulator's bulk step.
+    /// Settings not on the ladder (a fixed frequency outside the p-state
+    /// table) step from the nearest slower rung.
+    #[must_use]
+    pub fn stepped(&self, pstates: &PStateTable, depth: u32) -> ThrottleSetting {
+        let ladder = ThrottleSetting::ladder(pstates);
+        let pos = ladder
+            .iter()
+            .position(|s| s == self)
+            .unwrap_or(ladder.len() - 1);
+        let idx = (pos + depth as usize).min(ladder.len() - 1);
+        ladder[idx]
+    }
+
+    /// How many rungs of headroom remain below this setting before the
+    /// ladder bottoms out at [`ThrottleSetting::Gated`].
+    #[must_use]
+    pub fn rungs_below(&self, pstates: &PStateTable) -> u32 {
+        let ladder = ThrottleSetting::ladder(pstates);
+        let pos = ladder
+            .iter()
+            .position(|s| s == self)
+            .unwrap_or(ladder.len() - 1);
+        (ladder.len() - 1 - pos) as u32
+    }
 }
 
 impl fmt::Display for ThrottleSetting {
@@ -118,29 +145,12 @@ impl ThrottlePlan {
 /// gating exceeds the budget (e.g. the critical core alone is too hungry),
 /// the gated plan is returned — there is nothing more to throttle.
 ///
-/// The chosen plan is left applied to the system.
+/// The chosen plan is left applied to the system and recorded into
+/// `rec` as an [`atm_telemetry::ThrottleAction`] event stamped with the
+/// recorder's clock; pass [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the
+/// zero-overhead unrecorded path.
 #[must_use]
-pub fn throttle_to_budget(
-    system: &mut System,
-    background_cores: &[CoreId],
-    budget: Watts,
-    proc_index: usize,
-) -> ThrottlePlan {
-    throttle_to_budget_recorded(
-        system,
-        background_cores,
-        budget,
-        proc_index,
-        &mut NullRecorder,
-    )
-}
-
-/// [`throttle_to_budget`] with telemetry: the chosen plan is recorded
-/// into `rec` as an [`atm_telemetry::ThrottleAction`] event stamped with
-/// the recorder's clock. The plan is identical to
-/// [`throttle_to_budget`]'s.
-#[must_use]
-pub fn throttle_to_budget_recorded<R: Recorder>(
+pub fn throttle_to_budget<R: Recorder>(
     system: &mut System,
     background_cores: &[CoreId],
     budget: Watts,
@@ -158,6 +168,20 @@ pub fn throttle_to_budget_recorded<R: Recorder>(
         }));
     }
     plan
+}
+
+/// Deprecated alias of [`throttle_to_budget`], kept for one release
+/// while callers migrate.
+#[deprecated(since = "0.1.0", note = "use `throttle_to_budget` (same signature)")]
+#[must_use]
+pub fn throttle_to_budget_recorded<R: Recorder>(
+    system: &mut System,
+    background_cores: &[CoreId],
+    budget: Watts,
+    proc_index: usize,
+    rec: &mut R,
+) -> ThrottlePlan {
+    throttle_to_budget(system, background_cores, budget, proc_index, rec)
 }
 
 fn throttle_to_budget_inner(
@@ -200,6 +224,7 @@ fn throttle_to_budget_inner(
 mod tests {
     use super::*;
     use atm_chip::ChipConfig;
+    use atm_telemetry::NullRecorder;
     use atm_workloads::by_name;
 
     #[test]
@@ -227,7 +252,7 @@ mod tests {
         for &c in &bg {
             sys.assign(c, lu.clone());
         }
-        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(500.0), 0);
+        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(500.0), 0, &mut NullRecorder);
         assert_eq!(plan.setting, ThrottleSetting::AtmMax);
     }
 
@@ -239,7 +264,7 @@ mod tests {
         for &c in &bg {
             sys.assign(c, lu.clone());
         }
-        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(100.0), 0);
+        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(100.0), 0, &mut NullRecorder);
         assert_ne!(plan.setting, ThrottleSetting::AtmMax);
         let report = sys.settle();
         assert!(report.procs[0].mean_power <= Watts::new(100.0));
@@ -249,7 +274,7 @@ mod tests {
     fn impossible_budget_gates() {
         let mut sys = System::new(ChipConfig::default());
         let bg: Vec<CoreId> = (1..8).map(|c| CoreId::new(0, c)).collect();
-        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(1.0), 0);
+        let plan = throttle_to_budget(&mut sys, &bg, Watts::new(1.0), 0, &mut NullRecorder);
         assert_eq!(plan.setting, ThrottleSetting::Gated);
     }
 
@@ -270,7 +295,7 @@ mod tests {
     #[test]
     fn empty_background_plan_is_a_no_op() {
         let mut sys = System::new(ChipConfig::default());
-        let plan = throttle_to_budget(&mut sys, &[], Watts::new(1.0), 0);
+        let plan = throttle_to_budget(&mut sys, &[], Watts::new(1.0), 0, &mut NullRecorder);
         assert!(plan.cores.is_empty());
         assert_eq!(plan.setting, ThrottleSetting::AtmMax);
     }

@@ -6,6 +6,7 @@ use atm_core::charact::{
     CharactConfig, IdleResult, RealisticResult, UbenchResult,
 };
 use atm_core::stress::{stress_test_deploy, StressTestResult};
+use atm_telemetry::NullRecorder;
 use atm_units::Nanos;
 use atm_workloads::{realistic_set, Workload};
 
@@ -158,12 +159,13 @@ impl Context {
             return;
         }
         let mut sys = self.fresh_system();
-        let idle = idle_characterization(&mut sys, &self.cfg.charact);
+        let idle = idle_characterization(&mut sys, &self.cfg.charact, &mut NullRecorder);
         let mut idle_limits = [0usize; 16];
         for r in &idle {
             idle_limits[r.core.flat_index()] = r.idle_limit();
         }
-        let ubench = ubench_characterization(&mut sys, &idle_limits, &self.cfg.charact);
+        let ubench =
+            ubench_characterization(&mut sys, &idle_limits, &self.cfg.charact, &mut NullRecorder);
         let mut ubench_limits = [0usize; 16];
         for r in &ubench {
             ubench_limits[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);

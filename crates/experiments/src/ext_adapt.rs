@@ -10,6 +10,7 @@
 //! per-window RMS predictor error (which must shrink), the re-tighten
 //! account, and the critical stream's tail latency through it all.
 
+use atm_telemetry::NullRecorder;
 use std::fmt;
 
 use atm_adapt::{AdaptConfig, AdaptWindow, OnlineAdapter};
@@ -79,7 +80,7 @@ pub fn run(ctx: &mut Context) -> ExtAdapt {
     let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
     sim.set_drift(DriftModel::standard(seed));
     sim.set_adapter(Box::new(OnlineAdapter::new(AdaptConfig::standard())));
-    let report = sim.run(2);
+    let report = sim.run(2, &mut NullRecorder);
 
     let adapt = report.adapt.as_ref().expect("adaptation was on");
     let critical = report.critical();

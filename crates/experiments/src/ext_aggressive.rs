@@ -8,6 +8,7 @@
 //! for benign applications at the price of correctness risk on untested
 //! ones.
 
+use atm_telemetry::NullRecorder;
 use std::fmt;
 
 use atm_core::manager::Strategy;
@@ -61,8 +62,18 @@ pub fn run(ctx: &mut Context) -> ExtAggressive {
         .iter()
         .map(|name| {
             let critical = atm_workloads::by_name(name).expect("catalog");
-            let d = default_mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
-            let a = aggressive_mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
+            let d = default_mgr.evaluate_pair(
+                critical,
+                background,
+                Strategy::ManagedMax,
+                &mut NullRecorder,
+            );
+            let a = aggressive_mgr.evaluate_pair(
+                critical,
+                background,
+                Strategy::ManagedMax,
+                &mut NullRecorder,
+            );
             GovernorRow {
                 critical: (*name).to_owned(),
                 default_freq: d.critical_freq,

@@ -5,6 +5,7 @@
 //! simulator and prints it next to the paper's target, so drift is
 //! immediately visible when parameters change.
 
+use atm_telemetry::NullRecorder;
 use std::fmt;
 
 use atm_chip::MarginMode;
@@ -64,7 +65,7 @@ pub fn run(ctx: &mut Context) -> ExtCalibration {
 
     // 8-thread daxpy power and temperature.
     sys.assign_all(&daxpy);
-    let loaded = sys.run(Nanos::new(20_000.0));
+    let loaded = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
     let p_daxpy = loaded.procs[0].mean_power.get();
     let t_daxpy = loaded.procs[0].max_temp.get();
     rows.push(CalRow {

@@ -1,0 +1,233 @@
+//! Extension: the energy-per-request frontier under a power cap — the
+//! moving-envelope scenario the paper's fixed-budget evaluation defers
+//! (Sec. VII future work; ROADMAP item on power capping).
+//!
+//! The paper fine-tunes per-core timing margins for efficiency at a
+//! *fixed* power envelope. This exhibit moves the envelope: the same
+//! fine-tuned server serves the same critical-plus-background mix under
+//! progressively tighter chip-power caps, with the integral
+//! [`PowerRegulator`](atm_capping::PowerRegulator) tracking each cap
+//! through the throttle ladder (background cores shed first, the
+//! critical core last, supervisor actions always outrank it). Each row
+//! of the frontier reports what the cap bought — milliwatts — and what
+//! it cost: completions, critical tail latency, and energy per request.
+
+use std::fmt;
+
+use atm_capping::{CapConfig, PowerBudget};
+use atm_core::{AtmManager, Governor};
+use atm_serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
+use atm_telemetry::NullRecorder;
+use atm_units::Nanos;
+use atm_workloads::by_name;
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// p99 budget for the critical stream, nanoseconds.
+const SLO_NS: u64 = 250_000_000;
+
+/// Cap levels swept, as percent of the uncapped run's mean chip power.
+const CAP_PCTS: [u64; 3] = [85, 70, 55];
+
+/// One point on the cap/efficiency frontier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontierRow {
+    /// The steady cap regulated against (0 = uncapped baseline).
+    pub cap_mw: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Critical-stream p99 latency, nanoseconds.
+    pub critical_p99_ns: u64,
+    /// Critical SLO violations.
+    pub slo_violations: u64,
+    /// Energy per completed request, nanojoules.
+    pub energy_per_request_nj: u64,
+    /// Total metered energy, picojoules.
+    pub energy_pj: u64,
+    /// Mean measured chip power over the run, milliwatts.
+    pub mean_power_mw: u64,
+    /// Throttle rungs committed over the run.
+    pub throttle_steps: u32,
+    /// Depth the regulator ended the run at.
+    pub final_depth: u32,
+    /// Whether the depth trace settled over the last four epochs (no
+    /// limit cycle).
+    pub converged: bool,
+    /// Whether the release-safety law held: no release in an epoch whose
+    /// measured power exceeded the cap.
+    pub release_law_held: bool,
+}
+
+/// The frontier: the uncapped baseline plus one row per cap level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtCapping {
+    /// Mean chip power of the uncapped baseline, milliwatts.
+    pub baseline_mw: u64,
+    /// Frontier rows: baseline first, then tightening caps.
+    pub rows: Vec<FrontierRow>,
+}
+
+/// Serves the standard mix once under the given budget (pass
+/// [`PowerBudget::unlimited`] for a baseline that measures power without
+/// ever binding).
+fn serve(ctx: &Context, budget: PowerBudget) -> ServeReport {
+    let seed = ctx.cfg().seed;
+    let streams = vec![
+        StreamSpec::critical(
+            by_name("squeezenet").expect("catalog"),
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            SLO_NS,
+        ),
+        StreamSpec::background(
+            by_name("x264").expect("catalog"),
+            ArrivalPattern::Poisson {
+                mean_gap: 40_000_000,
+            },
+        ),
+    ];
+    let sys = ctx.fresh_system();
+    let mgr = AtmManager::deploy(sys, Governor::Default, &ctx.cfg().charact);
+    let cfg = ServeConfig::builder(seed)
+        .epochs(16)
+        .epoch_ns(200_000_000)
+        .chip_trial(Nanos::new(1_000.0))
+        .build()
+        .expect("valid config");
+    let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
+    sim.set_cap(CapConfig::standard(budget)).expect("valid cap");
+    sim.run(2, &mut NullRecorder)
+}
+
+fn row(cap_mw: u64, report: &ServeReport) -> FrontierRow {
+    let critical = report.critical();
+    let cap = report.cap.as_ref();
+    FrontierRow {
+        cap_mw,
+        completed: report.completed,
+        shed: report.shed,
+        critical_p99_ns: critical.p99_ns,
+        slo_violations: critical.slo_violations,
+        energy_per_request_nj: report.energy_per_request_nj(),
+        energy_pj: report.energy.total_pj,
+        mean_power_mw: cap.map_or(0, |c| {
+            c.power_mw.iter().sum::<u64>() / c.power_mw.len().max(1) as u64
+        }),
+        throttle_steps: cap.map_or(0, |c| c.throttle_steps),
+        final_depth: cap.map_or(0, |c| c.final_depth),
+        converged: cap.is_none_or(|c| c.converged(4)),
+        release_law_held: cap.is_none_or(atm_capping::CapReport::never_released_over_budget),
+    }
+}
+
+/// Sweeps the cap from "never binds" down to 55 % of baseline power.
+pub fn run(ctx: &mut Context) -> ExtCapping {
+    // The baseline runs under a cap that never binds: its regulator
+    // records the measured power trace without ever throttling, and the
+    // sweep caps are percentages of that trace's mean.
+    let base = serve(ctx, PowerBudget::unlimited());
+    let trace = &base.cap.as_ref().expect("capping was on").power_mw;
+    let baseline_mw = trace.iter().sum::<u64>() / trace.len().max(1) as u64;
+    let mut rows = vec![row(0, &base)];
+    for pct in CAP_PCTS {
+        let cap_mw = (baseline_mw * pct / 100).max(1);
+        let report = serve(ctx, PowerBudget::steady(cap_mw));
+        rows.push(row(cap_mw, &report));
+    }
+    ExtCapping { baseline_mw, rows }
+}
+
+impl fmt::Display for ExtCapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — the energy-per-request frontier under a power cap"
+        )?;
+        writeln!(
+            f,
+            "uncapped baseline: {:.1} W mean chip power",
+            self.baseline_mw as f64 / 1_000.0
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    if r.cap_mw == 0 {
+                        "uncapped".to_owned()
+                    } else {
+                        format!("{:.1}", r.cap_mw as f64 / 1_000.0)
+                    },
+                    format!("{:.1}", r.mean_power_mw as f64 / 1_000.0),
+                    r.completed.to_string(),
+                    r.shed.to_string(),
+                    format!("{:.1}", r.critical_p99_ns as f64 / 1e6),
+                    format!("{:.1}", r.energy_per_request_nj as f64 / 1e6),
+                    r.final_depth.to_string(),
+                    if r.converged { "yes" } else { "NO" }.to_owned(),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(
+            &[
+                "cap (W)",
+                "power (W)",
+                "done",
+                "shed",
+                "crit p99 (ms)",
+                "mJ/request",
+                "depth",
+                "settled",
+            ],
+            &rows,
+        ))?;
+        writeln!(
+            f,
+            "laws: release-over-budget {}",
+            if self.rows.iter().all(|r| r.release_law_held) {
+                "never violated"
+            } else {
+                "VIOLATED"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn frontier_trades_energy_for_latency_safely() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let ext = run(&mut ctx);
+        assert_eq!(ext.rows.len(), 1 + CAP_PCTS.len());
+        assert!(ext.baseline_mw > 0);
+        let base = &ext.rows[0];
+        assert!(base.completed > 0);
+        assert!(base.energy_per_request_nj > 0);
+        assert_eq!(base.final_depth, 0, "an unlimited cap must never bind");
+        assert_eq!(base.throttle_steps, 0);
+        for r in &ext.rows[1..] {
+            assert!(r.release_law_held, "release while over budget at {r:?}");
+            assert!(r.completed > 0);
+        }
+        let deepest = ext.rows.last().expect("rows");
+        assert!(
+            deepest.throttle_steps > 0,
+            "a 45 % cap cut must engage the regulator: {deepest:?}"
+        );
+        assert!(
+            deepest.mean_power_mw < base.mean_power_mw,
+            "throttling must reduce mean chip power: {} vs {} mW",
+            deepest.mean_power_mw,
+            base.mean_power_mw
+        );
+    }
+}

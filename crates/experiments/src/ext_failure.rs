@@ -8,6 +8,7 @@
 //! ~0, one step above it it jumps toward 1 — a knee, not a gentle slope,
 //! which is exactly why repeated searches land on the same limit.
 
+use atm_telemetry::NullRecorder;
 use std::fmt;
 
 use atm_chip::MarginMode;
@@ -51,7 +52,11 @@ pub fn run(ctx: &mut Context) -> ExtFailure {
         .map(|reduction| {
             sys.set_reduction(core, reduction).expect("within preset");
             let failures = (0..trials)
-                .filter(|_| sys.run(Nanos::new(50_000.0)).failure.is_some())
+                .filter(|_| {
+                    sys.run(Nanos::new(50_000.0), &mut NullRecorder)
+                        .failure
+                        .is_some()
+                })
                 .count();
             KneeRow {
                 reduction,

@@ -7,6 +7,7 @@
 //! the claims that matter — exposed variation, fine-tuned gain, managed
 //! ordering — hold for each of them.
 
+use atm_telemetry::NullRecorder;
 use std::fmt;
 
 use atm_chip::{ChipConfig, System};
@@ -65,8 +66,18 @@ pub fn run(ctx: &mut Context) -> ExtSeeds {
                 Governor::Default,
                 &charact,
             );
-            let managed = mgr.evaluate_pair(critical, background, Strategy::ManagedMax);
-            let default = mgr.evaluate_pair(critical, background, Strategy::DefaultAtm);
+            let managed = mgr.evaluate_pair(
+                critical,
+                background,
+                Strategy::ManagedMax,
+                &mut NullRecorder,
+            );
+            let default = mgr.evaluate_pair(
+                critical,
+                background,
+                Strategy::DefaultAtm,
+                &mut NullRecorder,
+            );
             SeedRow {
                 seed,
                 differential: stress.speed_differential(),

@@ -7,6 +7,7 @@
 //! twice the gain of the worst schedule (slowest core, high-power
 //! co-runners).
 
+use atm_telemetry::NullRecorder;
 use std::fmt;
 
 use atm_chip::{MarginMode, System};
@@ -133,7 +134,7 @@ fn row(
     nominal: MegaHz,
     measure: atm_units::Nanos,
 ) -> LatencyRow {
-    let report = sys.run(measure);
+    let report = sys.run(measure, &mut NullRecorder);
     let freq = report.core(core).mean_freq;
     let speedup = app.speedup(freq, nominal);
     LatencyRow {

@@ -8,6 +8,7 @@
 //! seq2seq : streamcluster exceeds the target even unthrottled because
 //! streamcluster draws so little power.
 
+use atm_telemetry::NullRecorder;
 use std::fmt;
 
 use atm_core::manager::Strategy;
@@ -85,12 +86,17 @@ pub fn run(ctx: &mut Context) -> Fig14 {
         .map(|(critical, background)| {
             let c = atm_workloads::by_name(critical).expect("catalog");
             let b = atm_workloads::by_name(background).expect("catalog");
-            let default_atm = mgr.evaluate_pair(c, b, Strategy::DefaultAtm).speedup;
-            let unmanaged = mgr
-                .evaluate_pair(c, b, Strategy::FineTunedUnmanaged)
+            let default_atm = mgr
+                .evaluate_pair(c, b, Strategy::DefaultAtm, &mut NullRecorder)
                 .speedup;
-            let managed_max = mgr.evaluate_pair(c, b, Strategy::ManagedMax).speedup;
-            let balanced_outcome = mgr.evaluate_pair(c, b, Strategy::ManagedBalanced(qos));
+            let unmanaged = mgr
+                .evaluate_pair(c, b, Strategy::FineTunedUnmanaged, &mut NullRecorder)
+                .speedup;
+            let managed_max = mgr
+                .evaluate_pair(c, b, Strategy::ManagedMax, &mut NullRecorder)
+                .speedup;
+            let balanced_outcome =
+                mgr.evaluate_pair(c, b, Strategy::ManagedBalanced(qos), &mut NullRecorder);
             PairRow {
                 critical: (*critical).to_owned(),
                 background: (*background).to_owned(),

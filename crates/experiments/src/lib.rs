@@ -33,6 +33,7 @@
 pub mod ext_adapt;
 pub mod ext_aggressive;
 pub mod ext_calibration;
+pub mod ext_capping;
 pub mod ext_failure;
 pub mod ext_gating;
 pub mod ext_predict;
@@ -60,7 +61,7 @@ pub use context::{Context, ExpConfig};
 
 /// Identifiers of every reproducible exhibit, in paper order, plus the
 /// `ext-*` extensions (features the paper sketches but defers).
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "fig1",
     "fig2",
     "fig4b",
@@ -82,6 +83,7 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
     "ext-seeds",
     "ext-predict",
     "ext-adapt",
+    "ext-capping",
 ];
 
 /// Runs one exhibit by name and returns its rendered report.
@@ -108,6 +110,7 @@ pub fn run_by_name(ctx: &mut Context, name: &str) -> Result<String, String> {
         "ext-adapt" => ext_adapt::run(ctx).to_string(),
         "ext-aggressive" => ext_aggressive::run(ctx).to_string(),
         "ext-calibration" => ext_calibration::run(ctx).to_string(),
+        "ext-capping" => ext_capping::run(ctx).to_string(),
         "ext-failure" => ext_failure::run(ctx).to_string(),
         "ext-gating" => ext_gating::run(ctx).to_string(),
         "ext-predict" => ext_predict::run(ctx).to_string(),

@@ -20,6 +20,7 @@
 //! print!("{text}");
 //! ```
 
+use atm_telemetry::NullRecorder;
 use std::fmt::Write as _;
 
 use atm_chip::{ChipConfig, MarginMode, System};
@@ -43,7 +44,7 @@ pub fn system_reference(seed: u64) -> String {
     let mut sys = System::new(ChipConfig::power7_plus(seed));
     sys.assign_all(by_name("x264").expect("catalog"));
     sys.set_mode_all(MarginMode::Atm);
-    let report = sys.run(Nanos::new(50_000.0));
+    let report = sys.run(Nanos::new(50_000.0), &mut NullRecorder);
     format!("{report:#?}\n")
 }
 
@@ -55,7 +56,7 @@ pub fn virus_reference(seed: u64) -> String {
     let mut sys = System::new(ChipConfig::power7_plus(seed));
     sys.assign_all(&voltage_virus());
     sys.set_mode(CoreId::new(0, 0), MarginMode::Atm);
-    let report = sys.run(Nanos::new(20_000.0));
+    let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
     format!("{report:#?}\n")
 }
 
@@ -65,7 +66,12 @@ pub fn virus_reference(seed: u64) -> String {
 pub fn limit_table_reference(seed: u64) -> String {
     let mut sys = System::new(ChipConfig::power7_plus(seed));
     let x264 = by_name("x264").expect("catalog");
-    let table = LimitTable::characterize(&mut sys, &[x264], &CharactConfig::quick());
+    let table = LimitTable::characterize(
+        &mut sys,
+        &[x264],
+        &CharactConfig::quick(),
+        &mut NullRecorder,
+    );
     format!("{table:#?}\n")
 }
 
@@ -103,7 +109,7 @@ pub fn serve_reference(seed: u64) -> String {
     let sys = System::new(ChipConfig::power7_plus(seed));
     let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
     let sim = ServeSim::new(mgr, ServeConfig::quick(seed), streams).expect("valid serving setup");
-    let report = sim.run(1);
+    let report = sim.run(1, &mut NullRecorder);
     format!("{report:#?}\n")
 }
 

@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use atm_chip::{ChipConfig, MarginMode, System};
 use atm_core::charact::CharactConfig;
 use atm_core::{AtmManager, Governor, MarginSupervisor, SupervisorAction, SupervisorConfig};
+use atm_telemetry::NullRecorder;
 use atm_units::{CoreId, MegaHz, Nanos};
 use std::collections::BTreeMap;
 
@@ -169,11 +170,13 @@ impl FaultCampaign {
         let mut seen_injections = 0usize;
 
         for _ in 0..self.windows {
-            let _ = mgr.system_mut().run_faulted(self.window, &mut hook);
+            let _ = mgr
+                .system_mut()
+                .run_faulted(self.window, &mut hook, &mut NullRecorder);
             let t_end = hook.ticks_seen();
             let events = mgr.system_mut().drain_events();
             let actions = sup.observe_window(mgr.system(), &events);
-            let _ = mgr.apply_supervisor_actions(&actions);
+            let _ = mgr.apply_supervisor_actions(&actions, &mut NullRecorder);
 
             for inj in &hook.injections()[seen_injections..] {
                 pending_detect.entry(inj.core).or_default().push(inj.tick);

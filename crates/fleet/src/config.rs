@@ -1,6 +1,7 @@
 //! Fleet-run configuration.
 
 use atm_adapt::AdaptConfig;
+use atm_capping::FleetBudget;
 use atm_core::charact::CharactConfig;
 use atm_faults::FleetFaultPlan;
 use atm_serve::{ArrivalPattern, ChipServeConfig};
@@ -50,6 +51,13 @@ pub struct FleetConfig {
     /// runs an `OnlineAdapter` and the fleet report carries one
     /// `AdaptReport` per chip.
     pub adapt: Option<AdaptConfig>,
+    /// Optional global power budget: the cap in force is split across
+    /// chips at every epoch barrier, proportional to their snapshot
+    /// backlog, and each chip's regulator tracks its share. The split is
+    /// exact largest-remainder apportionment over the same snapshots
+    /// routing reads, so the whole allocation stays a pure function of
+    /// `(FleetConfig, seed)`.
+    pub budget: Option<FleetBudget>,
 }
 
 impl FleetConfig {
@@ -101,6 +109,7 @@ impl FleetConfig {
             stride: true,
             drift: None,
             adapt: None,
+            budget: None,
         }
     }
 
@@ -151,6 +160,15 @@ impl FleetConfig {
         self
     }
 
+    /// Arms a global power budget, split across chips each epoch
+    /// (chainable). Chips without their own cap config get a
+    /// fleet-driven regulator automatically.
+    #[must_use]
+    pub fn with_budget(mut self, budget: FleetBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Sets the stride fast path on or off (chainable).
     #[must_use]
     pub fn with_stride(mut self, stride: bool) -> Self {
@@ -197,7 +215,118 @@ impl FleetConfig {
         if let Some(adapt) = &self.adapt {
             adapt.check()?;
         }
+        if let Some(budget) = &self.budget {
+            budget.check()?;
+        }
         self.chip.check()
+    }
+
+    /// A validating builder seeded from [`FleetConfig::quick`] — the
+    /// preferred way to compose a fleet run out of the optional
+    /// subsystems (drift, adaptation, faults, a power budget).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atm_capping::FleetBudget;
+    /// use atm_fleet::FleetConfig;
+    ///
+    /// let cfg = FleetConfig::builder(42)
+    ///     .chips(4)
+    ///     .epochs(3)
+    ///     .budget(FleetBudget::steady(200_000))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.chips, 4);
+    /// assert!(FleetConfig::builder(42).chips(0).build().is_err());
+    /// ```
+    #[must_use]
+    pub fn builder(seed: u64) -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: FleetConfig::quick(seed),
+        }
+    }
+}
+
+/// Builder for [`FleetConfig`]; see [`FleetConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the chip count.
+    #[must_use]
+    pub fn chips(mut self, chips: u32) -> Self {
+        self.config.chips = chips;
+        self
+    }
+
+    /// Sets the epoch count.
+    #[must_use]
+    pub fn epochs(mut self, epochs: u32) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Sets the virtual nanoseconds per epoch.
+    #[must_use]
+    pub fn epoch_ns(mut self, epoch_ns: u64) -> Self {
+        self.config.epoch_ns = epoch_ns;
+        self
+    }
+
+    /// Arms fleet-wide silicon drift.
+    #[must_use]
+    pub fn drift(mut self, drift: DriftModel) -> Self {
+        self.config.drift = Some(drift);
+        self
+    }
+
+    /// Arms per-chip online recharacterization.
+    #[must_use]
+    pub fn adapt(mut self, adapt: AdaptConfig) -> Self {
+        self.config.adapt = Some(adapt);
+        self
+    }
+
+    /// Arms a fleet-wide fault campaign.
+    #[must_use]
+    pub fn faults(mut self, faults: FleetFaultPlan) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
+    /// Arms a global power budget.
+    #[must_use]
+    pub fn budget(mut self, budget: FleetBudget) -> Self {
+        self.config.budget = Some(budget);
+        self
+    }
+
+    /// Replaces the placement thresholds.
+    #[must_use]
+    pub fn placement(mut self, placement: PlacementConfig) -> Self {
+        self.config.placement = placement;
+        self
+    }
+
+    /// Sets the stride fast path on or off.
+    #[must_use]
+    pub fn stride(mut self, stride: bool) -> Self {
+        self.config.stride = stride;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if the composed configuration
+    /// fails [`FleetConfig::check`].
+    pub fn build(self) -> Result<FleetConfig, AtmError> {
+        self.config.check()?;
+        Ok(self.config)
     }
 }
 

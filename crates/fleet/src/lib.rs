@@ -40,7 +40,7 @@ mod report;
 mod sim;
 mod traffic;
 
-pub use config::FleetConfig;
+pub use config::{FleetConfig, FleetConfigBuilder};
 pub use placement::{route, PlacementConfig, RouteTable};
 pub use report::{ChipRow, FleetReport, LatencyBands, RoutingCounters};
 pub use sim::FleetSim;

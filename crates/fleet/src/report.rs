@@ -10,6 +10,7 @@
 use std::fmt;
 
 use atm_adapt::AdaptReport;
+use atm_capping::{CapReport, EnergyReport};
 use atm_serve::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +104,8 @@ pub struct ChipRow {
     pub drained_from_epoch: i64,
     /// Last epoch a critical request was routed here; `-1` = never.
     pub last_critical_epoch: i64,
+    /// Total energy metered on this chip (integer picojoules).
+    pub energy_pj: u64,
 }
 
 /// The complete, deterministic account of one fleet run.
@@ -129,6 +132,14 @@ pub struct FleetReport {
     /// serialized reports — unless the fleet ran with adaptation on).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub adapt: Vec<AdaptReport>,
+    /// Fleet-wide integer picojoule energy account, merged over every
+    /// chip — `energy_per_request` across the whole fleet.
+    #[serde(default)]
+    pub energy: EnergyReport,
+    /// Per-chip power-regulator accounts, in chip order (empty — and
+    /// absent from serialized reports — unless a budget was armed).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub caps: Vec<CapReport>,
 }
 
 impl FleetReport {
@@ -157,6 +168,20 @@ impl FleetReport {
     #[must_use]
     pub fn completed(&self) -> u64 {
         self.rows.iter().map(|row| row.completed).sum()
+    }
+
+    /// Whether the per-chip energy rows sum exactly to the fleet total —
+    /// the picojoule conservation law the property tests lean on.
+    #[must_use]
+    pub fn energy_conserved(&self) -> bool {
+        let per_chip: u64 = self.rows.iter().map(|row| row.energy_pj).sum();
+        per_chip == self.energy.total_pj
+    }
+
+    /// Fleet-wide energy per completed request, in nanojoules.
+    #[must_use]
+    pub fn energy_per_request_nj(&self) -> u64 {
+        self.energy.energy_per_request_nj()
     }
 }
 
@@ -198,6 +223,12 @@ impl fmt::Display for FleetReport {
             f,
             "  health: {} cores quarantined, {} supervisor/degrade transitions",
             quarantined, transitions
+        )?;
+        writeln!(
+            f,
+            "  energy: {} pJ total, {} nJ/request",
+            self.energy.total_pj,
+            self.energy.energy_per_request_nj()
         )
     }
 }
@@ -222,6 +253,7 @@ mod tests {
             fastest_healthy_mhz: 4_600,
             drained_from_epoch: -1,
             last_critical_epoch: 2,
+            energy_pj: 0,
         };
         let bands = LatencyBands {
             count: 0,
@@ -249,6 +281,8 @@ mod tests {
             background: bands,
             rows: vec![row],
             adapt: Vec::new(),
+            energy: EnergyReport::default(),
+            caps: Vec::new(),
         }
     }
 

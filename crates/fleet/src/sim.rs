@@ -21,6 +21,7 @@
 //! of `(FleetConfig, seed)` — byte-identical for any worker count.
 
 use atm_adapt::OnlineAdapter;
+use atm_capping::{CapConfig, EnergyModel, EnergyReport};
 use atm_chip::{ChipConfig, FaultHook, System};
 use atm_core::{AtmManager, Governor};
 use atm_faults::CampaignHook;
@@ -109,6 +110,15 @@ impl FleetSim {
 
         for epoch in 0..cfg.epochs {
             let table = route(&snapshots, &cfg.placement, cfg.chips);
+            // Split the global cap over the same barrier snapshots the
+            // router reads: backlog-weighted, exact, worker-independent.
+            if let Some(budget) = &cfg.budget {
+                let loads: Vec<u64> = snapshots.iter().map(|s| s.backlog_ns).collect();
+                let shares = budget.split(epoch, &loads);
+                for (state, share) in states.iter_mut().zip(&shares) {
+                    state.server.set_epoch_cap_mw(Some(*share));
+                }
+            }
             for (chip, drained) in table.drained.iter().enumerate() {
                 if *drained && states[chip].drained_from_epoch < 0 {
                     states[chip].drained_from_epoch = i64::from(epoch);
@@ -249,8 +259,16 @@ fn build_chip(cfg: &FleetConfig, chip: u32) -> ChipState {
     let mut sys = System::new(ChipConfig::power7_plus(lot));
     sys.set_stride(cfg.stride);
     let mgr = AtmManager::deploy(sys, Governor::Default, &cfg.charact);
-    let mut server =
-        ChipServer::new(mgr, cfg.chip.clone()).expect("config validated in FleetSim::new");
+    let mut chip_cfg = cfg.chip.clone();
+    // Every fleet chip meters energy over the fleet's epoch span, and a
+    // global budget arms a fleet-driven regulator on chips without one.
+    if chip_cfg.energy.is_none() {
+        chip_cfg.energy = Some(EnergyModel::standard(cfg.epoch_ns));
+    }
+    if cfg.budget.is_some() && chip_cfg.capping.is_none() {
+        chip_cfg.capping = Some(CapConfig::fleet_driven());
+    }
+    let mut server = ChipServer::new(mgr, chip_cfg).expect("config validated in FleetSim::new");
     if let Some(drift) = cfg.drift {
         // Rebase the model per chip: every chip ages from its own seed,
         // still a pure function of the fleet seed.
@@ -301,12 +319,21 @@ fn finish(cfg: &FleetConfig, states: Vec<ChipState>, routing: RoutingCounters) -
     let mut crit = LatencyHistogram::new();
     let mut bg = LatencyHistogram::new();
     let mut rows = Vec::with_capacity(states.len());
+    let mut energy = EnergyReport::default();
+    let mut caps = Vec::new();
     for (chip, state) in states.iter().enumerate() {
         let (c, b) = state.server.histograms();
         crit.merge(c);
         bg.merge(b);
         let summary = state.server.summary();
+        if let Some(e) = &summary.energy {
+            energy.merge(e);
+        }
+        if let Some(cap) = &summary.cap {
+            caps.push(cap.clone());
+        }
         rows.push(ChipRow {
+            energy_pj: summary.energy.map_or(0, |e| e.total_pj),
             chip: chip as u32,
             lot: state.lot,
             completed: summary.completed,
@@ -345,6 +372,8 @@ fn finish(cfg: &FleetConfig, states: Vec<ChipState>, routing: RoutingCounters) -
         background: LatencyBands::from_histogram(&bg),
         rows,
         adapt,
+        energy,
+        caps,
     }
 }
 

@@ -20,9 +20,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use atm_adapt::{AdaptContext, AdaptReport, Adapter, NullAdapter};
+use atm_capping::{
+    CapAction, CapConfig, CapReport, EnergyMeter, EnergyModel, EnergyReport, PowerRegulator,
+};
 use atm_chip::{FaultHook, PStateTable};
 use atm_core::{AtmManager, MarginSupervisor, QosTarget, ServePosture, SupervisorConfig};
 use atm_silicon::DriftModel;
+use atm_telemetry::NullRecorder;
 use atm_units::{AtmError, CoreId, MegaHz, Nanos, ProcId};
 use atm_workloads::{ServiceProfile, Workload};
 
@@ -51,6 +55,13 @@ pub struct ChipServeConfig {
     pub refresh_every: u32,
     /// Supervisor thresholds for this chip's margin-safety ladder.
     pub supervisor: SupervisorConfig,
+    /// Optional power cap: budget schedule plus regulator knobs. Under a
+    /// fleet budget the per-epoch split pushed in through
+    /// [`ChipServer::set_epoch_cap_mw`] overrides the local schedule.
+    pub capping: Option<CapConfig>,
+    /// Optional integer picojoule energy accounting; when set, the chip's
+    /// [`ChipSummary`] carries an [`EnergyReport`].
+    pub energy: Option<EnergyModel>,
 }
 
 impl ChipServeConfig {
@@ -67,6 +78,8 @@ impl ChipServeConfig {
             critical_slo_ns: 250_000_000,
             refresh_every: 4,
             supervisor: SupervisorConfig::default(),
+            capping: None,
+            energy: None,
         }
     }
 
@@ -95,6 +108,12 @@ impl ChipServeConfig {
                 "refresh_every",
                 "must be at least 1",
             ));
+        }
+        if let Some(capping) = &self.capping {
+            capping.check()?;
+        }
+        if let Some(energy) = &self.energy {
+            energy.check()?;
         }
         Ok(())
     }
@@ -150,6 +169,19 @@ pub struct ChipSummary {
     pub safe_mode: u32,
     /// Final fastest healthy core frequency (whole MHz).
     pub fastest_healthy_mhz: u64,
+    /// The power regulator's account (absent unless the chip was capped).
+    pub cap: Option<CapReport>,
+    /// The energy meter's account (absent unless energy accounting ran).
+    pub energy: Option<EnergyReport>,
+}
+
+/// The per-chip power-capping state: the regulator, its run report, and
+/// the fleet's per-epoch cap override (when one is pushed in).
+struct CapState {
+    cfg: CapConfig,
+    regulator: PowerRegulator,
+    report: CapReport,
+    override_mw: Option<u64>,
 }
 
 /// One managed chip, steppable epoch by epoch (see the module docs).
@@ -177,6 +209,16 @@ pub struct ChipServer {
     adapter: Box<dyn Adapter>,
     /// Silicon aging/seasonal drift applied each epoch (`None` = pristine).
     drift: Option<DriftModel>,
+    /// The power regulator (`None` = uncapped).
+    cap: Option<CapState>,
+    /// The energy integrator (`None` = no energy accounting).
+    meter: Option<EnergyMeter>,
+    /// Chip power measured at this epoch's harvest, integer milliwatts.
+    measured_mw: u64,
+    /// Request service time dispatched this epoch, ns.
+    epoch_busy_ns: u64,
+    /// Requests completed this epoch.
+    epoch_completed: u64,
 }
 
 impl fmt::Debug for ChipServer {
@@ -202,13 +244,16 @@ impl ChipServer {
         let baseline = mgr.system().config().pstates.nominal().frequency;
         let pstates = mgr.system().config().pstates.clone();
         mgr.system_mut().set_droop_alarm(cfg.droop_alarm);
-        let posture = mgr.serve_posture(&cfg.critical, &cfg.backgrounds, cfg.qos)?;
+        let posture =
+            mgr.serve_posture(&cfg.critical, &cfg.backgrounds, cfg.qos, &mut NullRecorder)?;
         // Posturing settles and trains predictors; the alarms those runs
         // raise are calibration noise, not serving-time events.
         mgr.system_mut().drain_events();
         let mut supervisor = MarginSupervisor::new(cfg.supervisor);
         supervisor.attach(mgr.system());
         let core_svc = service_map(&cfg, &posture);
+        let capping = cfg.capping.clone();
+        let energy = cfg.energy;
         Ok(ChipServer {
             mgr,
             cfg,
@@ -230,6 +275,16 @@ impl ChipServer {
             epoch: 0,
             adapter: Box::new(NullAdapter),
             drift: None,
+            cap: capping.map(|c| CapState {
+                regulator: PowerRegulator::new(c.regulator),
+                cfg: c,
+                report: CapReport::new(),
+                override_mw: None,
+            }),
+            meter: energy.map(EnergyMeter::new),
+            measured_mw: 0,
+            epoch_busy_ns: 0,
+            epoch_completed: 0,
         })
     }
 
@@ -247,6 +302,27 @@ impl ChipServer {
     #[must_use]
     pub fn adapt_report(&self) -> Option<AdaptReport> {
         self.adapter.report()
+    }
+
+    /// Overrides the cap in force for subsequent epochs, in milliwatts —
+    /// the fleet budget's per-epoch split seam. `None` reverts to the
+    /// chip's own schedule. Ignored on an uncapped chip.
+    pub fn set_epoch_cap_mw(&mut self, cap_mw: Option<u64>) {
+        if let Some(cap) = self.cap.as_mut() {
+            cap.override_mw = cap_mw;
+        }
+    }
+
+    /// The power regulator's account so far, if the chip is capped.
+    #[must_use]
+    pub fn cap_report(&self) -> Option<&CapReport> {
+        self.cap.as_ref().map(|c| &c.report)
+    }
+
+    /// The energy meter's account so far, if energy accounting is on.
+    #[must_use]
+    pub fn energy_report(&self) -> Option<EnergyReport> {
+        self.meter.as_ref().map(EnergyMeter::report)
     }
 
     /// Steps one serving epoch: harvests chip events at the current
@@ -271,6 +347,18 @@ impl ChipServer {
         for req in requests {
             self.dispatch(req);
         }
+        if let Some(meter) = self.meter.as_mut() {
+            let powered = self
+                .posture
+                .core_freqs
+                .iter()
+                .filter(|(_, f)| f.get() > 0.0)
+                .count() as u32;
+            meter.observe_epoch(self.measured_mw, powered, self.epoch_busy_ns);
+            meter.add_requests(self.epoch_completed);
+        }
+        self.epoch_busy_ns = 0;
+        self.epoch_completed = 0;
         self.epoch += 1;
     }
 
@@ -279,12 +367,17 @@ impl ChipServer {
     /// re-posture when anything changed.
     fn harvest_and_degrade(&mut self, faults: Option<&mut dyn FaultHook>, now: u64) {
         let harvest = match faults {
-            Some(mut hook) => self
+            Some(mut hook) => {
+                self.mgr
+                    .system_mut()
+                    .run_faulted(self.cfg.chip_trial, &mut hook, &mut NullRecorder)
+            }
+            None => self
                 .mgr
                 .system_mut()
-                .run_faulted(self.cfg.chip_trial, &mut hook),
-            None => self.mgr.system_mut().run(self.cfg.chip_trial),
+                .run(self.cfg.chip_trial, &mut NullRecorder),
         };
+        self.measured_mw = (harvest.procs[0].mean_power.get() * 1_000.0).round() as u64;
         let events = self.mgr.system_mut().drain_events();
 
         let mut needs_replace = false;
@@ -296,7 +389,9 @@ impl ChipServer {
         // the droop-alarm throttle response.
         actions.retain(|a| matches!(a, DegradeAction::ThrottleDown { .. }));
         let sup_actions = self.supervisor.observe_window(self.mgr.system(), &events);
-        let _ = self.mgr.apply_supervisor_actions(&sup_actions);
+        let _ = self
+            .mgr
+            .apply_supervisor_actions(&sup_actions, &mut NullRecorder);
         if !sup_actions.is_empty() {
             needs_replace = true;
             self.transitions += sup_actions.len() as u64;
@@ -312,7 +407,12 @@ impl ChipServer {
         if needs_replace {
             self.posture = self
                 .mgr
-                .serve_posture(&self.cfg.critical, &self.cfg.backgrounds, self.cfg.qos)
+                .serve_posture(
+                    &self.cfg.critical,
+                    &self.cfg.backgrounds,
+                    self.cfg.qos,
+                    &mut NullRecorder,
+                )
                 .expect("config validated in new");
             if self.throttle_extra > 0 {
                 self.apply_extra_throttle();
@@ -330,6 +430,59 @@ impl ChipServer {
         if self.adapter.enabled() {
             self.run_adapter(&harvest, now);
         }
+
+        self.regulate(!sup_actions.is_empty());
+    }
+
+    /// The regulator's epoch hook: integrate measured power against the
+    /// cap in force, commit or suppress the proposal, and actuate through
+    /// [`AtmManager::apply_cap_levels`] relative to the posture's own
+    /// throttle plan (droop escalations and cap depth compose).
+    ///
+    /// Two suppression rules keep the regulator subordinate:
+    /// a release proposed in the same epoch as a supervisor action is
+    /// vetoed (rollbacks outrank the regulator, so a rolled-back core is
+    /// never re-raised by a cap release), and releases are deferred while
+    /// measured power still exceeds the cap.
+    fn regulate(&mut self, supervisor_fired: bool) {
+        let measured_mw = self.measured_mw;
+        let epoch = self.epoch;
+        let Some(cap) = self.cap.as_mut() else {
+            return;
+        };
+        let cap_mw = cap
+            .override_mw
+            .unwrap_or_else(|| cap.cfg.budget.cap_at(epoch));
+        let action = cap
+            .regulator
+            .propose(measured_mw, cap_mw, &mut NullRecorder);
+        let over_budget = measured_mw > cap_mw;
+        let (committed, suppressed) = match action {
+            CapAction::Release(_) if supervisor_fired || over_budget => (CapAction::Hold, true),
+            a => (a, false),
+        };
+        cap.regulator.commit(committed);
+        cap.report.count_action(committed, suppressed);
+        let depth = cap.regulator.depth();
+        cap.report
+            .push_epoch(cap_mw, measured_mw, depth, cap.regulator.integral_mwe());
+        // Re-apply every epoch the cap binds: re-postures and droop
+        // step-downs reset margin modes, so the depth must be restated on
+        // top of whatever plan is now current.
+        if depth == 0 && matches!(committed, CapAction::Hold) {
+            return;
+        }
+        let Some(base) = self.posture.placement.plan.clone() else {
+            return;
+        };
+        let bg_depth = depth.min(base.setting.rungs_below(&self.pstates));
+        let crit_depth = depth - bg_depth;
+        let critical = self.posture.placement.critical_core;
+        let _ = self
+            .mgr
+            .apply_cap_levels(&base, critical, bg_depth, crit_depth, &mut NullRecorder);
+        self.posture.core_freqs = self.mgr.measure_core_freqs(ProcId::new(0));
+        self.mgr.system_mut().drain_events();
     }
 
     /// Runs one epoch of online recharacterization against the harvest
@@ -430,6 +583,8 @@ impl ChipServer {
         self.free_at.insert(core, finish);
         let latency = finish - req.at;
         self.completed += 1;
+        self.epoch_busy_ns += service;
+        self.epoch_completed += 1;
         if req.critical {
             self.crit_hist.record(latency);
             self.critical_completed += 1;
@@ -506,6 +661,8 @@ impl ChipServer {
             quarantined: snap.quarantined,
             safe_mode: snap.safe_mode,
             fastest_healthy_mhz: snap.fastest_healthy_mhz,
+            cap: self.cap.as_ref().map(|c| c.report.clone()),
+            energy: self.energy_report(),
         }
     }
 }

@@ -33,6 +33,7 @@
 //! use atm_core::{AtmManager, Governor};
 //! use atm_core::charact::CharactConfig;
 //! use atm_serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+//! use atm_telemetry::NullRecorder;
 //! use atm_units::Nanos;
 //! use atm_workloads::by_name;
 //!
@@ -50,7 +51,7 @@
 //!     .chip_trial(Nanos::new(1_000.0))
 //!     .build()
 //!     .unwrap();
-//! let report = ServeSim::new(mgr, cfg, streams).unwrap().run(2);
+//! let report = ServeSim::new(mgr, cfg, streams).unwrap().run(2, &mut NullRecorder);
 //! assert!(report.completed > 0);
 //! assert!(report.critical().slo_met());
 //! ```

@@ -5,6 +5,7 @@
 //! byte-identical report* — is checkable with a plain `assert_eq!`.
 
 use atm_adapt::AdaptReport;
+use atm_capping::{CapReport, EnergyReport};
 use atm_units::CoreId;
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +97,15 @@ pub struct ServeReport {
     /// absent from serialized reports — on plain serving runs).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub adapt: Option<AdaptReport>,
+    /// Integer picojoule energy account of the run — every serving run
+    /// meters energy, so `energy_per_request` sits next to the latency
+    /// percentiles on the efficiency frontier.
+    #[serde(default)]
+    pub energy: EnergyReport,
+    /// The power regulator's account (absent — and absent from
+    /// serialized reports — unless the run was capped).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cap: Option<CapReport>,
 }
 
 impl ServeReport {
@@ -122,5 +132,12 @@ impl ServeReport {
     #[must_use]
     pub fn requests_per_sec(&self) -> f64 {
         self.completed as f64 / (self.duration_ns() as f64 / 1e9)
+    }
+
+    /// Energy per completed request, in nanojoules — the frontier metric
+    /// the capping experiments sweep against p99 latency.
+    #[must_use]
+    pub fn energy_per_request_nj(&self) -> u64 {
+        self.energy.energy_per_request_nj()
     }
 }

@@ -21,12 +21,11 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use atm_adapt::{AdaptContext, Adapter, NullAdapter};
+use atm_capping::{CapAction, CapConfig, CapReport, EnergyMeter, EnergyModel, PowerRegulator};
 use atm_chip::{ChipEvent, FailureEvent, FailureKind, FaultHook, PStateTable};
 use atm_core::{AtmManager, MarginSupervisor, ServePosture, SupervisorAction};
 use atm_silicon::DriftModel;
-use atm_telemetry::{
-    AdmissionDecision, AdmissionVerdict, NullRecorder, Recorder, SimTime, TelemetryEvent,
-};
+use atm_telemetry::{AdmissionDecision, AdmissionVerdict, Recorder, SimTime, TelemetryEvent};
 use atm_units::{AtmError, CoreId, Nanos, ProcId};
 use atm_workloads::{ServiceProfile, Workload};
 
@@ -116,6 +115,8 @@ pub struct ServeSim {
     injected: Vec<(u32, FailureEvent)>,
     adapter: Box<dyn Adapter>,
     drift: Option<DriftModel>,
+    capping: Option<CapConfig>,
+    energy: Option<EnergyModel>,
 }
 
 impl fmt::Debug for ServeSim {
@@ -174,7 +175,39 @@ impl ServeSim {
             injected: Vec::new(),
             adapter: Box::new(NullAdapter),
             drift: None,
+            capping: None,
+            energy: None,
         })
+    }
+
+    /// Arms a power cap: each epoch the regulator integrates the chip's
+    /// measured power against the budget schedule and throttles (or
+    /// releases) through the posture's throttle ladder — background cores
+    /// first, the critical core only after the background tier bottoms
+    /// out, and never past the slowest p-state. Supervisor actions
+    /// outrank the regulator; releases are deferred while over budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if `cap` fails
+    /// [`CapConfig::check`].
+    pub fn set_cap(&mut self, cap: CapConfig) -> Result<(), AtmError> {
+        cap.check()?;
+        self.capping = Some(cap);
+        Ok(())
+    }
+
+    /// Replaces the energy model the run integrates with (the default is
+    /// [`EnergyModel::standard`] over the config's epoch span).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`] if `model` fails
+    /// [`EnergyModel::check`].
+    pub fn set_energy_model(&mut self, model: EnergyModel) -> Result<(), AtmError> {
+        model.check()?;
+        self.energy = Some(model);
+        Ok(())
     }
 
     /// Installs an online recharacterization adapter (replacing the
@@ -234,27 +267,32 @@ impl ServeSim {
         ));
     }
 
+    /// Deprecated alias of [`ServeSim::run`], kept for one release while
+    /// callers migrate to the consolidated recorder-generic method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[deprecated(since = "0.1.0", note = "use `run` (same signature)")]
+    #[must_use]
+    pub fn run_recorded<R: Recorder>(self, workers: usize, rec: &mut R) -> ServeReport {
+        self.run(workers, rec)
+    }
+
     /// Runs the full serving trace, pre-generating arrivals on up to
     /// `workers` threads, and returns the deterministic report.
     ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
-    #[must_use]
-    pub fn run(self, workers: usize) -> ServeReport {
-        self.run_recorded(workers, &mut NullRecorder)
-    }
-
-    /// [`ServeSim::run`] with telemetry: chip harvests, admission
-    /// verdicts, latencies, rollbacks and throttle step-downs record
-    /// through `rec`, with the recorder clock tracking the virtual
-    /// serving timeline. The report is identical to [`ServeSim::run`]'s.
+    /// Chip harvests, admission verdicts, latencies, rollbacks and
+    /// throttle step-downs record through `rec`, with the recorder clock
+    /// tracking the virtual serving timeline; pass
+    /// [`&mut NullRecorder`](atm_telemetry::NullRecorder) for the zero-overhead
+    /// unrecorded path — the report is identical either way.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     #[must_use]
-    pub fn run_recorded<R: Recorder>(self, workers: usize, rec: &mut R) -> ServeReport {
+    pub fn run<R: Recorder>(self, workers: usize, rec: &mut R) -> ServeReport {
         // Disassemble the simulator up front: the manager needs exclusive
         // mutable access through the whole trace, so the config and stream
         // specs move into locals and are borrowed from there — no per-run
@@ -269,6 +307,8 @@ impl ServeSim {
             injected,
             mut adapter,
             drift,
+            capping,
+            energy,
         } = self;
         let proc = ProcId::new(0);
         let baseline = mgr.system().config().pstates.nominal().frequency;
@@ -295,7 +335,7 @@ impl ServeSim {
 
         mgr.system_mut().set_droop_alarm(cfg.droop_alarm);
         let mut posture = mgr
-            .serve_posture_recorded(&critical_spec.workload, &backgrounds, cfg.qos, rec)
+            .serve_posture(&critical_spec.workload, &backgrounds, cfg.qos, rec)
             .expect("streams validated in new");
         // Posturing itself settles and trains predictors; the alarms those
         // runs raise are calibration noise, not serving-time events.
@@ -304,6 +344,9 @@ impl ServeSim {
             sup.attach(mgr.system());
         }
         let mut throttle_extra: usize = 0;
+        let mut meter =
+            EnergyMeter::new(energy.unwrap_or_else(|| EnergyModel::standard(cfg.epoch_ns)));
+        let mut cap = capping.map(|c| (PowerRegulator::new(c.regulator), c, CapReport::new()));
 
         let arrivals = arrival::generate_all(&streams, cfg.seed, horizon, workers);
         let mut next_arrival = 0usize;
@@ -325,12 +368,10 @@ impl ServeSim {
 
             // Harvest chip events at the current posture, plus injections.
             let harvest = match faults.as_deref_mut() {
-                Some(mut hook) => {
-                    mgr.system_mut()
-                        .run_faulted_recorded(cfg.chip_trial, &mut hook, rec)
-                }
-                None => mgr.system_mut().run_recorded(cfg.chip_trial, rec),
+                Some(mut hook) => mgr.system_mut().run_faulted(cfg.chip_trial, &mut hook, rec),
+                None => mgr.system_mut().run(cfg.chip_trial, rec),
             };
+            let measured_mw = (harvest.procs[0].mean_power.get() * 1_000.0).round() as u64;
             let mut events = mgr.system_mut().drain_events();
             for (e, f) in &injected {
                 if *e == epoch {
@@ -340,6 +381,9 @@ impl ServeSim {
 
             let mut needs_replace = false;
             let mut throttled = false;
+            let mut rollback_fired = false;
+            let mut epoch_busy_ns: u64 = 0;
+            let mut epoch_completed: u64 = 0;
 
             // The supervisor (when attached) owns the failure ladder; the
             // plain policy keeps the droop-alarm throttle response.
@@ -347,9 +391,10 @@ impl ServeSim {
             if let Some(sup) = supervisor.as_mut() {
                 actions.retain(|a| matches!(a, DegradeAction::ThrottleDown { .. }));
                 let sup_actions = sup.observe_window(mgr.system(), &events);
-                let _ = mgr.apply_supervisor_actions_recorded(&sup_actions, rec);
+                let _ = mgr.apply_supervisor_actions(&sup_actions, rec);
                 if !sup_actions.is_empty() {
                     needs_replace = true;
+                    rollback_fired = true;
                 }
                 for a in &sup_actions {
                     action_texts.push(match a {
@@ -371,8 +416,9 @@ impl ServeSim {
             for action in &actions {
                 match action {
                     DegradeAction::Rollback { core, cause } => {
-                        let red = mgr.rollback_core_recorded(*core, 1, rec);
+                        let red = mgr.rollback_core(*core, 1, rec);
                         needs_replace = true;
+                        rollback_fired = true;
                         action_texts.push(format!("rollback {core} to reduction {red} ({cause})"));
                     }
                     DegradeAction::ThrottleDown { core } => {
@@ -388,7 +434,7 @@ impl ServeSim {
 
             if needs_replace {
                 posture = mgr
-                    .serve_posture_recorded(&critical_spec.workload, &backgrounds, cfg.qos, rec)
+                    .serve_posture(&critical_spec.workload, &backgrounds, cfg.qos, rec)
                     .expect("streams validated in new");
                 if throttle_extra > 0 {
                     apply_extra_throttle(&mut mgr, &mut posture, throttle_extra, &pstates, proc);
@@ -439,6 +485,52 @@ impl ServeSim {
                     action_texts.push(String::from("adapter re-tighten"));
                 }
                 mgr.system_mut().drain_events();
+            }
+
+            // The power regulator gets the last word on margin modes:
+            // integrate this epoch's measured power against the cap in
+            // force, commit or suppress the proposal (rollbacks outrank,
+            // releases wait until the chip is back under budget), and
+            // restate the committed depth on top of whatever throttle
+            // plan the droop ladder left current.
+            if let Some((regulator, cap_cfg, cap_report)) = cap.as_mut() {
+                let cap_mw = cap_cfg.budget.cap_at(epoch);
+                let action = regulator.propose(measured_mw, cap_mw, rec);
+                let over_budget = measured_mw > cap_mw;
+                let (committed, suppressed) = match action {
+                    CapAction::Release(_) if rollback_fired || over_budget => {
+                        (CapAction::Hold, true)
+                    }
+                    a => (a, false),
+                };
+                regulator.commit(committed);
+                cap_report.count_action(committed, suppressed);
+                let depth = regulator.depth();
+                cap_report.push_epoch(cap_mw, measured_mw, depth, regulator.integral_mwe());
+                match committed {
+                    CapAction::Throttle(n) => {
+                        action_texts.push(format!("cap throttle {n} to depth {depth}"));
+                    }
+                    CapAction::Release(n) => {
+                        action_texts.push(format!("cap release {n} to depth {depth}"));
+                    }
+                    CapAction::Hold => {}
+                }
+                if depth > 0 || !matches!(committed, CapAction::Hold) {
+                    if let Some(base) = posture.placement.plan.clone() {
+                        let bg_depth = depth.min(base.setting.rungs_below(&pstates));
+                        let crit_depth = depth - bg_depth;
+                        let _ = mgr.apply_cap_levels(
+                            &base,
+                            posture.placement.critical_core,
+                            bg_depth,
+                            crit_depth,
+                            rec,
+                        );
+                        posture.core_freqs = mgr.measure_core_freqs(proc);
+                        mgr.system_mut().drain_events();
+                    }
+                }
             }
             for text in action_texts.drain(..) {
                 transitions.push(Transition {
@@ -593,10 +685,20 @@ impl ServeSim {
                 state.hist.record(latency);
                 state.epoch_hist.record(latency);
                 state.completed += 1;
+                epoch_busy_ns += service;
+                epoch_completed += 1;
                 if spec.slo_ns > 0 && latency > spec.slo_ns {
                     state.slo_violations += 1;
                 }
             }
+
+            let powered = posture
+                .core_freqs
+                .iter()
+                .filter(|(_, f)| f.get() > 0.0)
+                .count() as u32;
+            meter.observe_epoch(measured_mw, powered, epoch_busy_ns);
+            meter.add_requests(epoch_completed);
 
             for state in &mut states {
                 state.epoch_p99.push(state.epoch_hist.quantile(0.99));
@@ -642,6 +744,8 @@ impl ServeSim {
             transitions,
             streams,
             adapt: adapter.report(),
+            energy: meter.report(),
+            cap: cap.map(|(_, _, report)| report),
         }
     }
 }

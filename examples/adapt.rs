@@ -28,6 +28,7 @@ use power_atm::core::charact::CharactConfig;
 use power_atm::core::{AtmManager, Governor};
 use power_atm::serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
 use power_atm::silicon::DriftModel;
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::Nanos;
 use power_atm::workloads::by_name;
 
@@ -60,7 +61,7 @@ fn run(seed: u64, epochs: u32, workers: usize) -> ServeReport {
     let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
     sim.set_drift(DriftModel::standard(seed));
     sim.set_adapter(Box::new(OnlineAdapter::new(AdaptConfig::standard())));
-    sim.run(workers)
+    sim.run(workers, &mut NullRecorder)
 }
 
 fn main() {

@@ -7,6 +7,7 @@
 //! ```
 
 use power_atm::prelude::*;
+use power_atm::telemetry::NullRecorder;
 use power_atm::workloads::realistic_set;
 
 fn main() {
@@ -19,7 +20,8 @@ fn main() {
     let mut sys = System::new(ChipConfig::power7_plus(seed));
     let apps = realistic_set();
     let cfg = CharactConfig::quick();
-    let (table, idle, ubench, realistic) = LimitTable::characterize_detailed(&mut sys, &apps, &cfg);
+    let (table, idle, ubench, realistic) =
+        LimitTable::characterize_detailed(&mut sys, &apps, &cfg, &mut NullRecorder);
 
     println!("== Idle characterization (Sec. IV) ==");
     for r in &idle {

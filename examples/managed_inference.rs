@@ -13,6 +13,7 @@
 use power_atm::chip::FailureKind;
 use power_atm::prelude::*;
 use power_atm::serve::ArrivalPattern;
+use power_atm::telemetry::NullRecorder;
 
 fn main() {
     println!("deploying fine-tuned ATM via the test-time stress-test...");
@@ -62,7 +63,7 @@ fn main() {
         cfg.epochs,
         cfg.epoch_ns / 1_000_000
     );
-    let report = sim.run(4);
+    let report = sim.run(4, &mut NullRecorder);
 
     println!(
         "\n{:.1} requests/s overall; {} completed, {} shed, {} deferral(s)",

@@ -8,6 +8,7 @@
 
 use power_atm::core::FineTuner;
 use power_atm::prelude::*;
+use power_atm::telemetry::NullRecorder;
 
 fn main() {
     // A deterministic server: same seed, same silicon.
@@ -15,13 +16,13 @@ fn main() {
     let core = CoreId::new(0, 0);
 
     // 1. Static margin baseline: the 4.2 GHz p-state.
-    let report = sys.run(Nanos::new(10_000.0));
+    let report = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
     println!("static margin      : {}", report.core(core).mean_freq);
 
     // 2. Default ATM: the preset CPM configuration targets a uniform
     //    ~4.6 GHz on every core.
     sys.set_mode(core, MarginMode::Atm);
-    let report = sys.run(Nanos::new(10_000.0));
+    let report = sys.run(Nanos::new(10_000.0), &mut NullRecorder);
     println!("default ATM        : {}", report.core(core).mean_freq);
 
     // 3. Fine-tune: reduce the CPM inserted delay step by step. The loop
@@ -36,7 +37,7 @@ fn main() {
 
     // 4. Run a real workload on the fine-tuned core and measure.
     sys.assign(core, by_name("gcc").expect("catalog").clone());
-    let report = sys.run(Nanos::new(50_000.0));
+    let report = sys.run(Nanos::new(50_000.0), &mut NullRecorder);
     let measured = report.core(core).mean_freq;
     println!(
         "gcc on tuned core  : {measured} ({}), correct: {}",

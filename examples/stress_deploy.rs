@@ -9,6 +9,7 @@
 
 use power_atm::core::stress::stress_test_deploy;
 use power_atm::prelude::*;
+use power_atm::telemetry::NullRecorder;
 
 fn main() {
     let rollback: usize = std::env::args()
@@ -42,7 +43,7 @@ fn main() {
             .clone(),
     );
     sys.set_mode_all(power_atm::chip::MarginMode::Atm);
-    let report = sys.run(power_atm::units::Nanos::new(100_000.0));
+    let report = sys.run(power_atm::units::Nanos::new(100_000.0), &mut NullRecorder);
     println!(
         "all-core worst-co-location validation at deployed config: {}",
         if report.is_ok() { "PASS" } else { "FAIL" }

@@ -15,6 +15,7 @@
 
 use power_atm::dpll::{FreqWindow, UndervoltController};
 use power_atm::prelude::*;
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::Volts;
 
 fn main() {
@@ -34,14 +35,14 @@ fn main() {
     );
     let mut window = FreqWindow::power7_plus();
     let baseline_power = {
-        let report = sys.run(Nanos::new(32_000.0));
+        let report = sys.run(Nanos::new(32_000.0), &mut NullRecorder);
         report.procs[0].mean_power
     };
 
     println!("interval   Vdd       slowest 32ms avg   fastest core   chip power");
     for interval in 0..30 {
         sys.set_rail_voltage(socket, controller.voltage());
-        let report = sys.run(Nanos::new(32_000.0));
+        let report = sys.run(Nanos::new(32_000.0), &mut NullRecorder);
         let (mut slowest, mut fastest) = (MegaHz::new(1e6), MegaHz::ZERO);
         for core in socket.cores() {
             let f = report.core(core).mean_freq;
@@ -60,7 +61,7 @@ fn main() {
         }
     }
 
-    let report = sys.run(Nanos::new(32_000.0));
+    let report = sys.run(Nanos::new(32_000.0), &mut NullRecorder);
     println!(
         "\nsettled at {} for the 4.45 GHz contract; chip power {} (was {} at 1.25 V)",
         controller.voltage(),

@@ -15,6 +15,7 @@ ci:
     just chaos
     just fleet
     just adapt
+    just capping
 
 # Fault-injection sweep: every standard plan (droop-storm,
 # sensor-chaos, actuator-flap) replayed under three seeds. Each run
@@ -39,6 +40,14 @@ fleet:
 adapt:
     cargo run --release --example adapt 42
     cargo run --release --example adapt 7
+
+# Power-capping smoke: two seeds through a brownout, a price curve and
+# a budgeted fleet. Each run asserts the regulator's laws (no release
+# while over budget, bounded integral, supervisor precedence), energy
+# conservation, and serial ≡ 4-worker byte identity itself.
+capping:
+    cargo run --release --example capping 42
+    cargo run --release --example capping 7
 
 # Warning-free rustdoc over the workspace.
 doc:

@@ -22,6 +22,7 @@
 //! | [`chip`] | the two-socket simulator |
 //! | [`core`] | fine-tuning, characterization, prediction, management |
 //! | [`adapt`] | online recharacterization: live predictor refinement, micro-probes, confidence-gated re-tightening |
+//! | [`capping`] | integral power regulator above ATM, power budgets, and the integer-picojoule energy account |
 //! | [`serve`] | deterministic request serving with SLO accounting |
 //! | [`faults`] | seeded fault-injection campaigns and recovery reports |
 //! | [`fleet`] | fleet-scale sharded simulation behind a deterministic epoch-barrier router |
@@ -45,7 +46,7 @@
 //! //    throttled until a 10% speedup over static margin is guaranteed,
 //! //    with every control-loop decision recorded.
 //! let mut rec = RingRecorder::with_capacity(4096);
-//! let outcome = mgr.evaluate_pair_recorded(
+//! let outcome = mgr.evaluate_pair(
 //!     by_name("squeezenet").unwrap(),
 //!     by_name("x264").unwrap(),
 //!     Strategy::ManagedBalanced(QosTarget::improvement_pct(10.0)),
@@ -72,6 +73,7 @@
 pub use atm_units as units;
 
 pub use atm_adapt as adapt;
+pub use atm_capping as capping;
 pub use atm_chip as chip;
 pub use atm_core as core;
 pub use atm_cpm as cpm;
@@ -100,12 +102,16 @@ pub mod prelude {
     //! ```
 
     pub use atm_adapt::{AdaptConfig, AdaptReport, NullAdapter, OnlineAdapter};
+    pub use atm_capping::{
+        CapConfig, CapReport, EnergyModel, EnergyReport, FleetBudget, PowerBudget, PowerRegulator,
+        RegulatorConfig,
+    };
     pub use atm_chip::{ChipConfig, MarginMode, System};
     pub use atm_core::charact::CharactConfig;
     pub use atm_core::manager::Strategy;
     pub use atm_core::{AtmManager, Governor, LimitTable, MarginSupervisor, QosTarget};
     pub use atm_faults::{FaultCampaign, FaultPlan};
-    pub use atm_fleet::{FleetConfig, FleetReport, FleetSim};
+    pub use atm_fleet::{FleetConfig, FleetConfigBuilder, FleetReport, FleetSim};
     pub use atm_serve::{ServeConfig, ServeSim, StreamSpec};
     pub use atm_silicon::DriftModel;
     pub use atm_telemetry::{NullRecorder, Recorder, RingRecorder, TelemetrySnapshot};

@@ -30,6 +30,7 @@ use power_atm::core::charact::CharactConfig;
 use power_atm::core::{AtmManager, Governor, MarginSupervisor, SupervisorAction, SupervisorConfig};
 use power_atm::serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
 use power_atm::silicon::DriftModel;
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::{CoreId, Nanos};
 use power_atm::workloads::{by_name, voltage_virus};
 
@@ -75,7 +76,7 @@ fn drifting_run(seed: u64, workers: usize) -> ServeReport {
     let mut sim = ServeSim::new(mgr, cfg, streams()).expect("valid serving setup");
     sim.set_drift(DriftModel::standard(seed));
     sim.set_adapter(Box::new(OnlineAdapter::new(AdaptConfig::standard())));
-    sim.run(workers)
+    sim.run(workers, &mut NullRecorder)
 }
 
 /// Property 1: the estimator actually learns the drifting lot — window
@@ -171,7 +172,9 @@ fn bad_retighten_is_caught_by_the_supervisor() {
     // Control: the backed-off core survives the aged silicon — whatever
     // fails after the re-tighten is the re-tighten's doing.
     for _ in 0..20 {
-        let chip = mgr.system_mut().run(Nanos::new(50_000.0));
+        let chip = mgr
+            .system_mut()
+            .run(Nanos::new(50_000.0), &mut NullRecorder);
         assert!(
             chip.failure.is_none_or(|f| f.core != victim),
             "the backed-off core must be safe on this lot"
@@ -189,14 +192,16 @@ fn bad_retighten_is_caught_by_the_supervisor() {
     let estimator = OnlineEstimator::new(cfg.forgetting_milli);
     let picked = policy.decide(&cfg, 0, 0, &estimator, &[victim], &BTreeSet::new());
     assert_eq!(picked, vec![victim], "nothing gates the reckless recipe");
-    let restored = mgr.retighten_core(victim, cfg.retighten_steps);
+    let restored = mgr.retighten_core(victim, cfg.retighten_steps, &mut NullRecorder);
     assert_eq!(restored, deployed, "ceiling is the validated deployment");
 
     // Aged silicon at deployment-day tuning under a stressing workload:
     // the margin violation manifests as a real failure.
     let mut failed = false;
     for _ in 0..40 {
-        let chip = mgr.system_mut().run(Nanos::new(50_000.0));
+        let chip = mgr
+            .system_mut()
+            .run(Nanos::new(50_000.0), &mut NullRecorder);
         if chip.failure.is_some_and(|f| f.core == victim) {
             failed = true;
             break;
@@ -214,7 +219,7 @@ fn bad_retighten_is_caught_by_the_supervisor() {
             .any(|a| matches!(a, SupervisorAction::Rollback { core, .. } if *core == victim)),
         "expected a rollback on {victim}, got {actions:?}"
     );
-    let _ = mgr.apply_supervisor_actions(&actions);
+    let _ = mgr.apply_supervisor_actions(&actions, &mut NullRecorder);
     assert!(sup.on_probation(victim), "the core must land on probation");
     assert!(
         mgr.system().core(victim).reduction() < deployed,
@@ -234,7 +239,7 @@ fn bad_retighten_is_caught_by_the_supervisor() {
     );
     let current = mgr.system().core(victim).reduction();
     assert_eq!(
-        mgr.retighten_core(victim, cfg.retighten_steps),
+        mgr.retighten_core(victim, cfg.retighten_steps, &mut NullRecorder),
         current,
         "a live rollback owns the gap — re-tightening must not reclaim it"
     );

@@ -1,0 +1,219 @@
+//! Serving under a power cap: the regulator's acceptance story.
+//!
+//! Three contracts, checked end to end through the serving loop:
+//!
+//! * **Convergence** — a 30 % cap step engages the integral regulator,
+//!   which settles at a fixed throttle depth (no limit cycle) while the
+//!   anti-windup integral stays inside its clamp.
+//! * **Degradation order** — the throttle ladder sheds background
+//!   capacity first: under a binding cap the critical stream sheds
+//!   nothing and keeps its SLO while background requests bear the cut.
+//! * **Supervisor precedence** — a release proposed in the same epoch
+//!   as a CPM rollback is suppressed, never re-raising frequency on a
+//!   rolled-back core; the release recurs on the next clean epoch.
+
+use power_atm::capping::{CapConfig, PowerBudget, RegulatorConfig};
+use power_atm::chip::{ChipConfig, FailureKind, System};
+use power_atm::core::charact::CharactConfig;
+use power_atm::core::{AtmManager, Governor};
+use power_atm::serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
+use power_atm::telemetry::NullRecorder;
+use power_atm::units::Nanos;
+use power_atm::workloads::by_name;
+
+const SEED: u64 = 42;
+const SLO_NS: u64 = 250_000_000;
+
+fn streams() -> Vec<StreamSpec> {
+    vec![
+        StreamSpec::critical(
+            by_name("squeezenet").expect("catalog"),
+            ArrivalPattern::Poisson {
+                mean_gap: 150_000_000,
+            },
+            SLO_NS,
+        ),
+        StreamSpec::background(
+            by_name("x264").expect("catalog"),
+            ArrivalPattern::Poisson {
+                mean_gap: 40_000_000,
+            },
+        ),
+        StreamSpec::background(
+            by_name("lu_cb").expect("catalog"),
+            ArrivalPattern::Poisson {
+                mean_gap: 30_000_000,
+            },
+        ),
+    ]
+}
+
+fn sim(seed: u64, budget: PowerBudget) -> ServeSim {
+    let sys = System::new(ChipConfig::power7_plus(seed));
+    let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+    // 16 epochs: enough runway past the cap step for the integral to
+    // settle and hold a visible converged tail.
+    let cfg = ServeConfig::builder(seed)
+        .epochs(16)
+        .epoch_ns(200_000_000)
+        .chip_trial(Nanos::new(1_000.0))
+        .build()
+        .expect("valid config");
+    let mut sim = ServeSim::new(mgr, cfg, streams()).expect("valid serving setup");
+    sim.set_cap(CapConfig::standard(budget)).expect("valid cap");
+    sim
+}
+
+fn run(seed: u64, budget: PowerBudget) -> ServeReport {
+    sim(seed, budget).run(2, &mut NullRecorder)
+}
+
+/// Mean measured chip power under a cap that never binds, milliwatts.
+fn baseline_mw(seed: u64) -> u64 {
+    let report = run(seed, PowerBudget::unlimited());
+    let cap = report.cap.as_ref().expect("capping was on");
+    assert_eq!(cap.final_depth, 0, "an unlimited cap must never bind");
+    cap.power_mw.iter().sum::<u64>() / cap.power_mw.len().max(1) as u64
+}
+
+#[test]
+fn thirty_percent_cap_step_converges_without_limit_cycle() {
+    let base_mw = baseline_mw(SEED);
+    let report = run(
+        SEED,
+        PowerBudget::step_down(base_mw * 2, base_mw * 7 / 10, 3),
+    );
+    let cap = report.cap.as_ref().expect("capping was on");
+    assert!(
+        cap.throttle_steps > 0,
+        "a 30 % cap cut must engage the regulator: {cap}"
+    );
+    assert!(
+        cap.converged(4),
+        "depth still moving at the end of the run: {:?}",
+        cap.depth
+    );
+    assert!(cap.never_released_over_budget(), "released while over");
+    assert!(
+        cap.integral_bounded(RegulatorConfig::standard().integral_clamp_mwe()),
+        "anti-windup integral escaped its clamp ({} mWe)",
+        cap.max_integral_mwe
+    );
+    // Before the step the doubled cap must not bind.
+    assert_eq!(
+        cap.depth[0], 0,
+        "throttled before the step: {:?}",
+        cap.depth
+    );
+}
+
+#[test]
+fn background_sheds_first_and_critical_keeps_its_slo() {
+    let base_mw = baseline_mw(SEED);
+    let capped = run(SEED, PowerBudget::steady(base_mw * 7 / 10));
+    let cap = capped.cap.as_ref().expect("capping was on");
+    assert!(cap.throttle_steps > 0, "the cap must bind: {cap}");
+
+    let crit = capped.critical();
+    assert!(crit.completed > 0, "critical stream starved under the cap");
+    assert_eq!(
+        crit.shed, 0,
+        "the ladder must shed background before critical"
+    );
+    assert!(
+        crit.slo_met(),
+        "critical p99 {} ns exceeds SLO {} ns under a 30 % cap",
+        crit.p99_ns,
+        crit.slo_ns
+    );
+    // The energy account reflects the throttle: capped mean power is
+    // below the uncapped baseline.
+    let mean = cap.power_mw.iter().sum::<u64>() / cap.power_mw.len().max(1) as u64;
+    assert!(
+        mean < base_mw,
+        "throttling did not reduce mean power: {mean} vs {base_mw} mW"
+    );
+}
+
+/// Satellite: supervisor rollbacks outrank the regulator. The cap loosens
+/// at exactly the epoch a rollback fires, so the regulator proposes a
+/// release in that epoch — which must be suppressed (depth never drops on
+/// a rollback epoch) and re-proposed on the next clean epoch.
+#[test]
+fn release_in_a_rollback_epoch_is_suppressed_then_recurs() {
+    const FAIL_EPOCH: u32 = 6;
+    let base_mw = baseline_mw(SEED);
+    // Tight from epoch 0 (winds up depth), loose from FAIL_EPOCH on.
+    let budget = PowerBudget::price_curve(vec![(0, base_mw * 7 / 10), (FAIL_EPOCH, base_mw * 2)]);
+    let clean = run(SEED, budget.clone());
+    let fail_core = clean.critical_core;
+
+    let build = || {
+        let mut s = sim(SEED, budget.clone());
+        s.inject_failure(FAIL_EPOCH, fail_core, FailureKind::SystemCrash);
+        s
+    };
+    let report = build().run(1, &mut NullRecorder);
+    assert!(
+        report
+            .transitions
+            .iter()
+            .any(|t| t.epoch == FAIL_EPOCH && t.action.contains("rollback")),
+        "no rollback at epoch {FAIL_EPOCH}: {:?}",
+        report.transitions
+    );
+
+    let cap = report.cap.as_ref().expect("capping was on");
+    let e = FAIL_EPOCH as usize;
+    assert!(
+        cap.depth[e - 1] > 0,
+        "the tight phase never wound up depth: {:?}",
+        cap.depth
+    );
+    assert!(
+        cap.depth[e] >= cap.depth[e - 1],
+        "regulator released in the rollback epoch: {:?}",
+        cap.depth
+    );
+    assert!(
+        cap.releases_suppressed >= 1,
+        "the loosened cap must have proposed a release to suppress: {cap}"
+    );
+    assert!(
+        cap.depth.iter().skip(e + 1).any(|&d| d < cap.depth[e]),
+        "the suppressed release never recurred: {:?}",
+        cap.depth
+    );
+    assert!(cap.never_released_over_budget());
+
+    // The whole ordeal — rollback, suppression, deferred release — stays
+    // byte-deterministic across worker counts.
+    let again = build().run(4, &mut NullRecorder);
+    assert_eq!(
+        format!("{report:#?}"),
+        format!("{again:#?}"),
+        "worker count leaked into the capped+faulted report"
+    );
+}
+
+/// Tightening the cap never increases mean power: the frontier is
+/// monotone where the regulator can actually track it.
+#[test]
+fn deeper_caps_mean_less_power() {
+    let base_mw = baseline_mw(SEED);
+    let mut prev = u64::MAX;
+    for pct in [100u64, 70, 55] {
+        let report = run(SEED, PowerBudget::steady(base_mw * pct / 100));
+        let cap = report.cap.as_ref().expect("capping was on");
+        let mean = cap.power_mw.iter().sum::<u64>() / cap.power_mw.len().max(1) as u64;
+        assert!(
+            mean <= prev,
+            "mean power rose when the cap tightened to {pct} %: {mean} vs {prev} mW"
+        );
+        assert!(
+            report.energy.total_pj > 0,
+            "energy account empty at {pct} %"
+        );
+        prev = mean;
+    }
+}

@@ -6,6 +6,7 @@
 use power_atm::chip::ChipConfig;
 use power_atm::core::charact::CharactConfig;
 use power_atm::core::{CharactEngine, EngineResult};
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::{CoreId, Nanos};
 use power_atm::workloads::by_name;
 use proptest::prelude::*;
@@ -83,7 +84,7 @@ fn stride_fast_path_preserves_event_stream() {
         let loud = CoreId::new(0, 2);
         sys.set_mode(loud, MarginMode::Atm);
         sys.assign(loud, by_name("x264").expect("known app").clone());
-        let _ = sys.run(Nanos::new(80_000.0));
+        let _ = sys.run(Nanos::new(80_000.0), &mut NullRecorder);
         sys.drain_events()
             .iter()
             .map(|e| format!("{e:?}"))
@@ -142,7 +143,7 @@ fn adaptation_is_byte_identical_across_runs_and_workers() {
         let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
         sim.set_drift(DriftModel::standard(42));
         sim.set_adapter(Box::new(OnlineAdapter::new(AdaptConfig::standard())));
-        sim.run(workers)
+        sim.run(workers, &mut NullRecorder)
     };
 
     let reference = run(1);
@@ -150,6 +151,80 @@ fn adaptation_is_byte_identical_across_runs_and_workers() {
     assert!(adapt.observations > 0, "the adapter must actually observe");
     let reference_text = format!("{reference:#?}");
     assert_eq!(reference, run(1), "repeated runs diverged");
+    for workers in [2usize, 8] {
+        let parallel = run(workers);
+        assert_eq!(reference, parallel, "k = {workers} diverged");
+        assert_eq!(
+            reference_text,
+            format!("{parallel:#?}"),
+            "k = {workers} bytes diverged"
+        );
+    }
+}
+
+/// Determinism survives the power regulator: a capped serving run — the
+/// integral controller proposing, the serving loop committing throttle
+/// ladder moves, the energy meter integrating picojoules — produces a
+/// byte-identical [`ServeReport`] (including the [`CapReport`] and
+/// [`EnergyReport`]) for worker counts k ∈ {1, 2, 8} and across
+/// repeated runs.
+///
+/// [`ServeReport`]: power_atm::serve::ServeReport
+/// [`CapReport`]: power_atm::capping::CapReport
+/// [`EnergyReport`]: power_atm::capping::EnergyReport
+#[test]
+fn capped_serving_is_byte_identical_across_runs_and_workers() {
+    use power_atm::capping::{CapConfig, PowerBudget};
+    use power_atm::core::{AtmManager, Governor};
+    use power_atm::serve::{ArrivalPattern, ServeConfig, ServeSim, StreamSpec};
+    use power_atm::{chip::System, serve::ServeReport};
+
+    let run = |workers: usize| -> ServeReport {
+        let sys = System::new(ChipConfig::power7_plus(42));
+        let mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
+        let streams = vec![
+            StreamSpec::critical(
+                by_name("squeezenet").expect("catalog"),
+                ArrivalPattern::Poisson {
+                    mean_gap: 150_000_000,
+                },
+                250_000_000,
+            ),
+            StreamSpec::background(
+                by_name("x264").expect("catalog"),
+                ArrivalPattern::Poisson {
+                    mean_gap: 40_000_000,
+                },
+            ),
+        ];
+        let cfg = ServeConfig::builder(42)
+            .epochs(12)
+            .epoch_ns(200_000_000)
+            .chip_trial(Nanos::new(1_000.0))
+            .build()
+            .expect("valid config");
+        let mut sim = ServeSim::new(mgr, cfg, streams).expect("valid serving setup");
+        // A brownout exercises both directions of the ladder: throttle
+        // into the window, release after it.
+        sim.set_cap(CapConfig::standard(PowerBudget::brownout(
+            1 << 30,
+            60_000,
+            3,
+            7,
+        )))
+        .expect("valid cap");
+        sim.run(workers, &mut NullRecorder)
+    };
+
+    let reference = run(1);
+    let cap = reference.cap.as_ref().expect("capping was on");
+    assert!(cap.epochs > 0, "the regulator must actually regulate");
+    assert!(
+        reference.energy.total_pj > 0,
+        "the energy meter must actually integrate"
+    );
+    let reference_text = format!("{reference:#?}");
+    assert_eq!(reference, run(1), "repeated capped runs diverged");
     for workers in [2usize, 8] {
         let parallel = run(workers);
         assert_eq!(reference, parallel, "k = {workers} diverged");

@@ -4,6 +4,7 @@
 
 use power_atm::chip::{ChipConfig, MarginMode, System};
 use power_atm::core::Schedule;
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::{CoreId, Nanos, ProcId, Volts};
 use power_atm::workloads::by_name;
 
@@ -23,7 +24,7 @@ fn per_core_energy_sums_are_consistent_with_socket_power() {
         )
         .apply(&mut sys);
     let duration = Nanos::new(50_000.0);
-    let report = sys.run(duration);
+    let report = sys.run(duration, &mut NullRecorder);
 
     // Core energies plus uncore must approximate socket mean power.
     let core_energy_uj: f64 = ProcId::new(0)
@@ -49,7 +50,7 @@ fn busy_cores_draw_more_energy_than_idle_ones() {
             MarginMode::Atm,
         )
         .apply(&mut sys);
-    let report = sys.run(Nanos::new(20_000.0));
+    let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
     let busy = report.core(CoreId::new(0, 0)).energy_uj;
     let idle = report.core(CoreId::new(0, 5)).energy_uj;
     assert!(busy > 3.0 * idle, "busy {busy:.1} µJ vs idle {idle:.1} µJ");
@@ -69,7 +70,7 @@ fn undervolting_trades_frequency_for_energy() {
             )
             .apply(&mut sys);
         sys.set_rail_voltage(ProcId::new(0), Volts::new(setpoint));
-        let report = sys.run(Nanos::new(20_000.0));
+        let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
         (
             report.core(CoreId::new(0, 0)).mean_freq,
             report.procs[0].mean_power,
@@ -102,7 +103,7 @@ fn gated_cores_draw_an_order_of_magnitude_less() {
             MarginMode::Atm,
         )
         .apply(&mut sys);
-    let report = sys.run(Nanos::new(20_000.0));
+    let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
     let gated = report.core(CoreId::new(0, 4)).energy_uj;
 
     let mut sys = System::new(ChipConfig::default());
@@ -113,7 +114,7 @@ fn gated_cores_draw_an_order_of_magnitude_less() {
             MarginMode::Atm,
         )
         .apply(&mut sys);
-    let report = sys.run(Nanos::new(20_000.0));
+    let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
     let idle = report.core(CoreId::new(0, 4)).energy_uj;
     assert!(
         gated < idle / 5.0,

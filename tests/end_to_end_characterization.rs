@@ -6,6 +6,7 @@ use power_atm::core::charact::{
     idle_characterization, realistic_characterization, ubench_characterization, CharactConfig,
 };
 use power_atm::core::LimitTable;
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::CoreId;
 use power_atm::workloads::by_name;
 
@@ -26,7 +27,7 @@ fn full_pipeline_produces_monotone_limit_table() {
         by_name("mcf").unwrap(),
     ];
     let (table, idle, ubench, realistic) =
-        LimitTable::characterize_detailed(&mut sys, &apps, &quick());
+        LimitTable::characterize_detailed(&mut sys, &apps, &quick(), &mut NullRecorder);
     table.assert_invariants();
 
     assert_eq!(idle.len(), 16);
@@ -46,7 +47,7 @@ fn full_pipeline_produces_monotone_limit_table() {
 fn idle_limits_tight_across_seeds() {
     for seed in [3u64, 11] {
         let mut sys = System::new(ChipConfig::power7_plus(seed));
-        let results = idle_characterization(&mut sys, &quick());
+        let results = idle_characterization(&mut sys, &quick(), &mut NullRecorder);
         for r in &results {
             assert!(
                 r.distribution.spread() <= 2,
@@ -62,12 +63,12 @@ fn idle_limits_tight_across_seeds() {
 fn ubench_fragile_cores_are_a_minority() {
     let mut sys = System::new(ChipConfig::power7_plus(5));
     let cfg = quick();
-    let idle = idle_characterization(&mut sys, &cfg);
+    let idle = idle_characterization(&mut sys, &cfg, &mut NullRecorder);
     let mut idle_limits = [0usize; 16];
     for r in &idle {
         idle_limits[r.core.flat_index()] = r.idle_limit();
     }
-    let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+    let ub = ubench_characterization(&mut sys, &idle_limits, &cfg, &mut NullRecorder);
     let fragile = ub.iter().filter(|r| r.rollback() > 0).count();
     assert!(fragile <= 10, "{fragile}/16 cores fragile under uBench");
 }
@@ -79,17 +80,18 @@ fn thread_worst_sustains_every_profiled_app() {
     let mut sys = System::new(ChipConfig::power7_plus(42));
     let cfg = quick();
     let apps = [by_name("x264").unwrap(), by_name("gcc").unwrap()];
-    let idle = idle_characterization(&mut sys, &cfg);
+    let idle = idle_characterization(&mut sys, &cfg, &mut NullRecorder);
     let mut idle_limits = [0usize; 16];
     for r in &idle {
         idle_limits[r.core.flat_index()] = r.idle_limit();
     }
-    let ub = ubench_characterization(&mut sys, &idle_limits, &cfg);
+    let ub = ubench_characterization(&mut sys, &idle_limits, &cfg, &mut NullRecorder);
     let mut ubench_limits = [0usize; 16];
     for r in &ub {
         ubench_limits[r.core.flat_index()] = r.ubench_limit().min(r.idle_limit);
     }
-    let realistic = realistic_characterization(&mut sys, &ubench_limits, &apps, &cfg);
+    let realistic =
+        realistic_characterization(&mut sys, &ubench_limits, &apps, &cfg, &mut NullRecorder);
 
     // Re-validate on a couple of cores with fresh trials.
     for core in [CoreId::new(0, 0), CoreId::new(1, 3)] {
@@ -98,7 +100,7 @@ fn thread_worst_sustains_every_profiled_app() {
             .unwrap();
         for app in &apps {
             sys.assign(core, (*app).clone());
-            let report = sys.run(power_atm::units::Nanos::new(20_000.0));
+            let report = sys.run(power_atm::units::Nanos::new(20_000.0), &mut NullRecorder);
             assert!(
                 report.is_ok(),
                 "{core} failed {} at thread-worst",
@@ -113,7 +115,7 @@ fn thread_worst_sustains_every_profiled_app() {
 fn characterization_is_deterministic() {
     let run = || {
         let mut sys = System::new(ChipConfig::power7_plus(13));
-        let results = idle_characterization(&mut sys, &quick());
+        let results = idle_characterization(&mut sys, &quick(), &mut NullRecorder);
         results
             .iter()
             .map(|r| (r.idle_limit(), r.limit_frequency.get()))

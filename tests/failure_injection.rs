@@ -3,6 +3,7 @@
 //! abnormal exits, silent data corruption).
 
 use power_atm::chip::{ChipConfig, FailureKind, MarginMode, System};
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::{CoreId, MegaHz, Nanos};
 use power_atm::workloads::{by_name, voltage_virus};
 
@@ -13,7 +14,7 @@ fn removing_entire_preset_always_fails() {
         sys.set_mode(core, MarginMode::Atm);
         let max = sys.core(core).cpms().max_reduction();
         sys.set_reduction(core, max).unwrap();
-        let report = sys.run(Nanos::new(100_000.0));
+        let report = sys.run(Nanos::new(100_000.0), &mut NullRecorder);
         assert!(
             report.failure.is_some(),
             "{core}: whole-preset removal survived"
@@ -31,7 +32,7 @@ fn failure_aborts_the_run_early() {
     sys.set_mode(core, MarginMode::Atm);
     let max = sys.core(core).cpms().max_reduction();
     sys.set_reduction(core, max).unwrap();
-    let report = sys.run(Nanos::new(1_000_000.0));
+    let report = sys.run(Nanos::new(1_000_000.0), &mut NullRecorder);
     assert!(report.failure.is_some());
     assert!(
         report.duration.get() < 1_000_000.0,
@@ -52,7 +53,7 @@ fn failure_kinds_cover_all_three_manifestations() {
 
     let mut seen = std::collections::HashSet::new();
     for _ in 0..60 {
-        let report = sys.run(Nanos::new(20_000.0));
+        let report = sys.run(Nanos::new(20_000.0), &mut NullRecorder);
         if let Some(f) = report.failure {
             seen.insert(f.kind);
         }
@@ -78,7 +79,7 @@ fn static_margin_never_fails_even_with_aggressive_reductions_programmed() {
     }
     sys.assign_all(&voltage_virus());
     // Static mode ignores the CPM configuration entirely.
-    let report = sys.run(Nanos::new(100_000.0));
+    let report = sys.run(Nanos::new(100_000.0), &mut NullRecorder);
     assert!(report.is_ok());
     for c in &report.cores {
         assert_eq!(c.mean_freq, MegaHz::new(4200.0));
@@ -96,7 +97,7 @@ fn disabling_failure_checking_suppresses_failures() {
     sys.set_mode(core, MarginMode::Atm);
     let max = sys.core(core).cpms().max_reduction();
     sys.set_reduction(core, max).unwrap();
-    let report = sys.run(Nanos::new(50_000.0));
+    let report = sys.run(Nanos::new(50_000.0), &mut NullRecorder);
     assert!(report.is_ok());
 }
 
@@ -147,7 +148,7 @@ fn supervisor_contains_a_droop_storm_and_restores_the_slo() {
         let mut s = ServeSim::new(mgr, cfg, streams()).expect("valid serving setup");
         s.set_supervisor(MarginSupervisor::new(SupervisorConfig::default()));
         s.set_fault_hook(Box::new(CampaignHook::resolve(&droop_storm(), SEED, 0)));
-        s.run(workers)
+        s.run(workers, &mut NullRecorder)
     };
 
     let report = run(1);
@@ -199,6 +200,7 @@ fn noisier_workloads_fail_at_less_aggressive_settings() {
         &[&idle],
         0,
         &power_atm::core::CharactConfig::quick(),
+        &mut NullRecorder,
     );
     let limit = dist.limit();
     assert!(limit >= 2, "core unexpectedly weak");
@@ -208,7 +210,11 @@ fn noisier_workloads_fail_at_less_aggressive_settings() {
     sys.assign(core, by_name("x264").unwrap().clone());
     let mut x264_failed = false;
     for _ in 0..8 {
-        if sys.run(Nanos::new(50_000.0)).failure.is_some() {
+        if sys
+            .run(Nanos::new(50_000.0), &mut NullRecorder)
+            .failure
+            .is_some()
+        {
             x264_failed = true;
             break;
         }

@@ -13,6 +13,7 @@ use power_atm::chip::{ChipConfig, ChipEvent, FailureEvent, FailureKind, MarginMo
 use power_atm::core::charact::CharactConfig;
 use power_atm::core::{AtmManager, Governor, MarginSupervisor, QosTarget, SupervisorConfig};
 use power_atm::faults::{actuator_flap, droop_storm, sensor_chaos, FaultCampaign};
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::{CoreId, MegaHz, Nanos};
 use power_atm::workloads::by_name;
 
@@ -93,7 +94,7 @@ fn safe_mode_provably_reverts_to_static_baseline() {
     // Three strike windows: rollback, rollback, safe mode.
     for _ in 0..3 {
         let actions = sup.observe_window(mgr.system(), &crash(victim));
-        let _ = mgr.apply_supervisor_actions(&actions);
+        let _ = mgr.apply_supervisor_actions(&actions, &mut NullRecorder);
     }
 
     assert!(sup.in_safe_mode(victim));
@@ -128,6 +129,7 @@ fn safe_mode_provably_reverts_to_static_baseline() {
             by_name("squeezenet").expect("squeezenet exists"),
             std::slice::from_ref(workload),
             QosTarget::improvement_pct(5.0),
+            &mut NullRecorder,
         )
         .expect("posture with one background");
     assert_ne!(posture.placement.critical_core, victim);

@@ -95,6 +95,49 @@ fn drifting_adaptive_fleet_is_byte_identical_across_workers() {
     assert!(serial.conservation_holds());
 }
 
+/// A fleet under a global power budget keeps the determinism contract:
+/// the per-epoch largest-remainder split, every chip's integral
+/// regulator, and the merged picojoule account are all byte-identical
+/// across runs and worker counts k ∈ {1, 2, 8} — and the energy books
+/// balance exactly.
+#[test]
+fn budgeted_fleet_is_byte_identical_across_workers() {
+    use power_atm::capping::FleetBudget;
+
+    // 200 W over 8 chips: ~25 W per chip, tight enough that regulators
+    // actually throttle.
+    let cfg = FleetConfig::quick(42).with_budget(FleetBudget::steady(200_000));
+    let serial = run(&cfg, 1);
+    assert_eq!(
+        serial.caps.len(),
+        serial.rows.len(),
+        "one cap account per chip"
+    );
+    assert!(
+        serial.caps.iter().any(|c| c.throttle_steps > 0),
+        "the global budget never made a regulator throttle"
+    );
+    assert!(serial.energy.total_pj > 0, "the fleet metered no energy");
+    assert!(
+        serial.energy_conserved(),
+        "per-chip picojoules do not sum to the fleet total"
+    );
+    for cap in &serial.caps {
+        assert!(cap.never_released_over_budget(), "{cap}");
+    }
+    let serial_text = format!("{serial:#?}");
+    for workers in [1usize, 2, 8] {
+        let again = run(&cfg, workers);
+        assert_eq!(serial, again, "k = {workers} diverged");
+        assert_eq!(
+            serial_text,
+            format!("{again:#?}"),
+            "k = {workers} bytes diverged"
+        );
+    }
+    assert!(serial.conservation_holds());
+}
+
 /// Different fleet seeds must reach the silicon lots, the traffic, and
 /// therefore the account — seeds are not cosmetic.
 #[test]

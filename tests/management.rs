@@ -4,6 +4,7 @@ use power_atm::chip::{ChipConfig, System};
 use power_atm::core::charact::CharactConfig;
 use power_atm::core::manager::Strategy;
 use power_atm::core::{AtmManager, Governor, QosTarget, Scheduler};
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::ProcId;
 use power_atm::workloads::by_name;
 
@@ -18,10 +19,10 @@ fn strategies_order_for_multiple_pairs() {
     for (critical, background) in [("squeezenet", "x264"), ("seq2seq", "streamcluster")] {
         let c = by_name(critical).unwrap();
         let b = by_name(background).unwrap();
-        let stat = mgr.evaluate_pair(c, b, Strategy::StaticMargin);
-        let def = mgr.evaluate_pair(c, b, Strategy::DefaultAtm);
-        let unm = mgr.evaluate_pair(c, b, Strategy::FineTunedUnmanaged);
-        let max = mgr.evaluate_pair(c, b, Strategy::ManagedMax);
+        let stat = mgr.evaluate_pair(c, b, Strategy::StaticMargin, &mut NullRecorder);
+        let def = mgr.evaluate_pair(c, b, Strategy::DefaultAtm, &mut NullRecorder);
+        let unm = mgr.evaluate_pair(c, b, Strategy::FineTunedUnmanaged, &mut NullRecorder);
+        let max = mgr.evaluate_pair(c, b, Strategy::ManagedMax, &mut NullRecorder);
         assert!(
             (stat.speedup - 1.0).abs() < 1e-9,
             "{critical}: static {:.3}",
@@ -44,7 +45,12 @@ fn balanced_throttles_hungry_backgrounds_but_not_streamcluster() {
 
     // streamcluster draws so little power the budget allows full ATM.
     let sc = by_name("streamcluster").unwrap();
-    let easy = mgr.evaluate_pair(seq2seq, sc, Strategy::ManagedBalanced(qos));
+    let easy = mgr.evaluate_pair(
+        seq2seq,
+        sc,
+        Strategy::ManagedBalanced(qos),
+        &mut NullRecorder,
+    );
     assert!(
         qos.met_by(easy.speedup),
         "streamcluster pair {:.3}",
@@ -54,7 +60,12 @@ fn balanced_throttles_hungry_backgrounds_but_not_streamcluster() {
     // lu_cb is power-hungry: some throttling is expected relative to
     // streamcluster's setting, and QoS must still be met.
     let lu = by_name("lu_cb").unwrap();
-    let hard = mgr.evaluate_pair(seq2seq, lu, Strategy::ManagedBalanced(qos));
+    let hard = mgr.evaluate_pair(
+        seq2seq,
+        lu,
+        Strategy::ManagedBalanced(qos),
+        &mut NullRecorder,
+    );
     assert!(qos.met_by(hard.speedup), "lu_cb pair {:.3}", hard.speedup);
     assert!(
         hard.chip_power.get() < 170.0,
@@ -68,7 +79,7 @@ fn conservative_governor_places_critical_on_robust_core() {
     let mut mgr = manager(Governor::Conservative);
     let c = by_name("babi").unwrap();
     let b = by_name("blackscholes").unwrap();
-    let outcome = mgr.evaluate_pair(c, b, Strategy::ManagedMax);
+    let outcome = mgr.evaluate_pair(c, b, Strategy::ManagedMax, &mut NullRecorder);
     assert!(outcome.ok);
 
     // The chosen core must be in the robust half of socket 0.
@@ -120,7 +131,7 @@ fn managed_runs_never_fail_at_deployed_limits() {
             Strategy::ManagedMax,
             Strategy::ManagedBalanced(qos),
         ] {
-            let o = mgr.evaluate_pair(critical, background, strategy);
+            let o = mgr.evaluate_pair(critical, background, strategy, &mut NullRecorder);
             assert!(o.ok, "{c}:{b} failed under {}", o.strategy);
         }
     }

@@ -15,6 +15,7 @@
 
 use power_atm::chip::{ChipConfig, MarginMode, System};
 use power_atm::experiments::perfref;
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::{CoreId, Nanos};
 use power_atm::workloads::by_name;
 use proptest::prelude::*;
@@ -57,7 +58,7 @@ fn atm_report(seed: u64, stride: bool, span: Nanos) -> (String, u64) {
     sys.set_stride(stride);
     sys.assign_all(by_name("x264").expect("catalog"));
     sys.set_mode_all(MarginMode::Atm);
-    let report = sys.run(span);
+    let report = sys.run(span, &mut NullRecorder);
     let fast: u64 = CoreId::all()
         .map(|id| sys.core(id).stride_fast_ticks())
         .sum();
@@ -98,8 +99,8 @@ proptest! {
             sys
         };
         let us = |n: u64| Nanos::new(n as f64 * 1000.0);
-        let whole = build(seed).run(us(a_us + b_us + c_us));
-        let chunked = build(seed).run_chunked(&[us(a_us), us(b_us), us(c_us)]);
+        let whole = build(seed).run(us(a_us + b_us + c_us), &mut NullRecorder);
+        let chunked = build(seed).run_chunked(&[us(a_us), us(b_us), us(c_us)], &mut NullRecorder);
         assert_same_text(
             &format!("{chunked:#?}"),
             &format!("{whole:#?}"),

@@ -4,6 +4,7 @@ use power_atm::chip::{ChipConfig, MarginMode, System};
 use power_atm::cpm::CoreCpmSet;
 use power_atm::pdn::PdnModel;
 use power_atm::silicon::{SiliconFactory, SiliconParams};
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::{Celsius, CoreId, MegaHz, Picos, Volts, Watts};
 use proptest::prelude::*;
 
@@ -104,7 +105,7 @@ proptest! {
     fn default_atm_idle_is_always_safe(seed in 0u64..1000) {
         let mut sys = System::new(ChipConfig::power7_plus(seed));
         sys.set_mode_all(MarginMode::Atm);
-        let report = sys.run(power_atm::units::Nanos::new(20_000.0));
+        let report = sys.run(power_atm::units::Nanos::new(20_000.0), &mut NullRecorder);
         prop_assert!(report.is_ok(), "seed {seed} failed at preset config");
         for c in &report.cores {
             prop_assert!(
@@ -273,6 +274,44 @@ proptest! {
             if row.drained_from_epoch >= 0 {
                 prop_assert!(row.quarantined >= 1, "drained without quarantine: {row:?}");
             }
+        }
+    }
+
+    /// Energy and budget conservation under a global cap: for any seed,
+    /// fleet shape, and steady budget, the per-chip picojoule rows sum
+    /// exactly to the fleet total, the per-epoch largest-remainder split
+    /// re-sums exactly to the global cap, and every chip's regulator
+    /// satisfies its safety laws (no release while over budget, integral
+    /// inside the anti-windup clamp).
+    #[test]
+    fn budgeted_fleet_conserves_energy_and_splits_exactly(
+        seed in 0u64..10_000,
+        chips in 2u32..=4,
+        epochs in 2u32..=4,
+        budget_w in 50u64..=400,
+    ) {
+        use power_atm::capping::{FleetBudget, RegulatorConfig};
+        use power_atm::fleet::{FleetConfig, FleetSim};
+        let cap_mw = budget_w * 1_000;
+        let cfg = FleetConfig::quick(seed)
+            .with_chips(chips)
+            .with_epochs(epochs)
+            .with_budget(FleetBudget::steady(cap_mw));
+        let report = FleetSim::new(cfg).expect("valid fleet").run(2);
+        prop_assert!(report.energy.total_pj > 0, "no energy metered");
+        prop_assert!(report.energy_conserved(), "picojoule books out of balance");
+        prop_assert_eq!(report.caps.len(), report.rows.len());
+        let clamp = RegulatorConfig::standard().integral_clamp_mwe();
+        for cap in &report.caps {
+            prop_assert_eq!(cap.epochs, epochs, "a chip skipped regulation");
+            prop_assert!(cap.never_released_over_budget(), "{}", cap);
+            prop_assert!(cap.integral_bounded(clamp), "{}", cap);
+        }
+        // Exact apportionment: the shares in force each epoch re-sum to
+        // the global cap, to the milliwatt.
+        for e in 0..epochs as usize {
+            let total: u64 = report.caps.iter().map(|c| c.cap_mw[e]).sum();
+            prop_assert_eq!(total, cap_mw, "split leaked at epoch {}", e);
         }
     }
 

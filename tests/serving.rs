@@ -12,6 +12,7 @@ use power_atm::chip::{ChipConfig, FailureKind, System};
 use power_atm::core::charact::CharactConfig;
 use power_atm::core::{AtmManager, Governor};
 use power_atm::serve::{ArrivalPattern, ServeConfig, ServeReport, ServeSim, StreamSpec};
+use power_atm::telemetry::NullRecorder;
 use power_atm::units::CoreId;
 use power_atm::workloads::by_name;
 
@@ -57,7 +58,7 @@ fn sim(seed: u64) -> ServeSim {
 }
 
 fn run(seed: u64, workers: usize) -> ServeReport {
-    sim(seed).run(workers)
+    sim(seed).run(workers, &mut NullRecorder)
 }
 
 #[test]
@@ -105,7 +106,7 @@ fn injected_failure_triggers_rollback_and_recovery() {
     let clean = run(SEED, 1);
     let crit_core = clean.critical_core;
     s.inject_failure(FAIL_EPOCH, crit_core, FailureKind::SystemCrash);
-    let report = s.run(1);
+    let report = s.run(1, &mut NullRecorder);
 
     // The degradation machinery reacted, at the right time, with rollback.
     let rb: Vec<_> = report
@@ -149,7 +150,7 @@ fn injected_failure_triggers_rollback_and_recovery() {
     // And the report as a whole stays deterministic under injection.
     let mut s2 = sim(SEED);
     s2.inject_failure(FAIL_EPOCH, crit_core, FailureKind::SystemCrash);
-    assert_eq!(report, s2.run(4));
+    assert_eq!(report, s2.run(4, &mut NullRecorder));
 }
 
 /// Serving resilience under a flapping core: with the supervisor
@@ -175,7 +176,7 @@ fn flapping_core_ends_quarantined_and_critical_stream_is_replaced() {
         s
     };
 
-    let report = build().run(1);
+    let report = build().run(1, &mut NullRecorder);
     let ladder: Vec<&str> = report
         .transitions
         .iter()
@@ -213,7 +214,11 @@ fn flapping_core_ends_quarantined_and_critical_stream_is_replaced() {
 
     // Byte-identical across reruns and worker counts.
     for workers in [2, 4, 8] {
-        assert_eq!(report, build().run(workers), "workers = {workers}");
+        assert_eq!(
+            report,
+            build().run(workers, &mut NullRecorder),
+            "workers = {workers}"
+        );
     }
 }
 
@@ -225,7 +230,7 @@ fn failures_on_background_cores_leave_the_critical_core_alone() {
         .expect("socket 0 has eight cores");
     let mut s = sim(SEED);
     s.inject_failure(2, bg_core, FailureKind::AbnormalExit);
-    let report = s.run(1);
+    let report = s.run(1, &mut NullRecorder);
     assert!(report
         .transitions
         .iter()

@@ -8,6 +8,7 @@
 
 use power_atm::prelude::*;
 use power_atm::serve::{ArrivalPattern, ServeReport};
+use power_atm::telemetry::NullRecorder;
 use power_atm::telemetry::{SimTime, TelemetryEvent};
 use power_atm::workloads::realistic_set;
 
@@ -46,7 +47,7 @@ fn ring_wraparound_during_a_campaign_keeps_a_coherent_snapshot() {
     // Reference: a ring big enough to keep everything.
     let mut sys_big = System::new(ChipConfig::power7_plus(SEED));
     let mut big = RingRecorder::with_capacity(1 << 20);
-    let table_big = LimitTable::characterize_recorded(&mut sys_big, &apps, &cfg, &mut big);
+    let table_big = LimitTable::characterize(&mut sys_big, &apps, &cfg, &mut big);
     assert_eq!(big.dropped_events(), 0, "reference ring must not wrap");
     let total = big.recorded_events();
 
@@ -58,7 +59,7 @@ fn ring_wraparound_during_a_campaign_keeps_a_coherent_snapshot() {
     );
     let mut sys_small = System::new(ChipConfig::power7_plus(SEED));
     let mut small = RingRecorder::with_capacity(capacity);
-    let table_small = LimitTable::characterize_recorded(&mut sys_small, &apps, &cfg, &mut small);
+    let table_small = LimitTable::characterize(&mut sys_small, &apps, &cfg, &mut small);
 
     // Recording is observation, never perturbation — capacity included.
     assert_eq!(table_big, table_small, "ring capacity perturbed results");
@@ -101,7 +102,7 @@ fn snapshot_round_trips_through_text() {
     let sys = System::new(ChipConfig::power7_plus(SEED));
     let mut mgr = AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick());
     let mut rec = RingRecorder::with_capacity(1024);
-    let _ = mgr.evaluate_pair_recorded(
+    let _ = mgr.evaluate_pair(
         by_name("squeezenet").unwrap(),
         by_name("x264").unwrap(),
         Strategy::ManagedBalanced(QosTarget::improvement_pct(10.0)),
@@ -123,11 +124,11 @@ fn characterization_is_identical_under_null_and_ring_recorders() {
     let cfg = CharactConfig::quick();
 
     let mut plain_sys = System::new(ChipConfig::power7_plus(SEED));
-    let plain = LimitTable::characterize(&mut plain_sys, &apps, &cfg);
+    let plain = LimitTable::characterize(&mut plain_sys, &apps, &cfg, &mut NullRecorder);
 
     let mut ring_sys = System::new(ChipConfig::power7_plus(SEED));
     let mut rec = RingRecorder::with_capacity(512);
-    let ringed = LimitTable::characterize_recorded(&mut ring_sys, &apps, &cfg, &mut rec);
+    let ringed = LimitTable::characterize(&mut ring_sys, &apps, &cfg, &mut rec);
 
     assert_eq!(plain, ringed, "recording must not perturb the limit table");
     assert!(rec.counter("charact.trials").unwrap_or(0) > 0);
@@ -159,7 +160,7 @@ fn serve_report<R: Recorder>(rec: &mut R) -> ServeReport {
         .expect("valid config");
     ServeSim::new(mgr, cfg, streams)
         .expect("valid serving setup")
-        .run_recorded(2, rec)
+        .run(2, rec)
 }
 
 #[test]
@@ -203,6 +204,7 @@ fn builders_and_errors_cover_the_redesigned_api() {
             by_name("squeezenet").unwrap(),
             &[],
             QosTarget::improvement_pct(10.0),
+            &mut NullRecorder,
         )
         .unwrap_err();
     assert!(matches!(err, AtmError::InvalidConfig { .. }));
