@@ -36,3 +36,8 @@ done
 for seed in 42 7; do
     cargo run --release --example capping "$seed"
 done
+# Recovery smoke: a chip hard-failed mid-run, both seeds driven inside
+# the example — exactly-once accounting with retries, SLO
+# re-convergence after failover, serial ≡ 4-worker byte identity
+# (mirrors `just recover`).
+cargo run --release --example recovery

@@ -97,16 +97,26 @@ pub trait Adapter: Send + fmt::Debug {
     fn report(&self) -> Option<AdaptReport> {
         None
     }
+
+    /// A boxed deep copy of the adapter, learned state and all — the
+    /// seam that lets the serving layer's checkpoint machinery clone a
+    /// `Box<dyn Adapter>`. Resuming from the copy must be byte-identical
+    /// to continuing with the original.
+    fn clone_box(&self) -> Box<dyn Adapter>;
 }
 
 /// The do-nothing adapter: production serving with adaptation off.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullAdapter;
 
-impl Adapter for NullAdapter {}
+impl Adapter for NullAdapter {
+    fn clone_box(&self) -> Box<dyn Adapter> {
+        Box::new(*self)
+    }
+}
 
 /// The full online recharacterization loop (see the module docs).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OnlineAdapter {
     cfg: AdaptConfig,
     estimator: OnlineEstimator,
@@ -266,6 +276,10 @@ impl Adapter for OnlineAdapter {
             retightens: self.retightens,
             retighten_steps: self.retighten_steps,
         })
+    }
+
+    fn clone_box(&self) -> Box<dyn Adapter> {
+        Box::new(self.clone())
     }
 }
 

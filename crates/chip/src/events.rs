@@ -144,7 +144,8 @@ impl DroopHysteresis {
 
 /// Per-core droop detector bank used inside timed runs: tracks a rolling
 /// mean of each ATM core's frequency and trips hysteretic alarms.
-#[derive(Debug)]
+/// `Clone` so a mid-run checkpoint can capture EMA and hysteresis state.
+#[derive(Debug, Clone)]
 pub(crate) struct DroopDetectorBank {
     /// Per-core (flat index) rolling mean frequency, MHz.
     ema: Vec<f64>,

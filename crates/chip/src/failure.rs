@@ -16,6 +16,11 @@ pub enum FailureKind {
     AbnormalExit,
     /// Silent data corruption, caught by result-checking tools.
     SilentDataCorruption,
+    /// The whole chip goes dark: every socket halts and the layer above
+    /// must treat the chip as dead until it is explicitly resurrected.
+    /// Never produced by [`FailureKind::sample`] — only injected through
+    /// [`FaultAction::ChipHardFail`](crate::FaultAction::ChipHardFail).
+    ChipHardFail,
 }
 
 impl fmt::Display for FailureKind {
@@ -24,6 +29,7 @@ impl fmt::Display for FailureKind {
             FailureKind::SystemCrash => "system crash",
             FailureKind::AbnormalExit => "abnormal application exit",
             FailureKind::SilentDataCorruption => "silent data corruption",
+            FailureKind::ChipHardFail => "hard chip failure",
         })
     }
 }

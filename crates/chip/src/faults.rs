@@ -83,6 +83,15 @@ pub enum FaultAction {
         /// How the failure manifests.
         kind: FailureKind,
     },
+    /// Kill the whole chip this tick: the run aborts with a
+    /// [`FailureKind::ChipHardFail`] failure event attributed to `core`
+    /// (the core whose violation cascaded), and the serving layer above
+    /// must treat the chip as dead until it is resurrected from a
+    /// checkpoint.
+    ChipHardFail {
+        /// The core whose failure cascaded into the chip-wide outage.
+        core: CoreId,
+    },
 }
 
 /// A source of fault injections for timed runs.
@@ -165,7 +174,8 @@ pub(crate) struct ProcFaults<'a> {
 
 /// The run engine's fault bookkeeping: armed fault lines with remaining
 /// durations, refreshed from the hook each tick and decremented after.
-#[derive(Debug)]
+/// `Clone` so a mid-run checkpoint can capture armed durations exactly.
+#[derive(Debug, Clone)]
 pub(crate) struct FaultState {
     lines: [[CoreFaultLine; CORES_PER_PROC]; NUM_PROCS],
     rail: [Option<(RailTransient, u32)>; NUM_PROCS],
@@ -221,6 +231,9 @@ impl FaultState {
             }
             FaultAction::ForceFailure { core, kind } => {
                 self.line_mut(core).force = Some(kind);
+            }
+            FaultAction::ChipHardFail { core } => {
+                self.line_mut(core).force = Some(FailureKind::ChipHardFail);
             }
         }
     }

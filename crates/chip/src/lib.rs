@@ -59,5 +59,5 @@ pub use processor::Processor;
 pub use pstate::{PState, PStateTable};
 pub use report::{CharactStats, CoreReport, ProcReport, SystemReport};
 pub use shard::SystemShard;
-pub use system::System;
+pub use system::{RunSession, System, SystemCheckpoint};
 pub use trace::{Trace, TraceSample};

@@ -56,7 +56,9 @@ pub struct System {
 /// run ([`System::run`], [`System::run_traced`],
 /// [`System::run_chunked`]): the loop's constants, the monotonic clock,
 /// and the counters the run reports at the end. One engine is started per
-/// warm-started run and advanced to one or more time targets.
+/// warm-started run and advanced to one or more time targets. `Clone` so
+/// a [`RunSession`] checkpoint can capture the loop mid-run.
+#[derive(Debug, Clone)]
 struct RunEngine {
     dt: Nanos,
     check: bool,
@@ -428,17 +430,6 @@ impl System {
         self.run_faulted(duration, &mut NoFaults, rec)
     }
 
-    /// Deprecated alias of [`System::run`], kept for one release while
-    /// callers migrate to the consolidated recorder-generic method.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `duration` is not positive.
-    #[deprecated(since = "0.1.0", note = "use `run` (same signature)")]
-    pub fn run_recorded<R: Recorder>(&mut self, duration: Nanos, rec: &mut R) -> SystemReport {
-        self.run(duration, rec)
-    }
-
     /// [`System::run`] with a fault-injection hook: `hook` is consulted
     /// once per tick while armed and its [`crate::FaultAction`]s are
     /// applied to the simulated hardware (see [`crate::FaultHook`]).
@@ -462,22 +453,6 @@ impl System {
         engine.advance_to(self, duration, hook, rec, &mut |_, _, _| {});
         engine.finish(rec);
         self.assemble_report(engine.now, engine.failure)
-    }
-
-    /// Deprecated alias of [`System::run_faulted`], kept for one release
-    /// while callers migrate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `duration` is not positive.
-    #[deprecated(since = "0.1.0", note = "use `run_faulted` (same signature)")]
-    pub fn run_faulted_recorded<R: Recorder, F: FaultHook>(
-        &mut self,
-        duration: Nanos,
-        hook: &mut F,
-        rec: &mut R,
-    ) -> SystemReport {
-        self.run_faulted(duration, hook, rec)
     }
 
     /// Runs the system for the sum of `chunks` as **one** trial — a single
@@ -508,21 +483,6 @@ impl System {
         }
         engine.finish(rec);
         self.assemble_report(engine.now, engine.failure)
-    }
-
-    /// Deprecated alias of [`System::run_chunked`], kept for one release
-    /// while callers migrate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `chunks` is empty or any chunk is not positive.
-    #[deprecated(since = "0.1.0", note = "use `run_chunked` (same signature)")]
-    pub fn run_chunked_recorded<R: Recorder>(
-        &mut self,
-        chunks: &[Nanos],
-        rec: &mut R,
-    ) -> SystemReport {
-        self.run_chunked(chunks, rec)
     }
 
     /// Like [`System::run`], additionally recording a decimated per-tick
@@ -572,6 +532,140 @@ impl System {
             p.reset_stats();
         }
         self.assemble_report(Nanos::ZERO, None)
+    }
+
+    /// Captures the system's complete state — per-core voltages, thermal
+    /// trajectories, CPM/DPLL loop state, programmed configuration, drift
+    /// offsets, pending events — as a value. Restoring the checkpoint
+    /// with [`System::restore`] and re-running is byte-identical to
+    /// re-running from the original, because every cache the simulator
+    /// keeps is itself part of the cloned state.
+    #[must_use]
+    pub fn checkpoint(&self) -> SystemCheckpoint {
+        SystemCheckpoint {
+            state: self.clone(),
+        }
+    }
+
+    /// Restores the complete state captured by [`System::checkpoint`],
+    /// discarding everything simulated since.
+    pub fn restore(&mut self, cp: &SystemCheckpoint) {
+        *self = cp.state.clone();
+    }
+
+    /// Warm-starts a resumable timed run. The session owns the tick
+    /// loop's mid-run state (clock, tick counter, armed faults, droop
+    /// detectors) and advances it in caller-controlled steps:
+    ///
+    /// ```
+    /// use atm_chip::{ChipConfig, System};
+    /// use atm_telemetry::NullRecorder;
+    /// use atm_units::Nanos;
+    ///
+    /// let mut a = System::new(ChipConfig::default());
+    /// let mut b = a.clone();
+    ///
+    /// // One continuous run...
+    /// let full = a.run(Nanos::new(4_000.0), &mut NullRecorder);
+    ///
+    /// // ...equals a session advanced in two steps with a checkpoint
+    /// // and restore in between, byte for byte.
+    /// let mut session = b.begin_run();
+    /// session.advance_to(&mut b, Nanos::new(1_500.0), &mut NullRecorder);
+    /// let (sys_cp, run_cp) = (b.checkpoint(), session.checkpoint());
+    /// b.restore(&sys_cp);
+    /// session.restore(&run_cp);
+    /// session.advance_to(&mut b, Nanos::new(4_000.0), &mut NullRecorder);
+    /// let resumed = session.finish(&b, &mut NullRecorder);
+    /// assert_eq!(format!("{full:?}"), format!("{resumed:?}"));
+    /// ```
+    ///
+    /// Equivalence with the one-shot runs: `run(T, rec)` is exactly
+    /// `begin_run()` + `advance_to(T)` + `finish()`, and
+    /// [`System::run_faulted`] additionally calls
+    /// [`FaultHook::on_trial_start`] before warm-starting — a session
+    /// driving a fault hook must do the same.
+    pub fn begin_run(&mut self) -> RunSession {
+        RunSession {
+            engine: self.start_engine(),
+        }
+    }
+}
+
+/// A complete captured [`System`] state (see [`System::checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct SystemCheckpoint {
+    state: System,
+}
+
+/// A resumable timed run over a [`System`] (see [`System::begin_run`]):
+/// the mid-run tick-loop state as a first-class, cloneable value, so
+/// long campaigns can checkpoint inside a trial, branch what-if replays,
+/// and resume — byte-identically to a run that never stopped.
+#[derive(Debug, Clone)]
+pub struct RunSession {
+    engine: RunEngine,
+}
+
+impl RunSession {
+    /// Advances the run until the clock reaches `target` (or a failure
+    /// aborts it), exactly as [`System::run`] would on its way to a
+    /// larger total. Calling with a `target` at or before the current
+    /// clock is a no-op. `sys` must be the system this session was begun
+    /// on (or a restored checkpoint of it).
+    pub fn advance_to<R: Recorder>(&mut self, sys: &mut System, target: Nanos, rec: &mut R) {
+        self.advance_to_faulted(sys, target, &mut NoFaults, rec);
+    }
+
+    /// [`RunSession::advance_to`] with a fault-injection hook consulted
+    /// once per tick while armed (see [`System::run_faulted`]).
+    pub fn advance_to_faulted<R: Recorder, F: FaultHook>(
+        &mut self,
+        sys: &mut System,
+        target: Nanos,
+        hook: &mut F,
+        rec: &mut R,
+    ) {
+        self.engine
+            .advance_to(sys, target, hook, rec, &mut |_, _, _| {});
+    }
+
+    /// The run's simulation clock.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.engine.now
+    }
+
+    /// Ticks stepped so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.engine.ticks
+    }
+
+    /// The failure that aborted the run, if one has.
+    #[must_use]
+    pub fn failure(&self) -> Option<FailureEvent> {
+        self.engine.failure
+    }
+
+    /// Captures the mid-run tick-loop state. Pair with
+    /// [`System::checkpoint`] taken at the same instant: restoring both
+    /// and resuming is byte-identical to never stopping.
+    #[must_use]
+    pub fn checkpoint(&self) -> RunSession {
+        self.clone()
+    }
+
+    /// Restores the mid-run state captured by [`RunSession::checkpoint`].
+    pub fn restore(&mut self, cp: &RunSession) {
+        *self = cp.clone();
+    }
+
+    /// Ends the run: bumps the summary counters on `rec` (once, like the
+    /// one-shot runs) and assembles the report from `sys`'s telemetry.
+    pub fn finish<R: Recorder>(self, sys: &System, rec: &mut R) -> SystemReport {
+        self.engine.finish(rec);
+        sys.assemble_report(self.engine.now, self.engine.failure)
     }
 }
 

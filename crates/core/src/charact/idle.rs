@@ -64,18 +64,6 @@ pub fn idle_characterization<R: Recorder>(
     results
 }
 
-/// Deprecated alias of [`idle_characterization`], kept for one release
-/// while callers migrate.
-#[deprecated(since = "0.1.0", note = "use `idle_characterization` (same signature)")]
-#[must_use]
-pub fn idle_characterization_recorded<R: Recorder>(
-    system: &mut System,
-    cfg: &CharactConfig,
-    rec: &mut R,
-) -> Vec<IdleResult> {
-    idle_characterization(system, cfg, rec)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

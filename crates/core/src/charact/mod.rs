@@ -16,13 +16,3 @@ pub use search::{
     find_limit, find_limit_driven, passes, CharactConfig, CharactConfigBuilder, LimitDistribution,
 };
 pub use ubench::{ubench_characterization, UbenchResult};
-
-// Deprecated aliases stay importable for one release.
-#[allow(deprecated)]
-pub use idle::idle_characterization_recorded;
-#[allow(deprecated)]
-pub use realistic::realistic_characterization_recorded;
-#[allow(deprecated)]
-pub use search::{find_limit_recorded, passes_recorded};
-#[allow(deprecated)]
-pub use ubench::ubench_characterization_recorded;

@@ -176,23 +176,6 @@ pub fn realistic_characterization<R: Recorder>(
     result
 }
 
-/// Deprecated alias of [`realistic_characterization`], kept for one
-/// release while callers migrate.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `realistic_characterization` (same signature)"
-)]
-#[must_use]
-pub fn realistic_characterization_recorded<R: Recorder>(
-    system: &mut System,
-    ubench_limits: &[usize; 16],
-    apps: &[&Workload],
-    cfg: &CharactConfig,
-    rec: &mut R,
-) -> RealisticResult {
-    realistic_characterization(system, ubench_limits, apps, cfg, rec)
-}
-
 /// Like [`realistic_characterization`], but fanning the applications out
 /// over `threads` worker systems (each minted from `config`), merging the
 /// partial profiles deterministically. The passed `system` is programmed

@@ -206,20 +206,6 @@ pub fn passes<R: Recorder>(
     report.is_ok()
 }
 
-/// Deprecated alias of [`passes`], kept for one release while callers
-/// migrate.
-#[deprecated(since = "0.1.0", note = "use `passes` (same signature)")]
-pub fn passes_recorded<R: Recorder>(
-    system: &mut System,
-    core: CoreId,
-    workload: &Workload,
-    reduction: usize,
-    trial: Nanos,
-    rec: &mut R,
-) -> bool {
-    passes(system, core, workload, reduction, trial, rec)
-}
-
 /// The limit-walk skeleton shared by every characterization driver.
 ///
 /// For each of `repeats` repeats, walks the CPM delay reduction from
@@ -316,20 +302,6 @@ pub fn find_limit<R: Recorder>(
         .expect("limit within preset");
     system.assign(core, Workload::idle());
     dist
-}
-
-/// Deprecated alias of [`find_limit`], kept for one release while
-/// callers migrate.
-#[deprecated(since = "0.1.0", note = "use `find_limit` (same signature)")]
-pub fn find_limit_recorded<R: Recorder>(
-    system: &mut System,
-    core: CoreId,
-    set: &[&Workload],
-    start_hint: usize,
-    cfg: &CharactConfig,
-    rec: &mut R,
-) -> LimitDistribution {
-    find_limit(system, core, set, start_hint, cfg, rec)
 }
 
 #[cfg(test)]

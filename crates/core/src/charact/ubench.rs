@@ -71,22 +71,6 @@ pub fn ubench_characterization<R: Recorder>(
     results
 }
 
-/// Deprecated alias of [`ubench_characterization`], kept for one release
-/// while callers migrate.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ubench_characterization` (same signature)"
-)]
-#[must_use]
-pub fn ubench_characterization_recorded<R: Recorder>(
-    system: &mut System,
-    idle_limits: &[usize; 16],
-    cfg: &CharactConfig,
-    rec: &mut R,
-) -> Vec<UbenchResult> {
-    ubench_characterization(system, idle_limits, cfg, rec)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,7 +57,7 @@ pub use engine::{CharactEngine, EngineResult, SweepCache, TrialKey};
 pub use finetune::FineTuner;
 pub use governor::Governor;
 pub use limits::LimitTable;
-pub use manager::{AtmManager, ManagedOutcome, ServePosture, Strategy};
+pub use manager::{AtmManager, ManagedOutcome, ManagerCheckpoint, ServePosture, Strategy};
 pub use predictor::{FreqPredictor, LinearFit, PerfPredictor};
 pub use qos::QosTarget;
 pub use schedule::{Schedule, ScheduleEntry};
@@ -65,7 +65,3 @@ pub use scheduler::{Placement, Scheduler};
 pub use stress::{stress_test_deploy, StressTestResult};
 pub use supervisor::{MarginSupervisor, SupervisorAction, SupervisorConfig, SupervisorSummary};
 pub use throttle::{throttle_to_budget, ThrottlePlan, ThrottleSetting};
-
-// Deprecated alias stays importable for one release.
-#[allow(deprecated)]
-pub use throttle::throttle_to_budget_recorded;

@@ -67,19 +67,6 @@ impl LimitTable {
         LimitTable::characterize_detailed(system, apps, cfg, rec).0
     }
 
-    /// Deprecated alias of [`LimitTable::characterize`], kept for one
-    /// release while callers migrate.
-    #[deprecated(since = "0.1.0", note = "use `characterize` (same signature)")]
-    #[must_use]
-    pub fn characterize_recorded<R: Recorder>(
-        system: &mut System,
-        apps: &[&Workload],
-        cfg: &CharactConfig,
-        rec: &mut R,
-    ) -> LimitTable {
-        LimitTable::characterize(system, apps, cfg, rec)
-    }
-
     /// Like [`LimitTable::characterize`], also returning the per-phase
     /// detail (idle results, uBench results, realistic profiles).
     #[must_use]
@@ -116,24 +103,6 @@ impl LimitTable {
         };
         table.assert_invariants();
         (table, idle_results, ubench_results, realistic)
-    }
-
-    /// Deprecated alias of [`LimitTable::characterize_detailed`], kept
-    /// for one release while callers migrate.
-    #[deprecated(since = "0.1.0", note = "use `characterize_detailed` (same signature)")]
-    #[must_use]
-    pub fn characterize_detailed_recorded<R: Recorder>(
-        system: &mut System,
-        apps: &[&Workload],
-        cfg: &CharactConfig,
-        rec: &mut R,
-    ) -> (
-        LimitTable,
-        Vec<IdleResult>,
-        Vec<UbenchResult>,
-        RealisticResult,
-    ) {
-        LimitTable::characterize_detailed(system, apps, cfg, rec)
     }
 
     /// Checks the monotonicity invariant.

@@ -1,6 +1,6 @@
 //! The fine-tuned ATM manager (Sec. VII, Figs. 13–14).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use atm_chip::{MarginMode, System};
@@ -110,18 +110,20 @@ pub struct ManagedOutcome {
 /// );
 /// assert!(outcome.speedup >= 1.0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AtmManager {
     system: System,
     governor: Governor,
     deployed: StressTestResult,
     realistic: Option<RealisticResult>,
-    freq_predictors: HashMap<CoreId, FreqPredictor>,
+    /// Ordered so the manager's `Debug` rendering (the checkpoint layer's
+    /// byte-identity witness) is deterministic.
+    freq_predictors: BTreeMap<CoreId, FreqPredictor>,
     measure_duration: Nanos,
     /// Extra per-core CPM rollback applied after field failures
     /// ([`AtmManager::rollback_core`]); survives re-posturing because the
     /// governor map is adjusted by these overrides on every application.
-    rollback_overrides: HashMap<CoreId, usize>,
+    rollback_overrides: BTreeMap<CoreId, usize>,
     /// Cores the supervisor has quarantined: clock-gated, idle, and
     /// excluded from every placement until the manager is redeployed.
     quarantined: BTreeSet<CoreId>,
@@ -156,6 +158,13 @@ impl ServePosture {
     }
 }
 
+/// A complete captured [`AtmManager`] state (see
+/// [`AtmManager::checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct ManagerCheckpoint {
+    state: AtmManager,
+}
+
 impl AtmManager {
     /// Deploys a fine-tuned configuration on `system`: runs the test-time
     /// stress-test per core, applies the governor's reduction map, and
@@ -168,9 +177,9 @@ impl AtmManager {
             governor,
             deployed,
             realistic: None,
-            freq_predictors: HashMap::new(),
+            freq_predictors: BTreeMap::new(),
             measure_duration: Nanos::new(100_000.0),
-            rollback_overrides: HashMap::new(),
+            rollback_overrides: BTreeMap::new(),
             quarantined: BTreeSet::new(),
             safe_mode: BTreeSet::new(),
         }
@@ -204,6 +213,24 @@ impl AtmManager {
     /// reconfigure between evaluations).
     pub fn system_mut(&mut self) -> &mut System {
         &mut self.system
+    }
+
+    /// Captures the manager's complete state — the managed system, the
+    /// deploy table, realistic profiles, cached predictors, rollback
+    /// overrides, and the quarantine/safe-mode sets — as a value.
+    /// Restoring with [`AtmManager::restore`] and continuing is
+    /// byte-identical to never stopping.
+    #[must_use]
+    pub fn checkpoint(&self) -> ManagerCheckpoint {
+        ManagerCheckpoint {
+            state: self.clone(),
+        }
+    }
+
+    /// Restores the complete state captured by [`AtmManager::checkpoint`],
+    /// discarding everything managed since.
+    pub fn restore(&mut self, cp: &ManagerCheckpoint) {
+        *self = cp.state.clone();
     }
 
     /// Sets the measured-run duration (default 100 µs).
@@ -321,20 +348,6 @@ impl AtmManager {
         )
     }
 
-    /// Deprecated alias of [`AtmManager::evaluate_pair`], kept for one
-    /// release while callers migrate to the consolidated recorder-generic
-    /// method.
-    #[deprecated(since = "0.1.0", note = "use `evaluate_pair` (same signature)")]
-    pub fn evaluate_pair_recorded<R: Recorder>(
-        &mut self,
-        critical: &Workload,
-        background: &Workload,
-        strategy: Strategy,
-        rec: &mut R,
-    ) -> ManagedOutcome {
-        self.evaluate_pair(critical, background, strategy, rec)
-    }
-
     /// Applies the governor's reduction map for `critical`, adjusted by
     /// any post-failure rollback overrides.
     fn apply_governor_map(&mut self, critical: &Workload) {
@@ -387,18 +400,6 @@ impl AtmManager {
             }));
         }
         new
-    }
-
-    /// Deprecated alias of [`AtmManager::rollback_core`], kept for one
-    /// release while callers migrate.
-    #[deprecated(since = "0.1.0", note = "use `rollback_core` (same signature)")]
-    pub fn rollback_core_recorded<R: Recorder>(
-        &mut self,
-        core: CoreId,
-        steps: usize,
-        rec: &mut R,
-    ) -> usize {
-        self.rollback_core(core, steps, rec)
     }
 
     /// The cumulative post-failure rollback override on `core`.
@@ -454,20 +455,6 @@ impl AtmManager {
         needs_replace
     }
 
-    /// Deprecated alias of [`AtmManager::apply_supervisor_actions`], kept
-    /// for one release while callers migrate.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `apply_supervisor_actions` (same signature)"
-    )]
-    pub fn apply_supervisor_actions_recorded<R: Recorder>(
-        &mut self,
-        actions: &[SupervisorAction],
-        rec: &mut R,
-    ) -> bool {
-        self.apply_supervisor_actions(actions, rec)
-    }
-
     /// Cautiously restores fine-tuning after a clean probation: `steps` of
     /// the rollback override come back off, and the core's live reduction
     /// climbs by `steps`, capped at the stress-test-validated deployment.
@@ -490,18 +477,6 @@ impl AtmManager {
         self.freq_predictors.remove(&core);
         rec.incr("manager.reprobes", 1);
         new
-    }
-
-    /// Deprecated alias of [`AtmManager::reprobe_core`], kept for one
-    /// release while callers migrate.
-    #[deprecated(since = "0.1.0", note = "use `reprobe_core` (same signature)")]
-    pub fn reprobe_core_recorded<R: Recorder>(
-        &mut self,
-        core: CoreId,
-        steps: usize,
-        rec: &mut R,
-    ) -> usize {
-        self.reprobe_core(core, steps, rec)
     }
 
     /// Re-tightens `core`'s fine-tuning by up to `steps`: the online
@@ -538,18 +513,6 @@ impl AtmManager {
         self.freq_predictors.remove(&core);
         rec.incr("manager.retightens", 1);
         new
-    }
-
-    /// Deprecated alias of [`AtmManager::retighten_core`], kept for one
-    /// release while callers migrate.
-    #[deprecated(since = "0.1.0", note = "use `retighten_core` (same signature)")]
-    pub fn retighten_core_recorded<R: Recorder>(
-        &mut self,
-        core: CoreId,
-        steps: usize,
-        rec: &mut R,
-    ) -> usize {
-        self.retighten_core(core, steps, rec)
     }
 
     /// Quarantines `core`: clock-gated, idled, reduction pinned at 0, and
@@ -680,23 +643,6 @@ impl AtmManager {
         })
     }
 
-    /// Deprecated alias of [`AtmManager::serve_posture`], kept for one
-    /// release while callers migrate.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AtmError::InvalidConfig`] if `backgrounds` is empty.
-    #[deprecated(since = "0.1.0", note = "use `serve_posture` (same signature)")]
-    pub fn serve_posture_recorded<R: Recorder>(
-        &mut self,
-        critical: &Workload,
-        backgrounds: &[Workload],
-        qos: QosTarget,
-        rec: &mut R,
-    ) -> Result<ServePosture, AtmError> {
-        self.serve_posture(critical, backgrounds, qos, rec)
-    }
-
     /// The power regulator's actuation seam: applies a cap throttle depth
     /// on top of a serving posture, background-before-critical.
     ///
@@ -815,37 +761,6 @@ mod tests {
     fn manager() -> AtmManager {
         let sys = System::new(ChipConfig::default());
         AtmManager::deploy(sys, Governor::Default, &CharactConfig::quick())
-    }
-
-    /// The deprecated `*_recorded` shims must stay exact aliases of the
-    /// consolidated methods until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_recorded_shims_match_canonical_methods() {
-        let critical = by_name("squeezenet").unwrap();
-        let background = by_name("x264").unwrap();
-
-        let mut canonical = manager();
-        let via_new = canonical.evaluate_pair(
-            critical,
-            background,
-            Strategy::ManagedMax,
-            &mut NullRecorder,
-        );
-        let mut shimmed = manager();
-        let via_shim = shimmed.evaluate_pair_recorded(
-            critical,
-            background,
-            Strategy::ManagedMax,
-            &mut NullRecorder,
-        );
-        assert_eq!(via_new.critical_freq, via_shim.critical_freq);
-        assert!((via_new.speedup - via_shim.speedup).abs() < 1e-12);
-
-        let victim = CoreId::new(0, 3);
-        let a = canonical.rollback_core(victim, 2, &mut NullRecorder);
-        let b = shimmed.rollback_core_recorded(victim, 2, &mut NullRecorder);
-        assert_eq!(a, b, "rollback shims must land on the same reduction");
     }
 
     #[test]

@@ -170,20 +170,6 @@ pub fn throttle_to_budget<R: Recorder>(
     plan
 }
 
-/// Deprecated alias of [`throttle_to_budget`], kept for one release
-/// while callers migrate.
-#[deprecated(since = "0.1.0", note = "use `throttle_to_budget` (same signature)")]
-#[must_use]
-pub fn throttle_to_budget_recorded<R: Recorder>(
-    system: &mut System,
-    background_cores: &[CoreId],
-    budget: Watts,
-    proc_index: usize,
-    rec: &mut R,
-) -> ThrottlePlan {
-    throttle_to_budget(system, background_cores, budget, proc_index, rec)
-}
-
 fn throttle_to_budget_inner(
     system: &mut System,
     background_cores: &[CoreId],

@@ -1,0 +1,286 @@
+//! Extension: surviving whole-chip failures — checkpointed recovery,
+//! bounded-retry failover, and fault-campaign bisection (ROADMAP item on
+//! recovery; the paper's Sec. VII reliability discussion stops at
+//! per-core rollback).
+//!
+//! The paper's management scheme degrades gracefully around *core*-level
+//! timing emergencies. This exhibit goes one failure domain up: a
+//! seeded campaign hard-fails whole chips mid-run, and the fleet either
+//! sheds the dead chips' traffic (no failover) or routes it through the
+//! bounded retry/backoff ladder and resurrects the chips from their
+//! periodic checkpoints (failover armed). Three laws are checked in the
+//! rendered report:
+//!
+//! 1. **Exactly-once accounting** — generated = routed + shed +
+//!    retry-shed + unserved, with and without failover;
+//! 2. **Resume identity** — a run checkpointed mid-flight and resumed
+//!    finishes byte-identical to the uninterrupted run;
+//! 3. **Minimal-trigger bisection** — delta-debugging a three-spec
+//!    campaign (two benign faults plus the chip killer) isolates exactly
+//!    the killer, replaying from checkpoints instead of from epoch 0.
+
+use std::fmt;
+
+use atm_faults::{chip_killer, FaultKind, FaultSpec, FaultTarget, FleetFaultPlan};
+use atm_fleet::{FailoverConfig, FleetConfig, FleetReport, FleetSim};
+use atm_recovery::{bisect, BisectConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::render;
+
+/// Fleet epochs per scenario run.
+const EPOCHS: u32 = 6;
+
+/// Engine tick the chip-killer spec fires at (epoch 1, so the epoch-0
+/// periodic checkpoint exists and resurrection has something to thaw).
+const KILL_TICK: u64 = 25;
+
+/// One failover scenario's outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailoverRow {
+    /// Scenario label.
+    pub label: String,
+    /// Chips that hard-failed during the run.
+    pub hard_failed: u32,
+    /// Chips resurrected from a periodic checkpoint.
+    pub resurrected: u32,
+    /// Bounced requests re-routed by the retry ladder.
+    pub retried: u64,
+    /// Bounced requests permanently shed (budget exhausted or ladder
+    /// unarmed).
+    pub retry_shed: u64,
+    /// Requests served to completion fleet-wide.
+    pub completed: u64,
+    /// Critical-stream p99 latency, nanoseconds.
+    pub critical_p99_ns: u64,
+    /// Whether the exactly-once conservation law held.
+    pub books_balance: bool,
+}
+
+/// The rendered exhibit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtRecovery {
+    /// The kill campaign without and with the failover ladder.
+    pub rows: Vec<FailoverRow>,
+    /// Whether checkpoint/resume reproduced the uninterrupted run byte
+    /// for byte.
+    pub resume_identity: bool,
+    /// Spec indices the bisection isolated (expected: the killer alone).
+    pub bisect_minimal: Vec<usize>,
+    /// Whether the isolated minimal set is exactly the chip-killer spec.
+    pub bisect_exact: bool,
+    /// Subset probes the ddmin loop ran.
+    pub bisect_probes: u32,
+    /// Epochs actually replayed across the probes (from checkpoints).
+    pub bisect_epochs_replayed: u64,
+    /// Epochs the same probes would have cost replaying from epoch 0.
+    pub bisect_epochs_full: u64,
+}
+
+fn kill_cfg(seed: u64, failover: Option<FailoverConfig>) -> FleetConfig {
+    let mut cfg = FleetConfig::quick(seed)
+        .with_epochs(EPOCHS)
+        .with_faults(FleetFaultPlan::new(chip_killer(KILL_TICK), 2));
+    cfg.failover = failover;
+    cfg
+}
+
+fn row(label: &str, report: &FleetReport) -> FailoverRow {
+    FailoverRow {
+        label: label.to_owned(),
+        hard_failed: report.routing.hard_failed_chips,
+        resurrected: report.routing.resurrected_chips,
+        retried: report.routing.retried,
+        retry_shed: report.routing.retry_shed,
+        completed: report.completed(),
+        critical_p99_ns: report.critical.p99_ns,
+        books_balance: report.conservation_holds(),
+    }
+}
+
+/// Runs the kill campaign bare and failover-armed, proves the resume
+/// identity, and bisects a three-spec campaign down to the killer.
+pub fn run(ctx: &mut Context) -> ExtRecovery {
+    let seed = ctx.cfg().seed;
+
+    let bare = FleetSim::new(kill_cfg(seed, None))
+        .expect("valid fleet")
+        .run(2);
+    let armed_cfg = kill_cfg(seed, Some(FailoverConfig::default()));
+    let armed = FleetSim::new(armed_cfg.clone())
+        .expect("valid fleet")
+        .run(2);
+
+    // Resume identity: pause the armed scenario mid-run, checkpoint,
+    // resume, and byte-compare against the uninterrupted report.
+    let mut run = FleetSim::new(armed_cfg).expect("valid fleet").start(2);
+    run.step_epoch(2);
+    run.step_epoch(2);
+    let mut resumed = run.checkpoint().thaw();
+    while !resumed.done() {
+        resumed.step_epoch(2);
+    }
+    let resume_identity = format!("{:#?}", resumed.finish()) == format!("{armed:#?}");
+
+    // Bisection: two benign specs ride along with the killer; with the
+    // campaign afflicting every chip the predicate is seed-independent.
+    let benign = |start: u64, kind: FaultKind| FaultSpec {
+        target: FaultTarget::Seeded,
+        kind,
+        start,
+        period: 0,
+        repeats: 1,
+        duration: 2,
+    };
+    let plan = chip_killer(45)
+        .with(benign(3, FaultKind::CpmDropout))
+        .with(benign(
+            10,
+            FaultKind::LoadBurst {
+                magnitude_mv: 45,
+                sharpness_pct: 85,
+            },
+        ));
+    let bisect_cfg = FleetConfig::quick(seed)
+        .with_epochs(4)
+        .with_faults(FleetFaultPlan::new(plan, 1))
+        .with_failover(FailoverConfig::default());
+    let outcome = bisect(
+        &bisect_cfg,
+        |report| report.routing.hard_failed_chips > 0,
+        &BisectConfig {
+            workers: 2,
+            checkpoint_stride: 1,
+        },
+    )
+    .expect("the killer campaign always trips the predicate");
+    let bisect_exact =
+        outcome.minimal_indices == vec![0] && outcome.minimal[0].kind == FaultKind::ChipHardFail;
+
+    ExtRecovery {
+        rows: vec![row("no failover", &bare), row("retry ladder", &armed)],
+        resume_identity,
+        bisect_minimal: outcome.minimal_indices,
+        bisect_exact,
+        bisect_probes: outcome.probes,
+        bisect_epochs_replayed: outcome.epochs_replayed,
+        bisect_epochs_full: outcome.epochs_full,
+    }
+}
+
+impl fmt::Display for ExtRecovery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — surviving chip failures: failover, checkpoints, bisection"
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.hard_failed.to_string(),
+                    r.resurrected.to_string(),
+                    r.retried.to_string(),
+                    r.retry_shed.to_string(),
+                    r.completed.to_string(),
+                    format!("{:.1}", r.critical_p99_ns as f64 / 1e6),
+                    if r.books_balance { "yes" } else { "NO" }.to_owned(),
+                ]
+            })
+            .collect();
+        f.write_str(&render::table(
+            &[
+                "scenario",
+                "failed",
+                "revived",
+                "retried",
+                "retry-shed",
+                "done",
+                "crit p99 (ms)",
+                "books",
+            ],
+            &rows,
+        ))?;
+        writeln!(
+            f,
+            "resume identity: {}",
+            if self.resume_identity {
+                "checkpointed resume byte-identical"
+            } else {
+                "VIOLATED"
+            }
+        )?;
+        writeln!(
+            f,
+            "bisection: minimal trigger = specs {:?} ({}), {} probes, \
+             {} epochs replayed of {} a fresh-run strategy needs",
+            self.bisect_minimal,
+            if self.bisect_exact {
+                "exactly the chip killer"
+            } else {
+                "UNEXPECTED"
+            },
+            self.bisect_probes,
+            self.bisect_epochs_replayed,
+            self.bisect_epochs_full,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExpConfig;
+
+    #[test]
+    fn failover_retries_what_the_bare_fleet_sheds() {
+        let mut ctx = Context::new(ExpConfig::quick(42));
+        let ext = run(&mut ctx);
+        assert_eq!(ext.rows.len(), 2);
+        let (bare, armed) = (&ext.rows[0], &ext.rows[1]);
+        assert!(bare.books_balance && armed.books_balance);
+        assert!(
+            bare.hard_failed > 0,
+            "the campaign must kill chips: {bare:?}"
+        );
+        assert_eq!(bare.resurrected, 0, "no ladder, no resurrection");
+        assert_eq!(bare.retried, 0, "no ladder, no retries");
+        assert!(bare.retry_shed > 0, "a bare outage sheds: {bare:?}");
+        assert_eq!(armed.hard_failed, bare.hard_failed);
+        assert!(armed.retried > 0, "the ladder must retry: {armed:?}");
+        assert!(
+            armed.resurrected > 0,
+            "six epochs leave room to resurrect: {armed:?}"
+        );
+        assert!(ext.resume_identity, "checkpointed resume diverged");
+        assert!(
+            ext.bisect_exact,
+            "bisection must isolate the killer: {:?}",
+            ext.bisect_minimal
+        );
+        assert!(
+            ext.bisect_epochs_replayed < ext.bisect_epochs_full,
+            "checkpoint replay must beat fresh runs: {} vs {}",
+            ext.bisect_epochs_replayed,
+            ext.bisect_epochs_full
+        );
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let mut ctx = Context::new(ExpConfig::quick(7));
+        let s = run(&mut ctx).to_string();
+        for needle in [
+            "no failover",
+            "retry ladder",
+            "resume identity",
+            "bisection",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+        assert!(!s.contains("VIOLATED") && !s.contains("UNEXPECTED"), "{s}");
+    }
+}

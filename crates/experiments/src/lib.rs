@@ -37,6 +37,7 @@ pub mod ext_capping;
 pub mod ext_failure;
 pub mod ext_gating;
 pub mod ext_predict;
+pub mod ext_recovery;
 pub mod ext_seeds;
 pub mod ext_trace;
 pub mod fig01;
@@ -61,7 +62,7 @@ pub use context::{Context, ExpConfig};
 
 /// Identifiers of every reproducible exhibit, in paper order, plus the
 /// `ext-*` extensions (features the paper sketches but defers).
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "fig1",
     "fig2",
     "fig4b",
@@ -84,6 +85,7 @@ pub const ALL_EXPERIMENTS: [&str; 22] = [
     "ext-predict",
     "ext-adapt",
     "ext-capping",
+    "ext-recovery",
 ];
 
 /// Runs one exhibit by name and returns its rendered report.
@@ -114,6 +116,7 @@ pub fn run_by_name(ctx: &mut Context, name: &str) -> Result<String, String> {
         "ext-failure" => ext_failure::run(ctx).to_string(),
         "ext-gating" => ext_gating::run(ctx).to_string(),
         "ext-predict" => ext_predict::run(ctx).to_string(),
+        "ext-recovery" => ext_recovery::run(ctx).to_string(),
         "ext-seeds" => ext_seeds::run(ctx).to_string(),
         "ext-trace" => ext_trace::run(ctx).to_string(),
         other => return Err(other.to_owned()),

@@ -59,7 +59,7 @@ struct Resolved {
 ///     droop_storm().total_firings()
 /// );
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CampaignHook {
     specs: Vec<Resolved>,
     tick: u64,
@@ -130,6 +130,33 @@ impl CampaignHook {
         self.specs.iter().all(|s| s.remaining == 0)
     }
 
+    /// Fast-forwards the cumulative tick counter to `tick` without
+    /// observing the skipped ticks — the checkpoint-replay shortcut for a
+    /// hook whose schedule provably fires nothing before `tick`. The
+    /// fast-forwarded hook then behaves exactly like one driven through
+    /// those ticks one by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter would move backwards, or if a pending firing
+    /// is scheduled before `tick` (skipping it would change the
+    /// campaign — replay from an earlier checkpoint instead).
+    pub fn advance_to_tick(&mut self, tick: u64) {
+        assert!(
+            tick >= self.tick,
+            "cannot rewind a campaign hook ({} -> {tick})",
+            self.tick
+        );
+        for spec in &self.specs {
+            assert!(
+                spec.remaining == 0 || spec.next >= tick,
+                "a firing at tick {} would be skipped by fast-forward to {tick}",
+                spec.next
+            );
+        }
+        self.tick = tick;
+    }
+
     fn action_for(core: CoreId, kind: FaultKind, duration: u32) -> FaultAction {
         let ticks = duration.max(1);
         match kind {
@@ -180,13 +207,19 @@ impl CampaignHook {
                 core,
                 kind: FailureKind::SystemCrash,
             },
+            FaultKind::ChipHardFail => FaultAction::ChipHardFail { core },
         }
     }
 }
 
 impl FaultHook for CampaignHook {
     fn armed(&self) -> bool {
-        !self.exhausted()
+        // A hook resolved from a spec-less plan stays armed forever: it
+        // injects nothing but counts every tick, which makes it the pure
+        // tick-position witness the bisection baseline arms on every chip
+        // (the exact path it forces is byte-identical to the plain path,
+        // so observation is free).
+        self.specs.is_empty() || !self.exhausted()
     }
 
     fn on_tick(&mut self, _now: Nanos, _tick: u64, out: &mut Vec<FaultAction>) {

@@ -57,7 +57,7 @@ pub use campaign::FaultCampaign;
 pub use fleet::FleetFaultPlan;
 pub use hook::{CampaignHook, Injection};
 pub use plan::{
-    actuator_flap, droop_storm, sensor_chaos, standard_plans, FaultKind, FaultPlan, FaultSpec,
-    FaultTarget,
+    actuator_flap, chip_killer, droop_storm, sensor_chaos, standard_plans, FaultKind, FaultPlan,
+    FaultSpec, FaultTarget,
 };
 pub use report::{FaultCampaignReport, TicksSummary};

@@ -54,6 +54,11 @@ pub enum FaultKind {
     /// A workload-phase-triggered timing failure the margin machinery
     /// cannot see coming: fires as a system crash on the target core.
     PhaseFailure,
+    /// A hard whole-chip failure cascading from the target core: the run
+    /// aborts and the serving layer above must treat the chip as dead
+    /// until it is resurrected from a checkpoint (see the fleet layer's
+    /// failover machinery).
+    ChipHardFail,
 }
 
 /// Which core (or socket, for rail faults) a spec hits.
@@ -241,6 +246,23 @@ pub fn actuator_flap() -> FaultPlan {
 #[must_use]
 pub fn standard_plans() -> Vec<FaultPlan> {
     vec![droop_storm(), sensor_chaos(), actuator_flap()]
+}
+
+/// The chip-killer plan: one hard whole-chip failure cascading from a
+/// seeded core at tick `start` — the failover machinery's canonical
+/// adversary. Not part of [`standard_plans`]: a hard fail aborts every
+/// run after it, so single-chip campaigns would report nothing but the
+/// outage.
+#[must_use]
+pub fn chip_killer(start: u64) -> FaultPlan {
+    FaultPlan::new("chip-killer").with(FaultSpec {
+        target: FaultTarget::Seeded,
+        kind: FaultKind::ChipHardFail,
+        start,
+        period: 0,
+        repeats: 1,
+        duration: 1,
+    })
 }
 
 #[cfg(test)]

@@ -9,8 +9,55 @@ use atm_silicon::DriftModel;
 use atm_units::{AtmError, Nanos};
 use atm_workloads::by_name;
 
+use serde::{Deserialize, Serialize};
+
 use crate::placement::PlacementConfig;
 use crate::traffic::TrafficSpec;
+
+/// Knobs of the fleet's chip-failure failover ladder.
+///
+/// When armed (see [`FleetConfig::with_failover`]), a request bounced by
+/// a hard-failed chip enters a bounded retry ladder instead of being
+/// dropped: attempt `a` waits `backoff_base_epochs << (a − 1)` epochs,
+/// and a request past `retry_budget` attempts is permanently shed (the
+/// `retry_shed` bucket of the extended conservation law). The fleet also
+/// checkpoints every chip's machine state periodically so a dead chip can
+/// be resurrected cold after `resurrect_after` epochs, serving only
+/// background traffic through a probation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailoverConfig {
+    /// Maximum delivery attempts per request (first bounce = attempt 1).
+    pub retry_budget: u32,
+    /// Epochs before the first retry; each further attempt doubles the
+    /// wait. Zero retries on the very next epoch.
+    pub backoff_base_epochs: u32,
+    /// Epochs between periodic per-chip machine checkpoints (0 disables
+    /// checkpointing — a dead chip then stays dead).
+    pub checkpoint_every: u32,
+    /// Epochs a chip stays dead before resurrection is attempted (needs
+    /// a checkpoint to exist).
+    pub resurrect_after: u32,
+    /// Epochs a resurrected chip is barred from critical traffic while
+    /// its cold queues re-warm on background work.
+    pub probation_epochs: u32,
+    /// Critical-stream retries are never routed to a chip with at least
+    /// this many quarantined cores (its margin ladder is already
+    /// struggling; the retried request is the one we cannot lose twice).
+    pub quarantine_avoid: u32,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            retry_budget: 3,
+            backoff_base_epochs: 1,
+            checkpoint_every: 1,
+            resurrect_after: 2,
+            probation_epochs: 2,
+            quarantine_avoid: 2,
+        }
+    }
+}
 
 /// Knobs of a fleet simulation.
 ///
@@ -58,6 +105,12 @@ pub struct FleetConfig {
     /// routing reads, so the whole allocation stays a pure function of
     /// `(FleetConfig, seed)`.
     pub budget: Option<FleetBudget>,
+    /// Optional chip-failure failover: bounded retry/backoff for requests
+    /// bounced by hard-failed chips, periodic machine checkpoints, and
+    /// checkpoint resurrection with a probation window. Without it a
+    /// hard-failed chip stays dead and its bounced requests are
+    /// immediately `retry_shed`.
+    pub failover: Option<FailoverConfig>,
 }
 
 impl FleetConfig {
@@ -110,6 +163,7 @@ impl FleetConfig {
             drift: None,
             adapt: None,
             budget: None,
+            failover: None,
         }
     }
 
@@ -166,6 +220,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_budget(mut self, budget: FleetBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Arms the chip-failure failover ladder (chainable).
+    #[must_use]
+    pub fn with_failover(mut self, failover: FailoverConfig) -> Self {
+        self.failover = Some(failover);
         self
     }
 
@@ -301,6 +362,13 @@ impl FleetConfigBuilder {
     #[must_use]
     pub fn budget(mut self, budget: FleetBudget) -> Self {
         self.config.budget = Some(budget);
+        self
+    }
+
+    /// Arms the chip-failure failover ladder.
+    #[must_use]
+    pub fn failover(mut self, failover: FailoverConfig) -> Self {
+        self.config.failover = Some(failover);
         self
     }
 

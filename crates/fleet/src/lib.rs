@@ -40,8 +40,8 @@ mod report;
 mod sim;
 mod traffic;
 
-pub use config::{FleetConfig, FleetConfigBuilder};
+pub use config::{FailoverConfig, FleetConfig, FleetConfigBuilder};
 pub use placement::{route, PlacementConfig, RouteTable};
 pub use report::{ChipRow, FleetReport, LatencyBands, RoutingCounters};
-pub use sim::FleetSim;
+pub use sim::{FleetRun, FleetRunCheckpoint, FleetSim};
 pub use traffic::{generate_fleet, generate_lane, lane_seed, LaneRequest, TrafficSpec};

@@ -51,15 +51,28 @@ pub struct RouteTable {
 /// descending fastest-healthy-core frequency (ties to the lower chip id);
 /// background lanes over the same chips ranked by ascending backlog. The
 /// table is a pure function of the snapshots, so routing is deterministic.
+///
+/// Dead chips (hard-failed, `!alive`) are excluded from both lane maps
+/// without being marked drained — death is recoverable, drain is not.
+/// `probation` flags chips freshly resurrected from a checkpoint: they
+/// are excluded from the *critical* map until their cold queues have
+/// proven themselves, but still take background traffic (the re-warm).
+/// An empty slice means no chip is on probation.
 #[must_use]
-pub fn route(snapshots: &[ChipSnapshot], cfg: &PlacementConfig, lanes: u32) -> RouteTable {
+pub fn route(
+    snapshots: &[ChipSnapshot],
+    cfg: &PlacementConfig,
+    lanes: u32,
+    probation: &[bool],
+) -> RouteTable {
     let drained: Vec<bool> = snapshots
         .iter()
         .map(|s| s.quarantined >= cfg.drain_quarantined)
         .collect();
+    let on_probation = |c: u32| probation.get(c as usize).copied().unwrap_or(false);
 
     let mut by_speed: Vec<u32> = (0..snapshots.len() as u32)
-        .filter(|c| !drained[*c as usize])
+        .filter(|c| !drained[*c as usize] && snapshots[*c as usize].alive && !on_probation(*c))
         .collect();
     by_speed.sort_by_key(|c| {
         (
@@ -67,7 +80,9 @@ pub fn route(snapshots: &[ChipSnapshot], cfg: &PlacementConfig, lanes: u32) -> R
             *c,
         )
     });
-    let mut by_backlog: Vec<u32> = by_speed.clone();
+    let mut by_backlog: Vec<u32> = (0..snapshots.len() as u32)
+        .filter(|c| !drained[*c as usize] && snapshots[*c as usize].alive)
+        .collect();
     by_backlog.sort_by_key(|c| (snapshots[*c as usize].backlog_ns, *c));
 
     let deal = |ranked: &[u32]| -> Vec<Option<u32>> {
@@ -94,6 +109,7 @@ mod tests {
 
     fn snap(fastest: u64, backlog: u64, quarantined: u32) -> ChipSnapshot {
         ChipSnapshot {
+            alive: true,
             fastest_healthy_mhz: fastest,
             backlog_ns: backlog,
             quarantined,
@@ -105,21 +121,21 @@ mod tests {
     #[test]
     fn critical_lanes_favour_the_fastest_chips() {
         let snaps = vec![snap(4500, 0, 0), snap(4700, 0, 0), snap(4600, 0, 0)];
-        let table = route(&snaps, &PlacementConfig::default(), 3);
+        let table = route(&snaps, &PlacementConfig::default(), 3, &[]);
         assert_eq!(table.critical, vec![Some(1), Some(2), Some(0)]);
     }
 
     #[test]
     fn background_lanes_favour_the_empty_chips() {
         let snaps = vec![snap(4700, 9_000, 0), snap(4500, 0, 0), snap(4600, 4_000, 0)];
-        let table = route(&snaps, &PlacementConfig::default(), 3);
+        let table = route(&snaps, &PlacementConfig::default(), 3, &[]);
         assert_eq!(table.background, vec![Some(1), Some(2), Some(0)]);
     }
 
     #[test]
     fn drained_chips_receive_nothing() {
         let snaps = vec![snap(4700, 0, 2), snap(4500, 0, 0)];
-        let table = route(&snaps, &PlacementConfig::default(), 4);
+        let table = route(&snaps, &PlacementConfig::default(), 4, &[]);
         assert!(table.drained[0] && !table.drained[1]);
         assert!(table.critical.iter().all(|c| *c == Some(1)));
         assert!(table.background.iter().all(|c| *c == Some(1)));
@@ -128,8 +144,28 @@ mod tests {
     #[test]
     fn a_fully_drained_fleet_routes_nowhere() {
         let snaps = vec![snap(4700, 0, 3), snap(4500, 0, 2)];
-        let table = route(&snaps, &PlacementConfig::default(), 2);
+        let table = route(&snaps, &PlacementConfig::default(), 2, &[]);
         assert!(table.critical.iter().all(Option::is_none));
         assert!(table.background.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn dead_chips_are_excluded_without_draining() {
+        let mut snaps = vec![snap(4700, 0, 0), snap(4500, 0, 0)];
+        snaps[0].alive = false;
+        let table = route(&snaps, &PlacementConfig::default(), 4, &[]);
+        assert!(!table.drained[0], "death is not drain");
+        assert!(table.critical.iter().all(|c| *c == Some(1)));
+        assert!(table.background.iter().all(|c| *c == Some(1)));
+    }
+
+    #[test]
+    fn probation_blocks_critical_but_not_background() {
+        let snaps = vec![snap(4700, 0, 0), snap(4500, 9_000, 0)];
+        let table = route(&snaps, &PlacementConfig::default(), 2, &[true, false]);
+        assert!(table.critical.iter().all(|c| *c == Some(1)));
+        // The probation chip still re-warms on background traffic — and
+        // with an empty queue it is the preferred background target.
+        assert!(table.background.contains(&Some(0)));
     }
 }

@@ -48,17 +48,21 @@ impl LatencyBands {
 
 /// Exactly-once accounting of every generated request.
 ///
-/// The conservation law `generated = routed + shed + deferred_unserved`
-/// holds by construction: each request reaches exactly one terminal state
-/// (landed on a chip, shed because no chip was eligible, or still parked
-/// in the defer queue when the run ended). `deferred` counts defer
-/// *events* and is informational — a deferred request later lands in one
-/// of the three terminal buckets.
+/// The conservation law `generated = routed + shed + retry_shed +
+/// deferred_unserved + retry_unserved` holds by construction: each
+/// request reaches exactly one terminal state (absorbed by a live chip,
+/// shed because no chip was eligible, permanently shed by the failover
+/// ladder, or still parked in the defer/retry queue when the run ended).
+/// `routed` counts *absorptions* — a request bounced by a dead chip was
+/// never routed in this accounting, it moved to the retry ladder.
+/// `deferred` and `retried` count *events* and are informational — a
+/// deferred or retried request later lands in one of the terminal
+/// buckets.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoutingCounters {
     /// Requests produced by the traffic generator.
     pub generated: u64,
-    /// Requests handed to a chip.
+    /// Requests absorbed by a chip.
     pub routed: u64,
     /// Requests dropped because no chip was eligible.
     pub shed: u64,
@@ -66,10 +70,21 @@ pub struct RoutingCounters {
     pub deferred: u64,
     /// Requests still deferred when the run ended.
     pub deferred_unserved: u64,
+    /// Retry events: re-routes of requests bounced by dead chips.
+    pub retried: u64,
+    /// Requests permanently shed by the failover ladder (budget
+    /// exhausted, no eligible retry target, or no failover armed).
+    pub retry_shed: u64,
+    /// Requests still waiting in the retry queue when the run ended.
+    pub retry_unserved: u64,
     /// Epoch-over-epoch changes of a critical lane's assigned chip.
     pub critical_reroutes: u64,
     /// Chips draining when the run ended.
     pub drained_chips: u32,
+    /// Chips that hard-failed during the run.
+    pub hard_failed_chips: u32,
+    /// Chips resurrected from a machine checkpoint during the run.
+    pub resurrected_chips: u32,
 }
 
 /// One chip's final account within the fleet.
@@ -145,12 +160,15 @@ pub struct FleetReport {
 impl FleetReport {
     /// Whether exactly-once accounting held: every generated request is in
     /// precisely one terminal bucket, and the routed total matches what
-    /// the chips actually absorbed.
+    /// the chips actually absorbed. Retries count separately (they are
+    /// events, not terminal states), so the law survives chip failures
+    /// and resurrections unchanged.
     #[must_use]
     pub fn conservation_holds(&self) -> bool {
         let r = &self.routing;
         let absorbed: u64 = self.rows.iter().map(|row| row.completed + row.shed).sum();
-        r.generated == r.routed + r.shed + r.deferred_unserved && r.routed == absorbed
+        r.generated == r.routed + r.shed + r.retry_shed + r.deferred_unserved + r.retry_unserved
+            && r.routed == absorbed
     }
 
     /// Whether no chip ever received a critical request at or after the
@@ -195,15 +213,24 @@ impl fmt::Display for FleetReport {
         let r = &self.routing;
         writeln!(
             f,
-            "  routing: {} generated = {} routed + {} shed + {} unserved ({} defers, {} reroutes, {} draining)",
+            "  routing: {} generated = {} routed + {} shed + {} retry-shed + {} unserved ({} defers, {} retries, {} reroutes, {} draining)",
             r.generated,
             r.routed,
             r.shed,
-            r.deferred_unserved,
+            r.retry_shed,
+            r.deferred_unserved + r.retry_unserved,
             r.deferred,
+            r.retried,
             r.critical_reroutes,
             r.drained_chips
         )?;
+        if r.hard_failed_chips > 0 {
+            writeln!(
+                f,
+                "  failover: {} chips hard-failed, {} resurrected",
+                r.hard_failed_chips, r.resurrected_chips
+            )?;
+        }
         writeln!(
             f,
             "  critical:   {:>8} done  p50 {:>10} ns  p99 {:>10} ns  max {:>10} ns",
@@ -273,9 +300,7 @@ mod tests {
                 routed: 9,
                 shed: 1,
                 deferred: 2,
-                deferred_unserved: 0,
-                critical_reroutes: 0,
-                drained_chips: 0,
+                ..RoutingCounters::default()
             },
             critical: bands,
             background: bands,
@@ -296,6 +321,18 @@ mod tests {
         let mut phantom = report();
         phantom.rows[0].completed += 1;
         assert!(!phantom.conservation_holds());
+    }
+
+    #[test]
+    fn retry_buckets_enter_the_law() {
+        let mut r = report();
+        r.routing.generated += 3;
+        r.routing.retry_shed += 2;
+        r.routing.retry_unserved += 1;
+        r.routing.retried += 5; // events, outside the law
+        assert!(r.conservation_holds());
+        r.routing.retry_unserved += 1;
+        assert!(!r.conservation_holds());
     }
 
     #[test]

@@ -17,13 +17,12 @@
 //! same bytes.
 
 use std::collections::BTreeMap;
-use std::fmt;
 
 use atm_adapt::{AdaptContext, AdaptReport, Adapter, NullAdapter};
 use atm_capping::{
     CapAction, CapConfig, CapReport, EnergyMeter, EnergyModel, EnergyReport, PowerRegulator,
 };
-use atm_chip::{FaultHook, PStateTable};
+use atm_chip::{FailureKind, FaultHook, PStateTable};
 use atm_core::{AtmManager, MarginSupervisor, QosTarget, ServePosture, SupervisorConfig};
 use atm_silicon::DriftModel;
 use atm_telemetry::NullRecorder;
@@ -134,6 +133,10 @@ pub struct ChipRequest {
 /// The per-chip state the fleet router reads at each epoch barrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChipSnapshot {
+    /// Whether the chip is still running. A hard-failed chip stays in the
+    /// fleet (its account survives for the final report) but must receive
+    /// no traffic until the failover machinery resurrects it.
+    pub alive: bool,
     /// Settled frequency of the fastest core still eligible for placement
     /// (not quarantined, not safe-moded), in whole MHz. Zero when every
     /// core is excluded.
@@ -175,8 +178,22 @@ pub struct ChipSummary {
     pub energy: Option<EnergyReport>,
 }
 
+/// What one [`ChipServer::step_epoch`] call could not absorb.
+///
+/// A live chip absorbs every request routed to it (dispatch is a
+/// commitment), so `rejected` is empty. A chip that is dead — or died
+/// during this epoch's harvest, before anything was dispatched — bounces
+/// the whole batch back; the fleet's failover ladder owns their fate.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[must_use = "rejected requests must be retried or shed, never dropped"]
+pub struct EpochOutcome {
+    /// Requests the chip could not serve because it is hard-failed.
+    pub rejected: Vec<ChipRequest>,
+}
+
 /// The per-chip power-capping state: the regulator, its run report, and
 /// the fleet's per-epoch cap override (when one is pushed in).
+#[derive(Debug, Clone)]
 struct CapState {
     cfg: CapConfig,
     regulator: PowerRegulator,
@@ -185,6 +202,12 @@ struct CapState {
 }
 
 /// One managed chip, steppable epoch by epoch (see the module docs).
+///
+/// The `Debug` rendering is exhaustive on purpose: it is the canonical
+/// byte-identity witness the checkpoint machinery checksums, so every
+/// field — all of them integer-valued, ordered maps, or
+/// shortest-roundtrip floats — must appear in it.
+#[derive(Debug)]
 pub struct ChipServer {
     mgr: AtmManager,
     cfg: ChipServeConfig,
@@ -219,16 +242,63 @@ pub struct ChipServer {
     epoch_busy_ns: u64,
     /// Requests completed this epoch.
     epoch_completed: u64,
+    /// The epoch this chip hard-failed (`None` = alive). A dead chip
+    /// rejects every routed request and skips its harvest until
+    /// resurrected.
+    dead_since: Option<u32>,
 }
 
-impl fmt::Debug for ChipServer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ChipServer")
-            .field("epoch", &self.epoch)
-            .field("completed", &self.completed)
-            .field("shed", &self.shed)
-            .field("transitions", &self.transitions)
-            .finish_non_exhaustive()
+impl Clone for ChipServer {
+    fn clone(&self) -> Self {
+        ChipServer {
+            mgr: self.mgr.clone(),
+            cfg: self.cfg.clone(),
+            supervisor: self.supervisor.clone(),
+            policy: self.policy.clone(),
+            posture: self.posture.clone(),
+            pstates: self.pstates.clone(),
+            baseline: self.baseline,
+            core_svc: self.core_svc.clone(),
+            free_at: self.free_at.clone(),
+            crit_hist: self.crit_hist.clone(),
+            bg_hist: self.bg_hist.clone(),
+            completed: self.completed,
+            shed: self.shed,
+            critical_completed: self.critical_completed,
+            critical_slo_violations: self.critical_slo_violations,
+            transitions: self.transitions,
+            throttle_extra: self.throttle_extra,
+            epoch: self.epoch,
+            adapter: self.adapter.clone_box(),
+            drift: self.drift,
+            cap: self.cap.clone(),
+            meter: self.meter.clone(),
+            measured_mw: self.measured_mw,
+            epoch_busy_ns: self.epoch_busy_ns,
+            epoch_completed: self.epoch_completed,
+            dead_since: self.dead_since,
+        }
+    }
+}
+
+/// A sealed deep copy of a [`ChipServer`] taken at an epoch barrier.
+///
+/// Restoring one and stepping forward is byte-identical to having never
+/// left: the copy carries the manager, the supervisor ladder, the queues,
+/// the histograms, the regulator integral and the adapter's learned
+/// state. [`ChipServer::resurrect_from`] uses the same capsule but keeps
+/// the cumulative account (see its docs).
+#[derive(Debug, Clone)]
+pub struct ChipServerCheckpoint {
+    state: ChipServer,
+}
+
+impl ChipServerCheckpoint {
+    /// Materializes a fresh server from the checkpoint — equivalent to
+    /// [`ChipServer::restore`] without needing a server to restore into.
+    #[must_use]
+    pub fn thaw(&self) -> ChipServer {
+        self.state.clone()
     }
 }
 
@@ -285,6 +355,7 @@ impl ChipServer {
             measured_mw: 0,
             epoch_busy_ns: 0,
             epoch_completed: 0,
+            dead_since: None,
         })
     }
 
@@ -333,7 +404,22 @@ impl ChipServer {
     /// The caller (the fleet loop) owns the timeline: requests carry
     /// global timestamps and this chip only ever sees the ones routed to
     /// it.
-    pub fn step_epoch(&mut self, requests: &[ChipRequest], faults: Option<&mut dyn FaultHook>) {
+    ///
+    /// A dead chip — hard-failed in a previous epoch, or during this
+    /// epoch's harvest trial, before anything was dispatched — rejects
+    /// the whole batch through the returned [`EpochOutcome`] and performs
+    /// no work beyond advancing its epoch counter.
+    pub fn step_epoch(
+        &mut self,
+        requests: &[ChipRequest],
+        faults: Option<&mut dyn FaultHook>,
+    ) -> EpochOutcome {
+        if self.dead_since.is_some() {
+            self.epoch += 1;
+            return EpochOutcome {
+                rejected: requests.to_vec(),
+            };
+        }
         if let Some(drift) = self.drift {
             self.mgr
                 .system_mut()
@@ -344,6 +430,14 @@ impl ChipServer {
         // to any later boundary, so the backlog reads zero either way.
         let now = requests.first().map_or(u64::MAX, |r| r.at);
         self.harvest_and_degrade(faults, now);
+        if self.dead_since.is_some() {
+            // The harvest trial hit a hard chip failure: this epoch's
+            // batch was never dispatched, so it bounces intact.
+            self.epoch += 1;
+            return EpochOutcome {
+                rejected: requests.to_vec(),
+            };
+        }
         for req in requests {
             self.dispatch(req);
         }
@@ -360,6 +454,7 @@ impl ChipServer {
         self.epoch_busy_ns = 0;
         self.epoch_completed = 0;
         self.epoch += 1;
+        EpochOutcome::default()
     }
 
     /// The epoch-start chip-in-the-loop body: run a short hardware trial,
@@ -377,6 +472,17 @@ impl ChipServer {
                 .system_mut()
                 .run(self.cfg.chip_trial, &mut NullRecorder),
         };
+        if harvest
+            .failure
+            .is_some_and(|f| f.kind == FailureKind::ChipHardFail)
+        {
+            // Whole-chip outage: freeze the machine where the abort left
+            // it (the account survives for the final report) and let the
+            // fleet's failover ladder take over.
+            self.dead_since = Some(self.epoch);
+            self.mgr.system_mut().drain_events();
+            return;
+        }
         self.measured_mw = (harvest.procs[0].mean_power.get() * 1_000.0).round() as u64;
         let events = self.mgr.system_mut().drain_events();
 
@@ -624,12 +730,83 @@ impl ChipServer {
             min_health = min_health.min(self.supervisor.health(*core));
         }
         ChipSnapshot {
+            alive: self.dead_since.is_none(),
             fastest_healthy_mhz: fastest,
             backlog_ns: backlog,
             quarantined: self.mgr.quarantined_cores().len() as u32,
             safe_mode: self.mgr.safe_mode_cores().len() as u32,
             min_health,
         }
+    }
+
+    /// Whether the chip has hard-failed and not been resurrected.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead_since.is_some()
+    }
+
+    /// The epoch the chip hard-failed, if it is dead.
+    #[must_use]
+    pub fn dead_since(&self) -> Option<u32> {
+        self.dead_since
+    }
+
+    /// The chip's current epoch counter (epochs stepped so far).
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Seals a deep copy of the whole serving state. Restoring it and
+    /// stepping forward is byte-identical to never having stopped.
+    #[must_use]
+    pub fn checkpoint(&self) -> ChipServerCheckpoint {
+        ChipServerCheckpoint {
+            state: self.clone(),
+        }
+    }
+
+    /// Rewinds the chip to `cp`, exactly — machine, queues, histograms
+    /// and counters all return to the sealed instant.
+    pub fn restore(&mut self, cp: &ChipServerCheckpoint) {
+        *self = cp.state.clone();
+    }
+
+    /// Brings a hard-failed chip back from `cp` with failover semantics:
+    /// the *machine* rewinds (manager, supervisor ladder, posture,
+    /// degradation policy, adapter's learned state, regulator control
+    /// state), but the *account* does not — completions, sheds, latency
+    /// histograms, the energy meter and the regulator's report keep their
+    /// cumulative values so exactly-once accounting survives the
+    /// resurrection. Queues come back cold (`free_at` cleared) and the
+    /// epoch counter keeps the fleet's current position on the timeline.
+    ///
+    /// The fleet layer is expected to follow this with a supervisor-style
+    /// probation window before trusting the chip with critical traffic.
+    pub fn resurrect_from(&mut self, cp: &ChipServerCheckpoint) {
+        let machine = cp.state.clone();
+        self.mgr = machine.mgr;
+        self.cfg = machine.cfg;
+        self.supervisor = machine.supervisor;
+        self.policy = machine.policy;
+        self.posture = machine.posture;
+        self.pstates = machine.pstates;
+        self.baseline = machine.baseline;
+        self.core_svc = machine.core_svc;
+        self.adapter = machine.adapter;
+        self.drift = machine.drift;
+        self.throttle_extra = machine.throttle_extra;
+        // The regulator's control state (integral, depth) rewinds with
+        // the machine; its report stays cumulative with the account.
+        if let (Some(cur), Some(old)) = (self.cap.as_mut(), machine.cap) {
+            cur.cfg = old.cfg;
+            cur.regulator = old.regulator;
+        }
+        self.free_at.clear();
+        self.measured_mw = 0;
+        self.epoch_busy_ns = 0;
+        self.epoch_completed = 0;
+        self.dead_since = None;
     }
 
     /// The critical- and background-latency histograms (for fleet-level
@@ -728,7 +905,8 @@ mod tests {
         let run = || {
             let mut srv = server(42);
             for e in 0..3u64 {
-                srv.step_epoch(&traffic(e, 1_000_000), None);
+                let out = srv.step_epoch(&traffic(e, 1_000_000), None);
+                assert!(out.rejected.is_empty(), "live chip absorbed everything");
             }
             (format!("{:?}", srv.summary()), srv.snapshot(3_000_000))
         };
@@ -741,13 +919,77 @@ mod tests {
     #[test]
     fn served_requests_land_in_the_account() {
         let mut srv = server(7);
-        srv.step_epoch(&traffic(0, 1_000_000), None);
+        let out = srv.step_epoch(&traffic(0, 1_000_000), None);
+        assert!(out.rejected.is_empty());
         let summary = srv.summary();
         assert_eq!(summary.completed + summary.shed, 20);
         assert!(summary.critical_completed >= 1);
         let snap = srv.snapshot(1_000_000);
         assert!(snap.fastest_healthy_mhz > 4_000, "{snap:?}");
         assert_eq!(snap.quarantined, 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically() {
+        let mut srv = server(42);
+        let _ = srv.step_epoch(&traffic(0, 1_000_000), None);
+        let cp = srv.checkpoint();
+        for e in 1..3u64 {
+            let _ = srv.step_epoch(&traffic(e, 1_000_000), None);
+        }
+        let gold = format!("{srv:#?}");
+        srv.restore(&cp);
+        for e in 1..3u64 {
+            let _ = srv.step_epoch(&traffic(e, 1_000_000), None);
+        }
+        assert_eq!(format!("{srv:#?}"), gold);
+    }
+
+    #[test]
+    fn hard_fail_bounces_batches_and_resurrection_keeps_the_account() {
+        use atm_chip::FaultAction;
+
+        struct Killer;
+        impl FaultHook for Killer {
+            fn armed(&self) -> bool {
+                true
+            }
+            fn on_tick(&mut self, _now: Nanos, tick: u64, out: &mut Vec<FaultAction>) {
+                if tick == 0 {
+                    out.push(FaultAction::ChipHardFail {
+                        core: CoreId::new(0, 0),
+                    });
+                }
+            }
+        }
+
+        let mut srv = server(42);
+        let _ = srv.step_epoch(&traffic(0, 1_000_000), None);
+        let cp = srv.checkpoint();
+        let completed_before = srv.summary().completed;
+
+        let batch = traffic(1, 1_000_000);
+        let mut killer = Killer;
+        let out = srv.step_epoch(&batch, Some(&mut killer));
+        assert!(srv.is_dead());
+        assert_eq!(srv.dead_since(), Some(1));
+        assert_eq!(out.rejected, batch, "nothing dispatched on the death epoch");
+        assert!(!srv.snapshot(2_000_000).alive);
+        // Dead chips keep bouncing until resurrected.
+        let out = srv.step_epoch(&batch, None);
+        assert_eq!(out.rejected.len(), batch.len());
+        assert_eq!(srv.summary().completed, completed_before);
+
+        srv.resurrect_from(&cp);
+        assert!(!srv.is_dead());
+        assert_eq!(
+            srv.summary().completed,
+            completed_before,
+            "the cumulative account survives resurrection"
+        );
+        let out = srv.step_epoch(&traffic(3, 1_000_000), None);
+        assert!(out.rejected.is_empty());
+        assert!(srv.summary().completed > completed_before);
     }
 
     #[test]

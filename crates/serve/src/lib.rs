@@ -70,7 +70,10 @@ mod sim;
 mod stream;
 
 pub use admission::{Admission, AdmissionConfig};
-pub use chipstep::{ChipRequest, ChipServeConfig, ChipServer, ChipSnapshot, ChipSummary};
+pub use chipstep::{
+    ChipRequest, ChipServeConfig, ChipServer, ChipServerCheckpoint, ChipSnapshot, ChipSummary,
+    EpochOutcome,
+};
 pub use config::{ServeConfig, ServeConfigBuilder};
 pub use degrade::{DegradationPolicy, DegradeAction};
 pub use histogram::LatencyHistogram;

@@ -267,18 +267,6 @@ impl ServeSim {
         ));
     }
 
-    /// Deprecated alias of [`ServeSim::run`], kept for one release while
-    /// callers migrate to the consolidated recorder-generic method.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers` is zero.
-    #[deprecated(since = "0.1.0", note = "use `run` (same signature)")]
-    #[must_use]
-    pub fn run_recorded<R: Recorder>(self, workers: usize, rec: &mut R) -> ServeReport {
-        self.run(workers, rec)
-    }
-
     /// Runs the full serving trace, pre-generating arrivals on up to
     /// `workers` threads, and returns the deterministic report.
     ///

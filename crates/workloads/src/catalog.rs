@@ -209,13 +209,6 @@ pub fn by_name(name: &str) -> Result<&'static Workload, AtmError> {
         .ok_or_else(|| AtmError::unknown_workload(name))
 }
 
-/// The pre-[`AtmError`] lookup, kept as a transition shim.
-#[deprecated(note = "use `by_name`, whose error names the missing workload")]
-#[must_use]
-pub fn get(name: &str) -> Option<&'static Workload> {
-    cached().iter().find(|w| w.name() == name)
-}
-
 /// The three micro-benchmarks of the paper's uBench characterization.
 #[must_use]
 pub fn ubench_set() -> Vec<&'static Workload> {
@@ -266,13 +259,6 @@ mod tests {
         }
         let err = by_name("does-not-exist").unwrap_err();
         assert!(err.to_string().contains("does-not-exist"), "{err}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_get_still_works() {
-        assert_eq!(get("x264").map(Workload::name), Some("x264"));
-        assert!(get("does-not-exist").is_none());
     }
 
     #[test]

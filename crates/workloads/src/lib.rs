@@ -43,8 +43,6 @@ mod profile;
 mod service;
 mod stressmark;
 
-#[allow(deprecated)]
-pub use catalog::get;
 pub use catalog::{by_name, catalog, ml_inference_set, realistic_set, ubench_set};
 pub use classify::{classification_table, AppClass, Role};
 pub use profile::{Workload, WorkloadKind};

@@ -16,6 +16,7 @@ ci:
     just fleet
     just adapt
     just capping
+    just recover
 
 # Fault-injection sweep: every standard plan (droop-storm,
 # sensor-chaos, actuator-flap) replayed under three seeds. Each run
@@ -48,6 +49,13 @@ adapt:
 capping:
     cargo run --release --example capping 42
     cargo run --release --example capping 7
+
+# Recovery smoke: a chip hard-failed mid-run under two seeds with the
+# failover ladder armed. The example asserts exactly-once accounting
+# with retries, SLO re-convergence after the failover, and serial ≡
+# 4-worker byte identity itself.
+recover:
+    cargo run --release --example recovery
 
 # Warning-free rustdoc over the workspace.
 doc:

@@ -26,6 +26,7 @@
 //! | [`serve`] | deterministic request serving with SLO accounting |
 //! | [`faults`] | seeded fault-injection campaigns and recovery reports |
 //! | [`fleet`] | fleet-scale sharded simulation behind a deterministic epoch-barrier router |
+//! | [`recovery`] | sealed checkpoint/restore, failover verification, and fault-campaign bisection |
 //! | [`experiments`] | regeneration of every paper table and figure |
 //!
 //! The [`prelude`] re-exports the handful of types nearly every program
@@ -82,6 +83,7 @@ pub use atm_experiments as experiments;
 pub use atm_faults as faults;
 pub use atm_fleet as fleet;
 pub use atm_pdn as pdn;
+pub use atm_recovery as recovery;
 pub use atm_serve as serve;
 pub use atm_silicon as silicon;
 pub use atm_telemetry as telemetry;
@@ -111,7 +113,8 @@ pub mod prelude {
     pub use atm_core::manager::Strategy;
     pub use atm_core::{AtmManager, Governor, LimitTable, MarginSupervisor, QosTarget};
     pub use atm_faults::{FaultCampaign, FaultPlan};
-    pub use atm_fleet::{FleetConfig, FleetConfigBuilder, FleetReport, FleetSim};
+    pub use atm_fleet::{FleetConfig, FleetConfigBuilder, FleetReport, FleetRun, FleetSim};
+    pub use atm_recovery::{Snapshot, SnapshotError};
     pub use atm_serve::{ServeConfig, ServeSim, StreamSpec};
     pub use atm_silicon::DriftModel;
     pub use atm_telemetry::{NullRecorder, Recorder, RingRecorder, TelemetrySnapshot};

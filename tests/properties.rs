@@ -172,6 +172,9 @@ fn failure_kind_proportions_are_40_40_20() {
             FailureKind::SystemCrash => counts[0] += 1,
             FailureKind::AbnormalExit => counts[1] += 1,
             FailureKind::SilentDataCorruption => counts[2] += 1,
+            FailureKind::ChipHardFail => {
+                unreachable!("sample never produces the injected-only hard fail")
+            }
         }
     }
     assert_eq!(counts, [N * 2 / 5, N * 2 / 5, N / 5]);
